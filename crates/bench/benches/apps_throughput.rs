@@ -1,0 +1,24 @@
+//! Criterion benchmarks for the seven NetBench workloads: simulated
+//! packets per second through the full machine (cache, faults, fuel).
+
+use clumsy_core::{ClumsyConfig, ClumsyProcessor};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use netbench::{AppKind, TraceConfig};
+
+fn bench_apps(c: &mut Criterion) {
+    let trace = TraceConfig::small().with_packets(100).generate();
+    let mut group = c.benchmark_group("app_packets");
+    group.throughput(Throughput::Elements(trace.packets.len() as u64));
+    group.sample_size(10);
+    for kind in AppKind::all() {
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            let golden = ClumsyProcessor::golden(kind, &trace);
+            let proc = ClumsyProcessor::new(ClumsyConfig::paper_best());
+            b.iter(|| proc.run_with_golden(kind, &trace, &golden));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benchmarks for the memory-hierarchy simulator itself:
+//! how fast the substrate executes cache accesses under the different
+//! detection/recovery configurations.
+
+use cache_sim::{DetectionScheme, MemConfig, MemSystem, StrikePolicy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_hits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("l1_hit");
+    group.throughput(Throughput::Elements(1024));
+    for (label, detection) in [
+        ("no_detection", DetectionScheme::None),
+        ("parity", DetectionScheme::Parity),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            let cfg = MemConfig::strongarm().with_detection(detection);
+            let mut mem = MemSystem::new(cfg, 1);
+            for i in 0..1024u32 {
+                mem.write_u32((i % 512) * 4, i).unwrap();
+            }
+            b.iter(|| {
+                let mut acc = 0u32;
+                for i in 0..1024u32 {
+                    acc = acc.wrapping_add(mem.read_u32((i % 512) * 4).unwrap());
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_miss_path(c: &mut Criterion) {
+    c.bench_function("l1_miss_refill", |b| {
+        let mut mem = MemSystem::new(MemConfig::strongarm(), 1);
+        let mut addr = 0u32;
+        b.iter(|| {
+            // Stride by one L1 line across a span larger than the cache.
+            addr = (addr + 32) % (1 << 20);
+            mem.read_u32(addr).unwrap()
+        });
+    });
+}
+
+fn bench_overclocked_fault_path(c: &mut Criterion) {
+    c.bench_function("l1_hit_cr_0.25_two_strike", |b| {
+        let cfg = MemConfig::strongarm()
+            .with_detection(DetectionScheme::Parity)
+            .with_strikes(StrikePolicy::two_strike());
+        let mut mem = MemSystem::new(cfg, 1);
+        mem.set_cycle_free(0.25);
+        for i in 0..512u32 {
+            mem.write_u32(i * 4, i).unwrap();
+        }
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 512;
+            mem.read_u32(i * 4).unwrap()
+        });
+    });
+}
+
+criterion_group!(benches, bench_hits, bench_miss_path, bench_overclocked_fault_path);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benchmarks for the fault model: closed-form evaluation,
+//! per-access sampling, and the numerical noise integration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fault_model::{FaultProbabilityModel, FaultSampler, IntegratedFaultModel};
+use std::hint::black_box;
+
+fn bench_closed_form(c: &mut Criterion) {
+    let model = FaultProbabilityModel::calibrated();
+    c.bench_function("closed_form_eval", |b| {
+        let mut cr = 0.25;
+        b.iter(|| {
+            cr = if cr > 0.9 { 0.25 } else { cr + 0.01 };
+            black_box(model.per_bit_at_cycle(cr))
+        });
+    });
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    c.bench_function("sampler_per_access", |b| {
+        let mut s = FaultSampler::new(FaultProbabilityModel::calibrated(), 3);
+        s.set_cycle(0.25);
+        b.iter(|| black_box(s.sample(32)));
+    });
+}
+
+fn bench_integration(c: &mut Criterion) {
+    let model = IntegratedFaultModel::calibrated();
+    c.bench_function("noise_integration_per_swing", |b| {
+        let mut vsr = 0.4;
+        b.iter(|| {
+            vsr = if vsr > 0.99 { 0.4 } else { vsr + 0.001 };
+            black_box(model.per_bit_at_swing(vsr))
+        });
+    });
+}
+
+criterion_group!(benches, bench_closed_form, bench_sampling, bench_integration);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Ablation: the dynamic controller's epoch length and X1/X2
+//! thresholds. The paper (§4) reports that epochs of 100 packets with
+//! X1 = 200% and X2 = 80% perform best.
+
+use cache_sim::{DetectionScheme, StrikePolicy};
+use clumsy_bench::{f, print_table, write_csv};
+use clumsy_core::experiment::{run_config_on_trace, ExperimentOptions};
+use clumsy_core::{ClumsyConfig, DynamicConfig};
+use energy_model::EdfMetric;
+use netbench::AppKind;
+
+fn main() {
+    let opts = ExperimentOptions::from_env();
+    let trace = opts.trace.generate();
+    let metric = EdfMetric::paper();
+    let variants: Vec<(String, DynamicConfig)> = vec![
+        (
+            "paper (100 pkts, 200%/80%)".into(),
+            DynamicConfig::paper(),
+        ),
+        (
+            "short epochs (25 pkts)".into(),
+            DynamicConfig {
+                epoch_packets: 25,
+                ..DynamicConfig::paper()
+            },
+        ),
+        (
+            "long epochs (400 pkts)".into(),
+            DynamicConfig {
+                epoch_packets: 400,
+                ..DynamicConfig::paper()
+            },
+        ),
+        (
+            "tight thresholds (120%/90%)".into(),
+            DynamicConfig {
+                x1: 1.2,
+                x2: 0.9,
+                ..DynamicConfig::paper()
+            },
+        ),
+        (
+            "loose thresholds (400%/40%)".into(),
+            DynamicConfig {
+                x1: 4.0,
+                x2: 0.4,
+                ..DynamicConfig::paper()
+            },
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (label, dyn_cfg) in variants {
+        let mut rel = 0.0;
+        let mut switches = 0u64;
+        for kind in AppKind::all() {
+            let base = run_config_on_trace(kind, &ClumsyConfig::baseline(), &trace, &opts);
+            let cfg = ClumsyConfig::baseline()
+                .with_detection(DetectionScheme::Parity)
+                .with_strikes(StrikePolicy::two_strike())
+                .with_dynamic(dyn_cfg.clone());
+            let agg = run_config_on_trace(kind, &cfg, &trace, &opts);
+            rel += agg.edf(&metric) / base.edf(&metric);
+            switches += agg.runs.iter().map(|r| r.stats.freq_switches).sum::<u64>();
+        }
+        let n = AppKind::all().len() as f64;
+        rows.push(vec![
+            label,
+            f(rel / n),
+            (switches as f64 / (n * f64::from(opts.trials))).round().to_string(),
+        ]);
+    }
+    let header = ["variant", "avg_rel_edf2", "avg_switches_per_run"];
+    print_table("Ablation: dynamic-controller parameters", &header, &rows);
+    let path = write_csv("ablation_epoch.csv", &header, &rows);
+    println!("\nwrote {}", path.display());
+}

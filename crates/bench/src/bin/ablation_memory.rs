@@ -1,0 +1,76 @@
+//! Ablation: memory-system sensitivity of the headline result.
+//!
+//! Two sweeps:
+//!
+//! 1. **L2 latency** — our workloads are more L1-stall-bound than
+//!    NetBench on SimpleScalar, which is why the reproduced EDF²
+//!    reductions are larger than the paper's (−38 % vs −24 %). Raising
+//!    the L2 latency shifts more time into (unchanged) refill stalls and
+//!    pulls the reduction toward the paper's figure; lowering it does
+//!    the opposite.
+//! 2. **L1 geometry** — the paper fixed a 4 KB direct-mapped cache;
+//!    bigger or more associative arrays reduce miss rates, which *also*
+//!    shifts time into the over-clockable L1 accesses.
+
+use cache_sim::CacheGeometry;
+use clumsy_bench::{f, print_table, write_csv};
+use clumsy_core::experiment::{run_config_on_trace, ExperimentOptions};
+use clumsy_core::ClumsyConfig;
+use energy_model::EdfMetric;
+use netbench::AppKind;
+
+fn average_best(cfg_mod: impl Fn(&mut ClumsyConfig), opts: &ExperimentOptions) -> (f64, f64) {
+    let trace = opts.trace.generate();
+    let metric = EdfMetric::paper();
+    let mut rel = 0.0;
+    let mut miss = 0.0;
+    for kind in AppKind::all() {
+        let mut base_cfg = ClumsyConfig::baseline();
+        cfg_mod(&mut base_cfg);
+        let base = run_config_on_trace(kind, &base_cfg, &trace, opts);
+        let mut best_cfg = ClumsyConfig::paper_best();
+        cfg_mod(&mut best_cfg);
+        let best = run_config_on_trace(kind, &best_cfg, &trace, opts);
+        rel += best.edf(&metric) / base.edf(&metric);
+        miss += base.runs[0].stats.miss_rate();
+    }
+    let n = AppKind::all().len() as f64;
+    (rel / n, miss / n)
+}
+
+fn main() {
+    let opts = ExperimentOptions::from_env();
+
+    let mut rows = Vec::new();
+    for l2 in [8.0f64, 15.0, 30.0, 60.0] {
+        let (rel, miss) = average_best(|c| c.mem.l2_latency = l2, &opts);
+        rows.push(vec![
+            format!("L2 latency {l2:.0} cycles"),
+            f(miss * 100.0),
+            f(rel),
+        ]);
+    }
+    for (label, size, line, assoc) in [
+        ("L1 4 KB direct-mapped (paper)", 4096u32, 32u32, 1u32),
+        ("L1 8 KB direct-mapped", 8192, 32, 1),
+        ("L1 4 KB 2-way", 4096, 32, 2),
+        ("L1 16 KB 4-way", 16384, 32, 4),
+    ] {
+        let (rel, miss) = average_best(
+            |c| c.mem.l1 = CacheGeometry::new(size, line, assoc),
+            &opts,
+        );
+        rows.push(vec![label.to_string(), f(miss * 100.0), f(rel)]);
+    }
+
+    let header = ["variant", "avg_miss_rate_pct", "rel_edf2_best_config"];
+    print_table(
+        "Ablation: memory-system sensitivity of the Cr=0.5 optimum",
+        &header,
+        &rows,
+    );
+    println!("\npaper's reduction at the best config: 24% (rel 0.76); ours moves");
+    println!("toward it as refill stalls grow (higher L2 latency / miss rate).");
+    let path = write_csv("ablation_memory.csv", &header, &rows);
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,53 @@
+//! Ablation: strike count sensitivity (1 through 5 retained attempts).
+//! The paper evaluates one/two/three-strike; this sweep shows where the
+//! returns flatten.
+
+use cache_sim::{DetectionScheme, StrikePolicy};
+use clumsy_bench::{f, print_table, write_csv};
+use clumsy_core::experiment::{run_config_on_trace, ExperimentOptions};
+use clumsy_core::ClumsyConfig;
+use energy_model::EdfMetric;
+use netbench::AppKind;
+
+fn main() {
+    let opts = ExperimentOptions::from_env();
+    let trace = opts.trace.generate();
+    let metric = EdfMetric::paper();
+    let mut rows = Vec::new();
+    for strikes in 1..=5u8 {
+        let mut rel = 0.0;
+        let mut retries = 0u64;
+        let mut invalidations = 0u64;
+        for kind in AppKind::all() {
+            let base = run_config_on_trace(kind, &ClumsyConfig::baseline(), &trace, &opts);
+            let cfg = ClumsyConfig::baseline()
+                .with_detection(DetectionScheme::Parity)
+                .with_strikes(StrikePolicy::with_strikes(strikes))
+                .with_static_cycle(0.25); // stress recovery hard
+            let agg = run_config_on_trace(kind, &cfg, &trace, &opts);
+            rel += agg.edf(&metric) / base.edf(&metric);
+            retries += agg.runs.iter().map(|r| r.stats.strike_retries).sum::<u64>();
+            invalidations += agg
+                .runs
+                .iter()
+                .map(|r| r.stats.strike_invalidations)
+                .sum::<u64>();
+        }
+        let n = AppKind::all().len() as f64 * f64::from(opts.trials);
+        rows.push(vec![
+            strikes.to_string(),
+            f(rel / AppKind::all().len() as f64),
+            f(retries as f64 / n),
+            f(invalidations as f64 / n),
+        ]);
+    }
+    let header = [
+        "strikes",
+        "avg_rel_edf2_at_cr_0.25",
+        "retries_per_run",
+        "invalidations_per_run",
+    ];
+    print_table("Ablation: strike-count sensitivity", &header, &rows);
+    let path = write_csv("ablation_strike.csv", &header, &rows);
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,86 @@
+//! Extensions the paper deferred to footnotes, evaluated head-to-head:
+//!
+//! * **Sub-block recovery** (footnote 2) — strike exhaustion repairs
+//!   only the faulty word from L2 instead of invalidating the line.
+//! * **Watchdog recovery** (footnote 3) — a fatal (runaway-loop) packet
+//!   is dropped and the processor keeps running.
+
+use cache_sim::{DetectionScheme, RecoveryGranularity, StrikePolicy};
+use clumsy_bench::{f, print_table, write_csv};
+use clumsy_core::experiment::{run_config_on_trace, ExperimentOptions};
+use clumsy_core::ClumsyConfig;
+use energy_model::EdfMetric;
+use netbench::AppKind;
+
+fn main() {
+    let opts = ExperimentOptions::from_env();
+    let trace = opts.trace.generate();
+    let metric = EdfMetric::paper();
+
+    let variants: Vec<(&str, ClumsyConfig)> = vec![
+        (
+            "paper best (line recovery)",
+            ClumsyConfig::paper_best(),
+        ),
+        (
+            "word (sub-block) recovery",
+            ClumsyConfig::paper_best().with_recovery(RecoveryGranularity::Word),
+        ),
+        (
+            "word recovery @ Cr=0.25",
+            ClumsyConfig::baseline()
+                .with_detection(DetectionScheme::Parity)
+                .with_strikes(StrikePolicy::two_strike())
+                .with_recovery(RecoveryGranularity::Word)
+                .with_static_cycle(0.25),
+        ),
+        (
+            "no detection + watchdog @ 0.25",
+            ClumsyConfig::baseline()
+                .with_static_cycle(0.25)
+                .with_watchdog(),
+        ),
+        (
+            "no detection, no watchdog @ 0.25",
+            ClumsyConfig::baseline().with_static_cycle(0.25),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (label, cfg) in variants {
+        let mut rel = 0.0;
+        let mut fall = 0.0;
+        let mut dropped = 0usize;
+        let mut fatals = 0usize;
+        for kind in AppKind::all() {
+            let base = run_config_on_trace(kind, &ClumsyConfig::baseline(), &trace, &opts);
+            let agg = run_config_on_trace(kind, &cfg, &trace, &opts);
+            rel += agg.edf(&metric) / base.edf(&metric);
+            fall += agg.fallibility();
+            dropped += agg.runs.iter().map(|r| r.dropped_packets).sum::<usize>();
+            fatals += agg.runs.iter().filter(|r| r.fatal.is_some()).count();
+        }
+        let n = AppKind::all().len() as f64;
+        rows.push(vec![
+            label.to_string(),
+            f(rel / n),
+            f(fall / n),
+            dropped.to_string(),
+            fatals.to_string(),
+        ]);
+    }
+    let header = [
+        "variant",
+        "avg_rel_edf2",
+        "avg_fallibility",
+        "dropped_packets",
+        "fatal_runs",
+    ];
+    print_table(
+        "Extensions: sub-block recovery (fn.2) and watchdog (fn.3)",
+        &header,
+        &rows,
+    );
+    let path = write_csv("extension_recovery.csv", &header, &rows);
+    println!("\nwrote {}", path.display());
+}

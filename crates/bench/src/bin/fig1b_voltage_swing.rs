@@ -1,0 +1,19 @@
+//! Regenerates Figure 1(b): relative voltage swing vs relative cycle
+//! time.
+
+use clumsy_bench::{f, print_table, write_csv};
+use fault_model::VoltageSwingCurve;
+
+fn main() {
+    let curve = VoltageSwingCurve::paper();
+    let rows: Vec<Vec<String>> = curve
+        .series(20)
+        .into_iter()
+        .map(|(cr, vsr)| vec![f(cr), f(vsr)])
+        .collect();
+    let header = ["relative_cycle_time", "relative_voltage_swing"];
+    print_table("Figure 1(b): voltage swing vs cycle time", &header, &rows);
+    let path = write_csv("fig1b_voltage_swing.csv", &header, &rows);
+    println!("\nmodel: {curve}");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,34 @@
+//! Regenerates Figure 2(b): SRAM noise-immunity curves (critical noise
+//! amplitude vs pulse duration) at several voltage swings.
+
+use clumsy_bench::{f, print_table, write_csv};
+use fault_model::IntegratedFaultModel;
+
+fn main() {
+    let model = IntegratedFaultModel::calibrated();
+    let family = model.immunity();
+    // The paper plots the full swing plus the swings its Figure 1(b)
+    // annotates (0.8, 0.6, 0.5, 0.39 of full swing).
+    let swings = [1.0, 0.8, 0.6, 0.5, 0.39];
+    let mut rows = Vec::new();
+    for vsr in swings {
+        let curve = family.curve_at_swing(vsr);
+        for (dr, ar) in curve.series(0.1, 20) {
+            rows.push(vec![f(vsr), f(dr), f(ar)]);
+        }
+    }
+    let header = [
+        "relative_voltage_swing",
+        "relative_noise_duration",
+        "critical_noise_amplitude",
+    ];
+    print_table(
+        "Figure 2(b): noise-immunity curves per voltage swing",
+        &header,
+        &rows[..10],
+    );
+    println!("  ... ({} rows total)", rows.len());
+    let path = write_csv("fig2b_noise_immunity.csv", &header, &rows);
+    println!("family: {family}");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,26 @@
+//! Regenerates Figure 4: per-bit fault probability vs relative voltage
+//! swing, from the noise-integration model.
+
+use clumsy_bench::{f, print_table, write_csv};
+use fault_model::IntegratedFaultModel;
+
+fn main() {
+    let model = IntegratedFaultModel::calibrated();
+    let rows: Vec<Vec<String>> = model
+        .swing_series(15)
+        .into_iter()
+        .map(|(vsr, p)| vec![f(vsr), f(p)])
+        .collect();
+    let header = ["relative_voltage_swing", "fault_probability"];
+    print_table(
+        "Figure 4: probability of a fault at various voltage levels",
+        &header,
+        &rows,
+    );
+    println!(
+        "\nanchor: P_E(Vsr = 1) = {:.3e} (Shivakumar et al.)",
+        model.per_bit_at_swing(1.0)
+    );
+    let path = write_csv("fig4_fault_vs_swing.csv", &header, &rows);
+    println!("wrote {}", path.display());
+}

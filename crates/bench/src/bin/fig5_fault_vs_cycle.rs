@@ -1,0 +1,41 @@
+//! Regenerates Figure 5: per-bit fault probability vs relative cycle
+//! time — the integration "data" next to the fitted closed form
+//! (equation (4) with the calibrated exponent).
+
+use clumsy_bench::{f, print_table, write_csv};
+use fault_model::{FaultProbabilityModel, IntegratedFaultModel};
+
+fn main() {
+    let data = IntegratedFaultModel::calibrated();
+    let fitted = data.fit();
+    let simulated = FaultProbabilityModel::calibrated();
+    let mut rows = Vec::new();
+    for i in 0..16 {
+        let cr = 0.25 + 0.75 * f64::from(i) / 15.0;
+        rows.push(vec![
+            f(cr),
+            f(data.per_bit_at_cycle(cr)),
+            f(fitted.per_bit_at_cycle(cr)),
+            f(simulated.per_bit_at_cycle(cr)),
+        ]);
+    }
+    let header = [
+        "relative_cycle_time",
+        "integrated_data",
+        "curve_fit",
+        "simulation_model",
+    ];
+    print_table(
+        "Figure 5: probability of a fault at different cycle times",
+        &header,
+        &rows,
+    );
+    println!("\nfit of the integration data: {fitted}");
+    println!("model used in simulations:   {simulated}");
+    println!(
+        "paper's printed eq. (4):     {} (saturates at Fr = 2; see DESIGN.md)",
+        FaultProbabilityModel::paper_printed()
+    );
+    let path = write_csv("fig5_fault_vs_cycle.csv", &header, &rows);
+    println!("wrote {}", path.display());
+}

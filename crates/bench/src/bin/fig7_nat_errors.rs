@@ -1,0 +1,9 @@
+//! Regenerates Figure 7: error probabilities of the nat application
+//! per marked structure, with faults in the control plane (a), the data
+//! plane (b), or both (c), across the four static clocks.
+
+use netbench::AppKind;
+
+fn main() {
+    clumsy_bench::run_plane_error_figure(AppKind::Nat, "fig7_nat_errors.csv");
+}

@@ -1,0 +1,70 @@
+//! §4.1 extension study: the generalized `energy^k·delay^m·fallibility^n`
+//! metric. The paper fixes (k, m, n) = (1, 2, 2) because "delay and
+//! fallibility are more important than energy" for packet processors;
+//! this sweep shows how the winning design point moves as the exponents
+//! change (e.g. an energy-dominated wireless deployment).
+
+use cache_sim::{DetectionScheme, StrikePolicy};
+use clumsy_bench::{f, print_table, write_csv};
+use clumsy_core::experiment::{run_config_on_trace, Aggregate, ExperimentOptions};
+use clumsy_core::{ClumsyConfig, PAPER_CYCLE_TIMES};
+use energy_model::EdfMetric;
+use netbench::AppKind;
+
+fn main() {
+    let opts = ExperimentOptions::from_env();
+    let trace = opts.trace.generate();
+    let metrics = [
+        ("paper (1,2,2)", EdfMetric::paper()),
+        ("balanced (1,1,1)", EdfMetric::new(1.0, 1.0, 1.0)),
+        ("energy-first (2,1,1)", EdfMetric::new(2.0, 1.0, 1.0)),
+        ("reliability-first (1,1,4)", EdfMetric::new(1.0, 1.0, 4.0)),
+        ("plain energy-delay (1,1,0)", EdfMetric::energy_delay()),
+    ];
+
+    // Evaluate the protected design points once per app.
+    let mut grid: Vec<(String, Vec<(Aggregate, Aggregate)>)> = Vec::new();
+    for cr in PAPER_CYCLE_TIMES {
+        let cfg = ClumsyConfig::baseline()
+            .with_detection(DetectionScheme::Parity)
+            .with_strikes(StrikePolicy::two_strike())
+            .with_static_cycle(cr);
+        let runs: Vec<(Aggregate, Aggregate)> = AppKind::all()
+            .into_iter()
+            .map(|kind| {
+                (
+                    run_config_on_trace(kind, &ClumsyConfig::baseline(), &trace, &opts),
+                    run_config_on_trace(kind, &cfg, &trace, &opts),
+                )
+            })
+            .collect();
+        grid.push((format!("{cr:.2}"), runs));
+    }
+
+    let mut rows = Vec::new();
+    for (label, metric) in metrics {
+        let mut best = (f64::INFINITY, String::new());
+        let mut cells = vec![label.to_string()];
+        for (freq, runs) in &grid {
+            let rel: f64 = runs
+                .iter()
+                .map(|(base, cfg)| cfg.edf(&metric) / base.edf(&metric))
+                .sum::<f64>()
+                / runs.len() as f64;
+            if rel < best.0 {
+                best = (rel, freq.clone());
+            }
+            cells.push(f(rel));
+        }
+        cells.push(best.1);
+        rows.push(cells);
+    }
+    let header = ["metric", "cr_1.00", "cr_0.75", "cr_0.50", "cr_0.25", "winner"];
+    print_table(
+        "S4.1 extension: winner vs metric exponents (parity, two-strike)",
+        &header,
+        &rows,
+    );
+    let path = write_csv("metric_exponents.csv", &header, &rows);
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,49 @@
+//! Runs every reproduction binary's driver in sequence, writing all
+//! CSVs under `results/`. Scale with `CLUMSY_PACKETS` / `CLUMSY_TRIALS`.
+
+use std::process::Command;
+
+const BINARIES: &[&str] = &[
+    "fig1b_voltage_swing",
+    "fig2b_noise_immunity",
+    "fig3_noise_distribution",
+    "fig4_fault_vs_swing",
+    "fig5_fault_vs_cycle",
+    "table1",
+    "fig6_route_errors",
+    "fig7_nat_errors",
+    "fig8_fatal_errors",
+    "fig9_12_edf",
+    "edx_no_fallibility",
+    "cache_energy_sweep",
+    "ablation_beta",
+    "ablation_epoch",
+    "ablation_strike",
+    "ablation_quantize",
+    "ablation_parity",
+    "ablation_memory",
+    "extension_recovery",
+    "metric_exponents",
+    "sensitivity_traffic",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path is known");
+    let dir = exe.parent().expect("binaries live in a directory");
+    let mut failed = Vec::new();
+    for bin in BINARIES {
+        println!("\n########## {bin} ##########");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+        if !status.success() {
+            failed.push(*bin);
+        }
+    }
+    if failed.is_empty() {
+        println!("\nall {} reproduction drivers completed", BINARIES.len());
+    } else {
+        eprintln!("\nFAILED: {failed:?}");
+        std::process::exit(1);
+    }
+}

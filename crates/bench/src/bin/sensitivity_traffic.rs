@@ -1,0 +1,67 @@
+//! Sensitivity study: does the headline result survive different
+//! traffic-locality regimes? The paper evaluates one trace per
+//! application; this sweep re-runs the best-configuration comparison
+//! under skewed (edge-router), uniform (core-router) and single-flow
+//! (best-locality) traffic.
+
+use clumsy_bench::{f, print_table, write_csv};
+use clumsy_core::experiment::{run_config_on_trace, ExperimentOptions};
+use clumsy_core::ClumsyConfig;
+use energy_model::EdfMetric;
+use netbench::{AppKind, TrafficPattern};
+
+fn main() {
+    let base_opts = ExperimentOptions::from_env();
+    let metric = EdfMetric::paper();
+    let patterns = [
+        ("skewed", TrafficPattern::Skewed),
+        ("uniform", TrafficPattern::Uniform),
+        ("single-flow", TrafficPattern::SingleFlow),
+    ];
+    let mut rows = Vec::new();
+    for (label, pattern) in patterns {
+        let opts = ExperimentOptions {
+            trace: base_opts.trace.clone().with_pattern(pattern),
+            ..base_opts.clone()
+        };
+        let trace = opts.trace.generate();
+        let mut rel_best = 0.0;
+        let mut rel_quarter = 0.0;
+        let mut miss = 0.0;
+        for kind in AppKind::all() {
+            let baseline = run_config_on_trace(kind, &ClumsyConfig::baseline(), &trace, &opts);
+            let b = baseline.edf(&metric);
+            let best = run_config_on_trace(kind, &ClumsyConfig::paper_best(), &trace, &opts);
+            let quarter = run_config_on_trace(
+                kind,
+                &ClumsyConfig::paper_best().with_static_cycle(0.25),
+                &trace,
+                &opts,
+            );
+            rel_best += best.edf(&metric) / b;
+            rel_quarter += quarter.edf(&metric) / b;
+            miss += baseline.runs[0].stats.miss_rate();
+        }
+        let n = AppKind::all().len() as f64;
+        rows.push(vec![
+            label.to_string(),
+            f(miss / n * 100.0),
+            f(rel_best / n),
+            f(rel_quarter / n),
+        ]);
+    }
+    let header = [
+        "traffic",
+        "avg_miss_rate_pct",
+        "rel_edf2_best_cr_0.5",
+        "rel_edf2_cr_0.25",
+    ];
+    print_table(
+        "Sensitivity: headline result vs traffic locality",
+        &header,
+        &rows,
+    );
+    println!("\nthe Cr=0.5 optimum should win (or tie) in every regime");
+    let path = write_csv("sensitivity_traffic.csv", &header, &rows);
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,37 @@
+//! Regenerates Table I: workload characteristics and fallibility
+//! factors at `Cr` = 0.5 and 0.25.
+
+use clumsy_bench::{f, print_table, write_csv};
+use clumsy_core::experiment::{table1, ExperimentOptions};
+
+fn main() {
+    let opts = ExperimentOptions::from_env();
+    let rows: Vec<Vec<String>> = table1(&opts)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.app.to_string(),
+                r.instructions.to_string(),
+                r.cache_accesses.to_string(),
+                format!("{:.2}", r.miss_rate * 100.0),
+                f(r.fallibility_half),
+                f(r.fallibility_quarter),
+            ]
+        })
+        .collect();
+    let header = [
+        "app",
+        "instructions",
+        "cache_accesses",
+        "miss_rate_pct",
+        "fallibility_cr_0.5",
+        "fallibility_cr_0.25",
+    ];
+    print_table(
+        "Table I: networking applications and their properties",
+        &header,
+        &rows,
+    );
+    let path = write_csv("table1.csv", &header, &rows);
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,179 @@
+//! Shared helpers for the reproduction harness: table printing and CSV
+//! output for every regenerated figure/table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Directory the harness writes CSVs into (`results/` at the workspace
+/// root, overridable with `CLUMSY_RESULTS`).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("CLUMSY_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            // Walk up from the executable's cwd to find the workspace root.
+            let mut p = std::env::current_dir().expect("cwd is accessible");
+            while !p.join("Cargo.toml").exists() && p.pop() {}
+            p.join("results")
+        });
+    fs::create_dir_all(&dir).expect("results directory is creatable");
+    dir
+}
+
+/// Writes a CSV file into [`results_dir`], returning its path.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written or a row width mismatches the
+/// header.
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> PathBuf {
+    let path = results_dir().join(name);
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "row width mismatch in {name}");
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    fs::write(&path, out).expect("results CSV is writable");
+    path
+}
+
+/// Pretty-prints a table to stdout.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Renders a horizontal ASCII bar chart (one bar per labelled value),
+/// scaled to `width` characters at `max` (values beyond `max` are
+/// clipped and marked, like the paper's out-of-range bars).
+pub fn print_bars(title: &str, bars: &[(String, f64)], max: f64, width: usize) {
+    assert!(max > 0.0, "bar scale must be positive");
+    assert!(width > 0, "bar width must be positive");
+    println!("\n-- {title} (scale: {max:.2} = {width} chars) --");
+    let label_w = bars.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    for (label, value) in bars {
+        let clipped = value.min(max);
+        let n = ((clipped / max) * width as f64).round() as usize;
+        let marker = if *value > max { ">" } else { "" };
+        println!(
+            "{label:>label_w$} |{bar:<width$}| {value:.3}{marker}",
+            bar = "#".repeat(n)
+        );
+    }
+}
+
+/// Shared driver for Figures 6 (route) and 7 (nat): per-structure error
+/// probabilities by fault plane and clock.
+pub fn run_plane_error_figure(kind: netbench::AppKind, csv: &str) {
+    use clumsy_core::experiment::{plane_error_study, ExperimentOptions};
+
+    let opts = ExperimentOptions::from_env();
+    let cells = plane_error_study(kind, &opts);
+    let mut rows = Vec::new();
+    for cell in &cells {
+        for (cat, p) in &cell.categories {
+            rows.push(vec![
+                cell.plane.to_string(),
+                f(cell.cr),
+                cat.label().to_string(),
+                f(*p),
+            ]);
+        }
+        rows.push(vec![
+            cell.plane.to_string(),
+            f(cell.cr),
+            "fatal".to_string(),
+            f(cell.fatal),
+        ]);
+    }
+    let header = [
+        "faults_in_plane",
+        "relative_cycle_time",
+        "category",
+        "error_probability",
+    ];
+    print_table(
+        &format!("Error probability of the {kind} application (Figures 6/7)"),
+        &header,
+        &rows,
+    );
+    let path = write_csv(csv, &header, &rows);
+    println!("\nwrote {}", path.display());
+}
+
+/// Formats a float with sensible precision for tables.
+pub fn f(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() < 0.001 || v.abs() >= 100_000.0 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(1.5), "1.5000");
+        assert_eq!(f(2.59e-7), "2.590e-7");
+    }
+
+    #[test]
+    fn bars_do_not_panic_and_clip() {
+        print_bars(
+            "unit",
+            &[("a".into(), 0.5), ("b".into(), 3.0)],
+            2.0,
+            20,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn bars_reject_zero_scale() {
+        print_bars("bad", &[], 0.0, 10);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        std::env::set_var("CLUMSY_RESULTS", std::env::temp_dir().join("clumsy-test-results"));
+        let p = write_csv(
+            "unit_test.csv",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()]],
+        );
+        let text = std::fs::read_to_string(p).unwrap();
+        assert_eq!(text, "a,b\n1,2\n");
+        std::env::remove_var("CLUMSY_RESULTS");
+    }
+}

@@ -1,0 +1,654 @@
+//! Cache arrays: geometry, the data-holding L1, and the tag-only L2.
+
+use std::fmt;
+
+/// Size/shape of a cache: total bytes, line bytes, associativity.
+///
+/// # Examples
+///
+/// ```
+/// use cache_sim::CacheGeometry;
+///
+/// // The paper's level-1 data cache: 4 KB direct-mapped, 32-byte lines.
+/// let l1 = CacheGeometry::new(4 * 1024, 32, 1);
+/// assert_eq!(l1.sets(), 128);
+/// // The level-2: 128 KB 4-way, 128-byte lines.
+/// let l2 = CacheGeometry::new(128 * 1024, 128, 4);
+/// assert_eq!(l2.sets(), 256);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheGeometry {
+    size: u32,
+    line: u32,
+    assoc: u32,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `size`, `line` and the implied set count are powers
+    /// of two, `line ≥ 4`, and `assoc ≥ 1` divides the line count.
+    pub fn new(size: u32, line: u32, assoc: u32) -> Self {
+        assert!(size.is_power_of_two(), "cache size must be a power of two");
+        assert!(
+            line.is_power_of_two() && line >= 4,
+            "line size must be a power of two >= 4"
+        );
+        assert!(assoc >= 1, "associativity must be at least 1");
+        let lines = size / line;
+        assert!(lines >= assoc, "cache must hold at least one set");
+        assert!(
+            lines.is_multiple_of(assoc) && (lines / assoc).is_power_of_two(),
+            "set count must be a power of two"
+        );
+        CacheGeometry { size, line, assoc }
+    }
+
+    /// Total capacity in bytes.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Line size in bytes.
+    pub fn line_size(&self) -> u32 {
+        self.line
+    }
+
+    /// Associativity (ways per set).
+    pub fn assoc(&self) -> u32 {
+        self.assoc
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u32 {
+        self.size / self.line / self.assoc
+    }
+
+    /// Set index of `addr`.
+    pub fn set_of(&self, addr: u32) -> u32 {
+        (addr / self.line) & (self.sets() - 1)
+    }
+
+    /// Tag of `addr`.
+    pub fn tag_of(&self, addr: u32) -> u32 {
+        addr / self.line / self.sets()
+    }
+
+    /// First address of the line containing `addr`.
+    pub fn line_base(&self, addr: u32) -> u32 {
+        addr & !(self.line - 1)
+    }
+
+    /// Offset of `addr` within its line.
+    pub fn offset_of(&self, addr: u32) -> u32 {
+        addr & (self.line - 1)
+    }
+}
+
+impl fmt::Display for CacheGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} KB, {}-way, {}-byte lines",
+            self.size / 1024,
+            self.assoc,
+            self.line
+        )
+    }
+}
+
+/// One line of the data-holding L1 cache.
+#[derive(Debug, Clone)]
+struct DataLine {
+    tag: u32,
+    valid: bool,
+    dirty: bool,
+    data: Box<[u8]>,
+    /// Per-word parity signature computed from the *intended* data (so
+    /// a corrupted store is detectable later): bit `i` is the even
+    /// parity of byte `i`. Word parity is the XOR of the four bits, so
+    /// both detection granularities share this storage.
+    parity: Box<[u8]>,
+}
+
+impl DataLine {
+    fn new(line_size: u32) -> Self {
+        DataLine {
+            tag: 0,
+            valid: false,
+            dirty: false,
+            data: vec![0; line_size as usize].into_boxed_slice(),
+            parity: vec![0; (line_size / 4) as usize].into_boxed_slice(),
+        }
+    }
+}
+
+/// Outcome of an L1 lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Lookup {
+    /// The line is resident in the given way.
+    Hit(usize),
+    /// The line is absent; the given way is the victim for a refill.
+    Miss(usize),
+}
+
+/// The level-1 data cache: tags, data and per-word parity.
+///
+/// This is a plain storage array — fault injection, detection and
+/// recovery live in [`MemSystem`](crate::MemSystem), which drives it.
+#[derive(Debug, Clone)]
+pub struct DataCache {
+    geom: CacheGeometry,
+    lines: Vec<DataLine>,
+    /// Per-set LRU order: `lru[set]` lists way indices, most recent last.
+    lru: Vec<Vec<u8>>,
+}
+
+impl DataCache {
+    /// Creates an empty (all-invalid) cache.
+    pub fn new(geom: CacheGeometry) -> Self {
+        let sets = geom.sets() as usize;
+        let assoc = geom.assoc() as usize;
+        DataCache {
+            geom,
+            lines: (0..sets * assoc).map(|_| DataLine::new(geom.line_size())).collect(),
+            lru: (0..sets)
+                .map(|_| (0..assoc as u8).collect())
+                .collect(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    fn line_index(&self, set: u32, way: usize) -> usize {
+        set as usize * self.geom.assoc() as usize + way
+    }
+
+    fn touch(&mut self, set: u32, way: usize) {
+        let order = &mut self.lru[set as usize];
+        if let Some(pos) = order.iter().position(|&w| w as usize == way) {
+            let w = order.remove(pos);
+            order.push(w);
+        }
+    }
+
+    /// Looks up `addr`, returning a hit way or the LRU victim way.
+    pub(crate) fn lookup(&self, addr: u32) -> Lookup {
+        let set = self.geom.set_of(addr);
+        let tag = self.geom.tag_of(addr);
+        for way in 0..self.geom.assoc() as usize {
+            let line = &self.lines[self.line_index(set, way)];
+            if line.valid && line.tag == tag {
+                return Lookup::Hit(way);
+            }
+        }
+        // Prefer an invalid way, else the LRU way.
+        for way in 0..self.geom.assoc() as usize {
+            if !self.lines[self.line_index(set, way)].valid {
+                return Lookup::Miss(way);
+            }
+        }
+        Lookup::Miss(self.lru[set as usize][0] as usize)
+    }
+
+    /// Whether `addr`'s line is resident.
+    pub fn contains(&self, addr: u32) -> bool {
+        matches!(self.lookup(addr), Lookup::Hit(_))
+    }
+
+    /// Installs a line fetched from the next level, evicting the victim.
+    ///
+    /// Returns the evicted line's `(base_addr, data)` if it was dirty.
+    pub(crate) fn fill(&mut self, addr: u32, way: usize, data: &[u8]) -> Option<(u32, Vec<u8>)> {
+        assert_eq!(data.len() as u32, self.geom.line_size());
+        let set = self.geom.set_of(addr);
+        let idx = self.line_index(set, way);
+        let evicted = {
+            let line = &self.lines[idx];
+            if line.valid && line.dirty {
+                let base = (line.tag * self.geom.sets() + set) * self.geom.line_size();
+                Some((base, line.data.to_vec()))
+            } else {
+                None
+            }
+        };
+        let line = &mut self.lines[idx];
+        line.tag = self.geom.tag_of(addr);
+        line.valid = true;
+        line.dirty = false;
+        line.data.copy_from_slice(data);
+        for w in 0..line.parity.len() {
+            let b = &line.data[w * 4..w * 4 + 4];
+            line.parity[w] = parity_signature(u32::from_le_bytes([b[0], b[1], b[2], b[3]]));
+        }
+        self.touch(set, way);
+        evicted
+    }
+
+    /// Reads the stored (possibly corrupted) word containing `addr`,
+    /// with its stored parity signature. `addr` must be word-aligned and
+    /// resident in `way`.
+    pub(crate) fn read_word(&mut self, addr: u32, way: usize) -> (u32, u8) {
+        let set = self.geom.set_of(addr);
+        self.touch(set, way);
+        let idx = self.line_index(set, way);
+        let line = &self.lines[idx];
+        debug_assert!(line.valid && line.tag == self.geom.tag_of(addr));
+        let off = self.geom.offset_of(addr) as usize;
+        let b = &line.data[off..off + 4];
+        (
+            u32::from_le_bytes([b[0], b[1], b[2], b[3]]),
+            line.parity[off / 4],
+        )
+    }
+
+    /// Stores `stored` into the word containing `addr` while recording
+    /// the parity of `intended` (they differ when a write fault corrupts
+    /// the store), marking the line dirty.
+    pub(crate) fn write_word(&mut self, addr: u32, way: usize, stored: u32, intended: u32) {
+        let set = self.geom.set_of(addr);
+        self.touch(set, way);
+        let idx = self.line_index(set, way);
+        let line = &mut self.lines[idx];
+        debug_assert!(line.valid && line.tag == self.geom.tag_of(addr));
+        let off = self.geom.offset_of(addr) as usize;
+        line.data[off..off + 4].copy_from_slice(&stored.to_le_bytes());
+        line.parity[off / 4] = parity_signature(intended);
+        line.dirty = true;
+    }
+
+    /// Invalidates the line containing `addr` *without* writing it back
+    /// (the strike policies assume an invalidated line is corrupt).
+    ///
+    /// Returns whether a valid line was dropped.
+    pub fn invalidate(&mut self, addr: u32) -> bool {
+        let set = self.geom.set_of(addr);
+        let tag = self.geom.tag_of(addr);
+        for way in 0..self.geom.assoc() as usize {
+            let idx = self.line_index(set, way);
+            let line = &mut self.lines[idx];
+            if line.valid && line.tag == tag {
+                line.valid = false;
+                line.dirty = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Invalidates like [`DataCache::invalidate`] but reports whether
+    /// the dropped line was *dirty* (a potential lost update).
+    pub(crate) fn invalidate_dirty(&mut self, addr: u32) -> bool {
+        let set = self.geom.set_of(addr);
+        let tag = self.geom.tag_of(addr);
+        for way in 0..self.geom.assoc() as usize {
+            let idx = self.line_index(set, way);
+            let line = &mut self.lines[idx];
+            if line.valid && line.tag == tag {
+                let was_dirty = line.dirty;
+                line.valid = false;
+                line.dirty = false;
+                return was_dirty;
+            }
+        }
+        false
+    }
+
+    /// Host write: if the word is resident, overwrite data and parity
+    /// (intended == stored) without touching LRU or dirty state.
+    /// Returns whether the word was resident.
+    pub(crate) fn poke_word(&mut self, addr: u32, value: u32) -> bool {
+        match self.lookup(addr) {
+            Lookup::Hit(way) => {
+                let set = self.geom.set_of(addr);
+                let idx = self.line_index(set, way);
+                let line = &mut self.lines[idx];
+                let off = self.geom.offset_of(addr) as usize;
+                line.data[off..off + 4].copy_from_slice(&value.to_le_bytes());
+                line.parity[off / 4] = parity_signature(value);
+                true
+            }
+            Lookup::Miss(_) => false,
+        }
+    }
+
+    /// Reads a resident word *without* updating LRU or requiring a way —
+    /// for host (debug) access. Returns `None` if not resident.
+    pub(crate) fn peek_word(&self, addr: u32) -> Option<u32> {
+        match self.lookup(addr) {
+            Lookup::Hit(way) => {
+                let set = self.geom.set_of(addr);
+                let idx = set as usize * self.geom.assoc() as usize + way;
+                let line = &self.lines[idx];
+                let off = self.geom.offset_of(addr) as usize;
+                let b = &line.data[off..off + 4];
+                Some(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            }
+            Lookup::Miss(_) => None,
+        }
+    }
+
+    /// Drops every line (used between runs).
+    pub fn flush(&mut self) {
+        for line in &mut self.lines {
+            line.valid = false;
+            line.dirty = false;
+        }
+    }
+
+    /// Cleans every dirty line, returning `(base_addr, data)` pairs to
+    /// write back. Lines stay valid.
+    pub(crate) fn drain_dirty(&mut self) -> Vec<(u32, Vec<u8>)> {
+        let mut out = Vec::new();
+        let sets = self.geom.sets();
+        for set in 0..sets {
+            for way in 0..self.geom.assoc() as usize {
+                let idx = self.line_index(set, way);
+                let line = &mut self.lines[idx];
+                if line.valid && line.dirty {
+                    let base = (line.tag * sets + set) * self.geom.line_size();
+                    out.push((base, line.data.to_vec()));
+                    line.dirty = false;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Even parity of a 32-bit word: `true` if the popcount is odd.
+/// (The specification function for [`parity_signature`]; production
+/// code derives word parity from the signature.)
+#[cfg(test)]
+pub(crate) fn word_parity(word: u32) -> bool {
+    word.count_ones() % 2 == 1
+}
+
+/// Per-byte parity signature of a word: bit `i` is the even parity of
+/// byte `i`. The word parity is the XOR of the four bits.
+pub(crate) fn parity_signature(word: u32) -> u8 {
+    let mut sig = 0u8;
+    for i in 0..4 {
+        let byte = (word >> (8 * i)) as u8;
+        sig |= u8::from(byte.count_ones() % 2 == 1) << i;
+    }
+    sig
+}
+
+/// Word parity derived from a per-byte signature.
+pub(crate) fn word_parity_of_signature(sig: u8) -> bool {
+    (sig & 0xF).count_ones() % 2 == 1
+}
+
+/// A tag-only set-associative cache used for level-2 timing.
+///
+/// The paper assumes L2 data is correct, so its contents live in the
+/// [`BackingStore`](crate::BackingStore); this array only answers
+/// hit/miss for latency and energy accounting.
+#[derive(Debug, Clone)]
+pub struct TagCache {
+    geom: CacheGeometry,
+    tags: Vec<(u32, bool)>,
+    lru: Vec<Vec<u8>>,
+}
+
+impl TagCache {
+    /// Creates an empty tag array.
+    pub fn new(geom: CacheGeometry) -> Self {
+        let sets = geom.sets() as usize;
+        let assoc = geom.assoc() as usize;
+        TagCache {
+            geom,
+            tags: vec![(0, false); sets * assoc],
+            lru: (0..sets).map(|_| (0..assoc as u8).collect()).collect(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    /// Accesses `addr`: returns `true` on hit; on miss, allocates the
+    /// line (evicting LRU).
+    pub fn access(&mut self, addr: u32) -> bool {
+        let set = self.geom.set_of(addr) as usize;
+        let tag = self.geom.tag_of(addr);
+        let assoc = self.geom.assoc() as usize;
+        for way in 0..assoc {
+            let (t, valid) = self.tags[set * assoc + way];
+            if valid && t == tag {
+                let order = &mut self.lru[set];
+                let pos = order.iter().position(|&w| w as usize == way).unwrap();
+                let w = order.remove(pos);
+                order.push(w);
+                return true;
+            }
+        }
+        // Miss: fill the LRU (or first invalid) way.
+        let victim = (0..assoc)
+            .find(|&w| !self.tags[set * assoc + w].1)
+            .unwrap_or(self.lru[set][0] as usize);
+        self.tags[set * assoc + victim] = (tag, true);
+        let order = &mut self.lru[set];
+        let pos = order.iter().position(|&w| w as usize == victim).unwrap();
+        let w = order.remove(pos);
+        order.push(w);
+        false
+    }
+
+    /// Drops every line.
+    pub fn flush(&mut self) {
+        for t in &mut self.tags {
+            t.1 = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l1() -> CacheGeometry {
+        CacheGeometry::new(4 * 1024, 32, 1)
+    }
+
+    #[test]
+    fn geometry_of_paper_caches() {
+        let g = l1();
+        assert_eq!(g.sets(), 128);
+        assert_eq!(g.line_size(), 32);
+        let l2 = CacheGeometry::new(128 * 1024, 128, 4);
+        assert_eq!(l2.sets(), 256);
+    }
+
+    #[test]
+    fn geometry_index_math() {
+        let g = l1();
+        let addr = 0x0001_2345;
+        assert_eq!(g.line_base(addr), addr & !31);
+        assert_eq!(g.offset_of(addr), addr & 31);
+        assert_eq!(g.set_of(addr), (addr / 32) % 128);
+        assert_eq!(g.tag_of(addr), addr / 32 / 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn geometry_rejects_non_power_of_two() {
+        CacheGeometry::new(3000, 32, 1);
+    }
+
+    #[test]
+    fn fill_then_hit() {
+        let mut c = DataCache::new(l1());
+        assert!(matches!(c.lookup(0x100), Lookup::Miss(_)));
+        c.fill(0x100, 0, &[0xAB; 32]);
+        assert!(matches!(c.lookup(0x100), Lookup::Hit(0)));
+        assert!(c.contains(0x11F)); // same line
+        assert!(!c.contains(0x120)); // next line
+    }
+
+    #[test]
+    fn word_read_back_and_parity() {
+        let mut c = DataCache::new(l1());
+        c.fill(0x100, 0, &[0; 32]);
+        c.write_word(0x104, 0, 0x7, 0x7);
+        let (v, sig) = c.read_word(0x104, 0);
+        assert_eq!(v, 0x7);
+        assert_eq!(sig, parity_signature(0x7));
+        assert!(word_parity_of_signature(sig)); // 3 ones = odd
+    }
+
+    #[test]
+    fn corrupted_store_mismatches_parity() {
+        let mut c = DataCache::new(l1());
+        c.fill(0x100, 0, &[0; 32]);
+        // Intended 0x7 but a single-bit fault stored 0x5.
+        c.write_word(0x104, 0, 0x5, 0x7);
+        let (v, stored_sig) = c.read_word(0x104, 0);
+        assert_eq!(v, 0x5);
+        assert_ne!(
+            word_parity(v),
+            word_parity_of_signature(stored_sig),
+            "parity must flag this"
+        );
+    }
+
+    #[test]
+    fn direct_mapped_conflict_evicts() {
+        let mut c = DataCache::new(l1());
+        // Two addresses 4 KB apart map to the same set in a 4 KB DM cache.
+        c.fill(0x100, 0, &[1; 32]);
+        let Lookup::Miss(way) = c.lookup(0x100 + 4096) else {
+            panic!("expected conflict miss");
+        };
+        c.fill(0x100 + 4096, way, &[2; 32]);
+        assert!(!c.contains(0x100));
+        assert!(c.contains(0x100 + 4096));
+    }
+
+    #[test]
+    fn dirty_eviction_returns_data() {
+        let mut c = DataCache::new(l1());
+        c.fill(0x100, 0, &[0; 32]);
+        c.write_word(0x100, 0, 42, 42);
+        let Lookup::Miss(way) = c.lookup(0x100 + 4096) else {
+            panic!()
+        };
+        let evicted = c.fill(0x100 + 4096, way, &[0; 32]);
+        let (base, data) = evicted.expect("dirty line must be written back");
+        assert_eq!(base, 0x100);
+        assert_eq!(u32::from_le_bytes(data[0..4].try_into().unwrap()), 42);
+    }
+
+    #[test]
+    fn clean_eviction_returns_none() {
+        let mut c = DataCache::new(l1());
+        c.fill(0x100, 0, &[0; 32]);
+        let Lookup::Miss(way) = c.lookup(0x100 + 4096) else {
+            panic!()
+        };
+        assert!(c.fill(0x100 + 4096, way, &[0; 32]).is_none());
+    }
+
+    #[test]
+    fn invalidate_drops_line_without_writeback() {
+        let mut c = DataCache::new(l1());
+        c.fill(0x100, 0, &[0; 32]);
+        c.write_word(0x100, 0, 99, 99);
+        assert!(c.invalidate(0x100));
+        assert!(!c.contains(0x100));
+        assert!(!c.invalidate(0x100), "second invalidate is a no-op");
+    }
+
+    #[test]
+    fn peek_does_not_disturb_state() {
+        let mut c = DataCache::new(l1());
+        c.fill(0x100, 0, &[7; 32]);
+        assert_eq!(c.peek_word(0x100), Some(u32::from_le_bytes([7; 4])));
+        assert_eq!(c.peek_word(0x2000), None);
+    }
+
+    #[test]
+    fn lru_in_set_associative_cache() {
+        let g = CacheGeometry::new(1024, 32, 2); // 16 sets, 2 ways
+        let mut c = DataCache::new(g);
+        let a = 0x0; // set 0
+        let b = 16 * 32; // set 0, different tag
+        let d = 2 * 16 * 32; // set 0, third tag
+        let Lookup::Miss(w) = c.lookup(a) else { panic!() };
+        c.fill(a, w, &[0; 32]);
+        let Lookup::Miss(w) = c.lookup(b) else { panic!() };
+        c.fill(b, w, &[0; 32]);
+        // Touch `a` so `b` becomes LRU.
+        let Lookup::Hit(w) = c.lookup(a) else { panic!() };
+        c.read_word(a, w);
+        let Lookup::Miss(w) = c.lookup(d) else { panic!() };
+        c.fill(d, w, &[0; 32]);
+        assert!(c.contains(a), "recently used line must survive");
+        assert!(!c.contains(b), "LRU line must be evicted");
+    }
+
+    #[test]
+    fn flush_empties_cache() {
+        let mut c = DataCache::new(l1());
+        c.fill(0x100, 0, &[0; 32]);
+        c.flush();
+        assert!(!c.contains(0x100));
+    }
+
+    #[test]
+    fn word_parity_is_even_parity() {
+        assert!(!word_parity(0));
+        assert!(word_parity(1));
+        assert!(!word_parity(3));
+        assert!(word_parity(7));
+        assert!(!word_parity(u32::MAX));
+    }
+
+    #[test]
+    fn parity_signature_tracks_bytes() {
+        assert_eq!(parity_signature(0), 0);
+        assert_eq!(parity_signature(0x0000_0001), 0b0001);
+        assert_eq!(parity_signature(0x0100_0000), 0b1000);
+        assert_eq!(parity_signature(0x0101_0101), 0b1111);
+        // Word parity is the XOR of byte parities.
+        for w in [0u32, 1, 0xDEAD_BEEF, u32::MAX, 0x8000_0001] {
+            assert_eq!(word_parity(w), word_parity_of_signature(parity_signature(w)));
+        }
+    }
+
+    #[test]
+    fn tag_cache_hits_after_fill() {
+        let mut t = TagCache::new(CacheGeometry::new(128 * 1024, 128, 4));
+        assert!(!t.access(0x4000));
+        assert!(t.access(0x4000));
+        assert!(t.access(0x4010)); // same 128-byte line
+    }
+
+    #[test]
+    fn tag_cache_lru_eviction() {
+        let g = CacheGeometry::new(512, 64, 2); // 4 sets, 2 ways
+        let mut t = TagCache::new(g);
+        let stride = g.sets() * g.line_size(); // same-set stride
+        assert!(!t.access(0));
+        assert!(!t.access(stride));
+        assert!(t.access(0)); // touch 0: stride becomes LRU
+        assert!(!t.access(2 * stride)); // evicts `stride`
+        assert!(t.access(0));
+        assert!(!t.access(stride), "evicted line must miss");
+    }
+
+    #[test]
+    fn tag_cache_flush() {
+        let mut t = TagCache::new(CacheGeometry::new(128 * 1024, 128, 4));
+        t.access(0x4000);
+        t.flush();
+        assert!(!t.access(0x4000));
+    }
+}

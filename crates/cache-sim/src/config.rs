@@ -1,0 +1,147 @@
+//! Memory-system configuration.
+
+use crate::cache::CacheGeometry;
+use crate::policy::{DetectionScheme, RecoveryGranularity, StrikePolicy};
+use energy_model::EnergyModel;
+use fault_model::{FaultProbabilityModel, VoltageSwingCurve};
+
+/// Configuration of a [`MemSystem`](crate::MemSystem).
+///
+/// [`MemConfig::strongarm`] reproduces the paper's simulated platform
+/// (§5.1): 4 KB direct-mapped L1D with 32-byte lines and 2-cycle
+/// latency; 128 KB 4-way L2 with 128-byte lines and 15-cycle latency; a
+/// 10-cycle penalty per dynamic frequency change (§4).
+///
+/// # Examples
+///
+/// ```
+/// use cache_sim::{DetectionScheme, MemConfig, StrikePolicy};
+///
+/// let cfg = MemConfig::strongarm()
+///     .with_detection(DetectionScheme::Parity)
+///     .with_strikes(StrikePolicy::two_strike());
+/// assert_eq!(cfg.l1.sets(), 128);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemConfig {
+    /// Level-1 data-cache geometry.
+    pub l1: CacheGeometry,
+    /// Level-2 cache geometry.
+    pub l2: CacheGeometry,
+    /// L1 hit latency in core cycles at the full-swing clock.
+    pub l1_latency: f64,
+    /// L2 access latency in core cycles.
+    pub l2_latency: f64,
+    /// Backing-memory latency in core cycles.
+    pub mem_latency: f64,
+    /// Penalty in cycles for each cache clock change (§4: 10 cycles).
+    pub freq_switch_penalty: f64,
+    /// Quantize the visible L1 stall to whole core cycles (the core
+    /// samples returning data at core-clock edges, so a cache answering
+    /// in 0.5 core cycles is still seen after 1). Disable to model a
+    /// fully decoupled interface (ablation).
+    pub quantize_latency: bool,
+    /// Fault-detection hardware on the L1.
+    pub detection: DetectionScheme,
+    /// Recovery policy on detected faults.
+    pub strikes: StrikePolicy,
+    /// How much state a strike-exhausted recovery discards.
+    pub recovery: RecoveryGranularity,
+    /// Per-bit fault probability model.
+    pub fault_model: FaultProbabilityModel,
+    /// Voltage-swing curve (for energy scaling).
+    pub swing: VoltageSwingCurve,
+    /// Energy constants.
+    pub energy: EnergyModel,
+    /// Backing-store capacity in bytes.
+    pub backing_bytes: usize,
+}
+
+impl MemConfig {
+    /// The paper's StrongARM-110-like platform with no detection (the
+    /// baseline of every figure).
+    pub fn strongarm() -> Self {
+        MemConfig {
+            l1: CacheGeometry::new(4 * 1024, 32, 1),
+            l2: CacheGeometry::new(128 * 1024, 128, 4),
+            l1_latency: 2.0,
+            l2_latency: 15.0,
+            mem_latency: 100.0,
+            freq_switch_penalty: 10.0,
+            quantize_latency: true,
+            detection: DetectionScheme::None,
+            strikes: StrikePolicy::two_strike(),
+            recovery: RecoveryGranularity::Line,
+            fault_model: FaultProbabilityModel::calibrated(),
+            swing: VoltageSwingCurve::paper(),
+            energy: EnergyModel::strongarm(),
+            backing_bytes: 4 * 1024 * 1024,
+        }
+    }
+
+    /// Returns the config with a different detection scheme.
+    pub fn with_detection(mut self, detection: DetectionScheme) -> Self {
+        self.detection = detection;
+        self
+    }
+
+    /// Returns the config with a different strike policy.
+    pub fn with_strikes(mut self, strikes: StrikePolicy) -> Self {
+        self.strikes = strikes;
+        self
+    }
+
+    /// Returns the config with a different recovery granularity.
+    pub fn with_recovery(mut self, recovery: RecoveryGranularity) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Returns the config with a different fault model.
+    pub fn with_fault_model(mut self, model: FaultProbabilityModel) -> Self {
+        self.fault_model = model;
+        self
+    }
+
+    /// Returns the config with a different backing capacity.
+    pub fn with_backing_bytes(mut self, bytes: usize) -> Self {
+        self.backing_bytes = bytes;
+        self
+    }
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig::strongarm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strongarm_matches_paper_section_5_1() {
+        let cfg = MemConfig::strongarm();
+        assert_eq!(cfg.l1.size(), 4 * 1024);
+        assert_eq!(cfg.l1.assoc(), 1);
+        assert_eq!(cfg.l1.line_size(), 32);
+        assert_eq!(cfg.l2.size(), 128 * 1024);
+        assert_eq!(cfg.l2.assoc(), 4);
+        assert_eq!(cfg.l2.line_size(), 128);
+        assert_eq!(cfg.l1_latency, 2.0);
+        assert_eq!(cfg.l2_latency, 15.0);
+        assert_eq!(cfg.freq_switch_penalty, 10.0);
+    }
+
+    #[test]
+    fn builder_style_setters() {
+        let cfg = MemConfig::strongarm()
+            .with_detection(DetectionScheme::Parity)
+            .with_strikes(StrikePolicy::three_strike())
+            .with_backing_bytes(1 << 20);
+        assert_eq!(cfg.detection, DetectionScheme::Parity);
+        assert_eq!(cfg.strikes.max_attempts(), 3);
+        assert_eq!(cfg.backing_bytes, 1 << 20);
+    }
+}

@@ -1,0 +1,70 @@
+//! Error types for the memory-hierarchy simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by [`MemSystem`](crate::MemSystem) accesses.
+///
+/// # Examples
+///
+/// ```
+/// use cache_sim::{MemConfig, MemSystem, MemError};
+///
+/// let mut mem = MemSystem::new(MemConfig::strongarm(), 0);
+/// let err = mem.read_u32(0xFFFF_FFF0).unwrap_err();
+/// assert!(matches!(err, MemError::OutOfRange { .. }));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// The access touches bytes beyond the configured backing store.
+    OutOfRange {
+        /// The offending address.
+        addr: u32,
+        /// Number of bytes the access needed.
+        len: u32,
+    },
+    /// The access is not naturally aligned for its width.
+    Misaligned {
+        /// The offending address.
+        addr: u32,
+        /// Required alignment in bytes.
+        align: u32,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfRange { addr, len } => {
+                write!(f, "access of {len} bytes at {addr:#010x} is out of range")
+            }
+            MemError::Misaligned { addr, align } => {
+                write!(f, "address {addr:#010x} is not {align}-byte aligned")
+            }
+        }
+    }
+}
+
+impl Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let e = MemError::OutOfRange { addr: 16, len: 4 };
+        let s = format!("{e}");
+        assert!(s.contains("out of range"));
+        assert!(s.contains("0x00000010"));
+
+        let e = MemError::Misaligned { addr: 3, align: 4 };
+        assert!(format!("{e}").contains("aligned"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync>() {}
+        assert_error::<MemError>();
+    }
+}

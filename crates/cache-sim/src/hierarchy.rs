@@ -1,0 +1,934 @@
+//! The assembled memory system: L1D + L2 + backing store, with fault
+//! injection, parity detection, strike recovery, timing and energy.
+
+use crate::backing::BackingStore;
+use crate::cache::{parity_signature, word_parity_of_signature, CacheGeometry, DataCache, Lookup, TagCache};
+use crate::config::MemConfig;
+use crate::error::MemError;
+use crate::policy::{DetectionScheme, RecoveryGranularity};
+use crate::stats::MemStats;
+use crate::WORD_BITS;
+use energy_model::EnergyBreakdown;
+use fault_model::FaultSampler;
+
+/// The simulated memory hierarchy a packet program runs against.
+///
+/// All program data lives in the simulated address space; loads and
+/// stores go through the (possibly over-clocked, possibly faulty) level-1
+/// data cache exactly as in the paper's modified SimpleScalar (§5.1).
+///
+/// # Examples
+///
+/// Over-clock the cache 4× and watch faults appear:
+///
+/// ```
+/// use cache_sim::{DetectionScheme, MemConfig, MemSystem};
+///
+/// let cfg = MemConfig::strongarm().with_detection(DetectionScheme::Parity);
+/// let mut mem = MemSystem::new(cfg, 7);
+/// mem.set_cycle(0.25);
+/// for i in 0..20_000u32 {
+///     let a = (i % 512) * 4;
+///     mem.write_u32(a, i).unwrap();
+///     let _ = mem.read_u32(a).unwrap();
+/// }
+/// // At Cr = 0.25 the per-access fault probability is ~1e-3, so tens of
+/// // faults were injected and (mostly) detected.
+/// assert!(mem.stats().faults_injected > 0);
+/// assert!(mem.stats().faults_detected > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemSystem {
+    cfg: MemConfig,
+    l1: DataCache,
+    l2: TagCache,
+    backing: BackingStore,
+    sampler: FaultSampler,
+    cr: f64,
+    vsr: f64,
+    stats: MemStats,
+    cycles: f64,
+    energy: EnergyBreakdown,
+}
+
+impl MemSystem {
+    /// Creates a memory system at the full-swing clock (`Cr = 1`).
+    pub fn new(cfg: MemConfig, seed: u64) -> Self {
+        let sampler = FaultSampler::new(cfg.fault_model, seed);
+        MemSystem {
+            l1: DataCache::new(cfg.l1),
+            l2: TagCache::new(cfg.l2),
+            backing: BackingStore::new(cfg.backing_bytes),
+            sampler,
+            cr: 1.0,
+            vsr: 1.0,
+            stats: MemStats::default(),
+            cycles: 0.0,
+            energy: EnergyBreakdown::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MemConfig {
+        &self.cfg
+    }
+
+    /// Current relative cycle time of the L1 data cache.
+    pub fn cycle_time(&self) -> f64 {
+        self.cr
+    }
+
+    /// Current relative voltage swing of the L1 data cache.
+    pub fn voltage_swing(&self) -> f64 {
+        self.vsr
+    }
+
+    /// Changes the L1 clock to relative cycle time `cr`, charging the
+    /// configured switch penalty if the clock actually changes (§4:
+    /// varying the cache clock needs no flush, just a 10-cycle penalty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cr` is not in `(0, 1]`.
+    pub fn set_cycle(&mut self, cr: f64) {
+        if (cr - self.cr).abs() < 1e-12 {
+            return;
+        }
+        self.sampler.set_cycle(cr);
+        self.cr = cr;
+        self.vsr = self.cfg.swing.relative_swing(cr);
+        self.cycles += self.cfg.freq_switch_penalty;
+        self.stats.freq_switches += 1;
+    }
+
+    /// Changes the L1 clock without charging the switch penalty (for
+    /// configuring *static* designs before a run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cr` is not in `(0, 1]`.
+    pub fn set_cycle_free(&mut self, cr: f64) {
+        self.sampler.set_cycle(cr);
+        self.cr = cr;
+        self.vsr = self.cfg.swing.relative_swing(cr);
+    }
+
+    /// Enables or disables fault injection (disabled ⇒ golden run).
+    pub fn set_inject(&mut self, enabled: bool) {
+        self.sampler.set_enabled(enabled);
+    }
+
+    /// Whether fault injection is enabled.
+    pub fn inject_enabled(&self) -> bool {
+        self.sampler.is_enabled()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Elapsed core cycles (memory stalls plus [`MemSystem::advance`]).
+    pub fn cycles(&self) -> f64 {
+        self.cycles
+    }
+
+    /// Accumulated cache/memory energy (core energy is charged by the
+    /// processor layer from the final cycle count).
+    pub fn energy(&self) -> EnergyBreakdown {
+        self.energy
+    }
+
+    /// Advances time by `cycles` core cycles (instruction execution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is negative or not finite.
+    pub fn advance(&mut self, cycles: f64) {
+        assert!(
+            cycles.is_finite() && cycles >= 0.0,
+            "cycle charge must be non-negative and finite, got {cycles}"
+        );
+        self.cycles += cycles;
+    }
+
+    /// Adds control-overhead energy (e.g. the dynamic controller's
+    /// bookkeeping), in nanojoules.
+    pub fn add_overhead_energy(&mut self, nj: f64) {
+        self.energy.overhead_nj += nj;
+    }
+
+    fn check_alignment(addr: u32, align: u32) -> Result<(), MemError> {
+        if !addr.is_multiple_of(align) {
+            Err(MemError::Misaligned { addr, align })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Brings the line containing `addr` into L1, charging miss costs;
+    /// returns the way.
+    fn ensure_resident(&mut self, addr: u32) -> Result<usize, MemError> {
+        match self.l1.lookup(addr) {
+            Lookup::Hit(way) => {
+                self.stats.l1_hits += 1;
+                Ok(way)
+            }
+            Lookup::Miss(way) => {
+                self.stats.l1_misses += 1;
+                let base = self.cfg.l1.line_base(addr);
+                self.charge_l2_access(base, true);
+                let mut buf = vec![0u8; self.cfg.l1.line_size() as usize];
+                self.backing.read_block(base, &mut buf)?;
+                if let Some((evicted_base, data)) = self.l1.fill(base, way, &buf) {
+                    self.writeback(evicted_base, &data)?;
+                }
+                Ok(way)
+            }
+        }
+    }
+
+    /// Charges one L2 access; `stall` says whether the core waits for it
+    /// (refills stall; writebacks drain through a write buffer).
+    fn charge_l2_access(&mut self, addr: u32, stall: bool) {
+        self.stats.l2_accesses += 1;
+        self.energy.l2_nj += self.cfg.energy.l2_access_energy();
+        let hit = self.l2.access(addr);
+        if stall {
+            self.cycles += self.cfg.l2_latency;
+        }
+        if !hit {
+            self.stats.l2_misses += 1;
+            self.energy.mem_nj += self.cfg.energy.mem_access_energy();
+            if stall {
+                self.cycles += self.cfg.mem_latency;
+            }
+        }
+    }
+
+    fn writeback(&mut self, base: u32, data: &[u8]) -> Result<(), MemError> {
+        self.stats.writebacks += 1;
+        self.backing.write_block(base, data)?;
+        self.charge_l2_access(base, false);
+        Ok(())
+    }
+
+    fn l1_stall(&self) -> f64 {
+        let raw = self.cfg.l1_latency * self.cr;
+        if self.cfg.quantize_latency {
+            raw.ceil()
+        } else {
+            raw
+        }
+    }
+
+    /// Extra detection-energy factor for byte-granularity parity (four
+    /// code bits per word instead of one).
+    const PER_BYTE_PARITY_FACTOR: f64 = 1.10;
+
+    fn detection_factor(&self) -> f64 {
+        match self.cfg.detection {
+            DetectionScheme::ParityPerByte => Self::PER_BYTE_PARITY_FACTOR,
+            _ => 1.0,
+        }
+    }
+
+    fn charge_l1_read(&mut self) {
+        self.cycles += self.l1_stall();
+        self.energy.l1_nj += if self.cfg.detection.is_enabled() {
+            self.cfg.energy.l1_read_energy_with_parity(self.vsr) * self.detection_factor()
+        } else {
+            self.cfg.energy.l1_read_energy(self.vsr)
+        };
+    }
+
+    fn charge_l1_write(&mut self) {
+        self.cycles += self.l1_stall();
+        self.energy.l1_nj += if self.cfg.detection.is_enabled() {
+            self.cfg.energy.l1_write_energy_with_parity(self.vsr) * self.detection_factor()
+        } else {
+            self.cfg.energy.l1_write_energy(self.vsr)
+        };
+    }
+
+    /// Reads the aligned 32-bit word at `addr` through the faulty cache.
+    ///
+    /// This is the paper's full read path: fault sampling on the access,
+    /// parity check when detection is enabled, and strike-policy recovery
+    /// (retries, then invalidate + L2 fetch) on detected faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] for misaligned or out-of-range addresses.
+    pub fn read_u32(&mut self, addr: u32) -> Result<u32, MemError> {
+        Self::check_alignment(addr, 4)?;
+        self.stats.reads += 1;
+        let way = self.ensure_resident(addr)?;
+        self.charge_l1_read();
+        self.read_resident_word(addr, way)
+    }
+
+    fn read_resident_word(&mut self, addr: u32, way: usize) -> Result<u32, MemError> {
+        let max_attempts = self.cfg.strikes.max_attempts();
+        let mut attempt = 1u8;
+        loop {
+            let (stored, stored_parity) = self.l1.read_word(addr, way);
+            let fault = self.sampler.sample(WORD_BITS);
+            if fault.is_fault() {
+                self.stats.faults_injected += 1;
+            }
+            let value = stored ^ fault.mask();
+            match self.cfg.detection {
+                DetectionScheme::None => {
+                    if fault.is_fault() {
+                        self.stats.faults_undetected += 1;
+                    }
+                    return Ok(value);
+                }
+                DetectionScheme::Parity | DetectionScheme::ParityPerByte => {
+                    let sig = parity_signature(value);
+                    let clean = match self.cfg.detection {
+                        // Word parity only compares the XOR of the four
+                        // byte parities.
+                        DetectionScheme::Parity => {
+                            word_parity_of_signature(sig)
+                                == word_parity_of_signature(stored_parity)
+                        }
+                        _ => sig == stored_parity,
+                    };
+                    if clean {
+                        // Clean — or an undetectable corruption slipped
+                        // by (even weight for word parity; even weight
+                        // within every byte for byte parity).
+                        if fault.is_fault() {
+                            self.stats.faults_undetected += 1;
+                        }
+                        return Ok(value);
+                    }
+                    self.stats.faults_detected += 1;
+                    if attempt < max_attempts {
+                        attempt += 1;
+                        self.stats.strike_retries += 1;
+                        self.charge_l1_read();
+                        continue;
+                    }
+                    // Strikes exhausted: assume a write fault, invalidate
+                    // the block (its dirty data is untrusted and dropped)
+                    // and fetch the word from L2/backing.
+                    return self.strike_fallback(addr);
+                }
+            }
+        }
+    }
+
+    fn strike_fallback(&mut self, addr: u32) -> Result<u32, MemError> {
+        self.stats.strike_invalidations += 1;
+        self.charge_l2_access(self.cfg.l1.line_base(addr), true);
+        let truth = self.backing.read_word(addr)?;
+        match self.cfg.recovery {
+            RecoveryGranularity::Line => {
+                // The paper's design: drop the whole (untrusted) block;
+                // its dirty words are lost.
+                if self.l1.invalidate_dirty(addr) {
+                    self.stats.dirty_drops += 1;
+                }
+            }
+            RecoveryGranularity::Word => {
+                // Footnote-2 extension: repair only the faulty word in
+                // place, preserving the rest of the line. The repaired
+                // word's own latest store is still lost if it had one.
+                self.l1.poke_word(addr, truth);
+            }
+        }
+        Ok(truth)
+    }
+
+    /// Writes the aligned 32-bit word at `addr` through the faulty cache
+    /// (write-allocate, write-back). A write fault corrupts the *stored*
+    /// word while parity is generated from the intended word, so the
+    /// corruption is detectable on a later read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] for misaligned or out-of-range addresses.
+    pub fn write_u32(&mut self, addr: u32, value: u32) -> Result<(), MemError> {
+        Self::check_alignment(addr, 4)?;
+        self.stats.writes += 1;
+        let way = self.ensure_resident(addr)?;
+        self.charge_l1_write();
+        self.store_word(addr, way, value)
+    }
+
+    fn store_word(&mut self, addr: u32, way: usize, intended: u32) -> Result<(), MemError> {
+        let fault = self.sampler.sample(WORD_BITS);
+        let stored = intended ^ fault.mask();
+        if fault.is_fault() {
+            self.stats.faults_injected += 1;
+            if !self.cfg.detection.is_enabled() {
+                self.stats.faults_undetected += 1;
+            }
+        }
+        // Write-back, write-allocate: the word lives only in L1 until
+        // the line is evicted, so a strike invalidation of a dirty line
+        // genuinely loses its latest stores — the unrecoverable hole in
+        // the paper's parity-plus-L2 recovery scheme (§4: the hardware
+        // cannot tell read faults from write faults).
+        self.l1.write_word(addr, way, stored, intended);
+        Ok(())
+    }
+
+    /// Reads the byte at `addr` (one cache access on the containing
+    /// word).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfRange`] for addresses beyond capacity.
+    pub fn read_u8(&mut self, addr: u32) -> Result<u8, MemError> {
+        let word = self.read_u32_inner(addr & !3)?;
+        Ok((word >> ((addr & 3) * 8)) as u8)
+    }
+
+    /// Reads the 16-bit value at `addr` (must be 2-byte aligned).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] for misaligned or out-of-range addresses.
+    pub fn read_u16(&mut self, addr: u32) -> Result<u16, MemError> {
+        Self::check_alignment(addr, 2)?;
+        let word = self.read_u32_inner(addr & !3)?;
+        Ok((word >> ((addr & 3) * 8)) as u16)
+    }
+
+    fn read_u32_inner(&mut self, word_addr: u32) -> Result<u32, MemError> {
+        self.stats.reads += 1;
+        let way = self.ensure_resident(word_addr)?;
+        self.charge_l1_read();
+        self.read_resident_word(word_addr, way)
+    }
+
+    /// Writes the byte at `addr` (a read-modify-write of the containing
+    /// word in the store path; one cache write access).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfRange`] for addresses beyond capacity.
+    pub fn write_u8(&mut self, addr: u32, value: u8) -> Result<(), MemError> {
+        self.write_subword(addr & !3, (addr & 3) * 8, 0xFF, u32::from(value))
+    }
+
+    /// Writes the 16-bit value at `addr` (must be 2-byte aligned).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] for misaligned or out-of-range addresses.
+    pub fn write_u16(&mut self, addr: u32, value: u16) -> Result<(), MemError> {
+        Self::check_alignment(addr, 2)?;
+        self.write_subword(addr & !3, (addr & 3) * 8, 0xFFFF, u32::from(value))
+    }
+
+    fn write_subword(&mut self, word_addr: u32, shift: u32, mask: u32, value: u32) -> Result<(), MemError> {
+        self.stats.writes += 1;
+        let way = self.ensure_resident(word_addr)?;
+        self.charge_l1_write();
+        // Merge with the currently stored word (store-buffer RMW; no
+        // extra architectural read access is charged).
+        let (current, _) = self.l1.read_word(word_addr, way);
+        let intended = (current & !(mask << shift)) | ((value & mask) << shift);
+        self.store_word(word_addr, way, intended)
+    }
+
+    /// Host (debug/DMA) read of the architectural word at `addr`:
+    /// bypasses timing, energy, statistics and fault injection, and sees
+    /// through dirty L1 lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] for misaligned or out-of-range addresses.
+    pub fn host_read_u32(&self, addr: u32) -> Result<u32, MemError> {
+        Self::check_alignment(addr, 4)?;
+        if let Some(word) = self.l1.peek_word(addr) {
+            return Ok(word);
+        }
+        self.backing.read_word(addr)
+    }
+
+    /// Host (debug/DMA) write of the architectural word at `addr`:
+    /// updates both the backing store and, if resident, the L1 copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] for misaligned or out-of-range addresses.
+    pub fn host_write_u32(&mut self, addr: u32, value: u32) -> Result<(), MemError> {
+        Self::check_alignment(addr, 4)?;
+        self.backing.write_word(addr, value)?;
+        self.l1.poke_word(addr, value);
+        Ok(())
+    }
+
+    /// Host write of a block of bytes (packet DMA). The range must be
+    /// word-aligned at both ends.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] for misaligned or out-of-range ranges.
+    pub fn host_write_block(&mut self, addr: u32, bytes: &[u8]) -> Result<(), MemError> {
+        Self::check_alignment(addr, 4)?;
+        if !bytes.len().is_multiple_of(4) {
+            return Err(MemError::Misaligned {
+                addr: addr + bytes.len() as u32,
+                align: 4,
+            });
+        }
+        for (i, chunk) in bytes.chunks_exact(4).enumerate() {
+            let word = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+            self.host_write_u32(addr + 4 * i as u32, word)?;
+        }
+        Ok(())
+    }
+
+    /// Writes every dirty L1 line back to L2/backing (lines stay
+    /// resident and clean). Packet software does this when its tables
+    /// stabilize at the end of the control plane, so the static
+    /// structures the strike policies restore from L2 are actually
+    /// there. Charges writeback energy (write-buffer drain, no stall).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if a line address escapes the backing store.
+    pub fn writeback_all(&mut self) -> Result<(), MemError> {
+        for (base, data) in self.l1.drain_dirty() {
+            self.writeback(base, &data)?;
+        }
+        Ok(())
+    }
+
+    /// Total capacity of the simulated address space, in bytes.
+    pub fn capacity(&self) -> usize {
+        self.backing.capacity()
+    }
+
+    /// The L1 geometry (convenience accessor).
+    pub fn l1_geometry(&self) -> CacheGeometry {
+        self.cfg.l1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::StrikePolicy;
+    use fault_model::FaultProbabilityModel;
+
+    fn quiet() -> MemSystem {
+        // A system whose fault model never fires (p0 minuscule at Cr=1).
+        MemSystem::new(MemConfig::strongarm(), 1)
+    }
+
+    fn noisy(detection: DetectionScheme, strikes: StrikePolicy, seed: u64) -> MemSystem {
+        // Extremely high fault rate to exercise the recovery paths.
+        let cfg = MemConfig::strongarm()
+            .with_detection(detection)
+            .with_strikes(strikes)
+            .with_fault_model(FaultProbabilityModel::new(0.02, 0.0));
+        MemSystem::new(cfg, seed)
+    }
+
+    #[test]
+    fn read_after_write_round_trips() {
+        let mut m = quiet();
+        m.write_u32(0x40, 123).unwrap();
+        assert_eq!(m.read_u32(0x40).unwrap(), 123);
+    }
+
+    #[test]
+    fn byte_and_halfword_accesses() {
+        let mut m = quiet();
+        m.write_u32(0x40, 0).unwrap();
+        m.write_u8(0x41, 0xAB).unwrap();
+        m.write_u16(0x42, 0xCDEF).unwrap();
+        assert_eq!(m.read_u8(0x41).unwrap(), 0xAB);
+        assert_eq!(m.read_u16(0x42).unwrap(), 0xCDEF);
+        assert_eq!(m.read_u32(0x40).unwrap(), 0xCDEF_AB00);
+    }
+
+    #[test]
+    fn misaligned_accesses_error() {
+        let mut m = quiet();
+        assert!(m.read_u32(2).is_err());
+        assert!(m.write_u32(5, 0).is_err());
+        assert!(m.read_u16(1).is_err());
+    }
+
+    #[test]
+    fn miss_then_hit_counting() {
+        let mut m = quiet();
+        m.read_u32(0x1000).unwrap(); // cold miss
+        m.read_u32(0x1004).unwrap(); // same line: hit
+        assert_eq!(m.stats().l1_misses, 1);
+        assert_eq!(m.stats().l1_hits, 1);
+        assert_eq!(m.stats().l2_accesses, 1);
+        assert_eq!(m.stats().l2_misses, 1);
+    }
+
+    #[test]
+    fn timing_l1_hit_is_scaled_by_cr() {
+        let mut a = quiet();
+        a.read_u32(0x100).unwrap(); // warm
+        let before = a.cycles();
+        a.read_u32(0x100).unwrap();
+        assert!((a.cycles() - before - 2.0).abs() < 1e-9);
+
+        let mut b = quiet();
+        b.set_cycle_free(0.5);
+        b.read_u32(0x100).unwrap();
+        let before = b.cycles();
+        b.read_u32(0x100).unwrap();
+        assert!((b.cycles() - before - 1.0).abs() < 1e-9, "2 cycles x 0.5");
+    }
+
+    #[test]
+    fn miss_timing_includes_l2_and_memory() {
+        let mut m = quiet();
+        m.read_u32(0x2000).unwrap();
+        // l1 (2) + l2 (15) + mem (100)
+        assert!((m.cycles() - 117.0).abs() < 1e-9, "cycles = {}", m.cycles());
+        // Second miss to a line already in L2's (tag) array skips memory.
+        m.read_u32(0x2000 + 4096).unwrap(); // conflict miss? different L1 set? 0x3000 -> same L1 set as 0x2000? 4 KB apart => same set.
+        // Just assert total grew by at least l2 latency.
+        assert!(m.cycles() > 117.0);
+    }
+
+    #[test]
+    fn writeback_preserves_dirty_data() {
+        let mut m = quiet();
+        m.write_u32(0x100, 0xFEED).unwrap();
+        // Evict by touching the conflicting line 4 KB away.
+        m.read_u32(0x100 + 4096).unwrap();
+        assert_eq!(m.stats().writebacks, 1);
+        // Re-read the original line: must come back from backing intact.
+        assert_eq!(m.read_u32(0x100).unwrap(), 0xFEED);
+    }
+
+    #[test]
+    fn frequency_switch_costs_ten_cycles() {
+        let mut m = quiet();
+        let c0 = m.cycles();
+        m.set_cycle(0.5);
+        assert!((m.cycles() - c0 - 10.0).abs() < 1e-9);
+        assert_eq!(m.stats().freq_switches, 1);
+        // No-op switch costs nothing.
+        m.set_cycle(0.5);
+        assert_eq!(m.stats().freq_switches, 1);
+    }
+
+    #[test]
+    fn energy_accumulates_and_scales_with_swing() {
+        let mut full = quiet();
+        full.write_u32(0x100, 1).unwrap();
+        full.read_u32(0x100).unwrap();
+        let e_full = full.energy().l1_nj;
+
+        let mut fast = quiet();
+        fast.set_cycle_free(0.25);
+        fast.write_u32(0x100, 1).unwrap();
+        fast.read_u32(0x100).unwrap();
+        let e_fast = fast.energy().l1_nj;
+        let vsr = fast.voltage_swing();
+        assert!((e_fast / e_full - vsr).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parity_costs_more_energy() {
+        let mut plain = quiet();
+        plain.read_u32(0x100).unwrap();
+        let mut par = MemSystem::new(
+            MemConfig::strongarm().with_detection(DetectionScheme::Parity),
+            1,
+        );
+        par.read_u32(0x100).unwrap();
+        assert!(par.energy().l1_nj > plain.energy().l1_nj);
+    }
+
+    #[test]
+    fn no_detection_lets_faults_through() {
+        let mut m = noisy(DetectionScheme::None, StrikePolicy::one_strike(), 3);
+        let mut corrupted = 0;
+        for i in 0..5_000u32 {
+            let a = (i % 64) * 4;
+            m.write_u32(a, 0x5A5A_5A5A).unwrap();
+            if m.read_u32(a).unwrap() != 0x5A5A_5A5A {
+                corrupted += 1;
+            }
+        }
+        assert!(corrupted > 0, "2% fault rate must corrupt something");
+        assert_eq!(m.stats().faults_detected, 0);
+        assert!(m.stats().faults_undetected > 0);
+    }
+
+    #[test]
+    fn parity_detects_and_recovers_single_bit_read_faults() {
+        // Seed data via host writes (no write faults), then hammer reads:
+        // read faults are transient, so parity + retries must recover
+        // almost all of them (only even-weight flips can slip through,
+        // and the model here is single-bit-only).
+        let cfg = MemConfig::strongarm()
+            .with_detection(DetectionScheme::Parity)
+            .with_strikes(StrikePolicy::three_strike())
+            .with_fault_model(FaultProbabilityModel::new(3e-4, 0.0));
+        let mut m = MemSystem::new(cfg, 4);
+        for i in 0..64u32 {
+            m.host_write_u32(i * 4, i).unwrap();
+        }
+        let mut wrong = 0u32;
+        let n = 200_000u32;
+        for i in 0..n {
+            let a = i % 64;
+            if m.read_u32(a * 4).unwrap() != a {
+                wrong += 1;
+            }
+        }
+        assert!(m.stats().faults_injected > 100);
+        assert!(m.stats().faults_detected > 100);
+        assert!(m.stats().strike_retries > 0);
+        // Multi-bit faults are disabled, so only double sampling noise
+        // could corrupt; essentially everything recovers.
+        let raw = m.stats().faults_injected as f64 / n as f64;
+        let observed = wrong as f64 / n as f64;
+        assert!(
+            observed < raw / 10.0,
+            "observed {observed} vs raw {raw}"
+        );
+    }
+
+    #[test]
+    fn write_faults_with_parity_lose_the_update_but_return_clean_data() {
+        // A persistently corrupted store is detected on read; after the
+        // strikes are exhausted the block is invalidated and the stale
+        // (pre-write) backing value returns — the write is lost, but no
+        // corrupted bits reach the program.
+        let cfg = MemConfig::strongarm()
+            .with_detection(DetectionScheme::Parity)
+            .with_strikes(StrikePolicy::two_strike())
+            .with_fault_model(FaultProbabilityModel::new(0.9 / 32.0, 0.0));
+        let mut m = MemSystem::new(cfg, 12);
+        m.host_write_u32(0x100, 111).unwrap();
+        m.set_inject(true);
+        let mut outcomes = std::collections::HashSet::new();
+        for _ in 0..50 {
+            m.set_inject(true);
+            m.write_u32(0x100, 222).unwrap();
+            m.set_inject(false); // read cleanly to observe stored state
+            outcomes.insert(m.read_u32(0x100).unwrap());
+        }
+        // Every observed value is the new value, the stale backing value
+        // (after a faulty store + fallback), or — the one hole parity
+        // has — an *even-weight* corruption of the new value. Odd-weight
+        // corruptions must never reach the program.
+        for v in &outcomes {
+            let ok = *v == 222
+                || *v == 111
+                || (v ^ 222u32).count_ones().is_multiple_of(2);
+            assert!(ok, "odd-weight corrupted value {v} escaped parity");
+        }
+        assert!(outcomes.contains(&222));
+    }
+
+    #[test]
+    fn one_strike_invalidates_immediately() {
+        let mut m = noisy(DetectionScheme::Parity, StrikePolicy::one_strike(), 5);
+        for i in 0..20_000u32 {
+            let a = (i % 64) * 4;
+            m.write_u32(a, i).unwrap();
+            let _ = m.read_u32(a).unwrap();
+        }
+        assert!(m.stats().strike_invalidations > 0);
+        assert_eq!(m.stats().strike_retries, 0, "one-strike never retries");
+    }
+
+    #[test]
+    fn three_strike_retries_more_and_invalidates_less_than_one_strike() {
+        let run = |strikes: StrikePolicy| {
+            let mut m = noisy(DetectionScheme::Parity, strikes, 6);
+            for i in 0..30_000u32 {
+                let a = (i % 64) * 4;
+                m.write_u32(a, i).unwrap();
+                let _ = m.read_u32(a).unwrap();
+            }
+            (
+                m.stats().strike_retries,
+                m.stats().strike_invalidations,
+            )
+        };
+        let (r1, i1) = run(StrikePolicy::one_strike());
+        let (r3, i3) = run(StrikePolicy::three_strike());
+        assert_eq!(r1, 0);
+        assert!(r3 > 0);
+        assert!(
+            i3 < i1,
+            "three-strike must invalidate less: {i3} vs {i1}"
+        );
+    }
+
+    #[test]
+    fn strike_fallback_returns_backing_truth() {
+        // Force a persistent corruption by writing with a huge fault
+        // rate, then read with strikes exhausted: the L2/backing value
+        // (the last written-back truth, here the fill value) comes back.
+        let cfg = MemConfig::strongarm()
+            .with_detection(DetectionScheme::Parity)
+            .with_strikes(StrikePolicy::one_strike())
+            .with_fault_model(FaultProbabilityModel::new(0.9, 0.0));
+        let mut m = MemSystem::new(cfg, 9);
+        // Seed backing truth without faults.
+        m.host_write_u32(0x100, 777).unwrap();
+        let mut saw_fallback = false;
+        for _ in 0..200 {
+            let v = m.read_u32(0x100).unwrap();
+            if m.stats().strike_invalidations > 0 {
+                saw_fallback = true;
+                // After a fallback the returned word is the backing truth.
+                assert_eq!(v, 777);
+                break;
+            }
+        }
+        assert!(saw_fallback, "expected at least one strike fallback");
+    }
+
+    #[test]
+    fn byte_parity_catches_cross_byte_double_faults() {
+        // A two-bit fault spanning different bytes escapes word parity
+        // but is caught by byte-granularity parity. Compare undetected
+        // corruption rates under a multi-bit-heavy fault model.
+        let run = |detection| {
+            let cfg = MemConfig::strongarm()
+                .with_detection(detection)
+                .with_strikes(StrikePolicy::three_strike())
+                .with_fault_model(FaultProbabilityModel::new(0.01, 0.0));
+            let mut m = MemSystem::new(cfg, 33);
+            for i in 0..64u32 {
+                m.host_write_u32(i * 4, i).unwrap();
+            }
+            let mut wrong = 0u64;
+            for i in 0..100_000u32 {
+                let a = i % 64;
+                if m.read_u32(a * 4).unwrap() != a {
+                    wrong += 1;
+                }
+            }
+            wrong
+        };
+        let word = run(DetectionScheme::Parity);
+        let byte = run(DetectionScheme::ParityPerByte);
+        assert!(
+            byte < word.max(1),
+            "byte parity must leak fewer corruptions: {byte} vs {word}"
+        );
+    }
+
+    #[test]
+    fn byte_parity_costs_more_energy_than_word_parity() {
+        let energy = |detection| {
+            let mut m = MemSystem::new(MemConfig::strongarm().with_detection(detection), 1);
+            m.read_u32(0x100).unwrap();
+            m.energy().l1_nj
+        };
+        assert!(
+            energy(DetectionScheme::ParityPerByte) > energy(DetectionScheme::Parity)
+        );
+    }
+
+    #[test]
+    fn word_recovery_preserves_neighbouring_dirty_words() {
+        // Footnote-2 extension: with word-granularity recovery, a strike
+        // fallback repairs only the faulty word; other dirty words in
+        // the same line survive. With line granularity they are lost.
+        let run = |granularity| {
+            let cfg = MemConfig::strongarm()
+                .with_detection(DetectionScheme::Parity)
+                .with_strikes(StrikePolicy::one_strike())
+                .with_recovery(granularity)
+                .with_fault_model(FaultProbabilityModel::new(0.9 / 32.0, 0.0));
+            let mut m = MemSystem::new(cfg, 21);
+            // Two words in the same 32-byte line; write the neighbour
+            // cleanly, then hammer word 0 with faulty writes+reads until
+            // a fallback happens.
+            m.set_inject(false);
+            m.write_u32(0x104, 4242).unwrap();
+            m.set_inject(true);
+            for i in 0..200u32 {
+                m.write_u32(0x100, i).unwrap();
+                let _ = m.read_u32(0x100).unwrap();
+                if m.stats().strike_invalidations > 0 {
+                    break;
+                }
+            }
+            assert!(m.stats().strike_invalidations > 0, "need a fallback");
+            m.set_inject(false);
+            m.read_u32(0x104).unwrap()
+        };
+        assert_eq!(
+            run(RecoveryGranularity::Word),
+            4242,
+            "word repair must keep the neighbour's dirty data"
+        );
+        assert_eq!(
+            run(RecoveryGranularity::Line),
+            0,
+            "line invalidation loses the (never written back) neighbour"
+        );
+    }
+
+    #[test]
+    fn host_access_sees_through_dirty_lines() {
+        let mut m = quiet();
+        m.write_u32(0x100, 42).unwrap(); // dirty in L1
+        assert_eq!(m.host_read_u32(0x100).unwrap(), 42);
+        m.host_write_u32(0x100, 43).unwrap();
+        assert_eq!(m.read_u32(0x100).unwrap(), 43);
+    }
+
+    #[test]
+    fn host_block_write_round_trips() {
+        let mut m = quiet();
+        m.host_write_block(0x200, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        assert_eq!(m.read_u32(0x200).unwrap(), u32::from_le_bytes([1, 2, 3, 4]));
+        assert_eq!(m.read_u32(0x204).unwrap(), u32::from_le_bytes([5, 6, 7, 8]));
+    }
+
+    #[test]
+    fn golden_mode_injects_nothing() {
+        let mut m = noisy(DetectionScheme::None, StrikePolicy::one_strike(), 8);
+        m.set_inject(false);
+        for i in 0..10_000u32 {
+            let a = (i % 64) * 4;
+            m.write_u32(a, i).unwrap();
+            assert_eq!(m.read_u32(a).unwrap(), i);
+        }
+        assert_eq!(m.stats().faults_injected, 0);
+    }
+
+    #[test]
+    fn advance_accumulates_instruction_time() {
+        let mut m = quiet();
+        m.advance(100.0);
+        m.advance(0.5);
+        assert!((m.cycles() - 100.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_behaviour() {
+        let run = |seed| {
+            let mut m = noisy(DetectionScheme::Parity, StrikePolicy::two_strike(), seed);
+            let mut acc = 0u64;
+            for i in 0..5_000u32 {
+                let a = (i % 128) * 4;
+                m.write_u32(a, i).unwrap();
+                acc = acc.wrapping_mul(31).wrapping_add(u64::from(m.read_u32(a).unwrap()));
+            }
+            (acc, m.stats().faults_injected, m.cycles().to_bits())
+        };
+        assert_eq!(run(77), run(77));
+        assert_ne!(run(77).1, run(78).1);
+    }
+}

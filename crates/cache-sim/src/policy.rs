@@ -1,0 +1,225 @@
+//! Fault-detection and recovery policies (paper §4).
+
+use std::fmt;
+
+/// Whether the level-1 data cache carries a fault-detection code.
+///
+/// The paper compares an unprotected cache against one with a single
+/// even-parity bit per 32-bit word. Error *correction* (Hamming codes)
+/// is explicitly out of scope — "unnecessary complication on the design
+/// and energy consumption".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DetectionScheme {
+    /// No detection: corrupted values flow straight into the program.
+    #[default]
+    None,
+    /// One even-parity bit per aligned 32-bit word. Detects odd-weight
+    /// corruptions; even-weight corruptions escape. Costs +23 % read /
+    /// +36 % write energy on the L1 (see [`energy_model::ParityOverhead`]).
+    Parity,
+    /// One even-parity bit per *byte* (four per word) — a finer-grained
+    /// extension: a two-bit fault is detected unless both flips land in
+    /// the same byte, closing most of word-parity's even-weight hole at
+    /// ~10 % extra detection energy.
+    ParityPerByte,
+}
+
+impl DetectionScheme {
+    /// Whether any detection hardware is present.
+    pub fn is_enabled(&self) -> bool {
+        !matches!(self, DetectionScheme::None)
+    }
+}
+
+impl fmt::Display for DetectionScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectionScheme::None => write!(f, "no detection"),
+            DetectionScheme::Parity => write!(f, "parity"),
+            DetectionScheme::ParityPerByte => write!(f, "byte-parity"),
+        }
+    }
+}
+
+/// Granularity of the state discarded when the strike policy gives up
+/// and restores from L2.
+///
+/// The paper's footnote 2: *"If the cache has sub-blocks, only the
+/// corresponding portions of the cache block can be invalidated and
+/// accessed from the level 2 cache. However, in this paper we do not
+/// study such cache structures."* — [`RecoveryGranularity::Word`]
+/// implements exactly that deferred design: only the faulty 32-bit word
+/// is repaired from L2, preserving the rest of the (possibly dirty)
+/// line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RecoveryGranularity {
+    /// Invalidate the whole cache line (the paper's evaluated design).
+    #[default]
+    Line,
+    /// Repair only the faulty word in place (the footnote-2 extension).
+    Word,
+}
+
+impl fmt::Display for RecoveryGranularity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryGranularity::Line => write!(f, "line"),
+            RecoveryGranularity::Word => write!(f, "word"),
+        }
+    }
+}
+
+/// Recovery policy applied when parity detects a fault on a level-1
+/// read (paper §4).
+///
+/// A fault may have happened during the read (the stored data is fine)
+/// or during an earlier write (the stored data is bad); the hardware
+/// cannot tell which. A *k*-strike policy re-reads the L1 up to `k − 1`
+/// times; if a fault is still detected on the `k`-th attempt it assumes
+/// a write fault, invalidates the block, and fetches from the level-2
+/// cache:
+///
+/// * **one-strike** — invalidate on the first detection,
+/// * **two-strike** — retry once, then invalidate,
+/// * **three-strike** — retry twice, then invalidate.
+///
+/// # Examples
+///
+/// ```
+/// use cache_sim::StrikePolicy;
+///
+/// assert_eq!(StrikePolicy::one_strike().max_attempts(), 1);
+/// assert_eq!(StrikePolicy::two_strike().max_attempts(), 2);
+/// assert_eq!(StrikePolicy::three_strike().retries(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StrikePolicy {
+    strikes: u8,
+}
+
+impl StrikePolicy {
+    /// Invalidate on the first detected fault.
+    pub fn one_strike() -> Self {
+        StrikePolicy { strikes: 1 }
+    }
+
+    /// Retry the L1 once before invalidating.
+    pub fn two_strike() -> Self {
+        StrikePolicy { strikes: 2 }
+    }
+
+    /// Retry the L1 twice before invalidating.
+    pub fn three_strike() -> Self {
+        StrikePolicy { strikes: 3 }
+    }
+
+    /// A policy with a custom strike count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `strikes` is zero or greater than 8.
+    pub fn with_strikes(strikes: u8) -> Self {
+        assert!(
+            (1..=8).contains(&strikes),
+            "strike count must be in 1..=8, got {strikes}"
+        );
+        StrikePolicy { strikes }
+    }
+
+    /// Total L1 read attempts before falling back to L2.
+    pub fn max_attempts(&self) -> u8 {
+        self.strikes
+    }
+
+    /// Number of retries after the first detection.
+    pub fn retries(&self) -> u8 {
+        self.strikes - 1
+    }
+
+    /// All policies the paper evaluates, in figure order.
+    pub fn paper_set() -> [StrikePolicy; 3] {
+        [
+            StrikePolicy::one_strike(),
+            StrikePolicy::two_strike(),
+            StrikePolicy::three_strike(),
+        ]
+    }
+}
+
+impl Default for StrikePolicy {
+    fn default() -> Self {
+        StrikePolicy::two_strike()
+    }
+}
+
+impl fmt::Display for StrikePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.strikes {
+            1 => write!(f, "one-strike"),
+            2 => write!(f, "two-strike"),
+            3 => write!(f, "three-strike"),
+            n => write!(f, "{n}-strike"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_constructors_match_counts() {
+        assert_eq!(StrikePolicy::one_strike().max_attempts(), 1);
+        assert_eq!(StrikePolicy::two_strike().max_attempts(), 2);
+        assert_eq!(StrikePolicy::three_strike().max_attempts(), 3);
+    }
+
+    #[test]
+    fn retries_is_attempts_minus_one() {
+        for k in 1..=8 {
+            let p = StrikePolicy::with_strikes(k);
+            assert_eq!(p.retries(), k - 1);
+        }
+    }
+
+    #[test]
+    fn paper_set_is_one_two_three() {
+        let set = StrikePolicy::paper_set();
+        assert_eq!(
+            set.map(|p| p.max_attempts()),
+            [1, 2, 3]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strike count")]
+    fn zero_strikes_rejected() {
+        StrikePolicy::with_strikes(0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(format!("{}", StrikePolicy::one_strike()), "one-strike");
+        assert_eq!(format!("{}", StrikePolicy::two_strike()), "two-strike");
+        assert_eq!(format!("{}", StrikePolicy::three_strike()), "three-strike");
+        assert_eq!(format!("{}", StrikePolicy::with_strikes(5)), "5-strike");
+        assert_eq!(format!("{}", DetectionScheme::None), "no detection");
+        assert_eq!(format!("{}", DetectionScheme::Parity), "parity");
+        assert_eq!(format!("{}", DetectionScheme::ParityPerByte), "byte-parity");
+    }
+
+    #[test]
+    fn recovery_granularity_default_is_line() {
+        assert_eq!(RecoveryGranularity::default(), RecoveryGranularity::Line);
+        assert_eq!(format!("{}", RecoveryGranularity::Line), "line");
+        assert_eq!(format!("{}", RecoveryGranularity::Word), "word");
+    }
+
+    #[test]
+    fn detection_default_is_none() {
+        assert_eq!(DetectionScheme::default(), DetectionScheme::None);
+        assert!(!DetectionScheme::None.is_enabled());
+        assert!(DetectionScheme::Parity.is_enabled());
+        assert!(DetectionScheme::ParityPerByte.is_enabled());
+    }
+}

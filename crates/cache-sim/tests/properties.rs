@@ -1,0 +1,158 @@
+//! Property-based tests: the fault-free memory system is functionally a
+//! flat memory, counters stay consistent, and geometry math inverts.
+
+use cache_sim::{CacheGeometry, DetectionScheme, MemConfig, MemSystem, StrikePolicy};
+use fault_model::FaultProbabilityModel;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// One program-visible memory operation.
+#[derive(Debug, Clone)]
+enum Op {
+    ReadW(u32),
+    WriteW(u32, u32),
+    ReadB(u32),
+    WriteB(u32, u8),
+    ReadH(u32),
+    WriteH(u32, u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Keep addresses inside a 64 KB window so sequences collide in the
+    // 4 KB L1 and exercise eviction/writeback.
+    let addr = 0u32..65536;
+    prop_oneof![
+        addr.clone().prop_map(|a| Op::ReadW(a & !3)),
+        (addr.clone(), any::<u32>()).prop_map(|(a, v)| Op::WriteW(a & !3, v)),
+        addr.clone().prop_map(Op::ReadB),
+        (addr.clone(), any::<u8>()).prop_map(|(a, v)| Op::WriteB(a, v)),
+        addr.clone().prop_map(|a| Op::ReadH(a & !1)),
+        (addr, any::<u16>()).prop_map(|(a, v)| Op::WriteH(a & !1, v)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Without faults the cache hierarchy is an invisible performance
+    /// artifact: any operation sequence matches a flat byte store.
+    #[test]
+    fn fault_free_system_equals_flat_memory(ops in prop::collection::vec(op_strategy(), 1..300)) {
+        let mut mem = MemSystem::new(MemConfig::strongarm(), 0);
+        mem.set_inject(false);
+        let mut model: HashMap<u32, u8> = HashMap::new();
+        let rd = |m: &HashMap<u32, u8>, a: u32| *m.get(&a).unwrap_or(&0);
+        for op in &ops {
+            match *op {
+                Op::ReadW(a) => {
+                    let want = u32::from_le_bytes([
+                        rd(&model, a), rd(&model, a + 1), rd(&model, a + 2), rd(&model, a + 3),
+                    ]);
+                    prop_assert_eq!(mem.read_u32(a).unwrap(), want);
+                }
+                Op::WriteW(a, v) => {
+                    mem.write_u32(a, v).unwrap();
+                    for (i, b) in v.to_le_bytes().iter().enumerate() {
+                        model.insert(a + i as u32, *b);
+                    }
+                }
+                Op::ReadB(a) => {
+                    prop_assert_eq!(mem.read_u8(a).unwrap(), rd(&model, a));
+                }
+                Op::WriteB(a, v) => {
+                    mem.write_u8(a, v).unwrap();
+                    model.insert(a, v);
+                }
+                Op::ReadH(a) => {
+                    let want = u16::from_le_bytes([rd(&model, a), rd(&model, a + 1)]);
+                    prop_assert_eq!(mem.read_u16(a).unwrap(), want);
+                }
+                Op::WriteH(a, v) => {
+                    mem.write_u16(a, v).unwrap();
+                    for (i, b) in v.to_le_bytes().iter().enumerate() {
+                        model.insert(a + i as u32, *b);
+                    }
+                }
+            }
+        }
+    }
+
+    /// With parity + strikes and single-bit-only faults, reads of
+    /// host-seeded (clean) data always return the written value: every
+    /// odd-weight transient is caught and recovered.
+    #[test]
+    fn parity_recovers_all_single_bit_read_faults(
+        seed in any::<u64>(),
+        addrs in prop::collection::vec(0u32..256, 1..50),
+    ) {
+        let cfg = MemConfig::strongarm()
+            .with_detection(DetectionScheme::Parity)
+            .with_strikes(StrikePolicy::three_strike())
+            .with_fault_model(FaultProbabilityModel::new(0.005, 0.0));
+        let mut mem = MemSystem::new(cfg, seed);
+        let addrs: Vec<u32> = {
+            let mut v = addrs;
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        for (i, a) in addrs.iter().enumerate() {
+            mem.host_write_u32(a * 4, i as u32).unwrap();
+        }
+        // Multi-bit faults occur at 1/100 of singles; with these few
+        // accesses a double is vanishingly unlikely but possible, so
+        // tolerate one mismatch only if it is even-weight.
+        for (i, a) in addrs.iter().enumerate() {
+            let got = mem.read_u32(a * 4).unwrap();
+            let diff = (got ^ i as u32).count_ones();
+            prop_assert!(diff == 0 || diff.is_multiple_of(2), "odd corruption escaped: {diff} bits");
+        }
+    }
+
+    /// Counter consistency: every program access performs exactly one
+    /// L1 lookup, and energy/cycles grow monotonically.
+    #[test]
+    fn counters_stay_consistent(ops in prop::collection::vec(op_strategy(), 1..200), seed in any::<u64>()) {
+        let cfg = MemConfig::strongarm()
+            .with_detection(DetectionScheme::Parity)
+            .with_fault_model(FaultProbabilityModel::new(0.001, 0.0));
+        let mut mem = MemSystem::new(cfg, seed);
+        let mut last_cycles = 0.0;
+        for op in &ops {
+            match *op {
+                Op::ReadW(a) => { let _ = mem.read_u32(a).unwrap(); }
+                Op::WriteW(a, v) => mem.write_u32(a, v).unwrap(),
+                Op::ReadB(a) => { let _ = mem.read_u8(a).unwrap(); }
+                Op::WriteB(a, v) => mem.write_u8(a, v).unwrap(),
+                Op::ReadH(a) => { let _ = mem.read_u16(a).unwrap(); }
+                Op::WriteH(a, v) => mem.write_u16(a, v).unwrap(),
+            }
+            prop_assert!(mem.cycles() > last_cycles);
+            last_cycles = mem.cycles();
+        }
+        let s = mem.stats();
+        prop_assert_eq!(s.l1_hits + s.l1_misses, s.accesses());
+        prop_assert!(s.faults_detected + s.faults_undetected <= s.faults_injected + s.strike_retries);
+        prop_assert!(mem.energy().total_nj() > 0.0);
+    }
+
+    /// Geometry round-trip: (tag, set, offset) reconstructs the address.
+    #[test]
+    fn geometry_decomposition_inverts(
+        size_log in 10u32..18,
+        line_log in 2u32..8,
+        assoc_log in 0u32..3,
+        addr in any::<u32>(),
+    ) {
+        prop_assume!(line_log < size_log);
+        let size = 1u32 << size_log;
+        let line = 1u32 << line_log;
+        let assoc = 1u32 << assoc_log;
+        prop_assume!(size / line >= assoc);
+        let g = CacheGeometry::new(size, line, assoc);
+        let rebuilt =
+            (g.tag_of(addr) * g.sets() + g.set_of(addr)) * g.line_size() + g.offset_of(addr);
+        prop_assert_eq!(rebuilt, addr);
+        prop_assert_eq!(g.line_base(addr) + g.offset_of(addr), addr);
+    }
+}

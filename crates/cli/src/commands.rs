@@ -1,0 +1,514 @@
+//! The `clumsy` subcommands.
+
+use crate::args::{ArgError, Args};
+use crate::json::{array, JsonObject};
+use cache_sim::{DetectionScheme, RecoveryGranularity, StrikePolicy};
+use clumsy_core::experiment::{run_config_on_trace, ExperimentOptions};
+use clumsy_core::{ClumsyConfig, DynamicConfig, PAPER_CYCLE_TIMES};
+use energy_model::EdfMetric;
+use fault_model::{FaultProbabilityModel, VoltageSwingCurve};
+use netbench::{AppKind, Trace, TraceConfig};
+
+/// Top-level CLI error.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument problem.
+    Args(ArgError),
+    /// Unknown subcommand.
+    UnknownCommand(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::UnknownCommand(c) => {
+                write!(f, "unknown command {c:?} (try `clumsy help`)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+/// Dispatches a parsed command line, returning the text to print.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown commands or invalid options.
+pub fn dispatch(args: &Args) -> Result<String, CliError> {
+    match args.command() {
+        "run" => run(args),
+        "sweep" => sweep(args),
+        "trace" => trace_info(args),
+        "model" => model(args),
+        "apps" => Ok(apps_listing()),
+        "repro" => repro(args),
+        "help" | "--help" | "-h" => Ok(help_text()),
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+/// The `help` text.
+pub fn help_text() -> String {
+    "\
+clumsy — reliability-aware cache over-clocking simulator (MICRO-37 2004)
+
+USAGE:
+    clumsy <COMMAND> [OPTIONS]
+
+COMMANDS:
+    run      run one application on one design point
+    sweep    design-space grid (schemes x clocks) for one application
+    repro    regenerate a paper experiment (table1 | fig8 | fig12b)
+    trace    describe the synthetic packet trace
+    model    print the fault-model operating points
+    apps     list available applications
+    help     show this text
+
+RUN OPTIONS:
+    --app <name>          application (default route; see `clumsy apps`)
+    --cr <0..1|dynamic>   relative cycle time or the dynamic plan (default 1.0)
+    --detection <d>       none | parity | byte-parity (default none)
+    --strikes <1..8>      strike policy (default 2)
+    --recovery <g>        line | word (default line)
+    --watchdog            contain fatal errors by dropping the packet
+    --packets <n>         trace length (default 2000)
+    --trials <n>          fault-seed trials (default 1)
+    --seed <n>            base fault seed (default 24301)
+    --json                machine-readable output
+
+SWEEP OPTIONS: --app, --packets, --trials, --seed, --json
+TRACE OPTIONS: --packets, --seed
+MODEL OPTIONS: --beta <f> (default calibrated 0.20)
+REPRO OPTIONS: --experiment <table1|fig8|fig12b>, --packets, --trials, --seed
+"
+    .to_string()
+}
+
+fn apps_listing() -> String {
+    let mut out = String::from("paper applications (Table I):\n");
+    for k in AppKind::all() {
+        out.push_str(&format!("  {k}\n"));
+    }
+    out.push_str("extensions:\n  adpcm (media codec, §4 generality claim)\n");
+    out
+}
+
+fn repro(args: &Args) -> Result<String, CliError> {
+    use clumsy_core::experiment::{edf_average, fatal_study, table1};
+    args.expect_only(&["experiment", "packets", "trials", "seed"])?;
+    let (_, opts) = parse_trace(args)?;
+    let which = args.get("experiment").unwrap_or("table1");
+    let mut out = String::new();
+    match which {
+        "table1" => {
+            for row in table1(&opts) {
+                out.push_str(&format!("{row}\n"));
+            }
+        }
+        "fig8" => {
+            out.push_str("fatal error probability (no detection):\n");
+            out.push_str(&format!(
+                "{:>6} {:>10} {:>10} {:>10} {:>10}\n",
+                "app", "Cr=1.00", "Cr=0.75", "Cr=0.50", "Cr=0.25"
+            ));
+            for r in fatal_study(&opts) {
+                out.push_str(&format!(
+                    "{:>6} {:>10.2e} {:>10.2e} {:>10.2e} {:>10.2e}\n",
+                    r.app, r.per_cr[0], r.per_cr[1], r.per_cr[2], r.per_cr[3]
+                ));
+            }
+        }
+        "fig12b" => {
+            out.push_str("average relative energy-delay^2-fallibility^2:\n");
+            for b in edf_average(&opts) {
+                out.push_str(&format!(
+                    "{:>13} {:>8} {:.3} (+/-{:.3})\n",
+                    b.scheme, b.freq, b.relative_edf, b.relative_edf_stddev
+                ));
+            }
+        }
+        other => {
+            return Err(CliError::Args(ArgError::BadValue {
+                option: "experiment".into(),
+                value: other.into(),
+                expected: "table1 | fig8 | fig12b",
+            }))
+        }
+    }
+    Ok(out)
+}
+
+fn parse_app(args: &Args) -> Result<AppKind, CliError> {
+    let name = args.get("app").unwrap_or("route");
+    AppKind::extended()
+        .into_iter()
+        .find(|k| k.name() == name)
+        .ok_or_else(|| {
+            CliError::Args(ArgError::BadValue {
+                option: "app".into(),
+                value: name.into(),
+                expected: "one of crc/tl/route/drr/nat/md5/url/adpcm",
+            })
+        })
+}
+
+fn parse_config(args: &Args) -> Result<ClumsyConfig, CliError> {
+    let mut cfg = ClumsyConfig::baseline();
+    cfg = match args.get("detection").unwrap_or("none") {
+        "none" => cfg.with_detection(DetectionScheme::None),
+        "parity" => cfg.with_detection(DetectionScheme::Parity),
+        "byte-parity" => cfg.with_detection(DetectionScheme::ParityPerByte),
+        other => {
+            return Err(CliError::Args(ArgError::BadValue {
+                option: "detection".into(),
+                value: other.into(),
+                expected: "none | parity | byte-parity",
+            }))
+        }
+    };
+    let strikes: u8 = args.get_parsed("strikes", 2, "a strike count in 1..=8")?;
+    if !(1..=8).contains(&strikes) {
+        return Err(CliError::Args(ArgError::BadValue {
+            option: "strikes".into(),
+            value: strikes.to_string(),
+            expected: "a strike count in 1..=8",
+        }));
+    }
+    cfg = cfg.with_strikes(StrikePolicy::with_strikes(strikes));
+    cfg = match args.get("recovery").unwrap_or("line") {
+        "line" => cfg.with_recovery(RecoveryGranularity::Line),
+        "word" => cfg.with_recovery(RecoveryGranularity::Word),
+        other => {
+            return Err(CliError::Args(ArgError::BadValue {
+                option: "recovery".into(),
+                value: other.into(),
+                expected: "line | word",
+            }))
+        }
+    };
+    cfg = match args.get("cr").unwrap_or("1.0") {
+        "dynamic" => cfg.with_dynamic(DynamicConfig::paper()),
+        v => {
+            let cr: f64 = v.parse().map_err(|_| {
+                CliError::Args(ArgError::BadValue {
+                    option: "cr".into(),
+                    value: v.into(),
+                    expected: "a cycle time in (0, 1] or `dynamic`",
+                })
+            })?;
+            if !(cr > 0.0 && cr <= 1.0) {
+                return Err(CliError::Args(ArgError::BadValue {
+                    option: "cr".into(),
+                    value: v.into(),
+                    expected: "a cycle time in (0, 1] or `dynamic`",
+                }));
+            }
+            cfg.with_static_cycle(cr)
+        }
+    };
+    if args.flag("watchdog") {
+        cfg = cfg.with_watchdog();
+    }
+    if args.flag("quantize-off") {
+        cfg.mem.quantize_latency = false;
+    }
+    cfg = cfg.with_seed(args.get_parsed("seed", 24301u64, "an integer seed")?);
+    Ok(cfg)
+}
+
+fn parse_trace(args: &Args) -> Result<(Trace, ExperimentOptions), CliError> {
+    let packets: usize = args.get_parsed("packets", 2000, "a packet count")?;
+    let trials: u32 = args.get_parsed("trials", 1, "a trial count")?;
+    let seed: u64 = args.get_parsed("seed", 24301, "an integer seed")?;
+    let trace_cfg = TraceConfig::paper().with_packets(packets.max(1));
+    let opts = ExperimentOptions {
+        trace: trace_cfg.clone(),
+        trials: trials.max(1),
+        seed,
+    };
+    Ok((trace_cfg.generate(), opts))
+}
+
+const RUN_OPTIONS: &[&str] = &[
+    "app", "cr", "detection", "strikes", "recovery", "watchdog", "packets", "trials", "seed",
+    "json", "quantize-off",
+];
+
+fn run(args: &Args) -> Result<String, CliError> {
+    args.expect_only(RUN_OPTIONS)?;
+    let kind = parse_app(args)?;
+    let cfg = parse_config(args)?;
+    let (trace, opts) = parse_trace(args)?;
+    let agg = run_config_on_trace(kind, &cfg, &trace, &opts);
+    let baseline = run_config_on_trace(kind, &ClumsyConfig::baseline(), &trace, &opts);
+    let metric = EdfMetric::paper();
+    let rel = agg.edf(&metric) / baseline.edf(&metric);
+
+    if args.flag("json") {
+        let r = &agg.runs[0];
+        let mut o = JsonObject::new();
+        o.string("app", kind.name())
+            .string("config", &cfg.label())
+            .integer("packets_attempted", r.packets_attempted as u64)
+            .integer("packets_completed", r.packets_completed as u64)
+            .integer("dropped_packets", r.dropped_packets as u64)
+            .integer("erroneous_packets", r.erroneous_packets as u64)
+            .boolean("fatal", r.fatal.is_some())
+            .number("fallibility", agg.fallibility())
+            .number("cycles_per_packet", agg.delay_per_packet())
+            .number("nj_per_packet", agg.energy_per_packet())
+            .number("relative_edf2", rel)
+            .integer("faults_injected", r.stats.faults_injected)
+            .integer("faults_detected", r.stats.faults_detected);
+        return Ok(o.finish());
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{kind} on {}\n", cfg.label()));
+    for r in &agg.runs {
+        out.push_str(&format!("  {r}\n"));
+    }
+    out.push_str(&format!(
+        "fallibility {:.4} | {:.0} cycles/pkt | {:.0} nJ/pkt | relative EDF^2 {:.3}\n",
+        agg.fallibility(),
+        agg.delay_per_packet(),
+        agg.energy_per_packet(),
+        rel
+    ));
+    Ok(out)
+}
+
+fn sweep(args: &Args) -> Result<String, CliError> {
+    args.expect_only(&["app", "packets", "trials", "seed", "json"])?;
+    let kind = parse_app(args)?;
+    let (trace, opts) = parse_trace(args)?;
+    let metric = EdfMetric::paper();
+    let baseline = run_config_on_trace(kind, &ClumsyConfig::baseline(), &trace, &opts);
+    let base = baseline.edf(&metric);
+
+    let schemes: [(&str, DetectionScheme, StrikePolicy); 4] = [
+        ("none", DetectionScheme::None, StrikePolicy::one_strike()),
+        ("1-strike", DetectionScheme::Parity, StrikePolicy::one_strike()),
+        ("2-strike", DetectionScheme::Parity, StrikePolicy::two_strike()),
+        ("3-strike", DetectionScheme::Parity, StrikePolicy::three_strike()),
+    ];
+    let mut cells = Vec::new();
+    for (label, det, strikes) in schemes {
+        for cr in PAPER_CYCLE_TIMES {
+            let cfg = ClumsyConfig::baseline()
+                .with_detection(det)
+                .with_strikes(strikes)
+                .with_static_cycle(cr);
+            let rel = run_config_on_trace(kind, &cfg, &trace, &opts).edf(&metric) / base;
+            cells.push((label, cr, rel));
+        }
+    }
+
+    if args.flag("json") {
+        let items = cells.iter().map(|(s, cr, rel)| {
+            let mut o = JsonObject::new();
+            o.string("scheme", s).number("cr", *cr).number("relative_edf2", *rel);
+            o.finish()
+        });
+        let mut o = JsonObject::new();
+        o.string("app", kind.name()).raw("cells", &array(items));
+        return Ok(o.finish());
+    }
+
+    let mut out = format!("design space for {kind} (relative EDF^2)\n{:>10}", "scheme");
+    for cr in PAPER_CYCLE_TIMES {
+        out.push_str(&format!("{:>9}", format!("Cr={cr}")));
+    }
+    out.push('\n');
+    let mut best: (f64, String) = (f64::INFINITY, String::new());
+    for (label, _, _) in schemes {
+        out.push_str(&format!("{label:>10}"));
+        for &(s, cr, rel) in cells.iter().filter(|(s, ..)| *s == label) {
+            out.push_str(&format!("{rel:>9.3}"));
+            if rel < best.0 {
+                best = (rel, format!("{s} @ Cr={cr}"));
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("optimum: {} ({:.3})\n", best.1, best.0));
+    Ok(out)
+}
+
+fn trace_info(args: &Args) -> Result<String, CliError> {
+    args.expect_only(&["packets", "seed", "json"])?;
+    let (trace, _) = parse_trace(args)?;
+    if args.flag("json") {
+        let mut o = JsonObject::new();
+        o.integer("packets", trace.packets.len() as u64)
+            .integer("prefixes", trace.prefixes.len() as u64)
+            .integer("urls", trace.urls.len() as u64)
+            .integer("flows", trace.flow_count as u64);
+        return Ok(o.finish());
+    }
+    let mut out = format!("{trace}\nfirst packets:\n");
+    for p in trace.packets.iter().take(5) {
+        out.push_str(&format!("  {p}\n"));
+    }
+    Ok(out)
+}
+
+fn model(args: &Args) -> Result<String, CliError> {
+    args.expect_only(&["beta", "json"])?;
+    let beta: f64 = args.get_parsed(
+        "beta",
+        fault_model::CALIBRATED_BETA,
+        "a non-negative exponent",
+    )?;
+    if !(beta >= 0.0 && beta.is_finite()) {
+        return Err(CliError::Args(ArgError::BadValue {
+            option: "beta".into(),
+            value: beta.to_string(),
+            expected: "a non-negative exponent",
+        }));
+    }
+    let m = FaultProbabilityModel::with_beta(beta);
+    let swing = VoltageSwingCurve::paper();
+    if args.flag("json") {
+        let items = PAPER_CYCLE_TIMES.iter().map(|&cr| {
+            let mut o = JsonObject::new();
+            o.number("cr", cr)
+                .number("voltage_swing", swing.relative_swing(cr))
+                .number("per_bit_fault_probability", m.per_bit_at_cycle(cr));
+            o.finish()
+        });
+        let mut o = JsonObject::new();
+        o.number("beta", beta).raw("points", &array(items));
+        return Ok(o.finish());
+    }
+    let mut out = format!("{m}\n{:>6} {:>8} {:>14}\n", "Cr", "Vsr", "P_E/bit");
+    for cr in PAPER_CYCLE_TIMES {
+        out.push_str(&format!(
+            "{cr:>6.2} {:>8.3} {:>14.3e}\n",
+            swing.relative_swing(cr),
+            m.per_bit_at_cycle(cr)
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dispatch_line(line: &[&str]) -> Result<String, CliError> {
+        let args = Args::parse(line.iter().map(|s| s.to_string())).unwrap();
+        dispatch(&args)
+    }
+
+    #[test]
+    fn help_lists_commands() {
+        let h = dispatch_line(&["help"]).unwrap();
+        for cmd in ["run", "sweep", "trace", "model", "apps"] {
+            assert!(h.contains(cmd), "missing {cmd}");
+        }
+    }
+
+    #[test]
+    fn apps_lists_the_table_1_set() {
+        let a = dispatch_line(&["apps"]).unwrap();
+        for name in ["crc", "tl", "route", "drr", "nat", "md5", "url", "adpcm"] {
+            assert!(a.contains(name));
+        }
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(matches!(
+            dispatch_line(&["frobnicate"]),
+            Err(CliError::UnknownCommand(_))
+        ));
+    }
+
+    #[test]
+    fn model_prints_paper_operating_points() {
+        let out = dispatch_line(&["model"]).unwrap();
+        assert!(out.contains("0.25"));
+        assert!(out.contains("2.590e-7") || out.contains("2.59e-7"));
+    }
+
+    #[test]
+    fn model_json_is_parsable_shape() {
+        let out = dispatch_line(&["model", "--json"]).unwrap();
+        assert!(out.starts_with('{') && out.ends_with('}'));
+        assert!(out.contains("\"points\":["));
+    }
+
+    #[test]
+    fn trace_summary_mentions_counts() {
+        let out = dispatch_line(&["trace", "--packets", "10"]).unwrap();
+        assert!(out.contains("10 packets"));
+    }
+
+    #[test]
+    fn run_small_config_works() {
+        let out = dispatch_line(&[
+            "run", "--app", "tl", "--packets", "50", "--cr", "0.5", "--detection", "parity",
+        ])
+        .unwrap();
+        assert!(out.contains("tl"));
+        assert!(out.contains("relative EDF^2"));
+    }
+
+    #[test]
+    fn run_json_contains_metrics() {
+        let out = dispatch_line(&["run", "--app", "crc", "--packets", "30", "--json"]).unwrap();
+        assert!(out.contains("\"fallibility\":"));
+        assert!(out.contains("\"packets_completed\":30"));
+    }
+
+    #[test]
+    fn run_rejects_bad_detection() {
+        assert!(dispatch_line(&["run", "--detection", "ecc"]).is_err());
+    }
+
+    #[test]
+    fn run_rejects_out_of_range_cr() {
+        assert!(dispatch_line(&["run", "--cr", "1.5"]).is_err());
+        assert!(dispatch_line(&["run", "--cr", "0"]).is_err());
+    }
+
+    #[test]
+    fn run_accepts_dynamic_plan() {
+        let out =
+            dispatch_line(&["run", "--app", "tl", "--packets", "120", "--cr", "dynamic"]).unwrap();
+        assert!(out.contains("dynamic"));
+    }
+
+    #[test]
+    fn repro_table1_lists_all_apps() {
+        let out = dispatch_line(&["repro", "--experiment", "table1", "--packets", "60"]).unwrap();
+        for app in ["crc", "md5", "url"] {
+            assert!(out.contains(app), "missing {app} in {out}");
+        }
+    }
+
+    #[test]
+    fn repro_rejects_unknown_experiment() {
+        assert!(dispatch_line(&["repro", "--experiment", "fig99"]).is_err());
+    }
+
+    #[test]
+    fn sweep_reports_an_optimum() {
+        let out = dispatch_line(&["sweep", "--app", "tl", "--packets", "60"]).unwrap();
+        assert!(out.contains("optimum:"));
+    }
+
+    #[test]
+    fn unknown_option_is_rejected_per_command() {
+        assert!(dispatch_line(&["trace", "--app", "tl"]).is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! A tiny JSON writer (the workspace deliberately avoids a JSON
+//! dependency; reports are flat and simple).
+
+use std::fmt::Write as _;
+
+/// Builds one JSON object from typed fields, correctly escaped.
+///
+/// # Examples
+///
+/// ```ignore
+/// let mut o = JsonObject::new();
+/// o.string("app", "route").number("fallibility", 1.01);
+/// assert_eq!(o.finish(), r#"{"app":"route","fallibility":1.01}"#);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct JsonObject {
+    body: String,
+}
+
+impl JsonObject {
+    /// Creates an empty object.
+    pub fn new() -> Self {
+        JsonObject::default()
+    }
+
+    fn sep(&mut self) {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+    }
+
+    /// Adds a string field.
+    pub fn string(&mut self, key: &str, value: &str) -> &mut Self {
+        self.sep();
+        let _ = write!(self.body, "{}:{}", escape(key), escape(value));
+        self
+    }
+
+    /// Adds a numeric field (floats print shortest-round-trip; NaN and
+    /// infinities become `null` per JSON rules).
+    pub fn number(&mut self, key: &str, value: f64) -> &mut Self {
+        self.sep();
+        if value.is_finite() {
+            let _ = write!(self.body, "{}:{}", escape(key), value);
+        } else {
+            let _ = write!(self.body, "{}:null", escape(key));
+        }
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn integer(&mut self, key: &str, value: u64) -> &mut Self {
+        self.sep();
+        let _ = write!(self.body, "{}:{}", escape(key), value);
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn boolean(&mut self, key: &str, value: bool) -> &mut Self {
+        self.sep();
+        let _ = write!(self.body, "{}:{}", escape(key), value);
+        self
+    }
+
+    /// Adds a raw (pre-serialized) field — for nested objects/arrays.
+    pub fn raw(&mut self, key: &str, json: &str) -> &mut Self {
+        self.sep();
+        let _ = write!(self.body, "{}:{}", escape(key), json);
+        self
+    }
+
+    /// Serializes the object.
+    pub fn finish(&self) -> String {
+        format!("{{{}}}", self.body)
+    }
+}
+
+/// Serializes a list of pre-serialized values as a JSON array.
+pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+/// Escapes a string per RFC 8259.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_flat_objects() {
+        let mut o = JsonObject::new();
+        o.string("app", "route")
+            .number("fallibility", 1.25)
+            .integer("packets", 2000)
+            .boolean("fatal", false);
+        assert_eq!(
+            o.finish(),
+            r#"{"app":"route","fallibility":1.25,"packets":2000,"fatal":false}"#
+        );
+    }
+
+    #[test]
+    fn escapes_special_characters() {
+        let mut o = JsonObject::new();
+        o.string("k", "a\"b\\c\nd\te\u{1}");
+        assert_eq!(o.finish(), r#"{"k":"a\"b\\c\nd\te\u0001"}"#);
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        let mut o = JsonObject::new();
+        o.number("x", f64::NAN).number("y", f64::INFINITY);
+        assert_eq!(o.finish(), r#"{"x":null,"y":null}"#);
+    }
+
+    #[test]
+    fn arrays_join_items() {
+        assert_eq!(array(["1".to_string(), "2".to_string()]), "[1,2]");
+        assert_eq!(array(Vec::<String>::new()), "[]");
+    }
+
+    #[test]
+    fn nested_raw_fields() {
+        let mut inner = JsonObject::new();
+        inner.integer("a", 1);
+        let mut outer = JsonObject::new();
+        outer.raw("inner", &inner.finish());
+        assert_eq!(outer.finish(), r#"{"inner":{"a":1}}"#);
+    }
+
+    #[test]
+    fn empty_object_is_braces() {
+        assert_eq!(JsonObject::new().finish(), "{}");
+    }
+}

@@ -1,0 +1,37 @@
+//! `clumsy` — command-line interface to the clumsy packet-processor
+//! simulator (reproduction of MICRO-37 2004's "A Case for Clumsy Packet
+//! Processors").
+//!
+//! ```text
+//! clumsy run --app route --cr 0.5 --detection parity --strikes 2
+//! clumsy sweep --app md5 --packets 5000
+//! clumsy model --beta 0.2
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+mod json;
+
+use args::Args;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = if argv.is_empty() {
+        Ok(Args::parse(["help".to_string()]).expect("help parses"))
+    } else {
+        Args::parse(argv)
+    };
+    let result = parsed
+        .map_err(commands::CliError::from)
+        .and_then(|args| commands::dispatch(&args));
+    match result {
+        Ok(text) => println!("{text}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

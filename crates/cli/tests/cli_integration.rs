@@ -1,0 +1,71 @@
+//! End-to-end tests spawning the actual `clumsy` binary.
+
+use std::process::Command;
+
+fn clumsy(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_clumsy"))
+        .args(args)
+        .output()
+        .expect("binary spawns");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn no_arguments_prints_help() {
+    let (stdout, _, ok) = clumsy(&[]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+}
+
+#[test]
+fn run_produces_a_report() {
+    let (stdout, _, ok) = clumsy(&[
+        "run", "--app", "tl", "--packets", "80", "--cr", "0.5", "--detection", "parity",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("relative EDF^2"));
+    assert!(stdout.contains("80/80 packets"));
+}
+
+#[test]
+fn run_json_is_machine_readable() {
+    let (stdout, _, ok) = clumsy(&["run", "--app", "crc", "--packets", "40", "--json"]);
+    assert!(ok);
+    let line = stdout.trim();
+    assert!(line.starts_with('{') && line.ends_with('}'));
+    assert!(line.contains("\"app\":\"crc\""));
+    assert!(line.contains("\"packets_completed\":40"));
+}
+
+#[test]
+fn bad_option_exits_nonzero_with_message() {
+    let (_, stderr, ok) = clumsy(&["run", "--cr", "2.0"]);
+    assert!(!ok);
+    assert!(stderr.contains("--cr"));
+}
+
+#[test]
+fn unknown_command_exits_nonzero() {
+    let (_, stderr, ok) = clumsy(&["explode"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn model_command_prints_operating_points() {
+    let (stdout, _, ok) = clumsy(&["model"]);
+    assert!(ok);
+    assert!(stdout.contains("P_E/bit"));
+}
+
+#[test]
+fn watchdog_flag_is_accepted() {
+    let (stdout, _, ok) = clumsy(&[
+        "run", "--app", "tl", "--packets", "60", "--cr", "0.25", "--watchdog",
+    ]);
+    assert!(ok, "{stdout}");
+}

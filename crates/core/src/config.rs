@@ -1,0 +1,262 @@
+//! Design-point configuration for a clumsy packet processor.
+
+use cache_sim::{DetectionScheme, MemConfig, StrikePolicy};
+use energy_model::EdfMetric;
+use netbench::PlaneMask;
+use std::fmt;
+
+/// The dynamic frequency-adaptation parameters (paper §4).
+///
+/// After every `epoch_packets` processed packets the controller compares
+/// the epoch's fault count against the count stored at the last
+/// frequency change: above `x1` (200 %) it reduces the frequency, below
+/// `x2` (80 %) it increases it, otherwise it holds. Frequency settings
+/// are discrete, stepping through `levels`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicConfig {
+    /// Packets per decision epoch (paper: 100).
+    pub epoch_packets: u32,
+    /// Upper threshold as a fraction (paper: 2.0 for "X1 = 200 %").
+    pub x1: f64,
+    /// Lower threshold as a fraction (paper: 0.8 for "X2 = 80 %").
+    pub x2: f64,
+    /// Discrete cycle-time levels, slowest (safest) first.
+    pub levels: Vec<f64>,
+}
+
+impl DynamicConfig {
+    /// The paper's best-performing setting (§4).
+    pub fn paper() -> Self {
+        DynamicConfig {
+            epoch_packets: 100,
+            x1: 2.0,
+            x2: 0.8,
+            levels: crate::PAPER_CYCLE_TIMES.to_vec(),
+        }
+    }
+}
+
+impl Default for DynamicConfig {
+    fn default() -> Self {
+        DynamicConfig::paper()
+    }
+}
+
+/// How the data-cache clock is chosen.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrequencyPlan {
+    /// A fixed relative cycle time for the whole run.
+    Static(f64),
+    /// The epoch-based dynamic adaptation scheme.
+    Dynamic(DynamicConfig),
+}
+
+impl FrequencyPlan {
+    /// The paper's dynamic scheme with default parameters.
+    pub fn dynamic() -> Self {
+        FrequencyPlan::Dynamic(DynamicConfig::paper())
+    }
+
+    /// Short label for reports ("1.00", "0.50", "dynamic").
+    pub fn label(&self) -> String {
+        match self {
+            FrequencyPlan::Static(cr) => format!("{cr:.2}"),
+            FrequencyPlan::Dynamic(_) => "dynamic".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for FrequencyPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// A complete clumsy-processor design point.
+///
+/// # Examples
+///
+/// ```
+/// use cache_sim::{DetectionScheme, StrikePolicy};
+/// use clumsy_core::ClumsyConfig;
+///
+/// let cfg = ClumsyConfig::baseline()
+///     .with_detection(DetectionScheme::Parity)
+///     .with_strikes(StrikePolicy::three_strike())
+///     .with_static_cycle(0.25);
+/// assert_eq!(cfg.frequency.label(), "0.25");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClumsyConfig {
+    /// Memory-hierarchy configuration (geometry, detection, strikes,
+    /// fault model, energy constants).
+    pub mem: MemConfig,
+    /// Clocking plan for the data cache.
+    pub frequency: FrequencyPlan,
+    /// Which planes receive fault injection.
+    pub planes: PlaneMask,
+    /// Seed for fault sampling (trace seeds live in `TraceConfig`).
+    pub seed: u64,
+    /// Per-packet instruction budget override (`None` = app default).
+    pub fuel_per_packet: Option<u64>,
+    /// Watchdog recovery (paper footnote 3: *"the processor can be
+    /// modified such that we can recover from the error"*): a fatal
+    /// error drops the offending packet instead of ending the run.
+    pub watchdog: bool,
+    /// The comparison metric.
+    pub metric: EdfMetric,
+}
+
+impl ClumsyConfig {
+    /// The baseline every figure normalizes to: full-speed cache, no
+    /// detection, faults in both planes.
+    pub fn baseline() -> Self {
+        ClumsyConfig {
+            mem: MemConfig::strongarm(),
+            frequency: FrequencyPlan::Static(1.0),
+            planes: PlaneMask::both(),
+            seed: 0x5EED,
+            fuel_per_packet: None,
+            watchdog: false,
+            metric: EdfMetric::paper(),
+        }
+    }
+
+    /// The paper's best configuration on average (§5.4 / §7): double
+    /// clock (`Cr = 0.5`), parity detection, two-strike recovery.
+    pub fn paper_best() -> Self {
+        ClumsyConfig::baseline()
+            .with_detection(DetectionScheme::Parity)
+            .with_strikes(StrikePolicy::two_strike())
+            .with_static_cycle(0.5)
+    }
+
+    /// Returns the config with a different detection scheme.
+    pub fn with_detection(mut self, d: DetectionScheme) -> Self {
+        self.mem.detection = d;
+        self
+    }
+
+    /// Returns the config with a different strike policy.
+    pub fn with_strikes(mut self, s: StrikePolicy) -> Self {
+        self.mem.strikes = s;
+        self
+    }
+
+    /// Returns the config with a static cycle time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cr` is not in `(0, 1]`.
+    pub fn with_static_cycle(mut self, cr: f64) -> Self {
+        assert!(
+            cr.is_finite() && cr > 0.0 && cr <= 1.0,
+            "relative cycle time must be in (0, 1], got {cr}"
+        );
+        self.frequency = FrequencyPlan::Static(cr);
+        self
+    }
+
+    /// Returns the config with the dynamic frequency plan.
+    pub fn with_dynamic(mut self, d: DynamicConfig) -> Self {
+        self.frequency = FrequencyPlan::Dynamic(d);
+        self
+    }
+
+    /// Returns the config with a different strike-recovery granularity
+    /// (the footnote-2 sub-block extension).
+    pub fn with_recovery(mut self, r: cache_sim::RecoveryGranularity) -> Self {
+        self.mem.recovery = r;
+        self
+    }
+
+    /// Returns the config with watchdog fatal-error recovery enabled.
+    pub fn with_watchdog(mut self) -> Self {
+        self.watchdog = true;
+        self
+    }
+
+    /// Returns the config with a different plane mask.
+    pub fn with_planes(mut self, planes: PlaneMask) -> Self {
+        self.planes = planes;
+        self
+    }
+
+    /// Returns the config with a different fault seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns the config with a different fault model.
+    pub fn with_fault_model(mut self, model: fault_model::FaultProbabilityModel) -> Self {
+        self.mem.fault_model = model;
+        self
+    }
+
+    /// Short label: "parity/two-strike @ 0.50".
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{} @ {}",
+            self.mem.detection,
+            self.mem.strikes,
+            self.frequency.label()
+        )
+    }
+}
+
+impl Default for ClumsyConfig {
+    fn default() -> Self {
+        ClumsyConfig::baseline()
+    }
+}
+
+impl fmt::Display for ClumsyConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_dynamic_parameters() {
+        let d = DynamicConfig::paper();
+        assert_eq!(d.epoch_packets, 100);
+        assert!((d.x1 - 2.0).abs() < 1e-12);
+        assert!((d.x2 - 0.8).abs() < 1e-12);
+        assert_eq!(d.levels, vec![1.0, 0.75, 0.5, 0.25]);
+    }
+
+    #[test]
+    fn baseline_is_the_normalization_point() {
+        let c = ClumsyConfig::baseline();
+        assert_eq!(c.mem.detection, DetectionScheme::None);
+        assert_eq!(c.frequency, FrequencyPlan::Static(1.0));
+    }
+
+    #[test]
+    fn paper_best_is_half_cycle_parity_two_strike() {
+        let c = ClumsyConfig::paper_best();
+        assert_eq!(c.mem.detection, DetectionScheme::Parity);
+        assert_eq!(c.mem.strikes, StrikePolicy::two_strike());
+        assert_eq!(c.frequency, FrequencyPlan::Static(0.5));
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert_eq!(
+            ClumsyConfig::paper_best().label(),
+            "parity/two-strike @ 0.50"
+        );
+        assert_eq!(FrequencyPlan::dynamic().label(), "dynamic");
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle time")]
+    fn rejects_overclocking_past_limits() {
+        ClumsyConfig::baseline().with_static_cycle(0.0);
+    }
+}

@@ -1,0 +1,232 @@
+//! The dynamic frequency-adaptation controller (paper §4).
+
+use crate::config::DynamicConfig;
+use std::fmt;
+
+/// A controller decision at an epoch boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Decision {
+    /// Keep the current frequency.
+    Hold,
+    /// Switch to the given relative cycle time (higher `Cr` = slower and
+    /// safer).
+    Switch(f64),
+}
+
+/// Epoch-based dynamic frequency controller.
+///
+/// The processor "records the number of parity failures during execution
+/// epochs. ... after the completion of the processing of 100 packets,
+/// the processor makes a decision for whether to increase the frequency,
+/// to keep it in its current state, or to decrease it depending on the
+/// number of faults" (§4). Deciding on a packet count rather than a time
+/// interval lets the scheme adapt to the application's packet rate.
+///
+/// The paper leaves the all-zero case unspecified; we clamp the stored
+/// fault count to at least one so a fault-free epoch always reads as
+/// "below X2" and the controller can climb out of the safe region.
+///
+/// # Examples
+///
+/// ```
+/// use clumsy_core::{Decision, DynamicController};
+/// use clumsy_core::DynamicConfig;
+///
+/// let mut ctl = DynamicController::new(DynamicConfig::paper());
+/// assert_eq!(ctl.cycle_time(), 1.0);
+/// // 100 fault-free packets: climb to the next level.
+/// let mut decision = Decision::Hold;
+/// for _ in 0..100 {
+///     if let Some(d) = ctl.on_packet(0) {
+///         decision = d;
+///     }
+/// }
+/// assert_eq!(decision, Decision::Switch(0.75));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicController {
+    cfg: DynamicConfig,
+    level: usize,
+    stored_faults: f64,
+    packets_in_epoch: u32,
+    faults_in_epoch: u64,
+    switches: u32,
+}
+
+impl DynamicController {
+    /// Creates a controller starting at the slowest (safest) level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config has no levels or non-monotone levels.
+    pub fn new(cfg: DynamicConfig) -> Self {
+        assert!(!cfg.levels.is_empty(), "need at least one frequency level");
+        assert!(
+            cfg.levels.windows(2).all(|w| w[0] > w[1]),
+            "levels must be strictly decreasing cycle times"
+        );
+        assert!(cfg.x1 > cfg.x2, "x1 must exceed x2");
+        DynamicController {
+            cfg,
+            level: 0,
+            stored_faults: 1.0,
+            packets_in_epoch: 0,
+            faults_in_epoch: 0,
+            switches: 0,
+        }
+    }
+
+    /// Current relative cycle time.
+    pub fn cycle_time(&self) -> f64 {
+        self.cfg.levels[self.level]
+    }
+
+    /// Number of frequency switches decided so far.
+    pub fn switches(&self) -> u32 {
+        self.switches
+    }
+
+    /// Records one processed packet and the faults observed during it.
+    /// Returns a decision at epoch boundaries (`None` mid-epoch).
+    pub fn on_packet(&mut self, faults: u64) -> Option<Decision> {
+        self.packets_in_epoch += 1;
+        self.faults_in_epoch += faults;
+        if self.packets_in_epoch < self.cfg.epoch_packets {
+            return None;
+        }
+        let epoch_faults = self.faults_in_epoch as f64;
+        self.packets_in_epoch = 0;
+        self.faults_in_epoch = 0;
+
+        // Clamp the reference so an all-zero history still allows
+        // climbing (see type-level docs).
+        let reference = self.stored_faults.max(1.0);
+        let decision = if epoch_faults > self.cfg.x1 * reference {
+            // Too many faults: reduce frequency (slower, safer).
+            if self.level > 0 {
+                self.level -= 1;
+                self.stored_faults = epoch_faults;
+                self.switches += 1;
+                Decision::Switch(self.cycle_time())
+            } else {
+                Decision::Hold
+            }
+        } else if epoch_faults < self.cfg.x2 * reference {
+            // Few faults: increase frequency (faster, riskier).
+            if self.level + 1 < self.cfg.levels.len() {
+                self.level += 1;
+                self.stored_faults = epoch_faults;
+                self.switches += 1;
+                Decision::Switch(self.cycle_time())
+            } else {
+                Decision::Hold
+            }
+        } else {
+            Decision::Hold
+        };
+        Some(decision)
+    }
+}
+
+impl fmt::Display for DynamicController {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dynamic @ Cr={:.2} ({} switches)",
+            self.cycle_time(),
+            self.switches
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctl() -> DynamicController {
+        DynamicController::new(DynamicConfig::paper())
+    }
+
+    fn run_epoch(c: &mut DynamicController, faults_per_packet: u64) -> Decision {
+        let mut last = Decision::Hold;
+        for _ in 0..100 {
+            if let Some(d) = c.on_packet(faults_per_packet) {
+                last = d;
+            }
+        }
+        last
+    }
+
+    #[test]
+    fn quiet_epochs_climb_to_fastest() {
+        let mut c = ctl();
+        assert_eq!(run_epoch(&mut c, 0), Decision::Switch(0.75));
+        assert_eq!(run_epoch(&mut c, 0), Decision::Switch(0.5));
+        assert_eq!(run_epoch(&mut c, 0), Decision::Switch(0.25));
+        // Already fastest: hold.
+        assert_eq!(run_epoch(&mut c, 0), Decision::Hold);
+        assert_eq!(c.cycle_time(), 0.25);
+        assert_eq!(c.switches(), 3);
+    }
+
+    #[test]
+    fn fault_storm_backs_off() {
+        let mut c = ctl();
+        run_epoch(&mut c, 0); // -> 0.75, stored = 0 (clamped to 1)
+        run_epoch(&mut c, 0); // -> 0.5
+        // 300 faults this epoch >> 2.0 * stored: back off to 0.75.
+        assert_eq!(run_epoch(&mut c, 3), Decision::Switch(0.75));
+        assert_eq!(c.cycle_time(), 0.75);
+    }
+
+    #[test]
+    fn steady_fault_rate_holds() {
+        let mut c = ctl();
+        run_epoch(&mut c, 0); // climb once; stored clamps to 1
+        // Next epoch: 1 fault total = reference → between 0.8 and 2.0.
+        let mut decisions = Vec::new();
+        for p in 0..100 {
+            let f = u64::from(p == 50);
+            if let Some(d) = c.on_packet(f) {
+                decisions.push(d);
+            }
+        }
+        assert_eq!(decisions, vec![Decision::Hold]);
+    }
+
+    #[test]
+    fn stored_reference_updates_only_on_switch() {
+        let mut c = ctl();
+        run_epoch(&mut c, 0); // switch, stored = 0
+        run_epoch(&mut c, 1); // 100 faults > 2*1: back off, stored = 100
+        assert_eq!(c.cycle_time(), 1.0);
+        // 100 faults again: within [80, 200] of stored → hold.
+        assert_eq!(run_epoch(&mut c, 1), Decision::Hold);
+        // 70 faults < 0.8*100: climb.
+        let mut last = Decision::Hold;
+        for p in 0..100 {
+            if let Some(d) = c.on_packet(u64::from(p < 70)) {
+                last = d;
+            }
+        }
+        assert_eq!(last, Decision::Switch(0.75));
+    }
+
+    #[test]
+    fn decisions_only_at_epoch_boundaries() {
+        let mut c = ctl();
+        for _ in 0..99 {
+            assert_eq!(c.on_packet(0), None);
+        }
+        assert!(c.on_packet(0).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "decreasing")]
+    fn rejects_unsorted_levels() {
+        DynamicController::new(DynamicConfig {
+            levels: vec![0.25, 0.5],
+            ..DynamicConfig::paper()
+        });
+    }
+}

@@ -1,0 +1,554 @@
+//! Grid drivers that regenerate the paper's tables and figures (§5).
+//!
+//! Every public function here corresponds to one experiment of the
+//! paper's evaluation; the `clumsy-bench` binaries print their output.
+//! Figures aggregate several *trials* (identical trace, different fault
+//! seeds) because fault injection is stochastic.
+
+use crate::config::{ClumsyConfig, DynamicConfig};
+use crate::processor::ClumsyProcessor;
+use crate::report::RunReport;
+use crate::PAPER_CYCLE_TIMES;
+use cache_sim::{DetectionScheme, StrikePolicy};
+use energy_model::EdfMetric;
+use netbench::{AppKind, ErrorCategory, PlaneMask, Trace, TraceConfig};
+use std::fmt;
+
+/// Maps `f` over `items` on one scoped thread per item (the per-app
+/// fan-out of the grid drivers; item counts are small, work is chunky).
+fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .iter()
+            .map(|item| scope.spawn(|| f(item)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("experiment worker panicked"))
+            .collect()
+    })
+}
+
+/// Scaling knobs shared by all experiments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentOptions {
+    /// Trace generator settings (packet count dominates runtime).
+    pub trace: TraceConfig,
+    /// Independent fault-seed trials aggregated per configuration.
+    pub trials: u32,
+    /// Base fault seed.
+    pub seed: u64,
+}
+
+impl ExperimentOptions {
+    /// Default reproduction scale (≈2 000 packets, 3 trials).
+    pub fn paper() -> Self {
+        ExperimentOptions {
+            trace: TraceConfig::paper(),
+            trials: 3,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Fast settings for unit tests.
+    pub fn quick() -> Self {
+        ExperimentOptions {
+            trace: TraceConfig::small(),
+            trials: 1,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Reads `CLUMSY_PACKETS` and `CLUMSY_TRIALS` from the environment
+    /// to scale the default options (used by the repro binaries).
+    pub fn from_env() -> Self {
+        let mut opts = ExperimentOptions::paper();
+        if let Ok(p) = std::env::var("CLUMSY_PACKETS") {
+            if let Ok(p) = p.parse::<usize>() {
+                opts.trace.packets = p.max(1);
+            }
+        }
+        if let Ok(t) = std::env::var("CLUMSY_TRIALS") {
+            if let Ok(t) = t.parse::<u32>() {
+                opts.trials = t.max(1);
+            }
+        }
+        opts
+    }
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        ExperimentOptions::paper()
+    }
+}
+
+/// Trial-aggregated reports for one configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Aggregate {
+    /// The per-trial reports.
+    pub runs: Vec<RunReport>,
+}
+
+impl Aggregate {
+    fn mean(&self, f: impl Fn(&RunReport) -> f64) -> f64 {
+        self.runs.iter().map(&f).sum::<f64>() / self.runs.len() as f64
+    }
+
+    fn stddev(&self, f: impl Fn(&RunReport) -> f64) -> f64 {
+        if self.runs.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean(&f);
+        let var = self
+            .runs
+            .iter()
+            .map(|r| {
+                let d = f(r) - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / (self.runs.len() - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Mean fallibility factor across trials.
+    pub fn fallibility(&self) -> f64 {
+        self.mean(RunReport::fallibility)
+    }
+
+    /// Mean cycles per packet.
+    pub fn delay_per_packet(&self) -> f64 {
+        self.mean(RunReport::delay_per_packet)
+    }
+
+    /// Mean energy per packet, in nanojoules.
+    pub fn energy_per_packet(&self) -> f64 {
+        self.mean(RunReport::energy_per_packet)
+    }
+
+    /// Mean EDF product.
+    pub fn edf(&self, metric: &EdfMetric) -> f64 {
+        self.mean(|r| r.edf(metric))
+    }
+
+    /// Sample standard deviation of the EDF product across trials
+    /// (0 for a single trial).
+    pub fn edf_stddev(&self, metric: &EdfMetric) -> f64 {
+        self.stddev(|r| r.edf(metric))
+    }
+
+    /// Sample standard deviation of the fallibility factor.
+    pub fn fallibility_stddev(&self) -> f64 {
+        self.stddev(RunReport::fallibility)
+    }
+
+    /// Pooled per-category error probability across trials.
+    pub fn error_probability(&self, cat: ErrorCategory) -> f64 {
+        if cat == ErrorCategory::Initialization {
+            let wrong: usize = self.runs.iter().map(|r| r.init_obs_wrong).sum();
+            let total: usize = self.runs.iter().map(|r| r.init_obs_total).sum();
+            return if total == 0 { 0.0 } else { wrong as f64 / total as f64 };
+        }
+        let events: usize = self
+            .runs
+            .iter()
+            .map(|r| r.error_counts.get(&cat).copied().unwrap_or(0))
+            .sum();
+        let packets: usize = self.runs.iter().map(|r| r.packets_completed).sum();
+        if packets == 0 {
+            1.0
+        } else {
+            events as f64 / packets as f64
+        }
+    }
+
+    /// Pooled fatal-error probability per attempted packet.
+    pub fn fatal_probability(&self) -> f64 {
+        let fatals = self.runs.iter().filter(|r| r.fatal.is_some()).count();
+        let attempted: usize = self.runs.iter().map(|r| r.packets_attempted).sum();
+        if attempted == 0 {
+            0.0
+        } else {
+            fatals as f64 / attempted as f64
+        }
+    }
+}
+
+/// Runs `trials` measured passes of `kind` under `cfg`, sharing one
+/// golden pass.
+pub fn run_config(kind: AppKind, cfg: &ClumsyConfig, opts: &ExperimentOptions) -> Aggregate {
+    let trace = opts.trace.generate();
+    run_config_on_trace(kind, cfg, &trace, opts)
+}
+
+/// Like [`run_config`] but on an already generated trace.
+pub fn run_config_on_trace(
+    kind: AppKind,
+    cfg: &ClumsyConfig,
+    trace: &Trace,
+    opts: &ExperimentOptions,
+) -> Aggregate {
+    let golden = ClumsyProcessor::golden(kind, trace);
+    let runs = (0..opts.trials)
+        .map(|t| {
+            let cfg = cfg.clone().with_seed(opts.seed + u64::from(t));
+            ClumsyProcessor::new(cfg).run_with_golden(kind, trace, &golden)
+        })
+        .collect();
+    Aggregate { runs }
+}
+
+// ---------------------------------------------------------------------
+// Table I
+// ---------------------------------------------------------------------
+
+/// One row of the paper's Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Application name.
+    pub app: &'static str,
+    /// Instructions simulated (measured pass at `Cr = 1`).
+    pub instructions: u64,
+    /// Data-cache accesses.
+    pub cache_accesses: u64,
+    /// L1 data-cache miss rate.
+    pub miss_rate: f64,
+    /// Fallibility factor at `Cr = 0.5` (no detection).
+    pub fallibility_half: f64,
+    /// Fallibility factor at `Cr = 0.25` (no detection).
+    pub fallibility_quarter: f64,
+}
+
+impl fmt::Display for Table1Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:>5}  {:>10} inst  {:>10} acc  {:>6.2}% miss  {:.3} @0.5  {:.3} @0.25",
+            self.app,
+            self.instructions,
+            self.cache_accesses,
+            self.miss_rate * 100.0,
+            self.fallibility_half,
+            self.fallibility_quarter
+        )
+    }
+}
+
+/// Regenerates Table I: workload characteristics and fallibility factors
+/// at `Cr` = 0.5 and 0.25.
+pub fn table1(opts: &ExperimentOptions) -> Vec<Table1Row> {
+    let trace = opts.trace.generate();
+    let apps = AppKind::all();
+    parallel_map(&apps, |kind| {
+        let kind = *kind;
+        {
+            let base = run_config_on_trace(kind, &ClumsyConfig::baseline(), &trace, opts);
+            let half = run_config_on_trace(
+                kind,
+                &ClumsyConfig::baseline().with_static_cycle(0.5),
+                &trace,
+                opts,
+            );
+            let quarter = run_config_on_trace(
+                kind,
+                &ClumsyConfig::baseline().with_static_cycle(0.25),
+                &trace,
+                opts,
+            );
+            let r0 = &base.runs[0];
+            Table1Row {
+                app: kind.name(),
+                instructions: r0.instructions,
+                cache_accesses: r0.stats.accesses(),
+                miss_rate: r0.stats.miss_rate(),
+                fallibility_half: half.fallibility(),
+                fallibility_quarter: quarter.fallibility(),
+            }
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// Figures 6–7: per-category error probabilities by plane and clock
+// ---------------------------------------------------------------------
+
+/// One (plane, clock) cell of Figures 6–7.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlaneErrorCell {
+    /// Plane label ("control", "data", "both").
+    pub plane: &'static str,
+    /// Relative cycle time.
+    pub cr: f64,
+    /// Per-category error probabilities.
+    pub categories: Vec<(ErrorCategory, f64)>,
+    /// Fatal error probability.
+    pub fatal: f64,
+}
+
+/// Regenerates Figure 6 (route) or Figure 7 (nat): error probabilities
+/// per marked structure, with faults injected in the control plane, the
+/// data plane, or both, across the four static clocks.
+pub fn plane_error_study(kind: AppKind, opts: &ExperimentOptions) -> Vec<PlaneErrorCell> {
+    let trace = opts.trace.generate();
+    let planes = [
+        ("control", PlaneMask::control_only()),
+        ("data", PlaneMask::data_only()),
+        ("both", PlaneMask::both()),
+    ];
+    let mut cells = Vec::new();
+    for (label, mask) in planes {
+        for cr in PAPER_CYCLE_TIMES {
+            let cfg = ClumsyConfig::baseline()
+                .with_static_cycle(cr)
+                .with_planes(mask);
+            let agg = run_config_on_trace(kind, &cfg, &trace, opts);
+            let mut cats: Vec<ErrorCategory> = agg
+                .runs
+                .iter()
+                .flat_map(|r| r.error_counts.keys().copied())
+                .collect();
+            cats.push(ErrorCategory::Initialization);
+            cats.sort();
+            cats.dedup();
+            cells.push(PlaneErrorCell {
+                plane: label,
+                cr,
+                categories: cats
+                    .into_iter()
+                    .map(|c| (c, agg.error_probability(c)))
+                    .collect(),
+                fatal: agg.fatal_probability(),
+            });
+        }
+    }
+    cells
+}
+
+// ---------------------------------------------------------------------
+// Figure 8: fatal error probabilities (no detection)
+// ---------------------------------------------------------------------
+
+/// One application's fatal-error probabilities across the four clocks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FatalRow {
+    /// Application name.
+    pub app: &'static str,
+    /// Fatal probability at `Cr` = 1.0, 0.75, 0.5, 0.25.
+    pub per_cr: [f64; 4],
+}
+
+/// Regenerates Figure 8: fatal error probability per application and
+/// clock, on the no-detection architecture.
+pub fn fatal_study(opts: &ExperimentOptions) -> Vec<FatalRow> {
+    let trace = opts.trace.generate();
+    let apps = AppKind::all();
+    parallel_map(&apps, |kind| {
+        let mut per_cr = [0.0; 4];
+        for (i, cr) in PAPER_CYCLE_TIMES.iter().enumerate() {
+            let cfg = ClumsyConfig::baseline().with_static_cycle(*cr);
+            per_cr[i] = run_config_on_trace(*kind, &cfg, &trace, opts).fatal_probability();
+        }
+        FatalRow {
+            app: kind.name(),
+            per_cr,
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// Figures 9–12: EDF² bars per app × recovery scheme × clock plan
+// ---------------------------------------------------------------------
+
+/// The recovery schemes of Figures 9–12, in x-axis order.
+pub fn paper_schemes() -> [(&'static str, DetectionScheme, StrikePolicy); 4] {
+    [
+        ("no detection", DetectionScheme::None, StrikePolicy::one_strike()),
+        ("one-strike", DetectionScheme::Parity, StrikePolicy::one_strike()),
+        ("two-strike", DetectionScheme::Parity, StrikePolicy::two_strike()),
+        ("three-strike", DetectionScheme::Parity, StrikePolicy::three_strike()),
+    ]
+}
+
+/// One bar of Figures 9–12.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdfBar {
+    /// Recovery-scheme label (x-axis group).
+    pub scheme: &'static str,
+    /// Frequency-plan label ("1.00" ... "0.25", "dynamic").
+    pub freq: String,
+    /// Energy–delay²–fallibility² relative to the `Cr = 1`/no-detection
+    /// baseline.
+    pub relative_edf: f64,
+    /// Trial spread of the relative EDF (sample stddev / baseline).
+    pub relative_edf_stddev: f64,
+}
+
+/// Regenerates one panel of Figures 9–12: all recovery schemes × all
+/// clock plans for `kind`, normalized to the no-detection `Cr = 1` bar.
+pub fn edf_study(kind: AppKind, opts: &ExperimentOptions) -> Vec<EdfBar> {
+    let trace = opts.trace.generate();
+    edf_study_on_trace(kind, &trace, opts)
+}
+
+/// [`edf_study`] on a pre-generated trace (shared across apps for the
+/// average panel).
+pub fn edf_study_on_trace(
+    kind: AppKind,
+    trace: &Trace,
+    opts: &ExperimentOptions,
+) -> Vec<EdfBar> {
+    let metric = EdfMetric::paper();
+    let golden = ClumsyProcessor::golden(kind, trace);
+    let run = |cfg: &ClumsyConfig| -> Aggregate {
+        let runs = (0..opts.trials)
+            .map(|t| {
+                let cfg = cfg.clone().with_seed(opts.seed + u64::from(t));
+                ClumsyProcessor::new(cfg).run_with_golden(kind, trace, &golden)
+            })
+            .collect();
+        Aggregate { runs }
+    };
+    let baseline = run(&ClumsyConfig::baseline());
+    let base_edf = baseline.edf(&metric);
+
+    let mut bars = Vec::new();
+    for (label, detection, strikes) in paper_schemes() {
+        let cfg0 = ClumsyConfig::baseline()
+            .with_detection(detection)
+            .with_strikes(strikes);
+        for cr in PAPER_CYCLE_TIMES {
+            let agg = run(&cfg0.clone().with_static_cycle(cr));
+            bars.push(EdfBar {
+                scheme: label,
+                freq: format!("{cr:.2}"),
+                relative_edf: agg.edf(&metric) / base_edf,
+                relative_edf_stddev: agg.edf_stddev(&metric) / base_edf,
+            });
+        }
+        let agg = run(&cfg0.clone().with_dynamic(DynamicConfig::paper()));
+        bars.push(EdfBar {
+            scheme: label,
+            freq: "dynamic".to_string(),
+            relative_edf: agg.edf(&metric) / base_edf,
+            relative_edf_stddev: agg.edf_stddev(&metric) / base_edf,
+        });
+    }
+    bars
+}
+
+/// Regenerates Figure 12(b): the across-application average of the
+/// relative EDF² bars.
+pub fn edf_average(opts: &ExperimentOptions) -> Vec<EdfBar> {
+    let trace = opts.trace.generate();
+    let apps = AppKind::all();
+    let per_app: Vec<Vec<EdfBar>> = parallel_map(&apps, |k| edf_study_on_trace(*k, &trace, opts));
+    let n = per_app.len() as f64;
+    per_app[0]
+        .iter()
+        .enumerate()
+        .map(|(i, bar)| EdfBar {
+            scheme: bar.scheme,
+            freq: bar.freq.clone(),
+            relative_edf: per_app.iter().map(|v| v[i].relative_edf).sum::<f64>() / n,
+            // Propagate the per-app spreads as an RMS (apps independent).
+            relative_edf_stddev: (per_app
+                .iter()
+                .map(|v| v[i].relative_edf_stddev.powi(2))
+                .sum::<f64>())
+            .sqrt()
+                / n,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ExperimentOptions {
+        ExperimentOptions::quick()
+    }
+
+    #[test]
+    fn table1_has_all_apps_in_order() {
+        let rows = table1(&quick());
+        let names: Vec<&str> = rows.iter().map(|r| r.app).collect();
+        assert_eq!(names, ["crc", "tl", "route", "drr", "nat", "md5", "url"]);
+        for r in &rows {
+            assert!(r.instructions > 0);
+            assert!(r.cache_accesses > 0);
+            assert!(r.miss_rate > 0.0 && r.miss_rate < 1.0, "{}", r.app);
+            assert!(r.fallibility_half >= 1.0);
+            assert!(r.fallibility_quarter >= r.fallibility_half - 0.05);
+        }
+    }
+
+    #[test]
+    fn md5_and_url_are_the_heavy_apps() {
+        // Table I: url and md5 simulate the most instructions.
+        let rows = table1(&quick());
+        let inst = |name: &str| {
+            rows.iter()
+                .find(|r| r.app == name)
+                .map(|r| r.instructions)
+                .unwrap()
+        };
+        assert!(inst("md5") > inst("tl"));
+        assert!(inst("url") > inst("tl"));
+        assert!(inst("crc") > inst("tl"));
+    }
+
+    #[test]
+    fn plane_study_has_three_planes_by_four_clocks() {
+        let cells = plane_error_study(AppKind::Route, &quick());
+        assert_eq!(cells.len(), 12);
+        assert!(cells.iter().all(|c| (0.0..=1.0).contains(&c.fatal)));
+    }
+
+    #[test]
+    fn fatal_study_is_zero_at_full_speed() {
+        let rows = fatal_study(&quick());
+        for r in &rows {
+            assert_eq!(r.per_cr[0], 0.0, "{} must not die at Cr = 1", r.app);
+        }
+    }
+
+    #[test]
+    fn edf_bars_have_expected_shape() {
+        let bars = edf_study(AppKind::Tl, &quick());
+        // 4 schemes x 5 plans.
+        assert_eq!(bars.len(), 20);
+        // The baseline bar is exactly 1.
+        let base = bars
+            .iter()
+            .find(|b| b.scheme == "no detection" && b.freq == "1.00")
+            .unwrap();
+        assert!((base.relative_edf - 1.0).abs() < 1e-9);
+        assert!(bars.iter().all(|b| b.relative_edf > 0.0));
+    }
+
+    #[test]
+    fn stddev_is_zero_for_single_trial_and_positive_for_spread() {
+        let opts = quick();
+        let trace = opts.trace.generate();
+        let one = run_config_on_trace(AppKind::Tl, &ClumsyConfig::baseline(), &trace, &opts);
+        assert_eq!(one.edf_stddev(&EdfMetric::paper()), 0.0);
+
+        let three = ExperimentOptions { trials: 3, ..quick() };
+        let cfg = ClumsyConfig::baseline()
+            .with_fault_model(fault_model::FaultProbabilityModel::new(1e-5, 0.2))
+            .with_static_cycle(0.25);
+        let agg = run_config_on_trace(AppKind::Crc, &cfg, &trace, &three);
+        assert!(agg.edf_stddev(&EdfMetric::paper()) > 0.0);
+        assert!(agg.fallibility_stddev() >= 0.0);
+    }
+
+    #[test]
+    fn options_from_env_fall_back_to_paper() {
+        // (Env vars are not set in the test environment.)
+        let o = ExperimentOptions::from_env();
+        assert!(o.trace.packets > 0);
+        assert!(o.trials > 0);
+    }
+}

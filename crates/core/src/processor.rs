@@ -1,0 +1,471 @@
+//! The clumsy processor: golden-vs-measured differential execution.
+
+use crate::config::{ClumsyConfig, FrequencyPlan};
+use crate::controller::{Decision, DynamicController};
+use crate::report::{FatalInfo, RunReport};
+use cache_sim::DetectionScheme;
+use netbench::{diff_observations, AppKind, Machine, Observation, Trace};
+use std::collections::BTreeMap;
+
+/// Golden (fault-free) reference observations for one app over a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoldenData {
+    init_obs: Vec<Observation>,
+    per_packet: Vec<Vec<Observation>>,
+}
+
+/// Runs NetBench applications on a clumsy design point and reports the
+/// paper's metrics.
+///
+/// Each [`ClumsyProcessor::run`] replays the trace twice: a golden pass
+/// with fault injection disabled, then a measured pass on the configured
+/// design point. Marked values are diffed per packet (§2/§5.2), fatal
+/// errors abort the measured pass (§4.1), and delay/energy/fallibility
+/// feed the energy–delay²–fallibility² metric (§4.1/§5.4).
+///
+/// # Examples
+///
+/// ```
+/// use clumsy_core::{ClumsyConfig, ClumsyProcessor};
+/// use netbench::{AppKind, TraceConfig};
+///
+/// let trace = TraceConfig::small().generate();
+/// let proc = ClumsyProcessor::new(ClumsyConfig::baseline());
+/// let report = proc.run(AppKind::Crc, &trace);
+/// // At the full-swing clock essentially nothing goes wrong.
+/// assert_eq!(report.packets_completed, trace.packets.len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClumsyProcessor {
+    cfg: ClumsyConfig,
+}
+
+impl ClumsyProcessor {
+    /// Creates a processor for the given design point.
+    pub fn new(cfg: ClumsyConfig) -> Self {
+        ClumsyProcessor { cfg }
+    }
+
+    /// The design point in use.
+    pub fn config(&self) -> &ClumsyConfig {
+        &self.cfg
+    }
+
+    /// Computes the golden reference for `kind` over `trace`. Reusable
+    /// across design points (the golden pass does not depend on them).
+    pub fn golden(kind: AppKind, trace: &Trace) -> GoldenData {
+        let mut machine = Machine::strongarm(0);
+        machine.set_inject(false);
+        let mut app = kind.instantiate(trace);
+        machine.set_fuel(app.setup_fuel());
+        let init_obs = app
+            .setup(&mut machine)
+            .expect("golden setup cannot fail without faults");
+        machine.writeback_all();
+        let mut per_packet = Vec::with_capacity(trace.packets.len());
+        for pkt in &trace.packets {
+            let view = machine.dma_packet(pkt).expect("packet fits DMA buffer");
+            machine.set_fuel(app.fuel_per_packet());
+            per_packet.push(
+                app.process(&mut machine, view)
+                    .expect("golden processing cannot fail without faults"),
+            );
+        }
+        GoldenData {
+            init_obs,
+            per_packet,
+        }
+    }
+
+    /// Runs the application, computing the golden reference internally.
+    pub fn run(&self, kind: AppKind, trace: &Trace) -> RunReport {
+        let golden = Self::golden(kind, trace);
+        self.run_with_golden(kind, trace, &golden)
+    }
+
+    /// Runs the measured pass against a precomputed golden reference
+    /// (grid drivers share one golden pass per app/trace).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `golden` was computed for a different trace length.
+    pub fn run_with_golden(&self, kind: AppKind, trace: &Trace, golden: &GoldenData) -> RunReport {
+        assert_eq!(
+            golden.per_packet.len(),
+            trace.packets.len(),
+            "golden data does not match the trace"
+        );
+        let mut machine = Machine::with_config(self.cfg.mem.clone(), self.cfg.seed);
+        machine.set_fault_planes(self.cfg.planes);
+        let mut app = kind.instantiate(trace);
+        let fuel = self.cfg.fuel_per_packet.unwrap_or(app.fuel_per_packet());
+
+        // Configure the clock plan.
+        let mut controller = match &self.cfg.frequency {
+            FrequencyPlan::Static(cr) => {
+                machine.set_cycle_free(*cr);
+                None
+            }
+            FrequencyPlan::Dynamic(d) => {
+                let ctl = DynamicController::new(d.clone());
+                machine.set_cycle_free(ctl.cycle_time());
+                Some(ctl)
+            }
+        };
+        let mut freq_trace = vec![(0usize, machine.cycle_time())];
+
+        let mut report = RunReport {
+            app: kind.name(),
+            packets_attempted: trace.packets.len(),
+            packets_completed: 0,
+            fatal: None,
+            dropped_packets: 0,
+            erroneous_packets: 0,
+            error_counts: BTreeMap::new(),
+            init_obs_total: golden.init_obs.len(),
+            init_obs_wrong: 0,
+            instructions: 0,
+            cycles: 0.0,
+            energy: Default::default(),
+            stats: Default::default(),
+            freq_trace: Vec::new(),
+            epoch_faults: Vec::new(),
+        };
+
+        // Control plane.
+        machine.set_plane(netbench::Plane::Control);
+        machine.set_fuel(app.setup_fuel());
+        match app.setup(&mut machine) {
+            Ok(init_obs) => {
+                let diff = diff_observations(&golden.init_obs, &init_obs);
+                // Count wrong samples pairwise for a finer probability.
+                report.init_obs_wrong = golden
+                    .init_obs
+                    .iter()
+                    .zip(&init_obs)
+                    .filter(|(g, m)| g != m)
+                    .count()
+                    .max(usize::from(diff.has_error()));
+            }
+            Err(e) => {
+                report.fatal = Some(FatalInfo {
+                    packet_index: 0,
+                    error: e,
+                });
+                Self::finalize(&self.cfg, &mut report, &machine, freq_trace);
+                return report;
+            }
+        }
+
+        // Tables are stable now: drain them to L2 so strike recovery
+        // has a correct copy to restore (write-buffer drain, no stall).
+        machine.writeback_all();
+
+        // Data plane.
+        machine.set_plane(netbench::Plane::Data);
+        let detection = self.cfg.mem.detection;
+        let mut faults_seen = Self::fault_count(&machine, detection);
+        let mut epoch_acc = 0u64;
+        for (idx, pkt) in trace.packets.iter().enumerate() {
+            let view = match machine.dma_packet(pkt) {
+                Ok(v) => v,
+                Err(e) => {
+                    report.fatal = Some(FatalInfo {
+                        packet_index: idx,
+                        error: e,
+                    });
+                    break;
+                }
+            };
+            machine.set_fuel(fuel);
+            match app.process(&mut machine, view) {
+                Ok(obs) => {
+                    report.packets_completed += 1;
+                    let diff = diff_observations(&golden.per_packet[idx], &obs);
+                    if diff.has_error() {
+                        report.erroneous_packets += 1;
+                        for cat in diff.erroneous {
+                            *report.error_counts.entry(cat).or_insert(0) += 1;
+                        }
+                    }
+                }
+                Err(e) => {
+                    if self.cfg.watchdog {
+                        // Footnote 3: contain the fatal error — drop the
+                        // packet and keep the processor running.
+                        report.dropped_packets += 1;
+                    } else {
+                        report.fatal = Some(FatalInfo {
+                            packet_index: idx,
+                            error: e,
+                        });
+                        break;
+                    }
+                }
+            }
+            // Dynamic adaptation on the observed fault counter.
+            if let Some(ctl) = controller.as_mut() {
+                let now = Self::fault_count(&machine, detection);
+                let delta = now - faults_seen;
+                faults_seen = now;
+                epoch_acc += delta;
+                match ctl.on_packet(delta) {
+                    None => {}
+                    Some(decision) => {
+                        report.epoch_faults.push(epoch_acc);
+                        epoch_acc = 0;
+                        if let Decision::Switch(cr) = decision {
+                            machine.set_cycle(cr);
+                            freq_trace.push((idx + 1, cr));
+                        }
+                    }
+                }
+            }
+        }
+
+        Self::finalize(&self.cfg, &mut report, &machine, freq_trace);
+        report
+    }
+
+    /// The fault counter the controller observes: parity detections when
+    /// detection hardware exists, otherwise the injected count (an
+    /// oracle stand-in; the paper is silent on the no-detection case).
+    fn fault_count(machine: &Machine, detection: DetectionScheme) -> u64 {
+        if detection.is_enabled() {
+            machine.stats().faults_detected
+        } else {
+            machine.stats().faults_injected
+        }
+    }
+
+    fn finalize(
+        cfg: &ClumsyConfig,
+        report: &mut RunReport,
+        machine: &Machine,
+        freq_trace: Vec<(usize, f64)>,
+    ) {
+        report.instructions = machine.instructions();
+        report.cycles = machine.cycles();
+        report.stats = *machine.stats();
+        let mut energy = machine.energy();
+        energy.core_nj += cfg.mem.energy.core_energy(machine.cycles());
+        report.energy = energy;
+        report.freq_trace = freq_trace;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DynamicConfig;
+    use cache_sim::StrikePolicy;
+    use fault_model::FaultProbabilityModel;
+    use netbench::TraceConfig;
+
+    fn trace() -> Trace {
+        TraceConfig::small().generate()
+    }
+
+    #[test]
+    fn baseline_run_is_clean_for_every_app() {
+        let t = trace();
+        for kind in AppKind::all() {
+            let r = ClumsyProcessor::new(ClumsyConfig::baseline()).run(kind, &t);
+            assert_eq!(r.packets_completed, t.packets.len(), "{kind}");
+            assert!(r.fatal.is_none(), "{kind}");
+            // At Cr = 1 the per-bit fault probability is 2.59e-7, so a
+            // handful of faults can land even on a small trace — but
+            // the error rate must be negligible.
+            assert!(r.erroneous_packets <= 2, "{kind}: {}", r.erroneous_packets);
+            assert!(r.fallibility() < 1.02, "{kind}");
+        }
+    }
+
+    #[test]
+    fn overclocking_without_detection_causes_errors() {
+        let t = TraceConfig::small().with_packets(400).generate();
+        // An aggressive fault model makes errors certain on a small trace.
+        let cfg = ClumsyConfig::baseline()
+            .with_fault_model(FaultProbabilityModel::new(2e-5, 0.2))
+            .with_static_cycle(0.25);
+        let r = ClumsyProcessor::new(cfg).run(AppKind::Route, &t);
+        assert!(
+            r.erroneous_packets > 0 || r.fatal.is_some(),
+            "16x fault rate must disturb something"
+        );
+        assert!(r.fallibility() > 1.0 || r.fatal.is_some());
+    }
+
+    #[test]
+    fn parity_recovery_reduces_errors() {
+        let t = TraceConfig::small().with_packets(400).generate();
+        let hot = FaultProbabilityModel::new(2e-6, 0.2);
+        let base = ClumsyConfig::baseline()
+            .with_fault_model(hot)
+            .with_static_cycle(0.25);
+        let protected = base
+            .clone()
+            .with_detection(DetectionScheme::Parity)
+            .with_strikes(StrikePolicy::two_strike());
+        let mut unprot_clean = 0usize;
+        let mut prot_clean = 0usize;
+        let mut prot_done = 0usize;
+        let mut prot_err = 0usize;
+        let mut prot_detected = 0u64;
+        let total = 10 * t.packets.len();
+        for seed in 0..10u64 {
+            let r1 = ClumsyProcessor::new(base.clone().with_seed(seed)).run(AppKind::Route, &t);
+            let r2 =
+                ClumsyProcessor::new(protected.clone().with_seed(seed)).run(AppKind::Route, &t);
+            unprot_clean += r1.packets_completed - r1.erroneous_packets;
+            prot_clean += r2.packets_completed - r2.erroneous_packets;
+            prot_done += r2.packets_completed;
+            prot_err += r2.erroneous_packets;
+            prot_detected += r2.stats.faults_detected;
+        }
+        // Parity + strikes must (a) detect faults, (b) deliver more
+        // clean packets than the unprotected design (which loses whole
+        // runs to fatal errors and silently corrupts the rest), and
+        // (c) keep the protected error rate low (only even-weight
+        // corruptions slip past parity).
+        assert!(prot_detected > 0, "parity must detect faults");
+        assert!(
+            prot_clean > unprot_clean,
+            "protection must deliver more clean packets: {prot_clean} vs {unprot_clean} of {total}"
+        );
+        assert!(
+            prot_err * 2 < prot_done,
+            "most protected packets must be clean: {prot_err}/{prot_done}"
+        );
+    }
+
+    #[test]
+    fn static_overclock_reduces_delay_and_energy() {
+        let t = trace();
+        let r_full = ClumsyProcessor::new(ClumsyConfig::baseline()).run(AppKind::Tl, &t);
+        let r_fast = ClumsyProcessor::new(ClumsyConfig::baseline().with_static_cycle(0.5))
+            .run(AppKind::Tl, &t);
+        assert!(r_fast.delay_per_packet() < r_full.delay_per_packet());
+        assert!(r_fast.energy.l1_nj < r_full.energy.l1_nj);
+    }
+
+    #[test]
+    fn epoch_faults_are_recorded_for_dynamic_plans() {
+        let t = TraceConfig::small().with_packets(450).generate();
+        let cfg = ClumsyConfig::baseline().with_dynamic(DynamicConfig::paper());
+        let r = ClumsyProcessor::new(cfg).run(AppKind::Tl, &t);
+        // 450 packets at 100 per epoch: 4 completed epochs.
+        assert_eq!(r.epoch_faults.len(), 4);
+        let static_run = ClumsyProcessor::new(ClumsyConfig::baseline()).run(AppKind::Tl, &t);
+        assert!(static_run.epoch_faults.is_empty());
+    }
+
+    #[test]
+    fn dynamic_plan_climbs_when_quiet() {
+        let t = TraceConfig::small().with_packets(600).generate();
+        let cfg = ClumsyConfig::baseline().with_dynamic(DynamicConfig::paper());
+        let r = ClumsyProcessor::new(cfg).run(AppKind::Tl, &t);
+        // With the calibrated (tiny) fault rates the controller reaches
+        // the fastest level within a few epochs.
+        assert!(r.freq_trace.len() >= 3, "trace: {:?}", r.freq_trace);
+        let final_cr = r.freq_trace.last().unwrap().1;
+        assert!(final_cr <= 0.5, "should have climbed, got {final_cr}");
+        assert!(r.stats.freq_switches >= 2);
+    }
+
+    #[test]
+    fn golden_reuse_matches_internal_golden() {
+        let t = trace();
+        let golden = ClumsyProcessor::golden(AppKind::Nat, &t);
+        let p = ClumsyProcessor::new(ClumsyConfig::baseline());
+        let a = p.run(AppKind::Nat, &t);
+        let b = p.run_with_golden(AppKind::Nat, &t, &golden);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let t = trace();
+        let cfg = ClumsyConfig::baseline()
+            .with_fault_model(FaultProbabilityModel::new(1e-5, 0.2))
+            .with_static_cycle(0.25);
+        let a = ClumsyProcessor::new(cfg.clone()).run(AppKind::Drr, &t);
+        let b = ClumsyProcessor::new(cfg).run(AppKind::Drr, &t);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn watchdog_contains_fatal_errors() {
+        // At a rate that reliably kills the radix walk, the watchdog
+        // drops packets instead of ending the run.
+        let t = TraceConfig::small().with_packets(300).generate();
+        // Faults in the data plane only: the watchdog covers packet
+        // processing (footnote 3 is about per-packet loops); a processor
+        // that cannot even build its tables is legitimately dead.
+        let base = ClumsyConfig::baseline()
+            .with_fault_model(FaultProbabilityModel::new(2e-4, 0.2))
+            .with_planes(netbench::PlaneMask::data_only())
+            .with_static_cycle(0.25);
+        let mut plain_fatals = 0;
+        let mut dog_fatals = 0;
+        let mut dog_drops = 0;
+        for seed in 0..6u64 {
+            let plain = ClumsyProcessor::new(base.clone().with_seed(seed)).run(AppKind::Tl, &t);
+            let dog = ClumsyProcessor::new(base.clone().with_seed(seed).with_watchdog())
+                .run(AppKind::Tl, &t);
+            plain_fatals += usize::from(plain.fatal.is_some());
+            dog_fatals += usize::from(dog.fatal.is_some());
+            dog_drops += dog.dropped_packets;
+            assert_eq!(
+                dog.packets_completed + dog.dropped_packets,
+                t.packets.len(),
+                "watchdog must account for every packet"
+            );
+        }
+        assert!(plain_fatals > 0, "rate must be lethal without watchdog");
+        assert_eq!(dog_fatals, 0, "watchdog must contain every fatal");
+        assert!(dog_drops > 0, "contained fatals appear as drops");
+    }
+
+    #[test]
+    fn word_recovery_is_no_worse_than_line_recovery() {
+        use cache_sim::RecoveryGranularity;
+        let t = TraceConfig::small().with_packets(400).generate();
+        let mk = |granularity| {
+            ClumsyConfig::baseline()
+                .with_fault_model(FaultProbabilityModel::new(2e-6, 0.2))
+                .with_detection(DetectionScheme::Parity)
+                .with_strikes(StrikePolicy::one_strike())
+                .with_recovery(granularity)
+                .with_static_cycle(0.25)
+        };
+        let mut line_err = 0usize;
+        let mut word_err = 0usize;
+        for seed in 0..6u64 {
+            line_err += ClumsyProcessor::new(mk(RecoveryGranularity::Line).with_seed(seed))
+                .run(AppKind::Md5, &t)
+                .erroneous_packets;
+            word_err += ClumsyProcessor::new(mk(RecoveryGranularity::Word).with_seed(seed))
+                .run(AppKind::Md5, &t)
+                .erroneous_packets;
+        }
+        assert!(
+            word_err <= line_err,
+            "sub-block repair must not lose more data: {word_err} vs {line_err}"
+        );
+    }
+
+    #[test]
+    fn different_seeds_give_different_fault_patterns() {
+        let t = TraceConfig::small().with_packets(300).generate();
+        let cfg = ClumsyConfig::baseline()
+            .with_fault_model(FaultProbabilityModel::new(3e-5, 0.2))
+            .with_static_cycle(0.25);
+        let a = ClumsyProcessor::new(cfg.clone().with_seed(1)).run(AppKind::Crc, &t);
+        let b = ClumsyProcessor::new(cfg.with_seed(2)).run(AppKind::Crc, &t);
+        assert_ne!(
+            (a.stats.faults_injected, a.erroneous_packets),
+            (b.stats.faults_injected, b.erroneous_packets)
+        );
+    }
+}

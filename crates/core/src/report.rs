@@ -1,0 +1,254 @@
+//! Run reports: the paper's measured quantities for one execution.
+
+use cache_sim::MemStats;
+use energy_model::{EdfMetric, EnergyBreakdown};
+use netbench::{AppError, ErrorCategory};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Details of a fatal error that aborted a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FatalInfo {
+    /// Index of the packet whose processing died.
+    pub packet_index: usize,
+    /// The fatal error.
+    pub error: AppError,
+}
+
+/// Everything measured during one application run (paper §4.1/§5).
+///
+/// # Examples
+///
+/// ```
+/// use clumsy_core::{ClumsyConfig, ClumsyProcessor};
+/// use netbench::{AppKind, TraceConfig};
+///
+/// let trace = TraceConfig::small().generate();
+/// let report = ClumsyProcessor::new(ClumsyConfig::baseline()).run(AppKind::Tl, &trace);
+/// assert_eq!(report.packets_attempted, trace.packets.len());
+/// assert!(report.delay_per_packet() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Application name (Table I).
+    pub app: &'static str,
+    /// Packets offered to the application.
+    pub packets_attempted: usize,
+    /// Packets processed to completion (all of them unless fatal).
+    pub packets_completed: usize,
+    /// The fatal error, if one stopped the run.
+    pub fatal: Option<FatalInfo>,
+    /// Packets dropped by the watchdog after a contained fatal error.
+    pub dropped_packets: usize,
+    /// Packets whose observations differed from golden in any category.
+    pub erroneous_packets: usize,
+    /// Per-category count of packets whose observations differed.
+    pub error_counts: BTreeMap<ErrorCategory, usize>,
+    /// Initialization observations taken at the end of the control plane.
+    pub init_obs_total: usize,
+    /// Initialization observations that differed from golden.
+    pub init_obs_wrong: usize,
+    /// Instructions executed (measured run).
+    pub instructions: u64,
+    /// Core cycles elapsed (measured run).
+    pub cycles: f64,
+    /// Total energy including core (measured run), in nanojoules.
+    pub energy: EnergyBreakdown,
+    /// Cache statistics (measured run).
+    pub stats: MemStats,
+    /// `(packet index, Cr)` at every dynamic frequency switch.
+    pub freq_trace: Vec<(usize, f64)>,
+    /// Observed fault count per controller epoch (dynamic plans only).
+    pub epoch_faults: Vec<u64>,
+}
+
+impl RunReport {
+    /// The paper's fallibility factor: `1 +` the fraction of completed
+    /// packets with any error (§4.1). Watchdog-dropped packets count as
+    /// erroneous.
+    pub fn fallibility(&self) -> f64 {
+        let denom = self.packets_completed + self.dropped_packets;
+        if denom == 0 {
+            2.0 // every packet failed; cap the factor
+        } else {
+            1.0 + (self.erroneous_packets + self.dropped_packets) as f64 / denom as f64
+        }
+    }
+
+    /// Average cycles per successfully processed packet (§5.4 uses the
+    /// per-packet average because fatal runs do not finish).
+    pub fn delay_per_packet(&self) -> f64 {
+        if self.packets_completed == 0 {
+            self.cycles.max(1.0)
+        } else {
+            self.cycles / self.packets_completed as f64
+        }
+    }
+
+    /// Average energy per successfully processed packet, in nanojoules.
+    pub fn energy_per_packet(&self) -> f64 {
+        if self.packets_completed == 0 {
+            self.energy.total_nj().max(1.0)
+        } else {
+            self.energy.total_nj() / self.packets_completed as f64
+        }
+    }
+
+    /// Error probability for one category: the fraction of completed
+    /// packets whose observations in that category differed (Figures
+    /// 6–7).
+    pub fn error_probability(&self, cat: ErrorCategory) -> f64 {
+        if self.packets_completed == 0 {
+            return 1.0;
+        }
+        let n = if cat == ErrorCategory::Initialization {
+            // Initialization errors are measured over the sampled table
+            // observations rather than per packet.
+            return if self.init_obs_total == 0 {
+                0.0
+            } else {
+                self.init_obs_wrong as f64 / self.init_obs_total as f64
+            };
+        } else {
+            self.error_counts.get(&cat).copied().unwrap_or(0)
+        };
+        n as f64 / self.packets_completed as f64
+    }
+
+    /// Fatal error probability per attempted packet (Figure 8).
+    pub fn fatal_probability(&self) -> f64 {
+        if self.packets_attempted == 0 {
+            0.0
+        } else {
+            f64::from(u8::from(self.fatal.is_some())) / self.packets_attempted as f64
+        }
+    }
+
+    /// The energy–delay–fallibility product under `metric`, using
+    /// per-packet energy and delay (§4.1).
+    pub fn edf(&self, metric: &EdfMetric) -> f64 {
+        metric.product(
+            self.energy_per_packet(),
+            self.delay_per_packet(),
+            self.fallibility(),
+        )
+    }
+
+    /// This run's EDF relative to a baseline run (the bar heights of
+    /// Figures 9–12).
+    pub fn edf_relative_to(&self, metric: &EdfMetric, baseline: &RunReport) -> f64 {
+        self.edf(metric) / baseline.edf(metric)
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}/{} packets, {} erroneous, fallibility {:.3}, {:.0} cyc/pkt, {:.0} nJ/pkt{}",
+            self.app,
+            self.packets_completed,
+            self.packets_attempted,
+            self.erroneous_packets,
+            self.fallibility(),
+            self.delay_per_packet(),
+            self.energy_per_packet(),
+            if self.fatal.is_some() { ", FATAL" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blank() -> RunReport {
+        RunReport {
+            app: "test",
+            packets_attempted: 100,
+            packets_completed: 100,
+            fatal: None,
+            dropped_packets: 0,
+            erroneous_packets: 0,
+            error_counts: BTreeMap::new(),
+            init_obs_total: 8,
+            init_obs_wrong: 0,
+            instructions: 1000,
+            cycles: 5000.0,
+            energy: EnergyBreakdown {
+                core_nj: 10_000.0,
+                ..Default::default()
+            },
+            stats: MemStats::default(),
+            freq_trace: Vec::new(),
+            epoch_faults: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn clean_run_has_unit_fallibility() {
+        assert!((blank().fallibility() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fallibility_counts_erroneous_fraction() {
+        let mut r = blank();
+        r.erroneous_packets = 25;
+        assert!((r.fallibility() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_packet_metrics() {
+        let r = blank();
+        assert!((r.delay_per_packet() - 50.0).abs() < 1e-12);
+        assert!((r.energy_per_packet() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn category_probability() {
+        let mut r = blank();
+        r.error_counts.insert(ErrorCategory::Ttl, 10);
+        assert!((r.error_probability(ErrorCategory::Ttl) - 0.1).abs() < 1e-12);
+        assert_eq!(r.error_probability(ErrorCategory::Checksum), 0.0);
+    }
+
+    #[test]
+    fn initialization_probability_uses_samples() {
+        let mut r = blank();
+        r.init_obs_wrong = 2;
+        assert!((r.error_probability(ErrorCategory::Initialization) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dropped_packets_count_as_erroneous() {
+        let mut r = blank();
+        r.dropped_packets = 10;
+        r.packets_completed = 90;
+        assert!((r.fallibility() - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fatal_probability_is_per_attempted_packet() {
+        let mut r = blank();
+        assert_eq!(r.fatal_probability(), 0.0);
+        r.fatal = Some(FatalInfo {
+            packet_index: 40,
+            error: netbench::AppError::Fatal(netbench::FatalError::FuelExhausted { budget: 1 }),
+        });
+        assert!((r.fatal_probability() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edf_relative_to_self_is_one() {
+        let r = blank();
+        let m = EdfMetric::paper();
+        assert!((r.edf_relative_to(&m, &r) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_has_key_numbers() {
+        let s = format!("{}", blank());
+        assert!(s.contains("100/100"));
+        assert!(s.contains("fallibility 1.000"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests for the dynamic controller and the run metrics.
+
+use clumsy_core::{Decision, DynamicConfig, DynamicController};
+use proptest::prelude::*;
+
+proptest! {
+    /// The controller's cycle time always stays within the configured
+    /// levels, for arbitrary fault streams.
+    #[test]
+    fn controller_stays_within_levels(faults in prop::collection::vec(0u64..50, 0..2000)) {
+        let cfg = DynamicConfig::paper();
+        let levels = cfg.levels.clone();
+        let mut ctl = DynamicController::new(cfg);
+        for f in faults {
+            let _ = ctl.on_packet(f);
+            prop_assert!(levels.contains(&ctl.cycle_time()));
+        }
+    }
+
+    /// Decisions only appear at epoch boundaries.
+    #[test]
+    fn decisions_only_at_epoch_boundaries(
+        faults in prop::collection::vec(0u64..10, 0..1000),
+        epoch in 1u32..200,
+    ) {
+        let cfg = DynamicConfig { epoch_packets: epoch, ..DynamicConfig::paper() };
+        let mut ctl = DynamicController::new(cfg);
+        for (i, f) in faults.iter().enumerate() {
+            let decision = ctl.on_packet(*f);
+            let at_boundary = (i as u32 + 1).is_multiple_of(epoch);
+            prop_assert_eq!(decision.is_some(), at_boundary, "packet {}", i);
+        }
+    }
+
+    /// A switch decision always reports the new cycle time, and switch
+    /// counting matches emitted Switch decisions.
+    #[test]
+    fn switch_decisions_are_consistent(faults in prop::collection::vec(0u64..100, 0..3000)) {
+        let mut ctl = DynamicController::new(DynamicConfig::paper());
+        let mut switches_seen = 0;
+        for f in faults {
+            if let Some(Decision::Switch(cr)) = ctl.on_packet(f) {
+                switches_seen += 1;
+                prop_assert_eq!(cr, ctl.cycle_time());
+            }
+        }
+        prop_assert_eq!(switches_seen, ctl.switches());
+    }
+
+    /// Under a sustained all-quiet stream the controller reaches the
+    /// fastest level and stays there. A *constant* fault storm only
+    /// backs off one level — the paper's scheme compares against the
+    /// rate stored at the last change, so it reacts to rate *changes* —
+    /// but an escalating storm (rate more than doubling every epoch)
+    /// drives it all the way back to the safest level.
+    #[test]
+    fn controller_converges_at_extremes(epochs in 4u32..20) {
+        let mut ctl = DynamicController::new(DynamicConfig::paper());
+        for _ in 0..(epochs * 100) {
+            let _ = ctl.on_packet(0);
+        }
+        prop_assert_eq!(ctl.cycle_time(), 0.25, "quiet stream climbs to 4x");
+
+        // Constant storm: exactly one back-off, then hold.
+        for _ in 0..(epochs * 100) {
+            let _ = ctl.on_packet(1000);
+        }
+        prop_assert_eq!(ctl.cycle_time(), 0.5, "constant storm backs off once");
+
+        // Escalating storm: every epoch more than doubles the rate.
+        let mut rate = 10_000u64;
+        for _ in 0..epochs {
+            for _ in 0..100 {
+                let _ = ctl.on_packet(rate);
+            }
+            rate *= 4;
+        }
+        prop_assert_eq!(ctl.cycle_time(), 1.0, "escalating storm falls back to 1x");
+    }
+}

@@ -1,0 +1,177 @@
+//! Per-run energy breakdown accumulator.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Accumulated energy of one simulation run, broken down by component.
+///
+/// All fields are in nanojoules. The struct is a passive accumulator in
+/// the C spirit — simulators add into the public fields as events occur
+/// and report [`EnergyBreakdown::total_nj`] at the end.
+///
+/// # Examples
+///
+/// ```
+/// use energy_model::EnergyBreakdown;
+///
+/// let mut e = EnergyBreakdown::default();
+/// e.core_nj += 100.0;
+/// e.l1_nj += 20.0;
+/// assert!((e.total_nj() - 120.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Non-L1D chip energy (datapath, I-cache, control).
+    pub core_nj: f64,
+    /// Level-1 data-cache access energy, including parity overhead.
+    pub l1_nj: f64,
+    /// Level-2 cache access energy.
+    pub l2_nj: f64,
+    /// Backing-memory access energy.
+    pub mem_nj: f64,
+    /// Frequency-switch and other control overheads.
+    pub overhead_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Creates an empty breakdown (all zero).
+    pub fn new() -> Self {
+        EnergyBreakdown::default()
+    }
+
+    /// Total energy across all components, in nanojoules.
+    pub fn total_nj(&self) -> f64 {
+        self.core_nj + self.l1_nj + self.l2_nj + self.mem_nj + self.overhead_nj
+    }
+
+    /// Fraction of total energy spent in the L1 data cache.
+    ///
+    /// Returns 0 for an empty breakdown.
+    pub fn l1_share(&self) -> f64 {
+        let total = self.total_nj();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.l1_nj / total
+        }
+    }
+
+    /// Scales every component by `factor` (e.g. to convert totals into
+    /// per-packet averages).
+    pub fn scaled(&self, factor: f64) -> EnergyBreakdown {
+        EnergyBreakdown {
+            core_nj: self.core_nj * factor,
+            l1_nj: self.l1_nj * factor,
+            l2_nj: self.l2_nj * factor,
+            mem_nj: self.mem_nj * factor,
+            overhead_nj: self.overhead_nj * factor,
+        }
+    }
+}
+
+impl Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+
+    fn add(mut self, rhs: EnergyBreakdown) -> EnergyBreakdown {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for EnergyBreakdown {
+    fn add_assign(&mut self, rhs: EnergyBreakdown) {
+        self.core_nj += rhs.core_nj;
+        self.l1_nj += rhs.l1_nj;
+        self.l2_nj += rhs.l2_nj;
+        self.mem_nj += rhs.mem_nj;
+        self.overhead_nj += rhs.overhead_nj;
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total {:.1} nJ (core {:.1}, L1 {:.1}, L2 {:.1}, mem {:.1}, overhead {:.1})",
+            self.total_nj(),
+            self.core_nj,
+            self.l1_nj,
+            self.l2_nj,
+            self.mem_nj,
+            self.overhead_nj
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_all_components() {
+        let e = EnergyBreakdown {
+            core_nj: 1.0,
+            l1_nj: 2.0,
+            l2_nj: 3.0,
+            mem_nj: 4.0,
+            overhead_nj: 5.0,
+        };
+        assert!((e.total_nj() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l1_share_of_empty_is_zero() {
+        assert_eq!(EnergyBreakdown::default().l1_share(), 0.0);
+    }
+
+    #[test]
+    fn l1_share_is_fraction() {
+        let e = EnergyBreakdown {
+            core_nj: 84.0,
+            l1_nj: 16.0,
+            ..Default::default()
+        };
+        assert!((e.l1_share() - 0.16).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_accumulates_fieldwise() {
+        let a = EnergyBreakdown {
+            core_nj: 1.0,
+            l1_nj: 2.0,
+            ..Default::default()
+        };
+        let b = EnergyBreakdown {
+            core_nj: 10.0,
+            mem_nj: 5.0,
+            ..Default::default()
+        };
+        let c = a + b;
+        assert!((c.core_nj - 11.0).abs() < 1e-12);
+        assert!((c.l1_nj - 2.0).abs() < 1e-12);
+        assert!((c.mem_nj - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_multiplies_every_field() {
+        let e = EnergyBreakdown {
+            core_nj: 2.0,
+            l1_nj: 4.0,
+            l2_nj: 6.0,
+            mem_nj: 8.0,
+            overhead_nj: 10.0,
+        };
+        let h = e.scaled(0.5);
+        assert!((h.total_nj() - 15.0).abs() < 1e-12);
+        assert!((h.l1_nj - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_total() {
+        let e = EnergyBreakdown {
+            core_nj: 1.0,
+            ..Default::default()
+        };
+        assert!(format!("{e}").contains("total 1.0 nJ"));
+    }
+}

@@ -1,0 +1,222 @@
+//! The energy–delay–fallibility comparison metric (paper §4.1).
+
+use std::fmt;
+
+/// The generalized energy–delay–fallibility product,
+/// `energy^k · delay^m · fallibility^n`.
+///
+/// The paper argues that once a processor is *allowed* to make errors,
+/// plain energy/delay metrics are insufficient, and introduces this
+/// three-way product. Delay and fallibility matter more than energy for
+/// packet processors, so the paper fixes `k = 1, m = 2, n = 2`
+/// ([`EdfMetric::paper`]).
+///
+/// *Fallibility* is `1 + (fraction of packets with any error)`, so a
+/// fault-free run has fallibility exactly 1 and the product degenerates
+/// to an energy–delay² product.
+///
+/// # Examples
+///
+/// ```
+/// use energy_model::EdfMetric;
+///
+/// let metric = EdfMetric::paper();
+/// let base = metric.product(100.0, 10.0, 1.0);
+/// let risky = metric.product(80.0, 9.0, 1.05);
+/// // Lower is better; the faulty-but-faster point wins here.
+/// assert!(risky < base);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdfMetric {
+    k: f64,
+    m: f64,
+    n: f64,
+}
+
+impl EdfMetric {
+    /// The paper's exponents: `energy¹ · delay² · fallibility²`.
+    pub fn paper() -> Self {
+        EdfMetric {
+            k: 1.0,
+            m: 2.0,
+            n: 2.0,
+        }
+    }
+
+    /// Plain energy–delay product (`k=1, m=1, n=0`), used for the paper's
+    /// "if we do not consider the errors" sidebar (§5.4).
+    pub fn energy_delay() -> Self {
+        EdfMetric {
+            k: 1.0,
+            m: 1.0,
+            n: 0.0,
+        }
+    }
+
+    /// Energy–delay² product (`k=1, m=2, n=0`).
+    pub fn energy_delay_squared() -> Self {
+        EdfMetric {
+            k: 1.0,
+            m: 2.0,
+            n: 0.0,
+        }
+    }
+
+    /// Custom exponents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any exponent is negative or not finite.
+    pub fn new(k: f64, m: f64, n: f64) -> Self {
+        for (name, v) in [("k", k), ("m", m), ("n", n)] {
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "exponent {name} must be non-negative and finite, got {v}"
+            );
+        }
+        EdfMetric { k, m, n }
+    }
+
+    /// Energy exponent `k`.
+    pub fn k(&self) -> f64 {
+        self.k
+    }
+
+    /// Delay exponent `m`.
+    pub fn m(&self) -> f64 {
+        self.m
+    }
+
+    /// Fallibility exponent `n`.
+    pub fn n(&self) -> f64 {
+        self.n
+    }
+
+    /// Computes `energy^k · delay^m · fallibility^n`.
+    ///
+    /// `energy` is typically nanojoules per packet, `delay` cycles per
+    /// packet, and `fallibility` is ≥ 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fallibility < 1` (by definition it is `1 + an error
+    /// fraction`) or any input is negative or non-finite.
+    pub fn product(&self, energy: f64, delay: f64, fallibility: f64) -> f64 {
+        assert!(
+            energy.is_finite() && energy >= 0.0,
+            "energy must be non-negative and finite, got {energy}"
+        );
+        assert!(
+            delay.is_finite() && delay >= 0.0,
+            "delay must be non-negative and finite, got {delay}"
+        );
+        assert!(
+            fallibility.is_finite() && fallibility >= 1.0,
+            "fallibility must be >= 1 (it is 1 + error fraction), got {fallibility}"
+        );
+        energy.powf(self.k) * delay.powf(self.m) * fallibility.powf(self.n)
+    }
+
+    /// Computes the product of one configuration relative to a baseline,
+    /// matching the paper's bar charts ("relative to Cr = 1 with
+    /// no-detection").
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid inputs (see [`EdfMetric::product`]) or if the
+    /// baseline product is zero.
+    pub fn relative(
+        &self,
+        energy: f64,
+        delay: f64,
+        fallibility: f64,
+        base_energy: f64,
+        base_delay: f64,
+        base_fallibility: f64,
+    ) -> f64 {
+        let base = self.product(base_energy, base_delay, base_fallibility);
+        assert!(base > 0.0, "baseline EDF product must be positive");
+        self.product(energy, delay, fallibility) / base
+    }
+}
+
+impl Default for EdfMetric {
+    fn default() -> Self {
+        EdfMetric::paper()
+    }
+}
+
+impl fmt::Display for EdfMetric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "energy^{}·delay^{}·fallibility^{}",
+            self.k, self.m, self.n
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_metric_exponents() {
+        let m = EdfMetric::paper();
+        assert_eq!((m.k(), m.m(), m.n()), (1.0, 2.0, 2.0));
+    }
+
+    #[test]
+    fn product_matches_hand_computation() {
+        let m = EdfMetric::paper();
+        let p = m.product(2.0, 3.0, 1.5);
+        assert!((p - 2.0 * 9.0 * 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fallibility_one_degenerates_to_energy_delay_squared() {
+        let edf = EdfMetric::paper();
+        let ed2 = EdfMetric::energy_delay_squared();
+        assert!((edf.product(5.0, 7.0, 1.0) - ed2.product(5.0, 7.0, 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_baseline_is_one() {
+        let m = EdfMetric::paper();
+        let r = m.relative(5.0, 7.0, 1.1, 5.0, 7.0, 1.1);
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_improvement_below_one() {
+        let m = EdfMetric::paper();
+        let r = m.relative(4.0, 6.0, 1.05, 5.0, 7.0, 1.0);
+        assert!(r < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fallibility")]
+    fn product_rejects_fallibility_below_one() {
+        EdfMetric::paper().product(1.0, 1.0, 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn new_rejects_negative_exponent() {
+        EdfMetric::new(-1.0, 2.0, 2.0);
+    }
+
+    #[test]
+    fn energy_delay_ignores_fallibility() {
+        let m = EdfMetric::energy_delay();
+        assert!((m.product(2.0, 3.0, 1.9) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_exponents() {
+        assert_eq!(
+            format!("{}", EdfMetric::paper()),
+            "energy^1·delay^2·fallibility^2"
+        );
+    }
+}

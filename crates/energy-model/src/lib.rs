@@ -1,0 +1,58 @@
+//! Energy accounting for clumsy packet processors.
+//!
+//! This crate models the three energy sources the paper combines in its
+//! evaluation (§5.4):
+//!
+//! 1. **Whole-processor energy** — per-cycle energy derived from the
+//!    StrongARM SA-110 datapoint of Montanaro et al. (160 MHz, 0.5 W).
+//! 2. **Cache access energy** — a CACTI-style per-access energy for the
+//!    level-1 data cache, scaled *linearly with the voltage swing* when the
+//!    cache is over-clocked (the paper's Figure 1(b) model).
+//! 3. **Detection overhead** — parity protection increases level-1 read
+//!    energy by 23 % and write energy by 36 % (Phelan, ARM Ltd.).
+//!
+//! It also defines the paper's comparison metric, the
+//! [energy–delay–fallibility product](EdfMetric) (§4.1), generalized to
+//! `energy^k · delay^m · fallibility^n` with the paper's default
+//! `k = 1, m = 2, n = 2`.
+//!
+//! # Examples
+//!
+//! ```
+//! use energy_model::{EnergyModel, EdfMetric, EnergyBreakdown};
+//!
+//! let model = EnergyModel::strongarm();
+//! // One packet: 500 core cycles, 120 L1 reads, 40 L1 writes at full swing.
+//! let mut acc = EnergyBreakdown::default();
+//! acc.core_nj += model.core_energy(500.0);
+//! acc.l1_nj += 120.0 * model.l1_read_energy(1.0);
+//! acc.l1_nj += 40.0 * model.l1_write_energy(1.0);
+//! let edf = EdfMetric::paper().product(acc.total_nj(), 500.0, 1.01);
+//! assert!(edf > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod breakdown;
+mod edf;
+mod model;
+
+pub use breakdown::EnergyBreakdown;
+pub use edf::EdfMetric;
+pub use model::{EnergyModel, EnergyModelBuilder, ParityOverhead};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_level_example_compiles() {
+        let model = EnergyModel::strongarm();
+        let mut acc = EnergyBreakdown::default();
+        acc.core_nj += model.core_energy(500.0);
+        acc.l1_nj += 120.0 * model.l1_read_energy(1.0);
+        let edf = EdfMetric::paper().product(acc.total_nj(), 500.0, 1.01);
+        assert!(edf > 0.0);
+    }
+}

@@ -1,0 +1,432 @@
+//! The processor/cache energy model and its builder.
+
+use std::fmt;
+
+/// Relative energy cost of parity protection on level-1 cache accesses.
+///
+/// The paper (§5.4, citing Phelan's ARM soft-error report) charges parity
+/// at **+23 % per read** and **+36 % per write**, assuming one parity bit
+/// per 32-bit word.
+///
+/// # Examples
+///
+/// ```
+/// use energy_model::ParityOverhead;
+///
+/// let p = ParityOverhead::paper();
+/// assert!((p.read_factor() - 1.23).abs() < 1e-12);
+/// assert!((p.write_factor() - 1.36).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParityOverhead {
+    read_extra: f64,
+    write_extra: f64,
+}
+
+impl ParityOverhead {
+    /// The paper's parity overheads: +23 % on reads, +36 % on writes.
+    pub fn paper() -> Self {
+        ParityOverhead {
+            read_extra: 0.23,
+            write_extra: 0.36,
+        }
+    }
+
+    /// No overhead (detection disabled).
+    pub fn none() -> Self {
+        ParityOverhead {
+            read_extra: 0.0,
+            write_extra: 0.0,
+        }
+    }
+
+    /// Custom overheads expressed as extra fractions (0.23 ⇒ +23 %).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either fraction is negative or not finite.
+    pub fn new(read_extra: f64, write_extra: f64) -> Self {
+        assert!(
+            read_extra >= 0.0 && read_extra.is_finite(),
+            "read overhead must be a non-negative finite fraction"
+        );
+        assert!(
+            write_extra >= 0.0 && write_extra.is_finite(),
+            "write overhead must be a non-negative finite fraction"
+        );
+        ParityOverhead {
+            read_extra,
+            write_extra,
+        }
+    }
+
+    /// Multiplicative factor applied to read energy (1.23 for the paper).
+    pub fn read_factor(&self) -> f64 {
+        1.0 + self.read_extra
+    }
+
+    /// Multiplicative factor applied to write energy (1.36 for the paper).
+    pub fn write_factor(&self) -> f64 {
+        1.0 + self.write_extra
+    }
+}
+
+impl Default for ParityOverhead {
+    fn default() -> Self {
+        ParityOverhead::paper()
+    }
+}
+
+impl fmt::Display for ParityOverhead {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parity(+{:.0}% rd, +{:.0}% wr)",
+            self.read_extra * 100.0,
+            self.write_extra * 100.0
+        )
+    }
+}
+
+/// Energy model for a StrongARM-class packet-processor core with a
+/// frequency-scalable level-1 data cache.
+///
+/// All energies are in nanojoules. The defaults are anchored to the
+/// paper's sources:
+///
+/// * Montanaro et al.: SA-110 dissipates 0.5 W at 160 MHz ⇒ 3.125 nJ per
+///   cycle for the whole chip.
+/// * The level-1 data cache consumes 16 % of overall chip energy (§5.4);
+///   with the access densities of the NetBench workloads this corresponds
+///   to ≈1.5 nJ per L1 access (CACTI-scale for a 4 KB array).
+/// * L1 cache energy scales **linearly with the voltage swing** of the
+///   over-clocked array (§5.4 / Figure 1(b)).
+///
+/// # Examples
+///
+/// ```
+/// use energy_model::EnergyModel;
+///
+/// let m = EnergyModel::strongarm();
+/// // Halving the voltage swing halves L1 access energy.
+/// assert!((m.l1_read_energy(0.5) - 0.5 * m.l1_read_energy(1.0)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    chip_nj_per_cycle: f64,
+    l1_fraction: f64,
+    l1_read_nj: f64,
+    l1_write_nj: f64,
+    l2_access_nj: f64,
+    mem_access_nj: f64,
+    parity: ParityOverhead,
+}
+
+impl EnergyModel {
+    /// The paper's StrongARM-110-derived model.
+    pub fn strongarm() -> Self {
+        EnergyModelBuilder::new().build()
+    }
+
+    /// Starts building a customized model.
+    pub fn builder() -> EnergyModelBuilder {
+        EnergyModelBuilder::new()
+    }
+
+    /// Energy consumed by the non-L1D portion of the chip over `cycles`
+    /// core cycles, in nanojoules.
+    ///
+    /// The chip per-cycle energy is split so the level-1 data cache's
+    /// share (16 % by default) is charged per access instead.
+    pub fn core_energy(&self, cycles: f64) -> f64 {
+        self.chip_nj_per_cycle * (1.0 - self.l1_fraction) * cycles
+    }
+
+    /// Full-chip energy per cycle (nJ), before the L1 share is removed.
+    pub fn chip_nj_per_cycle(&self) -> f64 {
+        self.chip_nj_per_cycle
+    }
+
+    /// Fraction of chip energy attributed to the level-1 data cache.
+    pub fn l1_fraction(&self) -> f64 {
+        self.l1_fraction
+    }
+
+    /// Energy of one L1 data-cache read at relative voltage swing `vsr`
+    /// (1.0 = full swing), in nanojoules. Linear in `vsr` per the paper.
+    pub fn l1_read_energy(&self, vsr: f64) -> f64 {
+        self.l1_read_nj * vsr
+    }
+
+    /// Energy of one L1 data-cache write at relative voltage swing `vsr`,
+    /// in nanojoules.
+    pub fn l1_write_energy(&self, vsr: f64) -> f64 {
+        self.l1_write_nj * vsr
+    }
+
+    /// Energy of one L1 read including parity checking, in nanojoules.
+    pub fn l1_read_energy_with_parity(&self, vsr: f64) -> f64 {
+        self.l1_read_energy(vsr) * self.parity.read_factor()
+    }
+
+    /// Energy of one L1 write including parity generation, in nanojoules.
+    pub fn l1_write_energy_with_parity(&self, vsr: f64) -> f64 {
+        self.l1_write_energy(vsr) * self.parity.write_factor()
+    }
+
+    /// Energy of one L2 access (full swing; the paper only over-clocks L1),
+    /// in nanojoules.
+    pub fn l2_access_energy(&self) -> f64 {
+        self.l2_access_nj
+    }
+
+    /// Energy of one backing-memory access, in nanojoules.
+    pub fn mem_access_energy(&self) -> f64 {
+        self.mem_access_nj
+    }
+
+    /// The parity overhead in effect.
+    pub fn parity(&self) -> ParityOverhead {
+        self.parity
+    }
+
+    /// Relative L1 energy reduction at relative voltage swing `vsr`
+    /// compared to full swing, as a fraction in `[0, 1]`.
+    ///
+    /// The paper reports 45 %, 19 %, and 6 % for `Cr` = 0.25, 0.5 and
+    /// 0.75 (which map to `vsr` ≈ 0.55, 0.81, 0.94 under its swing curve).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use energy_model::EnergyModel;
+    /// let m = EnergyModel::strongarm();
+    /// assert!((m.l1_energy_reduction(0.55) - 0.45).abs() < 1e-12);
+    /// ```
+    pub fn l1_energy_reduction(&self, vsr: f64) -> f64 {
+        1.0 - vsr
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel::strongarm()
+    }
+}
+
+/// Builder for [`EnergyModel`].
+///
+/// # Examples
+///
+/// ```
+/// use energy_model::EnergyModel;
+///
+/// let m = EnergyModel::builder()
+///     .chip_nj_per_cycle(2.0)
+///     .l1_read_nj(1.0)
+///     .build();
+/// assert!((m.chip_nj_per_cycle() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EnergyModelBuilder {
+    chip_nj_per_cycle: f64,
+    l1_fraction: f64,
+    l1_read_nj: f64,
+    l1_write_nj: f64,
+    l2_access_nj: f64,
+    mem_access_nj: f64,
+    parity: ParityOverhead,
+}
+
+impl EnergyModelBuilder {
+    /// Creates a builder preloaded with the StrongARM defaults.
+    pub fn new() -> Self {
+        EnergyModelBuilder {
+            // 0.5 W / 160 MHz = 3.125 nJ per cycle for the whole chip.
+            chip_nj_per_cycle: 3.125,
+            l1_fraction: 0.16,
+            l1_read_nj: 1.5,
+            l1_write_nj: 1.6,
+            l2_access_nj: 7.0,
+            mem_access_nj: 30.0,
+            parity: ParityOverhead::paper(),
+        }
+    }
+
+    /// Sets the whole-chip energy per cycle, in nanojoules.
+    pub fn chip_nj_per_cycle(&mut self, nj: f64) -> &mut Self {
+        self.chip_nj_per_cycle = nj;
+        self
+    }
+
+    /// Sets the fraction of chip energy attributed to the L1 data cache.
+    pub fn l1_fraction(&mut self, fraction: f64) -> &mut Self {
+        self.l1_fraction = fraction;
+        self
+    }
+
+    /// Sets the full-swing L1 read energy, in nanojoules.
+    pub fn l1_read_nj(&mut self, nj: f64) -> &mut Self {
+        self.l1_read_nj = nj;
+        self
+    }
+
+    /// Sets the full-swing L1 write energy, in nanojoules.
+    pub fn l1_write_nj(&mut self, nj: f64) -> &mut Self {
+        self.l1_write_nj = nj;
+        self
+    }
+
+    /// Sets the L2 access energy, in nanojoules.
+    pub fn l2_access_nj(&mut self, nj: f64) -> &mut Self {
+        self.l2_access_nj = nj;
+        self
+    }
+
+    /// Sets the backing-memory access energy, in nanojoules.
+    pub fn mem_access_nj(&mut self, nj: f64) -> &mut Self {
+        self.mem_access_nj = nj;
+        self
+    }
+
+    /// Sets the parity overhead model.
+    pub fn parity(&mut self, parity: ParityOverhead) -> &mut Self {
+        self.parity = parity;
+        self
+    }
+
+    /// Builds the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any energy is negative/non-finite or the L1 fraction is
+    /// outside `[0, 1)`.
+    pub fn build(&self) -> EnergyModel {
+        for (name, v) in [
+            ("chip_nj_per_cycle", self.chip_nj_per_cycle),
+            ("l1_read_nj", self.l1_read_nj),
+            ("l1_write_nj", self.l1_write_nj),
+            ("l2_access_nj", self.l2_access_nj),
+            ("mem_access_nj", self.mem_access_nj),
+        ] {
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "{name} must be non-negative and finite, got {v}"
+            );
+        }
+        assert!(
+            (0.0..1.0).contains(&self.l1_fraction),
+            "l1_fraction must be in [0, 1), got {}",
+            self.l1_fraction
+        );
+        EnergyModel {
+            chip_nj_per_cycle: self.chip_nj_per_cycle,
+            l1_fraction: self.l1_fraction,
+            l1_read_nj: self.l1_read_nj,
+            l1_write_nj: self.l1_write_nj,
+            l2_access_nj: self.l2_access_nj,
+            mem_access_nj: self.mem_access_nj,
+            parity: self.parity,
+        }
+    }
+}
+
+impl Default for EnergyModelBuilder {
+    fn default() -> Self {
+        EnergyModelBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strongarm_anchor_is_montanaro() {
+        let m = EnergyModel::strongarm();
+        // 0.5 W at 160 MHz.
+        assert!((m.chip_nj_per_cycle() - 3.125).abs() < 1e-12);
+        assert!((m.l1_fraction() - 0.16).abs() < 1e-12);
+    }
+
+    #[test]
+    fn core_energy_excludes_l1_share() {
+        let m = EnergyModel::strongarm();
+        let e = m.core_energy(1000.0);
+        assert!((e - 3.125 * 0.84 * 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn l1_energy_scales_linearly_with_swing() {
+        let m = EnergyModel::strongarm();
+        for vsr in [0.25, 0.5, 0.75, 1.0] {
+            assert!((m.l1_read_energy(vsr) - vsr * m.l1_read_energy(1.0)).abs() < 1e-12);
+            assert!((m.l1_write_energy(vsr) - vsr * m.l1_write_energy(1.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parity_factors_match_phelan() {
+        let m = EnergyModel::strongarm();
+        let base_r = m.l1_read_energy(1.0);
+        let base_w = m.l1_write_energy(1.0);
+        assert!((m.l1_read_energy_with_parity(1.0) - base_r * 1.23).abs() < 1e-12);
+        assert!((m.l1_write_energy_with_parity(1.0) - base_w * 1.36).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parity_none_is_free() {
+        let m = EnergyModel::builder().parity(ParityOverhead::none()).build();
+        assert_eq!(
+            m.l1_read_energy_with_parity(1.0),
+            m.l1_read_energy(1.0)
+        );
+    }
+
+    #[test]
+    fn energy_reduction_matches_paper_anchors() {
+        let m = EnergyModel::strongarm();
+        // Paper §5.4: cache energy reduces by 45 %, 19 %, 6 % for
+        // Cr = 0.25, 0.5, 0.75 → vsr 0.55, 0.81, 0.94.
+        assert!((m.l1_energy_reduction(0.55) - 0.45).abs() < 1e-9);
+        assert!((m.l1_energy_reduction(0.81) - 0.19).abs() < 1e-9);
+        assert!((m.l1_energy_reduction(0.94) - 0.06).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builder_sets_all_fields() {
+        let m = EnergyModel::builder()
+            .chip_nj_per_cycle(2.0)
+            .l1_fraction(0.2)
+            .l1_read_nj(1.0)
+            .l1_write_nj(1.1)
+            .l2_access_nj(5.0)
+            .mem_access_nj(20.0)
+            .build();
+        assert!((m.chip_nj_per_cycle() - 2.0).abs() < 1e-12);
+        assert!((m.l1_fraction() - 0.2).abs() < 1e-12);
+        assert!((m.l1_read_energy(1.0) - 1.0).abs() < 1e-12);
+        assert!((m.l1_write_energy(1.0) - 1.1).abs() < 1e-12);
+        assert!((m.l2_access_energy() - 5.0).abs() < 1e-12);
+        assert!((m.mem_access_energy() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "l1_fraction")]
+    fn builder_rejects_bad_fraction() {
+        let _ = EnergyModel::builder().l1_fraction(1.5).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn builder_rejects_negative_energy() {
+        let _ = EnergyModel::builder().l1_read_nj(-1.0).build();
+    }
+
+    #[test]
+    fn parity_display_is_readable() {
+        let s = format!("{}", ParityOverhead::paper());
+        assert!(s.contains("23"));
+        assert!(s.contains("36"));
+    }
+}

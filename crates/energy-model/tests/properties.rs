@@ -1,0 +1,86 @@
+//! Property-based tests for the energy model and the EDF metric.
+
+use energy_model::{EdfMetric, EnergyBreakdown, EnergyModel};
+use proptest::prelude::*;
+
+proptest! {
+    /// The EDF product is monotone in every argument.
+    #[test]
+    fn edf_is_monotone(
+        e in 0.1f64..1e6,
+        d in 0.1f64..1e6,
+        fall in 1.0f64..2.0,
+        bump in 0.01f64..10.0,
+    ) {
+        let m = EdfMetric::paper();
+        let base = m.product(e, d, fall);
+        prop_assert!(m.product(e + bump, d, fall) >= base);
+        prop_assert!(m.product(e, d + bump, fall) >= base);
+        prop_assert!(m.product(e, d, (fall + bump).min(2.0).max(fall)) >= base);
+    }
+
+    /// relative() of a run against itself is exactly 1.
+    #[test]
+    fn edf_relative_to_self_is_one(
+        e in 0.1f64..1e6,
+        d in 0.1f64..1e6,
+        fall in 1.0f64..2.0,
+    ) {
+        let m = EdfMetric::paper();
+        prop_assert!((m.relative(e, d, fall, e, d, fall) - 1.0).abs() < 1e-12);
+    }
+
+    /// The paper metric decomposes: product = E * D^2 * F^2.
+    #[test]
+    fn paper_metric_decomposes(
+        e in 0.1f64..1e4,
+        d in 0.1f64..1e4,
+        fall in 1.0f64..2.0,
+    ) {
+        let m = EdfMetric::paper();
+        let expect = e * d * d * fall * fall;
+        prop_assert!((m.product(e, d, fall) / expect - 1.0).abs() < 1e-12);
+    }
+
+    /// Energy breakdown addition is commutative and totals add.
+    #[test]
+    fn breakdown_addition_commutes(
+        a in prop::array::uniform5(0.0f64..1e6),
+        b in prop::array::uniform5(0.0f64..1e6),
+    ) {
+        let mk = |v: [f64; 5]| EnergyBreakdown {
+            core_nj: v[0], l1_nj: v[1], l2_nj: v[2], mem_nj: v[3], overhead_nj: v[4],
+        };
+        let (x, y) = (mk(a), mk(b));
+        prop_assert_eq!(x + y, y + x);
+        prop_assert!(((x + y).total_nj() - (x.total_nj() + y.total_nj())).abs() < 1e-6);
+    }
+
+    /// Scaling a breakdown scales its total linearly.
+    #[test]
+    fn breakdown_scaling_is_linear(
+        v in prop::array::uniform5(0.0f64..1e6),
+        k in 0.0f64..10.0,
+    ) {
+        let e = EnergyBreakdown {
+            core_nj: v[0], l1_nj: v[1], l2_nj: v[2], mem_nj: v[3], overhead_nj: v[4],
+        };
+        prop_assert!((e.scaled(k).total_nj() - k * e.total_nj()).abs() < 1e-6);
+    }
+
+    /// Cache energy is linear in the voltage swing for any swing.
+    #[test]
+    fn l1_energy_linear_in_swing(vsr in 0.0f64..1.0, k in 0.0f64..1.0) {
+        let m = EnergyModel::strongarm();
+        let scaled = m.l1_read_energy(vsr) * k;
+        prop_assert!((m.l1_read_energy(vsr * k) - scaled).abs() < 1e-9);
+    }
+
+    /// Parity always costs energy when enabled, never changes base cost.
+    #[test]
+    fn parity_overhead_is_positive(vsr in 0.01f64..1.0) {
+        let m = EnergyModel::strongarm();
+        prop_assert!(m.l1_read_energy_with_parity(vsr) > m.l1_read_energy(vsr));
+        prop_assert!(m.l1_write_energy_with_parity(vsr) > m.l1_write_energy(vsr));
+    }
+}

@@ -1,0 +1,321 @@
+//! SRAM noise-immunity curves (paper Figure 2(b)).
+//!
+//! A 6-transistor SRAM cell has a feedback loop that cannot recover from
+//! noise-induced faults; whether a noise pulse flips the cell depends on
+//! both its amplitude and its duration. The paper's SPICE simulations
+//! yield, per voltage swing, a curve in (duration, amplitude) space:
+//! pulses *above* the curve cause a logic failure.
+//!
+//! We model each curve with the classic dynamic noise-immunity shape
+//!
+//! ```text
+//! A_crit(Dr) = margin · (1 + τ/Dr)
+//! ```
+//!
+//! — long pulses need only exceed the static noise margin, while very
+//! short pulses need proportionally larger amplitude because the cell's
+//! feedback loop integrates the disturbance. The static margin shrinks
+//! as the voltage swing drops (`margin = m0 + m1·Vsr`), which is why
+//! over-clocking makes the cell easier to flip.
+
+use std::fmt;
+
+/// A single noise-immunity curve at a fixed voltage swing.
+///
+/// # Examples
+///
+/// ```
+/// use fault_model::NoiseImmunityCurve;
+///
+/// let curve = NoiseImmunityCurve::new(0.5, 0.005);
+/// // Long pulses only need to beat the static margin ...
+/// assert!((curve.critical_amplitude(1.0) - 0.5025).abs() < 1e-9);
+/// // ... short pulses need much more amplitude.
+/// assert!(curve.critical_amplitude(0.005) > 0.9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseImmunityCurve {
+    margin: f64,
+    tau: f64,
+}
+
+impl NoiseImmunityCurve {
+    /// Creates a curve with static noise `margin` (relative amplitude)
+    /// and integration time constant `tau` (relative duration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `margin` is not positive/finite or `tau` is negative or
+    /// not finite.
+    pub fn new(margin: f64, tau: f64) -> Self {
+        assert!(
+            margin.is_finite() && margin > 0.0,
+            "margin must be positive and finite, got {margin}"
+        );
+        assert!(
+            tau.is_finite() && tau >= 0.0,
+            "tau must be non-negative and finite, got {tau}"
+        );
+        NoiseImmunityCurve { margin, tau }
+    }
+
+    /// Static noise margin (the asymptote for long pulses).
+    pub fn margin(&self) -> f64 {
+        self.margin
+    }
+
+    /// Integration time constant.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// Minimum relative noise amplitude that flips the cell for a pulse
+    /// of relative duration `dr`.
+    ///
+    /// Returns `f64::INFINITY` for `dr = 0` (a zero-length pulse never
+    /// flips the cell).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dr` is negative or not finite.
+    pub fn critical_amplitude(&self, dr: f64) -> f64 {
+        assert!(
+            dr.is_finite() && dr >= 0.0,
+            "duration must be non-negative and finite, got {dr}"
+        );
+        if dr == 0.0 {
+            return f64::INFINITY;
+        }
+        self.margin * (1.0 + self.tau / dr)
+    }
+
+    /// Whether a pulse of relative amplitude `ar` and duration `dr`
+    /// causes a logic failure (lies above the curve).
+    pub fn fails(&self, ar: f64, dr: f64) -> bool {
+        ar > self.critical_amplitude(dr)
+    }
+
+    /// The `(dr, ar_critical)` series of the paper's Figure 2(b) for
+    /// `points` durations evenly spaced in `(0, dmax]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is zero or `dmax` is not positive and finite.
+    pub fn series(&self, dmax: f64, points: usize) -> Vec<(f64, f64)> {
+        assert!(points > 0, "at least one sample point is required");
+        assert!(
+            dmax.is_finite() && dmax > 0.0,
+            "dmax must be positive and finite, got {dmax}"
+        );
+        (1..=points)
+            .map(|i| {
+                let dr = dmax * i as f64 / points as f64;
+                (dr, self.critical_amplitude(dr))
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for NoiseImmunityCurve {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "A_crit(Dr) = {:.3}·(1 + {:.4}/Dr)",
+            self.margin, self.tau
+        )
+    }
+}
+
+/// A family of immunity curves parameterized by voltage swing:
+/// `margin(Vsr) = m0 + m1·Vsr`.
+///
+/// Calibrated instances come from
+/// [`IntegratedFaultModel::calibrated`](crate::IntegratedFaultModel::calibrated).
+///
+/// # Examples
+///
+/// ```
+/// use fault_model::immunity::NoiseImmunityFamily;
+///
+/// let fam = NoiseImmunityFamily::new(0.06, 0.45, 0.005);
+/// let full = fam.curve_at_swing(1.0);
+/// let low = fam.curve_at_swing(0.5);
+/// // Lower swing ⇒ smaller noise margin ⇒ easier to flip.
+/// assert!(low.margin() < full.margin());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseImmunityFamily {
+    m0: f64,
+    m1: f64,
+    tau: f64,
+}
+
+impl NoiseImmunityFamily {
+    /// Creates a family with intercept `m0`, swing slope `m1` and pulse
+    /// integration constant `tau`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m0` is negative, `m1` is not positive, either is not
+    /// finite, or `tau` is negative/not finite.
+    pub fn new(m0: f64, m1: f64, tau: f64) -> Self {
+        assert!(
+            m0.is_finite() && m0 >= 0.0,
+            "m0 must be non-negative and finite, got {m0}"
+        );
+        assert!(
+            m1.is_finite() && m1 > 0.0,
+            "m1 must be positive and finite, got {m1}"
+        );
+        assert!(
+            tau.is_finite() && tau >= 0.0,
+            "tau must be non-negative and finite, got {tau}"
+        );
+        NoiseImmunityFamily { m0, m1, tau }
+    }
+
+    /// Margin intercept `m0`.
+    pub fn m0(&self) -> f64 {
+        self.m0
+    }
+
+    /// Margin slope `m1` (per unit of relative swing).
+    pub fn m1(&self) -> f64 {
+        self.m1
+    }
+
+    /// Pulse integration constant shared by all curves in the family.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// The static noise margin at relative voltage swing `vsr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vsr` is not in `(0, 1]`.
+    pub fn margin_at_swing(&self, vsr: f64) -> f64 {
+        assert!(
+            vsr.is_finite() && vsr > 0.0 && vsr <= 1.0,
+            "relative swing must be in (0, 1], got {vsr}"
+        );
+        self.m0 + self.m1 * vsr
+    }
+
+    /// The immunity curve at relative voltage swing `vsr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vsr` is not in `(0, 1]`.
+    pub fn curve_at_swing(&self, vsr: f64) -> NoiseImmunityCurve {
+        NoiseImmunityCurve::new(self.margin_at_swing(vsr), self.tau)
+    }
+
+    /// Returns a family with every margin scaled by `scale` (used by the
+    /// anchor calibration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive and finite.
+    pub fn scaled(&self, scale: f64) -> NoiseImmunityFamily {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "scale must be positive and finite, got {scale}"
+        );
+        NoiseImmunityFamily {
+            m0: self.m0 * scale,
+            m1: self.m1 * scale,
+            tau: self.tau,
+        }
+    }
+}
+
+impl fmt::Display for NoiseImmunityFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "margin(Vsr) = {:.4} + {:.4}·Vsr, τ = {:.4}",
+            self.m0, self.m1, self.tau
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn long_pulse_needs_only_static_margin() {
+        let c = NoiseImmunityCurve::new(0.4, 0.002);
+        // As dr → ∞ the critical amplitude approaches the margin.
+        assert!((c.critical_amplitude(1000.0) - 0.4).abs() < 1e-5);
+    }
+
+    #[test]
+    fn critical_amplitude_decreases_with_duration() {
+        let c = NoiseImmunityCurve::new(0.4, 0.005);
+        let mut prev = f64::INFINITY;
+        for i in 1..=50 {
+            let a = c.critical_amplitude(0.002 * i as f64);
+            assert!(a <= prev);
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn zero_duration_never_fails() {
+        let c = NoiseImmunityCurve::new(0.4, 0.005);
+        assert_eq!(c.critical_amplitude(0.0), f64::INFINITY);
+        assert!(!c.fails(1e9, 0.0));
+    }
+
+    #[test]
+    fn fails_above_curve_only() {
+        let c = NoiseImmunityCurve::new(0.5, 0.0);
+        assert!(c.fails(0.6, 0.05));
+        assert!(!c.fails(0.4, 0.05));
+    }
+
+    #[test]
+    fn lower_swing_has_lower_curve() {
+        // The paper's Figure 2(b): the highest curve is full swing; the
+        // lower curves are smaller swings.
+        let fam = NoiseImmunityFamily::new(0.06, 0.45, 0.005);
+        let hi = fam.curve_at_swing(1.0);
+        let lo = fam.curve_at_swing(0.39);
+        for dr in [0.01, 0.05, 0.09] {
+            assert!(lo.critical_amplitude(dr) < hi.critical_amplitude(dr));
+        }
+    }
+
+    #[test]
+    fn series_has_requested_length_and_is_decreasing() {
+        let c = NoiseImmunityCurve::new(0.5, 0.01);
+        let s = c.series(0.1, 10);
+        assert_eq!(s.len(), 10);
+        for w in s.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn scaled_family_scales_margins_not_tau() {
+        let fam = NoiseImmunityFamily::new(0.1, 0.4, 0.005);
+        let s = fam.scaled(2.0);
+        assert!((s.m0() - 0.2).abs() < 1e-12);
+        assert!((s.m1() - 0.8).abs() < 1e-12);
+        assert!((s.tau() - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "margin")]
+    fn curve_rejects_zero_margin() {
+        NoiseImmunityCurve::new(0.0, 0.005);
+    }
+
+    #[test]
+    #[should_panic(expected = "relative swing")]
+    fn family_rejects_swing_above_one() {
+        NoiseImmunityFamily::new(0.1, 0.4, 0.005).margin_at_swing(1.5);
+    }
+}

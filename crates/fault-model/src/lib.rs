@@ -1,0 +1,83 @@
+//! Circuit-level fault model for over-clocked SRAM caches.
+//!
+//! This crate implements §3 of *"A Case for Clumsy Packet Processors"*
+//! (Mallik & Memik, MICRO-37, 2004): a chain of models that connects the
+//! **clock frequency** of a cache to the **probability of a bit fault**
+//! during an access.
+//!
+//! The chain has four links:
+//!
+//! 1. [`swing::VoltageSwingCurve`] — higher clock rates leave less time to
+//!    charge/discharge a node, so the achievable voltage swing shrinks
+//!    (paper Figure 1).
+//! 2. [`noise`] — capacitive coupling from neighbouring lines injects
+//!    noise pulses; counting the switching combinations of `n` aggressors
+//!    yields an exponential amplitude distribution
+//!    `P(Ar) = 28.8·e^(−28.8·Ar)` and a uniform duration distribution
+//!    `Dr ~ U(0, 0.1)` (paper Figure 3, equations (2)–(3)).
+//! 3. [`immunity::NoiseImmunityCurve`] — for a 6-transistor SRAM cell at a
+//!    given voltage swing, which (amplitude, duration) pulses flip the
+//!    cell (paper Figure 2(b)).
+//! 4. [`probability::FaultProbabilityModel`] — integrating the noise
+//!    distribution over the region above the immunity curve gives the
+//!    per-bit fault probability as a function of voltage swing
+//!    (Figure 4) and hence of relative cycle time (Figure 5,
+//!    equation (4)).
+//!
+//! # Calibration note
+//!
+//! The printed equation (4), `P_E = 2.59·10⁻⁷·e^(6·Fr²−6)`, saturates at
+//! `P_E ≥ 1` already for a 2× clock, which contradicts the paper's own
+//! Table I and Figures 6–8. We keep the functional form but default to a
+//! calibrated exponent β = 0.20 that reproduces the paper's
+//! application-level fallibility band; the printed constant remains
+//! available via [`probability::FaultProbabilityModel::paper_printed`].
+//! See `DESIGN.md` for the full derivation.
+//!
+//! # Examples
+//!
+//! ```
+//! use fault_model::{FaultProbabilityModel, VoltageSwingCurve};
+//!
+//! let swing = VoltageSwingCurve::paper();
+//! let model = FaultProbabilityModel::calibrated();
+//!
+//! // At the full-swing clock the per-bit fault probability is the
+//! // industrial baseline of 2.59e-7.
+//! assert!((model.per_bit_at_cycle(1.0) - 2.59e-7).abs() < 1e-12);
+//!
+//! // Quadrupling the clock (Cr = 0.25) raises it ~20x but keeps it
+//! // far below saturation.
+//! let p = model.per_bit_at_cycle(0.25);
+//! assert!(p > 1e-6 && p < 1e-4);
+//!
+//! // The swing at Cr = 0.25 implies the paper's 45 % cache-energy saving.
+//! assert!((swing.relative_swing(0.25) - 0.55).abs() < 0.01);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod immunity;
+pub mod multibit;
+pub mod noise;
+pub mod probability;
+pub mod sampler;
+pub mod swing;
+
+pub use immunity::NoiseImmunityCurve;
+pub use multibit::{FaultEvent, MultiBitModel};
+pub use noise::{NoiseAmplitudeDistribution, NoiseDurationDistribution, SwitchingCensus};
+pub use probability::{FaultProbabilityModel, IntegratedFaultModel, CALIBRATED_BETA, PAPER_PRINTED_BETA};
+pub use sampler::FaultSampler;
+pub use swing::VoltageSwingCurve;
+
+/// The paper's baseline per-bit fault probability at full voltage swing,
+/// consistent with the industrial/test data of Shivakumar et al. (§5.1).
+pub const BASELINE_FAULT_PROBABILITY: f64 = 2.59e-7;
+
+/// Ratio between single-bit and two-bit fault probabilities (§5.1).
+pub const TWO_BIT_RATIO: f64 = 100.0;
+
+/// Ratio between single-bit and three-bit fault probabilities (§5.1).
+pub const THREE_BIT_RATIO: f64 = 1000.0;

@@ -1,0 +1,271 @@
+//! Multi-bit fault correlation (paper §5.1).
+//!
+//! The paper injects single-bit faults with probability 2.59·10⁻⁷ per
+//! bit and, "in accordance with reported correlation between single-bit
+//! and multiple bit faults" (Li et al.), two-bit faults at 1/100 and
+//! three-bit faults at 1/1000 of the single-bit probability.
+
+use std::fmt;
+
+/// A sampled fault event for one cache access: which bits of the
+/// accessed word flipped.
+///
+/// # Examples
+///
+/// ```
+/// use fault_model::FaultEvent;
+///
+/// let none = FaultEvent::none();
+/// assert!(!none.is_fault());
+/// let e = FaultEvent::from_mask(0b101);
+/// assert_eq!(e.flipped_bits(), 2);
+/// assert!(e.is_fault());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct FaultEvent {
+    mask: u32,
+}
+
+impl FaultEvent {
+    /// No fault.
+    pub fn none() -> Self {
+        FaultEvent { mask: 0 }
+    }
+
+    /// A fault flipping the bits set in `mask`.
+    pub fn from_mask(mask: u32) -> Self {
+        FaultEvent { mask }
+    }
+
+    /// The XOR mask to apply to the accessed word.
+    pub fn mask(&self) -> u32 {
+        self.mask
+    }
+
+    /// Whether any bit flipped.
+    pub fn is_fault(&self) -> bool {
+        self.mask != 0
+    }
+
+    /// Number of flipped bits.
+    pub fn flipped_bits(&self) -> u32 {
+        self.mask.count_ones()
+    }
+
+    /// Whether parity over the word detects this event (odd number of
+    /// flipped bits).
+    pub fn parity_detectable(&self) -> bool {
+        self.mask.count_ones() % 2 == 1
+    }
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_fault() {
+            write!(f, "fault(mask={:#010x})", self.mask)
+        } else {
+            write!(f, "no-fault")
+        }
+    }
+}
+
+/// Per-access probabilities of single-, two- and three-bit fault events
+/// for a given word width and per-bit fault probability.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EventProbabilities {
+    /// Probability of exactly one bit flipping during the access.
+    pub single: f64,
+    /// Probability of a two-bit fault.
+    pub double: f64,
+    /// Probability of a three-bit fault.
+    pub triple: f64,
+}
+
+impl EventProbabilities {
+    /// Total probability of any fault event.
+    pub fn any(&self) -> f64 {
+        self.single + self.double + self.triple
+    }
+}
+
+/// The single/multi-bit fault correlation model.
+///
+/// # Examples
+///
+/// ```
+/// use fault_model::MultiBitModel;
+///
+/// let m = MultiBitModel::paper();
+/// let probs = m.event_probabilities(2.59e-7, 32);
+/// // 32 bits at 2.59e-7 each.
+/// assert!((probs.single - 32.0 * 2.59e-7).abs() < 1e-12);
+/// assert!((probs.double - probs.single / 100.0).abs() < 1e-15);
+/// assert!((probs.triple - probs.single / 1000.0).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiBitModel {
+    two_bit_ratio: f64,
+    three_bit_ratio: f64,
+}
+
+impl MultiBitModel {
+    /// The paper's ratios: two-bit = single/100, three-bit = single/1000.
+    pub fn paper() -> Self {
+        MultiBitModel {
+            two_bit_ratio: crate::TWO_BIT_RATIO,
+            three_bit_ratio: crate::THREE_BIT_RATIO,
+        }
+    }
+
+    /// Custom ratios (single-bit probability divided by these gives the
+    /// multi-bit probabilities).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either ratio is not ≥ 1 and finite.
+    pub fn new(two_bit_ratio: f64, three_bit_ratio: f64) -> Self {
+        assert!(
+            two_bit_ratio.is_finite() && two_bit_ratio >= 1.0,
+            "two-bit ratio must be >= 1, got {two_bit_ratio}"
+        );
+        assert!(
+            three_bit_ratio.is_finite() && three_bit_ratio >= 1.0,
+            "three-bit ratio must be >= 1, got {three_bit_ratio}"
+        );
+        MultiBitModel {
+            two_bit_ratio,
+            three_bit_ratio,
+        }
+    }
+
+    /// Single-bit-only model: multi-bit faults never occur.
+    pub fn single_bit_only() -> Self {
+        MultiBitModel {
+            two_bit_ratio: f64::INFINITY,
+            three_bit_ratio: f64::INFINITY,
+        }
+    }
+
+    /// Per-access event probabilities for a `width`-bit word when each
+    /// bit faults with probability `per_bit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_bit` is not in `[0, 1]` or `width` is 0 or > 32.
+    pub fn event_probabilities(&self, per_bit: f64, width: u32) -> EventProbabilities {
+        assert!(
+            per_bit.is_finite() && (0.0..=1.0).contains(&per_bit),
+            "per-bit probability must be in [0, 1], got {per_bit}"
+        );
+        assert!(
+            (1..=32).contains(&width),
+            "width must be in 1..=32, got {width}"
+        );
+        let single = (per_bit * width as f64).min(1.0);
+        let double = if self.two_bit_ratio.is_finite() {
+            single / self.two_bit_ratio
+        } else {
+            0.0
+        };
+        let triple = if self.three_bit_ratio.is_finite() {
+            single / self.three_bit_ratio
+        } else {
+            0.0
+        };
+        // Renormalize the (astronomically unlikely) case where the total
+        // exceeds 1, preserving the ratios.
+        let total = single + double + triple;
+        if total > 1.0 {
+            EventProbabilities {
+                single: single / total,
+                double: double / total,
+                triple: triple / total,
+            }
+        } else {
+            EventProbabilities {
+                single,
+                double,
+                triple,
+            }
+        }
+    }
+}
+
+impl Default for MultiBitModel {
+    fn default() -> Self {
+        MultiBitModel::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ratios_match_section_5_1() {
+        let m = MultiBitModel::paper();
+        let p = m.event_probabilities(2.59e-7, 1);
+        assert!((p.single - 2.59e-7).abs() < 1e-20);
+        assert!((p.double - 2.59e-9).abs() < 1e-20);
+        assert!((p.triple - 2.59e-10).abs() < 1e-20);
+    }
+
+    #[test]
+    fn single_bit_only_has_no_multibit() {
+        let m = MultiBitModel::single_bit_only();
+        let p = m.event_probabilities(1e-3, 32);
+        assert_eq!(p.double, 0.0);
+        assert_eq!(p.triple, 0.0);
+        assert!(p.single > 0.0);
+    }
+
+    #[test]
+    fn probabilities_scale_with_width() {
+        let m = MultiBitModel::paper();
+        let p8 = m.event_probabilities(1e-6, 8);
+        let p32 = m.event_probabilities(1e-6, 32);
+        assert!((p32.single / p8.single - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturated_probability_renormalizes() {
+        let m = MultiBitModel::paper();
+        let p = m.event_probabilities(1.0, 32);
+        assert!(p.any() <= 1.0 + 1e-12);
+        // Ratios preserved under renormalization.
+        assert!((p.single / p.double - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_per_bit_means_no_events() {
+        let m = MultiBitModel::paper();
+        let p = m.event_probabilities(0.0, 32);
+        assert_eq!(p.any(), 0.0);
+    }
+
+    #[test]
+    fn event_parity_detectability() {
+        assert!(FaultEvent::from_mask(0b1).parity_detectable());
+        assert!(!FaultEvent::from_mask(0b11).parity_detectable());
+        assert!(FaultEvent::from_mask(0b111).parity_detectable());
+        assert!(!FaultEvent::none().parity_detectable());
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn rejects_wide_words() {
+        MultiBitModel::paper().event_probabilities(1e-7, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "per-bit")]
+    fn rejects_bad_probability() {
+        MultiBitModel::paper().event_probabilities(1.5, 32);
+    }
+
+    #[test]
+    fn display_of_events() {
+        assert_eq!(format!("{}", FaultEvent::none()), "no-fault");
+        assert!(format!("{}", FaultEvent::from_mask(1)).contains("mask"));
+    }
+}

@@ -1,0 +1,389 @@
+//! Noise amplitude and duration distributions (paper Figure 3,
+//! equations (1)–(3)).
+//!
+//! Noise on a victim line comes from capacitive/inductive coupling of
+//! switching neighbour lines. With `n` significantly coupled neighbours
+//! there are `2^(2n)` switching combinations (each neighbour rises,
+//! falls, or stays at either rail); only the single all-same-direction
+//! combination produces the worst-case amplitude, while a vast number of
+//! combinations cancel. Counting the combinations per amplitude bucket
+//! produces a distribution that is exponential in the amplitude
+//! (equation (1)), which for `n > 16` saturates to the continuous pdf
+//! `P(Ar) = 28.8·e^(−28.8·Ar)` (equation (2)).
+//!
+//! Noise duration is bounded by on-chip rise times, which span up to
+//! 10 % of the cycle, so `Dr ~ U(0, 0.1)` (equation (3)).
+
+use std::fmt;
+
+/// Exhaustive census of aggressor switching combinations for a victim
+/// line with `n` coupled neighbours (paper Figure 3 / equation (1)).
+///
+/// Each neighbour contributes +1 (rising), −1 (falling) or 0 (steady,
+/// two rail choices) to the injected noise; the relative amplitude of a
+/// combination is `|Σ contributions| / n`.
+///
+/// # Examples
+///
+/// ```
+/// use fault_model::SwitchingCensus;
+///
+/// let census = SwitchingCensus::enumerate(8);
+/// // Total combinations is 2^(2n) = 4^n.
+/// assert_eq!(census.total_cases(), 4u64.pow(8));
+/// // Exactly one case gives the worst-case (all rising) amplitude ...
+/// // (and one more for all falling).
+/// assert_eq!(census.cases_at_amplitude(1.0), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwitchingCensus {
+    n: u32,
+    /// `counts[k]` = number of combinations whose |sum| equals `k`.
+    counts: Vec<u64>,
+}
+
+impl SwitchingCensus {
+    /// Enumerates all `4^n` switching combinations by dynamic programming
+    /// over the sum of contributions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or greater than 24 (the census is exact
+    /// integer counting; beyond 24 aggressors use the saturated
+    /// continuous distribution instead).
+    pub fn enumerate(n: u32) -> Self {
+        assert!((1..=24).contains(&n), "n must be in 1..=24, got {n}");
+        // dp over sum offset by n: sums range -n..=n.
+        let width = (2 * n + 1) as usize;
+        let mut dp = vec![0u64; width];
+        dp[n as usize] = 1; // empty prefix: sum 0
+        for _ in 0..n {
+            let mut next = vec![0u64; width];
+            for (idx, &c) in dp.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                // steady (two rail states)
+                next[idx] += 2 * c;
+                // rising
+                if idx + 1 < width {
+                    next[idx + 1] += c;
+                }
+                // falling
+                if idx > 0 {
+                    next[idx - 1] += c;
+                }
+            }
+            dp = next;
+        }
+        let mut counts = vec![0u64; n as usize + 1];
+        for (idx, &c) in dp.iter().enumerate() {
+            let sum = idx as i64 - n as i64;
+            counts[sum.unsigned_abs() as usize] += c;
+        }
+        SwitchingCensus { n, counts }
+    }
+
+    /// Number of coupled neighbour lines.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Total number of switching combinations, `2^(2n)`.
+    pub fn total_cases(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Number of combinations whose relative amplitude is exactly
+    /// `amplitude` (must be a multiple of `1/n`; rounded to the nearest
+    /// bucket).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amplitude` is outside `[0, 1]` or not finite.
+    pub fn cases_at_amplitude(&self, amplitude: f64) -> u64 {
+        assert!(
+            amplitude.is_finite() && (0.0..=1.0).contains(&amplitude),
+            "amplitude must be in [0, 1], got {amplitude}"
+        );
+        let k = (amplitude * self.n as f64).round() as usize;
+        self.counts.get(k).copied().unwrap_or(0)
+    }
+
+    /// The `(amplitude, cases)` series of the paper's Figure 3.
+    pub fn series(&self) -> Vec<(f64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| (k as f64 / self.n as f64, c))
+            .collect()
+    }
+
+    /// Least-squares fit of `cases ≈ K1·e^(−K2·A)` over the non-zero
+    /// buckets (the paper's equation (1)), returning `(k1, k2)`.
+    ///
+    /// The fit is linear in log space and weights every non-empty bucket
+    /// equally.
+    pub fn exponential_fit(&self) -> (f64, f64) {
+        let pts: Vec<(f64, f64)> = self
+            .series()
+            .into_iter()
+            .filter(|&(_, c)| c > 0)
+            .map(|(a, c)| (a, (c as f64).ln()))
+            .collect();
+        let n = pts.len() as f64;
+        let sx: f64 = pts.iter().map(|p| p.0).sum();
+        let sy: f64 = pts.iter().map(|p| p.1).sum();
+        let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+        let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+        let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+        let intercept = (sy - slope * sx) / n;
+        (intercept.exp(), -slope)
+    }
+}
+
+impl fmt::Display for SwitchingCensus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "switching census for n={} ({} cases)",
+            self.n,
+            self.total_cases()
+        )
+    }
+}
+
+/// The saturated continuous noise-amplitude distribution,
+/// `P(Ar) = 28.8·e^(−28.8·Ar)` for `Ar > 0` (paper equation (2)).
+///
+/// # Examples
+///
+/// ```
+/// use fault_model::NoiseAmplitudeDistribution;
+///
+/// let d = NoiseAmplitudeDistribution::paper();
+/// // The tail probability of exceeding amplitude a is e^(−28.8·a).
+/// assert!((d.tail(0.0) - 1.0).abs() < 1e-12);
+/// assert!(d.tail(0.5) < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseAmplitudeDistribution {
+    rate: f64,
+}
+
+impl NoiseAmplitudeDistribution {
+    /// The paper's rate constant, 28.8.
+    pub fn paper() -> Self {
+        NoiseAmplitudeDistribution { rate: 28.8 }
+    }
+
+    /// A distribution with a custom exponential rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive and finite.
+    pub fn with_rate(rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "rate must be positive and finite, got {rate}"
+        );
+        NoiseAmplitudeDistribution { rate }
+    }
+
+    /// The exponential rate constant.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Probability density at relative amplitude `ar` (0 for `ar < 0`).
+    pub fn pdf(&self, ar: f64) -> f64 {
+        if ar < 0.0 {
+            0.0
+        } else {
+            self.rate * (-self.rate * ar).exp()
+        }
+    }
+
+    /// Tail probability `P(A > ar) = e^(−rate·ar)` (1 for `ar ≤ 0`).
+    pub fn tail(&self, ar: f64) -> f64 {
+        if ar <= 0.0 {
+            1.0
+        } else {
+            (-self.rate * ar).exp()
+        }
+    }
+}
+
+impl Default for NoiseAmplitudeDistribution {
+    fn default() -> Self {
+        NoiseAmplitudeDistribution::paper()
+    }
+}
+
+/// The uniform noise-duration distribution `Dr ~ U(0, dmax)` with the
+/// paper's `dmax = 0.1` (equation (3)) — noise pulses are bounded by
+/// on-chip rise times, which span up to 10 % of the cycle.
+///
+/// # Examples
+///
+/// ```
+/// use fault_model::NoiseDurationDistribution;
+///
+/// let d = NoiseDurationDistribution::paper();
+/// assert!((d.pdf(0.05) - 10.0).abs() < 1e-12);
+/// assert_eq!(d.pdf(0.2), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseDurationDistribution {
+    dmax: f64,
+}
+
+impl NoiseDurationDistribution {
+    /// The paper's distribution: uniform on `(0, 0.1)`.
+    pub fn paper() -> Self {
+        NoiseDurationDistribution { dmax: 0.1 }
+    }
+
+    /// A uniform distribution on `(0, dmax)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dmax` is not in `(0, 1]`.
+    pub fn with_max(dmax: f64) -> Self {
+        assert!(
+            dmax.is_finite() && dmax > 0.0 && dmax <= 1.0,
+            "dmax must be in (0, 1], got {dmax}"
+        );
+        NoiseDurationDistribution { dmax }
+    }
+
+    /// Upper bound of the duration support.
+    pub fn max_duration(&self) -> f64 {
+        self.dmax
+    }
+
+    /// Probability density at relative duration `dr`.
+    pub fn pdf(&self, dr: f64) -> f64 {
+        if dr > 0.0 && dr < self.dmax {
+            1.0 / self.dmax
+        } else {
+            0.0
+        }
+    }
+}
+
+impl Default for NoiseDurationDistribution {
+    fn default() -> Self {
+        NoiseDurationDistribution::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_total_is_4_pow_n() {
+        for n in [1u32, 2, 4, 8, 12] {
+            let c = SwitchingCensus::enumerate(n);
+            assert_eq!(c.total_cases(), 4u64.pow(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn worst_case_is_two_combinations() {
+        // all-rising and all-falling
+        let c = SwitchingCensus::enumerate(10);
+        assert_eq!(c.cases_at_amplitude(1.0), 2);
+    }
+
+    #[test]
+    fn small_amplitudes_dominate() {
+        let c = SwitchingCensus::enumerate(12);
+        assert!(c.cases_at_amplitude(0.0) > c.cases_at_amplitude(0.5));
+        assert!(c.cases_at_amplitude(0.5) > c.cases_at_amplitude(1.0));
+    }
+
+    #[test]
+    fn census_counts_decay_with_amplitude() {
+        // Folding |sum| doubles every non-zero bucket, so the k = 0
+        // bucket can sit below k = 1; from k = 1 on the counts must
+        // decay (the paper's Figure 3 shape).
+        let c = SwitchingCensus::enumerate(16);
+        let s = c.series();
+        for w in s[1..].windows(2) {
+            assert!(w[0].1 >= w[1].1, "counts must decay with amplitude");
+        }
+        assert!(s[0].1 > s[8].1, "near-zero amplitudes dominate the tail");
+    }
+
+    #[test]
+    fn exponential_fit_rate_is_near_saturated_constant() {
+        // For large n the fitted decay rate should approach the paper's
+        // continuous-distribution regime (tens per unit amplitude).
+        let c = SwitchingCensus::enumerate(20);
+        let (k1, k2) = c.exponential_fit();
+        assert!(k1 > 0.0);
+        assert!(k2 > 10.0 && k2 < 60.0, "k2 = {k2}");
+    }
+
+    #[test]
+    fn small_census_brute_force_matches() {
+        // n = 2: 16 combos. Sums: contributions in {+1,-1,0,0} each line.
+        let c = SwitchingCensus::enumerate(2);
+        // |sum| = 2: both rise or both fall = 2 cases.
+        assert_eq!(c.cases_at_amplitude(1.0), 2);
+        // |sum| = 1: one switches (+/-), other steady (2 ways), 2 lines,
+        // 2 directions = 8 cases.
+        assert_eq!(c.cases_at_amplitude(0.5), 8);
+        // |sum| = 0: both steady (4) or opposite switching (2) = 6.
+        assert_eq!(c.cases_at_amplitude(0.0), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=24")]
+    fn census_rejects_zero() {
+        SwitchingCensus::enumerate(0);
+    }
+
+    #[test]
+    fn amplitude_pdf_integrates_to_one() {
+        let d = NoiseAmplitudeDistribution::paper();
+        // Trapezoid integration over [0, 2].
+        let steps = 200_000;
+        let h = 2.0 / steps as f64;
+        let mut sum = 0.0;
+        for i in 0..steps {
+            let a = i as f64 * h;
+            sum += 0.5 * (d.pdf(a) + d.pdf(a + h)) * h;
+        }
+        assert!((sum - 1.0).abs() < 1e-6, "integral = {sum}");
+    }
+
+    #[test]
+    fn amplitude_tail_matches_closed_form() {
+        let d = NoiseAmplitudeDistribution::paper();
+        assert!((d.tail(0.1) - (-2.88f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duration_pdf_is_uniform_10() {
+        let d = NoiseDurationDistribution::paper();
+        assert_eq!(d.pdf(0.01), 10.0);
+        assert_eq!(d.pdf(0.099), 10.0);
+        assert_eq!(d.pdf(0.1), 0.0);
+        assert_eq!(d.pdf(0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate")]
+    fn amplitude_rejects_bad_rate() {
+        NoiseAmplitudeDistribution::with_rate(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dmax")]
+    fn duration_rejects_bad_max() {
+        NoiseDurationDistribution::with_max(0.0);
+    }
+}

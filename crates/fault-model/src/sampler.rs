@@ -1,0 +1,291 @@
+//! Fast per-access fault sampling for the cache simulator.
+//!
+//! The simulator asks "did this access fault, and which bits flipped?"
+//! for every L1 data access. [`FaultSampler`] pre-computes the per-access
+//! event probabilities for the current cache clock and answers with a
+//! single uniform draw in the common no-fault case.
+
+use crate::multibit::{EventProbabilities, FaultEvent, MultiBitModel};
+use crate::probability::FaultProbabilityModel;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Supported access widths in bits.
+const WIDTHS: [u32; 3] = [8, 16, 32];
+
+/// Deterministic, seeded sampler of per-access fault events.
+///
+/// # Examples
+///
+/// ```
+/// use fault_model::{FaultProbabilityModel, FaultSampler};
+///
+/// let mut s = FaultSampler::new(FaultProbabilityModel::calibrated(), 42);
+/// s.set_cycle(0.25); // 4x over-clock
+/// let mut faults = 0u64;
+/// for _ in 0..200_000 {
+///     if s.sample(32).is_fault() {
+///         faults += 1;
+///     }
+/// }
+/// // Expected rate ~ 32 * P_E(0.25); just check determinism-friendly bounds.
+/// assert!(faults > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultSampler {
+    model: FaultProbabilityModel,
+    multibit: MultiBitModel,
+    rng: SmallRng,
+    cr: f64,
+    enabled: bool,
+    /// Cached per-access probabilities for widths 8, 16, 32.
+    cached: [EventProbabilities; 3],
+    faults_injected: u64,
+    bits_flipped: u64,
+}
+
+impl FaultSampler {
+    /// Creates a sampler at full-swing clock (`Cr = 1`).
+    pub fn new(model: FaultProbabilityModel, seed: u64) -> Self {
+        let mut s = FaultSampler {
+            model,
+            multibit: MultiBitModel::paper(),
+            rng: SmallRng::seed_from_u64(seed),
+            cr: 1.0,
+            enabled: true,
+            cached: [EventProbabilities::default(); 3],
+            faults_injected: 0,
+            bits_flipped: 0,
+        };
+        s.recompute();
+        s
+    }
+
+    /// Creates a sampler with a custom multi-bit correlation model.
+    pub fn with_multibit(model: FaultProbabilityModel, multibit: MultiBitModel, seed: u64) -> Self {
+        let mut s = Self::new(model, seed);
+        s.multibit = multibit;
+        s.recompute();
+        s
+    }
+
+    /// The closed-form fault model in use.
+    pub fn model(&self) -> FaultProbabilityModel {
+        self.model
+    }
+
+    /// Current relative cycle time.
+    pub fn cycle(&self) -> f64 {
+        self.cr
+    }
+
+    /// Sets the relative cycle time and recomputes cached probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cr` is not in `(0, 1]`.
+    pub fn set_cycle(&mut self, cr: f64) {
+        assert!(
+            cr.is_finite() && cr > 0.0 && cr <= 1.0 + 1e-9,
+            "relative cycle time must be in (0, 1], got {cr}"
+        );
+        self.cr = cr;
+        self.recompute();
+    }
+
+    /// Enables or disables injection (disabled ⇒ every sample is
+    /// no-fault; used for golden runs).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether injection is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Total fault events injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected
+    }
+
+    /// Total bits flipped so far.
+    pub fn bits_flipped(&self) -> u64 {
+        self.bits_flipped
+    }
+
+    /// Resets the event counters (not the RNG).
+    pub fn reset_counters(&mut self) {
+        self.faults_injected = 0;
+        self.bits_flipped = 0;
+    }
+
+    fn recompute(&mut self) {
+        let per_bit = self.model.per_bit_at_cycle(self.cr);
+        for (i, w) in WIDTHS.iter().enumerate() {
+            self.cached[i] = self.multibit.event_probabilities(per_bit, *w);
+        }
+    }
+
+    fn probs_for(&self, width: u32) -> EventProbabilities {
+        match width {
+            8 => self.cached[0],
+            16 => self.cached[1],
+            32 => self.cached[2],
+            _ => panic!("unsupported access width {width} (expected 8, 16 or 32)"),
+        }
+    }
+
+    /// Per-access probability of any fault at the current clock for the
+    /// given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not 8, 16 or 32.
+    pub fn fault_probability(&self, width: u32) -> f64 {
+        self.probs_for(width).any()
+    }
+
+    /// Samples a fault event for one access of `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not 8, 16 or 32.
+    pub fn sample(&mut self, width: u32) -> FaultEvent {
+        let probs = self.probs_for(width);
+        if !self.enabled {
+            return FaultEvent::none();
+        }
+        let u: f64 = self.rng.gen();
+        let nbits = if u < probs.triple {
+            3
+        } else if u < probs.triple + probs.double {
+            2
+        } else if u < probs.any() {
+            1
+        } else {
+            return FaultEvent::none();
+        };
+        let mut mask = 0u32;
+        while mask.count_ones() < nbits {
+            mask |= 1 << self.rng.gen_range(0..width);
+        }
+        self.faults_injected += 1;
+        self.bits_flipped += u64::from(nbits);
+        FaultEvent::from_mask(mask)
+    }
+}
+
+impl fmt::Display for FaultSampler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sampler(Cr={:.2}, enabled={}, injected={})",
+            self.cr, self.enabled, self.faults_injected
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sampler_never_faults() {
+        let mut s = FaultSampler::new(FaultProbabilityModel::calibrated(), 1);
+        s.set_cycle(0.25);
+        s.set_enabled(false);
+        for _ in 0..100_000 {
+            assert!(!s.sample(32).is_fault());
+        }
+        assert_eq!(s.faults_injected(), 0);
+    }
+
+    #[test]
+    fn fault_rate_matches_probability() {
+        let mut s = FaultSampler::new(FaultProbabilityModel::with_beta(2.0), 7);
+        s.set_cycle(0.25);
+        let p = s.fault_probability(32);
+        assert!(p > 1e-3, "need a measurable rate for this test, got {p}");
+        let n = 2_000_000u64;
+        let mut hits = 0u64;
+        for _ in 0..n {
+            if s.sample(32).is_fault() {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / n as f64;
+        assert!(
+            (rate / p - 1.0).abs() < 0.1,
+            "rate {rate} vs expected {p}"
+        );
+    }
+
+    #[test]
+    fn sampled_masks_fit_width() {
+        let mut s = FaultSampler::new(FaultProbabilityModel::with_beta(3.0), 3);
+        s.set_cycle(0.3);
+        for _ in 0..500_000 {
+            let e = s.sample(8);
+            assert_eq!(e.mask() & !0xFF, 0, "mask outside 8-bit word");
+        }
+    }
+
+    #[test]
+    fn multibit_masks_have_requested_popcount() {
+        // With extreme probabilities, force lots of events and check
+        // popcounts are only 1, 2 or 3.
+        let mut s = FaultSampler::new(FaultProbabilityModel::new(0.9, 0.0), 11);
+        let mut seen = [false; 4];
+        for _ in 0..10_000 {
+            let e = s.sample(32);
+            if e.is_fault() {
+                let n = e.flipped_bits();
+                assert!((1..=3).contains(&n));
+                seen[n as usize] = true;
+            }
+        }
+        assert!(seen[1] && seen[2] && seen[3], "expected all classes: {seen:?}");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_stream() {
+        let mk = || {
+            let mut s = FaultSampler::new(FaultProbabilityModel::with_beta(2.0), 99);
+            s.set_cycle(0.25);
+            (0..10_000).map(|_| s.sample(32).mask()).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = FaultSampler::new(FaultProbabilityModel::with_beta(2.0), 1);
+        let mut b = FaultSampler::new(FaultProbabilityModel::with_beta(2.0), 2);
+        a.set_cycle(0.25);
+        b.set_cycle(0.25);
+        let va: Vec<u32> = (0..50_000).map(|_| a.sample(32).mask()).collect();
+        let vb: Vec<u32> = (0..50_000).map(|_| b.sample(32).mask()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn counters_track_events() {
+        let mut s = FaultSampler::new(FaultProbabilityModel::new(0.5, 0.0), 5);
+        for _ in 0..1000 {
+            s.sample(32);
+        }
+        assert!(s.faults_injected() > 0);
+        assert!(s.bits_flipped() >= s.faults_injected());
+        s.reset_counters();
+        assert_eq!(s.faults_injected(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported access width")]
+    fn rejects_odd_width() {
+        let mut s = FaultSampler::new(FaultProbabilityModel::calibrated(), 0);
+        s.sample(12);
+    }
+}

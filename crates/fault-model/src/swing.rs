@@ -1,0 +1,227 @@
+//! Voltage swing as a function of relative cycle time (paper Figure 1).
+//!
+//! Higher clock rates limit the achievable voltage swing at a circuit
+//! node because there is insufficient time to fully charge or discharge
+//! the load capacitance (the supply voltage is held at Vdd). The paper
+//! produced its curve by SPICE-simulating a chain of gates driven by an
+//! inverter; we model the same physics with first-order RC charging,
+//!
+//! ```text
+//! Vsr(Cr) = (1 − e^(−λ·Cr)) / (1 − e^(−λ))
+//! ```
+//!
+//! normalized so the swing at the full-swing cycle time (`Cr = 1`) is
+//! exactly 1. λ = 3 is calibrated against the paper's own energy anchor
+//! points (§5.4: cache energy, which is linear in swing, drops by 6 %,
+//! 19 % and 45 % at `Cr` = 0.75, 0.5 and 0.25 ⇒ `Vsr` = 0.94, 0.81,
+//! 0.55), which this curve hits within 1 %.
+
+use std::fmt;
+
+/// The relative voltage swing vs. relative cycle time curve.
+///
+/// `Cr = C/Cfs` is the cycle time relative to the full-swing cycle time;
+/// `Vsr = Vs/Vfs` is the swing relative to the full swing. `Cr < 1`
+/// means the cache is over-clocked.
+///
+/// # Examples
+///
+/// ```
+/// use fault_model::VoltageSwingCurve;
+///
+/// let curve = VoltageSwingCurve::paper();
+/// assert!((curve.relative_swing(1.0) - 1.0).abs() < 1e-12);
+/// // Doubling the clock keeps ~81 % of the swing.
+/// assert!((curve.relative_swing(0.5) - 0.81).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoltageSwingCurve {
+    lambda: f64,
+}
+
+impl VoltageSwingCurve {
+    /// The paper-calibrated curve (λ = 3).
+    pub fn paper() -> Self {
+        VoltageSwingCurve { lambda: 3.0 }
+    }
+
+    /// A curve with a custom RC time-constant ratio λ.
+    ///
+    /// Larger λ means the node charges faster relative to the full-swing
+    /// cycle, so over-clocking costs less swing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is not strictly positive and finite.
+    pub fn with_lambda(lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "lambda must be positive and finite, got {lambda}"
+        );
+        VoltageSwingCurve { lambda }
+    }
+
+    /// The RC time-constant ratio λ.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Relative voltage swing `Vsr` achieved at relative cycle time `cr`.
+    ///
+    /// `cr` is clamped to be non-negative; `cr = 0` yields swing 0 and
+    /// `cr = 1` yields exactly 1. Values above 1 saturate slowly towards
+    /// `1/(1 − e^(−λ))` (under-clocking cannot exceed the full Vdd swing
+    /// by much, and the paper never under-clocks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cr` is negative or not finite.
+    pub fn relative_swing(&self, cr: f64) -> f64 {
+        assert!(
+            cr.is_finite() && cr >= 0.0,
+            "relative cycle time must be non-negative and finite, got {cr}"
+        );
+        let num = 1.0 - (-self.lambda * cr).exp();
+        let den = 1.0 - (-self.lambda).exp();
+        (num / den).min(1.0)
+    }
+
+    /// Inverts the curve: the relative cycle time needed to reach swing
+    /// `vsr`, or `None` if `vsr` is outside `(0, 1]`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fault_model::VoltageSwingCurve;
+    /// let curve = VoltageSwingCurve::paper();
+    /// let cr = curve.cycle_for_swing(0.81).unwrap();
+    /// assert!((cr - 0.5).abs() < 0.02);
+    /// ```
+    pub fn cycle_for_swing(&self, vsr: f64) -> Option<f64> {
+        if !(vsr > 0.0 && vsr <= 1.0 && vsr.is_finite()) {
+            return None;
+        }
+        if vsr == 1.0 {
+            return Some(1.0);
+        }
+        let den = 1.0 - (-self.lambda).exp();
+        let inner = 1.0 - vsr * den;
+        // inner is in (e^-lambda, 1) for vsr in (0,1), so ln is defined.
+        Some(-inner.ln() / self.lambda)
+    }
+
+    /// Samples the curve at `points` evenly spaced cycle times in
+    /// `(0, 1]`, returning `(cr, vsr)` pairs — the series of the paper's
+    /// Figure 1(b).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is zero.
+    pub fn series(&self, points: usize) -> Vec<(f64, f64)> {
+        assert!(points > 0, "at least one sample point is required");
+        (1..=points)
+            .map(|i| {
+                let cr = i as f64 / points as f64;
+                (cr, self.relative_swing(cr))
+            })
+            .collect()
+    }
+}
+
+impl Default for VoltageSwingCurve {
+    fn default() -> Self {
+        VoltageSwingCurve::paper()
+    }
+}
+
+impl fmt::Display for VoltageSwingCurve {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Vsr(Cr) = (1-e^(-{}·Cr))/(1-e^(-{}))", self.lambda, self.lambda)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_cycle_gives_full_swing() {
+        let c = VoltageSwingCurve::paper();
+        assert!((c.relative_swing(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycle_gives_zero_swing() {
+        let c = VoltageSwingCurve::paper();
+        assert_eq!(c.relative_swing(0.0), 0.0);
+    }
+
+    #[test]
+    fn swing_is_monotone_in_cycle_time() {
+        let c = VoltageSwingCurve::paper();
+        let mut prev = 0.0;
+        for i in 1..=100 {
+            let v = c.relative_swing(i as f64 / 100.0);
+            assert!(v >= prev, "swing must not decrease with cycle time");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn paper_energy_anchors_hold() {
+        // §5.4: cache energy (linear in swing) drops 6/19/45 % at
+        // Cr = 0.75/0.5/0.25.
+        let c = VoltageSwingCurve::paper();
+        assert!((c.relative_swing(0.75) - 0.94).abs() < 0.01);
+        assert!((c.relative_swing(0.5) - 0.81).abs() < 0.01);
+        assert!((c.relative_swing(0.25) - 0.55).abs() < 0.01);
+    }
+
+    #[test]
+    fn figure_1b_point_at_0_3() {
+        // Figure 1(b) shows a swing around 0.5–0.6 at 0.3·Cfs.
+        let c = VoltageSwingCurve::paper();
+        let v = c.relative_swing(0.3);
+        assert!((0.5..=0.7).contains(&v), "got {v}");
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let c = VoltageSwingCurve::paper();
+        for cr in [0.1, 0.25, 0.5, 0.75, 0.9] {
+            let vsr = c.relative_swing(cr);
+            let back = c.cycle_for_swing(vsr).unwrap();
+            assert!((back - cr).abs() < 1e-9, "cr={cr} back={back}");
+        }
+    }
+
+    #[test]
+    fn inverse_rejects_out_of_range() {
+        let c = VoltageSwingCurve::paper();
+        assert_eq!(c.cycle_for_swing(0.0), None);
+        assert_eq!(c.cycle_for_swing(1.5), None);
+        assert_eq!(c.cycle_for_swing(-0.5), None);
+        assert_eq!(c.cycle_for_swing(f64::NAN), None);
+    }
+
+    #[test]
+    fn series_covers_unit_interval() {
+        let c = VoltageSwingCurve::paper();
+        let s = c.series(20);
+        assert_eq!(s.len(), 20);
+        assert!((s[19].0 - 1.0).abs() < 1e-12);
+        assert!((s[19].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn rejects_nonpositive_lambda() {
+        VoltageSwingCurve::with_lambda(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle time")]
+    fn rejects_negative_cycle() {
+        VoltageSwingCurve::paper().relative_swing(-0.1);
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests for the fault-model invariants.
+
+use fault_model::{
+    FaultProbabilityModel, FaultSampler, IntegratedFaultModel, MultiBitModel,
+    NoiseAmplitudeDistribution, NoiseImmunityCurve, SwitchingCensus, VoltageSwingCurve,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Monte-Carlo cross-check of the numerical integration: sample actual
+/// (amplitude, duration) noise pulses from the paper's distributions and
+/// count how many land above the immunity curve. The empirical failure
+/// probability must agree with `per_bit_at_swing` within sampling error.
+#[test]
+fn monte_carlo_agrees_with_integration() {
+    let model = IntegratedFaultModel::calibrated();
+    let mut rng = SmallRng::seed_from_u64(1234);
+    // Use a swing low enough that failures are samplable.
+    let vsr = 0.45;
+    let analytic = model.per_bit_at_swing(vsr);
+    assert!(analytic > 1e-6, "need a samplable rate, got {analytic}");
+    let curve = model.immunity().curve_at_swing(vsr);
+    let n = 4_000_000u64;
+    let mut failures = 0u64;
+    for _ in 0..n {
+        // Ar ~ Exp(28.8); Dr ~ U(0, 0.1).
+        let ar = -rng.gen::<f64>().ln() / 28.8;
+        let dr = rng.gen::<f64>() * 0.1;
+        if curve.fails(ar, dr) {
+            failures += 1;
+        }
+    }
+    let empirical = failures as f64 / n as f64;
+    let ratio = empirical / analytic;
+    assert!(
+        (0.8..1.2).contains(&ratio),
+        "MC {empirical} vs integral {analytic} (ratio {ratio})"
+    );
+}
+
+proptest! {
+    #[test]
+    fn swing_is_monotone_for_any_lambda(
+        lambda in 0.5f64..10.0,
+        a in 0.01f64..1.0,
+        b in 0.01f64..1.0,
+    ) {
+        let curve = VoltageSwingCurve::with_lambda(lambda);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(curve.relative_swing(lo) <= curve.relative_swing(hi) + 1e-12);
+    }
+
+    #[test]
+    fn swing_inverse_round_trips(
+        lambda in 0.5f64..10.0,
+        cr in 0.05f64..1.0,
+    ) {
+        let curve = VoltageSwingCurve::with_lambda(lambda);
+        let vsr = curve.relative_swing(cr);
+        if vsr < 1.0 {
+            let back = curve.cycle_for_swing(vsr).unwrap();
+            prop_assert!((back - cr).abs() < 1e-6, "cr={cr} back={back}");
+        }
+    }
+
+    #[test]
+    fn swing_stays_in_unit_interval(lambda in 0.5f64..10.0, cr in 0.0f64..1.0) {
+        let v = VoltageSwingCurve::with_lambda(lambda).relative_swing(cr);
+        prop_assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn probability_model_is_monotone_and_bounded(
+        beta in 0.0f64..2.0,
+        fr_lo in 1.0f64..4.0,
+        step in 0.0f64..2.0,
+    ) {
+        let m = FaultProbabilityModel::with_beta(beta);
+        let p_lo = m.per_bit_at_frequency(fr_lo);
+        let p_hi = m.per_bit_at_frequency(fr_lo + step);
+        prop_assert!(p_lo <= p_hi + 1e-18);
+        prop_assert!((0.0..=1.0).contains(&p_lo));
+        prop_assert!((0.0..=1.0).contains(&p_hi));
+    }
+
+    #[test]
+    fn fit_recovers_generating_model(
+        p0_exp in -9.0f64..-4.0,
+        beta in 0.01f64..1.5,
+    ) {
+        let truth = FaultProbabilityModel::new(10f64.powf(p0_exp), beta);
+        let pts: Vec<(f64, f64)> = (0..12)
+            .map(|i| {
+                let fr = 1.0 + 3.0 * f64::from(i) / 11.0;
+                (fr, truth.per_bit_at_frequency(fr))
+            })
+            .collect();
+        // Only fit in the unsaturated regime.
+        if pts.iter().all(|&(_, p)| p < 1.0) {
+            let fit = FaultProbabilityModel::fit_from_points(&pts);
+            prop_assert!((fit.beta() - beta).abs() < 1e-6);
+            prop_assert!((fit.p0() / truth.p0() - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn census_total_is_4_pow_n(n in 1u32..=12) {
+        prop_assert_eq!(SwitchingCensus::enumerate(n).total_cases(), 4u64.pow(n));
+    }
+
+    #[test]
+    fn census_worst_case_has_two_combinations(n in 1u32..=12) {
+        prop_assert_eq!(SwitchingCensus::enumerate(n).cases_at_amplitude(1.0), 2);
+    }
+
+    #[test]
+    fn amplitude_tail_is_decreasing(rate in 1.0f64..100.0, a in 0.0f64..1.0, d in 0.0f64..1.0) {
+        let dist = NoiseAmplitudeDistribution::with_rate(rate);
+        prop_assert!(dist.tail(a) >= dist.tail(a + d) - 1e-15);
+    }
+
+    #[test]
+    fn immunity_curve_is_decreasing_in_duration(
+        margin in 0.01f64..1.0,
+        tau in 0.0f64..0.05,
+        d in 0.001f64..0.1,
+        step in 0.0f64..0.1,
+    ) {
+        let c = NoiseImmunityCurve::new(margin, tau);
+        prop_assert!(c.critical_amplitude(d) >= c.critical_amplitude(d + step) - 1e-12);
+    }
+
+    #[test]
+    fn multibit_probabilities_are_ordered_and_bounded(
+        per_bit in 0.0f64..1.0,
+        width in 1u32..=32,
+    ) {
+        let p = MultiBitModel::paper().event_probabilities(per_bit, width);
+        prop_assert!(p.single >= p.double);
+        prop_assert!(p.double >= p.triple);
+        prop_assert!(p.any() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn sampler_masks_fit_width_and_popcount(
+        seed in any::<u64>(),
+        width_sel in 0usize..3,
+    ) {
+        let width = [8u32, 16, 32][width_sel];
+        let mut s = FaultSampler::new(FaultProbabilityModel::new(0.02, 0.0), seed);
+        for _ in 0..500 {
+            let e = s.sample(width);
+            if width < 32 {
+                prop_assert_eq!(e.mask() >> width, 0);
+            }
+            prop_assert!(e.flipped_bits() <= 3);
+        }
+    }
+
+    #[test]
+    fn sampler_is_deterministic_per_seed(seed in any::<u64>()) {
+        let run = || {
+            let mut s = FaultSampler::new(FaultProbabilityModel::new(0.01, 0.5), seed);
+            s.set_cycle(0.5);
+            (0..200).map(|_| s.sample(32).mask()).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,55 @@
+//! The seven NetBench applications of the paper's Table I, plus the
+//! [`Adpcm`] media-codec extension (§4's generality claim).
+//!
+//! Each application implements [`PacketApp`](crate::PacketApp) and keeps
+//! **all of its long-lived data structures in simulated memory**, so
+//! injected cache faults hit exactly the structures the paper marks for
+//! error measurement (§2).
+
+mod adpcm;
+mod crc;
+mod drr;
+mod md5;
+mod nat;
+mod route;
+mod tl;
+mod url;
+
+pub use adpcm::Adpcm;
+pub use crc::Crc;
+pub use drr::Drr;
+pub use md5::Md5;
+pub use nat::Nat;
+pub use route::Route;
+pub use tl::Tl;
+pub use url::Url;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::machine::Machine;
+    use crate::trace::{Trace, TraceConfig};
+    use crate::{Observation, PacketApp};
+
+    /// Runs an app fault-free over a small trace and returns per-packet
+    /// observations.
+    pub fn golden_run(app: &mut dyn PacketApp, trace: &Trace) -> Vec<Vec<Observation>> {
+        let mut m = Machine::strongarm(7);
+        m.set_inject(false);
+        m.set_fuel(app.setup_fuel());
+        app.setup(&mut m).expect("fault-free setup cannot fail");
+        let mut out = Vec::new();
+        for p in &trace.packets {
+            let view = m.dma_packet(p).expect("packet fits DMA buffer");
+            m.set_fuel(app.fuel_per_packet());
+            out.push(
+                app.process(&mut m, view)
+                    .expect("fault-free processing cannot fail"),
+            );
+        }
+        out
+    }
+
+    pub fn small_trace() -> Trace {
+        TraceConfig::small().generate()
+    }
+}

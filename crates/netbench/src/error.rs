@@ -1,0 +1,106 @@
+//! Application-level error types.
+
+use cache_sim::MemError;
+use std::error::Error;
+use std::fmt;
+
+/// A fatal error: the execution cannot continue for this run.
+///
+/// The paper (§4.1): *"an error, which prevents a complete execution is
+/// a special one called a fatal error"*, and footnote 3: *"Majority of
+/// the fatal errors we have observed during our simulations are because
+/// the execution gets stuck in an infinite loop."* We detect infinite
+/// loops by exhausting a per-packet instruction budget, and crashes by
+/// corrupted addresses escaping the simulated address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FatalError {
+    /// The instruction budget ran out — a runaway loop.
+    FuelExhausted {
+        /// The budget that was exceeded.
+        budget: u64,
+    },
+    /// A (likely corrupted) address crashed the access.
+    MemoryFault(MemError),
+}
+
+impl fmt::Display for FatalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FatalError::FuelExhausted { budget } => {
+                write!(f, "instruction budget of {budget} exhausted (runaway loop)")
+            }
+            FatalError::MemoryFault(e) => write!(f, "memory fault: {e}"),
+        }
+    }
+}
+
+impl Error for FatalError {}
+
+/// Errors surfaced by packet applications.
+///
+/// Currently every application error is fatal (non-fatal misbehaviour
+/// shows up as wrong *observations*, not as an `Err`); the enum leaves
+/// room for future non-fatal variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppError {
+    /// Execution cannot continue.
+    Fatal(FatalError),
+}
+
+impl AppError {
+    /// The fatal error, if this error is fatal.
+    pub fn as_fatal(&self) -> Option<FatalError> {
+        match self {
+            AppError::Fatal(e) => Some(*e),
+        }
+    }
+}
+
+impl fmt::Display for AppError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AppError::Fatal(e) => write!(f, "fatal: {e}"),
+        }
+    }
+}
+
+impl Error for AppError {}
+
+impl From<MemError> for AppError {
+    fn from(e: MemError) -> Self {
+        AppError::Fatal(FatalError::MemoryFault(e))
+    }
+}
+
+impl From<FatalError> for AppError {
+    fn from(e: FatalError) -> Self {
+        AppError::Fatal(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_wrap_as_fatal() {
+        let mem = MemError::OutOfRange { addr: 4, len: 4 };
+        let app: AppError = mem.into();
+        assert_eq!(app.as_fatal(), Some(FatalError::MemoryFault(mem)));
+    }
+
+    #[test]
+    fn display_mentions_cause() {
+        let e = AppError::Fatal(FatalError::FuelExhausted { budget: 10 });
+        let s = format!("{e}");
+        assert!(s.contains("runaway"));
+        assert!(s.contains("10"));
+    }
+
+    #[test]
+    fn error_trait_bounds() {
+        fn assert_error<E: Error + Send + Sync>() {}
+        assert_error::<AppError>();
+        assert_error::<FatalError>();
+    }
+}

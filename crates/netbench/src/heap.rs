@@ -1,0 +1,126 @@
+//! Bump allocator for the simulated address space.
+
+use std::fmt;
+
+/// A simple bump allocator handing out regions of the simulated memory.
+///
+/// Applications allocate their tables and buffers here during the
+/// control plane; nothing is ever freed (the paper's workloads build
+/// static structures once and then stream packets).
+///
+/// Address 0 is never handed out, so `0` can serve as a null pointer in
+/// simulated data structures.
+///
+/// # Examples
+///
+/// ```
+/// use netbench::Heap;
+///
+/// let mut heap = Heap::new(0x1000, 0x10000);
+/// let a = heap.alloc(100, 4).unwrap();
+/// let b = heap.alloc(100, 4).unwrap();
+/// assert!(b >= a + 100);
+/// assert_eq!(b % 4, 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Heap {
+    next: u32,
+    limit: u32,
+}
+
+impl Heap {
+    /// Creates a heap spanning `[base, limit)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is zero (reserve null) or `base >= limit`.
+    pub fn new(base: u32, limit: u32) -> Self {
+        assert!(base > 0, "heap base must be non-zero (0 is the null pointer)");
+        assert!(base < limit, "heap base must be below its limit");
+        Heap { next: base, limit }
+    }
+
+    /// Allocates `size` bytes aligned to `align`, or `None` when full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two or `size` is zero.
+    pub fn alloc(&mut self, size: u32, align: u32) -> Option<u32> {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        assert!(size > 0, "cannot allocate zero bytes");
+        let base = self.next.checked_add(align - 1)? & !(align - 1);
+        let end = base.checked_add(size)?;
+        if end > self.limit {
+            return None;
+        }
+        self.next = end;
+        Some(base)
+    }
+
+    /// Bytes remaining (upper bound; alignment may consume more).
+    pub fn remaining(&self) -> u32 {
+        self.limit - self.next
+    }
+
+    /// Next un-allocated address.
+    pub fn watermark(&self) -> u32 {
+        self.next
+    }
+}
+
+impl fmt::Display for Heap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "heap at {:#x}, {} bytes free",
+            self.next,
+            self.remaining()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_do_not_overlap() {
+        let mut h = Heap::new(0x100, 0x1000);
+        let a = h.alloc(16, 4).unwrap();
+        let b = h.alloc(16, 4).unwrap();
+        assert!(a + 16 <= b);
+    }
+
+    #[test]
+    fn alignment_is_respected() {
+        let mut h = Heap::new(0x101, 0x1000);
+        let a = h.alloc(8, 32).unwrap();
+        assert_eq!(a % 32, 0);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut h = Heap::new(0x100, 0x140);
+        assert!(h.alloc(64, 4).is_some());
+        assert!(h.alloc(1, 4).is_none());
+    }
+
+    #[test]
+    fn overflow_is_safe() {
+        let mut h = Heap::new(0x100, u32::MAX);
+        h.next = u32::MAX - 2;
+        assert!(h.alloc(16, 4).is_none());
+    }
+
+    #[test]
+    fn never_returns_null() {
+        let mut h = Heap::new(4, 64);
+        assert!(h.alloc(4, 4).unwrap() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "null")]
+    fn zero_base_rejected() {
+        Heap::new(0, 100);
+    }
+}

@@ -1,0 +1,118 @@
+//! IPv4-style header operations over simulated memory, shared by the
+//! route, nat and url applications.
+
+use crate::error::AppError;
+use crate::machine::Machine;
+
+/// Word offsets within the packet header (see [`crate::Packet`]).
+pub(crate) const W_SRC: u32 = 0;
+pub(crate) const W_DST: u32 = 4;
+pub(crate) const W_META: u32 = 8;
+pub(crate) const W_CKSUM: u32 = 12;
+pub(crate) const W_PORTS: u32 = 16;
+
+/// A packet header loaded into "registers" from simulated memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Header {
+    pub src_ip: u32,
+    pub dst_ip: u32,
+    pub meta: u32,
+    pub checksum: u32,
+    pub ports: u32,
+}
+
+impl Header {
+    /// TTL field from the meta word.
+    pub fn ttl(&self) -> u32 {
+        self.meta >> 24
+    }
+
+    /// Payload length from the meta word.
+    pub fn payload_len(&self) -> u32 {
+        self.meta & 0xFFFF
+    }
+
+    /// One's-complement header checksum computed over the loaded words
+    /// with the checksum field zeroed.
+    pub fn compute_checksum(&self) -> u16 {
+        crate::packet::checksum_words(&[self.src_ip, self.dst_ip, self.meta, 0, self.ports])
+    }
+}
+
+/// Loads the five header words through the cache.
+pub(crate) fn load_header(m: &mut Machine, addr: u32) -> Result<Header, AppError> {
+    m.charge(3)?;
+    Ok(Header {
+        src_ip: m.load_u32(addr + W_SRC)?,
+        dst_ip: m.load_u32(addr + W_DST)?,
+        meta: m.load_u32(addr + W_META)?,
+        checksum: m.load_u32(addr + W_CKSUM)?,
+        ports: m.load_u32(addr + W_PORTS)?,
+    })
+}
+
+/// Decrements TTL in place and rewrites the checksum (RFC 1812
+/// forwarding steps), returning `(new_ttl, new_checksum)`.
+pub(crate) fn forward_rewrite(
+    m: &mut Machine,
+    addr: u32,
+    hdr: &Header,
+) -> Result<(u32, u16), AppError> {
+    m.charge(6)?;
+    let new_ttl = hdr.ttl().wrapping_sub(1) & 0xFF;
+    let new_meta = (hdr.meta & 0x00FF_FFFF) | (new_ttl << 24);
+    m.store_u32(addr + W_META, new_meta)?;
+    let updated = Header {
+        meta: new_meta,
+        ..*hdr
+    };
+    let ck = updated.compute_checksum();
+    m.store_u32(addr + W_CKSUM, u32::from(ck))?;
+    Ok((new_ttl, ck))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Packet;
+
+    fn dma(m: &mut Machine) -> u32 {
+        let p = Packet {
+            id: 0,
+            src_ip: 0x0102_0304,
+            dst_ip: 0x0506_0708,
+            src_port: 9,
+            dst_port: 10,
+            proto: 6,
+            ttl: 33,
+            payload: vec![0; 16],
+        };
+        m.dma_packet(&p).unwrap().addr
+    }
+
+    #[test]
+    fn load_header_matches_wire() {
+        let mut m = Machine::strongarm(0);
+        let a = dma(&mut m);
+        let h = load_header(&mut m, a).unwrap();
+        assert_eq!(h.src_ip, 0x0102_0304);
+        assert_eq!(h.dst_ip, 0x0506_0708);
+        assert_eq!(h.ttl(), 33);
+        assert_eq!(h.payload_len(), 16);
+        // The wire checksum verifies against a fresh computation.
+        assert_eq!(h.checksum, u32::from(h.compute_checksum()));
+    }
+
+    #[test]
+    fn forward_rewrite_decrements_ttl_and_fixes_checksum() {
+        let mut m = Machine::strongarm(0);
+        let a = dma(&mut m);
+        let h = load_header(&mut m, a).unwrap();
+        let (ttl, ck) = forward_rewrite(&mut m, a, &h).unwrap();
+        assert_eq!(ttl, 32);
+        let h2 = load_header(&mut m, a).unwrap();
+        assert_eq!(h2.ttl(), 32);
+        assert_eq!(h2.checksum, u32::from(ck));
+        assert_eq!(h2.compute_checksum(), ck);
+    }
+}

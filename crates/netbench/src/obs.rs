@@ -1,0 +1,235 @@
+//! Marked-value observations and golden-vs-faulty diffing (paper §2).
+//!
+//! The paper measures reliability by marking "important data structures
+//! and outputs of key function units for each application" and comparing
+//! their values "between the correct execution and an execution with
+//! faults". An [`Observation`] is one such marked value; the runner
+//! collects them per packet and [`diff_observations`] compares the
+//! golden and measured streams.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The error categories across all seven applications (union of the
+/// paper's per-application legends in Figures 6–7 and §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ErrorCategory {
+    /// Table state sampled at the end of the control plane.
+    Initialization,
+    /// IPv4 header checksum value.
+    Checksum,
+    /// Time-to-live value after decrement.
+    Ttl,
+    /// The route-table (next hop) entry selected for the packet.
+    RouteTableEntry,
+    /// A radix-tree node traversed during lookup.
+    RadixTreeEntry,
+    /// NAT: the interface value used for translation.
+    InterfaceValue,
+    /// NAT: the translated IP source address.
+    TranslatedAddress,
+    /// The destination IP address (after translation/switching).
+    DestinationAddress,
+    /// DRR: the deficit value read/updated for the packet.
+    DeficitValue,
+    /// CRC: an entry of the crc lookup table.
+    CrcTable,
+    /// CRC: the accumulator value computed for the packet.
+    CrcValue,
+    /// MD5: a word of the computed digest.
+    Digest,
+    /// URL: the matched URL-table entry.
+    UrlTableEntry,
+    /// Media (ADPCM extension): compressed-stream signature and coder
+    /// state.
+    MediaSample,
+}
+
+impl ErrorCategory {
+    /// A short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ErrorCategory::Initialization => "initialization",
+            ErrorCategory::Checksum => "checksum",
+            ErrorCategory::Ttl => "ttl",
+            ErrorCategory::RouteTableEntry => "route-table-entry",
+            ErrorCategory::RadixTreeEntry => "radix-tree-entry",
+            ErrorCategory::InterfaceValue => "interface-value",
+            ErrorCategory::TranslatedAddress => "translated-address",
+            ErrorCategory::DestinationAddress => "destination-address",
+            ErrorCategory::DeficitValue => "deficit-value",
+            ErrorCategory::CrcTable => "crc-table",
+            ErrorCategory::CrcValue => "crc-value",
+            ErrorCategory::Digest => "digest",
+            ErrorCategory::UrlTableEntry => "url-table-entry",
+            ErrorCategory::MediaSample => "media-sample",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One marked value produced during packet processing.
+///
+/// # Examples
+///
+/// ```
+/// use netbench::{ErrorCategory, Observation};
+///
+/// let o = Observation::new(ErrorCategory::Ttl, 63);
+/// assert_eq!(o.category, ErrorCategory::Ttl);
+/// assert_eq!(o.value, 63);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Observation {
+    /// Which marked structure this value came from.
+    pub category: ErrorCategory,
+    /// The observed value.
+    pub value: u64,
+}
+
+impl Observation {
+    /// Creates an observation.
+    pub fn new(category: ErrorCategory, value: u64) -> Self {
+        Observation { category, value }
+    }
+}
+
+impl fmt::Display for Observation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={:#x}", self.category, self.value)
+    }
+}
+
+/// Result of diffing one packet's observations against golden.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PacketDiff {
+    /// Categories whose observation sequence differed.
+    pub erroneous: Vec<ErrorCategory>,
+}
+
+impl PacketDiff {
+    /// Whether any category differed.
+    pub fn has_error(&self) -> bool {
+        !self.erroneous.is_empty()
+    }
+
+    /// Whether the given category differed.
+    pub fn has_category(&self, cat: ErrorCategory) -> bool {
+        self.erroneous.contains(&cat)
+    }
+}
+
+/// Compares the measured observation sequence of one packet against the
+/// golden sequence, returning the categories that differ (paper §2's
+/// per-structure error measurement).
+///
+/// Two sequences differ in a category if the ordered list of values
+/// observed under that category differs (wrong value, missing or extra
+/// observation).
+///
+/// # Examples
+///
+/// ```
+/// use netbench::{diff_observations, ErrorCategory, Observation};
+///
+/// let golden = [Observation::new(ErrorCategory::Ttl, 63)];
+/// let bad = [Observation::new(ErrorCategory::Ttl, 62)];
+/// let diff = diff_observations(&golden, &bad);
+/// assert!(diff.has_category(ErrorCategory::Ttl));
+/// ```
+pub fn diff_observations(golden: &[Observation], measured: &[Observation]) -> PacketDiff {
+    let collect = |obs: &[Observation]| {
+        let mut by_cat: BTreeMap<ErrorCategory, Vec<u64>> = BTreeMap::new();
+        for o in obs {
+            by_cat.entry(o.category).or_default().push(o.value);
+        }
+        by_cat
+    };
+    let g = collect(golden);
+    let m = collect(measured);
+    let mut erroneous = Vec::new();
+    for cat in g.keys().chain(m.keys()) {
+        if erroneous.contains(cat) {
+            continue;
+        }
+        if g.get(cat) != m.get(cat) {
+            erroneous.push(*cat);
+        }
+    }
+    PacketDiff { erroneous }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sequences_have_no_error() {
+        let obs = [
+            Observation::new(ErrorCategory::Checksum, 0xAB),
+            Observation::new(ErrorCategory::Ttl, 63),
+        ];
+        assert!(!diff_observations(&obs, &obs).has_error());
+    }
+
+    #[test]
+    fn wrong_value_flags_only_its_category() {
+        let golden = [
+            Observation::new(ErrorCategory::Checksum, 0xAB),
+            Observation::new(ErrorCategory::Ttl, 63),
+        ];
+        let measured = [
+            Observation::new(ErrorCategory::Checksum, 0xAC),
+            Observation::new(ErrorCategory::Ttl, 63),
+        ];
+        let d = diff_observations(&golden, &measured);
+        assert!(d.has_category(ErrorCategory::Checksum));
+        assert!(!d.has_category(ErrorCategory::Ttl));
+        assert_eq!(d.erroneous.len(), 1);
+    }
+
+    #[test]
+    fn missing_observation_is_an_error() {
+        let golden = [
+            Observation::new(ErrorCategory::RadixTreeEntry, 1),
+            Observation::new(ErrorCategory::RadixTreeEntry, 2),
+        ];
+        let measured = [Observation::new(ErrorCategory::RadixTreeEntry, 1)];
+        assert!(diff_observations(&golden, &measured).has_category(ErrorCategory::RadixTreeEntry));
+    }
+
+    #[test]
+    fn extra_category_is_an_error() {
+        let golden: [Observation; 0] = [];
+        let measured = [Observation::new(ErrorCategory::Digest, 5)];
+        assert!(diff_observations(&golden, &measured).has_category(ErrorCategory::Digest));
+    }
+
+    #[test]
+    fn order_within_category_matters() {
+        let golden = [
+            Observation::new(ErrorCategory::RadixTreeEntry, 1),
+            Observation::new(ErrorCategory::RadixTreeEntry, 2),
+        ];
+        let measured = [
+            Observation::new(ErrorCategory::RadixTreeEntry, 2),
+            Observation::new(ErrorCategory::RadixTreeEntry, 1),
+        ];
+        assert!(diff_observations(&golden, &measured).has_error());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(ErrorCategory::Ttl.label(), "ttl");
+        assert_eq!(format!("{}", ErrorCategory::CrcTable), "crc-table");
+        assert_eq!(
+            format!("{}", Observation::new(ErrorCategory::Ttl, 16)),
+            "ttl=0x10"
+        );
+    }
+}

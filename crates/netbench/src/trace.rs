@@ -1,0 +1,374 @@
+//! Deterministic synthetic packet traces.
+//!
+//! The paper drives NetBench with its bundled input traces; those are
+//! not redistributable, so we generate equivalent synthetic traffic
+//! (DESIGN.md "Substitutions"): a routing prefix table, a set of flows
+//! whose destinations match those prefixes (with a skewed popularity
+//! distribution, so caches see realistic locality), and URL requests
+//! drawn from a synthetic corpus.
+
+use crate::packet::Packet;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// A routing-table entry: `prefix/len → next_hop`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PrefixRoute {
+    /// Network prefix (host-order, upper `len` bits significant).
+    pub prefix: u32,
+    /// Prefix length in bits (0–24 here).
+    pub len: u8,
+    /// Next-hop identifier.
+    pub next_hop: u32,
+}
+
+/// Configuration of the trace generator.
+///
+/// # Examples
+///
+/// ```
+/// use netbench::TraceConfig;
+///
+/// let trace = TraceConfig::small().generate();
+/// assert!(!trace.packets.is_empty());
+/// assert!(!trace.prefixes.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Number of packets.
+    pub packets: usize,
+    /// Number of distinct flows.
+    pub flows: usize,
+    /// Number of routing prefixes (plus a default route).
+    pub prefixes: usize,
+    /// Number of distinct URLs in the corpus.
+    pub urls: usize,
+    /// Payload length range in bytes.
+    pub payload_min: usize,
+    /// Maximum payload length in bytes.
+    pub payload_max: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Traffic locality pattern.
+    pub pattern: TrafficPattern,
+}
+
+/// How destinations/flows repeat across the trace — the cache-locality
+/// knob of the workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TrafficPattern {
+    /// Zipf-skewed flow popularity (default; edge-router-like).
+    #[default]
+    Skewed,
+    /// Every packet from a uniformly random flow (core-router-like —
+    /// least locality the flow table allows).
+    Uniform,
+    /// All packets from one flow (best-case locality).
+    SingleFlow,
+}
+
+impl TraceConfig {
+    /// A small trace for unit tests (fast).
+    pub fn small() -> Self {
+        TraceConfig {
+            packets: 200,
+            flows: 16,
+            prefixes: 32,
+            urls: 16,
+            payload_min: 32,
+            payload_max: 128,
+            seed: 0xC0FFEE,
+            pattern: TrafficPattern::Skewed,
+        }
+    }
+
+    /// The default evaluation trace (reproduction runs).
+    pub fn paper() -> Self {
+        TraceConfig {
+            packets: 2_000,
+            flows: 64,
+            prefixes: 128,
+            urls: 64,
+            payload_min: 64,
+            payload_max: 512,
+            seed: 0xC0FFEE,
+            pattern: TrafficPattern::Skewed,
+        }
+    }
+
+    /// Returns the config with a different traffic pattern.
+    pub fn with_pattern(mut self, pattern: TrafficPattern) -> Self {
+        self.pattern = pattern;
+        self
+    }
+
+    /// Returns the config with a different packet count.
+    pub fn with_packets(mut self, packets: usize) -> Self {
+        self.packets = packets;
+        self
+    }
+
+    /// Returns the config with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero or `payload_min > payload_max`.
+    pub fn generate(&self) -> Trace {
+        assert!(self.packets > 0, "need at least one packet");
+        assert!(self.flows > 0, "need at least one flow");
+        assert!(self.prefixes > 0, "need at least one prefix");
+        assert!(self.urls > 0, "need at least one url");
+        assert!(
+            self.payload_min <= self.payload_max,
+            "payload_min must not exceed payload_max"
+        );
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+
+        // Routing prefixes: distinct /8../24 networks plus default route.
+        let mut prefixes = Vec::with_capacity(self.prefixes + 1);
+        let mut seen = std::collections::HashSet::new();
+        while prefixes.len() < self.prefixes {
+            let len = rng.gen_range(8..=24u8);
+            let prefix = rng.gen::<u32>() & prefix_mask(len);
+            if seen.insert((prefix, len)) {
+                prefixes.push(PrefixRoute {
+                    prefix,
+                    len,
+                    next_hop: rng.gen_range(1..=255),
+                });
+            }
+        }
+        prefixes.push(PrefixRoute {
+            prefix: 0,
+            len: 0,
+            next_hop: 0xFF00, // default route
+        });
+
+        // URL corpus with monotone ids baked into the path.
+        let urls: Vec<String> = (0..self.urls)
+            .map(|i| format!("/content/item{i:04}.html"))
+            .collect();
+
+        // Flows: destination drawn inside a random prefix.
+        struct Flow {
+            src_ip: u32,
+            dst_ip: u32,
+            src_port: u16,
+            dst_port: u16,
+            proto: u8,
+            url: usize,
+        }
+        let flows: Vec<Flow> = (0..self.flows)
+            .map(|_| {
+                let p = prefixes[rng.gen_range(0..self.prefixes)];
+                let host_bits = rng.gen::<u32>() & !prefix_mask(p.len);
+                Flow {
+                    src_ip: rng.gen(),
+                    dst_ip: p.prefix | host_bits,
+                    src_port: rng.gen_range(1024..=u16::MAX),
+                    dst_port: [80u16, 443, 53, 8080][rng.gen_range(0..4)],
+                    proto: if rng.gen_bool(0.7) { 6 } else { 17 },
+                    url: rng.gen_range(0..self.urls),
+                }
+            })
+            .collect();
+
+        // Zipf-ish flow popularity: weight 1/(rank+1).
+        let weights: Vec<f64> = (0..self.flows).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let total: f64 = weights.iter().sum();
+
+        let packets = (0..self.packets)
+            .map(|id| {
+                let fi = match self.pattern {
+                    TrafficPattern::SingleFlow => 0,
+                    TrafficPattern::Uniform => rng.gen_range(0..self.flows),
+                    TrafficPattern::Skewed => {
+                        let mut pick = rng.gen::<f64>() * total;
+                        let mut fi = 0;
+                        for (i, w) in weights.iter().enumerate() {
+                            if pick < *w {
+                                fi = i;
+                                break;
+                            }
+                            pick -= w;
+                        }
+                        fi
+                    }
+                };
+                let f = &flows[fi];
+                let len = rng.gen_range(self.payload_min..=self.payload_max);
+                let mut payload = vec![0u8; len];
+                rng.fill(payload.as_mut_slice());
+                // Embed an HTTP-ish request line for the url workload.
+                let req = format!("GET {} HTTP/1.0\r\n", urls[f.url]);
+                let n = req.len().min(len);
+                payload[..n].copy_from_slice(&req.as_bytes()[..n]);
+                Packet {
+                    id: id as u32,
+                    src_ip: f.src_ip,
+                    dst_ip: f.dst_ip,
+                    src_port: f.src_port,
+                    dst_port: f.dst_port,
+                    proto: f.proto,
+                    ttl: rng.gen_range(2..=64),
+                    payload,
+                }
+            })
+            .collect();
+
+        Trace {
+            packets,
+            prefixes,
+            urls,
+            flow_count: self.flows,
+        }
+    }
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig::paper()
+    }
+}
+
+/// Bit mask with the upper `len` bits set.
+pub(crate) fn prefix_mask(len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - u32::from(len))
+    }
+}
+
+/// A generated trace: packets plus the control-plane inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// The packet stream.
+    pub packets: Vec<Packet>,
+    /// Routing prefixes to install (last entry is the default route).
+    pub prefixes: Vec<PrefixRoute>,
+    /// URL corpus (index = server id for url switching).
+    pub urls: Vec<String>,
+    /// Number of flows (DRR queue count).
+    pub flow_count: usize,
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace: {} packets, {} prefixes, {} urls, {} flows",
+            self.packets.len(),
+            self.prefixes.len(),
+            self.urls.len(),
+            self.flow_count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TraceConfig::small().generate();
+        let b = TraceConfig::small().generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = TraceConfig::small().generate();
+        let b = TraceConfig::small().with_seed(1).generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn every_destination_matches_some_prefix() {
+        let t = TraceConfig::small().generate();
+        for p in &t.packets {
+            let matched = t.prefixes.iter().any(|r| {
+                r.len > 0 && (p.dst_ip & prefix_mask(r.len)) == r.prefix
+            });
+            assert!(matched, "dst {:#010x} matches no prefix", p.dst_ip);
+        }
+    }
+
+    #[test]
+    fn last_prefix_is_default_route() {
+        let t = TraceConfig::small().generate();
+        let d = t.prefixes.last().unwrap();
+        assert_eq!(d.len, 0);
+    }
+
+    #[test]
+    fn packets_carry_http_request_lines() {
+        let t = TraceConfig::small().generate();
+        let with_get = t
+            .packets
+            .iter()
+            .filter(|p| p.payload.starts_with(b"GET /content/"))
+            .count();
+        assert!(with_get > t.packets.len() / 2);
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        // The most popular flow should carry noticeably more packets
+        // than a uniform share.
+        let t = TraceConfig::paper().generate();
+        let mut counts = std::collections::HashMap::new();
+        for p in &t.packets {
+            *counts.entry((p.src_ip, p.src_port)).or_insert(0usize) += 1;
+        }
+        let max = counts.values().max().copied().unwrap();
+        let uniform = t.packets.len() / t.flow_count;
+        assert!(max > 2 * uniform, "max {max} vs uniform {uniform}");
+    }
+
+    #[test]
+    fn single_flow_pattern_uses_one_flow() {
+        let t = TraceConfig::small()
+            .with_pattern(TrafficPattern::SingleFlow)
+            .generate();
+        let firsts: std::collections::HashSet<(u32, u16)> =
+            t.packets.iter().map(|p| (p.src_ip, p.src_port)).collect();
+        assert_eq!(firsts.len(), 1);
+    }
+
+    #[test]
+    fn uniform_pattern_spreads_flows() {
+        let t = TraceConfig::paper()
+            .with_pattern(TrafficPattern::Uniform)
+            .generate();
+        let mut counts = std::collections::HashMap::new();
+        for p in &t.packets {
+            *counts.entry((p.src_ip, p.src_port)).or_insert(0usize) += 1;
+        }
+        let max = counts.values().max().copied().unwrap();
+        let uniform = t.packets.len() / t.flow_count;
+        assert!(max < 3 * uniform, "max {max} vs uniform {uniform}");
+    }
+
+    #[test]
+    fn prefix_mask_edges() {
+        assert_eq!(prefix_mask(0), 0);
+        assert_eq!(prefix_mask(8), 0xFF00_0000);
+        assert_eq!(prefix_mask(24), 0xFFFF_FF00);
+        assert_eq!(prefix_mask(32), u32::MAX);
+    }
+
+    #[test]
+    fn ttl_is_at_least_two() {
+        let t = TraceConfig::paper().generate();
+        assert!(t.packets.iter().all(|p| p.ttl >= 2));
+    }
+}

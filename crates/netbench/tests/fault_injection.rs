@@ -1,0 +1,246 @@
+//! Targeted failure injection: corrupt one specific marked structure in
+//! simulated memory (as a nonvolatile fault would) and verify that the
+//! matching error category — and only the expected behaviour — shows up.
+//! This validates the observation machinery the paper's §2 metrics rely
+//! on, structure by structure.
+
+use netbench::apps::{Crc, Md5, Nat, Route, Tl, Url};
+use netbench::{
+    diff_observations, ErrorCategory, Machine, Observation, PacketApp, Trace, TraceConfig,
+};
+
+fn trace() -> Trace {
+    TraceConfig::small().generate()
+}
+
+/// Runs setup + all packets fault-free, returning per-packet obs.
+fn golden(app: &mut dyn PacketApp, trace: &Trace, m: &mut Machine) -> Vec<Vec<Observation>> {
+    m.set_inject(false);
+    m.set_fuel(app.setup_fuel());
+    app.setup(m).expect("clean setup");
+    m.writeback_all();
+    trace
+        .packets
+        .iter()
+        .map(|p| {
+            let view = m.dma_packet(p).expect("fits");
+            m.set_fuel(app.fuel_per_packet());
+            app.process(m, view).expect("clean processing")
+        })
+        .collect()
+}
+
+#[test]
+fn corrupted_route_table_misroutes_matching_packets() {
+    let trace = trace();
+    let mut m1 = Machine::strongarm(0);
+    let mut app1 = Route::new(trace.prefixes.clone());
+    let gold = golden(&mut app1, &trace, &mut m1);
+
+    let mut m2 = Machine::strongarm(0);
+    m2.set_inject(false);
+    let mut app2 = Route::new(trace.prefixes.clone());
+    m2.set_fuel(app2.setup_fuel());
+    app2.setup(&mut m2).unwrap();
+    m2.writeback_all();
+
+    // Sever the root's left subtree (the radix tree is the app's first
+    // allocation, so the root sits at the heap base): every destination
+    // with a leading 0 bit loses its specific route and falls back to
+    // the default — a nonvolatile pointer corruption.
+    let mut route_errors = 0;
+    let mut any_errors = 0;
+    m2.set_fuel(u64::MAX);
+    m2.store_u32(0x1000 + 4, 0).unwrap();
+    for (p, g) in trace.packets.iter().zip(&gold) {
+        let view = m2.dma_packet(p).unwrap();
+        m2.set_fuel(app2.fuel_per_packet());
+        let obs = app2.process(&mut m2, view).unwrap();
+        let d = diff_observations(g, &obs);
+        if d.has_category(ErrorCategory::RouteTableEntry) {
+            route_errors += 1;
+        }
+        if d.has_error() {
+            any_errors += 1;
+        }
+    }
+    assert!(
+        route_errors > 0,
+        "losing a subtree must misroute the packets under it"
+    );
+    assert!(
+        route_errors <= any_errors,
+        "route errors are a subset of all errors"
+    );
+}
+
+#[test]
+fn corrupted_md5_t_table_corrupts_every_digest() {
+    let trace = trace();
+    let mut m1 = Machine::strongarm(0);
+    let mut app1 = Md5::new();
+    let gold = golden(&mut app1, &trace, &mut m1);
+
+    let mut m2 = Machine::strongarm(0);
+    m2.set_inject(false);
+    let mut app2 = Md5::new();
+    m2.set_fuel(app2.setup_fuel());
+    app2.setup(&mut m2).unwrap();
+    m2.writeback_all();
+    // The T table is the first md5 allocation at the heap base.
+    m2.set_fuel(u64::MAX);
+    let v = m2.host_read_u32(0x1000).unwrap();
+    m2.store_u32(0x1000, v ^ 1).unwrap();
+
+    let mut digest_errors = 0;
+    for (p, g) in trace.packets.iter().zip(&gold) {
+        let view = m2.dma_packet(p).unwrap();
+        m2.set_fuel(app2.fuel_per_packet());
+        let obs = app2.process(&mut m2, view).unwrap();
+        if diff_observations(g, &obs).has_category(ErrorCategory::Digest) {
+            digest_errors += 1;
+        }
+    }
+    // T[0] participates in round 1 of every block: every packet breaks.
+    assert_eq!(
+        digest_errors,
+        trace.packets.len(),
+        "a corrupted sine constant is a nonvolatile error for all packets"
+    );
+}
+
+#[test]
+fn corrupted_crc_table_is_a_multi_packet_error() {
+    let trace = trace();
+    let mut m1 = Machine::strongarm(0);
+    let mut app1 = Crc::new();
+    let gold = golden(&mut app1, &trace, &mut m1);
+
+    let mut m2 = Machine::strongarm(0);
+    m2.set_inject(false);
+    let mut app2 = Crc::new();
+    m2.set_fuel(app2.setup_fuel());
+    app2.setup(&mut m2).unwrap();
+    m2.writeback_all();
+    // The crc table is Crc's first allocation (heap base).
+    m2.set_fuel(u64::MAX);
+    let entry = 0x1000 + 4 * 0x80; // entry 0x80: hit by ~half the bytes' partials
+    let v = m2.host_read_u32(entry).unwrap();
+    m2.store_u32(entry, v ^ 0x8000).unwrap();
+
+    let mut errors = 0;
+    for (p, g) in trace.packets.iter().zip(&gold) {
+        let view = m2.dma_packet(p).unwrap();
+        m2.set_fuel(app2.fuel_per_packet());
+        let obs = app2.process(&mut m2, view).unwrap();
+        if diff_observations(g, &obs).has_category(ErrorCategory::CrcValue) {
+            errors += 1;
+        }
+    }
+    // The paper: "the errors in the crc table are more serious, because
+    // they can potentially affect multiple packets." With ~80-byte
+    // payloads, a packet hits any given table entry with probability
+    // 1 - (255/256)^len ~ 27%, so many (but not most) packets break.
+    assert!(
+        errors > 10,
+        "one table entry must poison multiple packets: {errors}"
+    );
+}
+
+#[test]
+fn corrupted_nat_entry_changes_translation_until_reinserted() {
+    let trace = trace();
+    let mut m1 = Machine::strongarm(0);
+    let mut app1 = Nat::new(trace.prefixes.clone());
+    let gold = golden(&mut app1, &trace, &mut m1);
+
+    let mut m2 = Machine::strongarm(0);
+    m2.set_inject(false);
+    let mut app2 = Nat::new(trace.prefixes.clone());
+    m2.set_fuel(app2.setup_fuel());
+    app2.setup(&mut m2).unwrap();
+    m2.writeback_all();
+
+    // Process the first half cleanly (populating the NAT table) ...
+    let half = trace.packets.len() / 2;
+    let mut counts = 0;
+    for (p, g) in trace.packets.iter().zip(&gold).take(half) {
+        let view = m2.dma_packet(p).unwrap();
+        m2.set_fuel(app2.fuel_per_packet());
+        let obs = app2.process(&mut m2, view).unwrap();
+        assert!(!diff_observations(g, &obs).has_error());
+        counts += 1;
+    }
+    assert_eq!(counts, half);
+
+    // ... then corrupt a swath of the NAT table region and verify that
+    // translations for the second half can change.
+    m2.set_fuel(u64::MAX);
+    let mut disturbed = false;
+    // The nat table follows the radix tree; sweep a window of words.
+    for addr in (0x1000u32..0x9000).step_by(4) {
+        let v = m2.host_read_u32(addr).unwrap();
+        if v != 0 {
+            m2.store_u32(addr, v ^ 0x4).unwrap();
+        }
+    }
+    for (p, g) in trace.packets.iter().zip(&gold).skip(half) {
+        let view = m2.dma_packet(p).unwrap();
+        m2.set_fuel(app2.fuel_per_packet());
+        if let Ok(obs) = app2.process(&mut m2, view) {
+            if diff_observations(g, &obs).has_error() {
+                disturbed = true;
+            }
+        } else {
+            disturbed = true; // a fatal also counts as disturbance
+        }
+    }
+    assert!(disturbed, "bulk corruption must disturb NAT translations");
+}
+
+#[test]
+fn corrupted_url_table_falls_back_to_default_server() {
+    let trace = trace();
+    let mut m1 = Machine::strongarm(0);
+    let mut app1 = Url::new(trace.prefixes.clone(), trace.urls.clone());
+    let gold = golden(&mut app1, &trace, &mut m1);
+
+    let mut m2 = Machine::strongarm(0);
+    m2.set_inject(false);
+    let mut app2 = Url::new(trace.prefixes.clone(), trace.urls.clone());
+    m2.set_fuel(app2.setup_fuel());
+    app2.setup(&mut m2).unwrap();
+    m2.writeback_all();
+
+    // Zero the whole control-plane heap region (radix tree + URL
+    // table, allocated before any DMA buffer): hashes no longer match,
+    // so every lookup misses to the default server.
+    m2.set_fuel(u64::MAX);
+    for addr in (0x1000u32..0x8000).step_by(4) {
+        m2.store_u32(addr, 0).unwrap();
+    }
+    let mut url_errors = 0;
+    for (p, g) in trace.packets.iter().zip(&gold) {
+        let view = m2.dma_packet(p).unwrap();
+        m2.set_fuel(app2.fuel_per_packet());
+        let obs = app2.process(&mut m2, view).unwrap();
+        if diff_observations(g, &obs).has_category(ErrorCategory::UrlTableEntry) {
+            url_errors += 1;
+        }
+    }
+    assert!(url_errors > 0, "a zeroed switching table must misroute URLs");
+}
+
+#[test]
+fn tl_observations_are_stable_across_machines() {
+    // Same trace, two separate machines: observation streams must be
+    // identical (addresses included) because allocation is deterministic.
+    let trace = trace();
+    let mut m1 = Machine::strongarm(0);
+    let mut app1 = Tl::new(trace.prefixes.clone());
+    let g1 = golden(&mut app1, &trace, &mut m1);
+    let mut m2 = Machine::strongarm(99); // different fault seed, golden anyway
+    let mut app2 = Tl::new(trace.prefixes.clone());
+    let g2 = golden(&mut app2, &trace, &mut m2);
+    assert_eq!(g1, g2);
+}

@@ -1,0 +1,182 @@
+//! Property-based tests for the workload substrate: radix lookups
+//! against a host-side longest-prefix match, checksum invariants, heap
+//! discipline and observation diffing.
+
+use netbench::{
+    diff_observations, ErrorCategory, Heap, Machine, Observation, Packet, PrefixRoute,
+    RadixTable,
+};
+use proptest::prelude::*;
+
+fn prefix_strategy() -> impl Strategy<Value = PrefixRoute> {
+    (0u8..=24, any::<u32>(), 1u32..1000).prop_map(|(len, bits, nh)| {
+        let mask = if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - u32::from(len))
+        };
+        PrefixRoute {
+            prefix: bits & mask,
+            len,
+            next_hop: nh,
+        }
+    })
+}
+
+fn host_lpm(prefixes: &[PrefixRoute], dst: u32) -> Option<u32> {
+    prefixes
+        .iter()
+        .filter(|r| {
+            let mask = if r.len == 0 {
+                0
+            } else {
+                u32::MAX << (32 - u32::from(r.len))
+            };
+            (dst & mask) == r.prefix
+        })
+        .max_by_key(|r| r.len)
+        .map(|r| r.next_hop)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The simulated radix trie agrees with a host-side linear LPM scan
+    /// for arbitrary prefix tables and lookups.
+    #[test]
+    fn radix_matches_host_lpm(
+        mut prefixes in prop::collection::vec(prefix_strategy(), 1..40),
+        lookups in prop::collection::vec(any::<u32>(), 1..40),
+    ) {
+        // Deduplicate (prefix, len) pairs: later inserts overwrite the
+        // next hop, and the host model must see the same winner.
+        prefixes.sort_by_key(|r| (r.prefix, r.len));
+        prefixes.dedup_by_key(|r| (r.prefix, r.len));
+        let mut m = Machine::strongarm(0);
+        m.set_inject(false);
+        m.set_fuel(u64::MAX);
+        let table = RadixTable::build(&mut m, &prefixes).unwrap();
+        for dst in lookups {
+            let got = table.lookup(&mut m, dst).unwrap().next_hop;
+            prop_assert_eq!(got, host_lpm(&prefixes, dst), "dst={:#010x}", dst);
+        }
+    }
+
+    /// Packet header checksums verify after encoding, and break under
+    /// any single-field mutation.
+    #[test]
+    fn checksum_verifies_and_detects_mutation(
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        ttl in 1u8..=64,
+        proto in any::<u8>(),
+        len in 0usize..64,
+    ) {
+        let p = Packet {
+            id: 0, src_ip: src, dst_ip: dst, src_port: sport, dst_port: dport,
+            proto, ttl, payload: vec![0xA5; len],
+        };
+        let ck = p.header_checksum();
+        let mut q = p.clone();
+        q.ttl = q.ttl.wrapping_add(1);
+        prop_assert_ne!(ck, q.header_checksum(), "ttl must be covered");
+        let mut r = p.clone();
+        r.dst_ip ^= 1;
+        prop_assert_ne!(ck, r.header_checksum(), "dst must be covered");
+    }
+
+    /// Heap allocations never overlap and respect alignment.
+    #[test]
+    fn heap_allocations_are_disjoint_and_aligned(
+        requests in prop::collection::vec((1u32..512, 0u32..4), 1..50),
+    ) {
+        let mut heap = Heap::new(0x1000, 0x100000);
+        let mut taken: Vec<(u32, u32)> = Vec::new();
+        for (size, align_log) in requests {
+            let align = 1u32 << align_log;
+            if let Some(base) = heap.alloc(size, align) {
+                prop_assert_eq!(base % align, 0);
+                for &(b, s) in &taken {
+                    prop_assert!(base >= b + s || base + size <= b, "overlap");
+                }
+                taken.push((base, size));
+            }
+        }
+    }
+
+    /// Observation diffing: identical streams never err; any value
+    /// mutation is flagged in exactly its category.
+    #[test]
+    fn diff_detects_exactly_the_mutated_category(
+        values in prop::collection::vec(0u64..1000, 1..20),
+        victim in 0usize..20,
+        delta in 1u64..100,
+    ) {
+        let cats = [
+            ErrorCategory::Checksum,
+            ErrorCategory::Ttl,
+            ErrorCategory::RouteTableEntry,
+            ErrorCategory::RadixTreeEntry,
+            ErrorCategory::Digest,
+        ];
+        let golden: Vec<Observation> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| Observation::new(cats[i % cats.len()], *v))
+            .collect();
+        prop_assert!(!diff_observations(&golden, &golden).has_error());
+
+        let victim = victim % golden.len();
+        let mut measured = golden.clone();
+        measured[victim].value = measured[victim].value.wrapping_add(delta);
+        let diff = diff_observations(&golden, &measured);
+        prop_assert!(diff.has_category(golden[victim].category));
+        // Only categories sharing the victim's category may be flagged.
+        for cat in diff.erroneous {
+            prop_assert_eq!(cat, golden[victim].category);
+        }
+    }
+
+    /// The simulated CRC application computes the true CRC-32 of any
+    /// payload (differential against a host implementation).
+    #[test]
+    fn simulated_crc_matches_host_for_any_payload(payload in prop::collection::vec(any::<u8>(), 1..200)) {
+        use netbench::{apps::Crc, PacketApp};
+        let mut m = Machine::strongarm(0);
+        m.set_inject(false);
+        m.set_fuel(u64::MAX);
+        let mut app = Crc::new();
+        app.setup(&mut m).unwrap();
+        let pkt = Packet {
+            id: 0, src_ip: 1, dst_ip: 2, src_port: 3, dst_port: 4,
+            proto: 6, ttl: 5, payload: payload.clone(),
+        };
+        let view = m.dma_packet(&pkt).unwrap();
+        m.set_fuel(1_000_000);
+        let obs = app.process(&mut m, view).unwrap();
+        // Host CRC-32 (reflected, IEEE).
+        let mut crc = u32::MAX;
+        for b in &payload {
+            crc ^= u32::from(*b);
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            }
+        }
+        prop_assert_eq!(obs[0].value as u32, !crc);
+    }
+
+    /// Packet encoding is always word-padded and at least header-sized.
+    #[test]
+    fn packet_encoding_invariants(len in 0usize..1500) {
+        let p = Packet {
+            id: 1, src_ip: 1, dst_ip: 2, src_port: 3, dst_port: 4,
+            proto: 6, ttl: 10, payload: vec![7; len],
+        };
+        let bytes = p.encode();
+        prop_assert_eq!(bytes.len() % 4, 0);
+        prop_assert!(bytes.len() >= 20);
+        prop_assert!(bytes.len() as u32 >= p.wire_len());
+    }
+}

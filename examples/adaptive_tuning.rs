@@ -1,0 +1,54 @@
+//! The dynamic frequency-adaptation scheme in action (paper §4): a
+//! wireless packet processor that climbs to the fastest safe cache clock
+//! on its own, watching parity failures per 100-packet epoch.
+//!
+//! ```text
+//! cargo run --release -p clumsy-examples --bin adaptive_tuning
+//! ```
+
+use clumsy_core::{ClumsyConfig, ClumsyProcessor, DynamicConfig};
+use cache_sim::{DetectionScheme, StrikePolicy};
+use netbench::{AppKind, TraceConfig};
+
+fn main() {
+    let trace = TraceConfig::paper().with_packets(3000).generate();
+    let cfg = ClumsyConfig::baseline()
+        .with_detection(DetectionScheme::Parity)
+        .with_strikes(StrikePolicy::two_strike())
+        .with_dynamic(DynamicConfig::paper());
+    let report = ClumsyProcessor::new(cfg).run(AppKind::Md5, &trace);
+
+    println!("dynamic frequency adaptation on md5 ({} packets)\n", trace.packets.len());
+    println!("controller: 100-packet epochs, X1 = 200%, X2 = 80%");
+    println!("frequency trace (packet -> relative cycle time):");
+    for (pkt, cr) in &report.freq_trace {
+        let fr = 1.0 / cr;
+        println!("  packet {pkt:>5}: Cr = {cr:.2} ({:.0}% clock)", fr * 100.0);
+    }
+    let shown = report.epoch_faults.len().min(8);
+    println!(
+        "\nobserved faults per epoch (first {shown}): {:?}",
+        &report.epoch_faults[..shown]
+    );
+    println!("frequency switches: {}", report.stats.freq_switches);
+    println!(
+        "switch penalty paid: {} cycles",
+        report.stats.freq_switches * 10
+    );
+    println!("{report}");
+
+    // Compare against the static corners.
+    for cr in [1.0, 0.5, 0.25] {
+        let cfg = ClumsyConfig::baseline()
+            .with_detection(DetectionScheme::Parity)
+            .with_strikes(StrikePolicy::two_strike())
+            .with_static_cycle(cr);
+        let r = ClumsyProcessor::new(cfg).run(AppKind::Md5, &trace);
+        println!(
+            "static Cr = {cr:.2}: {:.0} cyc/pkt, {:.0} nJ/pkt, fallibility {:.4}",
+            r.delay_per_packet(),
+            r.energy_per_packet(),
+            r.fallibility()
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Design-space exploration: sweep every (clock, detection, strikes)
+//! corner for one application and print the energy–delay²–fallibility²
+//! landscape with the optimum highlighted — the paper's Figure 9-style
+//! study as a library one-liner.
+//!
+//! Pass an application name (crc, tl, route, drr, nat, md5, url) as the
+//! first argument; default is `url`.
+//!
+//! ```text
+//! cargo run --release -p clumsy-examples --bin design_space -- md5
+//! ```
+
+use cache_sim::{DetectionScheme, StrikePolicy};
+use clumsy_core::{ClumsyConfig, ClumsyProcessor, PAPER_CYCLE_TIMES};
+use energy_model::EdfMetric;
+use netbench::{AppKind, TraceConfig};
+
+fn main() {
+    let wanted = std::env::args().nth(1).unwrap_or_else(|| "url".to_string());
+    let kind = AppKind::all()
+        .into_iter()
+        .find(|k| k.name() == wanted)
+        .unwrap_or_else(|| {
+            eprintln!("unknown app {wanted:?}; expected one of crc/tl/route/drr/nat/md5/url");
+            std::process::exit(2);
+        });
+
+    let trace = TraceConfig::paper().generate();
+    let metric = EdfMetric::paper();
+    let golden = ClumsyProcessor::golden(kind, &trace);
+    let baseline = ClumsyProcessor::new(ClumsyConfig::baseline()).run_with_golden(kind, &trace, &golden);
+    let base_edf = baseline.edf(&metric);
+
+    let schemes: [(&str, DetectionScheme, StrikePolicy); 4] = [
+        ("none", DetectionScheme::None, StrikePolicy::one_strike()),
+        ("1-strike", DetectionScheme::Parity, StrikePolicy::one_strike()),
+        ("2-strike", DetectionScheme::Parity, StrikePolicy::two_strike()),
+        ("3-strike", DetectionScheme::Parity, StrikePolicy::three_strike()),
+    ];
+
+    println!("design space for {kind} (relative EDF^2; lower is better)\n");
+    print!("{:>10}", "scheme");
+    for cr in PAPER_CYCLE_TIMES {
+        print!("{:>10}", format!("Cr={cr}"));
+    }
+    println!();
+
+    let mut best = (f64::INFINITY, String::new());
+    for (label, detection, strikes) in schemes {
+        print!("{label:>10}");
+        for cr in PAPER_CYCLE_TIMES {
+            let cfg = ClumsyConfig::baseline()
+                .with_detection(detection)
+                .with_strikes(strikes)
+                .with_static_cycle(cr);
+            let r = ClumsyProcessor::new(cfg).run_with_golden(kind, &trace, &golden);
+            let rel = r.edf(&metric) / base_edf;
+            if rel < best.0 {
+                best = (rel, format!("{label} @ Cr={cr}"));
+            }
+            print!("{rel:>10.3}");
+        }
+        println!();
+    }
+    println!("\noptimum: {} (relative EDF^2 = {:.3})", best.1, best.0);
+    println!("paper's average optimum: two-strike @ Cr=0.5");
+}

@@ -1,0 +1,49 @@
+//! Quickstart: run one NetBench application on the paper's best clumsy
+//! configuration and compare it against the fully reliable baseline.
+//!
+//! ```text
+//! cargo run --release -p clumsy-examples --bin quickstart
+//! ```
+
+use clumsy_core::{ClumsyConfig, ClumsyProcessor};
+use energy_model::EdfMetric;
+use netbench::{AppKind, TraceConfig};
+
+fn main() {
+    // A reproducible synthetic packet trace: routing prefixes, flows,
+    // and HTTP-ish payloads.
+    let trace = TraceConfig::paper().generate();
+    println!("{trace}");
+
+    // The conservative design: full-swing cache clock, no faults worth
+    // mentioning (2.59e-7 per bit), no detection hardware.
+    let baseline = ClumsyProcessor::new(ClumsyConfig::baseline()).run(AppKind::Route, &trace);
+
+    // The paper's best clumsy design: data cache clocked 2x beyond the
+    // circuit designer's spec, parity detection, two-strike recovery.
+    let clumsy = ClumsyProcessor::new(ClumsyConfig::paper_best()).run(AppKind::Route, &trace);
+
+    println!("\nbaseline  {baseline}");
+    println!("clumsy    {clumsy}");
+
+    let metric = EdfMetric::paper();
+    let relative = clumsy.edf_relative_to(&metric, &baseline);
+    println!("\nenergy-delay^2-fallibility^2 vs baseline: {relative:.3}");
+    println!(
+        "delay/packet: {:.0} -> {:.0} cycles ({:+.1}%)",
+        baseline.delay_per_packet(),
+        clumsy.delay_per_packet(),
+        (clumsy.delay_per_packet() / baseline.delay_per_packet() - 1.0) * 100.0
+    );
+    println!(
+        "energy/packet: {:.0} -> {:.0} nJ ({:+.1}%)",
+        baseline.energy_per_packet(),
+        clumsy.energy_per_packet(),
+        (clumsy.energy_per_packet() / baseline.energy_per_packet() - 1.0) * 100.0
+    );
+    println!(
+        "fallibility: {:.4} -> {:.4}",
+        baseline.fallibility(),
+        clumsy.fallibility()
+    );
+}

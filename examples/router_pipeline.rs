@@ -1,0 +1,73 @@
+//! A line-card scenario: the same traffic passes through all the stages
+//! a real edge router runs — NAT, forwarding, scheduling, and payload
+//! integrity — each stage on its own clumsy packet-processor core, as in
+//! a multi-engine network processor.
+//!
+//! For every stage we report the clumsy (Cr = 0.5, parity, two-strike)
+//! vs reliable trade-off and the aggregate line-card numbers.
+//!
+//! ```text
+//! cargo run --release -p clumsy-examples --bin router_pipeline
+//! ```
+
+use clumsy_core::{ClumsyConfig, ClumsyProcessor, RunReport};
+use energy_model::EdfMetric;
+use netbench::{AppKind, TraceConfig};
+
+fn main() {
+    let trace = TraceConfig::paper().with_packets(3000).generate();
+    let stages = [AppKind::Nat, AppKind::Route, AppKind::Drr, AppKind::Crc];
+    let metric = EdfMetric::paper();
+
+    println!("line card: {} packets through {} stages\n", trace.packets.len(), stages.len());
+    println!(
+        "{:>6}  {:>12} {:>12} {:>8}  {:>12} {:>12} {:>8}  {:>8}",
+        "stage", "cyc/pkt", "nJ/pkt", "fall", "cyc/pkt", "nJ/pkt", "fall", "rel EDF2"
+    );
+    println!(
+        "{:>6}  {:-^34}  {:-^34}  {:>8}",
+        "", " reliable core ", " clumsy core ", ""
+    );
+
+    let mut agg_base = (0.0, 0.0);
+    let mut agg_clumsy = (0.0, 0.0);
+    let mut worst_fallibility: f64 = 1.0;
+    for stage in stages {
+        let base = ClumsyProcessor::new(ClumsyConfig::baseline()).run(stage, &trace);
+        let fast = ClumsyProcessor::new(ClumsyConfig::paper_best()).run(stage, &trace);
+        print_stage(&metric, stage, &base, &fast);
+        agg_base.0 += base.delay_per_packet();
+        agg_base.1 += base.energy_per_packet();
+        agg_clumsy.0 += fast.delay_per_packet();
+        agg_clumsy.1 += fast.energy_per_packet();
+        worst_fallibility = worst_fallibility.max(fast.fallibility());
+    }
+
+    println!(
+        "\nline-card latency: {:.0} -> {:.0} cycles/packet ({:+.1}%)",
+        agg_base.0,
+        agg_clumsy.0,
+        (agg_clumsy.0 / agg_base.0 - 1.0) * 100.0
+    );
+    println!(
+        "line-card energy:  {:.0} -> {:.0} nJ/packet ({:+.1}%)",
+        agg_base.1,
+        agg_clumsy.1,
+        (agg_clumsy.1 / agg_base.1 - 1.0) * 100.0
+    );
+    println!("worst stage fallibility on the clumsy card: {worst_fallibility:.4}");
+}
+
+fn print_stage(metric: &EdfMetric, stage: AppKind, base: &RunReport, fast: &RunReport) {
+    println!(
+        "{:>6}  {:>12.0} {:>12.0} {:>8.4}  {:>12.0} {:>12.0} {:>8.4}  {:>8.3}",
+        stage.name(),
+        base.delay_per_packet(),
+        base.energy_per_packet(),
+        base.fallibility(),
+        fast.delay_per_packet(),
+        fast.energy_per_packet(),
+        fast.fallibility(),
+        fast.edf_relative_to(metric, base),
+    );
+}

@@ -1,0 +1,18 @@
+//! Shared helpers for the cross-crate integration tests.
+
+#![forbid(unsafe_code)]
+
+use clumsy_core::ClumsyConfig;
+use netbench::{Trace, TraceConfig};
+
+/// A small but non-trivial trace shared by the integration tests.
+pub fn test_trace() -> Trace {
+    TraceConfig::small().with_packets(300).generate()
+}
+
+/// A hot fault model that produces measurable (but not catastrophic)
+/// fault counts on small traces.
+pub fn hot_config() -> ClumsyConfig {
+    ClumsyConfig::baseline()
+        .with_fault_model(fault_model::FaultProbabilityModel::new(2e-6, 0.2))
+}

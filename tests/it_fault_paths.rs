@@ -1,0 +1,160 @@
+//! Integration: fault injection, detection, recovery and fatal-error
+//! machinery behave like the paper's §4–§5 across the full stack.
+
+use cache_sim::{DetectionScheme, StrikePolicy};
+use clumsy_core::{ClumsyConfig, ClumsyProcessor};
+use integration_tests::{hot_config, test_trace};
+use netbench::{AppKind, PlaneMask};
+
+#[test]
+fn overclocking_raises_fault_counts_superlinearly() {
+    let trace = test_trace();
+    let golden = ClumsyProcessor::golden(AppKind::Crc, &trace);
+    let faults = |cr: f64| {
+        ClumsyProcessor::new(hot_config().with_static_cycle(cr))
+            .run_with_golden(AppKind::Crc, &trace, &golden)
+            .stats
+            .faults_injected
+    };
+    let f50 = faults(0.5);
+    let f25 = faults(0.25);
+    assert!(f25 > 4 * f50.max(1), "expected superlinear rise: {f50} -> {f25}");
+}
+
+#[test]
+fn parity_detects_most_faults_at_high_clock() {
+    let trace = test_trace();
+    let cfg = hot_config()
+        .with_detection(DetectionScheme::Parity)
+        .with_strikes(StrikePolicy::two_strike())
+        .with_static_cycle(0.25);
+    let r = ClumsyProcessor::new(cfg).run(AppKind::Md5, &trace);
+    assert!(r.stats.faults_injected > 50, "need a fault population");
+    let detected_ratio = r.stats.faults_detected as f64 / r.stats.faults_injected as f64;
+    // Single-bit faults dominate (two-bit = 1/100), and parity catches
+    // odd-weight corruption.
+    // (Write faults surface only when the word is re-read, so the
+    // instantaneous ratio sits a little below the parity ceiling.)
+    assert!(detected_ratio > 0.8, "detected ratio {detected_ratio}");
+}
+
+#[test]
+fn strike_policies_trade_retries_for_invalidations() {
+    let trace = test_trace();
+    let run = |strikes: StrikePolicy| {
+        let cfg = hot_config()
+            .with_detection(DetectionScheme::Parity)
+            .with_strikes(strikes)
+            .with_static_cycle(0.25);
+        ClumsyProcessor::new(cfg).run(AppKind::Md5, &trace).stats
+    };
+    let one = run(StrikePolicy::one_strike());
+    let three = run(StrikePolicy::three_strike());
+    assert_eq!(one.strike_retries, 0);
+    assert!(three.strike_retries > 0);
+    assert!(
+        three.strike_invalidations < one.strike_invalidations,
+        "retries must absorb transient faults: {} vs {}",
+        three.strike_invalidations,
+        one.strike_invalidations
+    );
+}
+
+#[test]
+fn control_plane_faults_hit_initialization_state() {
+    // Figure 6(a): with faults only in the control plane, per-packet
+    // data-plane state is untouched; only table-derived categories can
+    // err. Use an extreme rate so table damage is certain.
+    let trace = test_trace();
+    let cfg = ClumsyConfig::baseline()
+        .with_fault_model(fault_model::FaultProbabilityModel::new(4e-5, 0.2))
+        .with_static_cycle(0.25)
+        .with_planes(PlaneMask::control_only());
+    let mut saw_init_damage = false;
+    for seed in 0..6 {
+        let r = ClumsyProcessor::new(cfg.clone().with_seed(seed)).run(AppKind::Route, &trace);
+        saw_init_damage |= r.init_obs_wrong > 0 || r.erroneous_packets > 0 || r.fatal.is_some();
+    }
+    assert!(
+        saw_init_damage,
+        "control-plane fault storms must damage table state"
+    );
+}
+
+#[test]
+fn data_plane_masking_keeps_control_plane_clean() {
+    let trace = test_trace();
+    let cfg = ClumsyConfig::baseline()
+        .with_fault_model(fault_model::FaultProbabilityModel::new(4e-5, 0.2))
+        .with_static_cycle(0.25)
+        .with_planes(PlaneMask::data_only());
+    let r = ClumsyProcessor::new(cfg).run(AppKind::Route, &trace);
+    assert_eq!(
+        r.init_obs_wrong, 0,
+        "no faults were injected during setup, so init state is golden"
+    );
+}
+
+#[test]
+fn fatal_errors_happen_without_detection_at_extreme_clock_rates() {
+    // Push the rate until radix-walking apps die; the fatal must be a
+    // runaway loop (fuel) or a crash, recorded with its packet index.
+    let trace = test_trace();
+    let cfg = ClumsyConfig::baseline()
+        .with_fault_model(fault_model::FaultProbabilityModel::new(2e-4, 0.2))
+        .with_static_cycle(0.25);
+    let mut fatals = 0;
+    for seed in 0..8 {
+        let r = ClumsyProcessor::new(cfg.clone().with_seed(seed)).run(AppKind::Tl, &trace);
+        if let Some(info) = &r.fatal {
+            fatals += 1;
+            assert!(info.packet_index <= trace.packets.len());
+            assert_eq!(r.packets_completed.min(info.packet_index), r.packets_completed);
+        }
+    }
+    assert!(fatals > 0, "extreme rates must eventually kill a run");
+}
+
+#[test]
+fn detection_prevents_fatal_errors_at_paper_rates() {
+    // §5.3: "during the simulations of the architectures with error
+    // detection, we have never encountered a fatal error."
+    let trace = test_trace();
+    for kind in AppKind::all() {
+        for seed in 0..3 {
+            let cfg = ClumsyConfig::baseline()
+                .with_detection(DetectionScheme::Parity)
+                .with_strikes(StrikePolicy::two_strike())
+                .with_static_cycle(0.25)
+                .with_seed(seed);
+            let r = ClumsyProcessor::new(cfg).run(kind, &trace);
+            assert!(r.fatal.is_none(), "{kind} seed {seed}: {:?}", r.fatal);
+        }
+    }
+}
+
+#[test]
+fn fallibility_band_matches_table_1_at_quarter_cycle() {
+    let trace = netbench::TraceConfig::paper().generate();
+    let mut max_fall: f64 = 1.0;
+    for kind in AppKind::all() {
+        // Average three fault seeds: a single unlucky nonvolatile
+        // corruption (e.g. a crc-table word) can dominate one run.
+        let mut fall = 0.0;
+        for seed in 0..3u64 {
+            let cfg = ClumsyConfig::baseline()
+                .with_static_cycle(0.25)
+                .with_seed(0x5EED + seed);
+            let r = ClumsyProcessor::new(cfg).run(kind, &trace);
+            assert!(r.fallibility() >= 1.0);
+            fall += r.fallibility() / 3.0;
+        }
+        max_fall = max_fall.max(fall);
+    }
+    // Paper Table I band at Cr = 0.25: 1.008 - 1.261. Allow slack for
+    // trace-size noise but fail if the model drifts out of regime.
+    assert!(
+        (1.01..=1.45).contains(&max_fall),
+        "max fallibility {max_fall}"
+    );
+}

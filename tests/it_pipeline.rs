@@ -1,0 +1,105 @@
+//! Integration: every application runs end-to-end through the full
+//! stack (trace generator → machine → cache simulator → fault model →
+//! runner → report) on every paper design point.
+
+use cache_sim::{DetectionScheme, StrikePolicy};
+use clumsy_core::{ClumsyConfig, ClumsyProcessor, PAPER_CYCLE_TIMES};
+use integration_tests::test_trace;
+use netbench::AppKind;
+
+#[test]
+fn every_app_runs_on_every_static_design_point() {
+    let trace = test_trace();
+    for kind in AppKind::all() {
+        let golden = ClumsyProcessor::golden(kind, &trace);
+        for cr in PAPER_CYCLE_TIMES {
+            for (detection, strikes) in [
+                (DetectionScheme::None, StrikePolicy::one_strike()),
+                (DetectionScheme::Parity, StrikePolicy::one_strike()),
+                (DetectionScheme::Parity, StrikePolicy::two_strike()),
+                (DetectionScheme::Parity, StrikePolicy::three_strike()),
+            ] {
+                let cfg = ClumsyConfig::baseline()
+                    .with_detection(detection)
+                    .with_strikes(strikes)
+                    .with_static_cycle(cr);
+                let r = ClumsyProcessor::new(cfg).run_with_golden(kind, &trace, &golden);
+                assert_eq!(r.packets_attempted, trace.packets.len());
+                assert!(r.cycles > 0.0, "{kind} @ {cr}");
+                assert!(r.energy.total_nj() > 0.0, "{kind} @ {cr}");
+                assert!(r.fallibility() >= 1.0 && r.fallibility() <= 2.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn dynamic_plan_runs_every_app() {
+    let trace = test_trace();
+    for kind in AppKind::all() {
+        let cfg = ClumsyConfig::baseline()
+            .with_detection(DetectionScheme::Parity)
+            .with_dynamic(clumsy_core::DynamicConfig::paper());
+        let r = ClumsyProcessor::new(cfg).run(kind, &trace);
+        assert!(!r.freq_trace.is_empty(), "{kind}");
+        // The controller starts at the slowest level.
+        assert_eq!(r.freq_trace[0], (0, 1.0), "{kind}");
+    }
+}
+
+#[test]
+fn per_app_instruction_ordering_matches_table_1() {
+    // Table I: md5 and url/crc are the heavyweight applications, tl the
+    // lightest.
+    let trace = test_trace();
+    let mut inst = std::collections::HashMap::new();
+    for kind in AppKind::all() {
+        let r = ClumsyProcessor::new(ClumsyConfig::baseline()).run(kind, &trace);
+        inst.insert(kind.name(), r.instructions);
+    }
+    assert!(inst["md5"] > inst["route"]);
+    assert!(inst["crc"] > inst["route"]);
+    assert!(inst["url"] > inst["tl"]);
+}
+
+#[test]
+fn timing_improves_monotonically_with_frequency_until_quantization() {
+    let trace = test_trace();
+    let golden = ClumsyProcessor::golden(AppKind::Route, &trace);
+    let delay = |cr: f64| {
+        let cfg = ClumsyConfig::baseline().with_static_cycle(cr);
+        ClumsyProcessor::new(cfg)
+            .run_with_golden(AppKind::Route, &trace, &golden)
+            .delay_per_packet()
+    };
+    let d100 = delay(1.0);
+    let d75 = delay(0.75);
+    let d50 = delay(0.5);
+    let d25 = delay(0.25);
+    // ceil(2 * 0.75) = 2: no gain at 0.75; ceil(2 * 0.5) = 1: real gain;
+    // ceil(2 * 0.25) = 1: no further gain over 0.5.
+    assert!((d75 - d100).abs() < d100 * 0.02, "quantized: {d100} vs {d75}");
+    assert!(d50 < d100 * 0.95, "{d50} vs {d100}");
+    assert!((d25 - d50).abs() < d50 * 0.05, "{d25} vs {d50}");
+}
+
+#[test]
+fn energy_shrinks_with_voltage_swing() {
+    let trace = test_trace();
+    let golden = ClumsyProcessor::golden(AppKind::Crc, &trace);
+    let l1_energy = |cr: f64| {
+        let cfg = ClumsyConfig::baseline().with_static_cycle(cr);
+        ClumsyProcessor::new(cfg)
+            .run_with_golden(AppKind::Crc, &trace, &golden)
+            .energy
+            .l1_nj
+    };
+    let e100 = l1_energy(1.0);
+    let e25 = l1_energy(0.25);
+    // §5.4: cache energy reduces by ~45 % at Cr = 0.25.
+    let reduction = 1.0 - e25 / e100;
+    assert!(
+        (0.38..=0.50).contains(&reduction),
+        "L1 energy reduction {reduction}"
+    );
+}

@@ -1,0 +1,91 @@
+//! Integration: the experiment drivers reproduce the paper's headline
+//! shapes end-to-end (scaled-down traces; the full-scale numbers are
+//! produced by the `clumsy-bench` binaries).
+
+use clumsy_core::experiment::{
+    edf_average, fatal_study, plane_error_study, table1, ExperimentOptions,
+};
+use netbench::{AppKind, TraceConfig};
+
+fn opts() -> ExperimentOptions {
+    ExperimentOptions {
+        trace: TraceConfig::paper().with_packets(800),
+        trials: 2,
+        seed: 0x5EED,
+    }
+}
+
+#[test]
+fn table_1_shape() {
+    let rows = table1(&opts());
+    assert_eq!(rows.len(), 7);
+    for r in &rows {
+        // Fallibility grows (or stays flat) as the clock rises.
+        assert!(
+            r.fallibility_quarter >= r.fallibility_half - 0.02,
+            "{}: {} -> {}",
+            r.app,
+            r.fallibility_half,
+            r.fallibility_quarter
+        );
+        // Everything stays in the paper's regime.
+        assert!(r.fallibility_half < 1.10, "{}", r.app);
+        assert!(r.fallibility_quarter < 1.50, "{}", r.app);
+        // Miss rates are plausible cache behaviour, not degenerate.
+        assert!(r.miss_rate > 0.001 && r.miss_rate < 0.40, "{}", r.app);
+    }
+}
+
+#[test]
+fn figure_8_shape_fatals_only_beyond_double_clock() {
+    let rows = fatal_study(&opts());
+    for r in &rows {
+        assert_eq!(r.per_cr[0], 0.0, "{} at Cr=1", r.app);
+        assert_eq!(r.per_cr[1], 0.0, "{} at Cr=0.75", r.app);
+        // (Cr = 0.5 is allowed to be zero or near-zero; 0.25 may kill.)
+        assert!(r.per_cr[2] <= r.per_cr[3] + 1e-9, "{}", r.app);
+    }
+}
+
+#[test]
+fn figure_6_shape_error_probabilities_grow_with_clock() {
+    let cells = plane_error_study(AppKind::Route, &opts());
+    // For the "both planes" rows, total error probability at 0.25 must
+    // be at least the one at 1.0.
+    let total = |cr: f64| -> f64 {
+        cells
+            .iter()
+            .filter(|c| c.plane == "both" && (c.cr - cr).abs() < 1e-9)
+            .flat_map(|c| c.categories.iter().map(|(_, p)| *p))
+            .sum()
+    };
+    assert!(total(0.25) >= total(1.0));
+}
+
+#[test]
+fn figures_9_12_shape_headline_result() {
+    let bars = edf_average(&opts());
+    let get = |scheme: &str, freq: &str| {
+        bars.iter()
+            .find(|b| b.scheme == scheme && b.freq == freq)
+            .map(|b| b.relative_edf)
+            .unwrap()
+    };
+    // Baseline bar is 1 by construction.
+    assert!((get("no detection", "1.00") - 1.0).abs() < 1e-9);
+    // The paper's winner: parity + two-strike at Cr = 0.5 beats the
+    // baseline by a wide margin...
+    let best = get("two-strike", "0.50");
+    assert!(best < 0.9, "best = {best}");
+    // ... and beats the 4x clock (sharp error increase at Cr = 0.25).
+    assert!(
+        best < get("two-strike", "0.25"),
+        "Cr=0.5 must beat Cr=0.25: {best} vs {}",
+        get("two-strike", "0.25")
+    );
+    // No-detection collapses at the 4x clock.
+    assert!(get("no detection", "0.25") > 1.0);
+    // The dynamic scheme lands near (not above) the static optimum.
+    let dynamic = get("two-strike", "dynamic");
+    assert!(dynamic < 1.0 && dynamic > best - 0.1, "dynamic = {dynamic}");
+}
