@@ -60,5 +60,10 @@ fn bench_overclocked_fault_path(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_hits, bench_miss_path, bench_overclocked_fault_path);
+criterion_group!(
+    benches,
+    bench_hits,
+    bench_miss_path,
+    bench_overclocked_fault_path
+);
 criterion_main!(benches);

@@ -35,5 +35,10 @@ fn bench_integration(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_closed_form, bench_sampling, bench_integration);
+criterion_group!(
+    benches,
+    bench_closed_form,
+    bench_sampling,
+    bench_integration
+);
 criterion_main!(benches);

@@ -6,8 +6,8 @@
 
 use cache_sim::{DetectionScheme, StrikePolicy};
 use clumsy_bench::{f, print_table, write_csv};
-use clumsy_core::experiment::{run_config_on_trace, ExperimentOptions};
-use clumsy_core::ClumsyConfig;
+use clumsy_core::experiment::{run_grid_on, ExperimentOptions, GridPoint};
+use clumsy_core::{ClumsyConfig, Engine};
 use energy_model::EdfMetric;
 use fault_model::{FaultProbabilityModel, CALIBRATED_BETA, PAPER_PRINTED_BETA};
 use netbench::AppKind;
@@ -22,43 +22,50 @@ fn main() {
         ("double", CALIBRATED_BETA * 2.0),
         ("paper-printed", PAPER_PRINTED_BETA),
     ];
-    let mut rows = Vec::new();
-    for (label, beta) in betas {
-        let fm = FaultProbabilityModel::with_beta(beta);
-        let mut fall_quarter_max: f64 = 1.0;
-        let mut rel_best = 0.0;
-        for kind in AppKind::all() {
-            let base = run_config_on_trace(
-                kind,
-                &ClumsyConfig::baseline().with_fault_model(fm),
-                &trace,
-                &opts,
-            );
-            let nd_quarter = run_config_on_trace(
-                kind,
-                &ClumsyConfig::baseline()
+    // One flat grid: apps x betas x (baseline, no-detection 0.25, best).
+    let variant_configs: Vec<[ClumsyConfig; 3]> = betas
+        .iter()
+        .map(|(_, beta)| {
+            let fm = FaultProbabilityModel::with_beta(*beta);
+            [
+                ClumsyConfig::baseline().with_fault_model(fm),
+                ClumsyConfig::baseline()
                     .with_fault_model(fm)
                     .with_static_cycle(0.25),
-                &trace,
-                &opts,
-            );
-            fall_quarter_max = fall_quarter_max.max(nd_quarter.fallibility());
-            let best = run_config_on_trace(
-                kind,
-                &ClumsyConfig::baseline()
+                ClumsyConfig::baseline()
                     .with_fault_model(fm)
                     .with_detection(DetectionScheme::Parity)
                     .with_strikes(StrikePolicy::two_strike())
                     .with_static_cycle(0.5),
-                &trace,
-                &opts,
-            );
+            ]
+        })
+        .collect();
+    let points: Vec<GridPoint> = AppKind::all()
+        .iter()
+        .flat_map(|k| {
+            variant_configs
+                .iter()
+                .flat_map(move |triple| triple.iter().map(|c| GridPoint::new(*k, c.clone())))
+        })
+        .collect();
+    let aggs = run_grid_on(&Engine::from_env(), &points, &trace, &opts);
+    let per_app: Vec<_> = aggs.chunks(3 * betas.len()).collect();
+    let mut rows = Vec::new();
+    for (vi, (label, beta)) in betas.iter().enumerate() {
+        let fm = FaultProbabilityModel::with_beta(*beta);
+        let mut fall_quarter_max: f64 = 1.0;
+        let mut rel_best = 0.0;
+        for chunk in &per_app {
+            let base = &chunk[3 * vi];
+            let nd_quarter = &chunk[3 * vi + 1];
+            let best = &chunk[3 * vi + 2];
+            fall_quarter_max = fall_quarter_max.max(nd_quarter.fallibility());
             rel_best += best.edf(&metric) / base.edf(&metric);
         }
         rel_best /= AppKind::all().len() as f64;
         rows.push(vec![
             label.to_string(),
-            f(beta),
+            f(*beta),
             f(fm.per_bit_at_cycle(0.25)),
             f(fall_quarter_max),
             f(rel_best),

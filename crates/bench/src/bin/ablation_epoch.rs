@@ -4,8 +4,8 @@
 
 use cache_sim::{DetectionScheme, StrikePolicy};
 use clumsy_bench::{f, print_table, write_csv};
-use clumsy_core::experiment::{run_config_on_trace, ExperimentOptions};
-use clumsy_core::{ClumsyConfig, DynamicConfig};
+use clumsy_core::experiment::{run_grid_on, ExperimentOptions, GridPoint};
+use clumsy_core::{ClumsyConfig, DynamicConfig, Engine};
 use energy_model::EdfMetric;
 use netbench::AppKind;
 
@@ -14,10 +14,7 @@ fn main() {
     let trace = opts.trace.generate();
     let metric = EdfMetric::paper();
     let variants: Vec<(String, DynamicConfig)> = vec![
-        (
-            "paper (100 pkts, 200%/80%)".into(),
-            DynamicConfig::paper(),
-        ),
+        ("paper (100 pkts, 200%/80%)".into(), DynamicConfig::paper()),
         (
             "short epochs (25 pkts)".into(),
             DynamicConfig {
@@ -49,25 +46,39 @@ fn main() {
             },
         ),
     ];
-    let mut rows = Vec::new();
-    for (label, dyn_cfg) in variants {
-        let mut rel = 0.0;
-        let mut switches = 0u64;
-        for kind in AppKind::all() {
-            let base = run_config_on_trace(kind, &ClumsyConfig::baseline(), &trace, &opts);
-            let cfg = ClumsyConfig::baseline()
+    // One flat grid: apps x (baseline + every controller variant).
+    let configs: Vec<ClumsyConfig> = std::iter::once(ClumsyConfig::baseline())
+        .chain(variants.iter().map(|(_, dyn_cfg)| {
+            ClumsyConfig::baseline()
                 .with_detection(DetectionScheme::Parity)
                 .with_strikes(StrikePolicy::two_strike())
-                .with_dynamic(dyn_cfg.clone());
-            let agg = run_config_on_trace(kind, &cfg, &trace, &opts);
+                .with_dynamic(dyn_cfg.clone())
+        }))
+        .collect();
+    let points: Vec<GridPoint> = AppKind::all()
+        .iter()
+        .flat_map(|k| configs.iter().map(|c| GridPoint::new(*k, c.clone())))
+        .collect();
+    let per_app: Vec<_> = run_grid_on(&Engine::from_env(), &points, &trace, &opts)
+        .chunks(configs.len())
+        .map(|c| c.to_vec())
+        .collect();
+    let mut rows = Vec::new();
+    for (i, (label, _)) in variants.iter().enumerate() {
+        let mut rel = 0.0;
+        let mut switches = 0u64;
+        for chunk in &per_app {
+            let (base, agg) = (&chunk[0], &chunk[i + 1]);
             rel += agg.edf(&metric) / base.edf(&metric);
             switches += agg.runs.iter().map(|r| r.stats.freq_switches).sum::<u64>();
         }
         let n = AppKind::all().len() as f64;
         rows.push(vec![
-            label,
+            label.clone(),
             f(rel / n),
-            (switches as f64 / (n * f64::from(opts.trials))).round().to_string(),
+            (switches as f64 / (n * f64::from(opts.trials)))
+                .round()
+                .to_string(),
         ]);
     }
     let header = ["variant", "avg_rel_edf2", "avg_switches_per_run"];

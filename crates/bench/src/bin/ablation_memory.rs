@@ -14,23 +14,33 @@
 
 use cache_sim::CacheGeometry;
 use clumsy_bench::{f, print_table, write_csv};
-use clumsy_core::experiment::{run_config_on_trace, ExperimentOptions};
-use clumsy_core::ClumsyConfig;
+use clumsy_core::experiment::{run_grid_on, ExperimentOptions, GridPoint};
+use clumsy_core::{ClumsyConfig, Engine};
 use energy_model::EdfMetric;
 use netbench::AppKind;
 
 fn average_best(cfg_mod: impl Fn(&mut ClumsyConfig), opts: &ExperimentOptions) -> (f64, f64) {
     let trace = opts.trace.generate();
     let metric = EdfMetric::paper();
+    // One flat grid: apps x (modified baseline, modified best).
+    let points: Vec<GridPoint> = AppKind::all()
+        .iter()
+        .flat_map(|kind| {
+            let mut base_cfg = ClumsyConfig::baseline();
+            cfg_mod(&mut base_cfg);
+            let mut best_cfg = ClumsyConfig::paper_best();
+            cfg_mod(&mut best_cfg);
+            [
+                GridPoint::new(*kind, base_cfg),
+                GridPoint::new(*kind, best_cfg),
+            ]
+        })
+        .collect();
+    let aggs = run_grid_on(&Engine::from_env(), &points, &trace, opts);
     let mut rel = 0.0;
     let mut miss = 0.0;
-    for kind in AppKind::all() {
-        let mut base_cfg = ClumsyConfig::baseline();
-        cfg_mod(&mut base_cfg);
-        let base = run_config_on_trace(kind, &base_cfg, &trace, opts);
-        let mut best_cfg = ClumsyConfig::paper_best();
-        cfg_mod(&mut best_cfg);
-        let best = run_config_on_trace(kind, &best_cfg, &trace, opts);
+    for pair in aggs.chunks(2) {
+        let (base, best) = (&pair[0], &pair[1]);
         rel += best.edf(&metric) / base.edf(&metric);
         miss += base.runs[0].stats.miss_rate();
     }
@@ -56,10 +66,7 @@ fn main() {
         ("L1 4 KB 2-way", 4096, 32, 2),
         ("L1 16 KB 4-way", 16384, 32, 4),
     ] {
-        let (rel, miss) = average_best(
-            |c| c.mem.l1 = CacheGeometry::new(size, line, assoc),
-            &opts,
-        );
+        let (rel, miss) = average_best(|c| c.mem.l1 = CacheGeometry::new(size, line, assoc), &opts);
         rows.push(vec![label.to_string(), f(miss * 100.0), f(rel)]);
     }
 

@@ -4,8 +4,8 @@
 
 use cache_sim::{DetectionScheme, StrikePolicy};
 use clumsy_bench::{f, print_table, write_csv};
-use clumsy_core::experiment::{run_config_on_trace, ExperimentOptions};
-use clumsy_core::ClumsyConfig;
+use clumsy_core::experiment::{run_grid_on, ExperimentOptions, GridPoint};
+use clumsy_core::{ClumsyConfig, Engine};
 use energy_model::EdfMetric;
 use netbench::AppKind;
 
@@ -13,42 +13,63 @@ fn main() {
     let opts = ExperimentOptions::from_env();
     let trace = opts.trace.generate();
     let metric = EdfMetric::paper();
-    let mut rows = Vec::new();
-    for (label, detection) in [
+    let variants: Vec<(&str, f64, ClumsyConfig)> = [
         ("word parity", DetectionScheme::Parity),
         ("byte parity", DetectionScheme::ParityPerByte),
-    ] {
-        for cr in [0.5, 0.25] {
-            let mut rel = 0.0;
-            let mut fall = 0.0;
-            let mut undetected = 0u64;
-            let mut energy = 0.0;
-            for kind in AppKind::all() {
-                let base = run_config_on_trace(kind, &ClumsyConfig::baseline(), &trace, &opts);
-                let cfg = ClumsyConfig::baseline()
+    ]
+    .into_iter()
+    .flat_map(|(label, detection)| {
+        [0.5, 0.25].into_iter().map(move |cr| {
+            (
+                label,
+                cr,
+                ClumsyConfig::baseline()
                     .with_detection(detection)
                     .with_strikes(StrikePolicy::two_strike())
-                    .with_static_cycle(cr);
-                let agg = run_config_on_trace(kind, &cfg, &trace, &opts);
-                rel += agg.edf(&metric) / base.edf(&metric);
-                fall += agg.fallibility();
-                undetected += agg
-                    .runs
-                    .iter()
-                    .map(|r| r.stats.faults_undetected)
-                    .sum::<u64>();
-                energy += agg.energy_per_packet();
-            }
-            let n = AppKind::all().len() as f64;
-            rows.push(vec![
-                label.to_string(),
-                f(cr),
-                f(rel / n),
-                f(fall / n),
-                undetected.to_string(),
-                f(energy / n),
-            ]);
+                    .with_static_cycle(cr),
+            )
+        })
+    })
+    .collect();
+    // One flat grid: apps x (baseline + every variant).
+    let points: Vec<GridPoint> = AppKind::all()
+        .iter()
+        .flat_map(|k| {
+            std::iter::once(ClumsyConfig::baseline())
+                .chain(variants.iter().map(|(_, _, c)| c.clone()))
+                .map(|c| GridPoint::new(*k, c))
+        })
+        .collect();
+    let per_app: Vec<_> = run_grid_on(&Engine::from_env(), &points, &trace, &opts)
+        .chunks(variants.len() + 1)
+        .map(|c| c.to_vec())
+        .collect();
+    let mut rows = Vec::new();
+    for (i, (label, cr, _)) in variants.iter().enumerate() {
+        let mut rel = 0.0;
+        let mut fall = 0.0;
+        let mut undetected = 0u64;
+        let mut energy = 0.0;
+        for chunk in &per_app {
+            let (base, agg) = (&chunk[0], &chunk[i + 1]);
+            rel += agg.edf(&metric) / base.edf(&metric);
+            fall += agg.fallibility();
+            undetected += agg
+                .runs
+                .iter()
+                .map(|r| r.stats.faults_undetected)
+                .sum::<u64>();
+            energy += agg.energy_per_packet();
         }
+        let n = AppKind::all().len() as f64;
+        rows.push(vec![
+            label.to_string(),
+            f(*cr),
+            f(rel / n),
+            f(fall / n),
+            undetected.to_string(),
+            f(energy / n),
+        ]);
     }
     let header = [
         "detection",

@@ -4,8 +4,8 @@
 
 use cache_sim::{DetectionScheme, StrikePolicy};
 use clumsy_bench::{f, print_table, write_csv};
-use clumsy_core::experiment::{run_config_on_trace, ExperimentOptions};
-use clumsy_core::ClumsyConfig;
+use clumsy_core::experiment::{run_grid_on, ExperimentOptions, GridPoint};
+use clumsy_core::{ClumsyConfig, Engine};
 use energy_model::EdfMetric;
 use netbench::AppKind;
 
@@ -13,18 +13,30 @@ fn main() {
     let opts = ExperimentOptions::from_env();
     let trace = opts.trace.generate();
     let metric = EdfMetric::paper();
+    // One flat grid: apps x (baseline + the five strike counts).
+    let configs: Vec<ClumsyConfig> = std::iter::once(ClumsyConfig::baseline())
+        .chain((1..=5u8).map(|strikes| {
+            ClumsyConfig::baseline()
+                .with_detection(DetectionScheme::Parity)
+                .with_strikes(StrikePolicy::with_strikes(strikes))
+                .with_static_cycle(0.25) // stress recovery hard
+        }))
+        .collect();
+    let points: Vec<GridPoint> = AppKind::all()
+        .iter()
+        .flat_map(|k| configs.iter().map(|c| GridPoint::new(*k, c.clone())))
+        .collect();
+    let per_app: Vec<_> = run_grid_on(&Engine::from_env(), &points, &trace, &opts)
+        .chunks(configs.len())
+        .map(|c| c.to_vec())
+        .collect();
     let mut rows = Vec::new();
-    for strikes in 1..=5u8 {
+    for (i, strikes) in (1..=5u8).enumerate() {
         let mut rel = 0.0;
         let mut retries = 0u64;
         let mut invalidations = 0u64;
-        for kind in AppKind::all() {
-            let base = run_config_on_trace(kind, &ClumsyConfig::baseline(), &trace, &opts);
-            let cfg = ClumsyConfig::baseline()
-                .with_detection(DetectionScheme::Parity)
-                .with_strikes(StrikePolicy::with_strikes(strikes))
-                .with_static_cycle(0.25); // stress recovery hard
-            let agg = run_config_on_trace(kind, &cfg, &trace, &opts);
+        for chunk in &per_app {
+            let (base, agg) = (&chunk[0], &chunk[i + 1]);
             rel += agg.edf(&metric) / base.edf(&metric);
             retries += agg.runs.iter().map(|r| r.stats.strike_retries).sum::<u64>();
             invalidations += agg

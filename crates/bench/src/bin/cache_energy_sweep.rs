@@ -3,8 +3,8 @@
 //! §5.4's per-clock reductions (6%, 19%, 45% at Cr = 0.75, 0.5, 0.25).
 
 use clumsy_bench::{f, print_table, write_csv};
-use clumsy_core::experiment::{run_config_on_trace, ExperimentOptions};
-use clumsy_core::{ClumsyConfig, PAPER_CYCLE_TIMES};
+use clumsy_core::experiment::{run_grid_on, ExperimentOptions, GridPoint};
+use clumsy_core::{ClumsyConfig, Engine, PAPER_CYCLE_TIMES};
 use energy_model::EnergyModel;
 use fault_model::VoltageSwingCurve;
 use netbench::AppKind;
@@ -25,32 +25,46 @@ fn main() {
             f(energy.l1_energy_reduction(vsr) * 100.0),
         ]);
     }
-    let header = ["relative_cycle_time", "voltage_swing", "l1_energy_reduction_pct"];
+    let header = [
+        "relative_cycle_time",
+        "voltage_swing",
+        "l1_energy_reduction_pct",
+    ];
     print_table("Analytic cache-energy reductions (S5.4)", &header, &rows);
     write_csv("cache_energy_model.csv", &header, &rows);
 
-    // Measured sweep over the workloads (includes refill/recovery energy).
+    // Measured sweep over the workloads (includes refill/recovery
+    // energy), as one flat grid: apps x (baseline + the four clocks).
+    let configs: Vec<ClumsyConfig> = std::iter::once(ClumsyConfig::baseline())
+        .chain(
+            PAPER_CYCLE_TIMES
+                .iter()
+                .map(|cr| ClumsyConfig::baseline().with_static_cycle(*cr)),
+        )
+        .collect();
+    let points: Vec<GridPoint> = AppKind::all()
+        .iter()
+        .flat_map(|k| configs.iter().map(|c| GridPoint::new(*k, c.clone())))
+        .collect();
+    let per_app: Vec<_> = run_grid_on(&Engine::from_env(), &points, &trace, &opts)
+        .chunks(configs.len())
+        .map(|c| c.to_vec())
+        .collect();
     let mut rows = Vec::new();
-    for cr in PAPER_CYCLE_TIMES {
+    for (i, cr) in PAPER_CYCLE_TIMES.iter().enumerate() {
         let mut l1 = 0.0;
         let mut l1_base = 0.0;
         let mut total = 0.0;
         let mut total_base = 0.0;
-        for kind in AppKind::all() {
-            let base = run_config_on_trace(kind, &ClumsyConfig::baseline(), &trace, &opts);
-            let cfg = run_config_on_trace(
-                kind,
-                &ClumsyConfig::baseline().with_static_cycle(cr),
-                &trace,
-                &opts,
-            );
+        for chunk in &per_app {
+            let (base, cfg) = (&chunk[0], &chunk[i + 1]);
             l1 += cfg.runs[0].energy.l1_nj;
             l1_base += base.runs[0].energy.l1_nj;
             total += cfg.runs[0].energy.total_nj();
             total_base += base.runs[0].energy.total_nj();
         }
         rows.push(vec![
-            f(cr),
+            f(*cr),
             f((1.0 - l1 / l1_base) * 100.0),
             f((1.0 - total / total_base) * 100.0),
         ]);

@@ -5,8 +5,8 @@
 
 use cache_sim::{DetectionScheme, StrikePolicy};
 use clumsy_bench::{f, print_table, write_csv};
-use clumsy_core::experiment::{run_config_on_trace, ExperimentOptions};
-use clumsy_core::ClumsyConfig;
+use clumsy_core::experiment::{run_grid_on, ExperimentOptions, GridPoint};
+use clumsy_core::{ClumsyConfig, Engine};
 use energy_model::EdfMetric;
 use netbench::AppKind;
 
@@ -19,12 +19,21 @@ fn main() {
         .with_detection(DetectionScheme::Parity)
         .with_strikes(StrikePolicy::two_strike())
         .with_static_cycle(0.5);
+    // One flat grid: every app under (baseline, best).
+    let points: Vec<GridPoint> = AppKind::all()
+        .iter()
+        .flat_map(|k| {
+            [ClumsyConfig::baseline(), best.clone()]
+                .into_iter()
+                .map(|c| GridPoint::new(*k, c))
+        })
+        .collect();
+    let aggs = run_grid_on(&Engine::from_env(), &points, &trace, &opts);
     let mut rows = Vec::new();
     let mut sum_ed = 0.0;
     let mut sum_ed2 = 0.0;
-    for kind in AppKind::all() {
-        let base = run_config_on_trace(kind, &ClumsyConfig::baseline(), &trace, &opts);
-        let cfg = run_config_on_trace(kind, &best, &trace, &opts);
+    for (kind, pair) in AppKind::all().iter().zip(aggs.chunks(2)) {
+        let (base, cfg) = (&pair[0], &pair[1]);
         let rel_ed = cfg.edf(&ed) / base.edf(&ed);
         let rel_ed2 = cfg.edf(&ed2) / base.edf(&ed2);
         sum_ed += rel_ed;
@@ -32,11 +41,7 @@ fn main() {
         rows.push(vec![kind.name().to_string(), f(rel_ed), f(rel_ed2)]);
     }
     let n = AppKind::all().len() as f64;
-    rows.push(vec![
-        "average".to_string(),
-        f(sum_ed / n),
-        f(sum_ed2 / n),
-    ]);
+    rows.push(vec!["average".to_string(), f(sum_ed / n), f(sum_ed2 / n)]);
     let header = ["app", "relative_energy_delay", "relative_energy_delay2"];
     print_table(
         "S5.4 sidebar: energy-delay products ignoring fallibility (Cr=0.5, two-strike)",

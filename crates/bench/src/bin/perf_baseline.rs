@@ -1,0 +1,134 @@
+//! Times the two heaviest grid drivers — `edf_average` (Figure 12(b),
+//! the full apps × schemes × plans × trials grid) and `table1` — once on
+//! a single-worker engine and once on the environment-sized engine, and
+//! records wall-clock, throughput and speedup in `BENCH_engine.json`.
+//!
+//! Scale with `CLUMSY_PACKETS` / `CLUMSY_TRIALS`; pick the parallel
+//! worker count with `CLUMSY_JOBS`. The serial and parallel passes
+//! produce bitwise-identical results (asserted here), so the speedup is
+//! measured on identical work.
+
+use clumsy_bench::results_dir;
+use clumsy_core::experiment::{edf_average_on, table1_on, ExperimentOptions};
+use clumsy_core::{golden_for, Engine};
+use netbench::AppKind;
+use std::time::Instant;
+
+/// Number of measured simulation runs in one `edf_average` grid.
+const EDF_CONFIGS: usize = 21; // baseline + 4 schemes x (4 static + dynamic)
+/// Number of measured simulation runs in one `table1` grid.
+const TABLE1_CONFIGS: usize = 3; // baseline, Cr = 0.5, Cr = 0.25
+
+struct Timing {
+    serial_s: f64,
+    parallel_s: f64,
+    jobs_total: u64,
+    packets_total: u64,
+}
+
+impl Timing {
+    fn speedup(&self) -> f64 {
+        self.serial_s / self.parallel_s
+    }
+
+    fn packets_per_s(&self, elapsed: f64) -> f64 {
+        self.packets_total as f64 / elapsed
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"serial_s\": {:.3}, \"parallel_s\": {:.3}, ",
+                "\"speedup\": {:.3}, \"jobs_run\": {}, ",
+                "\"packets_simulated\": {}, ",
+                "\"packets_per_s_serial\": {:.1}, ",
+                "\"packets_per_s_parallel\": {:.1}}}"
+            ),
+            self.serial_s,
+            self.parallel_s,
+            self.speedup(),
+            self.jobs_total,
+            self.packets_total,
+            self.packets_per_s(self.serial_s),
+            self.packets_per_s(self.parallel_s),
+        )
+    }
+}
+
+fn time_driver<T: PartialEq + std::fmt::Debug>(
+    name: &str,
+    parallel: &Engine,
+    configs: usize,
+    opts: &ExperimentOptions,
+    run: impl Fn(&Engine) -> T,
+) -> Timing {
+    let serial = Engine::with_jobs(1);
+    let t0 = Instant::now();
+    let serial_out = run(&serial);
+    let serial_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let parallel_out = run(parallel);
+    let parallel_s = t1.elapsed().as_secs_f64();
+    assert_eq!(
+        serial_out, parallel_out,
+        "{name}: parallel output diverged from serial"
+    );
+    let jobs_total = (AppKind::all().len() * configs) as u64 * u64::from(opts.trials);
+    let timing = Timing {
+        serial_s,
+        parallel_s,
+        jobs_total,
+        packets_total: jobs_total * opts.trace.packets as u64,
+    };
+    println!(
+        "{name:>12}: serial {serial_s:.2}s, parallel {parallel_s:.2}s ({:.2}x, {:.0} pkt/s)",
+        timing.speedup(),
+        timing.packets_per_s(parallel_s),
+    );
+    timing
+}
+
+fn main() {
+    let opts = ExperimentOptions::from_env();
+    let engine = Engine::from_env();
+    println!(
+        "perf baseline: {} packets x {} trials, {} parallel job(s)",
+        opts.trace.packets,
+        opts.trials,
+        engine.jobs()
+    );
+
+    // Warm the golden memo so both timed passes measure the measured
+    // runs, not one-off golden computation.
+    let trace = opts.trace.generate();
+    engine.map(&AppKind::all(), |k| golden_for(*k, &trace));
+
+    let edf = time_driver("edf_average", &engine, EDF_CONFIGS, &opts, |e| {
+        edf_average_on(e, &opts)
+    });
+    let table1 = time_driver("table1", &engine, TABLE1_CONFIGS, &opts, |e| {
+        table1_on(e, &trace, &opts)
+    });
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"engine\",\n",
+            "  \"packets\": {},\n",
+            "  \"trials\": {},\n",
+            "  \"jobs_serial\": 1,\n",
+            "  \"jobs_parallel\": {},\n",
+            "  \"edf_average\": {},\n",
+            "  \"table1\": {}\n",
+            "}}\n"
+        ),
+        opts.trace.packets,
+        opts.trials,
+        engine.jobs(),
+        edf.json(),
+        table1.json(),
+    );
+    let path = results_dir().join("BENCH_engine.json");
+    std::fs::write(&path, json).expect("benchmark report is writable");
+    println!("wrote {}", path.display());
+}

@@ -1,7 +1,15 @@
-//! Runs every reproduction binary's driver in sequence, writing all
-//! CSVs under `results/`. Scale with `CLUMSY_PACKETS` / `CLUMSY_TRIALS`.
+//! Runs every reproduction binary's driver, writing all CSVs under
+//! `results/`. Scale with `CLUMSY_PACKETS` / `CLUMSY_TRIALS`.
+//!
+//! By default the drivers run in sequence with live output. With
+//! `--jobs N` (or `CLUMSY_REPRO_JOBS=N`), N drivers run concurrently
+//! with captured output replayed as each finishes; the total worker
+//! budget (`CLUMSY_JOBS`, default [`std::thread::available_parallelism`])
+//! is divided among the children so the machine is not oversubscribed.
 
 use std::process::Command;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 const BINARIES: &[&str] = &[
     "fig1b_voltage_swing",
@@ -27,19 +35,95 @@ const BINARIES: &[&str] = &[
     "sensitivity_traffic",
 ];
 
-fn main() {
-    let exe = std::env::current_exe().expect("own path is known");
-    let dir = exe.parent().expect("binaries live in a directory");
-    let mut failed = Vec::new();
-    for bin in BINARIES {
-        println!("\n########## {bin} ##########");
-        let status = Command::new(dir.join(bin))
-            .status()
-            .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
-        if !status.success() {
-            failed.push(*bin);
+fn parse_jobs() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--jobs" {
+            if let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) {
+                return n.max(1);
+            }
+        } else if let Some(v) = arg.strip_prefix("--jobs=") {
+            if let Ok(n) = v.parse::<usize>() {
+                return n.max(1);
+            }
         }
     }
+    std::env::var("CLUMSY_REPRO_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or(1)
+}
+
+fn worker_budget() -> usize {
+    std::env::var("CLUMSY_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|n| *n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path is known");
+    let dir = exe
+        .parent()
+        .expect("binaries live in a directory")
+        .to_path_buf();
+    let jobs = parse_jobs().min(BINARIES.len());
+
+    if jobs <= 1 {
+        let mut failed = Vec::new();
+        for bin in BINARIES {
+            println!("\n########## {bin} ##########");
+            let status = Command::new(dir.join(bin))
+                .status()
+                .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+            if !status.success() {
+                failed.push(*bin);
+            }
+        }
+        finish(&failed);
+        return;
+    }
+
+    // Parallel mode: `jobs` runner threads pull the next binary, run it
+    // with captured output, and replay that output atomically when the
+    // child exits. Each child gets an equal share of the worker budget.
+    let child_workers = (worker_budget() / jobs).max(1);
+    println!(
+        "running {} drivers, {jobs} at a time, {child_workers} worker(s) each",
+        BINARIES.len()
+    );
+    let next = AtomicUsize::new(0);
+    let failed: Mutex<Vec<&str>> = Mutex::new(Vec::new());
+    let stdout_gate = Mutex::new(());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(bin) = BINARIES.get(i) else { break };
+                let output = Command::new(dir.join(bin))
+                    .env("CLUMSY_JOBS", child_workers.to_string())
+                    .output()
+                    .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+                let _gate = stdout_gate.lock().expect("stdout gate poisoned");
+                println!("\n########## {bin} ##########");
+                print!("{}", String::from_utf8_lossy(&output.stdout));
+                eprint!("{}", String::from_utf8_lossy(&output.stderr));
+                if !output.status.success() {
+                    failed.lock().expect("failure list poisoned").push(bin);
+                }
+            });
+        }
+    });
+    finish(&failed.into_inner().expect("failure list poisoned"));
+}
+
+fn finish(failed: &[&str]) {
     if failed.is_empty() {
         println!("\nall {} reproduction drivers completed", BINARIES.len());
     } else {

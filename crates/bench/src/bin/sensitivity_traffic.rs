@@ -5,13 +5,16 @@
 //! (best-locality) traffic.
 
 use clumsy_bench::{f, print_table, write_csv};
-use clumsy_core::experiment::{run_config_on_trace, ExperimentOptions};
-use clumsy_core::ClumsyConfig;
+use clumsy_core::experiment::{run_grid_on, ExperimentOptions, GridPoint};
+use clumsy_core::{ClumsyConfig, Engine};
 use energy_model::EdfMetric;
 use netbench::{AppKind, TrafficPattern};
 
 fn main() {
-    let base_opts = ExperimentOptions::from_env();
+    // Recorded at the fig9_12_edf fixed seed: this study compares the
+    // same knife-edge EDF^2 points as the headline figure (see the
+    // comment in that binary).
+    let base_opts = ExperimentOptions::from_env_with_seed(118);
     let metric = EdfMetric::paper();
     let patterns = [
         ("skewed", TrafficPattern::Skewed),
@@ -25,19 +28,26 @@ fn main() {
             ..base_opts.clone()
         };
         let trace = opts.trace.generate();
+        // One flat grid per traffic regime: apps x three configurations.
+        let points: Vec<GridPoint> = AppKind::all()
+            .iter()
+            .flat_map(|k| {
+                [
+                    ClumsyConfig::baseline(),
+                    ClumsyConfig::paper_best(),
+                    ClumsyConfig::paper_best().with_static_cycle(0.25),
+                ]
+                .into_iter()
+                .map(|c| GridPoint::new(*k, c))
+            })
+            .collect();
+        let aggs = run_grid_on(&Engine::from_env(), &points, &trace, &opts);
         let mut rel_best = 0.0;
         let mut rel_quarter = 0.0;
         let mut miss = 0.0;
-        for kind in AppKind::all() {
-            let baseline = run_config_on_trace(kind, &ClumsyConfig::baseline(), &trace, &opts);
+        for chunk in aggs.chunks(3) {
+            let (baseline, best, quarter) = (&chunk[0], &chunk[1], &chunk[2]);
             let b = baseline.edf(&metric);
-            let best = run_config_on_trace(kind, &ClumsyConfig::paper_best(), &trace, &opts);
-            let quarter = run_config_on_trace(
-                kind,
-                &ClumsyConfig::paper_best().with_static_cycle(0.25),
-                &trace,
-                &opts,
-            );
             rel_best += best.edf(&metric) / b;
             rel_quarter += quarter.edf(&metric) / b;
             miss += baseline.runs[0].stats.miss_rate();

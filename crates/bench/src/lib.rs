@@ -13,13 +13,27 @@ pub fn results_dir() -> PathBuf {
     let dir = std::env::var("CLUMSY_RESULTS")
         .map(PathBuf::from)
         .unwrap_or_else(|_| {
-            // Walk up from the executable's cwd to find the workspace root.
-            let mut p = std::env::current_dir().expect("cwd is accessible");
-            while !p.join("Cargo.toml").exists() && p.pop() {}
-            p.join("results")
+            let cwd = std::env::current_dir().expect("cwd is accessible");
+            workspace_root(&cwd).unwrap_or(cwd).join("results")
         });
     fs::create_dir_all(&dir).expect("results directory is creatable");
     dir
+}
+
+/// Walks up from `start` to the workspace root: the first ancestor whose
+/// `Cargo.toml` contains a `[workspace]` table. A crate manifest alone
+/// does not qualify, so running from inside `crates/bench/` still lands
+/// on the top-level `results/` directory. Returns `None` when no
+/// workspace manifest exists on the path (e.g. an installed binary run
+/// outside the repo).
+fn workspace_root(start: &std::path::Path) -> Option<PathBuf> {
+    start.ancestors().find_map(|dir| {
+        let manifest = dir.join("Cargo.toml");
+        let text = fs::read_to_string(&manifest).ok()?;
+        text.lines()
+            .any(|l| l.trim() == "[workspace]")
+            .then(|| dir.to_path_buf())
+    })
 }
 
 /// Writes a CSV file into [`results_dir`], returning its path.
@@ -150,12 +164,7 @@ mod tests {
 
     #[test]
     fn bars_do_not_panic_and_clip() {
-        print_bars(
-            "unit",
-            &[("a".into(), 0.5), ("b".into(), 3.0)],
-            2.0,
-            20,
-        );
+        print_bars("unit", &[("a".into(), 0.5), ("b".into(), 3.0)], 2.0, 20);
     }
 
     #[test]
@@ -165,8 +174,39 @@ mod tests {
     }
 
     #[test]
+    fn workspace_root_skips_crate_manifests() {
+        let tmp = std::env::temp_dir().join("clumsy-ws-root-test");
+        let nested = tmp.join("crates").join("bench").join("src");
+        std::fs::create_dir_all(&nested).unwrap();
+        std::fs::write(
+            tmp.join("Cargo.toml"),
+            "[workspace]\nmembers = [\"crates/*\"]\n",
+        )
+        .unwrap();
+        std::fs::write(
+            tmp.join("crates").join("bench").join("Cargo.toml"),
+            "[package]\nname = \"x\"\n",
+        )
+        .unwrap();
+        // From deep inside a crate, the crate manifest must be skipped
+        // in favour of the workspace manifest above it.
+        assert_eq!(workspace_root(&nested), Some(tmp.clone()));
+        // From the root itself.
+        assert_eq!(workspace_root(&tmp), Some(tmp.clone()));
+        // A tree with no workspace manifest yields None.
+        let bare = tmp.join("crates").join("bench").join("src").join("deep");
+        std::fs::create_dir_all(&bare).unwrap();
+        std::fs::remove_file(tmp.join("Cargo.toml")).unwrap();
+        assert_eq!(workspace_root(&bare), None);
+        std::fs::remove_dir_all(&tmp).ok();
+    }
+
+    #[test]
     fn csv_round_trip() {
-        std::env::set_var("CLUMSY_RESULTS", std::env::temp_dir().join("clumsy-test-results"));
+        std::env::set_var(
+            "CLUMSY_RESULTS",
+            std::env::temp_dir().join("clumsy-test-results"),
+        );
         let p = write_csv(
             "unit_test.csv",
             &["a", "b"],

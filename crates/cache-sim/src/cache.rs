@@ -153,10 +153,10 @@ impl DataCache {
         let assoc = geom.assoc() as usize;
         DataCache {
             geom,
-            lines: (0..sets * assoc).map(|_| DataLine::new(geom.line_size())).collect(),
-            lru: (0..sets)
-                .map(|_| (0..assoc as u8).collect())
+            lines: (0..sets * assoc)
+                .map(|_| DataLine::new(geom.line_size()))
                 .collect(),
+            lru: (0..sets).map(|_| (0..assoc as u8).collect()).collect(),
         }
     }
 
@@ -581,14 +581,22 @@ mod tests {
         let a = 0x0; // set 0
         let b = 16 * 32; // set 0, different tag
         let d = 2 * 16 * 32; // set 0, third tag
-        let Lookup::Miss(w) = c.lookup(a) else { panic!() };
+        let Lookup::Miss(w) = c.lookup(a) else {
+            panic!()
+        };
         c.fill(a, w, &[0; 32]);
-        let Lookup::Miss(w) = c.lookup(b) else { panic!() };
+        let Lookup::Miss(w) = c.lookup(b) else {
+            panic!()
+        };
         c.fill(b, w, &[0; 32]);
         // Touch `a` so `b` becomes LRU.
-        let Lookup::Hit(w) = c.lookup(a) else { panic!() };
+        let Lookup::Hit(w) = c.lookup(a) else {
+            panic!()
+        };
         c.read_word(a, w);
-        let Lookup::Miss(w) = c.lookup(d) else { panic!() };
+        let Lookup::Miss(w) = c.lookup(d) else {
+            panic!()
+        };
         c.fill(d, w, &[0; 32]);
         assert!(c.contains(a), "recently used line must survive");
         assert!(!c.contains(b), "LRU line must be evicted");
@@ -619,7 +627,10 @@ mod tests {
         assert_eq!(parity_signature(0x0101_0101), 0b1111);
         // Word parity is the XOR of byte parities.
         for w in [0u32, 1, 0xDEAD_BEEF, u32::MAX, 0x8000_0001] {
-            assert_eq!(word_parity(w), word_parity_of_signature(parity_signature(w)));
+            assert_eq!(
+                word_parity(w),
+                word_parity_of_signature(parity_signature(w))
+            );
         }
     }
 

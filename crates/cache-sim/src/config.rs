@@ -3,7 +3,7 @@
 use crate::cache::CacheGeometry;
 use crate::policy::{DetectionScheme, RecoveryGranularity, StrikePolicy};
 use energy_model::EnergyModel;
-use fault_model::{FaultProbabilityModel, VoltageSwingCurve};
+use fault_model::{FaultProbabilityModel, SamplingMode, VoltageSwingCurve};
 
 /// Configuration of a [`MemSystem`](crate::MemSystem).
 ///
@@ -49,6 +49,11 @@ pub struct MemConfig {
     pub recovery: RecoveryGranularity,
     /// Per-bit fault probability model.
     pub fault_model: FaultProbabilityModel,
+    /// How the fault sampler spends randomness. The default
+    /// [`SamplingMode::PerAccess`] is the exact reproduction path;
+    /// [`SamplingMode::SkipAhead`] is a statistically identical fast
+    /// path whose per-seed realizations differ.
+    pub sampling: SamplingMode,
     /// Voltage-swing curve (for energy scaling).
     pub swing: VoltageSwingCurve,
     /// Energy constants.
@@ -73,6 +78,7 @@ impl MemConfig {
             strikes: StrikePolicy::two_strike(),
             recovery: RecoveryGranularity::Line,
             fault_model: FaultProbabilityModel::calibrated(),
+            sampling: SamplingMode::default(),
             swing: VoltageSwingCurve::paper(),
             energy: EnergyModel::strongarm(),
             backing_bytes: 4 * 1024 * 1024,
@@ -106,6 +112,12 @@ impl MemConfig {
     /// Returns the config with a different backing capacity.
     pub fn with_backing_bytes(mut self, bytes: usize) -> Self {
         self.backing_bytes = bytes;
+        self
+    }
+
+    /// Returns the config with a different fault-sampling mode.
+    pub fn with_sampling(mut self, sampling: SamplingMode) -> Self {
+        self.sampling = sampling;
         self
     }
 }

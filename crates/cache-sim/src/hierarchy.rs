@@ -2,7 +2,9 @@
 //! injection, parity detection, strike recovery, timing and energy.
 
 use crate::backing::BackingStore;
-use crate::cache::{parity_signature, word_parity_of_signature, CacheGeometry, DataCache, Lookup, TagCache};
+use crate::cache::{
+    parity_signature, word_parity_of_signature, CacheGeometry, DataCache, Lookup, TagCache,
+};
 use crate::config::MemConfig;
 use crate::error::MemError;
 use crate::policy::{DetectionScheme, RecoveryGranularity};
@@ -54,7 +56,7 @@ pub struct MemSystem {
 impl MemSystem {
     /// Creates a memory system at the full-swing clock (`Cr = 1`).
     pub fn new(cfg: MemConfig, seed: u64) -> Self {
-        let sampler = FaultSampler::new(cfg.fault_model, seed);
+        let sampler = FaultSampler::with_mode(cfg.fault_model, seed, cfg.sampling);
         MemSystem {
             l1: DataCache::new(cfg.l1),
             l2: TagCache::new(cfg.l2),
@@ -292,8 +294,7 @@ impl MemSystem {
                         // Word parity only compares the XOR of the four
                         // byte parities.
                         DetectionScheme::Parity => {
-                            word_parity_of_signature(sig)
-                                == word_parity_of_signature(stored_parity)
+                            word_parity_of_signature(sig) == word_parity_of_signature(stored_parity)
                         }
                         _ => sig == stored_parity,
                     };
@@ -427,7 +428,13 @@ impl MemSystem {
         self.write_subword(addr & !3, (addr & 3) * 8, 0xFFFF, u32::from(value))
     }
 
-    fn write_subword(&mut self, word_addr: u32, shift: u32, mask: u32, value: u32) -> Result<(), MemError> {
+    fn write_subword(
+        &mut self,
+        word_addr: u32,
+        shift: u32,
+        mask: u32,
+        value: u32,
+    ) -> Result<(), MemError> {
         self.stats.writes += 1;
         let way = self.ensure_resident(word_addr)?;
         self.charge_l1_write();
@@ -595,7 +602,7 @@ mod tests {
         assert!((m.cycles() - 117.0).abs() < 1e-9, "cycles = {}", m.cycles());
         // Second miss to a line already in L2's (tag) array skips memory.
         m.read_u32(0x2000 + 4096).unwrap(); // conflict miss? different L1 set? 0x3000 -> same L1 set as 0x2000? 4 KB apart => same set.
-        // Just assert total grew by at least l2 latency.
+                                            // Just assert total grew by at least l2 latency.
         assert!(m.cycles() > 117.0);
     }
 
@@ -695,10 +702,7 @@ mod tests {
         // could corrupt; essentially everything recovers.
         let raw = m.stats().faults_injected as f64 / n as f64;
         let observed = wrong as f64 / n as f64;
-        assert!(
-            observed < raw / 10.0,
-            "observed {observed} vs raw {raw}"
-        );
+        assert!(observed < raw / 10.0, "observed {observed} vs raw {raw}");
     }
 
     #[test]
@@ -726,9 +730,7 @@ mod tests {
         // has — an *even-weight* corruption of the new value. Odd-weight
         // corruptions must never reach the program.
         for v in &outcomes {
-            let ok = *v == 222
-                || *v == 111
-                || (v ^ 222u32).count_ones().is_multiple_of(2);
+            let ok = *v == 222 || *v == 111 || (v ^ 222u32).count_ones().is_multiple_of(2);
             assert!(ok, "odd-weight corrupted value {v} escaped parity");
         }
         assert!(outcomes.contains(&222));
@@ -755,19 +757,13 @@ mod tests {
                 m.write_u32(a, i).unwrap();
                 let _ = m.read_u32(a).unwrap();
             }
-            (
-                m.stats().strike_retries,
-                m.stats().strike_invalidations,
-            )
+            (m.stats().strike_retries, m.stats().strike_invalidations)
         };
         let (r1, i1) = run(StrikePolicy::one_strike());
         let (r3, i3) = run(StrikePolicy::three_strike());
         assert_eq!(r1, 0);
         assert!(r3 > 0);
-        assert!(
-            i3 < i1,
-            "three-strike must invalidate less: {i3} vs {i1}"
-        );
+        assert!(i3 < i1, "three-strike must invalidate less: {i3} vs {i1}");
     }
 
     #[test]
@@ -833,9 +829,7 @@ mod tests {
             m.read_u32(0x100).unwrap();
             m.energy().l1_nj
         };
-        assert!(
-            energy(DetectionScheme::ParityPerByte) > energy(DetectionScheme::Parity)
-        );
+        assert!(energy(DetectionScheme::ParityPerByte) > energy(DetectionScheme::Parity));
     }
 
     #[test]
@@ -891,7 +885,8 @@ mod tests {
     #[test]
     fn host_block_write_round_trips() {
         let mut m = quiet();
-        m.host_write_block(0x200, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        m.host_write_block(0x200, &[1, 2, 3, 4, 5, 6, 7, 8])
+            .unwrap();
         assert_eq!(m.read_u32(0x200).unwrap(), u32::from_le_bytes([1, 2, 3, 4]));
         assert_eq!(m.read_u32(0x204).unwrap(), u32::from_le_bytes([5, 6, 7, 8]));
     }
@@ -924,7 +919,9 @@ mod tests {
             for i in 0..5_000u32 {
                 let a = (i % 128) * 4;
                 m.write_u32(a, i).unwrap();
-                acc = acc.wrapping_mul(31).wrapping_add(u64::from(m.read_u32(a).unwrap()));
+                acc = acc
+                    .wrapping_mul(31)
+                    .wrapping_add(u64::from(m.read_u32(a).unwrap()));
             }
             (acc, m.stats().faults_injected, m.cycles().to_bits())
         };

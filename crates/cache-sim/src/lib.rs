@@ -59,6 +59,7 @@ pub use backing::BackingStore;
 pub use cache::{CacheGeometry, DataCache, TagCache};
 pub use config::MemConfig;
 pub use error::MemError;
+pub use fault_model::SamplingMode;
 pub use hierarchy::MemSystem;
 pub use policy::{DetectionScheme, RecoveryGranularity, StrikePolicy};
 pub use stats::MemStats;

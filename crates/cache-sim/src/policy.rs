@@ -185,10 +185,7 @@ mod tests {
     #[test]
     fn paper_set_is_one_two_three() {
         let set = StrikePolicy::paper_set();
-        assert_eq!(
-            set.map(|p| p.max_attempts()),
-            [1, 2, 3]
-        );
+        assert_eq!(set.map(|p| p.max_attempts()), [1, 2, 3]);
     }
 
     #[test]

@@ -72,7 +72,9 @@ impl Args {
                 flags.push(name.to_string());
                 continue;
             }
-            let value = it.next().ok_or_else(|| ArgError::MissingValue(name.to_string()))?;
+            let value = it
+                .next()
+                .ok_or_else(|| ArgError::MissingValue(name.to_string()))?;
             options.insert(name.to_string(), value);
         }
         Ok(Args {

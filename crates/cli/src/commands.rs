@@ -82,12 +82,14 @@ RUN OPTIONS:
     --packets <n>         trace length (default 2000)
     --trials <n>          fault-seed trials (default 1)
     --seed <n>            base fault seed (default 24301)
+    --sampler <m>         exact | skip-ahead (geometric fast path; default exact)
     --json                machine-readable output
 
 SWEEP OPTIONS: --app, --packets, --trials, --seed, --json
 TRACE OPTIONS: --packets, --seed
 MODEL OPTIONS: --beta <f> (default calibrated 0.20)
-REPRO OPTIONS: --experiment <table1|fig8|fig12b>, --packets, --trials, --seed
+REPRO OPTIONS: --experiment <table1|fig8|fig12b>, --packets, --trials, --seed,
+               --jobs <n> (parallel workers; default CLUMSY_JOBS or all cores)
 "
     .to_string()
 }
@@ -101,15 +103,41 @@ fn apps_listing() -> String {
     out
 }
 
+/// Parses the `--jobs` option into an engine: an explicit worker count
+/// when given, otherwise the `CLUMSY_JOBS`/machine-size default.
+fn parse_engine(args: &Args) -> Result<clumsy_core::Engine, CliError> {
+    match args.get("jobs") {
+        None => Ok(clumsy_core::Engine::from_env()),
+        Some(v) => {
+            let jobs: usize = v.parse().map_err(|_| {
+                CliError::Args(ArgError::BadValue {
+                    option: "jobs".into(),
+                    value: v.into(),
+                    expected: "a worker count of at least 1",
+                })
+            })?;
+            if jobs == 0 {
+                return Err(CliError::Args(ArgError::BadValue {
+                    option: "jobs".into(),
+                    value: v.into(),
+                    expected: "a worker count of at least 1",
+                }));
+            }
+            Ok(clumsy_core::Engine::with_jobs(jobs))
+        }
+    }
+}
+
 fn repro(args: &Args) -> Result<String, CliError> {
-    use clumsy_core::experiment::{edf_average, fatal_study, table1};
-    args.expect_only(&["experiment", "packets", "trials", "seed"])?;
-    let (_, opts) = parse_trace(args)?;
+    use clumsy_core::experiment::{edf_average_on, fatal_study_on, table1_on};
+    args.expect_only(&["experiment", "packets", "trials", "seed", "jobs"])?;
+    let (trace, opts) = parse_trace(args)?;
+    let engine = parse_engine(args)?;
     let which = args.get("experiment").unwrap_or("table1");
     let mut out = String::new();
     match which {
         "table1" => {
-            for row in table1(&opts) {
+            for row in table1_on(&engine, &trace, &opts) {
                 out.push_str(&format!("{row}\n"));
             }
         }
@@ -119,7 +147,7 @@ fn repro(args: &Args) -> Result<String, CliError> {
                 "{:>6} {:>10} {:>10} {:>10} {:>10}\n",
                 "app", "Cr=1.00", "Cr=0.75", "Cr=0.50", "Cr=0.25"
             ));
-            for r in fatal_study(&opts) {
+            for r in fatal_study_on(&engine, &trace, &opts) {
                 out.push_str(&format!(
                     "{:>6} {:>10.2e} {:>10.2e} {:>10.2e} {:>10.2e}\n",
                     r.app, r.per_cr[0], r.per_cr[1], r.per_cr[2], r.per_cr[3]
@@ -128,7 +156,7 @@ fn repro(args: &Args) -> Result<String, CliError> {
         }
         "fig12b" => {
             out.push_str("average relative energy-delay^2-fallibility^2:\n");
-            for b in edf_average(&opts) {
+            for b in edf_average_on(&engine, &opts) {
                 out.push_str(&format!(
                     "{:>13} {:>8} {:.3} (+/-{:.3})\n",
                     b.scheme, b.freq, b.relative_edf, b.relative_edf_stddev
@@ -220,6 +248,17 @@ fn parse_config(args: &Args) -> Result<ClumsyConfig, CliError> {
     if args.flag("quantize-off") {
         cfg.mem.quantize_latency = false;
     }
+    cfg = match args.get("sampler").unwrap_or("exact") {
+        "exact" => cfg.with_sampling(fault_model::SamplingMode::PerAccess),
+        "skip-ahead" => cfg.with_sampling(fault_model::SamplingMode::SkipAhead),
+        other => {
+            return Err(CliError::Args(ArgError::BadValue {
+                option: "sampler".into(),
+                value: other.into(),
+                expected: "exact | skip-ahead",
+            }))
+        }
+    };
     cfg = cfg.with_seed(args.get_parsed("seed", 24301u64, "an integer seed")?);
     Ok(cfg)
 }
@@ -238,8 +277,18 @@ fn parse_trace(args: &Args) -> Result<(Trace, ExperimentOptions), CliError> {
 }
 
 const RUN_OPTIONS: &[&str] = &[
-    "app", "cr", "detection", "strikes", "recovery", "watchdog", "packets", "trials", "seed",
-    "json", "quantize-off",
+    "app",
+    "cr",
+    "detection",
+    "strikes",
+    "recovery",
+    "watchdog",
+    "packets",
+    "trials",
+    "seed",
+    "json",
+    "quantize-off",
+    "sampler",
 ];
 
 fn run(args: &Args) -> Result<String, CliError> {
@@ -296,9 +345,21 @@ fn sweep(args: &Args) -> Result<String, CliError> {
 
     let schemes: [(&str, DetectionScheme, StrikePolicy); 4] = [
         ("none", DetectionScheme::None, StrikePolicy::one_strike()),
-        ("1-strike", DetectionScheme::Parity, StrikePolicy::one_strike()),
-        ("2-strike", DetectionScheme::Parity, StrikePolicy::two_strike()),
-        ("3-strike", DetectionScheme::Parity, StrikePolicy::three_strike()),
+        (
+            "1-strike",
+            DetectionScheme::Parity,
+            StrikePolicy::one_strike(),
+        ),
+        (
+            "2-strike",
+            DetectionScheme::Parity,
+            StrikePolicy::two_strike(),
+        ),
+        (
+            "3-strike",
+            DetectionScheme::Parity,
+            StrikePolicy::three_strike(),
+        ),
     ];
     let mut cells = Vec::new();
     for (label, det, strikes) in schemes {
@@ -315,7 +376,9 @@ fn sweep(args: &Args) -> Result<String, CliError> {
     if args.flag("json") {
         let items = cells.iter().map(|(s, cr, rel)| {
             let mut o = JsonObject::new();
-            o.string("scheme", s).number("cr", *cr).number("relative_edf2", *rel);
+            o.string("scheme", s)
+                .number("cr", *cr)
+                .number("relative_edf2", *rel);
             o.finish()
         });
         let mut o = JsonObject::new();
@@ -456,7 +519,15 @@ mod tests {
     #[test]
     fn run_small_config_works() {
         let out = dispatch_line(&[
-            "run", "--app", "tl", "--packets", "50", "--cr", "0.5", "--detection", "parity",
+            "run",
+            "--app",
+            "tl",
+            "--packets",
+            "50",
+            "--cr",
+            "0.5",
+            "--detection",
+            "parity",
         ])
         .unwrap();
         assert!(out.contains("tl"));
@@ -473,6 +544,22 @@ mod tests {
     #[test]
     fn run_rejects_bad_detection() {
         assert!(dispatch_line(&["run", "--detection", "ecc"]).is_err());
+    }
+
+    #[test]
+    fn run_accepts_skip_ahead_sampler_and_rejects_unknown() {
+        let out = dispatch_line(&[
+            "run",
+            "--app",
+            "crc",
+            "--packets",
+            "30",
+            "--sampler",
+            "skip-ahead",
+        ])
+        .unwrap();
+        assert!(out.contains("relative EDF^2"));
+        assert!(dispatch_line(&["run", "--sampler", "uniform"]).is_err());
     }
 
     #[test]
@@ -499,6 +586,20 @@ mod tests {
     #[test]
     fn repro_rejects_unknown_experiment() {
         assert!(dispatch_line(&["repro", "--experiment", "fig99"]).is_err());
+    }
+
+    #[test]
+    fn repro_jobs_matches_serial_output() {
+        let base = &["repro", "--experiment", "table1", "--packets", "40"];
+        let serial = dispatch_line(&[base, &["--jobs", "1"][..]].concat()).unwrap();
+        let parallel = dispatch_line(&[base, &["--jobs", "3"][..]].concat()).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn repro_rejects_zero_jobs() {
+        assert!(dispatch_line(&["repro", "--jobs", "0"]).is_err());
+        assert!(dispatch_line(&["repro", "--jobs", "many"]).is_err());
     }
 
     #[test]

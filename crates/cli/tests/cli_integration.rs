@@ -24,7 +24,15 @@ fn no_arguments_prints_help() {
 #[test]
 fn run_produces_a_report() {
     let (stdout, _, ok) = clumsy(&[
-        "run", "--app", "tl", "--packets", "80", "--cr", "0.5", "--detection", "parity",
+        "run",
+        "--app",
+        "tl",
+        "--packets",
+        "80",
+        "--cr",
+        "0.5",
+        "--detection",
+        "parity",
     ]);
     assert!(ok);
     assert!(stdout.contains("relative EDF^2"));
@@ -65,7 +73,14 @@ fn model_command_prints_operating_points() {
 #[test]
 fn watchdog_flag_is_accepted() {
     let (stdout, _, ok) = clumsy(&[
-        "run", "--app", "tl", "--packets", "60", "--cr", "0.25", "--watchdog",
+        "run",
+        "--app",
+        "tl",
+        "--packets",
+        "60",
+        "--cr",
+        "0.25",
+        "--watchdog",
     ]);
     assert!(ok, "{stdout}");
 }

@@ -194,6 +194,15 @@ impl ClumsyConfig {
         self
     }
 
+    /// Returns the config with a different fault-sampling mode. The
+    /// default exact per-access path reproduces the recorded paper
+    /// numbers bitwise; [`fault_model::SamplingMode::SkipAhead`] is the
+    /// statistically identical fast path for large custom sweeps.
+    pub fn with_sampling(mut self, sampling: fault_model::SamplingMode) -> Self {
+        self.mem.sampling = sampling;
+        self
+    }
+
     /// Short label: "parity/two-strike @ 0.50".
     pub fn label(&self) -> String {
         format!(

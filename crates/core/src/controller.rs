@@ -174,7 +174,7 @@ mod tests {
         let mut c = ctl();
         run_epoch(&mut c, 0); // -> 0.75, stored = 0 (clamped to 1)
         run_epoch(&mut c, 0); // -> 0.5
-        // 300 faults this epoch >> 2.0 * stored: back off to 0.75.
+                              // 300 faults this epoch >> 2.0 * stored: back off to 0.75.
         assert_eq!(run_epoch(&mut c, 3), Decision::Switch(0.75));
         assert_eq!(c.cycle_time(), 0.75);
     }
@@ -183,7 +183,7 @@ mod tests {
     fn steady_fault_rate_holds() {
         let mut c = ctl();
         run_epoch(&mut c, 0); // climb once; stored clamps to 1
-        // Next epoch: 1 fault total = reference → between 0.8 and 2.0.
+                              // Next epoch: 1 fault total = reference → between 0.8 and 2.0.
         let mut decisions = Vec::new();
         for p in 0..100 {
             let f = u64::from(p == 50);

@@ -4,30 +4,26 @@
 //! paper's evaluation; the `clumsy-bench` binaries print their output.
 //! Figures aggregate several *trials* (identical trace, different fault
 //! seeds) because fault injection is stochastic.
+//!
+//! All drivers flatten their (application × configuration × trial)
+//! grid into independent jobs on one [`Engine`] (see [`crate::engine`])
+//! instead of nesting per-app threads around serial inner loops. Trial
+//! seeds derive only from the grid point (`opts.seed + trial`), and the
+//! engine's map is order-preserving, so results are bitwise identical
+//! for every worker count — `CLUMSY_JOBS=1` literally runs the same
+//! jobs inline in order.
 
 use crate::config::{ClumsyConfig, DynamicConfig};
-use crate::processor::ClumsyProcessor;
+use crate::engine::{golden_for, Engine};
+use crate::processor::{ClumsyProcessor, GoldenData};
 use crate::report::RunReport;
 use crate::PAPER_CYCLE_TIMES;
 use cache_sim::{DetectionScheme, StrikePolicy};
 use energy_model::EdfMetric;
 use netbench::{AppKind, ErrorCategory, PlaneMask, Trace, TraceConfig};
+use std::collections::HashMap;
 use std::fmt;
-
-/// Maps `f` over `items` on one scoped thread per item (the per-app
-/// fan-out of the grid drivers; item counts are small, work is chunky).
-fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .iter()
-            .map(|item| scope.spawn(|| f(item)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("experiment worker panicked"))
-            .collect()
-    })
-}
+use std::sync::Arc;
 
 /// Scaling knobs shared by all experiments.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,8 +55,9 @@ impl ExperimentOptions {
         }
     }
 
-    /// Reads `CLUMSY_PACKETS` and `CLUMSY_TRIALS` from the environment
-    /// to scale the default options (used by the repro binaries).
+    /// Reads `CLUMSY_PACKETS`, `CLUMSY_TRIALS` and `CLUMSY_SEED` from
+    /// the environment to scale the default options (used by the repro
+    /// binaries).
     pub fn from_env() -> Self {
         let mut opts = ExperimentOptions::paper();
         if let Ok(p) = std::env::var("CLUMSY_PACKETS") {
@@ -72,6 +69,22 @@ impl ExperimentOptions {
             if let Ok(t) = t.parse::<u32>() {
                 opts.trials = t.max(1);
             }
+        }
+        if let Ok(s) = std::env::var("CLUMSY_SEED") {
+            if let Ok(s) = s.parse::<u64>() {
+                opts.seed = s;
+            }
+        }
+        opts
+    }
+
+    /// `from_env`, except that when `CLUMSY_SEED` is not set the fault
+    /// seed defaults to `seed` instead of the global default. Used by
+    /// binaries whose figure is recorded at its own fixed seed.
+    pub fn from_env_with_seed(seed: u64) -> Self {
+        let mut opts = ExperimentOptions::from_env();
+        if std::env::var("CLUMSY_SEED").is_err() {
+            opts.seed = seed;
         }
         opts
     }
@@ -148,7 +161,11 @@ impl Aggregate {
         if cat == ErrorCategory::Initialization {
             let wrong: usize = self.runs.iter().map(|r| r.init_obs_wrong).sum();
             let total: usize = self.runs.iter().map(|r| r.init_obs_total).sum();
-            return if total == 0 { 0.0 } else { wrong as f64 / total as f64 };
+            return if total == 0 {
+                0.0
+            } else {
+                wrong as f64 / total as f64
+            };
         }
         let events: usize = self
             .runs
@@ -175,6 +192,76 @@ impl Aggregate {
     }
 }
 
+// ---------------------------------------------------------------------
+// The flattened experiment grid
+// ---------------------------------------------------------------------
+
+/// One point of an experiment grid: an application under a
+/// configuration. A point expands to `opts.trials` independent jobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridPoint {
+    /// The packet application to run.
+    pub kind: AppKind,
+    /// The processor configuration (its seed is overwritten per trial).
+    pub cfg: ClumsyConfig,
+}
+
+impl GridPoint {
+    /// Convenience constructor.
+    pub fn new(kind: AppKind, cfg: ClumsyConfig) -> Self {
+        GridPoint { kind, cfg }
+    }
+}
+
+/// Runs every (point × trial) job of the grid on `engine`, returning
+/// one [`Aggregate`] per point, in point order.
+///
+/// Golden passes are warmed once per distinct application (memoized via
+/// [`golden_for`]); measured jobs then share the cached golden behind an
+/// [`Arc`]. Trial `t` of any point always runs with seed
+/// `opts.seed + t`, so the output is independent of the worker count.
+pub fn run_grid_on(
+    engine: &Engine,
+    points: &[GridPoint],
+    trace: &Trace,
+    opts: &ExperimentOptions,
+) -> Vec<Aggregate> {
+    let mut kinds: Vec<AppKind> = points.iter().map(|p| p.kind).collect();
+    kinds.sort();
+    kinds.dedup();
+    let goldens: HashMap<AppKind, Arc<GoldenData>> = kinds
+        .iter()
+        .copied()
+        .zip(engine.map(&kinds, |k| golden_for(*k, trace)))
+        .collect();
+
+    let jobs: Vec<(usize, u32)> = (0..points.len())
+        .flat_map(|pi| (0..opts.trials).map(move |t| (pi, t)))
+        .collect();
+    let runs = engine.map(&jobs, |&(pi, t)| {
+        let point = &points[pi];
+        let cfg = point.cfg.clone().with_seed(opts.seed + u64::from(t));
+        ClumsyProcessor::new(cfg).run_with_golden(point.kind, trace, &goldens[&point.kind])
+    });
+
+    let mut it = runs.into_iter();
+    points
+        .iter()
+        .map(|_| Aggregate {
+            runs: (0..opts.trials)
+                .map(|_| it.next().expect("job count"))
+                .collect(),
+        })
+        .collect()
+}
+
+/// [`run_grid_on`] with a freshly generated trace and an environment-
+/// sized engine.
+pub fn run_grid(points: &[GridPoint], opts: &ExperimentOptions) -> Vec<Aggregate> {
+    let trace = opts.trace.generate();
+    run_grid_on(&Engine::from_env(), points, &trace, opts)
+}
+
 /// Runs `trials` measured passes of `kind` under `cfg`, sharing one
 /// golden pass.
 pub fn run_config(kind: AppKind, cfg: &ClumsyConfig, opts: &ExperimentOptions) -> Aggregate {
@@ -189,14 +276,14 @@ pub fn run_config_on_trace(
     trace: &Trace,
     opts: &ExperimentOptions,
 ) -> Aggregate {
-    let golden = ClumsyProcessor::golden(kind, trace);
-    let runs = (0..opts.trials)
-        .map(|t| {
-            let cfg = cfg.clone().with_seed(opts.seed + u64::from(t));
-            ClumsyProcessor::new(cfg).run_with_golden(kind, trace, &golden)
-        })
-        .collect();
-    Aggregate { runs }
+    run_grid_on(
+        &Engine::from_env(),
+        &[GridPoint::new(kind, cfg.clone())],
+        trace,
+        opts,
+    )
+    .pop()
+    .expect("one point in, one aggregate out")
 }
 
 // ---------------------------------------------------------------------
@@ -239,23 +326,26 @@ impl fmt::Display for Table1Row {
 /// at `Cr` = 0.5 and 0.25.
 pub fn table1(opts: &ExperimentOptions) -> Vec<Table1Row> {
     let trace = opts.trace.generate();
-    let apps = AppKind::all();
-    parallel_map(&apps, |kind| {
-        let kind = *kind;
-        {
-            let base = run_config_on_trace(kind, &ClumsyConfig::baseline(), &trace, opts);
-            let half = run_config_on_trace(
-                kind,
-                &ClumsyConfig::baseline().with_static_cycle(0.5),
-                &trace,
-                opts,
-            );
-            let quarter = run_config_on_trace(
-                kind,
-                &ClumsyConfig::baseline().with_static_cycle(0.25),
-                &trace,
-                opts,
-            );
+    table1_on(&Engine::from_env(), &trace, opts)
+}
+
+/// [`table1`] on an explicit engine and trace.
+pub fn table1_on(engine: &Engine, trace: &Trace, opts: &ExperimentOptions) -> Vec<Table1Row> {
+    let configs = [
+        ClumsyConfig::baseline(),
+        ClumsyConfig::baseline().with_static_cycle(0.5),
+        ClumsyConfig::baseline().with_static_cycle(0.25),
+    ];
+    let points: Vec<GridPoint> = AppKind::all()
+        .iter()
+        .flat_map(|k| configs.iter().map(|c| GridPoint::new(*k, c.clone())))
+        .collect();
+    let aggs = run_grid_on(engine, &points, trace, opts);
+    AppKind::all()
+        .iter()
+        .zip(aggs.chunks(configs.len()))
+        .map(|(kind, chunk)| {
+            let (base, half, quarter) = (&chunk[0], &chunk[1], &chunk[2]);
             let r0 = &base.runs[0];
             Table1Row {
                 app: kind.name(),
@@ -265,8 +355,8 @@ pub fn table1(opts: &ExperimentOptions) -> Vec<Table1Row> {
                 fallibility_half: half.fallibility(),
                 fallibility_quarter: quarter.fallibility(),
             }
-        }
-    })
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -291,18 +381,43 @@ pub struct PlaneErrorCell {
 /// data plane, or both, across the four static clocks.
 pub fn plane_error_study(kind: AppKind, opts: &ExperimentOptions) -> Vec<PlaneErrorCell> {
     let trace = opts.trace.generate();
+    plane_error_study_on(&Engine::from_env(), kind, &trace, opts)
+}
+
+/// [`plane_error_study`] on an explicit engine and trace.
+pub fn plane_error_study_on(
+    engine: &Engine,
+    kind: AppKind,
+    trace: &Trace,
+    opts: &ExperimentOptions,
+) -> Vec<PlaneErrorCell> {
     let planes = [
         ("control", PlaneMask::control_only()),
         ("data", PlaneMask::data_only()),
         ("both", PlaneMask::both()),
     ];
-    let mut cells = Vec::new();
-    for (label, mask) in planes {
-        for cr in PAPER_CYCLE_TIMES {
-            let cfg = ClumsyConfig::baseline()
-                .with_static_cycle(cr)
-                .with_planes(mask);
-            let agg = run_config_on_trace(kind, &cfg, &trace, opts);
+    let labels: Vec<(&'static str, f64)> = planes
+        .iter()
+        .flat_map(|(label, _)| PAPER_CYCLE_TIMES.iter().map(|cr| (*label, *cr)))
+        .collect();
+    let points: Vec<GridPoint> = planes
+        .iter()
+        .flat_map(|(_, mask)| {
+            PAPER_CYCLE_TIMES.iter().map(|cr| {
+                GridPoint::new(
+                    kind,
+                    ClumsyConfig::baseline()
+                        .with_static_cycle(*cr)
+                        .with_planes(*mask),
+                )
+            })
+        })
+        .collect();
+    let aggs = run_grid_on(engine, &points, trace, opts);
+    labels
+        .into_iter()
+        .zip(aggs)
+        .map(|((label, cr), agg)| {
             let mut cats: Vec<ErrorCategory> = agg
                 .runs
                 .iter()
@@ -311,7 +426,7 @@ pub fn plane_error_study(kind: AppKind, opts: &ExperimentOptions) -> Vec<PlaneEr
             cats.push(ErrorCategory::Initialization);
             cats.sort();
             cats.dedup();
-            cells.push(PlaneErrorCell {
+            PlaneErrorCell {
                 plane: label,
                 cr,
                 categories: cats
@@ -319,10 +434,9 @@ pub fn plane_error_study(kind: AppKind, opts: &ExperimentOptions) -> Vec<PlaneEr
                     .map(|c| (c, agg.error_probability(c)))
                     .collect(),
                 fatal: agg.fatal_probability(),
-            });
-        }
-    }
-    cells
+            }
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -342,18 +456,34 @@ pub struct FatalRow {
 /// clock, on the no-detection architecture.
 pub fn fatal_study(opts: &ExperimentOptions) -> Vec<FatalRow> {
     let trace = opts.trace.generate();
-    let apps = AppKind::all();
-    parallel_map(&apps, |kind| {
-        let mut per_cr = [0.0; 4];
-        for (i, cr) in PAPER_CYCLE_TIMES.iter().enumerate() {
-            let cfg = ClumsyConfig::baseline().with_static_cycle(*cr);
-            per_cr[i] = run_config_on_trace(*kind, &cfg, &trace, opts).fatal_probability();
-        }
-        FatalRow {
-            app: kind.name(),
-            per_cr,
-        }
-    })
+    fatal_study_on(&Engine::from_env(), &trace, opts)
+}
+
+/// [`fatal_study`] on an explicit engine and trace.
+pub fn fatal_study_on(engine: &Engine, trace: &Trace, opts: &ExperimentOptions) -> Vec<FatalRow> {
+    let points: Vec<GridPoint> = AppKind::all()
+        .iter()
+        .flat_map(|k| {
+            PAPER_CYCLE_TIMES
+                .iter()
+                .map(|cr| GridPoint::new(*k, ClumsyConfig::baseline().with_static_cycle(*cr)))
+        })
+        .collect();
+    let aggs = run_grid_on(engine, &points, trace, opts);
+    AppKind::all()
+        .iter()
+        .zip(aggs.chunks(PAPER_CYCLE_TIMES.len()))
+        .map(|(kind, chunk)| {
+            let mut per_cr = [0.0; 4];
+            for (slot, agg) in per_cr.iter_mut().zip(chunk) {
+                *slot = agg.fatal_probability();
+            }
+            FatalRow {
+                app: kind.name(),
+                per_cr,
+            }
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -363,10 +493,26 @@ pub fn fatal_study(opts: &ExperimentOptions) -> Vec<FatalRow> {
 /// The recovery schemes of Figures 9–12, in x-axis order.
 pub fn paper_schemes() -> [(&'static str, DetectionScheme, StrikePolicy); 4] {
     [
-        ("no detection", DetectionScheme::None, StrikePolicy::one_strike()),
-        ("one-strike", DetectionScheme::Parity, StrikePolicy::one_strike()),
-        ("two-strike", DetectionScheme::Parity, StrikePolicy::two_strike()),
-        ("three-strike", DetectionScheme::Parity, StrikePolicy::three_strike()),
+        (
+            "no detection",
+            DetectionScheme::None,
+            StrikePolicy::one_strike(),
+        ),
+        (
+            "one-strike",
+            DetectionScheme::Parity,
+            StrikePolicy::one_strike(),
+        ),
+        (
+            "two-strike",
+            DetectionScheme::Parity,
+            StrikePolicy::two_strike(),
+        ),
+        (
+            "three-strike",
+            DetectionScheme::Parity,
+            StrikePolicy::three_strike(),
+        ),
     ]
 }
 
@@ -384,6 +530,30 @@ pub struct EdfBar {
     pub relative_edf_stddev: f64,
 }
 
+/// The 21 configurations of one Figures 9–12 panel, in output order:
+/// the normalization baseline first, then every (scheme, plan) bar.
+fn edf_plan() -> Vec<(&'static str, String, ClumsyConfig)> {
+    let mut plan = vec![("baseline", "1.00".to_string(), ClumsyConfig::baseline())];
+    for (label, detection, strikes) in paper_schemes() {
+        let cfg0 = ClumsyConfig::baseline()
+            .with_detection(detection)
+            .with_strikes(strikes);
+        for cr in PAPER_CYCLE_TIMES {
+            plan.push((
+                label,
+                format!("{cr:.2}"),
+                cfg0.clone().with_static_cycle(cr),
+            ));
+        }
+        plan.push((
+            label,
+            "dynamic".to_string(),
+            cfg0.clone().with_dynamic(DynamicConfig::paper()),
+        ));
+    }
+    plan
+}
+
 /// Regenerates one panel of Figures 9–12: all recovery schemes × all
 /// clock plans for `kind`, normalized to the no-detection `Cr = 1` bar.
 pub fn edf_study(kind: AppKind, opts: &ExperimentOptions) -> Vec<EdfBar> {
@@ -393,56 +563,50 @@ pub fn edf_study(kind: AppKind, opts: &ExperimentOptions) -> Vec<EdfBar> {
 
 /// [`edf_study`] on a pre-generated trace (shared across apps for the
 /// average panel).
-pub fn edf_study_on_trace(
-    kind: AppKind,
-    trace: &Trace,
-    opts: &ExperimentOptions,
-) -> Vec<EdfBar> {
-    let metric = EdfMetric::paper();
-    let golden = ClumsyProcessor::golden(kind, trace);
-    let run = |cfg: &ClumsyConfig| -> Aggregate {
-        let runs = (0..opts.trials)
-            .map(|t| {
-                let cfg = cfg.clone().with_seed(opts.seed + u64::from(t));
-                ClumsyProcessor::new(cfg).run_with_golden(kind, trace, &golden)
-            })
-            .collect();
-        Aggregate { runs }
-    };
-    let baseline = run(&ClumsyConfig::baseline());
-    let base_edf = baseline.edf(&metric);
-
-    let mut bars = Vec::new();
-    for (label, detection, strikes) in paper_schemes() {
-        let cfg0 = ClumsyConfig::baseline()
-            .with_detection(detection)
-            .with_strikes(strikes);
-        for cr in PAPER_CYCLE_TIMES {
-            let agg = run(&cfg0.clone().with_static_cycle(cr));
-            bars.push(EdfBar {
-                scheme: label,
-                freq: format!("{cr:.2}"),
-                relative_edf: agg.edf(&metric) / base_edf,
-                relative_edf_stddev: agg.edf_stddev(&metric) / base_edf,
-            });
-        }
-        let agg = run(&cfg0.clone().with_dynamic(DynamicConfig::paper()));
-        bars.push(EdfBar {
-            scheme: label,
-            freq: "dynamic".to_string(),
-            relative_edf: agg.edf(&metric) / base_edf,
-            relative_edf_stddev: agg.edf_stddev(&metric) / base_edf,
-        });
-    }
-    bars
+pub fn edf_study_on_trace(kind: AppKind, trace: &Trace, opts: &ExperimentOptions) -> Vec<EdfBar> {
+    edf_panels_on(&Engine::from_env(), &[kind], trace, opts)
+        .pop()
+        .expect("one app in, one panel out")
 }
 
-/// Regenerates Figure 12(b): the across-application average of the
-/// relative EDF² bars.
-pub fn edf_average(opts: &ExperimentOptions) -> Vec<EdfBar> {
-    let trace = opts.trace.generate();
-    let apps = AppKind::all();
-    let per_app: Vec<Vec<EdfBar>> = parallel_map(&apps, |k| edf_study_on_trace(*k, &trace, opts));
+/// Regenerates several apps' Figures 9–12 panels in one flattened grid:
+/// apps × 21 configurations × trials, all scheduled together so the
+/// engine stays saturated across panel boundaries.
+pub fn edf_panels_on(
+    engine: &Engine,
+    apps: &[AppKind],
+    trace: &Trace,
+    opts: &ExperimentOptions,
+) -> Vec<Vec<EdfBar>> {
+    let metric = EdfMetric::paper();
+    let plan = edf_plan();
+    let points: Vec<GridPoint> = apps
+        .iter()
+        .flat_map(|k| {
+            plan.iter()
+                .map(|(_, _, cfg)| GridPoint::new(*k, cfg.clone()))
+        })
+        .collect();
+    let aggs = run_grid_on(engine, &points, trace, opts);
+    aggs.chunks(plan.len())
+        .map(|chunk| {
+            let base_edf = chunk[0].edf(&metric);
+            chunk[1..]
+                .iter()
+                .zip(plan[1..].iter())
+                .map(|(agg, (scheme, freq, _))| EdfBar {
+                    scheme,
+                    freq: freq.clone(),
+                    relative_edf: agg.edf(&metric) / base_edf,
+                    relative_edf_stddev: agg.edf_stddev(&metric) / base_edf,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Averages per-app panels bar-by-bar (Figure 12(b)).
+pub fn average_panels(per_app: &[Vec<EdfBar>]) -> Vec<EdfBar> {
     let n = per_app.len() as f64;
     per_app[0]
         .iter()
@@ -460,6 +624,20 @@ pub fn edf_average(opts: &ExperimentOptions) -> Vec<EdfBar> {
                 / n,
         })
         .collect()
+}
+
+/// Regenerates Figure 12(b): the across-application average of the
+/// relative EDF² bars.
+pub fn edf_average(opts: &ExperimentOptions) -> Vec<EdfBar> {
+    edf_average_on(&Engine::from_env(), opts)
+}
+
+/// [`edf_average`] on an explicit engine (the perf baseline uses this
+/// to pin the worker count).
+pub fn edf_average_on(engine: &Engine, opts: &ExperimentOptions) -> Vec<EdfBar> {
+    let trace = opts.trace.generate();
+    let per_app = edf_panels_on(engine, &AppKind::all(), &trace, opts);
+    average_panels(&per_app)
 }
 
 #[cfg(test)]
@@ -535,7 +713,10 @@ mod tests {
         let one = run_config_on_trace(AppKind::Tl, &ClumsyConfig::baseline(), &trace, &opts);
         assert_eq!(one.edf_stddev(&EdfMetric::paper()), 0.0);
 
-        let three = ExperimentOptions { trials: 3, ..quick() };
+        let three = ExperimentOptions {
+            trials: 3,
+            ..quick()
+        };
         let cfg = ClumsyConfig::baseline()
             .with_fault_model(fault_model::FaultProbabilityModel::new(1e-5, 0.2))
             .with_static_cycle(0.25);
@@ -550,5 +731,67 @@ mod tests {
         let o = ExperimentOptions::from_env();
         assert!(o.trace.packets > 0);
         assert!(o.trials > 0);
+    }
+
+    /// The acceptance guarantee of the engine rewrite: for a fixed seed
+    /// the parallel grid produces bitwise-identical `RunReport`s to the
+    /// serial one (`Engine::with_jobs(1)` runs jobs inline, in order).
+    #[test]
+    fn parallel_grid_is_bitwise_identical_to_serial() {
+        let opts = ExperimentOptions {
+            trials: 2,
+            ..quick()
+        };
+        let trace = opts.trace.generate();
+        let points: Vec<GridPoint> = [AppKind::Crc, AppKind::Tl, AppKind::Route]
+            .iter()
+            .flat_map(|k| {
+                [
+                    ClumsyConfig::baseline(),
+                    ClumsyConfig::baseline().with_static_cycle(0.25),
+                    ClumsyConfig::baseline()
+                        .with_detection(DetectionScheme::Parity)
+                        .with_strikes(StrikePolicy::two_strike())
+                        .with_static_cycle(0.5),
+                ]
+                .into_iter()
+                .map(|c| GridPoint::new(*k, c))
+            })
+            .collect();
+        let serial = run_grid_on(&Engine::with_jobs(1), &points, &trace, &opts);
+        for jobs in [2, 4, 16] {
+            let parallel = run_grid_on(&Engine::with_jobs(jobs), &points, &trace, &opts);
+            assert_eq!(serial, parallel, "grid diverged at jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn flattened_panels_match_single_app_study() {
+        let opts = quick();
+        let trace = opts.trace.generate();
+        let panels = edf_panels_on(
+            &Engine::with_jobs(4),
+            &[AppKind::Tl, AppKind::Crc],
+            &trace,
+            &opts,
+        );
+        assert_eq!(panels.len(), 2);
+        assert_eq!(panels[0], edf_study_on_trace(AppKind::Tl, &trace, &opts));
+        assert_eq!(panels[1], edf_study_on_trace(AppKind::Crc, &trace, &opts));
+    }
+
+    #[test]
+    fn average_panels_averages_bar_by_bar() {
+        let mk = |v: f64| EdfBar {
+            scheme: "s",
+            freq: "1.00".to_string(),
+            relative_edf: v,
+            relative_edf_stddev: 0.1,
+        };
+        let avg = average_panels(&[vec![mk(1.0)], vec![mk(3.0)]]);
+        assert_eq!(avg.len(), 1);
+        assert!((avg[0].relative_edf - 2.0).abs() < 1e-12);
+        // RMS of (0.1, 0.1) over n = 2: sqrt(0.02)/2.
+        assert!((avg[0].relative_edf_stddev - 0.02f64.sqrt() / 2.0).abs() < 1e-12);
     }
 }

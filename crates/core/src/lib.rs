@@ -43,12 +43,14 @@
 
 mod config;
 mod controller;
+pub mod engine;
 pub mod experiment;
 mod processor;
 mod report;
 
 pub use config::{ClumsyConfig, DynamicConfig, FrequencyPlan};
 pub use controller::{Decision, DynamicController};
+pub use engine::{golden_for, Engine};
 pub use processor::{ClumsyProcessor, GoldenData};
 pub use report::{FatalInfo, RunReport};
 

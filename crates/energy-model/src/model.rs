@@ -376,11 +376,10 @@ mod tests {
 
     #[test]
     fn parity_none_is_free() {
-        let m = EnergyModel::builder().parity(ParityOverhead::none()).build();
-        assert_eq!(
-            m.l1_read_energy_with_parity(1.0),
-            m.l1_read_energy(1.0)
-        );
+        let m = EnergyModel::builder()
+            .parity(ParityOverhead::none())
+            .build();
+        assert_eq!(m.l1_read_energy_with_parity(1.0), m.l1_read_energy(1.0));
     }
 
     #[test]

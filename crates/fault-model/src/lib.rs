@@ -68,8 +68,10 @@ pub mod swing;
 pub use immunity::NoiseImmunityCurve;
 pub use multibit::{FaultEvent, MultiBitModel};
 pub use noise::{NoiseAmplitudeDistribution, NoiseDurationDistribution, SwitchingCensus};
-pub use probability::{FaultProbabilityModel, IntegratedFaultModel, CALIBRATED_BETA, PAPER_PRINTED_BETA};
-pub use sampler::FaultSampler;
+pub use probability::{
+    FaultProbabilityModel, IntegratedFaultModel, CALIBRATED_BETA, PAPER_PRINTED_BETA,
+};
+pub use sampler::{FaultSampler, SamplingMode};
 pub use swing::VoltageSwingCurve;
 
 /// The paper's baseline per-bit fault probability at full voltage swing,

@@ -554,7 +554,10 @@ mod tests {
         let m = IntegratedFaultModel::calibrated();
         let target = FaultProbabilityModel::calibrated().per_bit_at_cycle(0.25);
         let p = m.per_bit_at_cycle(0.25);
-        assert!((p / target - 1.0).abs() < 0.02, "p = {p}, target = {target}");
+        assert!(
+            (p / target - 1.0).abs() < 0.02,
+            "p = {p}, target = {target}"
+        );
     }
 
     #[test]

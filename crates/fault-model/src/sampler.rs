@@ -2,8 +2,16 @@
 //!
 //! The simulator asks "did this access fault, and which bits flipped?"
 //! for every L1 data access. [`FaultSampler`] pre-computes the per-access
-//! event probabilities for the current cache clock and answers with a
-//! single uniform draw in the common no-fault case.
+//! event probabilities for the current cache clock. The default
+//! [`SamplingMode::PerAccess`] draws one uniform per access — the exact
+//! reproduction path, whose RNG stream every recorded per-seed number in
+//! EXPERIMENTS.md was produced with. The opt-in
+//! [`SamplingMode::SkipAhead`] instead samples the *gap* until the next
+//! fault event from the geometric distribution — the hot path is then a
+//! counter decrement instead of an RNG draw, and the exact multi-bit
+//! event draw runs only when the counter reaches zero. The two modes
+//! realize the same stochastic process (chi-square verified) but consume
+//! randomness differently, so per-seed realizations differ.
 
 use crate::multibit::{EventProbabilities, FaultEvent, MultiBitModel};
 use crate::probability::FaultProbabilityModel;
@@ -13,6 +21,28 @@ use std::fmt;
 
 /// Supported access widths in bits.
 const WIDTHS: [u32; 3] = [8, 16, 32];
+
+/// How [`FaultSampler::sample`] spends randomness.
+///
+/// Both modes realize the same stochastic process: accesses fault
+/// independently with the cached per-access probability, and a faulting
+/// access draws its bit-flip class from the same conditional
+/// distribution. Skip-ahead merely samples the geometric gap between
+/// fault events up front (exactly the distribution of "number of
+/// no-fault accesses before the next fault"), which is why the marginal
+/// fault rates are statistically identical — see the chi-square test in
+/// `tests/properties.rs`. Per-seed *realizations* differ, though, so the
+/// exact per-access path stays the default: it keeps every recorded
+/// paper-reproduction number bitwise stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SamplingMode {
+    /// One uniform draw per access (the exact default path).
+    #[default]
+    PerAccess,
+    /// Geometric gap sampling with a per-width countdown — the fast
+    /// path for large custom sweeps.
+    SkipAhead,
+}
 
 /// Deterministic, seeded sampler of per-access fault events.
 ///
@@ -39,8 +69,13 @@ pub struct FaultSampler {
     rng: SmallRng,
     cr: f64,
     enabled: bool,
+    mode: SamplingMode,
     /// Cached per-access probabilities for widths 8, 16, 32.
     cached: [EventProbabilities; 3],
+    /// Skip-ahead state per width: number of guaranteed no-fault
+    /// accesses remaining before the next fault event (`None` when the
+    /// gap has not been sampled yet at the current clock).
+    skip: [Option<u64>; 3],
     faults_injected: u64,
     bits_flipped: u64,
 }
@@ -54,7 +89,9 @@ impl FaultSampler {
             rng: SmallRng::seed_from_u64(seed),
             cr: 1.0,
             enabled: true,
+            mode: SamplingMode::default(),
             cached: [EventProbabilities::default(); 3],
+            skip: [None; 3],
             faults_injected: 0,
             bits_flipped: 0,
         };
@@ -68,6 +105,25 @@ impl FaultSampler {
         s.multibit = multibit;
         s.recompute();
         s
+    }
+
+    /// Creates a sampler using the given sampling mode.
+    pub fn with_mode(model: FaultProbabilityModel, seed: u64, mode: SamplingMode) -> Self {
+        let mut s = Self::new(model, seed);
+        s.mode = mode;
+        s
+    }
+
+    /// The sampling mode in use.
+    pub fn mode(&self) -> SamplingMode {
+        self.mode
+    }
+
+    /// Switches the sampling mode, discarding any pending skip-ahead
+    /// state (safe at any point: the geometric gap is memoryless).
+    pub fn set_mode(&mut self, mode: SamplingMode) {
+        self.mode = mode;
+        self.skip = [None; 3];
     }
 
     /// The closed-form fault model in use.
@@ -126,15 +182,24 @@ impl FaultSampler {
         for (i, w) in WIDTHS.iter().enumerate() {
             self.cached[i] = self.multibit.event_probabilities(per_bit, *w);
         }
+        // Pending gaps were sampled at the old probabilities; dropping
+        // them is statistically clean because the geometric distribution
+        // is memoryless — conditioned on "no fault so far", the
+        // remaining gap at the new clock is a fresh geometric draw.
+        self.skip = [None; 3];
+    }
+
+    fn width_index(width: u32) -> usize {
+        match width {
+            8 => 0,
+            16 => 1,
+            32 => 2,
+            _ => panic!("unsupported access width {width} (expected 8, 16 or 32)"),
+        }
     }
 
     fn probs_for(&self, width: u32) -> EventProbabilities {
-        match width {
-            8 => self.cached[0],
-            16 => self.cached[1],
-            32 => self.cached[2],
-            _ => panic!("unsupported access width {width} (expected 8, 16 or 32)"),
-        }
+        self.cached[Self::width_index(width)]
     }
 
     /// Per-access probability of any fault at the current clock for the
@@ -147,25 +212,68 @@ impl FaultSampler {
         self.probs_for(width).any()
     }
 
+    /// Samples the geometric gap (number of no-fault accesses before
+    /// the next fault event) via inversion: `K = ⌊ln(1-u) / ln(1-p)⌋`.
+    fn draw_gap(&mut self, p: f64) -> u64 {
+        if p <= 0.0 {
+            return u64::MAX;
+        }
+        if p >= 1.0 {
+            return 0;
+        }
+        let u: f64 = self.rng.gen();
+        let k = ((1.0 - u).ln() / (-p).ln_1p()).floor();
+        if k >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            k as u64
+        }
+    }
+
     /// Samples a fault event for one access of `width` bits.
     ///
     /// # Panics
     ///
     /// Panics if `width` is not 8, 16 or 32.
     pub fn sample(&mut self, width: u32) -> FaultEvent {
-        let probs = self.probs_for(width);
+        let idx = Self::width_index(width);
+        let probs = self.cached[idx];
         if !self.enabled {
             return FaultEvent::none();
         }
-        let u: f64 = self.rng.gen();
+        let u = match self.mode {
+            SamplingMode::PerAccess => {
+                let u: f64 = self.rng.gen();
+                if u >= probs.any() {
+                    return FaultEvent::none();
+                }
+                u
+            }
+            SamplingMode::SkipAhead => {
+                let p = probs.any();
+                let remaining = match self.skip[idx] {
+                    Some(g) => g,
+                    None => self.draw_gap(p),
+                };
+                if remaining > 0 {
+                    self.skip[idx] = Some(remaining - 1);
+                    return FaultEvent::none();
+                }
+                // The gap ran out: this access faults. Scale a fresh
+                // uniform into [0, p) so the class split below matches
+                // the per-access path's conditional distribution, and
+                // queue the gap until the following event.
+                let u = self.rng.gen::<f64>() * p;
+                self.skip[idx] = Some(self.draw_gap(p));
+                u
+            }
+        };
         let nbits = if u < probs.triple {
             3
         } else if u < probs.triple + probs.double {
             2
-        } else if u < probs.any() {
-            1
         } else {
-            return FaultEvent::none();
+            1
         };
         let mut mask = 0u32;
         while mask.count_ones() < nbits {
@@ -216,10 +324,7 @@ mod tests {
             }
         }
         let rate = hits as f64 / n as f64;
-        assert!(
-            (rate / p - 1.0).abs() < 0.1,
-            "rate {rate} vs expected {p}"
-        );
+        assert!((rate / p - 1.0).abs() < 0.1, "rate {rate} vs expected {p}");
     }
 
     #[test]
@@ -246,7 +351,10 @@ mod tests {
                 seen[n as usize] = true;
             }
         }
-        assert!(seen[1] && seen[2] && seen[3], "expected all classes: {seen:?}");
+        assert!(
+            seen[1] && seen[2] && seen[3],
+            "expected all classes: {seen:?}"
+        );
     }
 
     #[test]
@@ -287,5 +395,119 @@ mod tests {
     fn rejects_odd_width() {
         let mut s = FaultSampler::new(FaultProbabilityModel::calibrated(), 0);
         s.sample(12);
+    }
+
+    #[test]
+    fn default_mode_is_the_exact_per_access_path() {
+        // The default must stay PerAccess: every recorded per-seed
+        // number in EXPERIMENTS.md was produced with its RNG stream.
+        let s = FaultSampler::new(FaultProbabilityModel::calibrated(), 0);
+        assert_eq!(s.mode(), SamplingMode::PerAccess);
+    }
+
+    fn fault_rate(mode: SamplingMode, seed: u64, n: u64) -> f64 {
+        let mut s = FaultSampler::with_mode(FaultProbabilityModel::with_beta(2.0), seed, mode);
+        s.set_cycle(0.25);
+        let hits = (0..n).filter(|_| s.sample(32).is_fault()).count();
+        hits as f64 / n as f64
+    }
+
+    #[test]
+    fn skip_ahead_rate_matches_per_access_rate() {
+        let n = 2_000_000u64;
+        let fast = fault_rate(SamplingMode::SkipAhead, 17, n);
+        let exact = fault_rate(SamplingMode::PerAccess, 18, n);
+        let p = {
+            let mut s = FaultSampler::new(FaultProbabilityModel::with_beta(2.0), 0);
+            s.set_cycle(0.25);
+            s.fault_probability(32)
+        };
+        assert!(
+            (fast / p - 1.0).abs() < 0.1,
+            "skip-ahead rate {fast} vs analytic {p}"
+        );
+        assert!(
+            (fast / exact - 1.0).abs() < 0.15,
+            "skip-ahead rate {fast} vs per-access rate {exact}"
+        );
+    }
+
+    #[test]
+    fn skip_ahead_class_split_matches_per_access() {
+        // High-probability model so every class shows up quickly.
+        let split = |mode| {
+            let mut s = FaultSampler::with_mode(FaultProbabilityModel::new(0.3, 0.0), 23, mode);
+            let mut counts = [0u64; 4];
+            for _ in 0..200_000 {
+                let e = s.sample(32);
+                counts[e.flipped_bits() as usize] += 1;
+            }
+            counts
+        };
+        let fast = split(SamplingMode::SkipAhead);
+        let exact = split(SamplingMode::PerAccess);
+        let total_fast: u64 = fast[1..].iter().sum();
+        let total_exact: u64 = exact[1..].iter().sum();
+        assert!(total_fast > 1000 && total_exact > 1000);
+        for k in 1..4 {
+            let ff = fast[k] as f64 / total_fast as f64;
+            let fe = exact[k] as f64 / total_exact as f64;
+            assert!(
+                (ff - fe).abs() < 0.02,
+                "class {k}: skip-ahead share {ff} vs per-access share {fe}"
+            );
+        }
+    }
+
+    #[test]
+    fn skip_ahead_is_deterministic_per_seed() {
+        let mk = || {
+            let mut s = FaultSampler::with_mode(
+                FaultProbabilityModel::with_beta(2.0),
+                99,
+                SamplingMode::SkipAhead,
+            );
+            s.set_cycle(0.25);
+            (0..50_000).map(|_| s.sample(32).mask()).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn set_cycle_resets_pending_gaps() {
+        let mut s = FaultSampler::with_mode(
+            FaultProbabilityModel::with_beta(2.0),
+            4,
+            SamplingMode::SkipAhead,
+        );
+        // At Cr = 1 the fault probability is ~0, so the pending gap is
+        // astronomically long; after overclocking, faults must appear
+        // at the new rate rather than waiting out the stale gap.
+        for _ in 0..1000 {
+            assert!(!s.sample(32).is_fault());
+        }
+        s.set_cycle(0.25);
+        let hits = (0..500_000).filter(|_| s.sample(32).is_fault()).count();
+        assert!(hits > 0, "stale gap survived set_cycle");
+    }
+
+    #[test]
+    fn mode_switch_mid_stream_keeps_sampling() {
+        let mut s = FaultSampler::with_mode(
+            FaultProbabilityModel::with_beta(2.0),
+            8,
+            SamplingMode::SkipAhead,
+        );
+        s.set_cycle(0.25);
+        for _ in 0..10_000 {
+            s.sample(32);
+        }
+        s.set_mode(SamplingMode::PerAccess);
+        assert_eq!(s.mode(), SamplingMode::PerAccess);
+        let before = s.faults_injected();
+        for _ in 0..500_000 {
+            s.sample(32);
+        }
+        assert!(s.faults_injected() > before);
     }
 }

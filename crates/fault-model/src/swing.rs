@@ -136,7 +136,11 @@ impl Default for VoltageSwingCurve {
 
 impl fmt::Display for VoltageSwingCurve {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Vsr(Cr) = (1-e^(-{}·Cr))/(1-e^(-{}))", self.lambda, self.lambda)
+        write!(
+            f,
+            "Vsr(Cr) = (1-e^(-{}·Cr))/(1-e^(-{}))",
+            self.lambda, self.lambda
+        )
     }
 }
 

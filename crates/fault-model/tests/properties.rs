@@ -2,7 +2,8 @@
 
 use fault_model::{
     FaultProbabilityModel, FaultSampler, IntegratedFaultModel, MultiBitModel,
-    NoiseAmplitudeDistribution, NoiseImmunityCurve, SwitchingCensus, VoltageSwingCurve,
+    NoiseAmplitudeDistribution, NoiseImmunityCurve, SamplingMode, SwitchingCensus,
+    VoltageSwingCurve,
 };
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -36,6 +37,78 @@ fn monte_carlo_agrees_with_integration() {
     assert!(
         (0.8..1.2).contains(&ratio),
         "MC {empirical} vs integral {analytic} (ratio {ratio})"
+    );
+}
+
+/// Chi-square goodness-of-fit: the skip-ahead sampler's outcome counts
+/// (no-fault, 1-bit, 2-bit, 3-bit) must follow the same multinomial as
+/// the analytic per-access probabilities. This is the statistical
+/// guarantee behind making [`SamplingMode::SkipAhead`] the default.
+#[test]
+fn skip_ahead_chi_square_matches_analytic_distribution() {
+    let model = FaultProbabilityModel::with_beta(2.0);
+    let n = 1_000_000u64;
+    let mut s = FaultSampler::with_mode(model, 0xC1A5, SamplingMode::SkipAhead);
+    s.set_cycle(0.25);
+    let probs = {
+        // Expected cell probabilities from the cached analytic model.
+        let per_bit = model.per_bit_at_cycle(0.25);
+        let p = MultiBitModel::paper().event_probabilities(per_bit, 32);
+        [1.0 - p.any(), p.single, p.double, p.triple]
+    };
+    let mut observed = [0u64; 4];
+    for _ in 0..n {
+        observed[s.sample(32).flipped_bits() as usize] += 1;
+    }
+    let mut chi2 = 0.0;
+    let mut dof = 0u32;
+    for (obs, p) in observed.iter().zip(probs.iter()) {
+        let expected = p * n as f64;
+        // Standard validity rule: only include cells with enough mass.
+        if expected >= 5.0 {
+            chi2 += (*obs as f64 - expected).powi(2) / expected;
+            dof += 1;
+        }
+    }
+    assert!(dof >= 2, "degenerate test: only {dof} usable cells");
+    // 99.9th percentile of chi-square with k-1 dof (k = 2, 3, 4 cells).
+    let critical = [10.83, 13.82, 16.27][(dof - 2) as usize];
+    assert!(
+        chi2 < critical,
+        "chi2 {chi2:.2} exceeds {critical} at {dof} cells; observed {observed:?}"
+    );
+}
+
+/// Same chi-square statistic computed for the per-access path: both
+/// samplers must sit inside the same acceptance region, i.e. they are
+/// statistically indistinguishable realizations of one process.
+#[test]
+fn per_access_chi_square_matches_analytic_distribution() {
+    let model = FaultProbabilityModel::with_beta(2.0);
+    let n = 1_000_000u64;
+    let mut s = FaultSampler::with_mode(model, 0xC1A6, SamplingMode::PerAccess);
+    s.set_cycle(0.25);
+    let per_bit = model.per_bit_at_cycle(0.25);
+    let p = MultiBitModel::paper().event_probabilities(per_bit, 32);
+    let probs = [1.0 - p.any(), p.single, p.double, p.triple];
+    let mut observed = [0u64; 4];
+    for _ in 0..n {
+        observed[s.sample(32).flipped_bits() as usize] += 1;
+    }
+    let mut chi2 = 0.0;
+    let mut dof = 0u32;
+    for (obs, p) in observed.iter().zip(probs.iter()) {
+        let expected = p * n as f64;
+        if expected >= 5.0 {
+            chi2 += (*obs as f64 - expected).powi(2) / expected;
+            dof += 1;
+        }
+    }
+    assert!(dof >= 2, "degenerate test: only {dof} usable cells");
+    let critical = [10.83, 13.82, 16.27][(dof - 2) as usize];
+    assert!(
+        chi2 < critical,
+        "chi2 {chi2:.2} exceeds {critical} at {dof} cells; observed {observed:?}"
     );
 }
 

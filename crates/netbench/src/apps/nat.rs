@@ -59,7 +59,12 @@ impl Nat {
 
     /// Finds or creates the translation entry for `src_ip`, returning
     /// `(xlat_ip, iface)`.
-    fn translate(&self, m: &mut Machine, src_ip: u32, iface_hint: u32) -> Result<(u32, u32), AppError> {
+    fn translate(
+        &self,
+        m: &mut Machine,
+        src_ip: u32,
+        iface_hint: u32,
+    ) -> Result<(u32, u32), AppError> {
         let mut slot = src_ip % TABLE_CAP;
         // Linear probing, bounded by the table capacity (kept in a
         // register, so this loop cannot run away).

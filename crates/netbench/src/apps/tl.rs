@@ -70,10 +70,7 @@ pub(crate) fn setup_radix(
 }
 
 /// Converts a lookup result into the shared radix/route observations.
-pub(crate) fn lookup_observations(
-    result: &crate::radix::LookupResult,
-    obs: &mut Vec<Observation>,
-) {
+pub(crate) fn lookup_observations(result: &crate::radix::LookupResult, obs: &mut Vec<Observation>) {
     for node in result.visited.iter().take(VISIT_OBS_CAP) {
         obs.push(Observation::new(
             ErrorCategory::RadixTreeEntry,

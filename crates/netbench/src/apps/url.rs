@@ -69,7 +69,12 @@ impl Url {
 
     /// Parses the request line from the payload, returning the URL hash.
     /// The scan length comes from the (corruptible) header length field.
-    fn parse_url(&self, m: &mut Machine, pkt: PacketView, hdr: &ip::Header) -> Result<u32, AppError> {
+    fn parse_url(
+        &self,
+        m: &mut Machine,
+        pkt: PacketView,
+        hdr: &ip::Header,
+    ) -> Result<u32, AppError> {
         let payload = pkt.addr + HEADER_BYTES;
         let len = hdr.payload_len().min(PARSE_CAP);
         // Expect "GET " then hash until the next space.

@@ -35,7 +35,10 @@ impl Heap {
     ///
     /// Panics if `base` is zero (reserve null) or `base >= limit`.
     pub fn new(base: u32, limit: u32) -> Self {
-        assert!(base > 0, "heap base must be non-zero (0 is the null pointer)");
+        assert!(
+            base > 0,
+            "heap base must be non-zero (0 is the null pointer)"
+        );
         assert!(base < limit, "heap base must be below its limit");
         Heap { next: base, limit }
     }

@@ -248,7 +248,7 @@ pub(crate) fn prefix_mask(len: u8) -> u32 {
 }
 
 /// A generated trace: packets plus the control-plane inputs.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Trace {
     /// The packet stream.
     pub packets: Vec<Packet>,
@@ -258,6 +258,20 @@ pub struct Trace {
     pub urls: Vec<String>,
     /// Number of flows (DRR queue count).
     pub flow_count: usize,
+}
+
+impl Trace {
+    /// Content fingerprint of the trace, stable within a process.
+    ///
+    /// Used as a memoization key for golden runs (which depend only on
+    /// the application and the trace contents), so two structurally
+    /// equal traces must — and do — fingerprint identically.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
+    }
 }
 
 impl fmt::Display for Trace {
@@ -285,6 +299,16 @@ mod tests {
     }
 
     #[test]
+    fn fingerprint_tracks_content_equality() {
+        let a = TraceConfig::small().generate();
+        let b = TraceConfig::small().generate();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let mut c = a.clone();
+        c.packets[0].ttl ^= 1;
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
     fn different_seeds_differ() {
         let a = TraceConfig::small().generate();
         let b = TraceConfig::small().with_seed(1).generate();
@@ -295,9 +319,10 @@ mod tests {
     fn every_destination_matches_some_prefix() {
         let t = TraceConfig::small().generate();
         for p in &t.packets {
-            let matched = t.prefixes.iter().any(|r| {
-                r.len > 0 && (p.dst_ip & prefix_mask(r.len)) == r.prefix
-            });
+            let matched = t
+                .prefixes
+                .iter()
+                .any(|r| r.len > 0 && (p.dst_ip & prefix_mask(r.len)) == r.prefix);
             assert!(matched, "dst {:#010x} matches no prefix", p.dst_ip);
         }
     }

@@ -228,7 +228,10 @@ fn corrupted_url_table_falls_back_to_default_server() {
             url_errors += 1;
         }
     }
-    assert!(url_errors > 0, "a zeroed switching table must misroute URLs");
+    assert!(
+        url_errors > 0,
+        "a zeroed switching table must misroute URLs"
+    );
 }
 
 #[test]

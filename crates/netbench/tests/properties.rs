@@ -3,8 +3,7 @@
 //! discipline and observation diffing.
 
 use netbench::{
-    diff_observations, ErrorCategory, Heap, Machine, Observation, Packet, PrefixRoute,
-    RadixTable,
+    diff_observations, ErrorCategory, Heap, Machine, Observation, Packet, PrefixRoute, RadixTable,
 };
 use proptest::prelude::*;
 

@@ -6,8 +6,8 @@
 //! cargo run --release -p clumsy-examples --bin adaptive_tuning
 //! ```
 
-use clumsy_core::{ClumsyConfig, ClumsyProcessor, DynamicConfig};
 use cache_sim::{DetectionScheme, StrikePolicy};
+use clumsy_core::{ClumsyConfig, ClumsyProcessor, DynamicConfig};
 use netbench::{AppKind, TraceConfig};
 
 fn main() {
@@ -18,7 +18,10 @@ fn main() {
         .with_dynamic(DynamicConfig::paper());
     let report = ClumsyProcessor::new(cfg).run(AppKind::Md5, &trace);
 
-    println!("dynamic frequency adaptation on md5 ({} packets)\n", trace.packets.len());
+    println!(
+        "dynamic frequency adaptation on md5 ({} packets)\n",
+        trace.packets.len()
+    );
     println!("controller: 100-packet epochs, X1 = 200%, X2 = 80%");
     println!("frequency trace (packet -> relative cycle time):");
     for (pkt, cr) in &report.freq_trace {

@@ -28,14 +28,27 @@ fn main() {
     let trace = TraceConfig::paper().generate();
     let metric = EdfMetric::paper();
     let golden = ClumsyProcessor::golden(kind, &trace);
-    let baseline = ClumsyProcessor::new(ClumsyConfig::baseline()).run_with_golden(kind, &trace, &golden);
+    let baseline =
+        ClumsyProcessor::new(ClumsyConfig::baseline()).run_with_golden(kind, &trace, &golden);
     let base_edf = baseline.edf(&metric);
 
     let schemes: [(&str, DetectionScheme, StrikePolicy); 4] = [
         ("none", DetectionScheme::None, StrikePolicy::one_strike()),
-        ("1-strike", DetectionScheme::Parity, StrikePolicy::one_strike()),
-        ("2-strike", DetectionScheme::Parity, StrikePolicy::two_strike()),
-        ("3-strike", DetectionScheme::Parity, StrikePolicy::three_strike()),
+        (
+            "1-strike",
+            DetectionScheme::Parity,
+            StrikePolicy::one_strike(),
+        ),
+        (
+            "2-strike",
+            DetectionScheme::Parity,
+            StrikePolicy::two_strike(),
+        ),
+        (
+            "3-strike",
+            DetectionScheme::Parity,
+            StrikePolicy::three_strike(),
+        ),
     ];
 
     println!("design space for {kind} (relative EDF^2; lower is better)\n");

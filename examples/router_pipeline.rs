@@ -19,7 +19,11 @@ fn main() {
     let stages = [AppKind::Nat, AppKind::Route, AppKind::Drr, AppKind::Crc];
     let metric = EdfMetric::paper();
 
-    println!("line card: {} packets through {} stages\n", trace.packets.len(), stages.len());
+    println!(
+        "line card: {} packets through {} stages\n",
+        trace.packets.len(),
+        stages.len()
+    );
     println!(
         "{:>6}  {:>12} {:>12} {:>8}  {:>12} {:>12} {:>8}  {:>8}",
         "stage", "cyc/pkt", "nJ/pkt", "fall", "cyc/pkt", "nJ/pkt", "fall", "rel EDF2"

@@ -23,8 +23,11 @@ fn main() {
     let paper_metric = EdfMetric::paper();
 
     let golden = ClumsyProcessor::golden(AppKind::Adpcm, &trace);
-    let baseline = ClumsyProcessor::new(ClumsyConfig::baseline())
-        .run_with_golden(AppKind::Adpcm, &trace, &golden);
+    let baseline = ClumsyProcessor::new(ClumsyConfig::baseline()).run_with_golden(
+        AppKind::Adpcm,
+        &trace,
+        &golden,
+    );
 
     println!(
         "wireless sensor node: adpcm voice compression over {} packets\n",

@@ -13,6 +13,5 @@ pub fn test_trace() -> Trace {
 /// A hot fault model that produces measurable (but not catastrophic)
 /// fault counts on small traces.
 pub fn hot_config() -> ClumsyConfig {
-    ClumsyConfig::baseline()
-        .with_fault_model(fault_model::FaultProbabilityModel::new(2e-6, 0.2))
+    ClumsyConfig::baseline().with_fault_model(fault_model::FaultProbabilityModel::new(2e-6, 0.2))
 }

@@ -42,8 +42,11 @@ fn golden_reference_is_design_point_independent() {
     let trace = test_trace();
     let golden = ClumsyProcessor::golden(AppKind::Nat, &trace);
     // Two very different design points measured against one golden.
-    let r1 = ClumsyProcessor::new(hot_config().with_static_cycle(0.25))
-        .run_with_golden(AppKind::Nat, &trace, &golden);
+    let r1 = ClumsyProcessor::new(hot_config().with_static_cycle(0.25)).run_with_golden(
+        AppKind::Nat,
+        &trace,
+        &golden,
+    );
     let r2 = ClumsyProcessor::new(
         hot_config()
             .with_detection(DetectionScheme::Parity)

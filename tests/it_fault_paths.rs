@@ -18,7 +18,10 @@ fn overclocking_raises_fault_counts_superlinearly() {
     };
     let f50 = faults(0.5);
     let f25 = faults(0.25);
-    assert!(f25 > 4 * f50.max(1), "expected superlinear rise: {f50} -> {f25}");
+    assert!(
+        f25 > 4 * f50.max(1),
+        "expected superlinear rise: {f50} -> {f25}"
+    );
 }
 
 #[test]
@@ -109,7 +112,10 @@ fn fatal_errors_happen_without_detection_at_extreme_clock_rates() {
         if let Some(info) = &r.fatal {
             fatals += 1;
             assert!(info.packet_index <= trace.packets.len());
-            assert_eq!(r.packets_completed.min(info.packet_index), r.packets_completed);
+            assert_eq!(
+                r.packets_completed.min(info.packet_index),
+                r.packets_completed
+            );
         }
     }
     assert!(fatals > 0, "extreme rates must eventually kill a run");

@@ -78,7 +78,10 @@ fn timing_improves_monotonically_with_frequency_until_quantization() {
     let d25 = delay(0.25);
     // ceil(2 * 0.75) = 2: no gain at 0.75; ceil(2 * 0.5) = 1: real gain;
     // ceil(2 * 0.25) = 1: no further gain over 0.5.
-    assert!((d75 - d100).abs() < d100 * 0.02, "quantized: {d100} vs {d75}");
+    assert!(
+        (d75 - d100).abs() < d100 * 0.02,
+        "quantized: {d100} vs {d75}"
+    );
     assert!(d50 < d100 * 0.95, "{d50} vs {d100}");
     assert!((d25 - d50).abs() < d50 * 0.05, "{d25} vs {d50}");
 }
