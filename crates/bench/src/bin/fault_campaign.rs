@@ -1,0 +1,161 @@
+//! Fault-outcome campaign: runs the paper's (application × strike
+//! policy × clock) design space under the crash-isolated campaign
+//! driver, classifies every trial with the four-way outcome taxonomy
+//! (masked / detected-recovered / detected-fatal / SDC), and records
+//! the per-cell SDC-rate CSV.
+//!
+//! `--smoke` instead runs a tiny self-check of the isolation machinery:
+//! a grid with one deliberately panicking design point must still
+//! return results for every healthy point and report the failure in the
+//! campaign's failure list, exiting 0. The smoke run writes no CSV.
+
+use clumsy_core::experiment::{paper_schemes, ExperimentOptions, GridPoint};
+use clumsy_core::{
+    run_campaign_on, CampaignConfig, ClumsyConfig, DynamicConfig, Engine, JobFailure,
+    PAPER_CYCLE_TIMES,
+};
+use netbench::{AppKind, TraceConfig};
+
+fn main() {
+    if std::env::args().skip(1).any(|a| a == "--smoke") {
+        smoke();
+    } else {
+        full();
+    }
+}
+
+/// The paper grid for one app set: every scheme × static clock.
+fn grid(apps: &[AppKind]) -> (Vec<(&'static str, &'static str, f64)>, Vec<GridPoint>) {
+    let mut labels = Vec::new();
+    let mut points = Vec::new();
+    for app in apps {
+        for (scheme, detection, strikes) in paper_schemes() {
+            for cr in PAPER_CYCLE_TIMES {
+                labels.push((app.name(), scheme, cr));
+                points.push(GridPoint::new(
+                    *app,
+                    ClumsyConfig::baseline()
+                        .with_detection(detection)
+                        .with_strikes(strikes)
+                        .with_static_cycle(cr),
+                ));
+            }
+        }
+    }
+    (labels, points)
+}
+
+fn full() {
+    let opts = ExperimentOptions::from_env();
+    let engine = Engine::from_env();
+    let trace = opts.trace.generate();
+    let (labels, points) = grid(&AppKind::all());
+    let report = run_campaign_on(&engine, &points, &trace, &opts, &CampaignConfig::default());
+
+    let rows: Vec<Vec<String>> = labels
+        .iter()
+        .zip(&report.aggregates)
+        .map(|(&(app, scheme, cr), agg)| {
+            let c = agg.outcome_counts();
+            vec![
+                app.to_string(),
+                format!("{cr:.2}"),
+                scheme.to_string(),
+                c.total().to_string(),
+                c.masked.to_string(),
+                c.detected_recovered.to_string(),
+                c.detected_fatal.to_string(),
+                c.sdc.to_string(),
+                clumsy_bench::f(c.sdc_rate()),
+            ]
+        })
+        .collect();
+    let header = [
+        "app",
+        "cr",
+        "scheme",
+        "trials",
+        "masked",
+        "detected_recovered",
+        "detected_fatal",
+        "sdc",
+        "sdc_rate",
+    ];
+    clumsy_bench::print_table(
+        "Fault-outcome taxonomy per (app, Cr, strike policy)",
+        &header,
+        &rows,
+    );
+    let path = clumsy_bench::write_csv("fault_campaign.csv", &header, &rows);
+    println!("\nwrote {}", path.display());
+
+    if !report.is_complete() {
+        eprintln!(
+            "\n{} of {} jobs failed:",
+            report.failures.len(),
+            report.total_jobs
+        );
+        for f in &report.failures {
+            let (app, scheme, cr) = labels[f.point];
+            eprintln!("  {app}/{scheme}/Cr={cr:.2}: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn smoke() {
+    let opts = ExperimentOptions {
+        trace: TraceConfig::small().with_packets(40),
+        trials: 1,
+        seed: 0x5EED,
+    };
+    let trace = opts.trace.generate();
+    // The middle point passes grid construction but panics inside its
+    // measured run (the dynamic controller rejects an empty level set).
+    let points = vec![
+        GridPoint::new(AppKind::Crc, ClumsyConfig::baseline()),
+        GridPoint::new(
+            AppKind::Tl,
+            ClumsyConfig::baseline().with_dynamic(DynamicConfig {
+                levels: Vec::new(),
+                ..DynamicConfig::paper()
+            }),
+        ),
+        GridPoint::new(AppKind::Route, ClumsyConfig::paper_best()),
+    ];
+    // The poison point's panic is expected — keep it out of the log,
+    // then restore the hook so the asserts below stay loud.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = run_campaign_on(
+        &Engine::from_env(),
+        &points,
+        &trace,
+        &opts,
+        &CampaignConfig::default(),
+    );
+    std::panic::set_hook(prev_hook);
+
+    assert_eq!(report.total_jobs, 3, "one trial per point");
+    assert_eq!(report.completed_jobs(), 2, "healthy points must survive");
+    assert_eq!(report.aggregates[0].runs.len(), 1);
+    assert!(report.aggregates[1].runs.is_empty());
+    assert_eq!(report.aggregates[2].runs.len(), 1);
+    assert_eq!(report.failures.len(), 1, "the crash must be recorded");
+    let failure = &report.failures[0];
+    assert_eq!(failure.point, 1);
+    assert!(
+        matches!(&failure.failure, JobFailure::Panicked(msg) if msg.contains("frequency level")),
+        "unexpected failure: {failure}"
+    );
+    for agg in [&report.aggregates[0], &report.aggregates[2]] {
+        let c = agg.outcome_counts();
+        assert_eq!(c.total(), 1, "surviving trials classify");
+    }
+    println!(
+        "smoke ok: campaign returned {}/{} jobs and recorded `{}`",
+        report.completed_jobs(),
+        report.total_jobs,
+        failure
+    );
+}

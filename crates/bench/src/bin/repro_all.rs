@@ -22,6 +22,7 @@ const BINARIES: &[&str] = &[
     "fig7_nat_errors",
     "fig8_fatal_errors",
     "fig9_12_edf",
+    "fault_campaign",
     "edx_no_fallibility",
     "cache_energy_sweep",
     "ablation_beta",

@@ -299,6 +299,31 @@ impl DataCache {
         false
     }
 
+    /// XORs `mask` into the stored tag of the line the lookup of `addr`
+    /// lands on — the hit line, or the (valid) victim line on a miss.
+    /// Models a fault in the tag array consulted by the lookup: the
+    /// corrupted line keeps its data (and dirty state) but now answers
+    /// to the aliased address, so the true address false-misses and the
+    /// alias false-hits stale data.
+    ///
+    /// Returns whether a valid line's tag was corrupted.
+    pub(crate) fn corrupt_tag(&mut self, addr: u32, mask: u32) -> bool {
+        if mask == 0 {
+            return false;
+        }
+        let way = match self.lookup(addr) {
+            Lookup::Hit(way) | Lookup::Miss(way) => way,
+        };
+        let set = self.geom.set_of(addr);
+        let idx = self.line_index(set, way);
+        let line = &mut self.lines[idx];
+        if !line.valid {
+            return false;
+        }
+        line.tag ^= mask;
+        true
+    }
+
     /// Host write: if the word is resident, overwrite data and parity
     /// (intended == stored) without touching LRU or dirty state.
     /// Returns whether the word was resident.
@@ -564,6 +589,28 @@ mod tests {
         assert!(c.invalidate(0x100));
         assert!(!c.contains(0x100));
         assert!(!c.invalidate(0x100), "second invalidate is a no-op");
+    }
+
+    #[test]
+    fn corrupt_tag_aliases_a_resident_line() {
+        let mut c = DataCache::new(l1());
+        c.fill(0x100, 0, &[7; 32]);
+        // Flip tag bit 0: the line now answers to 0x100 + 4 KB.
+        assert!(c.corrupt_tag(0x100, 1));
+        assert!(!c.contains(0x100), "true address must false-miss");
+        assert!(c.contains(0x100 + 4096), "alias must false-hit");
+        // A second corruption through the alias flips it back.
+        assert!(c.corrupt_tag(0x100 + 4096, 1));
+        assert!(c.contains(0x100));
+    }
+
+    #[test]
+    fn corrupt_tag_ignores_invalid_lines_and_zero_masks() {
+        let mut c = DataCache::new(l1());
+        assert!(!c.corrupt_tag(0x100, 1), "empty cache: nothing to corrupt");
+        c.fill(0x100, 0, &[0; 32]);
+        assert!(!c.corrupt_tag(0x100, 0), "zero mask is a no-op");
+        assert!(c.contains(0x100));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Memory-system configuration.
 
 use crate::cache::CacheGeometry;
-use crate::policy::{DetectionScheme, RecoveryGranularity, StrikePolicy};
+use crate::policy::{DetectionScheme, FaultTargets, RecoveryGranularity, StrikePolicy};
 use energy_model::EnergyModel;
 use fault_model::{FaultProbabilityModel, SamplingMode, VoltageSwingCurve};
 
@@ -45,6 +45,10 @@ pub struct MemConfig {
     pub detection: DetectionScheme,
     /// Recovery policy on detected faults.
     pub strikes: StrikePolicy,
+    /// Which L1 SRAM arrays injection targets. The default (data only)
+    /// is the paper's model; tag/parity targets are opt-in and draw no
+    /// randomness while off, keeping default runs bitwise stable.
+    pub targets: FaultTargets,
     /// How much state a strike-exhausted recovery discards.
     pub recovery: RecoveryGranularity,
     /// Per-bit fault probability model.
@@ -76,6 +80,7 @@ impl MemConfig {
             quantize_latency: true,
             detection: DetectionScheme::None,
             strikes: StrikePolicy::two_strike(),
+            targets: FaultTargets::data_only(),
             recovery: RecoveryGranularity::Line,
             fault_model: FaultProbabilityModel::calibrated(),
             sampling: SamplingMode::default(),
@@ -100,6 +105,12 @@ impl MemConfig {
     /// Returns the config with a different recovery granularity.
     pub fn with_recovery(mut self, recovery: RecoveryGranularity) -> Self {
         self.recovery = recovery;
+        self
+    }
+
+    /// Returns the config with different injection targets.
+    pub fn with_targets(mut self, targets: FaultTargets) -> Self {
+        self.targets = targets;
         self
     }
 
@@ -151,9 +162,16 @@ mod tests {
         let cfg = MemConfig::strongarm()
             .with_detection(DetectionScheme::Parity)
             .with_strikes(StrikePolicy::three_strike())
+            .with_targets(FaultTargets::all())
             .with_backing_bytes(1 << 20);
         assert_eq!(cfg.detection, DetectionScheme::Parity);
         assert_eq!(cfg.strikes.max_attempts(), 3);
+        assert_eq!(cfg.targets, FaultTargets::all());
         assert_eq!(cfg.backing_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn default_targets_are_data_only() {
+        assert_eq!(MemConfig::strongarm().targets, FaultTargets::data_only());
     }
 }

@@ -11,7 +11,11 @@ use crate::policy::{DetectionScheme, RecoveryGranularity};
 use crate::stats::MemStats;
 use crate::WORD_BITS;
 use energy_model::EnergyBreakdown;
-use fault_model::FaultSampler;
+use fault_model::{FaultEvent, FaultSampler};
+
+/// Width in bits of the stored per-word parity signature (one even-parity
+/// bit per byte; word parity is the XOR of the four bits).
+const PARITY_SIG_BITS: u32 = 4;
 
 /// The simulated memory hierarchy a packet program runs against.
 ///
@@ -51,12 +55,23 @@ pub struct MemSystem {
     stats: MemStats,
     cycles: f64,
     energy: EnergyBreakdown,
+    /// Bits of the stored tag that actually address the backing store
+    /// (the address space is mirrored above it), used as the sampling
+    /// width for tag-array faults so an aliased writeback stays in
+    /// range. 10 bits for the default 4 MiB / 4 KB-direct-mapped config.
+    tag_width: u32,
 }
 
 impl MemSystem {
     /// Creates a memory system at the full-swing clock (`Cr = 1`).
     pub fn new(cfg: MemConfig, seed: u64) -> Self {
         let sampler = FaultSampler::with_mode(cfg.fault_model, seed, cfg.sampling);
+        let backing_bits = (cfg.backing_bytes as u64).trailing_zeros();
+        let line_bits = cfg.l1.line_size().trailing_zeros();
+        let set_bits = cfg.l1.sets().trailing_zeros();
+        let tag_width = backing_bits
+            .saturating_sub(line_bits + set_bits)
+            .clamp(1, 32);
         MemSystem {
             l1: DataCache::new(cfg.l1),
             l2: TagCache::new(cfg.l2),
@@ -67,8 +82,15 @@ impl MemSystem {
             stats: MemStats::default(),
             cycles: 0.0,
             energy: EnergyBreakdown::default(),
+            tag_width,
             cfg,
         }
+    }
+
+    /// Width in bits of the tag-fault sampling window (the tag bits that
+    /// address the backing store).
+    pub fn tag_width(&self) -> u32 {
+        self.tag_width
     }
 
     /// The configuration in use.
@@ -169,9 +191,27 @@ impl MemSystem {
         }
     }
 
+    /// Opt-in tag-array injection: every lookup consults the tag SRAM,
+    /// so a fault here *persistently* re-labels the line the lookup
+    /// lands on. The true address then false-misses (refilling a second
+    /// copy — and, if the re-labelled line was dirty, eventually writing
+    /// it back to the aliased address), while the alias false-hits stale
+    /// data. Sampling width is [`MemSystem::tag_width`] so aliased
+    /// writebacks stay inside the backing store.
+    fn maybe_corrupt_tag(&mut self, addr: u32) {
+        let fault = self.sampler.sample_aux(self.tag_width);
+        if fault.is_fault() {
+            self.stats.tag_faults_injected += 1;
+            self.l1.corrupt_tag(addr, fault.mask());
+        }
+    }
+
     /// Brings the line containing `addr` into L1, charging miss costs;
     /// returns the way.
     fn ensure_resident(&mut self, addr: u32) -> Result<usize, MemError> {
+        if self.cfg.targets.tag {
+            self.maybe_corrupt_tag(addr);
+        }
         match self.l1.lookup(addr) {
             Lookup::Hit(way) => {
                 self.stats.l1_hits += 1;
@@ -275,10 +315,27 @@ impl MemSystem {
         let max_attempts = self.cfg.strikes.max_attempts();
         let mut attempt = 1u8;
         loop {
-            let (stored, stored_parity) = self.l1.read_word(addr, way);
-            let fault = self.sampler.sample(WORD_BITS);
+            let (stored, mut stored_parity) = self.l1.read_word(addr, way);
+            let fault = if self.cfg.targets.data {
+                self.sampler.sample(WORD_BITS)
+            } else {
+                FaultEvent::none()
+            };
             if fault.is_fault() {
                 self.stats.faults_injected += 1;
+            }
+            // Opt-in parity-bit injection: the stored signature is read
+            // from the same over-clocked SRAM as the data, so it can be
+            // corrupted *transiently* on this attempt — raising a false
+            // strike on clean data, or cancelling a genuine data fault
+            // (a missed detection). Only meaningful when detection
+            // hardware actually compares the signature.
+            if self.cfg.targets.parity && self.cfg.detection.is_enabled() {
+                let pfault = self.sampler.sample_aux(PARITY_SIG_BITS);
+                if pfault.is_fault() {
+                    self.stats.parity_faults_injected += 1;
+                    stored_parity ^= pfault.mask() as u8;
+                }
             }
             let value = stored ^ fault.mask();
             match self.cfg.detection {
@@ -362,7 +419,11 @@ impl MemSystem {
     }
 
     fn store_word(&mut self, addr: u32, way: usize, intended: u32) -> Result<(), MemError> {
-        let fault = self.sampler.sample(WORD_BITS);
+        let fault = if self.cfg.targets.data {
+            self.sampler.sample(WORD_BITS)
+        } else {
+            FaultEvent::none()
+        };
         let stored = intended ^ fault.mask();
         if fault.is_fault() {
             self.stats.faults_injected += 1;
@@ -909,6 +970,143 @@ mod tests {
         m.advance(100.0);
         m.advance(0.5);
         assert!((m.cycles() - 100.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tag_width_matches_backing_and_geometry() {
+        // 4 MiB backing (22 bits) − 5 line bits − 7 set bits = 10.
+        assert_eq!(quiet().tag_width(), 10);
+        let small = MemSystem::new(MemConfig::strongarm().with_backing_bytes(1 << 20), 1);
+        assert_eq!(small.tag_width(), 8);
+    }
+
+    #[test]
+    fn tag_faults_cause_extra_misses() {
+        use crate::policy::FaultTargets;
+        // Tag-only injection, no detection: the only disturbance is
+        // lookup aliasing, so any extra misses over the golden access
+        // pattern come from corrupted tags.
+        let run = |tag: bool| {
+            let targets = FaultTargets {
+                data: false,
+                tag,
+                parity: false,
+            };
+            let cfg = MemConfig::strongarm()
+                .with_targets(targets)
+                .with_fault_model(FaultProbabilityModel::new(0.005, 0.0));
+            let mut m = MemSystem::new(cfg, 5);
+            for i in 0..20_000u32 {
+                let a = (i % 64) * 4;
+                m.write_u32(a, i).unwrap();
+                let _ = m.read_u32(a).unwrap();
+            }
+            (m.stats().tag_faults_injected, m.stats().l1_misses)
+        };
+        let (f0, m0) = run(false);
+        let (f1, m1) = run(true);
+        assert_eq!(f0, 0);
+        assert!(f1 > 0, "tag faults must fire at this rate");
+        assert!(m1 > m0, "corrupted tags must false-miss: {m1} vs {m0}");
+    }
+
+    #[test]
+    fn tag_fault_writebacks_stay_in_range() {
+        use crate::policy::FaultTargets;
+        // Dirty lines with corrupted tags are eventually written back to
+        // the aliased address; the clamped tag width must keep every
+        // such base inside the backing store (no OutOfRange errors).
+        let cfg = MemConfig::strongarm()
+            .with_targets(FaultTargets::data_only().with_tag(true))
+            .with_fault_model(FaultProbabilityModel::new(0.01, 0.0));
+        let mut m = MemSystem::new(cfg, 11);
+        for i in 0..40_000u32 {
+            // Two conflicting lines force regular evictions of dirty data.
+            let a = (i % 64) * 4 + if i % 2 == 0 { 0 } else { 4096 };
+            m.write_u32(a, i).unwrap();
+            let _ = m.read_u32(a).unwrap();
+        }
+        assert!(m.stats().tag_faults_injected > 0);
+        assert!(m.stats().writebacks > 0);
+    }
+
+    #[test]
+    fn parity_bit_faults_raise_false_strikes_on_clean_data() {
+        use crate::policy::FaultTargets;
+        // Parity-bit injection only (data array perfect): every detected
+        // fault is a false strike caused by a corrupted signature.
+        let cfg = MemConfig::strongarm()
+            .with_detection(DetectionScheme::Parity)
+            .with_strikes(StrikePolicy::two_strike())
+            .with_targets(FaultTargets {
+                data: false,
+                tag: false,
+                parity: true,
+            })
+            .with_fault_model(FaultProbabilityModel::new(0.01, 0.0));
+        let mut m = MemSystem::new(cfg, 7);
+        for i in 0..64u32 {
+            m.host_write_u32(i * 4, i).unwrap();
+        }
+        for i in 0..50_000u32 {
+            let a = i % 64;
+            // The data array never lies, and strike fallbacks return
+            // backing truth, so reads are always correct.
+            assert_eq!(m.read_u32(a * 4).unwrap(), a);
+        }
+        assert_eq!(m.stats().faults_injected, 0, "data array is clean");
+        assert!(m.stats().parity_faults_injected > 0);
+        assert!(
+            m.stats().faults_detected > 0,
+            "corrupted signatures must raise false strikes"
+        );
+        assert!(m.stats().strike_retries > 0);
+    }
+
+    #[test]
+    fn parity_bit_faults_are_inert_without_detection_hardware() {
+        use crate::policy::FaultTargets;
+        // With no comparator the stored signature is never consulted, so
+        // the parity target draws nothing and changes nothing.
+        let cfg = MemConfig::strongarm()
+            .with_targets(FaultTargets {
+                data: false,
+                tag: false,
+                parity: true,
+            })
+            .with_fault_model(FaultProbabilityModel::new(0.05, 0.0));
+        let mut m = MemSystem::new(cfg, 13);
+        for i in 0..10_000u32 {
+            let a = (i % 64) * 4;
+            m.write_u32(a, i).unwrap();
+            assert_eq!(m.read_u32(a).unwrap(), i);
+        }
+        assert_eq!(m.stats().parity_faults_injected, 0);
+        assert_eq!(m.stats().faults_detected, 0);
+    }
+
+    #[test]
+    fn default_targets_match_explicit_data_only_bitwise() {
+        use crate::policy::FaultTargets;
+        let run = |cfg: MemConfig| {
+            let mut m = MemSystem::new(cfg, 77);
+            let mut acc = 0u64;
+            for i in 0..5_000u32 {
+                let a = (i % 128) * 4;
+                m.write_u32(a, i).unwrap();
+                acc = acc
+                    .wrapping_mul(31)
+                    .wrapping_add(u64::from(m.read_u32(a).unwrap()));
+            }
+            (acc, m.stats().faults_injected, m.cycles().to_bits())
+        };
+        let noisy_cfg = MemConfig::strongarm()
+            .with_detection(DetectionScheme::Parity)
+            .with_fault_model(FaultProbabilityModel::new(0.02, 0.0));
+        assert_eq!(
+            run(noisy_cfg.clone()),
+            run(noisy_cfg.with_targets(FaultTargets::data_only()))
+        );
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub use config::MemConfig;
 pub use error::MemError;
 pub use fault_model::SamplingMode;
 pub use hierarchy::MemSystem;
-pub use policy::{DetectionScheme, RecoveryGranularity, StrikePolicy};
+pub use policy::{DetectionScheme, FaultTargets, RecoveryGranularity, StrikePolicy};
 pub use stats::MemStats;
 
 /// Standard machine word width in bits (the paper protects each 32-bit

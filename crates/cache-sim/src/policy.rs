@@ -41,6 +41,99 @@ impl fmt::Display for DetectionScheme {
     }
 }
 
+/// Which L1 SRAM arrays fault injection targets.
+///
+/// The paper injects into the **data** array only, but the tag array
+/// and the parity bits are built from the same over-clocked SRAM. A
+/// flipped *tag* bit makes a resident line unreachable under its true
+/// address (a false miss — and, if the line was dirty, a writeback to
+/// the aliased address) or lets another address false-hit stale data. A
+/// flipped *parity* bit either raises a false strike on clean data or
+/// cancels a genuine data fault, turning a detectable corruption into a
+/// silent one.
+///
+/// The default is data-only: the extra targets are opt-in so the
+/// recorded reproduction numbers stay bitwise stable (no additional
+/// randomness is drawn while they are off).
+///
+/// # Examples
+///
+/// ```
+/// use cache_sim::FaultTargets;
+///
+/// let t = FaultTargets::default();
+/// assert!(t.data && !t.tag && !t.parity);
+/// let all = FaultTargets::all();
+/// assert!(all.tag && all.parity);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultTargets {
+    /// Inject into the data array (the paper's model).
+    pub data: bool,
+    /// Also inject into the tag array consulted by every lookup.
+    pub tag: bool,
+    /// Also inject into the stored parity signature read alongside each
+    /// word (only meaningful when a [`DetectionScheme`] is enabled).
+    pub parity: bool,
+}
+
+impl FaultTargets {
+    /// The paper's model: data array only.
+    pub fn data_only() -> Self {
+        FaultTargets {
+            data: true,
+            tag: false,
+            parity: false,
+        }
+    }
+
+    /// Every array: data, tag and parity.
+    pub fn all() -> Self {
+        FaultTargets {
+            data: true,
+            tag: true,
+            parity: true,
+        }
+    }
+
+    /// Returns the targets with tag-array injection switched.
+    pub fn with_tag(mut self, tag: bool) -> Self {
+        self.tag = tag;
+        self
+    }
+
+    /// Returns the targets with parity-bit injection switched.
+    pub fn with_parity(mut self, parity: bool) -> Self {
+        self.parity = parity;
+        self
+    }
+}
+
+impl Default for FaultTargets {
+    fn default() -> Self {
+        FaultTargets::data_only()
+    }
+}
+
+impl fmt::Display for FaultTargets {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        if self.data {
+            parts.push("data");
+        }
+        if self.tag {
+            parts.push("tag");
+        }
+        if self.parity {
+            parts.push("parity");
+        }
+        if parts.is_empty() {
+            parts.push("none");
+        }
+        f.write_str(&parts.join("+"))
+    }
+}
+
 /// Granularity of the state discarded when the strike policy gives up
 /// and restores from L2.
 ///
@@ -210,6 +303,23 @@ mod tests {
         assert_eq!(RecoveryGranularity::default(), RecoveryGranularity::Line);
         assert_eq!(format!("{}", RecoveryGranularity::Line), "line");
         assert_eq!(format!("{}", RecoveryGranularity::Word), "word");
+    }
+
+    #[test]
+    fn fault_targets_default_and_labels() {
+        assert_eq!(FaultTargets::default(), FaultTargets::data_only());
+        assert_eq!(format!("{}", FaultTargets::data_only()), "data");
+        assert_eq!(
+            format!("{}", FaultTargets::data_only().with_tag(true)),
+            "data+tag"
+        );
+        assert_eq!(format!("{}", FaultTargets::all()), "data+tag+parity");
+        let none = FaultTargets {
+            data: false,
+            tag: false,
+            parity: false,
+        };
+        assert_eq!(format!("{none}"), "none");
     }
 
     #[test]

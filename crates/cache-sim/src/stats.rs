@@ -34,6 +34,12 @@ pub struct MemStats {
     pub l2_misses: u64,
     /// Fault events injected into accesses.
     pub faults_injected: u64,
+    /// Fault events injected into the tag array (opt-in
+    /// [`FaultTargets::tag`](crate::FaultTargets) only).
+    pub tag_faults_injected: u64,
+    /// Fault events injected into stored parity signatures (opt-in
+    /// [`FaultTargets::parity`](crate::FaultTargets) only).
+    pub parity_faults_injected: u64,
     /// Faults flagged by parity.
     pub faults_detected: u64,
     /// Fault events that escaped detection (either no detection hardware
@@ -93,6 +99,8 @@ impl MemStats {
             l2_accesses: self.l2_accesses - earlier.l2_accesses,
             l2_misses: self.l2_misses - earlier.l2_misses,
             faults_injected: self.faults_injected - earlier.faults_injected,
+            tag_faults_injected: self.tag_faults_injected - earlier.tag_faults_injected,
+            parity_faults_injected: self.parity_faults_injected - earlier.parity_faults_injected,
             faults_detected: self.faults_detected - earlier.faults_detected,
             faults_undetected: self.faults_undetected - earlier.faults_undetected,
             strike_retries: self.strike_retries - earlier.strike_retries,

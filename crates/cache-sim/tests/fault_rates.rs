@@ -1,0 +1,90 @@
+//! Statistical acceptance tests for the opt-in tag/parity fault
+//! targets: the observed per-access fault rates must match the
+//! configured per-bit probability (via the sampler's own event
+//! probabilities) under a chi-square goodness-of-fit test.
+
+use cache_sim::{DetectionScheme, FaultTargets, MemConfig, MemSystem, StrikePolicy};
+use fault_model::{FaultProbabilityModel, FaultSampler};
+
+/// Chi-square statistic for a two-bin (fault / no-fault) experiment,
+/// one degree of freedom.
+fn chi_square_2bin(observed: u64, trials: u64, p: f64) -> f64 {
+    let exp_hit = trials as f64 * p;
+    let exp_miss = trials as f64 - exp_hit;
+    let obs_hit = observed as f64;
+    let obs_miss = (trials - observed) as f64;
+    (obs_hit - exp_hit).powi(2) / exp_hit + (obs_miss - exp_miss).powi(2) / exp_miss
+}
+
+/// Critical value at p = 0.001 with 1 degree of freedom: a correct
+/// implementation fails this roughly once per thousand seeds.
+const CHI2_CRIT: f64 = 10.83;
+
+#[test]
+fn tag_fault_rate_matches_configured_probability() {
+    // Tag-only injection: exactly one tag-width sample per access.
+    let model = FaultProbabilityModel::new(0.002, 0.0);
+    let cfg = MemConfig::strongarm()
+        .with_targets(FaultTargets {
+            data: false,
+            tag: true,
+            parity: false,
+        })
+        .with_fault_model(model);
+    let sampling = cfg.sampling;
+    let mut m = MemSystem::new(cfg, 0xACCE55);
+    assert_eq!(m.tag_width(), 10);
+    let reference = FaultSampler::with_mode(model, 0, sampling);
+    let p = reference.aux_fault_probability(10);
+    assert!(p > 0.0);
+
+    let trials = 200_000u64;
+    for i in 0..trials {
+        let a = ((i % 64) * 4) as u32;
+        let _ = m.read_u32(a).unwrap();
+    }
+    let observed = m.stats().tag_faults_injected;
+    let chi2 = chi_square_2bin(observed, trials, p);
+    assert!(
+        chi2 < CHI2_CRIT,
+        "tag rate off: observed {observed}/{trials}, expected p={p}, chi2={chi2}"
+    );
+}
+
+#[test]
+fn parity_bit_fault_rate_matches_configured_probability() {
+    // Parity-only injection under a one-strike policy: the read loop
+    // runs exactly once per access (a detected fault falls straight
+    // back to L2), so there is exactly one 4-bit signature sample per
+    // read.
+    let model = FaultProbabilityModel::new(0.005, 0.0);
+    let cfg = MemConfig::strongarm()
+        .with_detection(DetectionScheme::Parity)
+        .with_strikes(StrikePolicy::one_strike())
+        .with_targets(FaultTargets {
+            data: false,
+            tag: false,
+            parity: true,
+        })
+        .with_fault_model(model);
+    let sampling = cfg.sampling;
+    let mut m = MemSystem::new(cfg, 0x5160);
+    let reference = FaultSampler::with_mode(model, 0, sampling);
+    let p = reference.aux_fault_probability(4);
+    assert!(p > 0.0);
+
+    for i in 0..64u32 {
+        m.host_write_u32(i * 4, i).unwrap();
+    }
+    let trials = 200_000u64;
+    for i in 0..trials {
+        let a = ((i % 64) * 4) as u32;
+        let _ = m.read_u32(a).unwrap();
+    }
+    let observed = m.stats().parity_faults_injected;
+    let chi2 = chi_square_2bin(observed, trials, p);
+    assert!(
+        chi2 < CHI2_CRIT,
+        "parity rate off: observed {observed}/{trials}, expected p={p}, chi2={chi2}"
+    );
+}

@@ -136,6 +136,43 @@ proptest! {
         prop_assert!(mem.energy().total_nj() > 0.0);
     }
 
+    /// Robustness: with injection enabled on *every* target (data, tag
+    /// and parity) at a brutal fault rate, arbitrary access sequences —
+    /// including misaligned and out-of-range addresses — may return
+    /// errors but must never panic the simulator.
+    #[test]
+    fn injecting_system_never_panics(
+        seed in any::<u64>(),
+        strikes in 1u8..4,
+        detection in prop_oneof![
+            Just(DetectionScheme::None),
+            Just(DetectionScheme::Parity),
+            Just(DetectionScheme::ParityPerByte),
+        ],
+        ops in prop::collection::vec(
+            (0u32..3, any::<u32>(), any::<u32>()),
+            1..200,
+        ),
+    ) {
+        let cfg = MemConfig::strongarm()
+            .with_detection(detection)
+            .with_strikes(StrikePolicy::with_strikes(strikes))
+            .with_targets(cache_sim::FaultTargets::all())
+            .with_fault_model(FaultProbabilityModel::new(0.02, 0.0));
+        let mut mem = MemSystem::new(cfg, seed);
+        for &(kind, addr, value) in &ops {
+            // Raw addresses: misaligned and out-of-range on purpose.
+            match kind {
+                0 => { let _ = mem.read_u32(addr); }
+                1 => { let _ = mem.write_u32(addr, value); }
+                _ => { let _ = mem.read_u8(addr); }
+            }
+        }
+        // The run must stay internally consistent even after errors.
+        let s = mem.stats();
+        prop_assert_eq!(s.l1_hits + s.l1_misses <= s.accesses(), true);
+    }
+
     /// Geometry round-trip: (tag, set, offset) reconstructs the address.
     #[test]
     fn geometry_decomposition_inverts(

@@ -2,9 +2,11 @@
 
 use crate::args::{ArgError, Args};
 use crate::json::{array, JsonObject};
-use cache_sim::{DetectionScheme, RecoveryGranularity, StrikePolicy};
-use clumsy_core::experiment::{run_config_on_trace, ExperimentOptions};
-use clumsy_core::{ClumsyConfig, DynamicConfig, PAPER_CYCLE_TIMES};
+use cache_sim::{DetectionScheme, FaultTargets, RecoveryGranularity, StrikePolicy};
+use clumsy_core::experiment::{paper_schemes, run_config_on_trace, ExperimentOptions, GridPoint};
+use clumsy_core::{
+    run_campaign_on, CampaignConfig, ClumsyConfig, DynamicConfig, PAPER_CYCLE_TIMES,
+};
 use energy_model::EdfMetric;
 use fault_model::{FaultProbabilityModel, VoltageSwingCurve};
 use netbench::{AppKind, Trace, TraceConfig};
@@ -16,6 +18,13 @@ pub enum CliError {
     Args(ArgError),
     /// Unknown subcommand.
     UnknownCommand(String),
+    /// An output file could not be written.
+    Io {
+        /// The path that failed.
+        path: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
 }
 
 impl std::fmt::Display for CliError {
@@ -25,6 +34,7 @@ impl std::fmt::Display for CliError {
             CliError::UnknownCommand(c) => {
                 write!(f, "unknown command {c:?} (try `clumsy help`)")
             }
+            CliError::Io { path, source } => write!(f, "cannot write {path:?}: {source}"),
         }
     }
 }
@@ -46,6 +56,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
     match args.command() {
         "run" => run(args),
         "sweep" => sweep(args),
+        "campaign" => campaign(args),
         "trace" => trace_info(args),
         "model" => model(args),
         "apps" => Ok(apps_listing()),
@@ -66,6 +77,7 @@ USAGE:
 COMMANDS:
     run      run one application on one design point
     sweep    design-space grid (schemes x clocks) for one application
+    campaign crash-isolated outcome-taxonomy sweep (masked/recovered/fatal/SDC)
     repro    regenerate a paper experiment (table1 | fig8 | fig12b)
     trace    describe the synthetic packet trace
     model    print the fault-model operating points
@@ -86,6 +98,15 @@ RUN OPTIONS:
     --json                machine-readable output
 
 SWEEP OPTIONS: --app, --packets, --trials, --seed, --json
+
+CAMPAIGN OPTIONS:
+    --app <name|all>      one application or the whole Table I set (default all)
+    --fault-targets <t>   data | data+tag | data+parity | all (default data)
+    --deadline-ms <n>     per-trial wall-clock budget (default: none)
+    --retries <n>         reseeded retries per failing trial (default 1)
+    --csv <path>          also write the per-cell counts as CSV
+    --packets/--trials/--seed/--jobs/--json as for repro
+
 TRACE OPTIONS: --packets, --seed
 MODEL OPTIONS: --beta <f> (default calibrated 0.20)
 REPRO OPTIONS: --experiment <table1|fig8|fig12b>, --packets, --trials, --seed,
@@ -316,7 +337,13 @@ fn run(args: &Args) -> Result<String, CliError> {
             .number("nj_per_packet", agg.energy_per_packet())
             .number("relative_edf2", rel)
             .integer("faults_injected", r.stats.faults_injected)
-            .integer("faults_detected", r.stats.faults_detected);
+            .integer("faults_detected", r.stats.faults_detected)
+            .string("outcome", r.outcome().label());
+        let oc = agg.outcome_counts();
+        o.integer("trials_masked", oc.masked)
+            .integer("trials_detected_recovered", oc.detected_recovered)
+            .integer("trials_detected_fatal", oc.detected_fatal)
+            .integer("trials_sdc", oc.sdc);
         return Ok(o.finish());
     }
 
@@ -332,6 +359,190 @@ fn run(args: &Args) -> Result<String, CliError> {
         agg.energy_per_packet(),
         rel
     ));
+    Ok(out)
+}
+
+/// Parses `--fault-targets` into the opt-in injection target set.
+fn parse_targets(args: &Args) -> Result<FaultTargets, CliError> {
+    match args.get("fault-targets").unwrap_or("data") {
+        "data" => Ok(FaultTargets::data_only()),
+        "data+tag" => Ok(FaultTargets::data_only().with_tag(true)),
+        "data+parity" => Ok(FaultTargets::data_only().with_parity(true)),
+        "all" => Ok(FaultTargets::all()),
+        other => Err(CliError::Args(ArgError::BadValue {
+            option: "fault-targets".into(),
+            value: other.into(),
+            expected: "data | data+tag | data+parity | all",
+        })),
+    }
+}
+
+const CAMPAIGN_OPTIONS: &[&str] = &[
+    "app",
+    "packets",
+    "trials",
+    "seed",
+    "jobs",
+    "fault-targets",
+    "deadline-ms",
+    "retries",
+    "csv",
+    "json",
+];
+
+/// One (app, scheme, Cr) cell of the campaign grid.
+struct CampaignCell {
+    app: &'static str,
+    scheme: &'static str,
+    cr: f64,
+    counts: clumsy_core::OutcomeCounts,
+}
+
+fn campaign(args: &Args) -> Result<String, CliError> {
+    args.expect_only(CAMPAIGN_OPTIONS)?;
+    let (trace, opts) = parse_trace(args)?;
+    let engine = parse_engine(args)?;
+    let targets = parse_targets(args)?;
+    let apps: Vec<AppKind> = match args.get("app") {
+        None | Some("all") => AppKind::all().to_vec(),
+        Some(_) => vec![parse_app(args)?],
+    };
+    let mut ccfg = CampaignConfig::default().with_retries(args.get_parsed(
+        "retries",
+        1u32,
+        "a retry count",
+    )?);
+    if args.get("deadline-ms").is_some() {
+        let ms: u64 = args.get_parsed("deadline-ms", 0, "a millisecond budget of at least 1")?;
+        if ms == 0 {
+            return Err(CliError::Args(ArgError::BadValue {
+                option: "deadline-ms".into(),
+                value: "0".into(),
+                expected: "a millisecond budget of at least 1",
+            }));
+        }
+        ccfg = ccfg.with_deadline(std::time::Duration::from_millis(ms));
+    }
+
+    // The paper's design space: every recovery scheme x static clock,
+    // with the requested injection targets.
+    let mut labels: Vec<(&'static str, &'static str, f64)> = Vec::new();
+    let mut points: Vec<GridPoint> = Vec::new();
+    for app in &apps {
+        for (scheme, detection, strikes) in paper_schemes() {
+            for cr in PAPER_CYCLE_TIMES {
+                labels.push((app.name(), scheme, cr));
+                points.push(GridPoint::new(
+                    *app,
+                    ClumsyConfig::baseline()
+                        .with_detection(detection)
+                        .with_strikes(strikes)
+                        .with_static_cycle(cr)
+                        .with_fault_targets(targets),
+                ));
+            }
+        }
+    }
+
+    let report = run_campaign_on(&engine, &points, &trace, &opts, &ccfg);
+    let cells: Vec<CampaignCell> = labels
+        .iter()
+        .zip(&report.aggregates)
+        .map(|(&(app, scheme, cr), agg)| CampaignCell {
+            app,
+            scheme,
+            cr,
+            counts: agg.outcome_counts(),
+        })
+        .collect();
+
+    if let Some(path) = args.get("csv") {
+        let mut csv = String::from(
+            "app,cr,scheme,trials,masked,detected_recovered,detected_fatal,sdc,sdc_rate\n",
+        );
+        for c in &cells {
+            csv.push_str(&format!(
+                "{},{:.2},{},{},{},{},{},{},{:.6}\n",
+                c.app,
+                c.cr,
+                c.scheme,
+                c.counts.total(),
+                c.counts.masked,
+                c.counts.detected_recovered,
+                c.counts.detected_fatal,
+                c.counts.sdc,
+                c.counts.sdc_rate()
+            ));
+        }
+        std::fs::write(path, csv).map_err(|source| CliError::Io {
+            path: path.to_string(),
+            source,
+        })?;
+    }
+
+    if args.flag("json") {
+        let cell_items = cells.iter().map(|c| {
+            let mut o = JsonObject::new();
+            o.string("app", c.app)
+                .string("scheme", c.scheme)
+                .number("cr", c.cr)
+                .integer("trials", c.counts.total())
+                .integer("masked", c.counts.masked)
+                .integer("detected_recovered", c.counts.detected_recovered)
+                .integer("detected_fatal", c.counts.detected_fatal)
+                .integer("sdc", c.counts.sdc)
+                .number("sdc_rate", c.counts.sdc_rate());
+            o.finish()
+        });
+        let failure_items = report.failures.iter().map(|f| {
+            let mut o = JsonObject::new();
+            o.integer("point", f.point as u64)
+                .integer("trial", u64::from(f.trial))
+                .integer("attempts", u64::from(f.attempts))
+                .string("failure", &f.failure.to_string());
+            o.finish()
+        });
+        let mut o = JsonObject::new();
+        o.string("fault_targets", &targets.to_string())
+            .integer("total_jobs", report.total_jobs as u64)
+            .integer("completed_jobs", report.completed_jobs() as u64)
+            .raw("cells", &array(cell_items))
+            .raw("failures", &array(failure_items));
+        return Ok(o.finish());
+    }
+
+    let mut out = format!(
+        "fault-outcome campaign (targets {targets}, {} trials/cell, {}/{} jobs done)\n",
+        opts.trials,
+        report.completed_jobs(),
+        report.total_jobs
+    );
+    out.push_str(&format!(
+        "{:>6} {:>13} {:>6} {:>7} {:>7} {:>7} {:>5} {:>9}\n",
+        "app", "scheme", "Cr", "masked", "recov", "fatal", "sdc", "sdc_rate"
+    ));
+    for c in &cells {
+        out.push_str(&format!(
+            "{:>6} {:>13} {:>6.2} {:>7} {:>7} {:>7} {:>5} {:>9.4}\n",
+            c.app,
+            c.scheme,
+            c.cr,
+            c.counts.masked,
+            c.counts.detected_recovered,
+            c.counts.detected_fatal,
+            c.counts.sdc,
+            c.counts.sdc_rate()
+        ));
+    }
+    if report.is_complete() {
+        out.push_str("failures: none\n");
+    } else {
+        out.push_str("failures:\n");
+        for f in &report.failures {
+            let (app, scheme, cr) = labels[f.point];
+            out.push_str(&format!("  {app}/{scheme}/Cr={cr:.2}: {f}\n"));
+        }
+    }
     Ok(out)
 }
 
@@ -600,6 +811,72 @@ mod tests {
     fn repro_rejects_zero_jobs() {
         assert!(dispatch_line(&["repro", "--jobs", "0"]).is_err());
         assert!(dispatch_line(&["repro", "--jobs", "many"]).is_err());
+    }
+
+    #[test]
+    fn campaign_emits_all_four_outcome_columns() {
+        let out = dispatch_line(&[
+            "campaign",
+            "--app",
+            "crc",
+            "--packets",
+            "40",
+            "--trials",
+            "1",
+        ])
+        .unwrap();
+        for col in ["masked", "recov", "fatal", "sdc", "sdc_rate"] {
+            assert!(out.contains(col), "missing column {col}:\n{out}");
+        }
+        // 4 schemes x 4 clocks for one app.
+        assert_eq!(out.lines().filter(|l| l.contains("crc")).count(), 16);
+        assert!(out.contains("failures: none"));
+    }
+
+    #[test]
+    fn campaign_json_lists_cells_and_failures() {
+        let out =
+            dispatch_line(&["campaign", "--app", "crc", "--packets", "30", "--json"]).unwrap();
+        assert!(out.starts_with('{') && out.ends_with('}'));
+        assert!(out.contains("\"cells\":["));
+        assert!(out.contains("\"failures\":[]"));
+        assert!(out.contains("\"scheme\":\"no detection\""));
+        assert!(out.contains("\"fault_targets\":"));
+    }
+
+    #[test]
+    fn campaign_accepts_extended_fault_targets() {
+        let out = dispatch_line(&[
+            "campaign",
+            "--app",
+            "crc",
+            "--packets",
+            "30",
+            "--fault-targets",
+            "all",
+        ])
+        .unwrap();
+        assert!(out.contains("data+tag+parity"));
+        assert!(dispatch_line(&["campaign", "--fault-targets", "ecc"]).is_err());
+    }
+
+    #[test]
+    fn campaign_csv_write_failure_is_a_nonzero_io_error() {
+        let r = dispatch_line(&[
+            "campaign",
+            "--app",
+            "crc",
+            "--packets",
+            "30",
+            "--csv",
+            "/nonexistent-dir-for-sure/out.csv",
+        ]);
+        assert!(matches!(r, Err(CliError::Io { .. })), "got {r:?}");
+    }
+
+    #[test]
+    fn campaign_rejects_zero_deadline() {
+        assert!(dispatch_line(&["campaign", "--deadline-ms", "0"]).is_err());
     }
 
     #[test]

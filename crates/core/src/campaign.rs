@@ -1,0 +1,508 @@
+//! Crash-isolated experiment campaigns.
+//!
+//! [`crate::experiment::run_grid_on`] is fast but brittle: one panicking
+//! job (a mis-specified design point tripping a config assertion, a bug
+//! in an app under an exotic fault mode) unwinds through the scoped pool
+//! and takes the whole grid — hours of completed trials — down with it.
+//!
+//! This module is the hardened driver used for large exploratory sweeps:
+//! every job runs on its own detached thread behind
+//! [`std::panic::catch_unwind`], with an optional per-job deadline and a
+//! bounded retry budget. A retried trial is *reseeded* (a fresh fault
+//! realization) so a deterministic crash is distinguished from an
+//! unlucky one; attempt 0 always uses the original trial seed, so a
+//! failure-free campaign is bitwise identical to [`run_grid_on`].
+//! Instead of aborting, the campaign returns a [`CampaignReport`]:
+//! aggregates over the trials that survived plus a structured list of
+//! every job that did not.
+//!
+//! A job that exceeds its deadline is *abandoned*, not killed — safe
+//! Rust cannot cancel a wedged thread. The abandoned thread leaks (its
+//! late result is discarded by generation tag) and its worker slot is
+//! handed to the next job, so a campaign with `n` deadline failures
+//! strands at most `n` threads. Campaigns without a deadline can still
+//! hang on a genuinely wedged job, exactly like the plain engine.
+//!
+//! [`run_grid_on`]: crate::experiment::run_grid_on
+
+use crate::engine::{golden_for, Engine};
+use crate::experiment::{Aggregate, ExperimentOptions, GridPoint};
+use crate::processor::{ClumsyProcessor, GoldenData};
+use netbench::AppKind;
+use std::collections::{HashMap, VecDeque};
+use std::panic::AssertUnwindSafe;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Seed stride between retry attempts of the same trial (a large odd
+/// constant, so attempt seeds never collide with neighbouring trials).
+/// Attempt 0 keeps the original trial seed.
+pub const RESEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Isolation and retry policy for a campaign.
+///
+/// # Examples
+///
+/// ```
+/// use clumsy_core::CampaignConfig;
+/// use std::time::Duration;
+///
+/// let cfg = CampaignConfig::default()
+///     .with_deadline(Duration::from_secs(60))
+///     .with_retries(2);
+/// assert_eq!(cfg.retries, 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignConfig {
+    /// Wall-clock budget per job attempt. `None` (the default) trusts
+    /// jobs to terminate, like the plain engine.
+    pub deadline: Option<Duration>,
+    /// Extra attempts after the first failure; each retry reseeds the
+    /// trial by [`RESEED_STRIDE`].
+    pub retries: u32,
+}
+
+impl CampaignConfig {
+    /// Returns the config with a per-attempt wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Returns the config with a different retry budget.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            deadline: None,
+            retries: 1,
+        }
+    }
+}
+
+/// Why a job was abandoned after its attempts were exhausted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobFailure {
+    /// Every attempt panicked; the payload message of the last one.
+    Panicked(String),
+    /// Every attempt overran the per-attempt deadline.
+    DeadlineExceeded(Duration),
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobFailure::Panicked(msg) => write!(f, "panicked: {msg}"),
+            JobFailure::DeadlineExceeded(d) => {
+                write!(f, "exceeded {} ms deadline", d.as_millis())
+            }
+        }
+    }
+}
+
+/// One exhausted job of a generic [`run_isolated_jobs`] batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IsolatedFailure {
+    /// Flat job index.
+    pub job: usize,
+    /// Attempts consumed (first try + retries).
+    pub attempts: u32,
+    /// The last attempt's failure.
+    pub failure: JobFailure,
+}
+
+/// Outcome of [`run_isolated_jobs`]: one slot per job (`None` where
+/// every attempt failed) plus the structured failure list, sorted by
+/// job index.
+#[derive(Debug)]
+pub struct IsolatedRun<R> {
+    /// Per-job results in job order.
+    pub results: Vec<Option<R>>,
+    /// Jobs whose every attempt failed.
+    pub failures: Vec<IsolatedFailure>,
+}
+
+/// Turns a panic payload into a displayable message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// An in-flight attempt: job index, attempt number, optional deadline.
+type InFlight = HashMap<u64, (usize, u32, Option<Instant>)>;
+
+/// Runs `n_jobs` independent jobs with crash isolation: each attempt of
+/// `run(job, attempt)` executes on its own detached thread behind
+/// `catch_unwind`, bounded by `workers` concurrent attempts.
+///
+/// A panicking or deadline-overrunning attempt is retried up to
+/// `cfg.retries` times with an incremented `attempt`; a job whose
+/// attempts are all spent is recorded in
+/// [`IsolatedRun::failures`] and leaves `None` in its result slot.
+/// Late results from abandoned (timed-out) attempts are discarded.
+pub fn run_isolated_jobs<R, F>(
+    workers: usize,
+    n_jobs: usize,
+    cfg: &CampaignConfig,
+    run: F,
+) -> IsolatedRun<R>
+where
+    R: Send + 'static,
+    F: Fn(usize, u32) -> R + Send + Sync + 'static,
+{
+    let workers = workers.max(1);
+    let run = Arc::new(run);
+    let (tx, rx) = mpsc::channel::<(u64, Result<R, String>)>();
+
+    let mut pending: VecDeque<(usize, u32)> = (0..n_jobs).map(|j| (j, 0)).collect();
+    let mut results: Vec<Option<R>> = (0..n_jobs).map(|_| None).collect();
+    let mut failures: Vec<IsolatedFailure> = Vec::new();
+    let mut in_flight: InFlight = HashMap::new();
+    let mut next_gen: u64 = 0;
+
+    let mut give_up = |job: usize, attempt: u32, failure: JobFailure| {
+        failures.push(IsolatedFailure {
+            job,
+            attempts: attempt + 1,
+            failure,
+        });
+    };
+
+    while !pending.is_empty() || !in_flight.is_empty() {
+        // Launch until every worker slot is busy.
+        while in_flight.len() < workers {
+            let Some((job, attempt)) = pending.pop_front() else {
+                break;
+            };
+            let gen = next_gen;
+            next_gen += 1;
+            let deadline = cfg.deadline.map(|d| Instant::now() + d);
+            in_flight.insert(gen, (job, attempt, deadline));
+            let tx = tx.clone();
+            let run = Arc::clone(&run);
+            std::thread::spawn(move || {
+                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| run(job, attempt)))
+                    .map_err(panic_message);
+                // The receiver may have moved on (abandoned attempt
+                // after campaign end); a dead channel is fine.
+                let _ = tx.send((gen, outcome));
+            });
+        }
+
+        // Wait for the next completion, or until the earliest deadline.
+        let earliest = in_flight.iter().filter_map(|(_, (_, _, d))| *d).min();
+        let message = match earliest {
+            Some(at) => {
+                let now = Instant::now();
+                if at <= now {
+                    Err(mpsc::RecvTimeoutError::Timeout)
+                } else {
+                    rx.recv_timeout(at - now)
+                }
+            }
+            None => rx.recv().map_err(|_| mpsc::RecvTimeoutError::Disconnected),
+        };
+
+        match message {
+            Ok((gen, outcome)) => {
+                // An unknown generation is a late result from an attempt
+                // already abandoned on deadline: drop it.
+                let Some((job, attempt, _)) = in_flight.remove(&gen) else {
+                    continue;
+                };
+                match outcome {
+                    Ok(r) => results[job] = Some(r),
+                    Err(msg) => {
+                        if attempt < cfg.retries {
+                            pending.push_back((job, attempt + 1));
+                        } else {
+                            give_up(job, attempt, JobFailure::Panicked(msg));
+                        }
+                    }
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                // Abandon every attempt past its deadline; the threads
+                // keep running but their results will be ignored.
+                let now = Instant::now();
+                let expired: Vec<u64> = in_flight
+                    .iter()
+                    .filter(|(_, (_, _, d))| d.is_some_and(|at| at <= now))
+                    .map(|(gen, _)| *gen)
+                    .collect();
+                for gen in expired {
+                    let (job, attempt, _) = in_flight.remove(&gen).expect("expired gen");
+                    if attempt < cfg.retries {
+                        pending.push_back((job, attempt + 1));
+                    } else {
+                        let d = cfg.deadline.expect("timeout implies a deadline");
+                        give_up(job, attempt, JobFailure::DeadlineExceeded(d));
+                    }
+                }
+            }
+            // The main loop owns a sender, so the channel cannot close.
+            Err(mpsc::RecvTimeoutError::Disconnected) => unreachable!("tx held by caller"),
+        }
+    }
+
+    failures.sort_by_key(|f| f.job);
+    IsolatedRun { results, failures }
+}
+
+/// One exhausted (point, trial) job of a campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailedJob {
+    /// Index into the campaign's grid points.
+    pub point: usize,
+    /// Trial number within the point.
+    pub trial: u32,
+    /// Attempts consumed (first try + retries).
+    pub attempts: u32,
+    /// The last attempt's failure.
+    pub failure: JobFailure,
+}
+
+impl std::fmt::Display for FailedJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "point {} trial {} ({} attempts): {}",
+            self.point, self.trial, self.attempts, self.failure
+        )
+    }
+}
+
+/// Partial results of a crash-isolated campaign.
+///
+/// `aggregates[i]` holds the trials of `points[i]` that survived; a
+/// point whose every trial failed has an empty `runs` vector. Metric
+/// methods on an empty [`Aggregate`] are meaningless — check
+/// [`Aggregate::runs`] (or [`CampaignReport::failures`]) first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Surviving trials per grid point, in point order.
+    pub aggregates: Vec<Aggregate>,
+    /// Every job whose attempts were exhausted, sorted by (point, trial).
+    pub failures: Vec<FailedJob>,
+    /// Total (point × trial) jobs submitted.
+    pub total_jobs: usize,
+}
+
+impl CampaignReport {
+    /// Jobs that produced a result.
+    pub fn completed_jobs(&self) -> usize {
+        self.total_jobs - self.failures.len()
+    }
+
+    /// Whether every job completed.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs an experiment grid like
+/// [`run_grid_on`](crate::experiment::run_grid_on), but crash-isolated:
+/// a panicking or deadline-overrunning job is retried with a reseeded
+/// trial and, if it keeps failing, recorded in the report instead of
+/// aborting the campaign.
+///
+/// Golden passes are warmed on the plain engine first (they depend only
+/// on the application and trace, not on any design point, so they
+/// cannot be crashed by a bad configuration). With no failures the
+/// aggregates are bitwise identical to `run_grid_on` on the same
+/// inputs.
+pub fn run_campaign_on(
+    engine: &Engine,
+    points: &[GridPoint],
+    trace: &netbench::Trace,
+    opts: &ExperimentOptions,
+    cfg: &CampaignConfig,
+) -> CampaignReport {
+    let mut kinds: Vec<AppKind> = points.iter().map(|p| p.kind).collect();
+    kinds.sort();
+    kinds.dedup();
+    let goldens: Arc<HashMap<AppKind, Arc<GoldenData>>> = Arc::new(
+        kinds
+            .iter()
+            .copied()
+            .zip(engine.map(&kinds, |k| golden_for(*k, trace)))
+            .collect(),
+    );
+
+    let trials = opts.trials.max(1) as usize;
+    let total_jobs = points.len() * trials;
+    let base_seed = opts.seed;
+    let points_shared: Arc<Vec<GridPoint>> = Arc::new(points.to_vec());
+    let trace_shared = Arc::new(trace.clone());
+
+    let isolated = run_isolated_jobs(
+        engine.jobs(),
+        total_jobs,
+        cfg,
+        move |job: usize, attempt: u32| {
+            let point = &points_shared[job / trials];
+            let t = (job % trials) as u64;
+            let seed = base_seed
+                .wrapping_add(t)
+                .wrapping_add(u64::from(attempt).wrapping_mul(RESEED_STRIDE));
+            let run_cfg = point.cfg.clone().with_seed(seed);
+            ClumsyProcessor::new(run_cfg).run_with_golden(
+                point.kind,
+                &trace_shared,
+                &goldens[&point.kind],
+            )
+        },
+    );
+
+    let mut slots = isolated.results.into_iter();
+    let aggregates = points
+        .iter()
+        .map(|_| Aggregate {
+            runs: (0..trials)
+                .filter_map(|_| slots.next().expect("job count"))
+                .collect(),
+        })
+        .collect();
+    let failures = isolated
+        .failures
+        .into_iter()
+        .map(|f| FailedJob {
+            point: f.job / trials,
+            trial: (f.job % trials) as u32,
+            attempts: f.attempts,
+            failure: f.failure,
+        })
+        .collect();
+
+    CampaignReport {
+        aggregates,
+        failures,
+        total_jobs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClumsyConfig;
+    use crate::experiment::run_grid_on;
+
+    #[test]
+    fn all_jobs_succeed_in_order() {
+        let out = run_isolated_jobs(4, 16, &CampaignConfig::default(), |job, _| job * 2);
+        assert!(out.failures.is_empty());
+        let got: Vec<usize> = out.results.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(got, (0..16).map(|j| j * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn a_panicking_job_is_recorded_and_the_rest_complete() {
+        let cfg = CampaignConfig::default().with_retries(1);
+        let out = run_isolated_jobs(3, 10, &cfg, |job, _| {
+            assert!(job != 4, "job four always dies");
+            job
+        });
+        assert_eq!(out.failures.len(), 1);
+        let f = &out.failures[0];
+        assert_eq!(f.job, 4);
+        assert_eq!(f.attempts, 2, "one try plus one retry");
+        assert!(
+            matches!(&f.failure, JobFailure::Panicked(msg) if msg.contains("job four")),
+            "panic message must be captured: {f:?}"
+        );
+        for (j, r) in out.results.iter().enumerate() {
+            if j == 4 {
+                assert!(r.is_none());
+            } else {
+                assert_eq!(*r, Some(j));
+            }
+        }
+    }
+
+    #[test]
+    fn a_retry_can_succeed_after_a_flaky_panic() {
+        let cfg = CampaignConfig::default().with_retries(2);
+        let out = run_isolated_jobs(2, 5, &cfg, |job, attempt| {
+            // Job 1 fails on its first two attempts only.
+            assert!(job != 1 || attempt >= 2, "flaky");
+            (job, attempt)
+        });
+        assert!(out.failures.is_empty());
+        assert_eq!(out.results[1], Some((1, 2)), "third attempt succeeded");
+        assert_eq!(out.results[0], Some((0, 0)), "others never retried");
+    }
+
+    #[test]
+    fn a_sleeping_job_exceeds_its_deadline() {
+        let cfg = CampaignConfig::default()
+            .with_deadline(Duration::from_millis(60))
+            .with_retries(1);
+        let out = run_isolated_jobs(4, 6, &cfg, |job, _| {
+            if job == 2 {
+                std::thread::sleep(Duration::from_millis(600));
+            }
+            job
+        });
+        assert_eq!(out.failures.len(), 1);
+        let f = &out.failures[0];
+        assert_eq!(f.job, 2);
+        assert_eq!(f.attempts, 2);
+        assert!(matches!(f.failure, JobFailure::DeadlineExceeded(_)));
+        for (j, r) in out.results.iter().enumerate() {
+            if j != 2 {
+                assert_eq!(*r, Some(j), "fast jobs must not be harmed");
+            }
+        }
+    }
+
+    #[test]
+    fn failure_free_campaign_matches_run_grid_on() {
+        let opts = ExperimentOptions {
+            trials: 2,
+            ..ExperimentOptions::quick()
+        };
+        let trace = opts.trace.generate();
+        let points = vec![
+            GridPoint::new(AppKind::Crc, ClumsyConfig::baseline()),
+            GridPoint::new(
+                AppKind::Tl,
+                ClumsyConfig::baseline().with_static_cycle(0.25),
+            ),
+        ];
+        let engine = Engine::with_jobs(2);
+        let grid = run_grid_on(&engine, &points, &trace, &opts);
+        let campaign = run_campaign_on(&engine, &points, &trace, &opts, &CampaignConfig::default());
+        assert!(campaign.is_complete());
+        assert_eq!(campaign.total_jobs, 4);
+        assert_eq!(campaign.completed_jobs(), 4);
+        assert_eq!(campaign.aggregates, grid, "must be bitwise identical");
+    }
+
+    #[test]
+    fn campaign_config_display_and_defaults() {
+        let cfg = CampaignConfig::default();
+        assert_eq!(cfg.deadline, None);
+        assert_eq!(cfg.retries, 1);
+        let p = JobFailure::Panicked("boom".into());
+        assert!(format!("{p}").contains("boom"));
+        let d = JobFailure::DeadlineExceeded(Duration::from_millis(250));
+        assert!(format!("{d}").contains("250 ms"));
+        let fj = FailedJob {
+            point: 3,
+            trial: 1,
+            attempts: 2,
+            failure: p,
+        };
+        assert!(format!("{fj}").contains("point 3 trial 1"));
+    }
+}

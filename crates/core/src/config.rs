@@ -170,6 +170,15 @@ impl ClumsyConfig {
         self
     }
 
+    /// Returns the config with different L1 fault-injection targets
+    /// (data / tag / parity arrays). The default is the paper's
+    /// data-only model; the extra targets are opt-in so default runs
+    /// stay bitwise reproducible.
+    pub fn with_fault_targets(mut self, targets: cache_sim::FaultTargets) -> Self {
+        self.mem.targets = targets;
+        self
+    }
+
     /// Returns the config with watchdog fatal-error recovery enabled.
     pub fn with_watchdog(mut self) -> Self {
         self.watchdog = true;

@@ -94,10 +94,17 @@ impl Engine {
             .collect();
         let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
 
+        // A deque or slot only holds plain indices/results, so a lock
+        // poisoned by a panicking sibling is still structurally sound:
+        // recover the guard and keep draining instead of cascading the
+        // panic through every worker.
         let run_worker = |me: usize| {
             loop {
                 // Own work first (front of own deque)...
-                let job = deques[me].lock().expect("deque poisoned").pop_front();
+                let job = deques[me]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .pop_front();
                 let job = match job {
                     Some(j) => Some(j),
                     // ...then steal from the back of the busiest victim.
@@ -105,13 +112,13 @@ impl Engine {
                         .iter()
                         .enumerate()
                         .filter(|(v, _)| *v != me)
-                        .max_by_key(|(_, d)| d.lock().expect("deque poisoned").len())
-                        .and_then(|(_, d)| d.lock().expect("deque poisoned").pop_back()),
+                        .max_by_key(|(_, d)| d.lock().unwrap_or_else(|e| e.into_inner()).len())
+                        .and_then(|(_, d)| d.lock().unwrap_or_else(|e| e.into_inner()).pop_back()),
                 };
                 match job {
                     Some(j) => {
                         let r = f(&items[j]);
-                        *slots[j].lock().expect("slot poisoned") = Some(r);
+                        *slots[j].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
                     }
                     // Every deque is empty: a single batch is submitted
                     // up front, so there is nothing left to wait for.
@@ -132,7 +139,7 @@ impl Engine {
             .into_iter()
             .map(|s| {
                 s.into_inner()
-                    .expect("slot poisoned")
+                    .unwrap_or_else(|e| e.into_inner())
                     .expect("job finished without a result")
             })
             .collect()
@@ -165,9 +172,11 @@ fn golden_cache() -> &'static Mutex<GoldenMap> {
 /// same golden twice but always agree.
 pub fn golden_for(kind: AppKind, trace: &Trace) -> Arc<GoldenData> {
     let key = (kind, trace.fingerprint());
+    // The map's entries are immutable once inserted, so a poisoned lock
+    // (a worker panicked mid-warm) still holds a usable cache.
     if let Some(hit) = golden_cache()
         .lock()
-        .expect("golden cache poisoned")
+        .unwrap_or_else(|e| e.into_inner())
         .get(&key)
     {
         return Arc::clone(hit);
@@ -175,7 +184,7 @@ pub fn golden_for(kind: AppKind, trace: &Trace) -> Arc<GoldenData> {
     // Compute outside the lock so warming different apps in parallel
     // actually overlaps.
     let golden = Arc::new(ClumsyProcessor::golden(kind, trace));
-    let mut cache = golden_cache().lock().expect("golden cache poisoned");
+    let mut cache = golden_cache().lock().unwrap_or_else(|e| e.into_inner());
     if cache.len() >= GOLDEN_CACHE_CAP {
         cache.clear();
     }

@@ -180,6 +180,11 @@ impl Aggregate {
         }
     }
 
+    /// Per-outcome trial counts (see [`crate::TrialOutcome`]).
+    pub fn outcome_counts(&self) -> crate::OutcomeCounts {
+        crate::OutcomeCounts::from_runs(self.runs.iter())
+    }
+
     /// Pooled fatal-error probability per attempted packet.
     pub fn fatal_probability(&self) -> f64 {
         let fatals = self.runs.iter().filter(|r| r.fatal.is_some()).count();

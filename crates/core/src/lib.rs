@@ -41,18 +41,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 mod config;
 mod controller;
 pub mod engine;
 pub mod experiment;
 mod processor;
 mod report;
+mod taxonomy;
 
+pub use campaign::{
+    run_campaign_on, run_isolated_jobs, CampaignConfig, CampaignReport, FailedJob, IsolatedFailure,
+    IsolatedRun, JobFailure,
+};
 pub use config::{ClumsyConfig, DynamicConfig, FrequencyPlan};
 pub use controller::{Decision, DynamicController};
 pub use engine::{golden_for, Engine};
 pub use processor::{ClumsyProcessor, GoldenData};
 pub use report::{FatalInfo, RunReport};
+pub use taxonomy::{OutcomeCounts, TrialOutcome};
 
 /// The paper's static frequency settings: `Cr` ∈ {1.0, 0.75, 0.5, 0.25}
 /// (frequency increases of 0 %, 50 %, 100 %, 300 %).

@@ -1,0 +1,123 @@
+//! Crash-isolation integration tests: a campaign with deliberately
+//! failing design points must complete, keep every healthy point's
+//! results, and report the failures structurally.
+
+use clumsy_core::experiment::{ExperimentOptions, GridPoint};
+use clumsy_core::{
+    run_campaign_on, run_isolated_jobs, CampaignConfig, ClumsyConfig, ClumsyProcessor,
+    DynamicConfig, Engine, JobFailure, TrialOutcome,
+};
+use netbench::AppKind;
+use std::time::Duration;
+
+/// A design point that passes grid construction but panics inside the
+/// measured run: the dynamic controller rejects an empty level table.
+fn poison_point() -> GridPoint {
+    GridPoint::new(
+        AppKind::Tl,
+        ClumsyConfig::baseline().with_dynamic(DynamicConfig {
+            levels: Vec::new(),
+            ..DynamicConfig::paper()
+        }),
+    )
+}
+
+#[test]
+fn campaign_survives_a_panicking_design_point() {
+    let opts = ExperimentOptions {
+        trials: 2,
+        ..ExperimentOptions::quick()
+    };
+    let trace = opts.trace.generate();
+    let points = vec![
+        GridPoint::new(AppKind::Crc, ClumsyConfig::baseline()),
+        poison_point(),
+        GridPoint::new(AppKind::Route, ClumsyConfig::paper_best()),
+    ];
+    let report = run_campaign_on(
+        &Engine::with_jobs(3),
+        &points,
+        &trace,
+        &opts,
+        &CampaignConfig::default(),
+    );
+
+    assert_eq!(report.total_jobs, 6);
+    assert_eq!(report.completed_jobs(), 4);
+    assert!(!report.is_complete());
+
+    // Healthy points keep every trial; the poisoned point keeps none.
+    assert_eq!(report.aggregates.len(), 3);
+    assert_eq!(report.aggregates[0].runs.len(), 2);
+    assert!(report.aggregates[1].runs.is_empty());
+    assert_eq!(report.aggregates[2].runs.len(), 2);
+    for run in report.aggregates.iter().flat_map(|a| a.runs.iter()) {
+        assert!(run.packets_completed > 0);
+        // The classifier works on campaign output too.
+        let _ = run.outcome();
+    }
+
+    // Both trials of the poisoned point are reported, in order, with the
+    // retry budget spent and the panic message captured.
+    assert_eq!(report.failures.len(), 2);
+    for (f, trial) in report.failures.iter().zip(0u32..) {
+        assert_eq!(f.point, 1);
+        assert_eq!(f.trial, trial);
+        assert_eq!(f.attempts, 2, "default budget is one try plus one retry");
+        match &f.failure {
+            JobFailure::Panicked(msg) => {
+                assert!(
+                    msg.contains("frequency level"),
+                    "panic message should survive isolation: {msg:?}"
+                );
+            }
+            other => panic!("expected a panic failure, got {other}"),
+        }
+    }
+}
+
+#[test]
+fn mixed_batch_reports_panic_and_deadline_failures_with_partial_results() {
+    let opts = ExperimentOptions::quick();
+    let trace = opts.trace.generate();
+    let cfg = CampaignConfig::default()
+        .with_deadline(Duration::from_secs(5))
+        .with_retries(0);
+    const PANICS: usize = 2;
+    const SLEEPS: usize = 4;
+
+    let out = run_isolated_jobs(4, 6, &cfg, move |job, _attempt| {
+        match job {
+            PANICS => panic!("deliberate casualty"),
+            SLEEPS => std::thread::sleep(Duration::from_secs(30)),
+            _ => {}
+        }
+        let run = ClumsyProcessor::new(ClumsyConfig::baseline().with_seed(0x5EED + job as u64))
+            .run(AppKind::Crc, &trace);
+        (run.packets_completed, run.outcome())
+    });
+
+    // Every other job produced a real processor result.
+    for (job, slot) in out.results.iter().enumerate() {
+        if job == PANICS || job == SLEEPS {
+            assert!(slot.is_none(), "job {job} must have no result");
+        } else {
+            let (packets, outcome) = slot.as_ref().expect("healthy job lost");
+            assert!(*packets > 0);
+            assert_eq!(*outcome, TrialOutcome::Masked, "baseline run is clean");
+        }
+    }
+
+    // Both failures are listed, sorted, and correctly typed.
+    assert_eq!(out.failures.len(), 2);
+    assert_eq!(out.failures[0].job, PANICS);
+    assert!(matches!(
+        &out.failures[0].failure,
+        JobFailure::Panicked(msg) if msg.contains("deliberate casualty")
+    ));
+    assert_eq!(out.failures[1].job, SLEEPS);
+    assert!(matches!(
+        out.failures[1].failure,
+        JobFailure::DeadlineExceeded(d) if d == Duration::from_secs(5)
+    ));
+}

@@ -1,0 +1,65 @@
+//! Graceful-degradation regression: when the watchdog contains a fatal
+//! error it must drop exactly the offending packet, keep processing the
+//! rest of the trace, and the outcome taxonomy must report the run as a
+//! *visible* failure ([`TrialOutcome::DetectedFatal`]) rather than
+//! silent corruption — unless some other packet also went silently
+//! wrong, in which case SDC correctly wins.
+
+use clumsy_core::{ClumsyConfig, ClumsyProcessor, TrialOutcome};
+use fault_model::FaultProbabilityModel;
+use netbench::{AppKind, PlaneMask, TraceConfig};
+
+#[test]
+fn contained_fatals_drop_one_packet_and_classify_as_detected_fatal() {
+    let trace = TraceConfig::small().with_packets(60).generate();
+    // Data-plane faults only (footnote 3 covers packet processing),
+    // quarter cycle, no detection hardware. The rate is tuned low so
+    // some realizations kill one packet's radix walk without touching
+    // any other packet — the pure DetectedFatal case (the hot setting
+    // of the processor's watchdog unit test corrupts so much state
+    // that every dropping run is also silently wrong, i.e. SDC).
+    let base = ClumsyConfig::baseline()
+        .with_fault_model(FaultProbabilityModel::new(1e-6, 0.2))
+        .with_planes(PlaneMask::data_only())
+        .with_static_cycle(0.25)
+        .with_watchdog();
+
+    let mut detected_fatal_seen = false;
+    let mut drops_seen = 0usize;
+    for seed in 0..40u64 {
+        let run = ClumsyProcessor::new(base.clone().with_seed(seed)).run(AppKind::Tl, &trace);
+
+        // Containment: no fatal escapes, and every packet of the trace
+        // is accounted for — the run continued past each drop.
+        assert!(run.fatal.is_none(), "seed {seed}: watchdog must contain");
+        assert_eq!(run.packets_attempted, trace.packets.len());
+        assert_eq!(
+            run.packets_completed + run.dropped_packets,
+            trace.packets.len(),
+            "seed {seed}: dropped packets must not end the trace"
+        );
+
+        drops_seen += run.dropped_packets;
+        match run.outcome() {
+            TrialOutcome::DetectedFatal => {
+                assert!(run.dropped_packets > 0);
+                assert_eq!(run.erroneous_packets, 0);
+                assert_eq!(run.init_obs_wrong, 0);
+                detected_fatal_seen = true;
+            }
+            TrialOutcome::SilentDataCorruption => {
+                // Most-severe-wins: silent wrong output outranks the
+                // visible drop.
+                assert!(run.erroneous_packets > 0 || run.init_obs_wrong > 0);
+            }
+            TrialOutcome::Masked | TrialOutcome::DetectedRecovered => {
+                assert_eq!(run.dropped_packets, 0);
+            }
+        }
+    }
+    assert!(drops_seen > 0, "the fault rate must actually cause drops");
+    assert!(
+        detected_fatal_seen,
+        "at least one run must be a pure contained-fatal (DetectedFatal)"
+    );
+}

@@ -76,6 +76,9 @@ pub struct FaultSampler {
     /// accesses remaining before the next fault event (`None` when the
     /// gap has not been sampled yet at the current clock).
     skip: [Option<u64>; 3],
+    /// Per-bit fault probability at the current clock (cached so
+    /// auxiliary-width sampling needs no model evaluation per access).
+    per_bit: f64,
     faults_injected: u64,
     bits_flipped: u64,
 }
@@ -92,6 +95,7 @@ impl FaultSampler {
             mode: SamplingMode::default(),
             cached: [EventProbabilities::default(); 3],
             skip: [None; 3],
+            per_bit: 0.0,
             faults_injected: 0,
             bits_flipped: 0,
         };
@@ -179,6 +183,7 @@ impl FaultSampler {
 
     fn recompute(&mut self) {
         let per_bit = self.model.per_bit_at_cycle(self.cr);
+        self.per_bit = per_bit;
         for (i, w) in WIDTHS.iter().enumerate() {
             self.cached[i] = self.multibit.event_probabilities(per_bit, *w);
         }
@@ -268,6 +273,14 @@ impl FaultSampler {
                 u
             }
         };
+        self.build_event(u, probs, width)
+    }
+
+    /// Turns a uniform already known to land in `[0, probs.any())` into
+    /// a concrete fault event, drawing bit positions uniformly within
+    /// `width`. Shared by the word path and the auxiliary-array path so
+    /// both consume randomness identically.
+    fn build_event(&mut self, u: f64, probs: EventProbabilities, width: u32) -> FaultEvent {
         let nbits = if u < probs.triple {
             3
         } else if u < probs.triple + probs.double {
@@ -275,6 +288,9 @@ impl FaultSampler {
         } else {
             1
         };
+        // An array narrower than the event class cannot hold that many
+        // distinct flips (only reachable for widths < 3).
+        let nbits = nbits.min(width);
         let mut mask = 0u32;
         while mask.count_ones() < nbits {
             mask |= 1 << self.rng.gen_range(0..width);
@@ -282,6 +298,44 @@ impl FaultSampler {
         self.faults_injected += 1;
         self.bits_flipped += u64::from(nbits);
         FaultEvent::from_mask(mask)
+    }
+
+    /// Per-access fault probability of an auxiliary SRAM array of
+    /// `width` bits (a cache line's tag field or parity signature) at
+    /// the current clock. Unlike [`FaultSampler::fault_probability`]
+    /// this accepts any width in `1..=32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 32.
+    pub fn aux_fault_probability(&self, width: u32) -> f64 {
+        self.multibit.event_probabilities(self.per_bit, width).any()
+    }
+
+    /// Samples a fault event for one access of an auxiliary SRAM array
+    /// of `width` bits — the tag field consulted by a lookup or the
+    /// stored parity signature read alongside a word. These arrays are
+    /// built from the same over-clocked SRAM as the data array, so they
+    /// fault at the same per-bit probability.
+    ///
+    /// Always uses the exact per-access path (one uniform draw per
+    /// call) regardless of [`SamplingMode`]; auxiliary targets are
+    /// opt-in extensions, never part of the recorded default streams.
+    /// Draws no randomness while the sampler is disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 32.
+    pub fn sample_aux(&mut self, width: u32) -> FaultEvent {
+        if !self.enabled {
+            return FaultEvent::none();
+        }
+        let probs = self.multibit.event_probabilities(self.per_bit, width);
+        let u: f64 = self.rng.gen();
+        if u >= probs.any() {
+            return FaultEvent::none();
+        }
+        self.build_event(u, probs, width)
     }
 }
 
@@ -489,6 +543,55 @@ mod tests {
         s.set_cycle(0.25);
         let hits = (0..500_000).filter(|_| s.sample(32).is_fault()).count();
         assert!(hits > 0, "stale gap survived set_cycle");
+    }
+
+    #[test]
+    fn aux_masks_fit_arbitrary_widths() {
+        let mut s = FaultSampler::new(FaultProbabilityModel::new(0.05, 0.0), 13);
+        for width in [1u32, 4, 10, 20, 32] {
+            let mut hits = 0u32;
+            for _ in 0..20_000 {
+                let e = s.sample_aux(width);
+                if e.is_fault() {
+                    hits += 1;
+                    assert_eq!(
+                        e.mask() & !(u32::MAX >> (32 - width)),
+                        0,
+                        "mask outside {width}-bit array"
+                    );
+                }
+            }
+            assert!(hits > 0, "no events at width {width}");
+        }
+    }
+
+    #[test]
+    fn aux_rate_matches_aux_probability() {
+        let mut s = FaultSampler::new(FaultProbabilityModel::with_beta(2.0), 7);
+        s.set_cycle(0.25);
+        let p = s.aux_fault_probability(10);
+        assert!(p > 1e-4, "need a measurable rate, got {p}");
+        let n = 2_000_000u64;
+        let hits = (0..n).filter(|_| s.sample_aux(10).is_fault()).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate / p - 1.0).abs() < 0.15, "rate {rate} vs expected {p}");
+    }
+
+    #[test]
+    fn disabled_aux_sampling_leaves_the_stream_untouched() {
+        // The opt-in tag/parity targets must not perturb the recorded
+        // default RNG streams: a disabled sampler draws nothing.
+        let mk = |aux_calls: usize| {
+            let mut s = FaultSampler::new(FaultProbabilityModel::with_beta(2.0), 42);
+            s.set_cycle(0.25);
+            s.set_enabled(false);
+            for _ in 0..aux_calls {
+                assert!(!s.sample_aux(20).is_fault());
+            }
+            s.set_enabled(true);
+            (0..10_000).map(|_| s.sample(32).mask()).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(0), mk(5000));
     }
 
     #[test]
