@@ -5,7 +5,7 @@
 //! calibrated value.
 
 use cache_sim::{DetectionScheme, StrikePolicy};
-use clumsy_bench::{f, print_table, write_csv};
+use clumsy_bench::{f, or_exit, print_table, write_csv};
 use clumsy_core::experiment::{run_grid_on, ExperimentOptions, GridPoint};
 use clumsy_core::{ClumsyConfig, Engine};
 use energy_model::EdfMetric;
@@ -81,6 +81,6 @@ fn main() {
     print_table("Ablation: fault-model exponent beta", &header, &rows);
     println!("\npaper's Table I fallibility band at Cr = 0.25: 1.008 - 1.261");
     println!("(the printed beta = 6 saturates P_E and destroys every run)");
-    let path = write_csv("ablation_beta.csv", &header, &rows);
+    let path = or_exit(write_csv("ablation_beta.csv", &header, &rows));
     println!("wrote {}", path.display());
 }

@@ -3,7 +3,7 @@
 //! X1 = 200% and X2 = 80% perform best.
 
 use cache_sim::{DetectionScheme, StrikePolicy};
-use clumsy_bench::{f, print_table, write_csv};
+use clumsy_bench::{f, or_exit, print_table, write_csv};
 use clumsy_core::experiment::{run_grid_on, ExperimentOptions, GridPoint};
 use clumsy_core::{ClumsyConfig, DynamicConfig, Engine};
 use energy_model::EdfMetric;
@@ -83,6 +83,6 @@ fn main() {
     }
     let header = ["variant", "avg_rel_edf2", "avg_switches_per_run"];
     print_table("Ablation: dynamic-controller parameters", &header, &rows);
-    let path = write_csv("ablation_epoch.csv", &header, &rows);
+    let path = or_exit(write_csv("ablation_epoch.csv", &header, &rows));
     println!("\nwrote {}", path.display());
 }

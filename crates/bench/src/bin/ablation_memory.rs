@@ -13,7 +13,7 @@
 //!    shifts time into the over-clockable L1 accesses.
 
 use cache_sim::CacheGeometry;
-use clumsy_bench::{f, print_table, write_csv};
+use clumsy_bench::{f, or_exit, print_table, write_csv};
 use clumsy_core::experiment::{run_grid_on, ExperimentOptions, GridPoint};
 use clumsy_core::{ClumsyConfig, Engine};
 use energy_model::EdfMetric;
@@ -78,6 +78,6 @@ fn main() {
     );
     println!("\npaper's reduction at the best config: 24% (rel 0.76); ours moves");
     println!("toward it as refill stalls grow (higher L2 latency / miss rate).");
-    let path = write_csv("ablation_memory.csv", &header, &rows);
+    let path = or_exit(write_csv("ablation_memory.csv", &header, &rows));
     println!("wrote {}", path.display());
 }

@@ -3,7 +3,7 @@
 //! detection hole at ~10% extra detection energy).
 
 use cache_sim::{DetectionScheme, StrikePolicy};
-use clumsy_bench::{f, print_table, write_csv};
+use clumsy_bench::{f, or_exit, print_table, write_csv};
 use clumsy_core::experiment::{run_grid_on, ExperimentOptions, GridPoint};
 use clumsy_core::{ClumsyConfig, Engine};
 use energy_model::EdfMetric;
@@ -80,6 +80,6 @@ fn main() {
         "avg_nj_per_packet",
     ];
     print_table("Ablation: detection granularity", &header, &rows);
-    let path = write_csv("ablation_parity.csv", &header, &rows);
+    let path = or_exit(write_csv("ablation_parity.csv", &header, &rows));
     println!("\nwrote {}", path.display());
 }

@@ -7,7 +7,7 @@
 //! delay — i.e., it controls the paper's central crossover (§5.4).
 
 use cache_sim::{DetectionScheme, StrikePolicy};
-use clumsy_bench::{f, print_table, write_csv};
+use clumsy_bench::{f, or_exit, print_table, write_csv};
 use clumsy_core::experiment::{run_grid_on, ExperimentOptions, GridPoint};
 use clumsy_core::{ClumsyConfig, Engine, PAPER_CYCLE_TIMES};
 use energy_model::EdfMetric;
@@ -79,6 +79,6 @@ fn main() {
     print_table("Ablation: core/cache latency quantization", &header, &rows);
     println!("\nwith quantization, Cr = 0.5 beats Cr = 0.25 (the paper's result);");
     println!("a fractional interface would keep rewarding faster clocks.");
-    let path = write_csv("ablation_quantize.csv", &header, &rows);
+    let path = or_exit(write_csv("ablation_quantize.csv", &header, &rows));
     println!("wrote {}", path.display());
 }

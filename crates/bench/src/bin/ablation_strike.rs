@@ -3,7 +3,7 @@
 //! returns flatten.
 
 use cache_sim::{DetectionScheme, StrikePolicy};
-use clumsy_bench::{f, print_table, write_csv};
+use clumsy_bench::{f, or_exit, print_table, write_csv};
 use clumsy_core::experiment::{run_grid_on, ExperimentOptions, GridPoint};
 use clumsy_core::{ClumsyConfig, Engine};
 use energy_model::EdfMetric;
@@ -60,6 +60,6 @@ fn main() {
         "invalidations_per_run",
     ];
     print_table("Ablation: strike-count sensitivity", &header, &rows);
-    let path = write_csv("ablation_strike.csv", &header, &rows);
+    let path = or_exit(write_csv("ablation_strike.csv", &header, &rows));
     println!("\nwrote {}", path.display());
 }

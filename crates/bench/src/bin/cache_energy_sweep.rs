@@ -2,7 +2,7 @@
 //! can be raised 4x for a ~41-45% reduction in data-cache energy, and
 //! §5.4's per-clock reductions (6%, 19%, 45% at Cr = 0.75, 0.5, 0.25).
 
-use clumsy_bench::{f, print_table, write_csv};
+use clumsy_bench::{f, or_exit, print_table, write_csv};
 use clumsy_core::experiment::{run_grid_on, ExperimentOptions, GridPoint};
 use clumsy_core::{ClumsyConfig, Engine, PAPER_CYCLE_TIMES};
 use energy_model::EnergyModel;
@@ -31,7 +31,7 @@ fn main() {
         "l1_energy_reduction_pct",
     ];
     print_table("Analytic cache-energy reductions (S5.4)", &header, &rows);
-    write_csv("cache_energy_model.csv", &header, &rows);
+    or_exit(write_csv("cache_energy_model.csv", &header, &rows));
 
     // Measured sweep over the workloads (includes refill/recovery
     // energy), as one flat grid: apps x (baseline + the four clocks).
@@ -79,7 +79,7 @@ fn main() {
         &header,
         &rows,
     );
-    let path = write_csv("cache_energy_sweep.csv", &header, &rows);
+    let path = or_exit(write_csv("cache_energy_sweep.csv", &header, &rows));
     println!("\npaper (abstract): ~41% cache-energy reduction at the 4x clock");
     println!("wrote {}", path.display());
 }

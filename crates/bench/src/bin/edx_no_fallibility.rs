@@ -4,7 +4,7 @@
 //! product by 26%".
 
 use cache_sim::{DetectionScheme, StrikePolicy};
-use clumsy_bench::{f, print_table, write_csv};
+use clumsy_bench::{f, or_exit, print_table, write_csv};
 use clumsy_core::experiment::{run_grid_on, ExperimentOptions, GridPoint};
 use clumsy_core::{ClumsyConfig, Engine};
 use energy_model::EdfMetric;
@@ -53,6 +53,6 @@ fn main() {
         (1.0 - sum_ed / n) * 100.0,
         (1.0 - sum_ed2 / n) * 100.0
     );
-    let path = write_csv("edx_no_fallibility.csv", &header, &rows);
+    let path = or_exit(write_csv("edx_no_fallibility.csv", &header, &rows));
     println!("wrote {}", path.display());
 }

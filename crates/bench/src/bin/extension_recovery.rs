@@ -6,7 +6,7 @@
 //!   is dropped and the processor keeps running.
 
 use cache_sim::{DetectionScheme, RecoveryGranularity, StrikePolicy};
-use clumsy_bench::{f, print_table, write_csv};
+use clumsy_bench::{f, or_exit, print_table, write_csv};
 use clumsy_core::experiment::{run_grid_on, ExperimentOptions, GridPoint};
 use clumsy_core::{ClumsyConfig, Engine};
 use energy_model::EdfMetric;
@@ -93,6 +93,6 @@ fn main() {
         &header,
         &rows,
     );
-    let path = write_csv("extension_recovery.csv", &header, &rows);
+    let path = or_exit(write_csv("extension_recovery.csv", &header, &rows));
     println!("\nwrote {}", path.display());
 }

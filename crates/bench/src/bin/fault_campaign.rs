@@ -8,19 +8,32 @@
 //! a grid with one deliberately panicking design point must still
 //! return results for every healthy point and report the failure in the
 //! campaign's failure list, exiting 0. The smoke run writes no CSV.
+//!
+//! `--durable` journals every completed trial to
+//! `results/journal/fault_campaign.jsonl` and installs a SIGINT/SIGTERM
+//! handler; an interrupted run exits with status 3 and `--resume` picks
+//! it up where it stopped, producing a bitwise-identical CSV.
 
 use clumsy_core::experiment::{paper_schemes, ExperimentOptions, GridPoint};
 use clumsy_core::{
-    run_campaign_on, CampaignConfig, ClumsyConfig, DynamicConfig, Engine, JobFailure,
-    PAPER_CYCLE_TIMES,
+    interrupt, run_campaign_durable, run_campaign_on, CampaignConfig, CampaignReport, ClumsyConfig,
+    DurableOptions, DynamicConfig, Engine, JobFailure, PAPER_CYCLE_TIMES,
 };
 use netbench::{AppKind, TraceConfig};
+use std::sync::Arc;
+
+/// Exit status for an interrupted-but-resumable run (0 = done,
+/// 1 = failures, 2 = bad usage).
+const EXIT_INTERRUPTED: i32 = 3;
 
 fn main() {
-    if std::env::args().skip(1).any(|a| a == "--smoke") {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
         smoke();
     } else {
-        full();
+        let durable = args.iter().any(|a| a == "--durable");
+        let resume = args.iter().any(|a| a == "--resume");
+        full(durable || resume, resume);
     }
 }
 
@@ -45,12 +58,16 @@ fn grid(apps: &[AppKind]) -> (Vec<(&'static str, &'static str, f64)>, Vec<GridPo
     (labels, points)
 }
 
-fn full() {
+fn full(durable: bool, resume: bool) {
     let opts = ExperimentOptions::from_env();
     let engine = Engine::from_env();
     let trace = opts.trace.generate();
     let (labels, points) = grid(&AppKind::all());
-    let report = run_campaign_on(&engine, &points, &trace, &opts, &CampaignConfig::default());
+    let report = if durable {
+        run_durable(&engine, &points, &trace, &opts, resume)
+    } else {
+        run_campaign_on(&engine, &points, &trace, &opts, &CampaignConfig::default())
+    };
 
     let rows: Vec<Vec<String>> = labels
         .iter()
@@ -86,7 +103,11 @@ fn full() {
         &header,
         &rows,
     );
-    let path = clumsy_bench::write_csv("fault_campaign.csv", &header, &rows);
+    let path = clumsy_bench::or_exit(clumsy_bench::write_csv(
+        "fault_campaign.csv",
+        &header,
+        &rows,
+    ));
     println!("\nwrote {}", path.display());
 
     if !report.is_complete() {
@@ -101,6 +122,56 @@ fn full() {
         }
         std::process::exit(1);
     }
+}
+
+/// Runs the campaign with journaling: interruptions exit 3 leaving a
+/// resumable journal; a completed run removes it.
+fn run_durable(
+    engine: &Engine,
+    points: &[GridPoint],
+    trace: &netbench::Trace,
+    opts: &ExperimentOptions,
+    resume: bool,
+) -> CampaignReport {
+    interrupt::install();
+    let journal = clumsy_bench::or_exit(clumsy_bench::journal_dir()).join("fault_campaign.jsonl");
+    let durable = DurableOptions {
+        journal: journal.clone(),
+        resume,
+        stop: Some(Arc::new(interrupt::interrupted)),
+    };
+    let outcome = run_campaign_durable(
+        engine,
+        points,
+        trace,
+        opts,
+        &CampaignConfig::default(),
+        &durable,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    if outcome.replayed_jobs > 0 {
+        eprintln!(
+            "resumed: {} of {} jobs replayed from {}",
+            outcome.replayed_jobs,
+            outcome.report.total_jobs,
+            journal.display()
+        );
+    }
+    if outcome.interrupted {
+        eprintln!(
+            "interrupted after {}/{} jobs; rerun with --resume to finish ({})",
+            outcome.report.completed_jobs(),
+            outcome.report.total_jobs,
+            journal.display()
+        );
+        std::process::exit(EXIT_INTERRUPTED);
+    }
+    // Finished: the journal has served its purpose.
+    std::fs::remove_file(&journal).ok();
+    outcome.report
 }
 
 fn smoke() {

@@ -1,7 +1,7 @@
 //! Regenerates Figure 1(b): relative voltage swing vs relative cycle
 //! time.
 
-use clumsy_bench::{f, print_table, write_csv};
+use clumsy_bench::{f, or_exit, print_table, write_csv};
 use fault_model::VoltageSwingCurve;
 
 fn main() {
@@ -13,7 +13,7 @@ fn main() {
         .collect();
     let header = ["relative_cycle_time", "relative_voltage_swing"];
     print_table("Figure 1(b): voltage swing vs cycle time", &header, &rows);
-    let path = write_csv("fig1b_voltage_swing.csv", &header, &rows);
+    let path = or_exit(write_csv("fig1b_voltage_swing.csv", &header, &rows));
     println!("\nmodel: {curve}");
     println!("wrote {}", path.display());
 }

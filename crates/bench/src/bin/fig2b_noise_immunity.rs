@@ -1,7 +1,7 @@
 //! Regenerates Figure 2(b): SRAM noise-immunity curves (critical noise
 //! amplitude vs pulse duration) at several voltage swings.
 
-use clumsy_bench::{f, print_table, write_csv};
+use clumsy_bench::{f, or_exit, print_table, write_csv};
 use fault_model::IntegratedFaultModel;
 
 fn main() {
@@ -28,7 +28,7 @@ fn main() {
         &rows[..10],
     );
     println!("  ... ({} rows total)", rows.len());
-    let path = write_csv("fig2b_noise_immunity.csv", &header, &rows);
+    let path = or_exit(write_csv("fig2b_noise_immunity.csv", &header, &rows));
     println!("family: {family}");
     println!("wrote {}", path.display());
 }

@@ -1,7 +1,7 @@
 //! Regenerates Figure 3: number of aggressor switching combinations per
 //! noise amplitude, with the exponential fit of equation (1).
 
-use clumsy_bench::{f, print_table, write_csv};
+use clumsy_bench::{f, or_exit, print_table, write_csv};
 use fault_model::SwitchingCensus;
 
 fn main() {
@@ -26,6 +26,6 @@ fn main() {
         println!("n={n:>2}: cases ~ {k1:.3e} * exp(-{k2:.1} * A)  (eq. (1) fit)");
     }
     println!("saturated continuous pdf (eq. (2)): P(Ar) = 28.8*exp(-28.8*Ar)");
-    let path = write_csv("fig3_noise_distribution.csv", &header, &rows);
+    let path = or_exit(write_csv("fig3_noise_distribution.csv", &header, &rows));
     println!("wrote {}", path.display());
 }

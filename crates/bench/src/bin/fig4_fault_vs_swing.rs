@@ -1,7 +1,7 @@
 //! Regenerates Figure 4: per-bit fault probability vs relative voltage
 //! swing, from the noise-integration model.
 
-use clumsy_bench::{f, print_table, write_csv};
+use clumsy_bench::{f, or_exit, print_table, write_csv};
 use fault_model::IntegratedFaultModel;
 
 fn main() {
@@ -21,6 +21,6 @@ fn main() {
         "\nanchor: P_E(Vsr = 1) = {:.3e} (Shivakumar et al.)",
         model.per_bit_at_swing(1.0)
     );
-    let path = write_csv("fig4_fault_vs_swing.csv", &header, &rows);
+    let path = or_exit(write_csv("fig4_fault_vs_swing.csv", &header, &rows));
     println!("wrote {}", path.display());
 }

@@ -2,7 +2,7 @@
 //! time — the integration "data" next to the fitted closed form
 //! (equation (4) with the calibrated exponent).
 
-use clumsy_bench::{f, print_table, write_csv};
+use clumsy_bench::{f, or_exit, print_table, write_csv};
 use fault_model::{FaultProbabilityModel, IntegratedFaultModel};
 
 fn main() {
@@ -36,6 +36,6 @@ fn main() {
         "paper's printed eq. (4):     {} (saturates at Fr = 2; see DESIGN.md)",
         FaultProbabilityModel::paper_printed()
     );
-    let path = write_csv("fig5_fault_vs_cycle.csv", &header, &rows);
+    let path = or_exit(write_csv("fig5_fault_vs_cycle.csv", &header, &rows));
     println!("wrote {}", path.display());
 }

@@ -5,5 +5,8 @@
 use netbench::AppKind;
 
 fn main() {
-    clumsy_bench::run_plane_error_figure(AppKind::Nat, "fig7_nat_errors.csv");
+    clumsy_bench::or_exit(clumsy_bench::run_plane_error_figure(
+        AppKind::Nat,
+        "fig7_nat_errors.csv",
+    ));
 }

@@ -3,7 +3,7 @@
 //! error detection eliminates fatal errors.
 
 use cache_sim::{DetectionScheme, StrikePolicy};
-use clumsy_bench::{f, print_table, write_csv};
+use clumsy_bench::{f, or_exit, print_table, write_csv};
 use clumsy_core::experiment::{fatal_study_on, run_grid_on, ExperimentOptions, GridPoint};
 use clumsy_core::{ClumsyConfig, Engine, PAPER_CYCLE_TIMES};
 use netbench::AppKind;
@@ -26,7 +26,7 @@ fn main() {
         &header,
         &rows,
     );
-    let path = write_csv("fig8_fatal_errors.csv", &header, &rows);
+    let path = or_exit(write_csv("fig8_fatal_errors.csv", &header, &rows));
     println!("\nwrote {}", path.display());
 
     // §5.3: "during the simulations of the architectures with error

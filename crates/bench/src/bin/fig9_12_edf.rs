@@ -3,7 +3,7 @@
 //! across-application average (panel 12(b)), for every recovery scheme
 //! and clock plan.
 
-use clumsy_bench::{f, print_table, write_csv};
+use clumsy_bench::{f, or_exit, print_table, write_csv};
 use clumsy_core::experiment::{average_panels, edf_panels_on, ExperimentOptions};
 use clumsy_core::Engine;
 use netbench::AppKind;
@@ -56,7 +56,7 @@ fn main() {
         &header,
         &rows,
     );
-    let path = write_csv("fig9_12_edf.csv", &header, &rows);
+    let path = or_exit(write_csv("fig9_12_edf.csv", &header, &rows));
 
     // The Figure 12(b) panel as a bar chart, scale matching the paper's
     // y-axis (bars above 2.0 are clipped and marked, as in the paper).

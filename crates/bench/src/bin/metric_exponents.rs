@@ -5,7 +5,7 @@
 //! change (e.g. an energy-dominated wireless deployment).
 
 use cache_sim::{DetectionScheme, StrikePolicy};
-use clumsy_bench::{f, print_table, write_csv};
+use clumsy_bench::{f, or_exit, print_table, write_csv};
 use clumsy_core::experiment::{run_grid_on, Aggregate, ExperimentOptions, GridPoint};
 use clumsy_core::{ClumsyConfig, Engine, PAPER_CYCLE_TIMES};
 use energy_model::EdfMetric;
@@ -82,6 +82,6 @@ fn main() {
         &header,
         &rows,
     );
-    let path = write_csv("metric_exponents.csv", &header, &rows);
+    let path = or_exit(write_csv("metric_exponents.csv", &header, &rows));
     println!("\nwrote {}", path.display());
 }

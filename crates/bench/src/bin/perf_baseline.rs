@@ -8,7 +8,7 @@
 //! produce bitwise-identical results (asserted here), so the speedup is
 //! measured on identical work.
 
-use clumsy_bench::results_dir;
+use clumsy_bench::{or_exit, write_file};
 use clumsy_core::experiment::{edf_average_on, table1_on, ExperimentOptions};
 use clumsy_core::{golden_for, Engine};
 use netbench::AppKind;
@@ -128,7 +128,6 @@ fn main() {
         edf.json(),
         table1.json(),
     );
-    let path = results_dir().join("BENCH_engine.json");
-    std::fs::write(&path, json).expect("benchmark report is writable");
+    let path = or_exit(write_file("BENCH_engine.json", json.as_bytes()));
     println!("wrote {}", path.display());
 }

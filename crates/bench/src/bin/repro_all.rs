@@ -6,7 +6,20 @@
 //! with captured output replayed as each finishes; the total worker
 //! budget (`CLUMSY_JOBS`, default [`std::thread::available_parallelism`])
 //! is divided among the children so the machine is not oversubscribed.
+//!
+//! Each completed driver is recorded in a crash-safe journal
+//! (`results/journal/repro_all.jsonl`). On SIGINT/SIGTERM no further
+//! drivers are launched, the in-flight ones finish, and the process
+//! exits with status 3; `--resume` then skips the drivers the journal
+//! already records. The journal header pins `CLUMSY_PACKETS`,
+//! `CLUMSY_TRIALS` and `CLUMSY_SEED`, so a resume at a different scale
+//! is refused instead of mixing CSVs from different runs.
 
+use clumsy_core::experiment::ExperimentOptions;
+use clumsy_core::interrupt;
+use clumsy_core::journal::{self, JournalHeader, JournalWriter, Record, JOURNAL_VERSION};
+use std::collections::HashSet;
+use std::path::Path;
 use std::process::Command;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -35,6 +48,9 @@ const BINARIES: &[&str] = &[
     "metric_exponents",
     "sensitivity_traffic",
 ];
+
+/// Exit status for an interrupted-but-resumable run.
+const EXIT_INTERRUPTED: i32 = 3;
 
 fn parse_jobs() -> usize {
     let mut args = std::env::args().skip(1);
@@ -68,45 +84,116 @@ fn worker_budget() -> usize {
         })
 }
 
+/// The journal header identifying this repro run: the workload scale
+/// from the environment plus a hash of the driver list.
+fn run_header() -> JournalHeader {
+    let opts = ExperimentOptions::from_env();
+    let grid = journal::fnv1a64(BINARIES.join(",").as_bytes());
+    JournalHeader {
+        version: JOURNAL_VERSION,
+        seed: opts.seed,
+        trials: opts.trials.max(1),
+        scale: opts.trace.packets as u64,
+        points: BINARIES.len() as u64,
+        grid,
+    }
+}
+
+/// Opens the journal, replaying completed-driver markers when
+/// `--resume` was given. Exits with context on any journal error.
+fn open_journal(resume: bool, path: &Path) -> (JournalWriter, HashSet<String>) {
+    let header = run_header();
+    let mut done = HashSet::new();
+    let refuse = |e: journal::JournalError| -> ! {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    };
+    let writer = if resume && path.exists() {
+        let replay = journal::replay(path).unwrap_or_else(|e| refuse(e));
+        replay.header.check(&header).unwrap_or_else(|e| refuse(e));
+        for record in replay.records {
+            if let Record::Marker { name } = record {
+                done.insert(name);
+            }
+        }
+        JournalWriter::resume(path, replay.valid_len).unwrap_or_else(|e| refuse(e))
+    } else {
+        JournalWriter::create(path, &header).unwrap_or_else(|e| refuse(e))
+    };
+    (writer, done)
+}
+
 fn main() {
+    interrupt::install();
     let exe = std::env::current_exe().expect("own path is known");
     let dir = exe
         .parent()
         .expect("binaries live in a directory")
         .to_path_buf();
     let jobs = parse_jobs().min(BINARIES.len());
+    let resume = std::env::args().skip(1).any(|a| a == "--resume");
+
+    let journal_path = clumsy_bench::or_exit(clumsy_bench::journal_dir()).join("repro_all.jsonl");
+    let (writer, done) = open_journal(resume, &journal_path);
+    if !done.is_empty() {
+        println!(
+            "resuming: {} of {} drivers already recorded in {}",
+            done.len(),
+            BINARIES.len(),
+            journal_path.display()
+        );
+    }
+    let todo: Vec<&str> = BINARIES
+        .iter()
+        .filter(|b| !done.contains(**b))
+        .copied()
+        .collect();
 
     if jobs <= 1 {
         let mut failed = Vec::new();
-        for bin in BINARIES {
+        let mut skipped = false;
+        for bin in &todo {
+            if interrupt::interrupted() {
+                skipped = true;
+                break;
+            }
             println!("\n########## {bin} ##########");
             let status = Command::new(dir.join(bin))
                 .status()
                 .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
-            if !status.success() {
+            if status.success() {
+                writer.append_marker(bin);
+            } else {
                 failed.push(*bin);
             }
         }
-        finish(&failed);
+        finish(writer, &journal_path, &failed, skipped);
         return;
     }
 
     // Parallel mode: `jobs` runner threads pull the next binary, run it
     // with captured output, and replay that output atomically when the
     // child exits. Each child gets an equal share of the worker budget.
+    // An interrupt stops the pull loop; children already running finish
+    // and are journaled.
     let child_workers = (worker_budget() / jobs).max(1);
     println!(
         "running {} drivers, {jobs} at a time, {child_workers} worker(s) each",
-        BINARIES.len()
+        todo.len()
     );
     let next = AtomicUsize::new(0);
     let failed: Mutex<Vec<&str>> = Mutex::new(Vec::new());
     let stdout_gate = Mutex::new(());
+    let writer_ref = &writer;
+    let todo_ref = &todo;
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             scope.spawn(|| loop {
+                if interrupt::interrupted() {
+                    break;
+                }
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(bin) = BINARIES.get(i) else { break };
+                let Some(bin) = todo_ref.get(i) else { break };
                 let output = Command::new(dir.join(bin))
                     .env("CLUMSY_JOBS", child_workers.to_string())
                     .output()
@@ -115,18 +202,39 @@ fn main() {
                 println!("\n########## {bin} ##########");
                 print!("{}", String::from_utf8_lossy(&output.stdout));
                 eprint!("{}", String::from_utf8_lossy(&output.stderr));
-                if !output.status.success() {
+                if output.status.success() {
+                    writer_ref.append_marker(bin);
+                } else {
                     failed.lock().expect("failure list poisoned").push(bin);
                 }
             });
         }
     });
-    finish(&failed.into_inner().expect("failure list poisoned"));
+    let skipped = next.load(Ordering::Relaxed) < todo.len();
+    finish(
+        writer,
+        &journal_path,
+        &failed.into_inner().expect("failure list poisoned"),
+        skipped,
+    );
 }
 
-fn finish(failed: &[&str]) {
+fn finish(writer: JournalWriter, journal_path: &Path, failed: &[&str], interrupted: bool) {
+    if let Err(e) = writer.finish() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+    if interrupted {
+        eprintln!(
+            "\ninterrupted; rerun with --resume to run the remaining drivers ({})",
+            journal_path.display()
+        );
+        std::process::exit(EXIT_INTERRUPTED);
+    }
     if failed.is_empty() {
         println!("\nall {} reproduction drivers completed", BINARIES.len());
+        // Everything recorded; the journal has served its purpose.
+        std::fs::remove_file(journal_path).ok();
     } else {
         eprintln!("\nFAILED: {failed:?}");
         std::process::exit(1);

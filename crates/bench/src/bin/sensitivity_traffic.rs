@@ -4,7 +4,7 @@
 //! under skewed (edge-router), uniform (core-router) and single-flow
 //! (best-locality) traffic.
 
-use clumsy_bench::{f, print_table, write_csv};
+use clumsy_bench::{f, or_exit, print_table, write_csv};
 use clumsy_core::experiment::{run_grid_on, ExperimentOptions, GridPoint};
 use clumsy_core::{ClumsyConfig, Engine};
 use energy_model::EdfMetric;
@@ -72,6 +72,6 @@ fn main() {
         &rows,
     );
     println!("\nthe Cr=0.5 optimum should win (or tie) in every regime");
-    let path = write_csv("sensitivity_traffic.csv", &header, &rows);
+    let path = or_exit(write_csv("sensitivity_traffic.csv", &header, &rows));
     println!("wrote {}", path.display());
 }

@@ -1,7 +1,7 @@
 //! Regenerates Table I: workload characteristics and fallibility
 //! factors at `Cr` = 0.5 and 0.25.
 
-use clumsy_bench::{f, print_table, write_csv};
+use clumsy_bench::{f, or_exit, print_table, write_csv};
 use clumsy_core::experiment::{table1, ExperimentOptions};
 
 fn main() {
@@ -32,6 +32,6 @@ fn main() {
         &header,
         &rows,
     );
-    let path = write_csv("table1.csv", &header, &rows);
+    let path = or_exit(write_csv("table1.csv", &header, &rows));
     println!("\nwrote {}", path.display());
 }

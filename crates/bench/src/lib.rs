@@ -7,17 +7,71 @@
 use std::fs;
 use std::path::PathBuf;
 
+/// A failed filesystem operation, carrying the path for context so
+/// disk-full and permission errors surface usably instead of as a
+/// bare panic.
+#[derive(Debug)]
+pub struct IoFailure {
+    /// The file or directory the operation targeted.
+    pub path: PathBuf,
+    /// The OS error.
+    pub source: std::io::Error,
+}
+
+impl std::fmt::Display for IoFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot write {}: {}", self.path.display(), self.source)
+    }
+}
+
+impl std::error::Error for IoFailure {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+impl IoFailure {
+    fn new(path: PathBuf, source: std::io::Error) -> Self {
+        IoFailure { path, source }
+    }
+}
+
+/// Unwraps a result-file operation, printing the failure to stderr and
+/// exiting with status 1 — the benchmark-binary equivalent of `?`.
+pub fn or_exit<T>(result: Result<T, IoFailure>) -> T {
+    result.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    })
+}
+
 /// Directory the harness writes CSVs into (`results/` at the workspace
 /// root, overridable with `CLUMSY_RESULTS`).
-pub fn results_dir() -> PathBuf {
+///
+/// # Errors
+///
+/// [`IoFailure`] if the directory cannot be created.
+pub fn results_dir() -> Result<PathBuf, IoFailure> {
     let dir = std::env::var("CLUMSY_RESULTS")
         .map(PathBuf::from)
         .unwrap_or_else(|_| {
-            let cwd = std::env::current_dir().expect("cwd is accessible");
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
             workspace_root(&cwd).unwrap_or(cwd).join("results")
         });
-    fs::create_dir_all(&dir).expect("results directory is creatable");
-    dir
+    fs::create_dir_all(&dir).map_err(|e| IoFailure::new(dir.clone(), e))?;
+    Ok(dir)
+}
+
+/// Directory run journals live in (`results/journal/`), created on
+/// demand next to the CSVs so campaign state survives any cwd.
+///
+/// # Errors
+///
+/// [`IoFailure`] if the directory cannot be created.
+pub fn journal_dir() -> Result<PathBuf, IoFailure> {
+    let dir = results_dir()?.join("journal");
+    fs::create_dir_all(&dir).map_err(|e| IoFailure::new(dir.clone(), e))?;
+    Ok(dir)
 }
 
 /// Walks up from `start` to the workspace root: the first ancestor whose
@@ -36,14 +90,20 @@ fn workspace_root(start: &std::path::Path) -> Option<PathBuf> {
     })
 }
 
-/// Writes a CSV file into [`results_dir`], returning its path.
+/// Writes a CSV file into [`results_dir`] atomically (temp file +
+/// fsync + rename, so a crash mid-write never leaves a truncated CSV),
+/// returning its path.
+///
+/// # Errors
+///
+/// [`IoFailure`] if the results directory or the file cannot be
+/// written.
 ///
 /// # Panics
 ///
-/// Panics if the file cannot be written or a row width mismatches the
-/// header.
-pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> PathBuf {
-    let path = results_dir().join(name);
+/// Panics if a row width mismatches the header (a programming error,
+/// not an I/O condition).
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> Result<PathBuf, IoFailure> {
     let mut out = String::new();
     out.push_str(&header.join(","));
     out.push('\n');
@@ -52,8 +112,20 @@ pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> PathBuf {
         out.push_str(&row.join(","));
         out.push('\n');
     }
-    fs::write(&path, out).expect("results CSV is writable");
-    path
+    write_file(name, out.as_bytes())
+}
+
+/// Atomically writes an arbitrary result file into [`results_dir`],
+/// returning its path.
+///
+/// # Errors
+///
+/// [`IoFailure`] if the results directory or the file cannot be
+/// written.
+pub fn write_file(name: &str, bytes: &[u8]) -> Result<PathBuf, IoFailure> {
+    let path = results_dir()?.join(name);
+    clumsy_core::atomic_write(&path, bytes).map_err(|e| IoFailure::new(path.clone(), e))?;
+    Ok(path)
 }
 
 /// Pretty-prints a table to stdout.
@@ -103,7 +175,11 @@ pub fn print_bars(title: &str, bars: &[(String, f64)], max: f64, width: usize) {
 
 /// Shared driver for Figures 6 (route) and 7 (nat): per-structure error
 /// probabilities by fault plane and clock.
-pub fn run_plane_error_figure(kind: netbench::AppKind, csv: &str) {
+///
+/// # Errors
+///
+/// [`IoFailure`] if the CSV cannot be written.
+pub fn run_plane_error_figure(kind: netbench::AppKind, csv: &str) -> Result<(), IoFailure> {
     use clumsy_core::experiment::{plane_error_study, ExperimentOptions};
 
     let opts = ExperimentOptions::from_env();
@@ -136,8 +212,9 @@ pub fn run_plane_error_figure(kind: netbench::AppKind, csv: &str) {
         &header,
         &rows,
     );
-    let path = write_csv(csv, &header, &rows);
+    let path = write_csv(csv, &header, &rows)?;
     println!("\nwrote {}", path.display());
+    Ok(())
 }
 
 /// Formats a float with sensible precision for tables.
@@ -211,9 +288,29 @@ mod tests {
             "unit_test.csv",
             &["a", "b"],
             &[vec!["1".into(), "2".into()]],
-        );
+        )
+        .expect("temp results dir is writable");
         let text = std::fs::read_to_string(p).unwrap();
         assert_eq!(text, "a,b\n1,2\n");
+        let j = journal_dir().expect("journal dir under results");
+        assert!(j.ends_with("journal") && j.is_dir());
+        std::env::remove_var("CLUMSY_RESULTS");
+    }
+
+    #[test]
+    fn io_failure_reports_path_and_source() {
+        std::env::set_var(
+            "CLUMSY_RESULTS",
+            std::env::temp_dir().join("clumsy-test-results-ro"),
+        );
+        // Writing *through a file as if it were a directory* must fail
+        // with a typed error, not a panic.
+        let dir = std::env::temp_dir().join("clumsy-test-results-ro");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("blocker"), b"x").unwrap();
+        let err = write_file("blocker/nested.csv", b"data").expect_err("must fail");
+        assert!(err.to_string().contains("nested.csv"));
+        assert!(std::error::Error::source(&err).is_some());
         std::env::remove_var("CLUMSY_RESULTS");
     }
 }

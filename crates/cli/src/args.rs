@@ -50,7 +50,14 @@ impl fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Option names that are boolean flags (no value).
-const FLAGS: &[&str] = &["watchdog", "json", "quantize-off", "extended"];
+const FLAGS: &[&str] = &[
+    "watchdog",
+    "json",
+    "quantize-off",
+    "extended",
+    "durable",
+    "resume",
+];
 
 impl Args {
     /// Parses a raw argument vector (without the program name).

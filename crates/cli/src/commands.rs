@@ -3,9 +3,11 @@
 use crate::args::{ArgError, Args};
 use crate::json::{array, JsonObject};
 use cache_sim::{DetectionScheme, FaultTargets, RecoveryGranularity, StrikePolicy};
+use clumsy_core::campaign::grid_hash;
 use clumsy_core::experiment::{paper_schemes, run_config_on_trace, ExperimentOptions, GridPoint};
 use clumsy_core::{
-    run_campaign_on, CampaignConfig, ClumsyConfig, DynamicConfig, PAPER_CYCLE_TIMES,
+    interrupt, run_campaign_durable, run_campaign_on, CampaignConfig, ClumsyConfig, DurableOptions,
+    DynamicConfig, JournalError, PAPER_CYCLE_TIMES,
 };
 use energy_model::EdfMetric;
 use fault_model::{FaultProbabilityModel, VoltageSwingCurve};
@@ -25,6 +27,18 @@ pub enum CliError {
         /// The underlying I/O error.
         source: std::io::Error,
     },
+    /// The campaign journal could not be read, written, or matched
+    /// against the requested run.
+    Journal(JournalError),
+    /// A durable campaign was interrupted (SIGINT/SIGTERM) before all
+    /// jobs ran; the journal makes it resumable. `main` prints the
+    /// partial output and exits with status 3 rather than 2.
+    Interrupted {
+        /// Progress summary for the user (`done/total jobs`).
+        partial: String,
+        /// The journal to resume from.
+        journal: String,
+    },
 }
 
 impl std::fmt::Display for CliError {
@@ -35,6 +49,11 @@ impl std::fmt::Display for CliError {
                 write!(f, "unknown command {c:?} (try `clumsy help`)")
             }
             CliError::Io { path, source } => write!(f, "cannot write {path:?}: {source}"),
+            CliError::Journal(e) => write!(f, "{e}"),
+            CliError::Interrupted { partial, journal } => write!(
+                f,
+                "interrupted after {partial} jobs; rerun with --resume to finish ({journal})"
+            ),
         }
     }
 }
@@ -104,7 +123,12 @@ CAMPAIGN OPTIONS:
     --fault-targets <t>   data | data+tag | data+parity | all (default data)
     --deadline-ms <n>     per-trial wall-clock budget (default: none)
     --retries <n>         reseeded retries per failing trial (default 1)
-    --csv <path>          also write the per-cell counts as CSV
+    --csv <path>          also write the per-cell counts as CSV (atomic)
+    --durable             journal completed trials; SIGINT/SIGTERM exits 3
+                          leaving a resumable journal
+    --resume              replay the journal, run only the remaining jobs
+                          (refused if seed/trials/packets/grid changed)
+    --journal <path>      journal file (default results/journal/campaign-<grid>.jsonl)
     --packets/--trials/--seed/--jobs/--json as for repro
 
 TRACE OPTIONS: --packets, --seed
@@ -388,7 +412,22 @@ const CAMPAIGN_OPTIONS: &[&str] = &[
     "retries",
     "csv",
     "json",
+    "durable",
+    "resume",
+    "journal",
 ];
+
+/// Default journal location for `--durable`: keyed by the grid hash so
+/// campaigns over different design spaces never clobber each other's
+/// resume state. Lives under `CLUMSY_RESULTS` (or `./results`) next to
+/// the harness CSVs.
+fn default_journal_path(points: &[GridPoint]) -> std::path::PathBuf {
+    let base = std::env::var("CLUMSY_RESULTS")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| std::path::PathBuf::from("results"));
+    base.join("journal")
+        .join(format!("campaign-{:016x}.jsonl", grid_hash(points)))
+}
 
 /// One (app, scheme, Cr) cell of the campaign grid.
 struct CampaignCell {
@@ -444,7 +483,45 @@ fn campaign(args: &Args) -> Result<String, CliError> {
         }
     }
 
-    let report = run_campaign_on(&engine, &points, &trace, &opts, &ccfg);
+    let durable_requested =
+        args.flag("durable") || args.flag("resume") || args.get("journal").is_some();
+    let report = if durable_requested {
+        interrupt::install();
+        let journal = match args.get("journal") {
+            Some(p) => std::path::PathBuf::from(p),
+            None => default_journal_path(&points),
+        };
+        let durable = DurableOptions {
+            journal: journal.clone(),
+            resume: args.flag("resume"),
+            stop: Some(std::sync::Arc::new(interrupt::interrupted)),
+        };
+        let outcome = run_campaign_durable(&engine, &points, &trace, &opts, &ccfg, &durable)
+            .map_err(CliError::Journal)?;
+        if outcome.replayed_jobs > 0 {
+            eprintln!(
+                "resumed: {} of {} jobs replayed from {}",
+                outcome.replayed_jobs,
+                outcome.report.total_jobs,
+                journal.display()
+            );
+        }
+        if outcome.interrupted {
+            return Err(CliError::Interrupted {
+                partial: format!(
+                    "{}/{}",
+                    outcome.report.completed_jobs(),
+                    outcome.report.total_jobs
+                ),
+                journal: journal.display().to_string(),
+            });
+        }
+        // Finished: the journal has served its purpose.
+        std::fs::remove_file(&journal).ok();
+        outcome.report
+    } else {
+        run_campaign_on(&engine, &points, &trace, &opts, &ccfg)
+    };
     let cells: Vec<CampaignCell> = labels
         .iter()
         .zip(&report.aggregates)
@@ -474,10 +551,12 @@ fn campaign(args: &Args) -> Result<String, CliError> {
                 c.counts.sdc_rate()
             ));
         }
-        std::fs::write(path, csv).map_err(|source| CliError::Io {
-            path: path.to_string(),
-            source,
-        })?;
+        clumsy_core::atomic_write(std::path::Path::new(path), csv.as_bytes()).map_err(
+            |source| CliError::Io {
+                path: path.to_string(),
+                source,
+            },
+        )?;
     }
 
     if args.flag("json") {
@@ -872,6 +951,48 @@ mod tests {
             "/nonexistent-dir-for-sure/out.csv",
         ]);
         assert!(matches!(r, Err(CliError::Io { .. })), "got {r:?}");
+    }
+
+    #[test]
+    fn campaign_durable_interrupt_then_mismatched_resume_is_refused() {
+        let dir = std::env::temp_dir().join(format!("clumsy-cli-durable-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("campaign.jsonl");
+        let jpath = journal.to_str().unwrap();
+        let base = &["campaign", "--app", "crc", "--packets", "30"];
+        // Interrupt before any job launches: zero jobs run, the journal
+        // stays behind, and the error carries resume context.
+        interrupt::set_interrupted(true);
+        let r = dispatch_line(&[base, &["--durable", "--journal", jpath][..]].concat());
+        interrupt::set_interrupted(false);
+        match &r {
+            Err(CliError::Interrupted { journal: j, .. }) => assert!(j.contains("campaign.jsonl")),
+            other => panic!("expected an interrupt, got {other:?}"),
+        }
+        assert!(journal.exists(), "interrupt must leave the journal");
+        // Resuming at a different seed must refuse, naming the field.
+        let r =
+            dispatch_line(&[base, &["--seed", "7", "--resume", "--journal", jpath][..]].concat());
+        match r {
+            Err(CliError::Journal(JournalError::HeaderMismatch { field, .. })) => {
+                assert_eq!(field, "seed");
+            }
+            other => panic!("expected a header mismatch, got {other:?}"),
+        }
+        assert!(
+            journal.exists(),
+            "a refused resume must not destroy the journal"
+        );
+        // Resuming unchanged finishes the run and retires the journal.
+        let done = dispatch_line(&[base, &["--resume", "--journal", jpath][..]].concat()).unwrap();
+        assert!(done.contains("failures: none"), "{done}");
+        assert!(!journal.exists(), "a completed run removes its journal");
+        let clean = dispatch_line(base).unwrap();
+        assert_eq!(
+            done, clean,
+            "resumed output must match an uninterrupted run"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

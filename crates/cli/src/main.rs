@@ -31,7 +31,14 @@ fn main() {
         Ok(text) => println!("{text}"),
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(2);
+            // An interrupted durable campaign is not a usage error: it
+            // left a resumable journal behind, and scripts driving the
+            // CLI distinguish "resume me" (3) from "you did it wrong" (2).
+            let code = match e {
+                commands::CliError::Interrupted { .. } => 3,
+                _ => 2,
+            };
+            std::process::exit(code);
         }
     }
 }

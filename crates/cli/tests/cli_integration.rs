@@ -70,6 +70,89 @@ fn model_command_prints_operating_points() {
     assert!(stdout.contains("P_E/bit"));
 }
 
+/// Kill a durable campaign mid-run with SIGTERM, resume it, and require
+/// the final CSV to be byte-for-byte what an uninterrupted run writes.
+/// Timing-tolerant: if the campaign wins the race and finishes before
+/// the signal lands, the bitwise comparison still applies.
+#[cfg(unix)]
+#[test]
+fn durable_campaign_survives_sigterm_and_resumes_bitwise_identically() {
+    let dir = std::env::temp_dir().join(format!("clumsy-kill-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("campaign.jsonl");
+    let clean_csv = dir.join("clean.csv");
+    let resumed_csv = dir.join("resumed.csv");
+    let base = |csv: &std::path::Path| -> Vec<String> {
+        [
+            "campaign",
+            "--app",
+            "route",
+            "--packets",
+            "900",
+            "--trials",
+            "2",
+            "--jobs",
+            "2",
+            "--csv",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .chain([csv.display().to_string()])
+        .collect()
+    };
+
+    // Reference: one uninterrupted, non-durable run.
+    let clean_args = base(&clean_csv);
+    let (_, stderr, ok) = clumsy(&clean_args.iter().map(String::as_str).collect::<Vec<_>>());
+    assert!(ok, "clean run failed: {stderr}");
+    let clean = std::fs::read(&clean_csv).unwrap();
+
+    // The same grid, journaled, with a SIGTERM landing mid-run.
+    let mut args = base(&resumed_csv);
+    args.extend([
+        "--durable".to_string(),
+        "--journal".to_string(),
+        journal.display().to_string(),
+    ]);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_clumsy"))
+        .args(&args)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("binary spawns");
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let _ = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status();
+    let status = child.wait().unwrap();
+
+    match status.code() {
+        Some(3) => {
+            // Interrupted and resumable: finish it with --resume.
+            assert!(journal.exists(), "interrupt must leave the journal");
+            args.push("--resume".to_string());
+            let out = Command::new(env!("CARGO_BIN_EXE_clumsy"))
+                .args(&args)
+                .output()
+                .unwrap();
+            assert!(
+                out.status.success(),
+                "resume failed: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            assert!(!journal.exists(), "a completed run retires its journal");
+        }
+        Some(0) => {} // finished before the signal; the comparison below still holds
+        other => panic!("unexpected exit status {other:?}"),
+    }
+    let resumed = std::fs::read(&resumed_csv).unwrap();
+    assert_eq!(
+        clean, resumed,
+        "resumed CSV must be bitwise identical to a clean run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn watchdog_flag_is_accepted() {
     let (stdout, _, ok) = clumsy(&[

@@ -27,12 +27,19 @@
 
 use crate::engine::{golden_for, Engine};
 use crate::experiment::{Aggregate, ExperimentOptions, GridPoint};
+use crate::journal::{self, JournalError, JournalHeader, JournalWriter, Record, JOURNAL_VERSION};
 use crate::processor::{ClumsyProcessor, GoldenData};
+use crate::report::RunReport;
 use netbench::AppKind;
 use std::collections::{HashMap, VecDeque};
 use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
+
+/// How often the coordinator polls the stop condition while a
+/// [`BatchControl::stop`] closure is installed.
+const STOP_POLL: Duration = Duration::from_millis(100);
 
 /// Seed stride between retry attempts of the same trial (a large odd
 /// constant, so attempt seeds never collide with neighbouring trials).
@@ -125,6 +132,42 @@ pub struct IsolatedRun<R> {
     pub results: Vec<Option<R>>,
     /// Jobs whose every attempt failed.
     pub failures: Vec<IsolatedFailure>,
+    /// Whether the batch was cut short by [`BatchControl::stop`]. Jobs
+    /// with neither a result nor a failure were never run.
+    pub interrupted: bool,
+}
+
+/// Completion callback invoked on the coordinator thread with the job
+/// index and its fresh result.
+pub type OnResult<'a, R> = &'a mut dyn FnMut(usize, &R);
+
+/// Extra batch behaviour for [`run_isolated_jobs_with`]: results known
+/// in advance (replayed from a journal), a cooperative stop condition,
+/// and a completion callback (to journal fresh results).
+pub struct BatchControl<'a, R> {
+    /// Results to pre-fill by job index: these jobs are never
+    /// scheduled and do not reach [`BatchControl::on_result`].
+    pub prefilled: HashMap<usize, R>,
+    /// Polled (roughly every 100 ms) by the coordinator; once it
+    /// returns `true`, no further job is launched, pending jobs are
+    /// dropped, and in-flight attempts are drained under the normal
+    /// deadline machinery.
+    pub stop: Option<&'a dyn Fn() -> bool>,
+    /// Called on the coordinator thread for every freshly completed
+    /// job, before its result is stored.
+    pub on_result: Option<OnResult<'a, R>>,
+}
+
+// Manual impl: `derive(Default)` would demand `R: Default`, which the
+// fields do not actually need.
+impl<R> Default for BatchControl<'_, R> {
+    fn default() -> Self {
+        BatchControl {
+            prefilled: HashMap::new(),
+            stop: None,
+            on_result: None,
+        }
+    }
 }
 
 /// Turns a panic payload into a displayable message.
@@ -160,15 +203,49 @@ where
     R: Send + 'static,
     F: Fn(usize, u32) -> R + Send + Sync + 'static,
 {
+    run_isolated_jobs_with(workers, n_jobs, cfg, BatchControl::default(), run)
+}
+
+/// [`run_isolated_jobs`] with durability hooks: jobs listed in
+/// `control.prefilled` are taken as already done, `control.on_result`
+/// observes every fresh completion (for journaling), and
+/// `control.stop` requests a graceful early exit — pending jobs are
+/// dropped, in-flight attempts drain normally, and the returned batch
+/// is marked [`IsolatedRun::interrupted`].
+///
+/// During a stop, a failing or deadline-overrunning in-flight attempt
+/// is neither retried nor recorded as a failure: the job simply stays
+/// incomplete, so a resumed batch reruns it from attempt 0 exactly as
+/// an uninterrupted batch would have.
+pub fn run_isolated_jobs_with<R, F>(
+    workers: usize,
+    n_jobs: usize,
+    cfg: &CampaignConfig,
+    mut control: BatchControl<'_, R>,
+    run: F,
+) -> IsolatedRun<R>
+where
+    R: Send + 'static,
+    F: Fn(usize, u32) -> R + Send + Sync + 'static,
+{
     let workers = workers.max(1);
     let run = Arc::new(run);
     let (tx, rx) = mpsc::channel::<(u64, Result<R, String>)>();
 
-    let mut pending: VecDeque<(usize, u32)> = (0..n_jobs).map(|j| (j, 0)).collect();
     let mut results: Vec<Option<R>> = (0..n_jobs).map(|_| None).collect();
+    for (job, r) in control.prefilled.drain() {
+        if job < n_jobs {
+            results[job] = Some(r);
+        }
+    }
+    let mut pending: VecDeque<(usize, u32)> = (0..n_jobs)
+        .filter(|j| results[*j].is_none())
+        .map(|j| (j, 0))
+        .collect();
     let mut failures: Vec<IsolatedFailure> = Vec::new();
     let mut in_flight: InFlight = HashMap::new();
     let mut next_gen: u64 = 0;
+    let mut stopped = false;
 
     let mut give_up = |job: usize, attempt: u32, failure: JobFailure| {
         failures.push(IsolatedFailure {
@@ -179,8 +256,16 @@ where
     };
 
     while !pending.is_empty() || !in_flight.is_empty() {
+        if !stopped && control.stop.is_some_and(|s| s()) {
+            stopped = true;
+            pending.clear();
+            if in_flight.is_empty() {
+                break;
+            }
+        }
+
         // Launch until every worker slot is busy.
-        while in_flight.len() < workers {
+        while !stopped && in_flight.len() < workers {
             let Some((job, attempt)) = pending.pop_front() else {
                 break;
             };
@@ -199,9 +284,16 @@ where
             });
         }
 
-        // Wait for the next completion, or until the earliest deadline.
+        // Wait for the next completion, until the earliest deadline, or
+        // for at most one stop-poll interval when a stop condition is
+        // installed and not yet triggered.
         let earliest = in_flight.iter().filter_map(|(_, (_, _, d))| *d).min();
-        let message = match earliest {
+        let poll = (control.stop.is_some() && !stopped).then(|| Instant::now() + STOP_POLL);
+        let wake = match (earliest, poll) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let message = match wake {
             Some(at) => {
                 let now = Instant::now();
                 if at <= now {
@@ -221,9 +313,17 @@ where
                     continue;
                 };
                 match outcome {
-                    Ok(r) => results[job] = Some(r),
+                    Ok(r) => {
+                        if let Some(cb) = control.on_result.as_mut() {
+                            cb(job, &r);
+                        }
+                        results[job] = Some(r);
+                    }
                     Err(msg) => {
-                        if attempt < cfg.retries {
+                        if stopped {
+                            // Leave the job incomplete; a resume reruns
+                            // it from attempt 0.
+                        } else if attempt < cfg.retries {
                             pending.push_back((job, attempt + 1));
                         } else {
                             give_up(job, attempt, JobFailure::Panicked(msg));
@@ -233,7 +333,8 @@ where
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 // Abandon every attempt past its deadline; the threads
-                // keep running but their results will be ignored.
+                // keep running but their results will be ignored. (A
+                // wake-up with nothing expired was just a stop poll.)
                 let now = Instant::now();
                 let expired: Vec<u64> = in_flight
                     .iter()
@@ -242,7 +343,9 @@ where
                     .collect();
                 for gen in expired {
                     let (job, attempt, _) = in_flight.remove(&gen).expect("expired gen");
-                    if attempt < cfg.retries {
+                    if stopped {
+                        // As above: incomplete, rerun on resume.
+                    } else if attempt < cfg.retries {
                         pending.push_back((job, attempt + 1));
                     } else {
                         let d = cfg.deadline.expect("timeout implies a deadline");
@@ -256,7 +359,11 @@ where
     }
 
     failures.sort_by_key(|f| f.job);
-    IsolatedRun { results, failures }
+    IsolatedRun {
+        results,
+        failures,
+        interrupted: stopped,
+    }
 }
 
 /// One exhausted (point, trial) job of a campaign.
@@ -299,14 +406,16 @@ pub struct CampaignReport {
 }
 
 impl CampaignReport {
-    /// Jobs that produced a result.
+    /// Jobs that produced a result. Counted from the surviving trials
+    /// (not inferred from the failure list) so it stays correct for
+    /// interrupted campaigns, where jobs may be neither.
     pub fn completed_jobs(&self) -> usize {
-        self.total_jobs - self.failures.len()
+        self.aggregates.iter().map(|a| a.runs.len()).sum()
     }
 
     /// Whether every job completed.
     pub fn is_complete(&self) -> bool {
-        self.failures.is_empty()
+        self.failures.is_empty() && self.completed_jobs() == self.total_jobs
     }
 }
 
@@ -328,6 +437,21 @@ pub fn run_campaign_on(
     opts: &ExperimentOptions,
     cfg: &CampaignConfig,
 ) -> CampaignReport {
+    campaign_with_control(engine, points, trace, opts, cfg, BatchControl::default()).0
+}
+
+/// Shared campaign core: warms goldens, maps (point, trial) jobs onto
+/// the isolated batch driver under `control`, and folds the slots back
+/// into a [`CampaignReport`]. Returns the report and whether the batch
+/// was interrupted.
+fn campaign_with_control(
+    engine: &Engine,
+    points: &[GridPoint],
+    trace: &netbench::Trace,
+    opts: &ExperimentOptions,
+    cfg: &CampaignConfig,
+    control: BatchControl<'_, RunReport>,
+) -> (CampaignReport, bool) {
     let mut kinds: Vec<AppKind> = points.iter().map(|p| p.kind).collect();
     kinds.sort();
     kinds.dedup();
@@ -345,10 +469,11 @@ pub fn run_campaign_on(
     let points_shared: Arc<Vec<GridPoint>> = Arc::new(points.to_vec());
     let trace_shared = Arc::new(trace.clone());
 
-    let isolated = run_isolated_jobs(
+    let isolated = run_isolated_jobs_with(
         engine.jobs(),
         total_jobs,
         cfg,
+        control,
         move |job: usize, attempt: u32| {
             let point = &points_shared[job / trials];
             let t = (job % trials) as u64;
@@ -384,11 +509,153 @@ pub fn run_campaign_on(
         })
         .collect();
 
-    CampaignReport {
-        aggregates,
-        failures,
-        total_jobs,
+    (
+        CampaignReport {
+            aggregates,
+            failures,
+            total_jobs,
+        },
+        isolated.interrupted,
+    )
+}
+
+/// Durability settings for [`run_campaign_durable`].
+pub struct DurableOptions {
+    /// Journal path (created along with its parent directories).
+    pub journal: PathBuf,
+    /// Replay an existing journal at that path first, scheduling only
+    /// the jobs it does not already record. A missing journal file
+    /// simply starts a fresh run.
+    pub resume: bool,
+    /// Optional graceful-stop condition, polled while the campaign
+    /// runs (wire this to [`crate::interrupt::interrupted`]).
+    pub stop: Option<Arc<dyn Fn() -> bool + Send + Sync>>,
+}
+
+impl std::fmt::Debug for DurableOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableOptions")
+            .field("journal", &self.journal)
+            .field("resume", &self.resume)
+            .field("stop", &self.stop.is_some())
+            .finish()
     }
+}
+
+/// Result of a durable campaign run.
+#[derive(Debug)]
+pub struct DurableOutcome {
+    /// The (possibly partial) campaign report.
+    pub report: CampaignReport,
+    /// `true` if the run was stopped early with jobs still unscheduled
+    /// — rerun with `resume` to finish.
+    pub interrupted: bool,
+    /// Jobs pre-filled from the journal instead of being rerun.
+    pub replayed_jobs: usize,
+    /// Corrupt or duplicate journal records that were skipped.
+    pub skipped_records: usize,
+}
+
+/// FNV-1a hash over the canonical description of a grid: each point's
+/// application name and full config debug form. Any change to the grid
+/// shape or any design-point parameter changes the hash.
+pub fn grid_hash(points: &[GridPoint]) -> u64 {
+    let mut canon = String::new();
+    for p in points {
+        canon.push_str(p.kind.name());
+        canon.push('|');
+        canon.push_str(&format!("{:?}", p.cfg));
+        canon.push(';');
+    }
+    journal::fnv1a64(canon.as_bytes())
+}
+
+/// The journal header identifying a campaign run: its seed, trial
+/// count, trace size and grid hash. A resume refuses to proceed unless
+/// every field matches.
+pub fn campaign_header(
+    points: &[GridPoint],
+    trace: &netbench::Trace,
+    opts: &ExperimentOptions,
+) -> JournalHeader {
+    JournalHeader {
+        version: JOURNAL_VERSION,
+        seed: opts.seed,
+        trials: opts.trials.max(1),
+        scale: trace.packets.len() as u64,
+        points: points.len() as u64,
+        grid: grid_hash(points),
+    }
+}
+
+/// [`run_campaign_on`] with crash-safe durability: every completed
+/// (point, trial) job is appended to a CRC-checked journal as it
+/// finishes, `durable.resume` replays a prior journal (verifying the
+/// header and tolerating a torn tail) so only the remaining jobs run,
+/// and `durable.stop` allows a graceful interrupt that leaves the
+/// journal resumable.
+///
+/// Because a trial's fault seed derives from `opts.seed` and the trial
+/// index alone, a resumed campaign produces a report bitwise identical
+/// to an uninterrupted one.
+///
+/// # Errors
+///
+/// [`JournalError`] if the journal cannot be written, an existing
+/// journal has no valid header, or its header belongs to a different
+/// run configuration.
+pub fn run_campaign_durable(
+    engine: &Engine,
+    points: &[GridPoint],
+    trace: &netbench::Trace,
+    opts: &ExperimentOptions,
+    cfg: &CampaignConfig,
+    durable: &DurableOptions,
+) -> Result<DurableOutcome, JournalError> {
+    let header = campaign_header(points, trace, opts);
+    let trials = opts.trials.max(1) as usize;
+    let total_jobs = points.len() * trials;
+
+    let mut prefilled: HashMap<usize, RunReport> = HashMap::new();
+    let mut skipped_records = 0;
+    let writer = if durable.resume && durable.journal.exists() {
+        let replayed = journal::replay(&durable.journal)?;
+        replayed.header.check(&header)?;
+        skipped_records = replayed.skipped_records;
+        for record in replayed.records {
+            if let Record::Job { job, report } = record {
+                if job < total_jobs {
+                    prefilled.insert(job, *report);
+                }
+            }
+        }
+        JournalWriter::resume(&durable.journal, replayed.valid_len)?
+    } else {
+        JournalWriter::create(&durable.journal, &header)?
+    };
+    let replayed_jobs = prefilled.len();
+
+    let stop_fn: Option<Box<dyn Fn() -> bool>> = durable.stop.as_ref().map(|s| {
+        let s = Arc::clone(s);
+        Box::new(move || s()) as Box<dyn Fn() -> bool>
+    });
+    let mut on_result = |job: usize, report: &RunReport| writer.append_job(job, report);
+    let control = BatchControl {
+        prefilled,
+        stop: stop_fn.as_deref(),
+        on_result: Some(&mut on_result),
+    };
+
+    let (report, stopped) = campaign_with_control(engine, points, trace, opts, cfg, control);
+    writer.finish()?;
+
+    let unscheduled = total_jobs - report.completed_jobs() - report.failures.len();
+    Ok(DurableOutcome {
+        interrupted: stopped && unscheduled > 0,
+        report,
+        replayed_jobs,
+        skipped_records,
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,89 @@
+//! Graceful-interruption support: a process-wide flag set by SIGINT /
+//! SIGTERM so long-running campaigns can stop job intake, drain
+//! in-flight work, flush their journal and exit resumable.
+//!
+//! [`install`] registers an async-signal-safe handler (it only stores
+//! to an atomic). The first signal requests a graceful stop; a second
+//! one aborts immediately, so an operator is never more than two
+//! Ctrl-C's away from their prompt. On non-unix targets [`install`] is
+//! a no-op and [`interrupted`] simply stays `false`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Once;
+
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+static INSTALL: Once = Once::new();
+
+/// Whether a graceful-stop signal has been received.
+pub fn interrupted() -> bool {
+    INTERRUPTED.load(Ordering::SeqCst)
+}
+
+/// Test hook: raise or clear the interrupt flag without a signal.
+pub fn set_interrupted(value: bool) {
+    INTERRUPTED.store(value, Ordering::SeqCst);
+}
+
+/// Installs the SIGINT/SIGTERM handler (idempotent).
+pub fn install() {
+    INSTALL.call_once(sys::install);
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod sys {
+    use super::INTERRUPTED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    // Raw libc signal(2); the crate has no libc dependency and only
+    // needs these two registrations. usize carries the handler pointer
+    // (or SIG_ERR as !0), matching the C prototype on all unix targets
+    // this repo builds on.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+        fn abort() -> !;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Second signal: the user really means it. abort(2) is
+        // async-signal-safe; swap() makes the check race-free.
+        if INTERRUPTED.swap(true, Ordering::SeqCst) {
+            unsafe { abort() }
+        }
+    }
+
+    pub(super) fn install() {
+        // SAFETY: on_signal only touches an atomic and abort(), both
+        // async-signal-safe; the handler address stays valid for the
+        // life of the process.
+        let handler = on_signal as *const () as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    pub(super) fn install() {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_round_trips_and_install_is_idempotent() {
+        install();
+        install();
+        set_interrupted(false);
+        assert!(!interrupted());
+        set_interrupted(true);
+        assert!(interrupted());
+        set_interrupted(false);
+    }
+}

@@ -38,7 +38,9 @@
 //! assert!(report.fallibility() >= 1.0);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the interrupt module carries a single
+// audited `#[allow(unsafe_code)]` for the raw signal(2) registration.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod campaign;
@@ -46,17 +48,21 @@ mod config;
 mod controller;
 pub mod engine;
 pub mod experiment;
+pub mod interrupt;
+pub mod journal;
 mod processor;
 mod report;
 mod taxonomy;
 
 pub use campaign::{
-    run_campaign_on, run_isolated_jobs, CampaignConfig, CampaignReport, FailedJob, IsolatedFailure,
+    run_campaign_durable, run_campaign_on, run_isolated_jobs, run_isolated_jobs_with, BatchControl,
+    CampaignConfig, CampaignReport, DurableOptions, DurableOutcome, FailedJob, IsolatedFailure,
     IsolatedRun, JobFailure,
 };
 pub use config::{ClumsyConfig, DynamicConfig, FrequencyPlan};
 pub use controller::{Decision, DynamicController};
 pub use engine::{golden_for, Engine};
+pub use journal::{atomic_write, JournalError, JournalHeader, JournalWriter};
 pub use processor::{ClumsyProcessor, GoldenData};
 pub use report::{FatalInfo, RunReport};
 pub use taxonomy::{OutcomeCounts, TrialOutcome};

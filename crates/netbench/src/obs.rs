@@ -46,6 +46,26 @@ pub enum ErrorCategory {
 }
 
 impl ErrorCategory {
+    /// Every category, in `Ord` order — the full legend space.
+    pub fn all() -> [ErrorCategory; 14] {
+        [
+            ErrorCategory::Initialization,
+            ErrorCategory::Checksum,
+            ErrorCategory::Ttl,
+            ErrorCategory::RouteTableEntry,
+            ErrorCategory::RadixTreeEntry,
+            ErrorCategory::InterfaceValue,
+            ErrorCategory::TranslatedAddress,
+            ErrorCategory::DestinationAddress,
+            ErrorCategory::DeficitValue,
+            ErrorCategory::CrcTable,
+            ErrorCategory::CrcValue,
+            ErrorCategory::Digest,
+            ErrorCategory::UrlTableEntry,
+            ErrorCategory::MediaSample,
+        ]
+    }
+
     /// A short label for reports.
     pub fn label(&self) -> &'static str {
         match self {

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Interrupt-and-resume smoke test for the durable campaign path.
+#
+# Runs one clean (non-durable) campaign as the reference, then the same
+# grid with --durable, SIGTERMs it mid-run, resumes it, and requires the
+# final CSV to be byte-for-byte identical to the reference. The test is
+# timing-tolerant: on a fast machine the durable run may finish before
+# the signal lands (exit 0 instead of 3), and the bitwise comparison
+# still applies.
+#
+#   CLUMSY_BIN          clumsy binary (default target/release/clumsy)
+#   SMOKE_PACKETS       trace length (default 2000, big enough to be
+#                       mid-run when the signal arrives)
+#   SMOKE_DELAY         seconds before SIGTERM (default 0.3)
+set -euo pipefail
+
+BIN="${CLUMSY_BIN:-target/release/clumsy}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+ARGS=(campaign --app route --packets "${SMOKE_PACKETS:-2000}" --trials 2 --jobs 2)
+
+echo "== clean reference run =="
+"$BIN" "${ARGS[@]}" --csv "$WORK/clean.csv" > /dev/null
+
+echo "== durable run, SIGTERM mid-flight =="
+"$BIN" "${ARGS[@]}" --durable --journal "$WORK/campaign.jsonl" \
+    --csv "$WORK/resumed.csv" > /dev/null &
+PID=$!
+sleep "${SMOKE_DELAY:-0.3}"
+kill -TERM "$PID" 2>/dev/null || true
+set +e
+wait "$PID"
+STATUS=$?
+set -e
+
+case "$STATUS" in
+  3)
+    echo "interrupted as expected (exit 3); resuming"
+    [ -f "$WORK/campaign.jsonl" ] || { echo "FAIL: no journal left behind"; exit 1; }
+    "$BIN" "${ARGS[@]}" --resume --journal "$WORK/campaign.jsonl" \
+        --csv "$WORK/resumed.csv" > /dev/null
+    [ -f "$WORK/campaign.jsonl" ] && { echo "FAIL: completed run kept its journal"; exit 1; }
+    ;;
+  0)
+    echo "campaign finished before the signal landed; comparing anyway"
+    ;;
+  *)
+    echo "FAIL: unexpected exit status $STATUS"
+    exit 1
+    ;;
+esac
+
+cmp "$WORK/clean.csv" "$WORK/resumed.csv"
+echo "ok: resumed CSV is bitwise identical to the clean run"
