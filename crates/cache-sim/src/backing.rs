@@ -6,9 +6,17 @@ use crate::error::MemError;
 ///
 /// Functionally this combines the level-2 cache's data array and main
 /// memory: the paper assumes the L2 is correct "unless an incorrect
-/// value from level-1 is written to it", so the L2 never needs its own
-/// (possibly divergent) data copy — only its tag array matters for
-/// timing (see [`TagCache`](crate::TagCache)).
+/// value from level-1 is written to it", so the L2 needs no data copy
+/// of its own that could diverge — only its tag array matters for
+/// timing (see [`TagCache`](crate::TagCache)). That assumption is now
+/// *configurable* rather than baked in: the opt-in
+/// [`FaultTargets::l2`](crate::FaultTargets) process corrupts words in
+/// flight between this store and the L1 (refills, strike refetches and
+/// writebacks) at the per-bit probability of the L2's own clock
+/// ([`MemConfig::l2_cycle`](crate::MemConfig)). The store itself stays
+/// the holder of whatever the hierarchy last deposited — a corrupted
+/// writeback *is* the new architectural "truth", which is exactly how
+/// recovery comes to refetch bad data.
 ///
 /// # Examples
 ///

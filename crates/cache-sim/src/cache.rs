@@ -99,6 +99,33 @@ impl fmt::Display for CacheGeometry {
     }
 }
 
+/// Which per-word check code the data cache stores alongside each word.
+///
+/// One byte per word is reserved either way, so switching codes changes
+/// no array layout: the parity signature uses 4 of its bits, the SECDED
+/// code 7 (see [`crate::secded`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WordCode {
+    /// Per-byte parity signature; bit `i` is the even parity of byte
+    /// `i`, and word parity is the XOR of the four bits, so both parity
+    /// detection granularities share this encoding.
+    #[default]
+    ParitySignature,
+    /// SECDED (39,32) extended-Hamming code
+    /// ([`secded_encode`](crate::secded_encode)).
+    Secded,
+}
+
+impl WordCode {
+    /// Encodes the check byte for `word` under this code.
+    pub fn encode(self, word: u32) -> u8 {
+        match self {
+            WordCode::ParitySignature => parity_signature(word),
+            WordCode::Secded => crate::secded::secded_encode(word),
+        }
+    }
+}
+
 /// One line of the data-holding L1 cache.
 #[derive(Debug, Clone)]
 struct DataLine {
@@ -106,10 +133,9 @@ struct DataLine {
     valid: bool,
     dirty: bool,
     data: Box<[u8]>,
-    /// Per-word parity signature computed from the *intended* data (so
-    /// a corrupted store is detectable later): bit `i` is the even
-    /// parity of byte `i`. Word parity is the XOR of the four bits, so
-    /// both detection granularities share this storage.
+    /// Per-word check code computed from the *intended* data (so a
+    /// corrupted store is detectable later) under the cache's
+    /// [`WordCode`].
     parity: Box<[u8]>,
 }
 
@@ -134,30 +160,42 @@ pub(crate) enum Lookup {
     Miss(usize),
 }
 
-/// The level-1 data cache: tags, data and per-word parity.
+/// The level-1 data cache: tags, data and a per-word check code.
 ///
 /// This is a plain storage array — fault injection, detection and
 /// recovery live in [`MemSystem`](crate::MemSystem), which drives it.
 #[derive(Debug, Clone)]
 pub struct DataCache {
     geom: CacheGeometry,
+    code: WordCode,
     lines: Vec<DataLine>,
     /// Per-set LRU order: `lru[set]` lists way indices, most recent last.
     lru: Vec<Vec<u8>>,
 }
 
 impl DataCache {
-    /// Creates an empty (all-invalid) cache.
+    /// Creates an empty (all-invalid) cache storing parity signatures.
     pub fn new(geom: CacheGeometry) -> Self {
+        DataCache::with_code(geom, WordCode::ParitySignature)
+    }
+
+    /// Creates an empty cache storing the given per-word check code.
+    pub fn with_code(geom: CacheGeometry, code: WordCode) -> Self {
         let sets = geom.sets() as usize;
         let assoc = geom.assoc() as usize;
         DataCache {
             geom,
+            code,
             lines: (0..sets * assoc)
                 .map(|_| DataLine::new(geom.line_size()))
                 .collect(),
             lru: (0..sets).map(|_| (0..assoc as u8).collect()).collect(),
         }
+    }
+
+    /// The per-word check code this cache stores.
+    pub fn code(&self) -> WordCode {
+        self.code
     }
 
     /// The cache geometry.
@@ -224,14 +262,16 @@ impl DataCache {
         line.data.copy_from_slice(data);
         for w in 0..line.parity.len() {
             let b = &line.data[w * 4..w * 4 + 4];
-            line.parity[w] = parity_signature(u32::from_le_bytes([b[0], b[1], b[2], b[3]]));
+            line.parity[w] = self
+                .code
+                .encode(u32::from_le_bytes([b[0], b[1], b[2], b[3]]));
         }
         self.touch(set, way);
         evicted
     }
 
     /// Reads the stored (possibly corrupted) word containing `addr`,
-    /// with its stored parity signature. `addr` must be word-aligned and
+    /// with its stored check code. `addr` must be word-aligned and
     /// resident in `way`.
     pub(crate) fn read_word(&mut self, addr: u32, way: usize) -> (u32, u8) {
         let set = self.geom.set_of(addr);
@@ -248,8 +288,8 @@ impl DataCache {
     }
 
     /// Stores `stored` into the word containing `addr` while recording
-    /// the parity of `intended` (they differ when a write fault corrupts
-    /// the store), marking the line dirty.
+    /// the check code of `intended` (they differ when a write fault
+    /// corrupts the store), marking the line dirty.
     pub(crate) fn write_word(&mut self, addr: u32, way: usize, stored: u32, intended: u32) {
         let set = self.geom.set_of(addr);
         self.touch(set, way);
@@ -258,7 +298,7 @@ impl DataCache {
         debug_assert!(line.valid && line.tag == self.geom.tag_of(addr));
         let off = self.geom.offset_of(addr) as usize;
         line.data[off..off + 4].copy_from_slice(&stored.to_le_bytes());
-        line.parity[off / 4] = parity_signature(intended);
+        line.parity[off / 4] = self.code.encode(intended);
         line.dirty = true;
     }
 
@@ -324,8 +364,8 @@ impl DataCache {
         true
     }
 
-    /// Host write: if the word is resident, overwrite data and parity
-    /// (intended == stored) without touching LRU or dirty state.
+    /// Host write: if the word is resident, overwrite data and check
+    /// code (intended == stored) without touching LRU or dirty state.
     /// Returns whether the word was resident.
     pub(crate) fn poke_word(&mut self, addr: u32, value: u32) -> bool {
         match self.lookup(addr) {
@@ -335,7 +375,8 @@ impl DataCache {
                 let line = &mut self.lines[idx];
                 let off = self.geom.offset_of(addr) as usize;
                 line.data[off..off + 4].copy_from_slice(&value.to_le_bytes());
-                line.parity[off / 4] = parity_signature(value);
+                let code = self.code;
+                line.parity[off / 4] = code.encode(value);
                 true
             }
             Lookup::Miss(_) => false,
@@ -412,9 +453,11 @@ pub(crate) fn word_parity_of_signature(sig: u8) -> bool {
 
 /// A tag-only set-associative cache used for level-2 timing.
 ///
-/// The paper assumes L2 data is correct, so its contents live in the
-/// [`BackingStore`](crate::BackingStore); this array only answers
-/// hit/miss for latency and energy accounting.
+/// The L2's data contents live in the [`BackingStore`](crate::BackingStore)
+/// (correct by default; fallible when the opt-in
+/// [`FaultTargets::l2`](crate::FaultTargets) process corrupts words in
+/// flight); this array only answers hit/miss for latency and energy
+/// accounting.
 #[derive(Debug, Clone)]
 pub struct TagCache {
     geom: CacheGeometry,
@@ -664,6 +707,23 @@ mod tests {
         assert!(!word_parity(3));
         assert!(word_parity(7));
         assert!(!word_parity(u32::MAX));
+    }
+
+    #[test]
+    fn secded_coded_cache_stores_secded_signatures() {
+        let mut c = DataCache::with_code(l1(), WordCode::Secded);
+        assert_eq!(c.code(), WordCode::Secded);
+        c.fill(0x100, 0, &[0xAB; 32]);
+        let word = u32::from_le_bytes([0xAB; 4]);
+        let (v, sig) = c.read_word(0x100, 0);
+        assert_eq!(v, word);
+        assert_eq!(sig, crate::secded::secded_encode(word));
+        c.write_word(0x104, 0, 0x7, 0x7);
+        let (_, sig) = c.read_word(0x104, 0);
+        assert_eq!(sig, crate::secded::secded_encode(0x7));
+        assert!(c.poke_word(0x108, 0xDEAD_BEEF));
+        let (_, sig) = c.read_word(0x108, 0);
+        assert_eq!(sig, crate::secded::secded_encode(0xDEAD_BEEF));
     }
 
     #[test]

@@ -45,10 +45,18 @@ pub struct MemConfig {
     pub detection: DetectionScheme,
     /// Recovery policy on detected faults.
     pub strikes: StrikePolicy,
-    /// Which L1 SRAM arrays injection targets. The default (data only)
-    /// is the paper's model; tag/parity targets are opt-in and draw no
-    /// randomness while off, keeping default runs bitwise stable.
+    /// Which SRAM arrays injection targets. The default (data only)
+    /// is the paper's model; tag/parity/l2 targets are opt-in and draw
+    /// no randomness while off, keeping default runs bitwise stable.
     pub targets: FaultTargets,
+    /// Relative cycle time of the level-2 clock, in the same `(0, 1]`
+    /// scale as the L1's `Cr`. Sets the per-bit fault probability of the
+    /// opt-in [`FaultTargets::l2`] process via the shared
+    /// [`FaultProbabilityModel`] — the L2 runs on its own (normally
+    /// full-swing, hence fault-free-in-practice) clock and does not
+    /// follow the L1's dynamic scaling. Unused while `targets.l2` is
+    /// off.
+    pub l2_cycle: f64,
     /// How much state a strike-exhausted recovery discards.
     pub recovery: RecoveryGranularity,
     /// Per-bit fault probability model.
@@ -81,6 +89,7 @@ impl MemConfig {
             detection: DetectionScheme::None,
             strikes: StrikePolicy::two_strike(),
             targets: FaultTargets::data_only(),
+            l2_cycle: 1.0,
             recovery: RecoveryGranularity::Line,
             fault_model: FaultProbabilityModel::calibrated(),
             sampling: SamplingMode::default(),
@@ -111,6 +120,20 @@ impl MemConfig {
     /// Returns the config with different injection targets.
     pub fn with_targets(mut self, targets: FaultTargets) -> Self {
         self.targets = targets;
+        self
+    }
+
+    /// Returns the config with a different L2 clock cycle time.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `l2_cycle` is in `(0, 1]`.
+    pub fn with_l2_cycle(mut self, l2_cycle: f64) -> Self {
+        assert!(
+            l2_cycle > 0.0 && l2_cycle <= 1.0,
+            "L2 cycle time must be in (0, 1], got {l2_cycle}"
+        );
+        self.l2_cycle = l2_cycle;
         self
     }
 
@@ -173,5 +196,17 @@ mod tests {
     #[test]
     fn default_targets_are_data_only() {
         assert_eq!(MemConfig::strongarm().targets, FaultTargets::data_only());
+    }
+
+    #[test]
+    fn default_l2_cycle_is_full_swing() {
+        assert_eq!(MemConfig::strongarm().l2_cycle, 1.0);
+        assert_eq!(MemConfig::strongarm().with_l2_cycle(0.5).l2_cycle, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "L2 cycle time")]
+    fn l2_cycle_rejects_zero() {
+        MemConfig::strongarm().with_l2_cycle(0.0);
     }
 }

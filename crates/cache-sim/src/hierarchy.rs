@@ -4,10 +4,12 @@
 use crate::backing::BackingStore;
 use crate::cache::{
     parity_signature, word_parity_of_signature, CacheGeometry, DataCache, Lookup, TagCache,
+    WordCode,
 };
 use crate::config::MemConfig;
 use crate::error::MemError;
 use crate::policy::{DetectionScheme, RecoveryGranularity};
+use crate::secded::{secded_decode, SecdedOutcome, SECDED_CODE_BITS};
 use crate::stats::MemStats;
 use crate::WORD_BITS;
 use energy_model::EnergyBreakdown;
@@ -60,6 +62,11 @@ pub struct MemSystem {
     /// width for tag-array faults so an aliased writeback stays in
     /// range. 10 bits for the default 4 MiB / 4 KB-direct-mapped config.
     tag_width: u32,
+    /// Per-bit fault probability of the L2 data array at its own clock
+    /// ([`MemConfig::l2_cycle`]), cached at construction. Consulted only
+    /// when the opt-in [`FaultTargets::l2`](crate::FaultTargets) target
+    /// is on.
+    l2_per_bit: f64,
 }
 
 impl MemSystem {
@@ -72,8 +79,13 @@ impl MemSystem {
         let tag_width = backing_bits
             .saturating_sub(line_bits + set_bits)
             .clamp(1, 32);
+        let l2_per_bit = cfg.fault_model.per_bit_at_cycle(cfg.l2_cycle);
+        let code = match cfg.detection {
+            DetectionScheme::Secded => WordCode::Secded,
+            _ => WordCode::ParitySignature,
+        };
         MemSystem {
-            l1: DataCache::new(cfg.l1),
+            l1: DataCache::with_code(cfg.l1, code),
             l2: TagCache::new(cfg.l2),
             backing: BackingStore::new(cfg.backing_bytes),
             sampler,
@@ -83,6 +95,7 @@ impl MemSystem {
             cycles: 0.0,
             energy: EnergyBreakdown::default(),
             tag_width,
+            l2_per_bit,
             cfg,
         }
     }
@@ -206,6 +219,32 @@ impl MemSystem {
         }
     }
 
+    /// Opt-in L2 data-array injection: corrupts one word travelling to
+    /// or from the L2, at the per-bit probability of the L2's own clock
+    /// ([`MemConfig::l2_cycle`]). Callers gate on `cfg.targets.l2`, so
+    /// the sampler draws nothing while the target is off.
+    fn maybe_corrupt_l2_word(&mut self, word: u32) -> u32 {
+        let fault = self.sampler.sample_aux_at(self.l2_per_bit, WORD_BITS);
+        if fault.is_fault() {
+            self.stats.l2_faults_injected += 1;
+            word ^ fault.mask()
+        } else {
+            word
+        }
+    }
+
+    /// Applies [`MemSystem::maybe_corrupt_l2_word`] to every aligned
+    /// word of a line buffer.
+    fn maybe_corrupt_l2_block(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_exact_mut(4) {
+            let word = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+            let fetched = self.maybe_corrupt_l2_word(word);
+            if fetched != word {
+                chunk.copy_from_slice(&fetched.to_le_bytes());
+            }
+        }
+    }
+
     /// Brings the line containing `addr` into L1, charging miss costs;
     /// returns the way.
     fn ensure_resident(&mut self, addr: u32) -> Result<usize, MemError> {
@@ -223,6 +262,12 @@ impl MemSystem {
                 self.charge_l2_access(base, true);
                 let mut buf = vec![0u8; self.cfg.l1.line_size() as usize];
                 self.backing.read_block(base, &mut buf)?;
+                // A corrupted refill word arrives before the L1 encodes
+                // its check code, so detection cannot see it — the L1's
+                // code protects the L1 array, not the path below it.
+                if self.cfg.targets.l2 {
+                    self.maybe_corrupt_l2_block(&mut buf);
+                }
                 if let Some((evicted_base, data)) = self.l1.fill(base, way, &buf) {
                     self.writeback(evicted_base, &data)?;
                 }
@@ -251,7 +296,16 @@ impl MemSystem {
 
     fn writeback(&mut self, base: u32, data: &[u8]) -> Result<(), MemError> {
         self.stats.writebacks += 1;
-        self.backing.write_block(base, data)?;
+        if self.cfg.targets.l2 {
+            // The deposited copy is what later refills and strike
+            // refetches will call "truth", so an L2 fault here is a
+            // persistent corruption of the architectural state.
+            let mut corrupted = data.to_vec();
+            self.maybe_corrupt_l2_block(&mut corrupted);
+            self.backing.write_block(base, &corrupted)?;
+        } else {
+            self.backing.write_block(base, data)?;
+        }
         self.charge_l2_access(base, false);
         Ok(())
     }
@@ -278,19 +332,19 @@ impl MemSystem {
 
     fn charge_l1_read(&mut self) {
         self.cycles += self.l1_stall();
-        self.energy.l1_nj += if self.cfg.detection.is_enabled() {
-            self.cfg.energy.l1_read_energy_with_parity(self.vsr) * self.detection_factor()
-        } else {
-            self.cfg.energy.l1_read_energy(self.vsr)
+        self.energy.l1_nj += match self.cfg.detection {
+            DetectionScheme::None => self.cfg.energy.l1_read_energy(self.vsr),
+            DetectionScheme::Secded => self.cfg.energy.l1_read_energy_with_ecc(self.vsr),
+            _ => self.cfg.energy.l1_read_energy_with_parity(self.vsr) * self.detection_factor(),
         };
     }
 
     fn charge_l1_write(&mut self) {
         self.cycles += self.l1_stall();
-        self.energy.l1_nj += if self.cfg.detection.is_enabled() {
-            self.cfg.energy.l1_write_energy_with_parity(self.vsr) * self.detection_factor()
-        } else {
-            self.cfg.energy.l1_write_energy(self.vsr)
+        self.energy.l1_nj += match self.cfg.detection {
+            DetectionScheme::None => self.cfg.energy.l1_write_energy(self.vsr),
+            DetectionScheme::Secded => self.cfg.energy.l1_write_energy_with_ecc(self.vsr),
+            _ => self.cfg.energy.l1_write_energy_with_parity(self.vsr) * self.detection_factor(),
         };
     }
 
@@ -331,7 +385,11 @@ impl MemSystem {
             // (a missed detection). Only meaningful when detection
             // hardware actually compares the signature.
             if self.cfg.targets.parity && self.cfg.detection.is_enabled() {
-                let pfault = self.sampler.sample_aux(PARITY_SIG_BITS);
+                let sig_bits = match self.cfg.detection {
+                    DetectionScheme::Secded => SECDED_CODE_BITS,
+                    _ => PARITY_SIG_BITS,
+                };
+                let pfault = self.sampler.sample_aux(sig_bits);
                 if pfault.is_fault() {
                     self.stats.parity_faults_injected += 1;
                     stored_parity ^= pfault.mask() as u8;
@@ -376,6 +434,36 @@ impl MemSystem {
                     // and fetch the word from L2/backing.
                     return self.strike_fallback(addr);
                 }
+                DetectionScheme::Secded => match secded_decode(value, stored_parity) {
+                    SecdedOutcome::Clean => {
+                        // Clean — or three-plus flips aliased to a valid
+                        // codeword and slipped through.
+                        if fault.is_fault() {
+                            self.stats.faults_undetected += 1;
+                        }
+                        return Ok(value);
+                    }
+                    SecdedOutcome::Corrected(corrected) => {
+                        // Single-bit error repaired in place — no retry,
+                        // no refetch. (A triple flip can masquerade as a
+                        // correctable single and miscorrect; the golden
+                        // comparison upstairs catches the wrong value.)
+                        self.stats.faults_corrected += 1;
+                        return Ok(corrected);
+                    }
+                    SecdedOutcome::Detected => {
+                        // Uncorrectable: fall back to the strike path,
+                        // exactly like a parity detection.
+                        self.stats.faults_detected += 1;
+                        if attempt < max_attempts {
+                            attempt += 1;
+                            self.stats.strike_retries += 1;
+                            self.charge_l1_read();
+                            continue;
+                        }
+                        return self.strike_fallback(addr);
+                    }
+                },
             }
         }
     }
@@ -383,7 +471,18 @@ impl MemSystem {
     fn strike_fallback(&mut self, addr: u32) -> Result<u32, MemError> {
         self.stats.strike_invalidations += 1;
         self.charge_l2_access(self.cfg.l1.line_base(addr), true);
-        let truth = self.backing.read_word(addr)?;
+        let mut truth = self.backing.read_word(addr)?;
+        if self.cfg.targets.l2 {
+            // The refetch that recovery leans on reads the same fallible
+            // L2 array. A fault here is a *recovery failure*: the
+            // corrupted word is re-deposited into the L1 as trusted
+            // truth, with a fresh (consistent) check code.
+            let fetched = self.maybe_corrupt_l2_word(truth);
+            if fetched != truth {
+                self.stats.recovery_failures += 1;
+                truth = fetched;
+            }
+        }
         match self.cfg.recovery {
             RecoveryGranularity::Line => {
                 // The paper's design: drop the whole (untrusted) block;
@@ -991,6 +1090,7 @@ mod tests {
                 data: false,
                 tag,
                 parity: false,
+                l2: false,
             };
             let cfg = MemConfig::strongarm()
                 .with_targets(targets)
@@ -1042,6 +1142,7 @@ mod tests {
                 data: false,
                 tag: false,
                 parity: true,
+                l2: false,
             })
             .with_fault_model(FaultProbabilityModel::new(0.01, 0.0));
         let mut m = MemSystem::new(cfg, 7);
@@ -1073,6 +1174,7 @@ mod tests {
                 data: false,
                 tag: false,
                 parity: true,
+                l2: false,
             })
             .with_fault_model(FaultProbabilityModel::new(0.05, 0.0));
         let mut m = MemSystem::new(cfg, 13);
@@ -1107,6 +1209,163 @@ mod tests {
             run(noisy_cfg.clone()),
             run(noisy_cfg.with_targets(FaultTargets::data_only()))
         );
+    }
+
+    #[test]
+    fn secded_corrects_single_bit_read_faults_in_place() {
+        // Read-only hammering of host-seeded data: every *single*-bit
+        // fault (99 % of events under the paper's 100:1:0.1 multi-bit
+        // ratios) is corrected in place, doubles take the strike path
+        // and recover, and only the rare triple can reach the program.
+        let cfg = MemConfig::strongarm()
+            .with_detection(DetectionScheme::Secded)
+            .with_strikes(StrikePolicy::two_strike())
+            .with_fault_model(FaultProbabilityModel::new(3e-3, 0.0));
+        let mut m = MemSystem::new(cfg, 17);
+        for i in 0..64u32 {
+            m.host_write_u32(i * 4, i).unwrap();
+        }
+        let n = 100_000u32;
+        let mut wrong = 0u64;
+        for i in 0..n {
+            let a = i % 64;
+            if m.read_u32(a * 4).unwrap() != a {
+                wrong += 1;
+            }
+        }
+        let s = *m.stats();
+        assert!(s.faults_injected > 100);
+        assert!(
+            s.faults_corrected >= s.faults_injected * 95 / 100,
+            "singles dominate: {} corrected of {}",
+            s.faults_corrected,
+            s.faults_injected
+        );
+        assert!(s.faults_detected > 0, "doubles must be detect-only");
+        // Doubles recover through retries (read faults are transient),
+        // so wrong values can come only from ~1-per-mille triples.
+        assert!(
+            wrong <= s.faults_injected / 100,
+            "wrong {wrong} of {} injected",
+            s.faults_injected
+        );
+    }
+
+    #[test]
+    fn secded_detects_double_faults_and_takes_the_strike_path() {
+        // A multi-bit-heavy model produces double flips that SECDED can
+        // only detect; those must flow into the existing strike path.
+        let cfg = MemConfig::strongarm()
+            .with_detection(DetectionScheme::Secded)
+            .with_strikes(StrikePolicy::two_strike())
+            .with_fault_model(FaultProbabilityModel::new(0.02, 0.0));
+        let mut m = MemSystem::new(cfg, 23);
+        for i in 0..30_000u32 {
+            let a = (i % 64) * 4;
+            m.write_u32(a, i).unwrap();
+            let _ = m.read_u32(a).unwrap();
+        }
+        assert!(m.stats().faults_corrected > 0);
+        assert!(m.stats().faults_detected > 0, "double flips must detect");
+        assert!(m.stats().strike_retries > 0);
+    }
+
+    #[test]
+    fn ecc_costs_more_energy_than_byte_parity() {
+        let energy = |detection| {
+            let mut m = MemSystem::new(MemConfig::strongarm().with_detection(detection), 1);
+            m.read_u32(0x100).unwrap();
+            m.write_u32(0x104, 1).unwrap();
+            m.energy().l1_nj
+        };
+        assert!(energy(DetectionScheme::Secded) > energy(DetectionScheme::ParityPerByte));
+        assert!(energy(DetectionScheme::ParityPerByte) > energy(DetectionScheme::Parity));
+    }
+
+    #[test]
+    fn l2_faults_corrupt_refills_invisibly() {
+        use crate::policy::FaultTargets;
+        // L2-only injection with a perfect L1: corruption rides in on
+        // refills *before* the check code is computed, so even parity
+        // sees nothing and wrong values reach the program.
+        let targets = FaultTargets {
+            data: false,
+            tag: false,
+            parity: false,
+            l2: true,
+        };
+        let cfg = MemConfig::strongarm()
+            .with_detection(DetectionScheme::Parity)
+            .with_targets(targets)
+            .with_fault_model(FaultProbabilityModel::new(0.01, 0.0));
+        let mut m = MemSystem::new(cfg, 29);
+        for i in 0..512u32 {
+            m.host_write_u32(i * 4, i).unwrap();
+        }
+        let mut wrong = 0u32;
+        for round in 0..200u32 {
+            for i in 0..512u32 {
+                // Conflict-miss every round: two images 4 KB apart.
+                let a = (i * 4) + if round % 2 == 0 { 0 } else { 4096 };
+                if round % 2 == 0 && m.read_u32(a).unwrap() != i {
+                    wrong += 1;
+                }
+                if round % 2 != 0 {
+                    let _ = m.read_u32(a).unwrap();
+                }
+            }
+        }
+        assert!(m.stats().l2_faults_injected > 0);
+        assert!(wrong > 0, "refill corruption must reach the program");
+        assert_eq!(m.stats().faults_detected, 0, "parity cannot see it");
+    }
+
+    #[test]
+    fn l2_faults_can_defeat_strike_recovery() {
+        use crate::policy::FaultTargets;
+        // Data faults force strike fallbacks; a flat fault model makes
+        // the L2 refetch just as fallible, so some recoveries pull
+        // corrupted "truth" — the recovery_failures counter.
+        let cfg = MemConfig::strongarm()
+            .with_detection(DetectionScheme::Parity)
+            .with_strikes(StrikePolicy::one_strike())
+            .with_targets(FaultTargets::data_only().with_l2(true))
+            .with_fault_model(FaultProbabilityModel::new(0.02, 0.0));
+        let mut m = MemSystem::new(cfg, 31);
+        for i in 0..60_000u32 {
+            let a = (i % 64) * 4;
+            m.write_u32(a, i).unwrap();
+            let _ = m.read_u32(a).unwrap();
+        }
+        assert!(m.stats().strike_invalidations > 0);
+        assert!(m.stats().l2_faults_injected > 0);
+        assert!(
+            m.stats().recovery_failures > 0,
+            "refetches at a 2% word fault rate must sometimes fail"
+        );
+        assert!(m.stats().recovery_failures <= m.stats().l2_faults_injected);
+    }
+
+    #[test]
+    fn l2_cycle_is_inert_while_l2_target_is_off() {
+        // Changing the L2 clock must not perturb a run that doesn't
+        // inject into the L2 — bitwise identical behaviour.
+        let run = |cfg: MemConfig| {
+            let mut m = MemSystem::new(cfg, 77);
+            let mut acc = 0u64;
+            for i in 0..5_000u32 {
+                let a = (i % 128) * 4;
+                m.write_u32(a, i).unwrap();
+                acc = acc
+                    .wrapping_mul(31)
+                    .wrapping_add(u64::from(m.read_u32(a).unwrap()));
+            }
+            (acc, m.stats().faults_injected, m.cycles().to_bits())
+        };
+        let cfg = MemConfig::strongarm()
+            .with_detection(DetectionScheme::Parity)
+            .with_fault_model(FaultProbabilityModel::new(0.02, 0.0));
+        assert_eq!(run(cfg.clone()), run(cfg.with_l2_cycle(0.25)));
     }
 
     #[test]

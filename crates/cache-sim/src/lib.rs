@@ -7,7 +7,9 @@
 //!   2-cycle latency) whose clock can be raised beyond the circuit
 //!   designer's specification,
 //! * a **128 KB 4-way set-associative level-2 cache** (128-byte lines,
-//!   15-cycle latency), assumed correct — the paper only over-clocks L1,
+//!   15-cycle latency), correct by default as the paper assumes — the
+//!   opt-in [`FaultTargets::l2`] process makes it fallible at its own
+//!   clock's voltage swing ([`MemConfig::l2_cycle`]),
 //! * a flat backing store holding architectural ground truth.
 //!
 //! Every program load/store goes through [`MemSystem`]. On each L1 data
@@ -22,6 +24,10 @@
 //!   odd-bit corruptions are detected, even-bit corruptions escape.
 //! * [`DetectionScheme::ParityPerByte`] — extension: one parity bit per
 //!   byte, catching cross-byte multi-bit faults too.
+//! * [`DetectionScheme::Secded`] — extension: a (39,32) extended-Hamming
+//!   code per word ([`secded_encode`]) that *corrects* single-bit faults
+//!   in place and detects double-bit faults, pricing the correction
+//!   hardware the paper dismissed.
 //! * [`StrikePolicy`] — a *k*-strike policy retries the L1 read up to
 //!   `k − 1` times on detected faults before invalidating the block and
 //!   fetching from L2.
@@ -53,15 +59,17 @@ mod config;
 mod error;
 mod hierarchy;
 mod policy;
+mod secded;
 mod stats;
 
 pub use backing::BackingStore;
-pub use cache::{CacheGeometry, DataCache, TagCache};
+pub use cache::{CacheGeometry, DataCache, TagCache, WordCode};
 pub use config::MemConfig;
 pub use error::MemError;
 pub use fault_model::SamplingMode;
 pub use hierarchy::MemSystem;
 pub use policy::{DetectionScheme, FaultTargets, RecoveryGranularity, StrikePolicy};
+pub use secded::{secded_decode, secded_encode, SecdedOutcome, SECDED_CODE_BITS};
 pub use stats::MemStats;
 
 /// Standard machine word width in bits (the paper protects each 32-bit

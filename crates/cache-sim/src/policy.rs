@@ -22,6 +22,15 @@ pub enum DetectionScheme {
     /// the same byte, closing most of word-parity's even-weight hole at
     /// ~10 % extra detection energy.
     ParityPerByte,
+    /// SECDED ECC: a (39,32) extended-Hamming code per aligned word
+    /// (the word-sized analogue of the classic (72,64) DRAM code).
+    /// Corrects any single-bit fault in place, detects any double-bit
+    /// fault (which then takes the strike/refetch path); triple-bit
+    /// faults can alias to a miscorrection. The paper dismisses
+    /// correction as an "unnecessary complication"; this scheme prices
+    /// that claim (see [`energy_model::EccOverhead`]) — and matters once
+    /// the L2 refetch path is itself fallible.
+    Secded,
 }
 
 impl DetectionScheme {
@@ -37,20 +46,24 @@ impl fmt::Display for DetectionScheme {
             DetectionScheme::None => write!(f, "no detection"),
             DetectionScheme::Parity => write!(f, "parity"),
             DetectionScheme::ParityPerByte => write!(f, "byte-parity"),
+            DetectionScheme::Secded => write!(f, "ecc"),
         }
     }
 }
 
-/// Which L1 SRAM arrays fault injection targets.
+/// Which SRAM arrays fault injection targets.
 ///
-/// The paper injects into the **data** array only, but the tag array
+/// The paper injects into the L1 **data** array only, but the tag array
 /// and the parity bits are built from the same over-clocked SRAM. A
 /// flipped *tag* bit makes a resident line unreachable under its true
 /// address (a false miss — and, if the line was dirty, a writeback to
 /// the aliased address) or lets another address false-hit stale data. A
 /// flipped *parity* bit either raises a false strike on clean data or
 /// cancels a genuine data fault, turning a detectable corruption into a
-/// silent one.
+/// silent one. The *l2* target makes the level-2 data array fallible at
+/// its own clock's voltage swing (see [`MemConfig::l2_cycle`]
+/// (crate::MemConfig)), so strike refetches and writebacks can return
+/// or deposit corrupted words — recovery itself can then fail.
 ///
 /// The default is data-only: the extra targets are opt-in so the
 /// recorded reproduction numbers stay bitwise stable (no additional
@@ -62,9 +75,9 @@ impl fmt::Display for DetectionScheme {
 /// use cache_sim::FaultTargets;
 ///
 /// let t = FaultTargets::default();
-/// assert!(t.data && !t.tag && !t.parity);
+/// assert!(t.data && !t.tag && !t.parity && !t.l2);
 /// let all = FaultTargets::all();
-/// assert!(all.tag && all.parity);
+/// assert!(all.tag && all.parity && all.l2);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FaultTargets {
@@ -72,9 +85,12 @@ pub struct FaultTargets {
     pub data: bool,
     /// Also inject into the tag array consulted by every lookup.
     pub tag: bool,
-    /// Also inject into the stored parity signature read alongside each
+    /// Also inject into the stored detection code read alongside each
     /// word (only meaningful when a [`DetectionScheme`] is enabled).
     pub parity: bool,
+    /// Also inject into the level-2 data array, at the per-bit
+    /// probability of the L2's own clock.
+    pub l2: bool,
 }
 
 impl FaultTargets {
@@ -84,15 +100,17 @@ impl FaultTargets {
             data: true,
             tag: false,
             parity: false,
+            l2: false,
         }
     }
 
-    /// Every array: data, tag and parity.
+    /// Every array: data, tag, parity and the L2 data array.
     pub fn all() -> Self {
         FaultTargets {
             data: true,
             tag: true,
             parity: true,
+            l2: true,
         }
     }
 
@@ -105,6 +123,12 @@ impl FaultTargets {
     /// Returns the targets with parity-bit injection switched.
     pub fn with_parity(mut self, parity: bool) -> Self {
         self.parity = parity;
+        self
+    }
+
+    /// Returns the targets with L2 data-array injection switched.
+    pub fn with_l2(mut self, l2: bool) -> Self {
+        self.l2 = l2;
         self
     }
 }
@@ -126,6 +150,9 @@ impl fmt::Display for FaultTargets {
         }
         if self.parity {
             parts.push("parity");
+        }
+        if self.l2 {
+            parts.push("l2");
         }
         if parts.is_empty() {
             parts.push("none");
@@ -313,11 +340,16 @@ mod tests {
             format!("{}", FaultTargets::data_only().with_tag(true)),
             "data+tag"
         );
-        assert_eq!(format!("{}", FaultTargets::all()), "data+tag+parity");
+        assert_eq!(format!("{}", FaultTargets::all()), "data+tag+parity+l2");
+        assert_eq!(
+            format!("{}", FaultTargets::data_only().with_l2(true)),
+            "data+l2"
+        );
         let none = FaultTargets {
             data: false,
             tag: false,
             parity: false,
+            l2: false,
         };
         assert_eq!(format!("{none}"), "none");
     }
@@ -328,5 +360,7 @@ mod tests {
         assert!(!DetectionScheme::None.is_enabled());
         assert!(DetectionScheme::Parity.is_enabled());
         assert!(DetectionScheme::ParityPerByte.is_enabled());
+        assert!(DetectionScheme::Secded.is_enabled());
+        assert_eq!(format!("{}", DetectionScheme::Secded), "ecc");
     }
 }

@@ -1,0 +1,221 @@
+//! SECDED (39,32) extended-Hamming codec for aligned 32-bit words.
+//!
+//! The word-sized analogue of the classic (72,64) DRAM code: six Hamming
+//! check bits locate any single flipped bit, and one overall parity bit
+//! distinguishes single-bit errors (correctable) from double-bit errors
+//! (detectable only). The seven code bits fit the per-word signature
+//! byte the data cache already stores, so enabling
+//! [`DetectionScheme::Secded`](crate::DetectionScheme) changes no array
+//! layout.
+//!
+//! Codeword layout: positions `1..=38`, where the powers of two
+//! (1, 2, 4, 8, 16, 32) hold the six check bits and the remaining 32
+//! positions hold the data bits in ascending order. The check field is
+//! the XOR of the positions of all set data bits, so the decode
+//! syndrome — recomputed checks XOR stored checks — is exactly the
+//! position of a single flipped bit. An overall even-parity bit over
+//! data and check bits disambiguates: syndrome ≠ 0 with odd overall
+//! parity is a single (correctable) error, syndrome ≠ 0 with even
+//! overall parity is a double (detect-only) error. Triple-bit flips can
+//! alias to a plausible single-error syndrome and miscorrect — ECC's
+//! own silent-corruption escape channel, faithfully modeled.
+
+/// Width in bits of the stored SECDED code per 32-bit word (six Hamming
+/// checks plus the overall parity bit).
+pub const SECDED_CODE_BITS: u32 = 7;
+
+/// Codeword position of each data bit: ascending positions in `1..=38`
+/// that are not powers of two.
+const DATA_POS: [u8; 32] = build_data_positions();
+
+/// Reverse map: codeword position → data-bit index, or `-1` for check
+/// bit positions (index 0 is unused; positions are 1-based).
+const POS_TO_BIT: [i8; 39] = build_pos_to_bit();
+
+const fn build_data_positions() -> [u8; 32] {
+    let mut out = [0u8; 32];
+    let mut pos = 1u8;
+    let mut i = 0usize;
+    while i < 32 {
+        if !pos.is_power_of_two() {
+            out[i] = pos;
+            i += 1;
+        }
+        pos += 1;
+    }
+    out
+}
+
+const fn build_pos_to_bit() -> [i8; 39] {
+    let mut out = [-1i8; 39];
+    let mut i = 0usize;
+    while i < 32 {
+        out[DATA_POS[i] as usize] = i as i8;
+        i += 1;
+    }
+    out
+}
+
+/// Computes the 7-bit SECDED code for `word`: check bits in bits 0–5,
+/// overall parity in bit 6.
+///
+/// # Examples
+///
+/// ```
+/// use cache_sim::{secded_decode, secded_encode, SecdedOutcome};
+///
+/// let word = 0xDEAD_BEEF;
+/// let code = secded_encode(word);
+/// assert_eq!(secded_decode(word, code), SecdedOutcome::Clean);
+/// // Any single flipped data bit is corrected back.
+/// assert_eq!(
+///     secded_decode(word ^ (1 << 7), code),
+///     SecdedOutcome::Corrected(word)
+/// );
+/// ```
+pub fn secded_encode(word: u32) -> u8 {
+    let mut checks = 0u8;
+    let mut w = word;
+    while w != 0 {
+        let bit = w.trailing_zeros() as usize;
+        checks ^= DATA_POS[bit];
+        w &= w - 1;
+    }
+    let overall = (word.count_ones() + u32::from(checks).count_ones()) & 1;
+    checks | ((overall as u8) << 6)
+}
+
+/// Outcome of a SECDED decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SecdedOutcome {
+    /// The codeword is consistent; the data is taken as correct.
+    Clean,
+    /// A single-bit error was corrected. The payload is the corrected
+    /// data word (unchanged when the flipped bit was a code bit).
+    Corrected(u32),
+    /// An uncorrectable (double-bit) error was detected; the data
+    /// cannot be trusted and recovery must refetch.
+    Detected,
+}
+
+/// Checks `word` against its stored 7-bit `code`, correcting a single
+/// flipped bit or flagging an uncorrectable error.
+///
+/// Bit 7 of `code` is ignored (the stored signature byte holds only
+/// [`SECDED_CODE_BITS`] meaningful bits).
+pub fn secded_decode(word: u32, code: u8) -> SecdedOutcome {
+    let code = code & 0x7F;
+    let stored_checks = code & 0x3F;
+    let mut syndrome = stored_checks;
+    let mut w = word;
+    while w != 0 {
+        let bit = w.trailing_zeros() as usize;
+        syndrome ^= DATA_POS[bit];
+        w &= w - 1;
+    }
+    let parity_odd = (word.count_ones() + u32::from(code).count_ones()) & 1 == 1;
+    match (syndrome, parity_odd) {
+        (0, false) => SecdedOutcome::Clean,
+        // Only the overall parity bit flipped: the data is fine.
+        (0, true) => SecdedOutcome::Corrected(word),
+        (s, true) => {
+            if s.is_power_of_two() {
+                // A check bit flipped: the data is fine.
+                SecdedOutcome::Corrected(word)
+            } else if (s as usize) < POS_TO_BIT.len() && POS_TO_BIT[s as usize] >= 0 {
+                SecdedOutcome::Corrected(word ^ (1 << POS_TO_BIT[s as usize]))
+            } else {
+                // An impossible single-error position: at least three
+                // bits flipped. Treat as detected rather than guess.
+                SecdedOutcome::Detected
+            }
+        }
+        (_, false) => SecdedOutcome::Detected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_positions_are_the_32_non_powers() {
+        assert_eq!(DATA_POS[0], 3);
+        assert_eq!(DATA_POS[31], 38);
+        for w in DATA_POS.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for p in DATA_POS {
+            assert!(!p.is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn clean_words_decode_clean() {
+        for word in [0u32, 1, u32::MAX, 0xDEAD_BEEF, 0x8000_0001] {
+            assert_eq!(
+                secded_decode(word, secded_encode(word)),
+                SecdedOutcome::Clean,
+                "{word:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_data_bit_flip_is_corrected() {
+        let word = 0xA5A5_5A5A;
+        let code = secded_encode(word);
+        for bit in 0..32 {
+            assert_eq!(
+                secded_decode(word ^ (1 << bit), code),
+                SecdedOutcome::Corrected(word),
+                "bit {bit}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_code_bit_flip_is_corrected_without_touching_data() {
+        let word = 0x1234_5678;
+        let code = secded_encode(word);
+        for bit in 0..SECDED_CODE_BITS {
+            assert_eq!(
+                secded_decode(word, code ^ (1 << bit)),
+                SecdedOutcome::Corrected(word),
+                "code bit {bit}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_double_flip_is_detected() {
+        // All 39-choose-2 double flips over data and code bits.
+        let word = 0xCAFE_F00D;
+        let code = secded_encode(word);
+        let flip = |i: u32| -> (u32, u8) {
+            if i < 32 {
+                (word ^ (1 << i), code)
+            } else {
+                (word, code ^ (1 << (i - 32)))
+            }
+        };
+        for a in 0..(32 + SECDED_CODE_BITS) {
+            for b in (a + 1)..(32 + SECDED_CODE_BITS) {
+                let (w1, c1) = flip(a);
+                let (w2, c2) = (w1 ^ (flip(b).0 ^ word), c1 ^ (flip(b).1 ^ code));
+                assert_eq!(
+                    secded_decode(w2, c2),
+                    SecdedOutcome::Detected,
+                    "flips {a},{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unused_code_bit_seven_is_ignored() {
+        let word = 42;
+        let code = secded_encode(word);
+        assert_eq!(secded_decode(word, code | 0x80), SecdedOutcome::Clean);
+    }
+}

@@ -40,8 +40,19 @@ pub struct MemStats {
     /// Fault events injected into stored parity signatures (opt-in
     /// [`FaultTargets::parity`](crate::FaultTargets) only).
     pub parity_faults_injected: u64,
-    /// Faults flagged by parity.
+    /// Fault events injected into words flowing to or from the level-2
+    /// data array (opt-in [`FaultTargets::l2`](crate::FaultTargets)
+    /// only): refills, strike refetches and writebacks.
+    pub l2_faults_injected: u64,
+    /// Faults flagged by the detection code.
     pub faults_detected: u64,
+    /// Faults corrected in place by ECC (single-bit under
+    /// [`DetectionScheme::Secded`](crate::DetectionScheme); disjoint
+    /// from `faults_detected`, which counts detect-only events).
+    pub faults_corrected: u64,
+    /// Strike refetches that pulled a corrupted word out of the L2 —
+    /// recovery itself failed and re-deposited bad data as "truth".
+    pub recovery_failures: u64,
     /// Fault events that escaped detection (either no detection hardware
     /// or an even-weight corruption) and reached the program or the
     /// stored state.
@@ -101,7 +112,10 @@ impl MemStats {
             faults_injected: self.faults_injected - earlier.faults_injected,
             tag_faults_injected: self.tag_faults_injected - earlier.tag_faults_injected,
             parity_faults_injected: self.parity_faults_injected - earlier.parity_faults_injected,
+            l2_faults_injected: self.l2_faults_injected - earlier.l2_faults_injected,
             faults_detected: self.faults_detected - earlier.faults_detected,
+            faults_corrected: self.faults_corrected - earlier.faults_corrected,
+            recovery_failures: self.recovery_failures - earlier.recovery_failures,
             faults_undetected: self.faults_undetected - earlier.faults_undetected,
             strike_retries: self.strike_retries - earlier.strike_retries,
             strike_invalidations: self.strike_invalidations - earlier.strike_invalidations,

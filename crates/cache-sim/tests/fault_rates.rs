@@ -29,6 +29,7 @@ fn tag_fault_rate_matches_configured_probability() {
             data: false,
             tag: true,
             parity: false,
+            l2: false,
         })
         .with_fault_model(model);
     let sampling = cfg.sampling;
@@ -65,6 +66,7 @@ fn parity_bit_fault_rate_matches_configured_probability() {
             data: false,
             tag: false,
             parity: true,
+            l2: false,
         })
         .with_fault_model(model);
     let sampling = cfg.sampling;
@@ -86,5 +88,43 @@ fn parity_bit_fault_rate_matches_configured_probability() {
     assert!(
         chi2 < CHI2_CRIT,
         "parity rate off: observed {observed}/{trials}, expected p={p}, chi2={chi2}"
+    );
+}
+
+#[test]
+fn l2_fault_rate_matches_configured_probability() {
+    // L2-only injection driven purely by writebacks: each round dirties
+    // one 32-byte line (8 words) and drains it, so every round draws
+    // exactly 8 word-width L2 samples at the L2 clock's per-bit rate.
+    let model = FaultProbabilityModel::new(0.002, 0.0);
+    let l2_cycle = 0.5;
+    let cfg = MemConfig::strongarm()
+        .with_targets(FaultTargets {
+            data: false,
+            tag: false,
+            parity: false,
+            l2: true,
+        })
+        .with_l2_cycle(l2_cycle)
+        .with_fault_model(model);
+    let sampling = cfg.sampling;
+    let mut m = MemSystem::new(cfg, 0x12C4);
+    let reference = FaultSampler::with_mode(model, 0, sampling);
+    let per_bit = model.per_bit_at_cycle(l2_cycle);
+    let p = reference.aux_fault_probability_at(per_bit, 32);
+    assert!(p > 0.0);
+
+    let rounds = 25_000u64;
+    let words_per_line = 8u64;
+    for i in 0..rounds {
+        m.write_u32(0x100, i as u32).unwrap();
+        m.writeback_all().unwrap();
+    }
+    let trials = rounds * words_per_line;
+    let observed = m.stats().l2_faults_injected;
+    let chi2 = chi_square_2bin(observed, trials, p);
+    assert!(
+        chi2 < CHI2_CRIT,
+        "l2 rate off: observed {observed}/{trials}, expected p={p}, chi2={chi2}"
     );
 }

@@ -1,0 +1,63 @@
+//! Property-based tests for the SECDED (39,32) codec: any single-bit
+//! flip (data or code) decodes back to the original word, and any
+//! double-bit flip is detected.
+
+use cache_sim::{secded_decode, secded_encode, SecdedOutcome, SECDED_CODE_BITS};
+use proptest::prelude::*;
+
+/// Total flippable codeword bits: 32 data + 7 stored code bits.
+const CODEWORD_BITS: u32 = 32 + SECDED_CODE_BITS;
+
+/// Flips codeword bit `i` (data bits first, then code bits) of a
+/// `(word, code)` pair.
+fn flip(word: u32, code: u8, i: u32) -> (u32, u8) {
+    if i < 32 {
+        (word ^ (1 << i), code)
+    } else {
+        (word, code ^ (1 << (i - 32)))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Round trip: every word encodes to a codeword that decodes clean.
+    #[test]
+    fn encode_decode_round_trips(word in any::<u32>()) {
+        prop_assert_eq!(
+            secded_decode(word, secded_encode(word)),
+            SecdedOutcome::Clean
+        );
+    }
+
+    /// Any single flipped bit — data or code — is corrected back to the
+    /// original word.
+    #[test]
+    fn single_bit_flips_are_corrected(word in any::<u32>(), bit in 0u32..CODEWORD_BITS) {
+        let code = secded_encode(word);
+        let (w, c) = flip(word, code, bit);
+        prop_assert_eq!(secded_decode(w, c), SecdedOutcome::Corrected(word));
+    }
+
+    /// Any two distinct flipped bits are detected (never miscorrected,
+    /// never passed as clean).
+    #[test]
+    fn double_bit_flips_are_detected(
+        word in any::<u32>(),
+        a in 0u32..CODEWORD_BITS,
+        b in 0u32..CODEWORD_BITS,
+    ) {
+        prop_assume!(a != b);
+        let code = secded_encode(word);
+        let (w, c) = flip(word, code, a);
+        let (w, c) = flip(w, c, b);
+        prop_assert_eq!(secded_decode(w, c), SecdedOutcome::Detected);
+    }
+
+    /// The stored byte's unused top bit never affects decoding.
+    #[test]
+    fn unused_code_bit_is_ignored(word in any::<u32>()) {
+        let code = secded_encode(word);
+        prop_assert_eq!(secded_decode(word, code | 0x80), SecdedOutcome::Clean);
+    }
+}

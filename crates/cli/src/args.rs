@@ -57,6 +57,7 @@ const FLAGS: &[&str] = &[
     "extended",
     "durable",
     "resume",
+    "safe-mode",
 ];
 
 impl Args {

@@ -7,7 +7,7 @@ use clumsy_core::campaign::grid_hash;
 use clumsy_core::experiment::{paper_schemes, run_config_on_trace, ExperimentOptions, GridPoint};
 use clumsy_core::{
     interrupt, run_campaign_durable, run_campaign_on, CampaignConfig, ClumsyConfig, DurableOptions,
-    DynamicConfig, JournalError, PAPER_CYCLE_TIMES,
+    DynamicConfig, FrequencyPlan, JournalError, SafeModeConfig, PAPER_CYCLE_TIMES,
 };
 use energy_model::EdfMetric;
 use fault_model::{FaultProbabilityModel, VoltageSwingCurve};
@@ -96,7 +96,8 @@ USAGE:
 COMMANDS:
     run      run one application on one design point
     sweep    design-space grid (schemes x clocks) for one application
-    campaign crash-isolated outcome-taxonomy sweep (masked/recovered/fatal/SDC)
+    campaign crash-isolated outcome-taxonomy sweep
+             (masked/corrected/recovered/fatal/SDC/recovery-failed)
     repro    regenerate a paper experiment (table1 | fig8 | fig12b)
     trace    describe the synthetic packet trace
     model    print the fault-model operating points
@@ -106,10 +107,16 @@ COMMANDS:
 RUN OPTIONS:
     --app <name>          application (default route; see `clumsy apps`)
     --cr <0..1|dynamic>   relative cycle time or the dynamic plan (default 1.0)
-    --detection <d>       none | parity | byte-parity (default none)
+    --detection <d>       none | parity | byte-parity | ecc (default none)
     --strikes <1..8>      strike policy (default 2)
     --recovery <g>        line | word (default line)
     --watchdog            contain fatal errors by dropping the packet
+    --fault-targets <t>   '+'-joined subset of data/tag/parity/l2, or all
+                          (default data; l2 makes recovery itself fallible)
+    --l2-cycle <0..1>     relative L2 cycle time, observable only with the
+                          l2 target on (default 1.0)
+    --safe-mode           absolute fault-rate clamp for --cr dynamic: storm
+                          epochs drop to Cr=1 and hold before re-climbing
     --packets <n>         trace length (default 2000)
     --trials <n>          fault-seed trials (default 1)
     --seed <n>            base fault seed (default 24301)
@@ -120,7 +127,9 @@ SWEEP OPTIONS: --app, --packets, --trials, --seed, --json
 
 CAMPAIGN OPTIONS:
     --app <name|all>      one application or the whole Table I set (default all)
-    --fault-targets <t>   data | data+tag | data+parity | all (default data)
+    --fault-targets <t>   '+'-joined subset of data/tag/parity/l2, or all
+                          (default data)
+    --l2-cycle <0..1>     relative L2 cycle time for the l2 target (default 1.0)
     --deadline-ms <n>     per-trial wall-clock budget (default: none)
     --retries <n>         reseeded retries per failing trial (default 1)
     --csv <path>          also write the per-cell counts as CSV (atomic)
@@ -239,11 +248,12 @@ fn parse_config(args: &Args) -> Result<ClumsyConfig, CliError> {
         "none" => cfg.with_detection(DetectionScheme::None),
         "parity" => cfg.with_detection(DetectionScheme::Parity),
         "byte-parity" => cfg.with_detection(DetectionScheme::ParityPerByte),
+        "ecc" => cfg.with_detection(DetectionScheme::Secded),
         other => {
             return Err(CliError::Args(ArgError::BadValue {
                 option: "detection".into(),
                 value: other.into(),
-                expected: "none | parity | byte-parity",
+                expected: "none | parity | byte-parity | ecc",
             }))
         }
     };
@@ -304,6 +314,18 @@ fn parse_config(args: &Args) -> Result<ClumsyConfig, CliError> {
             }))
         }
     };
+    cfg = cfg.with_fault_targets(parse_targets(args)?);
+    cfg = cfg.with_l2_cycle(parse_l2_cycle(args)?);
+    if args.flag("safe-mode") {
+        if !matches!(cfg.frequency, FrequencyPlan::Dynamic(_)) {
+            return Err(CliError::Args(ArgError::BadValue {
+                option: "safe-mode".into(),
+                value: args.get("cr").unwrap_or("1.0").into(),
+                expected: "--cr dynamic (safe mode extends the dynamic controller)",
+            }));
+        }
+        cfg = cfg.with_dynamic(DynamicConfig::paper().with_safe_mode(SafeModeConfig::default()));
+    }
     cfg = cfg.with_seed(args.get_parsed("seed", 24301u64, "an integer seed")?);
     Ok(cfg)
 }
@@ -334,6 +356,9 @@ const RUN_OPTIONS: &[&str] = &[
     "json",
     "quantize-off",
     "sampler",
+    "fault-targets",
+    "l2-cycle",
+    "safe-mode",
 ];
 
 fn run(args: &Args) -> Result<String, CliError> {
@@ -362,12 +387,17 @@ fn run(args: &Args) -> Result<String, CliError> {
             .number("relative_edf2", rel)
             .integer("faults_injected", r.stats.faults_injected)
             .integer("faults_detected", r.stats.faults_detected)
-            .string("outcome", r.outcome().label());
+            .string("outcome", r.outcome().label())
+            .integer("faults_corrected", r.stats.faults_corrected)
+            .integer("l2_faults_injected", r.stats.l2_faults_injected)
+            .integer("recovery_failures", r.stats.recovery_failures);
         let oc = agg.outcome_counts();
         o.integer("trials_masked", oc.masked)
+            .integer("trials_corrected", oc.corrected)
             .integer("trials_detected_recovered", oc.detected_recovered)
             .integer("trials_detected_fatal", oc.detected_fatal)
-            .integer("trials_sdc", oc.sdc);
+            .integer("trials_sdc", oc.sdc)
+            .integer("trials_recovery_failed", oc.recovery_failed);
         return Ok(o.finish());
     }
 
@@ -386,19 +416,49 @@ fn run(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// Parses `--fault-targets` into the opt-in injection target set.
+/// Parses `--fault-targets` into the opt-in injection target set: a
+/// `+`-joined list of arrays (`data`, `tag`, `parity`, `l2`), or `all`.
 fn parse_targets(args: &Args) -> Result<FaultTargets, CliError> {
-    match args.get("fault-targets").unwrap_or("data") {
-        "data" => Ok(FaultTargets::data_only()),
-        "data+tag" => Ok(FaultTargets::data_only().with_tag(true)),
-        "data+parity" => Ok(FaultTargets::data_only().with_parity(true)),
-        "all" => Ok(FaultTargets::all()),
-        other => Err(CliError::Args(ArgError::BadValue {
-            option: "fault-targets".into(),
-            value: other.into(),
-            expected: "data | data+tag | data+parity | all",
-        })),
+    let spec = args.get("fault-targets").unwrap_or("data");
+    if spec == "all" {
+        return Ok(FaultTargets::all());
     }
+    let mut targets = FaultTargets {
+        data: false,
+        tag: false,
+        parity: false,
+        l2: false,
+    };
+    for part in spec.split('+') {
+        match part {
+            "data" => targets.data = true,
+            "tag" => targets.tag = true,
+            "parity" => targets.parity = true,
+            "l2" => targets.l2 = true,
+            _ => {
+                return Err(CliError::Args(ArgError::BadValue {
+                    option: "fault-targets".into(),
+                    value: spec.into(),
+                    expected: "a '+'-joined subset of data/tag/parity/l2 (e.g. data+l2), or all",
+                }))
+            }
+        }
+    }
+    Ok(targets)
+}
+
+/// Parses `--l2-cycle`, the relative L2 cycle time in (0, 1]. Only
+/// observable when the `l2` fault target is on.
+fn parse_l2_cycle(args: &Args) -> Result<f64, CliError> {
+    let l2_cycle: f64 = args.get_parsed("l2-cycle", 1.0, "an L2 cycle time in (0, 1]")?;
+    if !(l2_cycle > 0.0 && l2_cycle <= 1.0) {
+        return Err(CliError::Args(ArgError::BadValue {
+            option: "l2-cycle".into(),
+            value: l2_cycle.to_string(),
+            expected: "an L2 cycle time in (0, 1]",
+        }));
+    }
+    Ok(l2_cycle)
 }
 
 const CAMPAIGN_OPTIONS: &[&str] = &[
@@ -408,6 +468,7 @@ const CAMPAIGN_OPTIONS: &[&str] = &[
     "seed",
     "jobs",
     "fault-targets",
+    "l2-cycle",
     "deadline-ms",
     "retries",
     "csv",
@@ -442,6 +503,7 @@ fn campaign(args: &Args) -> Result<String, CliError> {
     let (trace, opts) = parse_trace(args)?;
     let engine = parse_engine(args)?;
     let targets = parse_targets(args)?;
+    let l2_cycle = parse_l2_cycle(args)?;
     let apps: Vec<AppKind> = match args.get("app") {
         None | Some("all") => AppKind::all().to_vec(),
         Some(_) => vec![parse_app(args)?],
@@ -477,7 +539,8 @@ fn campaign(args: &Args) -> Result<String, CliError> {
                         .with_detection(detection)
                         .with_strikes(strikes)
                         .with_static_cycle(cr)
-                        .with_fault_targets(targets),
+                        .with_fault_targets(targets)
+                        .with_l2_cycle(l2_cycle),
                 ));
             }
         }
@@ -535,19 +598,21 @@ fn campaign(args: &Args) -> Result<String, CliError> {
 
     if let Some(path) = args.get("csv") {
         let mut csv = String::from(
-            "app,cr,scheme,trials,masked,detected_recovered,detected_fatal,sdc,sdc_rate\n",
+            "app,cr,scheme,trials,masked,corrected,detected_recovered,detected_fatal,sdc,recovery_failed,sdc_rate\n",
         );
         for c in &cells {
             csv.push_str(&format!(
-                "{},{:.2},{},{},{},{},{},{},{:.6}\n",
+                "{},{:.2},{},{},{},{},{},{},{},{},{:.6}\n",
                 c.app,
                 c.cr,
                 c.scheme,
                 c.counts.total(),
                 c.counts.masked,
+                c.counts.corrected,
                 c.counts.detected_recovered,
                 c.counts.detected_fatal,
                 c.counts.sdc,
+                c.counts.recovery_failed,
                 c.counts.sdc_rate()
             ));
         }
@@ -567,9 +632,11 @@ fn campaign(args: &Args) -> Result<String, CliError> {
                 .number("cr", c.cr)
                 .integer("trials", c.counts.total())
                 .integer("masked", c.counts.masked)
+                .integer("corrected", c.counts.corrected)
                 .integer("detected_recovered", c.counts.detected_recovered)
                 .integer("detected_fatal", c.counts.detected_fatal)
                 .integer("sdc", c.counts.sdc)
+                .integer("recovery_failed", c.counts.recovery_failed)
                 .number("sdc_rate", c.counts.sdc_rate());
             o.finish()
         });
@@ -597,19 +664,21 @@ fn campaign(args: &Args) -> Result<String, CliError> {
         report.total_jobs
     );
     out.push_str(&format!(
-        "{:>6} {:>13} {:>6} {:>7} {:>7} {:>7} {:>5} {:>9}\n",
-        "app", "scheme", "Cr", "masked", "recov", "fatal", "sdc", "sdc_rate"
+        "{:>6} {:>13} {:>6} {:>7} {:>5} {:>7} {:>7} {:>5} {:>8} {:>9}\n",
+        "app", "scheme", "Cr", "masked", "corr", "recov", "fatal", "sdc", "rec_fail", "sdc_rate"
     ));
     for c in &cells {
         out.push_str(&format!(
-            "{:>6} {:>13} {:>6.2} {:>7} {:>7} {:>7} {:>5} {:>9.4}\n",
+            "{:>6} {:>13} {:>6.2} {:>7} {:>5} {:>7} {:>7} {:>5} {:>8} {:>9.4}\n",
             c.app,
             c.scheme,
             c.cr,
             c.counts.masked,
+            c.counts.corrected,
             c.counts.detected_recovered,
             c.counts.detected_fatal,
             c.counts.sdc,
+            c.counts.recovery_failed,
             c.counts.sdc_rate()
         ));
     }
@@ -832,8 +901,83 @@ mod tests {
     }
 
     #[test]
-    fn run_rejects_bad_detection() {
-        assert!(dispatch_line(&["run", "--detection", "ecc"]).is_err());
+    fn run_accepts_ecc_detection() {
+        let out = dispatch_line(&[
+            "run",
+            "--app",
+            "crc",
+            "--packets",
+            "30",
+            "--detection",
+            "ecc",
+        ])
+        .unwrap();
+        assert!(out.contains("ecc/"), "config label should show ecc: {out}");
+    }
+
+    #[test]
+    fn run_rejects_bad_detection_listing_accepted_values() {
+        let err = dispatch_line(&["run", "--detection", "hamming"]).unwrap_err();
+        let msg = format!("{err}");
+        assert!(
+            msg.contains("none | parity | byte-parity | ecc"),
+            "unknown-variant error must list accepted values: {msg}"
+        );
+    }
+
+    #[test]
+    fn run_parses_fault_target_combinations() {
+        let out = dispatch_line(&[
+            "run",
+            "--app",
+            "crc",
+            "--packets",
+            "30",
+            "--fault-targets",
+            "data+l2",
+            "--l2-cycle",
+            "0.5",
+        ])
+        .unwrap();
+        assert!(out.contains("relative EDF^2"));
+        let err = dispatch_line(&["run", "--fault-targets", "data+ll2"]).unwrap_err();
+        let msg = format!("{err}");
+        assert!(
+            msg.contains("data/tag/parity/l2"),
+            "unknown-target error must list accepted values: {msg}"
+        );
+        assert!(dispatch_line(&["run", "--l2-cycle", "0"]).is_err());
+    }
+
+    #[test]
+    fn safe_mode_requires_the_dynamic_plan() {
+        let err = dispatch_line(&["run", "--safe-mode", "--cr", "0.5"]).unwrap_err();
+        assert!(format!("{err}").contains("--cr dynamic"), "{err}");
+        let out = dispatch_line(&[
+            "run",
+            "--app",
+            "tl",
+            "--packets",
+            "120",
+            "--cr",
+            "dynamic",
+            "--safe-mode",
+        ])
+        .unwrap();
+        assert!(out.contains("dynamic"));
+    }
+
+    #[test]
+    fn help_pins_the_recovery_flags() {
+        let h = help_text();
+        for needle in [
+            "none | parity | byte-parity | ecc",
+            "--fault-targets <t>   '+'-joined subset of data/tag/parity/l2, or all",
+            "--l2-cycle <0..1>",
+            "--safe-mode",
+        ] {
+            assert!(h.contains(needle), "help lost {needle:?}");
+        }
     }
 
     #[test]
@@ -893,7 +1037,7 @@ mod tests {
     }
 
     #[test]
-    fn campaign_emits_all_four_outcome_columns() {
+    fn campaign_emits_all_six_outcome_columns() {
         let out = dispatch_line(&[
             "campaign",
             "--app",
@@ -904,7 +1048,9 @@ mod tests {
             "1",
         ])
         .unwrap();
-        for col in ["masked", "recov", "fatal", "sdc", "sdc_rate"] {
+        for col in [
+            "masked", "corr", "recov", "fatal", "sdc", "rec_fail", "sdc_rate",
+        ] {
             assert!(out.contains(col), "missing column {col}:\n{out}");
         }
         // 4 schemes x 4 clocks for one app.
@@ -937,6 +1083,20 @@ mod tests {
         .unwrap();
         assert!(out.contains("data+tag+parity"));
         assert!(dispatch_line(&["campaign", "--fault-targets", "ecc"]).is_err());
+        let degraded = dispatch_line(&[
+            "campaign",
+            "--app",
+            "crc",
+            "--packets",
+            "30",
+            "--fault-targets",
+            "data+l2",
+            "--l2-cycle",
+            "0.5",
+        ])
+        .unwrap();
+        assert!(degraded.contains("data+l2"));
+        assert!(dispatch_line(&["campaign", "--l2-cycle", "1.5"]).is_err());
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! Bitwise-reproducibility regression: with every PR-4 knob off (no
+//! `--fault-targets l2`, no `--detection ecc`, no `--safe-mode`), the
+//! simulator must reproduce the exact numbers recorded before the L2
+//! fault process existed. The opt-in targets draw *zero* RNG samples
+//! when disabled, so these digests — captured from the pre-change
+//! binary at the default seed — must match to the last digit. Any
+//! drift here means a disabled knob leaked a random draw or an energy
+//! term into the default path.
+
+use std::process::Command;
+
+fn run_json(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_clumsy"))
+        .args(args)
+        .output()
+        .expect("binary spawns");
+    assert!(out.status.success(), "{args:?} failed");
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn assert_digest(args: &[&str], pinned: &[&str]) {
+    let json = run_json(args);
+    for needle in pinned {
+        assert!(
+            json.contains(needle),
+            "pinned digest {needle:?} missing from {args:?}:\n{json}"
+        );
+    }
+}
+
+#[test]
+fn undetected_quarter_clock_route_is_unchanged() {
+    assert_digest(
+        &[
+            "run",
+            "--app",
+            "route",
+            "--packets",
+            "300",
+            "--cr",
+            "0.25",
+            "--json",
+        ],
+        &[
+            "\"erroneous_packets\":4",
+            "\"fallibility\":1.0133333333333334",
+            "\"cycles_per_packet\":710.89",
+            "\"nj_per_packet\":2151.5514571527433",
+            "\"relative_edf2\":0.641246680113165",
+            "\"faults_injected\":5,\"faults_detected\":0,\"outcome\":\"sdc\"",
+        ],
+    );
+}
+
+#[test]
+fn parity_two_strike_route_is_unchanged() {
+    assert_digest(
+        &[
+            "run",
+            "--app",
+            "route",
+            "--packets",
+            "300",
+            "--cr",
+            "0.25",
+            "--detection",
+            "parity",
+            "--strikes",
+            "2",
+            "--json",
+        ],
+        &[
+            "\"cycles_per_packet\":711.41",
+            "\"nj_per_packet\":2181.4405372685374",
+            "\"relative_edf2\":0.6340846427547654",
+            "\"faults_injected\":5,\"faults_detected\":4,\"outcome\":\"detected_recovered\"",
+        ],
+    );
+}
+
+#[test]
+fn dynamic_parity_tl_is_unchanged() {
+    assert_digest(
+        &[
+            "run",
+            "--app",
+            "tl",
+            "--packets",
+            "300",
+            "--cr",
+            "dynamic",
+            "--detection",
+            "parity",
+            "--strikes",
+            "2",
+            "--json",
+        ],
+        &[
+            "\"cycles_per_packet\":778.4433333333334",
+            "\"nj_per_packet\":2432.0510878481423",
+            "\"relative_edf2\":0.9493261181690025",
+            "\"faults_injected\":0,\"faults_detected\":0,\"outcome\":\"masked\"",
+        ],
+    );
+}
+
+#[test]
+fn byte_parity_three_strike_crc_is_unchanged() {
+    assert_digest(
+        &[
+            "run",
+            "--app",
+            "crc",
+            "--packets",
+            "300",
+            "--cr",
+            "0.5",
+            "--detection",
+            "byte-parity",
+            "--strikes",
+            "3",
+            "--json",
+        ],
+        &[
+            "\"cycles_per_packet\":2390.9933333333333",
+            "\"nj_per_packet\":7265.980612431873",
+            "\"relative_edf2\":0.5481302231981153",
+            "\"faults_injected\":2,\"faults_detected\":2,\"outcome\":\"detected_recovered\"",
+        ],
+    );
+}
+
+#[test]
+fn word_recovery_one_strike_md5_is_unchanged() {
+    assert_digest(
+        &[
+            "run",
+            "--app",
+            "md5",
+            "--packets",
+            "200",
+            "--cr",
+            "0.25",
+            "--detection",
+            "parity",
+            "--strikes",
+            "1",
+            "--recovery",
+            "word",
+            "--json",
+        ],
+        &[
+            "\"erroneous_packets\":14",
+            "\"fallibility\":1.07",
+            "\"cycles_per_packet\":6454.72",
+            "\"nj_per_packet\":18470.35265200688",
+            "\"relative_edf2\":0.6345044545408399",
+            "\"faults_injected\":43,\"faults_detected\":30,\"outcome\":\"sdc\"",
+        ],
+    );
+}
+
+#[test]
+fn an_inert_l2_cycle_does_not_perturb_the_digest() {
+    // `--l2-cycle` without the l2 target must be a pure no-op: same
+    // digest as the pinned run above.
+    assert_digest(
+        &[
+            "run",
+            "--app",
+            "route",
+            "--packets",
+            "300",
+            "--cr",
+            "0.25",
+            "--l2-cycle",
+            "0.25",
+            "--json",
+        ],
+        &[
+            "\"nj_per_packet\":2151.5514571527433",
+            "\"relative_edf2\":0.641246680113165",
+            "\"faults_injected\":5,\"faults_detected\":0,\"outcome\":\"sdc\"",
+        ],
+    );
+}

@@ -5,13 +5,57 @@ use energy_model::EdfMetric;
 use netbench::PlaneMask;
 use std::fmt;
 
+/// Safe-mode degradation parameters for the dynamic controller.
+///
+/// The paper's controller reacts *relatively*: an epoch is compared
+/// against the fault count stored at the last switch. Safe mode adds an
+/// *absolute* escape hatch for when recovery itself becomes suspect:
+/// any epoch whose fault count exceeds `threshold` clamps the clock to
+/// the slowest level (`Cr = levels[0]`, normally 1.0) and holds it
+/// there for `hold_epochs` epochs of hysteresis before the normal
+/// X1/X2 climb resumes. A storm during the hold re-arms the clamp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SafeModeConfig {
+    /// Absolute detected-fault count per epoch that trips the clamp.
+    pub threshold: u64,
+    /// Quiet epochs the controller stays clamped before climbing again.
+    pub hold_epochs: u32,
+}
+
+impl SafeModeConfig {
+    /// Default setting: trip above 10 faults/epoch, hold two epochs.
+    pub fn default_setting() -> Self {
+        SafeModeConfig {
+            threshold: 10,
+            hold_epochs: 2,
+        }
+    }
+}
+
+impl Default for SafeModeConfig {
+    fn default() -> Self {
+        SafeModeConfig::default_setting()
+    }
+}
+
+impl fmt::Display for SafeModeConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "safe-mode(>{}/epoch, hold {})",
+            self.threshold, self.hold_epochs
+        )
+    }
+}
+
 /// The dynamic frequency-adaptation parameters (paper §4).
 ///
 /// After every `epoch_packets` processed packets the controller compares
 /// the epoch's fault count against the count stored at the last
 /// frequency change: above `x1` (200 %) it reduces the frequency, below
 /// `x2` (80 %) it increases it, otherwise it holds. Frequency settings
-/// are discrete, stepping through `levels`.
+/// are discrete, stepping through `levels`. An optional
+/// [`SafeModeConfig`] adds an absolute fault-rate clamp on top.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DynamicConfig {
     /// Packets per decision epoch (paper: 100).
@@ -22,6 +66,8 @@ pub struct DynamicConfig {
     pub x2: f64,
     /// Discrete cycle-time levels, slowest (safest) first.
     pub levels: Vec<f64>,
+    /// Optional safe-mode clamp (`None` reproduces the paper exactly).
+    pub safe_mode: Option<SafeModeConfig>,
 }
 
 impl DynamicConfig {
@@ -32,7 +78,14 @@ impl DynamicConfig {
             x1: 2.0,
             x2: 0.8,
             levels: crate::PAPER_CYCLE_TIMES.to_vec(),
+            safe_mode: None,
         }
+    }
+
+    /// Returns the config with the safe-mode clamp enabled.
+    pub fn with_safe_mode(mut self, safe_mode: SafeModeConfig) -> Self {
+        self.safe_mode = Some(safe_mode);
+        self
     }
 }
 
@@ -179,6 +232,17 @@ impl ClumsyConfig {
         self
     }
 
+    /// Returns the config with a different relative L2 cycle time (only
+    /// observable when the `l2` fault target is on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l2_cycle` is not in `(0, 1]`.
+    pub fn with_l2_cycle(mut self, l2_cycle: f64) -> Self {
+        self.mem = self.mem.with_l2_cycle(l2_cycle);
+        self
+    }
+
     /// Returns the config with watchdog fatal-error recovery enabled.
     pub fn with_watchdog(mut self) -> Self {
         self.watchdog = true;
@@ -246,6 +310,17 @@ mod tests {
         assert!((d.x1 - 2.0).abs() < 1e-12);
         assert!((d.x2 - 0.8).abs() < 1e-12);
         assert_eq!(d.levels, vec![1.0, 0.75, 0.5, 0.25]);
+        assert_eq!(d.safe_mode, None, "paper controller has no safe mode");
+    }
+
+    #[test]
+    fn safe_mode_is_opt_in_with_sane_defaults() {
+        let s = SafeModeConfig::default();
+        assert_eq!(s.threshold, 10);
+        assert_eq!(s.hold_epochs, 2);
+        let d = DynamicConfig::paper().with_safe_mode(s);
+        assert_eq!(d.safe_mode, Some(s));
+        assert!(format!("{s}").contains(">10/epoch"));
     }
 
     #[test]

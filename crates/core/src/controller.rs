@@ -26,6 +26,14 @@ pub enum Decision {
 /// fault count to at least one so a fault-free epoch always reads as
 /// "below X2" and the controller can climb out of the safe region.
 ///
+/// With an optional [`SafeModeConfig`](crate::SafeModeConfig) the
+/// controller also watches the *absolute* per-epoch fault count: the
+/// X1/X2 rule is purely relative, so a slow ramp of detected faults —
+/// exactly what a degrading L2 produces — never looks alarming epoch
+/// over epoch. Any epoch above the safe-mode threshold clamps straight
+/// to the slowest level and holds there for a hysteresis window before
+/// the normal climb resumes.
+///
 /// # Examples
 ///
 /// ```
@@ -51,6 +59,8 @@ pub struct DynamicController {
     packets_in_epoch: u32,
     faults_in_epoch: u64,
     switches: u32,
+    safe_hold: u32,
+    safe_entries: u32,
 }
 
 impl DynamicController {
@@ -73,6 +83,8 @@ impl DynamicController {
             packets_in_epoch: 0,
             faults_in_epoch: 0,
             switches: 0,
+            safe_hold: 0,
+            safe_entries: 0,
         }
     }
 
@@ -86,6 +98,16 @@ impl DynamicController {
         self.switches
     }
 
+    /// Number of epochs that tripped the safe-mode clamp.
+    pub fn safe_mode_entries(&self) -> u32 {
+        self.safe_entries
+    }
+
+    /// Whether the controller is currently inside a safe-mode hold.
+    pub fn in_safe_hold(&self) -> bool {
+        self.safe_hold > 0
+    }
+
     /// Records one processed packet and the faults observed during it.
     /// Returns a decision at epoch boundaries (`None` mid-epoch).
     pub fn on_packet(&mut self, faults: u64) -> Option<Decision> {
@@ -94,9 +116,34 @@ impl DynamicController {
         if self.packets_in_epoch < self.cfg.epoch_packets {
             return None;
         }
-        let epoch_faults = self.faults_in_epoch as f64;
+        let raw_faults = self.faults_in_epoch;
+        let epoch_faults = raw_faults as f64;
         self.packets_in_epoch = 0;
         self.faults_in_epoch = 0;
+
+        if let Some(sm) = self.cfg.safe_mode {
+            if raw_faults > sm.threshold {
+                // Absolute storm: clamp to the slowest level and re-arm
+                // the hysteresis window (re-triggerable mid-hold).
+                self.safe_entries += 1;
+                self.safe_hold = sm.hold_epochs;
+                let decision = if self.level > 0 {
+                    self.level = 0;
+                    self.stored_faults = epoch_faults;
+                    self.switches += 1;
+                    Decision::Switch(self.cycle_time())
+                } else {
+                    Decision::Hold
+                };
+                return Some(decision);
+            }
+            if self.safe_hold > 0 {
+                // Quiet epoch inside the hold window: stay clamped, do
+                // not climb, let the window drain.
+                self.safe_hold -= 1;
+                return Some(Decision::Hold);
+            }
+        }
 
         // Clamp the reference so an all-zero history still allows
         // climbing (see type-level docs).
@@ -219,6 +266,64 @@ mod tests {
             assert_eq!(c.on_packet(0), None);
         }
         assert!(c.on_packet(0).is_some());
+    }
+
+    fn safe_ctl() -> DynamicController {
+        DynamicController::new(
+            DynamicConfig::paper().with_safe_mode(crate::SafeModeConfig::default()),
+        )
+    }
+
+    #[test]
+    fn storm_above_threshold_clamps_to_slowest() {
+        let mut c = safe_ctl();
+        run_epoch(&mut c, 0); // -> 0.75
+        run_epoch(&mut c, 0); // -> 0.5
+                              // 100 faults > threshold 10: clamp straight to Cr=1.0,
+                              // skipping the X1 rule's one-level step.
+        assert_eq!(run_epoch(&mut c, 1), Decision::Switch(1.0));
+        assert_eq!(c.cycle_time(), 1.0);
+        assert_eq!(c.safe_mode_entries(), 1);
+        assert!(c.in_safe_hold());
+    }
+
+    #[test]
+    fn hold_window_suppresses_the_climb() {
+        let mut c = safe_ctl();
+        run_epoch(&mut c, 0);
+        run_epoch(&mut c, 1); // storm at 0.75: clamp back to 1.0
+        assert_eq!(c.cycle_time(), 1.0);
+        // Two quiet hold epochs: no climb despite zero faults.
+        assert_eq!(run_epoch(&mut c, 0), Decision::Hold);
+        assert!(c.in_safe_hold());
+        assert_eq!(run_epoch(&mut c, 0), Decision::Hold);
+        assert!(!c.in_safe_hold());
+        // Hold drained: the normal X1/X2 climb resumes.
+        assert_eq!(run_epoch(&mut c, 0), Decision::Switch(0.75));
+    }
+
+    #[test]
+    fn storm_during_hold_rearms_the_window() {
+        let mut c = safe_ctl();
+        run_epoch(&mut c, 0);
+        run_epoch(&mut c, 1); // clamp, hold = 2
+        assert_eq!(run_epoch(&mut c, 0), Decision::Hold); // hold -> 1
+        run_epoch(&mut c, 1); // storm mid-hold: re-arm, hold -> 2
+        assert_eq!(c.safe_mode_entries(), 2);
+        assert_eq!(run_epoch(&mut c, 0), Decision::Hold);
+        assert_eq!(run_epoch(&mut c, 0), Decision::Hold);
+        assert_eq!(run_epoch(&mut c, 0), Decision::Switch(0.75));
+    }
+
+    #[test]
+    fn without_safe_mode_absolute_storms_use_the_relative_rule() {
+        // The same storm under the plain paper controller only steps one
+        // level, which is exactly the gap safe mode closes.
+        let mut c = ctl();
+        run_epoch(&mut c, 0); // -> 0.75
+        run_epoch(&mut c, 0); // -> 0.5
+        assert_eq!(run_epoch(&mut c, 1), Decision::Switch(0.75));
+        assert_eq!(c.safe_mode_entries(), 0);
     }
 
     #[test]

@@ -38,7 +38,8 @@ use std::path::{Path, PathBuf};
 use std::sync::mpsc;
 
 /// Journal format version; bumped on any incompatible change.
-pub const JOURNAL_VERSION: u32 = 1;
+/// Version 2 widened the stats array for the L2-fault / ECC counters.
+pub const JOURNAL_VERSION: u32 = 2;
 
 // ---------------------------------------------------------------------
 // Hashes and atomic file replacement
@@ -333,7 +334,7 @@ fn encode_report(r: &RunReport) -> String {
     let st = &r.stats;
     let _ = write!(
         s,
-        ",\"stats\":[{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}]",
+        ",\"stats\":[{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}]",
         st.reads,
         st.writes,
         st.l1_hits,
@@ -343,7 +344,10 @@ fn encode_report(r: &RunReport) -> String {
         st.faults_injected,
         st.tag_faults_injected,
         st.parity_faults_injected,
+        st.l2_faults_injected,
         st.faults_detected,
+        st.faults_corrected,
+        st.recovery_failures,
         st.faults_undetected,
         st.strike_retries,
         st.strike_invalidations,
@@ -551,7 +555,7 @@ fn decode_report(sc: &mut Scanner) -> Option<RunReport> {
         overhead_nj: nj[4],
     };
     sc.lit(",\"stats\":[")?;
-    let mut counters = [0u64; 16];
+    let mut counters = [0u64; 19];
     for (i, slot) in counters.iter_mut().enumerate() {
         if i > 0 {
             sc.lit(",")?;
@@ -569,13 +573,16 @@ fn decode_report(sc: &mut Scanner) -> Option<RunReport> {
         faults_injected: counters[6],
         tag_faults_injected: counters[7],
         parity_faults_injected: counters[8],
-        faults_detected: counters[9],
-        faults_undetected: counters[10],
-        strike_retries: counters[11],
-        strike_invalidations: counters[12],
-        writebacks: counters[13],
-        dirty_drops: counters[14],
-        freq_switches: counters[15],
+        l2_faults_injected: counters[9],
+        faults_detected: counters[10],
+        faults_corrected: counters[11],
+        recovery_failures: counters[12],
+        faults_undetected: counters[13],
+        strike_retries: counters[14],
+        strike_invalidations: counters[15],
+        writebacks: counters[16],
+        dirty_drops: counters[17],
+        freq_switches: counters[18],
     };
     sc.lit(",\"freq\":[")?;
     let mut freq_trace = Vec::new();

@@ -59,7 +59,7 @@ pub use campaign::{
     CampaignConfig, CampaignReport, DurableOptions, DurableOutcome, FailedJob, IsolatedFailure,
     IsolatedRun, JobFailure,
 };
-pub use config::{ClumsyConfig, DynamicConfig, FrequencyPlan};
+pub use config::{ClumsyConfig, DynamicConfig, FrequencyPlan, SafeModeConfig};
 pub use controller::{Decision, DynamicController};
 pub use engine::{golden_for, Engine};
 pub use journal::{atomic_write, JournalError, JournalHeader, JournalWriter};

@@ -227,12 +227,14 @@ impl ClumsyProcessor {
         report
     }
 
-    /// The fault counter the controller observes: parity detections when
-    /// detection hardware exists, otherwise the injected count (an
-    /// oracle stand-in; the paper is silent on the no-detection case).
+    /// The fault counter the controller observes: parity detections plus
+    /// ECC in-place corrections when detection hardware exists (the
+    /// syndrome logic sees a correction just as it sees a detection),
+    /// otherwise the injected count (an oracle stand-in; the paper is
+    /// silent on the no-detection case).
     fn fault_count(machine: &Machine, detection: DetectionScheme) -> u64 {
         if detection.is_enabled() {
-            machine.stats().faults_detected
+            machine.stats().faults_detected + machine.stats().faults_corrected
         } else {
             machine.stats().faults_injected
         }

@@ -1,4 +1,4 @@
-//! Four-way fault-outcome taxonomy for differential trials.
+//! Six-way fault-outcome taxonomy for differential trials.
 //!
 //! Every measured run is compared word-for-word against its golden
 //! (fault-free) twin, so each trial can be bucketed by *what the faults
@@ -6,18 +6,25 @@
 //!
 //! * [`TrialOutcome::Masked`] — faults (if any) never reached an
 //!   architecturally observable value; the run matches golden exactly.
+//! * [`TrialOutcome::Corrected`] — ECC repaired at least one fault in
+//!   place, and the run matches golden with no detect-only event.
 //! * [`TrialOutcome::DetectedRecovered`] — detection hardware flagged at
 //!   least one fault and the recovery machinery (strikes, L2 restore,
 //!   watchdog containment) returned the run to a golden-identical state.
 //! * [`TrialOutcome::DetectedFatal`] — the run hit a fatal error (or the
 //!   watchdog dropped packets to contain one) but produced no silently
 //!   wrong output: the failure is *visible* to the system.
-//! * [`TrialOutcome::SilentDataCorruption`] — the worst bucket: some
-//!   packet observation or initialization table differed from golden
-//!   with nothing raising an alarm for it.
+//! * [`TrialOutcome::SilentDataCorruption`] — some packet observation or
+//!   initialization table differed from golden with nothing raising an
+//!   alarm for it.
+//! * [`TrialOutcome::RecoveryFailed`] — the worst bucket: a strike
+//!   refetch pulled a corrupted word out of the fallible L2, so the
+//!   *recovery path itself* deposited bad data as trusted truth.
 //!
 //! Classification is most-severe-wins: a run that both dropped a packet
-//! and emitted a wrong observation is SDC, not DetectedFatal.
+//! and emitted a wrong observation is SDC, not DetectedFatal; a run
+//! whose refetch failed is RecoveryFailed even if it also corrupted
+//! silently elsewhere.
 
 use crate::report::RunReport;
 use std::fmt;
@@ -28,6 +35,9 @@ use std::ops::{Add, AddAssign};
 pub enum TrialOutcome {
     /// No architecturally visible deviation from the golden run.
     Masked,
+    /// ECC corrected every observed fault in place; output matches
+    /// golden and nothing needed the strike path.
+    Corrected,
     /// Faults were detected and fully recovered; output matches golden.
     DetectedRecovered,
     /// The run failed *visibly* (fatal error or watchdog-dropped
@@ -35,6 +45,10 @@ pub enum TrialOutcome {
     DetectedFatal,
     /// Output differed from golden with no alarm tied to it.
     SilentDataCorruption,
+    /// A strike refetch pulled a corrupted word from the fallible L2:
+    /// the recovery machinery itself laundered bad data into trusted
+    /// state.
+    RecoveryFailed,
 }
 
 impl TrialOutcome {
@@ -42,35 +56,46 @@ impl TrialOutcome {
     pub fn label(&self) -> &'static str {
         match self {
             TrialOutcome::Masked => "masked",
+            TrialOutcome::Corrected => "corrected",
             TrialOutcome::DetectedRecovered => "detected_recovered",
             TrialOutcome::DetectedFatal => "detected_fatal",
             TrialOutcome::SilentDataCorruption => "sdc",
+            TrialOutcome::RecoveryFailed => "recovery_failed",
         }
     }
 
     /// All outcomes, least to most severe.
-    pub fn all() -> [TrialOutcome; 4] {
+    pub fn all() -> [TrialOutcome; 6] {
         [
             TrialOutcome::Masked,
+            TrialOutcome::Corrected,
             TrialOutcome::DetectedRecovered,
             TrialOutcome::DetectedFatal,
             TrialOutcome::SilentDataCorruption,
+            TrialOutcome::RecoveryFailed,
         ]
     }
 
     /// Classifies a finished run, most severe bucket first.
     ///
-    /// SDC needs any wrong packet observation or initialization-table
-    /// sample; DetectedFatal needs a fatal error or watchdog drops;
-    /// DetectedRecovered needs at least one detection event; everything
-    /// else is Masked.
+    /// RecoveryFailed needs a failed L2 refetch (classified distinctly
+    /// from plain SDC because the *mechanism* differs: the safety net
+    /// itself tore); SDC needs any wrong packet observation or
+    /// initialization-table sample; DetectedFatal needs a fatal error or
+    /// watchdog drops; DetectedRecovered needs at least one detect-only
+    /// event; Corrected needs at least one ECC in-place correction;
+    /// everything else is Masked.
     pub fn classify(report: &RunReport) -> TrialOutcome {
-        if report.erroneous_packets > 0 || report.init_obs_wrong > 0 {
+        if report.stats.recovery_failures > 0 {
+            TrialOutcome::RecoveryFailed
+        } else if report.erroneous_packets > 0 || report.init_obs_wrong > 0 {
             TrialOutcome::SilentDataCorruption
         } else if report.fatal.is_some() || report.dropped_packets > 0 {
             TrialOutcome::DetectedFatal
         } else if report.stats.faults_detected > 0 {
             TrialOutcome::DetectedRecovered
+        } else if report.stats.faults_corrected > 0 {
+            TrialOutcome::Corrected
         } else {
             TrialOutcome::Masked
         }
@@ -108,12 +133,16 @@ impl RunReport {
 pub struct OutcomeCounts {
     /// Trials with no visible deviation.
     pub masked: u64,
+    /// Trials where ECC corrected every fault in place.
+    pub corrected: u64,
     /// Trials detected and fully recovered.
     pub detected_recovered: u64,
     /// Trials that failed visibly without wrong output.
     pub detected_fatal: u64,
     /// Trials with silent data corruption.
     pub sdc: u64,
+    /// Trials where a strike refetch pulled corrupted data from the L2.
+    pub recovery_failed: u64,
 }
 
 impl OutcomeCounts {
@@ -123,9 +152,11 @@ impl OutcomeCounts {
     pub fn record(&mut self, outcome: TrialOutcome) {
         match outcome {
             TrialOutcome::Masked => self.masked += 1,
+            TrialOutcome::Corrected => self.corrected += 1,
             TrialOutcome::DetectedRecovered => self.detected_recovered += 1,
             TrialOutcome::DetectedFatal => self.detected_fatal += 1,
             TrialOutcome::SilentDataCorruption => self.sdc += 1,
+            TrialOutcome::RecoveryFailed => self.recovery_failed += 1,
         }
     }
 
@@ -133,15 +164,22 @@ impl OutcomeCounts {
     pub fn get(&self, outcome: TrialOutcome) -> u64 {
         match outcome {
             TrialOutcome::Masked => self.masked,
+            TrialOutcome::Corrected => self.corrected,
             TrialOutcome::DetectedRecovered => self.detected_recovered,
             TrialOutcome::DetectedFatal => self.detected_fatal,
             TrialOutcome::SilentDataCorruption => self.sdc,
+            TrialOutcome::RecoveryFailed => self.recovery_failed,
         }
     }
 
     /// Total classified trials.
     pub fn total(&self) -> u64 {
-        self.masked + self.detected_recovered + self.detected_fatal + self.sdc
+        self.masked
+            + self.corrected
+            + self.detected_recovered
+            + self.detected_fatal
+            + self.sdc
+            + self.recovery_failed
     }
 
     /// Fraction of trials that corrupted data silently (0 if no trials).
@@ -172,9 +210,11 @@ impl Add for OutcomeCounts {
     fn add(self, rhs: OutcomeCounts) -> OutcomeCounts {
         OutcomeCounts {
             masked: self.masked + rhs.masked,
+            corrected: self.corrected + rhs.corrected,
             detected_recovered: self.detected_recovered + rhs.detected_recovered,
             detected_fatal: self.detected_fatal + rhs.detected_fatal,
             sdc: self.sdc + rhs.sdc,
+            recovery_failed: self.recovery_failed + rhs.recovery_failed,
         }
     }
 }
@@ -189,11 +229,13 @@ impl fmt::Display for OutcomeCounts {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} masked, {} recovered, {} fatal, {} SDC ({} trials)",
+            "{} masked, {} corrected, {} recovered, {} fatal, {} SDC, {} recovery-failed ({} trials)",
             self.masked,
+            self.corrected,
             self.detected_recovered,
             self.detected_fatal,
             self.sdc,
+            self.recovery_failed,
             self.total()
         )
     }
@@ -267,6 +309,29 @@ mod tests {
     }
 
     #[test]
+    fn corrections_alone_classify_as_corrected() {
+        let mut r = blank();
+        r.stats.faults_corrected = 4;
+        assert_eq!(r.outcome(), TrialOutcome::Corrected);
+
+        // Any detect-only event outranks pure correction.
+        r.stats.faults_detected = 1;
+        assert_eq!(r.outcome(), TrialOutcome::DetectedRecovered);
+    }
+
+    #[test]
+    fn failed_refetch_outranks_even_sdc() {
+        let mut r = blank();
+        r.stats.recovery_failures = 1;
+        assert_eq!(r.outcome(), TrialOutcome::RecoveryFailed);
+
+        r.erroneous_packets = 3;
+        r.dropped_packets = 2;
+        r.stats.faults_detected = 7;
+        assert_eq!(r.outcome(), TrialOutcome::RecoveryFailed);
+    }
+
+    #[test]
     fn counts_tally_and_sum() {
         let mut sdc = blank();
         sdc.erroneous_packets = 1;
@@ -291,7 +356,14 @@ mod tests {
         let labels: Vec<&str> = TrialOutcome::all().iter().map(|o| o.label()).collect();
         assert_eq!(
             labels,
-            ["masked", "detected_recovered", "detected_fatal", "sdc"]
+            [
+                "masked",
+                "corrected",
+                "detected_recovered",
+                "detected_fatal",
+                "sdc",
+                "recovery_failed"
+            ]
         );
         assert_eq!(format!("{}", TrialOutcome::Masked), "masked");
     }

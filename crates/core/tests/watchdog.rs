@@ -52,8 +52,11 @@ fn contained_fatals_drop_one_packet_and_classify_as_detected_fatal() {
                 // visible drop.
                 assert!(run.erroneous_packets > 0 || run.init_obs_wrong > 0);
             }
-            TrialOutcome::Masked | TrialOutcome::DetectedRecovered => {
+            TrialOutcome::Masked | TrialOutcome::Corrected | TrialOutcome::DetectedRecovered => {
                 assert_eq!(run.dropped_packets, 0);
+            }
+            TrialOutcome::RecoveryFailed => {
+                unreachable!("no L2 fault target configured, so refetches cannot fail");
             }
         }
     }

@@ -9,7 +9,9 @@
 //!    level-1 data cache, scaled *linearly with the voltage swing* when the
 //!    cache is over-clocked (the paper's Figure 1(b) model).
 //! 3. **Detection overhead** — parity protection increases level-1 read
-//!    energy by 23 % and write energy by 36 % (Phelan, ARM Ltd.).
+//!    energy by 23 % and write energy by 36 % (Phelan, ARM Ltd.); the
+//!    opt-in SECDED ECC extension ([`EccOverhead`]) extrapolates those
+//!    figures to +38 % / +55 % for a seven-bit code word.
 //!
 //! It also defines the paper's comparison metric, the
 //! [energy–delay–fallibility product](EdfMetric) (§4.1), generalized to
@@ -40,7 +42,7 @@ mod model;
 
 pub use breakdown::EnergyBreakdown;
 pub use edf::EdfMetric;
-pub use model::{EnergyModel, EnergyModelBuilder, ParityOverhead};
+pub use model::{EccOverhead, EnergyModel, EnergyModelBuilder, ParityOverhead};
 
 #[cfg(test)]
 mod tests {

@@ -88,6 +88,98 @@ impl fmt::Display for ParityOverhead {
     }
 }
 
+/// Relative energy cost of SECDED ECC protection on level-1 cache
+/// accesses.
+///
+/// The paper prices only parity and dismisses correction as an
+/// "unnecessary complication on the design and energy consumption"; this
+/// struct makes that dismissal testable. The defaults extrapolate
+/// Phelan's parity figures to seven code bits per 32-bit word: encode
+/// cost scales roughly with code width on writes, and reads add the
+/// syndrome computation and correction mux on top of the wider fetch —
+/// **+38 % per read** and **+55 % per write**. These are modeling
+/// choices, not paper numbers.
+///
+/// # Examples
+///
+/// ```
+/// use energy_model::EccOverhead;
+///
+/// let e = EccOverhead::secded();
+/// assert!((e.read_factor() - 1.38).abs() < 1e-12);
+/// assert!((e.write_factor() - 1.55).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EccOverhead {
+    read_extra: f64,
+    write_extra: f64,
+}
+
+impl EccOverhead {
+    /// The default SECDED overheads: +38 % on reads, +55 % on writes.
+    pub fn secded() -> Self {
+        EccOverhead {
+            read_extra: 0.38,
+            write_extra: 0.55,
+        }
+    }
+
+    /// No overhead (ECC disabled).
+    pub fn none() -> Self {
+        EccOverhead {
+            read_extra: 0.0,
+            write_extra: 0.0,
+        }
+    }
+
+    /// Custom overheads expressed as extra fractions (0.38 ⇒ +38 %).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either fraction is negative or not finite.
+    pub fn new(read_extra: f64, write_extra: f64) -> Self {
+        assert!(
+            read_extra >= 0.0 && read_extra.is_finite(),
+            "read overhead must be a non-negative finite fraction"
+        );
+        assert!(
+            write_extra >= 0.0 && write_extra.is_finite(),
+            "write overhead must be a non-negative finite fraction"
+        );
+        EccOverhead {
+            read_extra,
+            write_extra,
+        }
+    }
+
+    /// Multiplicative factor applied to read energy (1.38 by default).
+    pub fn read_factor(&self) -> f64 {
+        1.0 + self.read_extra
+    }
+
+    /// Multiplicative factor applied to write energy (1.55 by default).
+    pub fn write_factor(&self) -> f64 {
+        1.0 + self.write_extra
+    }
+}
+
+impl Default for EccOverhead {
+    fn default() -> Self {
+        EccOverhead::secded()
+    }
+}
+
+impl fmt::Display for EccOverhead {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ecc(+{:.0}% rd, +{:.0}% wr)",
+            self.read_extra * 100.0,
+            self.write_extra * 100.0
+        )
+    }
+}
+
 /// Energy model for a StrongARM-class packet-processor core with a
 /// frequency-scalable level-1 data cache.
 ///
@@ -120,6 +212,7 @@ pub struct EnergyModel {
     l2_access_nj: f64,
     mem_access_nj: f64,
     parity: ParityOverhead,
+    ecc: EccOverhead,
 }
 
 impl EnergyModel {
@@ -174,6 +267,17 @@ impl EnergyModel {
         self.l1_write_energy(vsr) * self.parity.write_factor()
     }
 
+    /// Energy of one L1 read including SECDED syndrome check and
+    /// correction, in nanojoules.
+    pub fn l1_read_energy_with_ecc(&self, vsr: f64) -> f64 {
+        self.l1_read_energy(vsr) * self.ecc.read_factor()
+    }
+
+    /// Energy of one L1 write including SECDED encoding, in nanojoules.
+    pub fn l1_write_energy_with_ecc(&self, vsr: f64) -> f64 {
+        self.l1_write_energy(vsr) * self.ecc.write_factor()
+    }
+
     /// Energy of one L2 access (full swing; the paper only over-clocks L1),
     /// in nanojoules.
     pub fn l2_access_energy(&self) -> f64 {
@@ -188,6 +292,11 @@ impl EnergyModel {
     /// The parity overhead in effect.
     pub fn parity(&self) -> ParityOverhead {
         self.parity
+    }
+
+    /// The ECC overhead in effect.
+    pub fn ecc(&self) -> EccOverhead {
+        self.ecc
     }
 
     /// Relative L1 energy reduction at relative voltage swing `vsr`
@@ -236,6 +345,7 @@ pub struct EnergyModelBuilder {
     l2_access_nj: f64,
     mem_access_nj: f64,
     parity: ParityOverhead,
+    ecc: EccOverhead,
 }
 
 impl EnergyModelBuilder {
@@ -250,6 +360,7 @@ impl EnergyModelBuilder {
             l2_access_nj: 7.0,
             mem_access_nj: 30.0,
             parity: ParityOverhead::paper(),
+            ecc: EccOverhead::secded(),
         }
     }
 
@@ -295,6 +406,12 @@ impl EnergyModelBuilder {
         self
     }
 
+    /// Sets the ECC overhead model.
+    pub fn ecc(&mut self, ecc: EccOverhead) -> &mut Self {
+        self.ecc = ecc;
+        self
+    }
+
     /// Builds the model.
     ///
     /// # Panics
@@ -327,6 +444,7 @@ impl EnergyModelBuilder {
             l2_access_nj: self.l2_access_nj,
             mem_access_nj: self.mem_access_nj,
             parity: self.parity,
+            ecc: self.ecc,
         }
     }
 }
@@ -372,6 +490,37 @@ mod tests {
         let base_w = m.l1_write_energy(1.0);
         assert!((m.l1_read_energy_with_parity(1.0) - base_r * 1.23).abs() < 1e-12);
         assert!((m.l1_write_energy_with_parity(1.0) - base_w * 1.36).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecc_factors_exceed_parity() {
+        let m = EnergyModel::strongarm();
+        let base_r = m.l1_read_energy(1.0);
+        let base_w = m.l1_write_energy(1.0);
+        assert!((m.l1_read_energy_with_ecc(1.0) - base_r * 1.38).abs() < 1e-12);
+        assert!((m.l1_write_energy_with_ecc(1.0) - base_w * 1.55).abs() < 1e-12);
+        assert!(m.l1_read_energy_with_ecc(1.0) > m.l1_read_energy_with_parity(1.0));
+        assert!(m.l1_write_energy_with_ecc(1.0) > m.l1_write_energy_with_parity(1.0));
+    }
+
+    #[test]
+    fn ecc_none_is_free() {
+        let m = EnergyModel::builder().ecc(EccOverhead::none()).build();
+        assert_eq!(m.l1_read_energy_with_ecc(1.0), m.l1_read_energy(1.0));
+        assert_eq!(m.l1_write_energy_with_ecc(1.0), m.l1_write_energy(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn ecc_rejects_negative_fraction() {
+        EccOverhead::new(-0.1, 0.5);
+    }
+
+    #[test]
+    fn ecc_display_is_readable() {
+        let s = format!("{}", EccOverhead::secded());
+        assert!(s.contains("38"));
+        assert!(s.contains("55"));
     }
 
     #[test]

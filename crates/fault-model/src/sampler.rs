@@ -337,6 +337,52 @@ impl FaultSampler {
         }
         self.build_event(u, probs, width)
     }
+
+    /// Per-access fault probability of an array clocked *independently*
+    /// of this sampler's cycle time, at explicit per-bit probability
+    /// `per_bit`. The level-2 data array runs on its own clock (and
+    /// therefore its own voltage swing), so its fault process cannot
+    /// reuse the cached L1 per-bit probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 32, or `per_bit` is not a
+    /// probability.
+    pub fn aux_fault_probability_at(&self, per_bit: f64, width: u32) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&per_bit),
+            "per-bit fault probability must be in [0, 1], got {per_bit}"
+        );
+        self.multibit.event_probabilities(per_bit, width).any()
+    }
+
+    /// Samples a fault event for one access of an auxiliary array at an
+    /// explicit per-bit probability (see
+    /// [`FaultSampler::aux_fault_probability_at`]). Like
+    /// [`FaultSampler::sample_aux`] this always uses the exact
+    /// per-access path and draws no randomness while disabled, so the
+    /// opt-in L2 fault process leaves the recorded default RNG streams
+    /// untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 32, or `per_bit` is not a
+    /// probability.
+    pub fn sample_aux_at(&mut self, per_bit: f64, width: u32) -> FaultEvent {
+        if !self.enabled {
+            return FaultEvent::none();
+        }
+        assert!(
+            (0.0..=1.0).contains(&per_bit),
+            "per-bit fault probability must be in [0, 1], got {per_bit}"
+        );
+        let probs = self.multibit.event_probabilities(per_bit, width);
+        let u: f64 = self.rng.gen();
+        if u >= probs.any() {
+            return FaultEvent::none();
+        }
+        self.build_event(u, probs, width)
+    }
 }
 
 impl fmt::Display for FaultSampler {
@@ -592,6 +638,46 @@ mod tests {
             (0..10_000).map(|_| s.sample(32).mask()).collect::<Vec<_>>()
         };
         assert_eq!(mk(0), mk(5000));
+    }
+
+    #[test]
+    fn aux_at_rate_matches_aux_at_probability() {
+        let mut s = FaultSampler::new(FaultProbabilityModel::with_beta(2.0), 7);
+        // The sampler sits at Cr = 1 (near-zero L1 rate); the explicit
+        // per-bit probability drives the aux process alone.
+        let per_bit = 2e-3;
+        let p = s.aux_fault_probability_at(per_bit, 32);
+        assert!(p > 1e-3, "need a measurable rate, got {p}");
+        let n = 500_000u64;
+        let hits = (0..n)
+            .filter(|_| s.sample_aux_at(per_bit, 32).is_fault())
+            .count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate / p - 1.0).abs() < 0.15, "rate {rate} vs expected {p}");
+    }
+
+    #[test]
+    fn disabled_aux_at_sampling_leaves_the_stream_untouched() {
+        // The opt-in L2 target must not perturb the recorded default
+        // RNG streams: a disabled sampler draws nothing.
+        let mk = |aux_calls: usize| {
+            let mut s = FaultSampler::new(FaultProbabilityModel::with_beta(2.0), 42);
+            s.set_cycle(0.25);
+            s.set_enabled(false);
+            for _ in 0..aux_calls {
+                assert!(!s.sample_aux_at(0.01, 32).is_fault());
+            }
+            s.set_enabled(true);
+            (0..10_000).map(|_| s.sample(32).mask()).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(0), mk(5000));
+    }
+
+    #[test]
+    #[should_panic(expected = "per-bit fault probability")]
+    fn aux_at_rejects_non_probability() {
+        let mut s = FaultSampler::new(FaultProbabilityModel::calibrated(), 0);
+        s.sample_aux_at(1.5, 32);
     }
 
     #[test]
