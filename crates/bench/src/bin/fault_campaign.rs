@@ -13,18 +13,22 @@
 //! `results/journal/fault_campaign.jsonl` and installs a SIGINT/SIGTERM
 //! handler; an interrupted run exits with status 3 and `--resume` picks
 //! it up where it stopped, producing a bitwise-identical CSV.
+//!
+//! `--metrics <path>` writes the telemetry counters as JSON after the
+//! run (including an interrupted one); `--progress` prints periodic
+//! progress/ETA lines on stderr. Both are strictly passive: the CSV is
+//! bitwise identical with or without them.
 
+use clumsy_bench::{journal_exit_code, EXIT_FAILURES, EXIT_INTERRUPTED, EXIT_USAGE};
 use clumsy_core::experiment::{paper_schemes, ExperimentOptions, GridPoint};
 use clumsy_core::{
-    interrupt, run_campaign_durable, run_campaign_on, CampaignConfig, CampaignReport, ClumsyConfig,
-    DurableOptions, DynamicConfig, Engine, JobFailure, PAPER_CYCLE_TIMES,
+    interrupt, run_campaign_durable, run_campaign_instrumented, run_campaign_on, CampaignConfig,
+    CampaignReport, ClumsyConfig, DurableOptions, DynamicConfig, Engine, JobFailure,
+    ProgressReporter, Telemetry, PAPER_CYCLE_TIMES,
 };
 use netbench::{AppKind, TraceConfig};
+use std::path::PathBuf;
 use std::sync::Arc;
-
-/// Exit status for an interrupted-but-resumable run (0 = done,
-/// 1 = failures, 2 = bad usage).
-const EXIT_INTERRUPTED: i32 = 3;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,8 +37,25 @@ fn main() {
     } else {
         let durable = args.iter().any(|a| a == "--durable");
         let resume = args.iter().any(|a| a == "--resume");
-        full(durable || resume, resume);
+        let progress = args.iter().any(|a| a == "--progress");
+        let metrics = args.iter().position(|a| a == "--metrics").map(|i| {
+            args.get(i + 1).map(PathBuf::from).unwrap_or_else(|| {
+                eprintln!("error: --metrics needs a path");
+                std::process::exit(EXIT_USAGE);
+            })
+        });
+        full(durable || resume, resume, metrics, progress);
     }
+}
+
+/// Writes the telemetry counters to `path` (atomic), exiting with the
+/// shared runtime-failure status if the write fails.
+fn write_metrics(path: &std::path::Path, telemetry: &Arc<Telemetry>) {
+    if let Err(e) = clumsy_core::atomic_write(path, telemetry.metrics_json().as_bytes()) {
+        eprintln!("error: writing {}: {e}", path.display());
+        std::process::exit(EXIT_FAILURES);
+    }
+    eprintln!("wrote metrics {}", path.display());
 }
 
 /// The paper grid for one app set: every scheme × static clock.
@@ -58,16 +79,48 @@ fn grid(apps: &[AppKind]) -> (Vec<(&'static str, &'static str, f64)>, Vec<GridPo
     (labels, points)
 }
 
-fn full(durable: bool, resume: bool) {
+fn full(durable: bool, resume: bool, metrics: Option<PathBuf>, progress: bool) {
     let opts = ExperimentOptions::from_env();
-    let engine = Engine::from_env();
+    let telemetry = (metrics.is_some() || progress).then(|| Arc::new(Telemetry::new()));
+    let mut engine = Engine::from_env();
+    if let Some(t) = &telemetry {
+        engine = engine.with_telemetry(Arc::clone(t));
+    }
+    let reporter = telemetry.as_ref().filter(|_| progress).map(|t| {
+        ProgressReporter::start(
+            Arc::clone(t),
+            "fault_campaign",
+            std::time::Duration::from_secs(2),
+        )
+    });
     let trace = opts.trace.generate();
     let (labels, points) = grid(&AppKind::all());
     let report = if durable {
-        run_durable(&engine, &points, &trace, &opts, resume)
+        run_durable(
+            &engine,
+            &points,
+            &trace,
+            &opts,
+            resume,
+            telemetry.as_ref(),
+            metrics.as_deref(),
+        )
+    } else if let Some(t) = &telemetry {
+        run_campaign_instrumented(
+            &engine,
+            &points,
+            &trace,
+            &opts,
+            &CampaignConfig::default(),
+            t,
+        )
     } else {
         run_campaign_on(&engine, &points, &trace, &opts, &CampaignConfig::default())
     };
+    drop(reporter);
+    if let (Some(path), Some(t)) = (&metrics, &telemetry) {
+        write_metrics(path, t);
+    }
 
     let rows: Vec<Vec<String>> = labels
         .iter()
@@ -120,26 +173,31 @@ fn full(durable: bool, resume: bool) {
             let (app, scheme, cr) = labels[f.point];
             eprintln!("  {app}/{scheme}/Cr={cr:.2}: {f}");
         }
-        std::process::exit(1);
+        std::process::exit(EXIT_FAILURES);
     }
 }
 
 /// Runs the campaign with journaling: interruptions exit 3 leaving a
-/// resumable journal; a completed run removes it.
+/// resumable journal; a completed run removes it. Journal I/O failures
+/// exit 1; a header/format mismatch (stale or foreign journal) is a
+/// usage error and exits 2.
 fn run_durable(
     engine: &Engine,
     points: &[GridPoint],
     trace: &netbench::Trace,
     opts: &ExperimentOptions,
     resume: bool,
+    telemetry: Option<&Arc<Telemetry>>,
+    metrics: Option<&std::path::Path>,
 ) -> CampaignReport {
     interrupt::install();
     let journal = clumsy_bench::or_exit(clumsy_bench::journal_dir()).join("fault_campaign.jsonl");
-    let durable = DurableOptions {
-        journal: journal.clone(),
-        resume,
-        stop: Some(Arc::new(interrupt::interrupted)),
-    };
+    let mut durable = DurableOptions::new(journal.clone())
+        .with_resume(resume)
+        .with_stop(Arc::new(interrupt::interrupted));
+    if let Some(t) = telemetry {
+        durable = durable.with_telemetry(Arc::clone(t));
+    }
     let outcome = run_campaign_durable(
         engine,
         points,
@@ -150,7 +208,7 @@ fn run_durable(
     )
     .unwrap_or_else(|e| {
         eprintln!("error: {e}");
-        std::process::exit(2);
+        std::process::exit(journal_exit_code(&e));
     });
     if outcome.replayed_jobs > 0 {
         eprintln!(
@@ -167,6 +225,10 @@ fn run_durable(
             outcome.report.total_jobs,
             journal.display()
         );
+        // Even an interrupted run leaves its telemetry behind.
+        if let (Some(path), Some(t)) = (metrics, telemetry) {
+            write_metrics(path, t);
+        }
         std::process::exit(EXIT_INTERRUPTED);
     }
     // Finished: the journal has served its purpose.

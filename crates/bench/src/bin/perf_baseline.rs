@@ -7,11 +7,17 @@
 //! worker count with `CLUMSY_JOBS`. The serial and parallel passes
 //! produce bitwise-identical results (asserted here), so the speedup is
 //! measured on identical work.
+//!
+//! A third pass re-runs the parallel grid with the telemetry layer
+//! attached and asserts its output is still identical, recording the
+//! relative overhead in the JSON — the telemetry-is-passive claim,
+//! measured rather than asserted.
 
 use clumsy_bench::{or_exit, write_file};
 use clumsy_core::experiment::{edf_average_on, table1_on, ExperimentOptions};
-use clumsy_core::{golden_for, Engine};
+use clumsy_core::{golden_for, Engine, Telemetry};
 use netbench::AppKind;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Number of measured simulation runs in one `edf_average` grid.
@@ -22,6 +28,7 @@ const TABLE1_CONFIGS: usize = 3; // baseline, Cr = 0.5, Cr = 0.25
 struct Timing {
     serial_s: f64,
     parallel_s: f64,
+    telemetry_s: f64,
     jobs_total: u64,
     packets_total: u64,
 }
@@ -29,6 +36,13 @@ struct Timing {
 impl Timing {
     fn speedup(&self) -> f64 {
         self.serial_s / self.parallel_s
+    }
+
+    /// Telemetry pass wall time relative to the plain parallel pass;
+    /// 1.0 means free, and anything within run-to-run noise is the
+    /// "overhead within noise" acceptance bar.
+    fn telemetry_overhead(&self) -> f64 {
+        self.telemetry_s / self.parallel_s
     }
 
     fn packets_per_s(&self, elapsed: f64) -> f64 {
@@ -39,14 +53,19 @@ impl Timing {
         format!(
             concat!(
                 "{{\"serial_s\": {:.3}, \"parallel_s\": {:.3}, ",
-                "\"speedup\": {:.3}, \"jobs_run\": {}, ",
+                "\"telemetry_s\": {:.3}, ",
+                "\"speedup\": {:.3}, ",
+                "\"telemetry_overhead\": {:.3}, ",
+                "\"jobs_run\": {}, ",
                 "\"packets_simulated\": {}, ",
                 "\"packets_per_s_serial\": {:.1}, ",
                 "\"packets_per_s_parallel\": {:.1}}}"
             ),
             self.serial_s,
             self.parallel_s,
+            self.telemetry_s,
             self.speedup(),
+            self.telemetry_overhead(),
             self.jobs_total,
             self.packets_total,
             self.packets_per_s(self.serial_s),
@@ -73,17 +92,30 @@ fn time_driver<T: PartialEq + std::fmt::Debug>(
         serial_out, parallel_out,
         "{name}: parallel output diverged from serial"
     );
+    // Third pass: the same parallel engine with telemetry attached. The
+    // output must not move by a bit, and the wall time says what the
+    // counters cost.
+    let instrumented = parallel.clone().with_telemetry(Arc::new(Telemetry::new()));
+    let t2 = Instant::now();
+    let telemetry_out = run(&instrumented);
+    let telemetry_s = t2.elapsed().as_secs_f64();
+    assert_eq!(
+        serial_out, telemetry_out,
+        "{name}: telemetry changed the output"
+    );
     let jobs_total = (AppKind::all().len() * configs) as u64 * u64::from(opts.trials);
     let timing = Timing {
         serial_s,
         parallel_s,
+        telemetry_s,
         jobs_total,
         packets_total: jobs_total * opts.trace.packets as u64,
     };
     println!(
-        "{name:>12}: serial {serial_s:.2}s, parallel {parallel_s:.2}s ({:.2}x, {:.0} pkt/s)",
+        "{name:>12}: serial {serial_s:.2}s, parallel {parallel_s:.2}s ({:.2}x, {:.0} pkt/s), telemetry {telemetry_s:.2}s ({:.2}x parallel)",
         timing.speedup(),
         timing.packets_per_s(parallel_s),
+        timing.telemetry_overhead(),
     );
     timing
 }

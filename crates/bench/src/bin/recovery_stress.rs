@@ -16,16 +16,24 @@
 //! `--smoke` runs a tiny self-check instead (no CSVs): the L2 process
 //! must inject, ECC must correct, and a failed refetch must classify
 //! as `recovery_failed` — distinct from plain SDC.
+//!
+//! `--metrics <path>` writes the telemetry counters as JSON after both
+//! grids; `--progress` prints periodic progress/ETA lines on stderr.
+//! Both are strictly passive: the CSVs are bitwise identical with or
+//! without them.
 
 use cache_sim::{DetectionScheme, FaultTargets, MemConfig, MemSystem, StrikePolicy};
+use clumsy_bench::{EXIT_FAILURES, EXIT_USAGE};
 use clumsy_core::experiment::{run_config_on_trace, ExperimentOptions, GridPoint};
 use clumsy_core::{
-    run_campaign_on, CampaignConfig, ClumsyConfig, DynamicConfig, Engine, SafeModeConfig,
-    TrialOutcome,
+    run_campaign_instrumented, run_campaign_on, CampaignConfig, ClumsyConfig, DynamicConfig,
+    Engine, ProgressReporter, SafeModeConfig, Telemetry, TrialOutcome,
 };
 use energy_model::EdfMetric;
 use fault_model::FaultProbabilityModel;
 use netbench::{AppKind, TraceConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Boosted fault model shared by both grids (see module docs).
 fn stress_model() -> FaultProbabilityModel {
@@ -43,7 +51,14 @@ fn main() {
     if args.iter().any(|a| a == "--smoke") {
         smoke();
     } else {
-        full();
+        let progress = args.iter().any(|a| a == "--progress");
+        let metrics = args.iter().position(|a| a == "--metrics").map(|i| {
+            args.get(i + 1).map(PathBuf::from).unwrap_or_else(|| {
+                eprintln!("error: --metrics needs a path");
+                std::process::exit(EXIT_USAGE);
+            })
+        });
+        full(metrics, progress);
     }
 }
 
@@ -71,12 +86,23 @@ fn stress_config(detection: DetectionScheme, strikes: StrikePolicy, l2_cycle: f6
         .with_l2_cycle(l2_cycle)
 }
 
-fn full() {
+fn full(metrics: Option<PathBuf>, progress: bool) {
     let mut opts = ExperimentOptions::from_env();
     // Outcome *counts* need more resolution than the paper's default
     // three trials; joint strike+L2 events are rare even boosted.
     opts.trials = opts.trials.max(8);
-    let engine = Engine::from_env();
+    let telemetry = (metrics.is_some() || progress).then(|| Arc::new(Telemetry::new()));
+    let mut engine = Engine::from_env();
+    if let Some(t) = &telemetry {
+        engine = engine.with_telemetry(Arc::clone(t));
+    }
+    let reporter = telemetry.as_ref().filter(|_| progress).map(|t| {
+        ProgressReporter::start(
+            Arc::clone(t),
+            "recovery_stress",
+            std::time::Duration::from_secs(2),
+        )
+    });
     let trace = opts.trace.generate();
     let metric = EdfMetric::paper();
     let apps = [AppKind::Route, AppKind::Tl, AppKind::Md5];
@@ -95,7 +121,11 @@ fn full() {
             }
         }
     }
-    let report = run_campaign_on(&engine, &points, &trace, &opts, &CampaignConfig::default());
+    let ccfg = CampaignConfig::default();
+    let report = match &telemetry {
+        Some(t) => run_campaign_instrumented(&engine, &points, &trace, &opts, &ccfg, t),
+        None => run_campaign_on(&engine, &points, &trace, &opts, &ccfg),
+    };
     let baselines: Vec<f64> = apps
         .iter()
         .map(|&app| run_config_on_trace(app, &ClumsyConfig::baseline(), &trace, &opts).edf(&metric))
@@ -182,13 +212,10 @@ fn full() {
             )
         })
         .collect();
-    let sm_report = run_campaign_on(
-        &engine,
-        &sm_points,
-        &trace,
-        &opts,
-        &CampaignConfig::default(),
-    );
+    let sm_report = match &telemetry {
+        Some(t) => run_campaign_instrumented(&engine, &sm_points, &trace, &opts, &ccfg, t),
+        None => run_campaign_on(&engine, &sm_points, &trace, &opts, &ccfg),
+    };
     let sm_baseline = run_config_on_trace(sm_app, &ClumsyConfig::baseline(), &trace, &opts);
     let sm_rows: Vec<Vec<String>> = sm_labels
         .iter()
@@ -235,6 +262,15 @@ fn full() {
     ));
     println!("\nwrote {}", sm_path.display());
 
+    drop(reporter);
+    if let (Some(path), Some(t)) = (&metrics, &telemetry) {
+        if let Err(e) = clumsy_core::atomic_write(path, t.metrics_json().as_bytes()) {
+            eprintln!("error: writing {}: {e}", path.display());
+            std::process::exit(EXIT_FAILURES);
+        }
+        eprintln!("wrote metrics {}", path.display());
+    }
+
     let mut failed = false;
     for (r, lbls) in [(&report, labels.len()), (&sm_report, sm_labels.len())] {
         if !r.is_complete() {
@@ -247,7 +283,7 @@ fn full() {
         failed = true;
     }
     if failed {
-        std::process::exit(1);
+        std::process::exit(EXIT_FAILURES);
     }
 }
 

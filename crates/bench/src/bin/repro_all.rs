@@ -15,14 +15,16 @@
 //! `CLUMSY_TRIALS` and `CLUMSY_SEED`, so a resume at a different scale
 //! is refused instead of mixing CSVs from different runs.
 
+use clumsy_bench::{journal_exit_code, EXIT_FAILURES, EXIT_INTERRUPTED};
 use clumsy_core::experiment::ExperimentOptions;
-use clumsy_core::interrupt;
 use clumsy_core::journal::{self, JournalHeader, JournalWriter, Record, JOURNAL_VERSION};
+use clumsy_core::{interrupt, Stopwatch};
 use std::collections::HashSet;
 use std::path::Path;
 use std::process::Command;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
 const BINARIES: &[&str] = &[
     "fig1b_voltage_swing",
@@ -48,9 +50,6 @@ const BINARIES: &[&str] = &[
     "metric_exponents",
     "sensitivity_traffic",
 ];
-
-/// Exit status for an interrupted-but-resumable run.
-const EXIT_INTERRUPTED: i32 = 3;
 
 fn parse_jobs() -> usize {
     let mut args = std::env::args().skip(1);
@@ -106,7 +105,10 @@ fn open_journal(resume: bool, path: &Path) -> (JournalWriter, HashSet<String>) {
     let mut done = HashSet::new();
     let refuse = |e: journal::JournalError| -> ! {
         eprintln!("error: {e}");
-        std::process::exit(2);
+        // Shared exit-code contract: an I/O failure is a runtime error
+        // (1); a header mismatch means the operator resumed the wrong
+        // journal, which is a usage error (2).
+        std::process::exit(journal_exit_code(&e));
     };
     let writer = if resume && path.exists() {
         let replay = journal::replay(path).unwrap_or_else(|e| refuse(e));
@@ -151,6 +153,7 @@ fn main() {
 
     if jobs <= 1 {
         let mut failed = Vec::new();
+        let mut times: Vec<(&str, Duration)> = Vec::new();
         let mut skipped = false;
         for bin in &todo {
             if interrupt::interrupted() {
@@ -158,15 +161,18 @@ fn main() {
                 break;
             }
             println!("\n########## {bin} ##########");
+            let span = Stopwatch::start();
             let status = Command::new(dir.join(bin))
                 .status()
                 .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+            times.push((bin, span.elapsed()));
             if status.success() {
                 writer.append_marker(bin);
             } else {
                 failed.push(*bin);
             }
         }
+        print_wall_times(&times);
         finish(writer, &journal_path, &failed, skipped);
         return;
     }
@@ -183,6 +189,7 @@ fn main() {
     );
     let next = AtomicUsize::new(0);
     let failed: Mutex<Vec<&str>> = Mutex::new(Vec::new());
+    let times: Mutex<Vec<(&str, Duration)>> = Mutex::new(Vec::new());
     let stdout_gate = Mutex::new(());
     let writer_ref = &writer;
     let todo_ref = &todo;
@@ -194,10 +201,13 @@ fn main() {
                 }
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(bin) = todo_ref.get(i) else { break };
+                let span = Stopwatch::start();
                 let output = Command::new(dir.join(bin))
                     .env("CLUMSY_JOBS", child_workers.to_string())
                     .output()
                     .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+                let wall = span.elapsed();
+                times.lock().expect("time list poisoned").push((bin, wall));
                 let _gate = stdout_gate.lock().expect("stdout gate poisoned");
                 println!("\n########## {bin} ##########");
                 print!("{}", String::from_utf8_lossy(&output.stdout));
@@ -211,6 +221,7 @@ fn main() {
         }
     });
     let skipped = next.load(Ordering::Relaxed) < todo.len();
+    print_wall_times(&times.into_inner().expect("time list poisoned"));
     finish(
         writer,
         &journal_path,
@@ -219,10 +230,29 @@ fn main() {
     );
 }
 
+/// Prints the per-driver wall-time table (slowest first) so a slow
+/// repro run points straight at the driver that dominates it.
+fn print_wall_times(times: &[(&str, Duration)]) {
+    if times.is_empty() {
+        return;
+    }
+    let mut sorted: Vec<(&str, Duration)> = times.to_vec();
+    sorted.sort_by_key(|&(_, wall)| std::cmp::Reverse(wall));
+    let total: Duration = sorted.iter().map(|(_, d)| *d).sum();
+    println!(
+        "\nper-driver wall time ({} drivers, slowest first):",
+        sorted.len()
+    );
+    for (bin, wall) in &sorted {
+        println!("  {:>8.2}s  {bin}", wall.as_secs_f64());
+    }
+    println!("  {:>8.2}s  total driver time", total.as_secs_f64());
+}
+
 fn finish(writer: JournalWriter, journal_path: &Path, failed: &[&str], interrupted: bool) {
     if let Err(e) = writer.finish() {
         eprintln!("error: {e}");
-        std::process::exit(1);
+        std::process::exit(EXIT_FAILURES);
     }
     if interrupted {
         eprintln!(
@@ -237,6 +267,6 @@ fn finish(writer: JournalWriter, journal_path: &Path, failed: &[&str], interrupt
         std::fs::remove_file(journal_path).ok();
     } else {
         eprintln!("\nFAILED: {failed:?}");
-        std::process::exit(1);
+        std::process::exit(EXIT_FAILURES);
     }
 }

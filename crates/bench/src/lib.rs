@@ -1,11 +1,37 @@
-//! Shared helpers for the reproduction harness: table printing and CSV
-//! output for every regenerated figure/table.
+//! Shared helpers for the reproduction harness: table printing, CSV
+//! output for every regenerated figure/table, and the process exit
+//! codes every harness binary agrees on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fs;
 use std::path::PathBuf;
+
+/// Exit status: everything completed.
+pub const EXIT_OK: i32 = 0;
+/// Exit status: the run finished but something failed — exhausted
+/// campaign jobs, a failed driver, or result-file I/O.
+pub const EXIT_FAILURES: i32 = 1;
+/// Exit status: the invocation itself was wrong — bad flags, an
+/// unknown command, or a journal that belongs to a different run
+/// configuration (a refused resume).
+pub const EXIT_USAGE: i32 = 2;
+/// Exit status: interrupted (e.g. SIGINT/SIGTERM) with work left; the
+/// journal is resumable with `--resume`.
+pub const EXIT_INTERRUPTED: i32 = 3;
+
+/// Maps a journal error onto the shared exit codes: I/O trouble is a
+/// runtime failure ([`EXIT_FAILURES`]); a missing or mismatched header
+/// means the caller pointed a resume at the wrong journal
+/// ([`EXIT_USAGE`]).
+pub fn journal_exit_code(err: &clumsy_core::JournalError) -> i32 {
+    match err {
+        clumsy_core::JournalError::Io { .. } => EXIT_FAILURES,
+        clumsy_core::JournalError::MissingHeader { .. }
+        | clumsy_core::JournalError::HeaderMismatch { .. } => EXIT_USAGE,
+    }
+}
 
 /// A failed filesystem operation, carrying the path for context so
 /// disk-full and permission errors surface usably instead of as a
@@ -37,11 +63,12 @@ impl IoFailure {
 }
 
 /// Unwraps a result-file operation, printing the failure to stderr and
-/// exiting with status 1 — the benchmark-binary equivalent of `?`.
+/// exiting with [`EXIT_FAILURES`] — the benchmark-binary equivalent of
+/// `?`.
 pub fn or_exit<T>(result: Result<T, IoFailure>) -> T {
     result.unwrap_or_else(|e| {
         eprintln!("error: {e}");
-        std::process::exit(1);
+        std::process::exit(EXIT_FAILURES);
     })
 }
 
@@ -50,14 +77,28 @@ pub fn or_exit<T>(result: Result<T, IoFailure>) -> T {
 ///
 /// # Errors
 ///
-/// [`IoFailure`] if the directory cannot be created.
+/// [`IoFailure`] if `CLUMSY_RESULTS` is set but empty (or whitespace),
+/// if the working directory is unreadable while locating the workspace
+/// root, or if the directory cannot be created. An empty override or a
+/// vanished cwd must surface, not silently land CSVs in `"."`.
 pub fn results_dir() -> Result<PathBuf, IoFailure> {
-    let dir = std::env::var("CLUMSY_RESULTS")
-        .map(PathBuf::from)
-        .unwrap_or_else(|_| {
-            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let dir = match std::env::var("CLUMSY_RESULTS") {
+        Ok(v) if v.trim().is_empty() => {
+            return Err(IoFailure::new(
+                PathBuf::from("$CLUMSY_RESULTS"),
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "CLUMSY_RESULTS is set but empty; unset it or point it at a directory",
+                ),
+            ));
+        }
+        Ok(v) => PathBuf::from(v),
+        Err(_) => {
+            let cwd = std::env::current_dir()
+                .map_err(|e| IoFailure::new(PathBuf::from("<current dir>"), e))?;
             workspace_root(&cwd).unwrap_or(cwd).join("results")
-        });
+        }
+    };
     fs::create_dir_all(&dir).map_err(|e| IoFailure::new(dir.clone(), e))?;
     Ok(dir)
 }
@@ -231,6 +272,14 @@ pub fn f(v: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// `CLUMSY_RESULTS` and the cwd are process-global; every test that
+    /// touches either serializes on this lock.
+    fn env_lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
 
     #[test]
     fn float_formatting() {
@@ -279,7 +328,70 @@ mod tests {
     }
 
     #[test]
+    fn empty_or_whitespace_results_override_is_rejected() {
+        let _guard = env_lock();
+        for bad in ["", "   ", "\t\n"] {
+            std::env::set_var("CLUMSY_RESULTS", bad);
+            let err = results_dir().expect_err("blank override must not be a path");
+            assert!(
+                err.to_string().contains("CLUMSY_RESULTS"),
+                "error must name the variable: {err}"
+            );
+            assert_eq!(
+                err.source.kind(),
+                std::io::ErrorKind::InvalidInput,
+                "{bad:?}"
+            );
+        }
+        std::env::remove_var("CLUMSY_RESULTS");
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn unreadable_cwd_is_a_typed_error_not_a_dot_fallback() {
+        let _guard = env_lock();
+        std::env::remove_var("CLUMSY_RESULTS");
+        let original = std::env::current_dir().unwrap();
+        let doomed = std::env::temp_dir().join("clumsy-vanishing-cwd");
+        std::fs::create_dir_all(&doomed).unwrap();
+        std::env::set_current_dir(&doomed).unwrap();
+        std::fs::remove_dir(&doomed).unwrap();
+        let got = results_dir();
+        std::env::set_current_dir(&original).unwrap();
+        let err = got.expect_err("a vanished cwd must surface as IoFailure");
+        assert!(
+            err.to_string().contains("current dir"),
+            "error must point at the cwd: {err}"
+        );
+    }
+
+    #[test]
+    fn journal_errors_map_onto_the_shared_exit_codes() {
+        let io = clumsy_core::JournalError::Io {
+            path: PathBuf::from("j"),
+            source: std::io::Error::other("disk"),
+        };
+        assert_eq!(journal_exit_code(&io), EXIT_FAILURES);
+        let missing = clumsy_core::JournalError::MissingHeader {
+            path: PathBuf::from("j"),
+        };
+        assert_eq!(journal_exit_code(&missing), EXIT_USAGE);
+        let mismatch = clumsy_core::JournalError::HeaderMismatch {
+            field: "seed",
+            journal: "1".into(),
+            expected: "2".into(),
+        };
+        assert_eq!(journal_exit_code(&mismatch), EXIT_USAGE);
+        assert_eq!(
+            [EXIT_OK, EXIT_FAILURES, EXIT_USAGE, EXIT_INTERRUPTED],
+            [0, 1, 2, 3],
+            "the exit-code table is part of the documented contract"
+        );
+    }
+
+    #[test]
     fn csv_round_trip() {
+        let _guard = env_lock();
         std::env::set_var(
             "CLUMSY_RESULTS",
             std::env::temp_dir().join("clumsy-test-results"),
@@ -299,6 +411,7 @@ mod tests {
 
     #[test]
     fn io_failure_reports_path_and_source() {
+        let _guard = env_lock();
         std::env::set_var(
             "CLUMSY_RESULTS",
             std::env::temp_dir().join("clumsy-test-results-ro"),

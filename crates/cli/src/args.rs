@@ -58,6 +58,7 @@ const FLAGS: &[&str] = &[
     "durable",
     "resume",
     "safe-mode",
+    "progress",
 ];
 
 impl Args {

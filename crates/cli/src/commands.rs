@@ -6,8 +6,9 @@ use cache_sim::{DetectionScheme, FaultTargets, RecoveryGranularity, StrikePolicy
 use clumsy_core::campaign::grid_hash;
 use clumsy_core::experiment::{paper_schemes, run_config_on_trace, ExperimentOptions, GridPoint};
 use clumsy_core::{
-    interrupt, run_campaign_durable, run_campaign_on, CampaignConfig, ClumsyConfig, DurableOptions,
-    DynamicConfig, FrequencyPlan, JournalError, SafeModeConfig, PAPER_CYCLE_TIMES,
+    interrupt, run_campaign_durable, run_campaign_instrumented, run_campaign_on, CampaignConfig,
+    ClumsyConfig, DurableOptions, DynamicConfig, FrequencyPlan, JournalError, ProgressReporter,
+    SafeModeConfig, Stopwatch, Telemetry, PAPER_CYCLE_TIMES,
 };
 use energy_model::EdfMetric;
 use fault_model::{FaultProbabilityModel, VoltageSwingCurve};
@@ -121,6 +122,8 @@ RUN OPTIONS:
     --trials <n>          fault-seed trials (default 1)
     --seed <n>            base fault seed (default 24301)
     --sampler <m>         exact | skip-ahead (geometric fast path; default exact)
+    --metrics <path>      write telemetry counters as JSON (atomic; results
+                          stay bitwise identical with or without it)
     --json                machine-readable output
 
 SWEEP OPTIONS: --app, --packets, --trials, --seed, --json
@@ -138,6 +141,9 @@ CAMPAIGN OPTIONS:
     --resume              replay the journal, run only the remaining jobs
                           (refused if seed/trials/packets/grid changed)
     --journal <path>      journal file (default results/journal/campaign-<grid>.jsonl)
+    --metrics <path>      write telemetry counters as JSON (atomic; results
+                          stay bitwise identical with or without it)
+    --progress            periodic progress/ETA lines on stderr
     --packets/--trials/--seed/--jobs/--json as for repro
 
 TRACE OPTIONS: --packets, --seed
@@ -359,14 +365,54 @@ const RUN_OPTIONS: &[&str] = &[
     "fault-targets",
     "l2-cycle",
     "safe-mode",
+    "metrics",
 ];
+
+/// A telemetry block when `--metrics` or `--progress` asked for one.
+/// Created here (not inside the simulation) so the default path runs
+/// with telemetry entirely absent — bitwise inertness by construction.
+fn parse_telemetry(args: &Args) -> Option<std::sync::Arc<Telemetry>> {
+    (args.get("metrics").is_some() || args.flag("progress"))
+        .then(|| std::sync::Arc::new(Telemetry::new()))
+}
+
+/// Writes the schema-stable metrics JSON to the `--metrics` path via
+/// [`clumsy_core::atomic_write`], if both the flag and a telemetry
+/// block are present.
+fn write_metrics(
+    args: &Args,
+    telemetry: Option<&std::sync::Arc<Telemetry>>,
+) -> Result<(), CliError> {
+    if let (Some(path), Some(t)) = (args.get("metrics"), telemetry) {
+        clumsy_core::atomic_write(std::path::Path::new(path), t.metrics_json().as_bytes())
+            .map_err(|source| CliError::Io {
+                path: path.to_string(),
+                source,
+            })?;
+    }
+    Ok(())
+}
 
 fn run(args: &Args) -> Result<String, CliError> {
     args.expect_only(RUN_OPTIONS)?;
     let kind = parse_app(args)?;
     let cfg = parse_config(args)?;
     let (trace, opts) = parse_trace(args)?;
+    let telemetry = parse_telemetry(args);
+    let span = telemetry.as_ref().map(|_| Stopwatch::start());
     let agg = run_config_on_trace(kind, &cfg, &trace, &opts);
+    if let (Some(t), Some(span)) = (&telemetry, span) {
+        // `run` executes its trials serially in one call, so charge
+        // each trial the average wall time of the batch.
+        let trials = agg.runs.len().max(1);
+        t.add_total_jobs(trials as u64);
+        let per_trial = span.elapsed() / trials as u32;
+        for (i, r) in agg.runs.iter().enumerate() {
+            t.record_report(i, r);
+            t.job_completed(i, per_trial);
+        }
+    }
+    write_metrics(args, telemetry.as_ref())?;
     let baseline = run_config_on_trace(kind, &ClumsyConfig::baseline(), &trace, &opts);
     let metric = EdfMetric::paper();
     let rel = agg.edf(&metric) / baseline.edf(&metric);
@@ -476,6 +522,8 @@ const CAMPAIGN_OPTIONS: &[&str] = &[
     "durable",
     "resume",
     "journal",
+    "metrics",
+    "progress",
 ];
 
 /// Default journal location for `--durable`: keyed by the grid hash so
@@ -501,7 +549,21 @@ struct CampaignCell {
 fn campaign(args: &Args) -> Result<String, CliError> {
     args.expect_only(CAMPAIGN_OPTIONS)?;
     let (trace, opts) = parse_trace(args)?;
-    let engine = parse_engine(args)?;
+    let telemetry = parse_telemetry(args);
+    let mut reporter = telemetry
+        .as_ref()
+        .filter(|_| args.flag("progress"))
+        .map(|t| {
+            ProgressReporter::start(
+                std::sync::Arc::clone(t),
+                "campaign",
+                std::time::Duration::from_secs(2),
+            )
+        });
+    let mut engine = parse_engine(args)?;
+    if let Some(t) = &telemetry {
+        engine = engine.with_telemetry(std::sync::Arc::clone(t));
+    }
     let targets = parse_targets(args)?;
     let l2_cycle = parse_l2_cycle(args)?;
     let apps: Vec<AppKind> = match args.get("app") {
@@ -554,11 +616,12 @@ fn campaign(args: &Args) -> Result<String, CliError> {
             Some(p) => std::path::PathBuf::from(p),
             None => default_journal_path(&points),
         };
-        let durable = DurableOptions {
-            journal: journal.clone(),
-            resume: args.flag("resume"),
-            stop: Some(std::sync::Arc::new(interrupt::interrupted)),
-        };
+        let mut durable = DurableOptions::new(journal.clone())
+            .with_resume(args.flag("resume"))
+            .with_stop(std::sync::Arc::new(interrupt::interrupted));
+        if let Some(t) = &telemetry {
+            durable = durable.with_telemetry(std::sync::Arc::clone(t));
+        }
         let outcome = run_campaign_durable(&engine, &points, &trace, &opts, &ccfg, &durable)
             .map_err(CliError::Journal)?;
         if outcome.replayed_jobs > 0 {
@@ -570,6 +633,10 @@ fn campaign(args: &Args) -> Result<String, CliError> {
             );
         }
         if outcome.interrupted {
+            // Flush the metrics even on the resumable-exit path so an
+            // interrupted campaign still leaves its telemetry behind.
+            drop(reporter.take());
+            write_metrics(args, telemetry.as_ref())?;
             return Err(CliError::Interrupted {
                 partial: format!(
                     "{}/{}",
@@ -582,9 +649,13 @@ fn campaign(args: &Args) -> Result<String, CliError> {
         // Finished: the journal has served its purpose.
         std::fs::remove_file(&journal).ok();
         outcome.report
+    } else if let Some(t) = &telemetry {
+        run_campaign_instrumented(&engine, &points, &trace, &opts, &ccfg, t)
     } else {
         run_campaign_on(&engine, &points, &trace, &opts, &ccfg)
     };
+    drop(reporter.take());
+    write_metrics(args, telemetry.as_ref())?;
     let cells: Vec<CampaignCell> = labels
         .iter()
         .zip(&report.aggregates)

@@ -31,12 +31,18 @@ fn main() {
         Ok(text) => println!("{text}"),
         Err(e) => {
             eprintln!("error: {e}");
-            // An interrupted durable campaign is not a usage error: it
-            // left a resumable journal behind, and scripts driving the
-            // CLI distinguish "resume me" (3) from "you did it wrong" (2).
-            let code = match e {
-                commands::CliError::Interrupted { .. } => 3,
-                _ => 2,
+            // Shared exit-code contract (see clumsy_bench): 1 is a
+            // runtime failure, 2 a usage error, and 3 an interrupted
+            // durable campaign — not a usage error, since it left a
+            // resumable journal behind and scripts driving the CLI
+            // distinguish "resume me" (3) from "you did it wrong" (2).
+            let code = match &e {
+                commands::CliError::Interrupted { .. } => clumsy_bench::EXIT_INTERRUPTED,
+                commands::CliError::Io { .. } => clumsy_bench::EXIT_FAILURES,
+                commands::CliError::Journal(err) => clumsy_bench::journal_exit_code(err),
+                commands::CliError::Args(_) | commands::CliError::UnknownCommand(_) => {
+                    clumsy_bench::EXIT_USAGE
+                }
             };
             std::process::exit(code);
         }

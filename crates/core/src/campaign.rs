@@ -30,10 +30,12 @@ use crate::experiment::{Aggregate, ExperimentOptions, GridPoint};
 use crate::journal::{self, JournalError, JournalHeader, JournalWriter, Record, JOURNAL_VERSION};
 use crate::processor::{ClumsyProcessor, GoldenData};
 use crate::report::RunReport;
+use crate::telemetry::Telemetry;
 use netbench::AppKind;
 use std::collections::{HashMap, VecDeque};
 use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
@@ -67,6 +69,14 @@ pub struct CampaignConfig {
     /// Extra attempts after the first failure; each retry reseeds the
     /// trial by [`RESEED_STRIDE`].
     pub retries: u32,
+    /// Cap on concurrently *live abandoned* attempts — deadline-overrun
+    /// threads that are still running because safe Rust cannot kill
+    /// them. At the cap the coordinator pauses new launches (bounded
+    /// ~100 ms re-checks) until a stranded thread finishes, so a storm
+    /// of slow points cannot pile up unbounded threads. Scheduling
+    /// order never affects results (each job's seed depends only on its
+    /// index and attempt), so the cap is always armed.
+    pub max_abandoned: usize,
 }
 
 impl CampaignConfig {
@@ -81,6 +91,13 @@ impl CampaignConfig {
         self.retries = retries;
         self
     }
+
+    /// Returns the config with a different live-abandoned-attempt cap
+    /// (clamped to at least 1).
+    pub fn with_max_abandoned(mut self, max_abandoned: usize) -> Self {
+        self.max_abandoned = max_abandoned.max(1);
+        self
+    }
 }
 
 impl Default for CampaignConfig {
@@ -88,6 +105,7 @@ impl Default for CampaignConfig {
         CampaignConfig {
             deadline: None,
             retries: 1,
+            max_abandoned: 32,
         }
     }
 }
@@ -156,6 +174,10 @@ pub struct BatchControl<'a, R> {
     /// Called on the coordinator thread for every freshly completed
     /// job, before its result is stored.
     pub on_result: Option<OnResult<'a, R>>,
+    /// Optional passive instrumentation: job completions, retries,
+    /// abandonments and per-attempt wall times are recorded here.
+    /// Telemetry never influences scheduling or results.
+    pub telemetry: Option<Arc<Telemetry>>,
 }
 
 // Manual impl: `derive(Default)` would demand `R: Default`, which the
@@ -166,6 +188,7 @@ impl<R> Default for BatchControl<'_, R> {
             prefilled: HashMap::new(),
             stop: None,
             on_result: None,
+            telemetry: None,
         }
     }
 }
@@ -181,8 +204,17 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// An in-flight attempt: job index, attempt number, optional deadline.
-type InFlight = HashMap<u64, (usize, u32, Option<Instant>)>;
+/// Attempt-thread handshake states (see [`InFlight`]): the coordinator
+/// swaps RUNNING → ABANDONED on deadline expiry, the thread swaps
+/// whatever it finds → DONE when it finishes. Exactly one side observes
+/// the other's transition, which keeps the live-abandoned count exact.
+const ATTEMPT_RUNNING: u8 = 0;
+const ATTEMPT_ABANDONED: u8 = 1;
+const ATTEMPT_DONE: u8 = 2;
+
+/// An in-flight attempt: job index, attempt number, optional deadline,
+/// and the shared attempt state ([`ATTEMPT_RUNNING`] et al.).
+type InFlight = HashMap<u64, (usize, u32, Option<Instant>, Arc<AtomicU8>)>;
 
 /// Runs `n_jobs` independent jobs with crash isolation: each attempt of
 /// `run(job, attempt)` executes on its own detached thread behind
@@ -230,7 +262,7 @@ where
 {
     let workers = workers.max(1);
     let run = Arc::new(run);
-    let (tx, rx) = mpsc::channel::<(u64, Result<R, String>)>();
+    let (tx, rx) = mpsc::channel::<(u64, Result<R, String>, Duration)>();
 
     let mut results: Vec<Option<R>> = (0..n_jobs).map(|_| None).collect();
     for (job, r) in control.prefilled.drain() {
@@ -247,7 +279,16 @@ where
     let mut next_gen: u64 = 0;
     let mut stopped = false;
 
+    let telemetry = control.telemetry.clone();
+    let abandoned_live = Arc::new(AtomicU64::new(0));
+    let cap = cfg.max_abandoned.max(1) as u64;
+    let mut cap_warned = false;
+
+    let give_up_telemetry = telemetry.clone();
     let mut give_up = |job: usize, attempt: u32, failure: JobFailure| {
+        if let Some(t) = &give_up_telemetry {
+            t.job_failed();
+        }
         failures.push(IsolatedFailure {
             job,
             attempts: attempt + 1,
@@ -264,31 +305,67 @@ where
             }
         }
 
-        // Launch until every worker slot is busy.
-        while !stopped && in_flight.len() < workers {
+        // Launch until every worker slot is busy, unless live abandoned
+        // threads have reached the cap.
+        if abandoned_live.load(Ordering::Relaxed) < cap {
+            cap_warned = false;
+        }
+        while !stopped && in_flight.len() < workers && abandoned_live.load(Ordering::Relaxed) < cap
+        {
             let Some((job, attempt)) = pending.pop_front() else {
                 break;
             };
             let gen = next_gen;
             next_gen += 1;
             let deadline = cfg.deadline.map(|d| Instant::now() + d);
-            in_flight.insert(gen, (job, attempt, deadline));
+            let state = Arc::new(AtomicU8::new(ATTEMPT_RUNNING));
+            in_flight.insert(gen, (job, attempt, deadline, Arc::clone(&state)));
             let tx = tx.clone();
             let run = Arc::clone(&run);
+            let live = Arc::clone(&abandoned_live);
+            let thread_telemetry = telemetry.clone();
             std::thread::spawn(move || {
+                let started = Instant::now();
                 let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| run(job, attempt)))
                     .map_err(panic_message);
+                let wall = started.elapsed();
+                // AcqRel pairs with the coordinator's expiry swap: if we
+                // see ABANDONED, its live increment is visible, so the
+                // decrement below cannot transiently underflow.
+                if state.swap(ATTEMPT_DONE, Ordering::AcqRel) == ATTEMPT_ABANDONED {
+                    live.fetch_sub(1, Ordering::Relaxed);
+                    if let Some(t) = &thread_telemetry {
+                        t.abandoned_finished();
+                    }
+                }
                 // The receiver may have moved on (abandoned attempt
                 // after campaign end); a dead channel is fine.
-                let _ = tx.send((gen, outcome));
+                let _ = tx.send((gen, outcome, wall));
             });
+        }
+        let capped = !stopped
+            && !pending.is_empty()
+            && in_flight.len() < workers
+            && abandoned_live.load(Ordering::Relaxed) >= cap;
+        if capped && !cap_warned {
+            cap_warned = true;
+            if let Some(t) = &telemetry {
+                t.abandoned_cap_hit();
+            }
+            eprintln!(
+                "warning: campaign: {} abandoned attempts still running (cap {cap}); \
+                 pausing new launches until one finishes",
+                abandoned_live.load(Ordering::Relaxed)
+            );
         }
 
         // Wait for the next completion, until the earliest deadline, or
         // for at most one stop-poll interval when a stop condition is
-        // installed and not yet triggered.
-        let earliest = in_flight.iter().filter_map(|(_, (_, _, d))| *d).min();
-        let poll = (control.stop.is_some() && !stopped).then(|| Instant::now() + STOP_POLL);
+        // installed and not yet triggered (or launches are paused at the
+        // abandoned cap and must be re-checked).
+        let earliest = in_flight.values().filter_map(|(_, _, d, _)| *d).min();
+        let poll =
+            ((control.stop.is_some() && !stopped) || capped).then(|| Instant::now() + STOP_POLL);
         let wake = match (earliest, poll) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
@@ -306,14 +383,20 @@ where
         };
 
         match message {
-            Ok((gen, outcome)) => {
+            Ok((gen, outcome, wall)) => {
                 // An unknown generation is a late result from an attempt
                 // already abandoned on deadline: drop it.
-                let Some((job, attempt, _)) = in_flight.remove(&gen) else {
+                let Some((job, attempt, _, _)) = in_flight.remove(&gen) else {
                     continue;
                 };
                 match outcome {
                     Ok(r) => {
+                        if let Some(t) = &telemetry {
+                            // Generation as shard selector: attempt
+                            // threads are ephemeral and carry no worker
+                            // index, but generations spread evenly.
+                            t.job_completed(gen as usize, wall);
+                        }
                         if let Some(cb) = control.on_result.as_mut() {
                             cb(job, &r);
                         }
@@ -324,6 +407,9 @@ where
                             // Leave the job incomplete; a resume reruns
                             // it from attempt 0.
                         } else if attempt < cfg.retries {
+                            if let Some(t) = &telemetry {
+                                t.job_retried();
+                            }
                             pending.push_back((job, attempt + 1));
                         } else {
                             give_up(job, attempt, JobFailure::Panicked(msg));
@@ -334,18 +420,38 @@ where
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 // Abandon every attempt past its deadline; the threads
                 // keep running but their results will be ignored. (A
-                // wake-up with nothing expired was just a stop poll.)
+                // wake-up with nothing expired was just a stop or cap
+                // poll.)
                 let now = Instant::now();
                 let expired: Vec<u64> = in_flight
                     .iter()
-                    .filter(|(_, (_, _, d))| d.is_some_and(|at| at <= now))
+                    .filter(|(_, (_, _, d, _))| d.is_some_and(|at| at <= now))
                     .map(|(gen, _)| *gen)
                     .collect();
                 for gen in expired {
-                    let (job, attempt, _) = in_flight.remove(&gen).expect("expired gen");
+                    let (job, attempt, _, state) = in_flight.remove(&gen).expect("expired gen");
+                    // Count the attempt live *before* publishing the
+                    // ABANDONED state, so the stranded thread's
+                    // decrement can never race ahead of the increment.
+                    abandoned_live.fetch_add(1, Ordering::Relaxed);
+                    if let Some(t) = &telemetry {
+                        t.abandoned_attempt();
+                    }
+                    if state.swap(ATTEMPT_ABANDONED, Ordering::AcqRel) == ATTEMPT_DONE {
+                        // The thread beat the deadline processing; its
+                        // (discarded) result is in the channel and the
+                        // thread is gone, so it was never live.
+                        abandoned_live.fetch_sub(1, Ordering::Relaxed);
+                        if let Some(t) = &telemetry {
+                            t.abandoned_finished();
+                        }
+                    }
                     if stopped {
                         // As above: incomplete, rerun on resume.
                     } else if attempt < cfg.retries {
+                        if let Some(t) = &telemetry {
+                            t.job_retried();
+                        }
                         pending.push_back((job, attempt + 1));
                     } else {
                         let d = cfg.deadline.expect("timeout implies a deadline");
@@ -440,6 +546,27 @@ pub fn run_campaign_on(
     campaign_with_control(engine, points, trace, opts, cfg, BatchControl::default()).0
 }
 
+/// [`run_campaign_on`] with passive telemetry attached: declares the
+/// job total, then records completions, retries, abandonments,
+/// per-trial fault counters and outcome tallies into `telemetry` as the
+/// campaign runs. Results are bitwise identical to the uninstrumented
+/// call.
+pub fn run_campaign_instrumented(
+    engine: &Engine,
+    points: &[GridPoint],
+    trace: &netbench::Trace,
+    opts: &ExperimentOptions,
+    cfg: &CampaignConfig,
+    telemetry: &Arc<Telemetry>,
+) -> CampaignReport {
+    telemetry.add_total_jobs((points.len() * opts.trials.max(1) as usize) as u64);
+    let control = BatchControl {
+        telemetry: Some(Arc::clone(telemetry)),
+        ..BatchControl::default()
+    };
+    campaign_with_control(engine, points, trace, opts, cfg, control).0
+}
+
 /// Shared campaign core: warms goldens, maps (point, trial) jobs onto
 /// the isolated batch driver under `control`, and folds the slots back
 /// into a [`CampaignReport`]. Returns the report and whether the batch
@@ -452,6 +579,38 @@ fn campaign_with_control(
     cfg: &CampaignConfig,
     control: BatchControl<'_, RunReport>,
 ) -> (CampaignReport, bool) {
+    // With telemetry attached, chain a fault-counter/outcome recorder
+    // in front of the caller's completion callback. Rebuilt (rather
+    // than mutated) because the chained closure lives on this frame.
+    let BatchControl {
+        prefilled,
+        stop,
+        on_result,
+        telemetry,
+    } = control;
+    let mut inner = on_result;
+    let mut chained;
+    let on_result: Option<OnResult<'_, RunReport>> = match telemetry.clone() {
+        Some(t) => {
+            chained = move |job: usize, r: &RunReport| {
+                t.record_report(job, r);
+                if let Some(cb) = inner.as_mut() {
+                    cb(job, r);
+                }
+            };
+            Some(&mut chained)
+        }
+        // Reborrow so the returned option carries this frame's
+        // lifetime in both arms.
+        None => inner.as_mut().map(|cb| &mut **cb as OnResult<'_, _>),
+    };
+    let control = BatchControl {
+        prefilled,
+        stop,
+        on_result,
+        telemetry,
+    };
+
     let mut kinds: Vec<AppKind> = points.iter().map(|p| p.kind).collect();
     kinds.sort();
     kinds.dedup();
@@ -530,6 +689,40 @@ pub struct DurableOptions {
     /// Optional graceful-stop condition, polled while the campaign
     /// runs (wire this to [`crate::interrupt::interrupted`]).
     pub stop: Option<Arc<dyn Fn() -> bool + Send + Sync>>,
+    /// Optional passive instrumentation, threaded through the batch
+    /// driver and the journal writer (record/fsync counters).
+    pub telemetry: Option<Arc<Telemetry>>,
+}
+
+impl DurableOptions {
+    /// Durability at `journal` with every optional knob off: no resume,
+    /// no stop condition, no telemetry.
+    pub fn new(journal: impl Into<PathBuf>) -> Self {
+        DurableOptions {
+            journal: journal.into(),
+            resume: false,
+            stop: None,
+            telemetry: None,
+        }
+    }
+
+    /// Returns the options with resume turned on or off.
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Returns the options with a graceful-stop condition installed.
+    pub fn with_stop(mut self, stop: Arc<dyn Fn() -> bool + Send + Sync>) -> Self {
+        self.stop = Some(stop);
+        self
+    }
+
+    /// Returns the options with passive telemetry attached.
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
 }
 
 impl std::fmt::Debug for DurableOptions {
@@ -538,6 +731,7 @@ impl std::fmt::Debug for DurableOptions {
             .field("journal", &self.journal)
             .field("resume", &self.resume)
             .field("stop", &self.stop.is_some())
+            .field("telemetry", &self.telemetry.is_some())
             .finish()
     }
 }
@@ -629,11 +823,26 @@ pub fn run_campaign_durable(
                 }
             }
         }
-        JournalWriter::resume(&durable.journal, replayed.valid_len)?
+        JournalWriter::resume_with(
+            &durable.journal,
+            replayed.valid_len,
+            durable.telemetry.clone(),
+        )?
     } else {
-        JournalWriter::create(&durable.journal, &header)?
+        JournalWriter::create_with(&durable.journal, &header, durable.telemetry.clone())?
     };
     let replayed_jobs = prefilled.len();
+
+    if let Some(t) = &durable.telemetry {
+        t.add_total_jobs(total_jobs as u64);
+        t.add_replayed_jobs(replayed_jobs as u64);
+        // Fold replayed trials into the fault/outcome tallies so the
+        // progress view covers the whole campaign, not just the resumed
+        // remainder.
+        for (job, report) in &prefilled {
+            t.record_report(*job, report);
+        }
+    }
 
     let stop_fn: Option<Box<dyn Fn() -> bool>> = durable.stop.as_ref().map(|s| {
         let s = Arc::clone(s);
@@ -644,6 +853,7 @@ pub fn run_campaign_durable(
         prefilled,
         stop: stop_fn.as_deref(),
         on_result: Some(&mut on_result),
+        telemetry: durable.telemetry.clone(),
     };
 
     let (report, stopped) = campaign_with_control(engine, points, trace, opts, cfg, control);

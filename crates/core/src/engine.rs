@@ -20,6 +20,7 @@
 //! once instead of once per configuration.
 
 use crate::processor::{ClumsyProcessor, GoldenData};
+use crate::telemetry::{Stopwatch, Telemetry};
 use netbench::{AppKind, Trace};
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -41,13 +42,27 @@ pub const JOBS_ENV: &str = "CLUMSY_JOBS";
 #[derive(Debug, Clone)]
 pub struct Engine {
     jobs: usize,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Engine {
     /// An engine with exactly `jobs` workers (clamped to at least 1).
     /// One worker means the caller runs every job inline, in order.
     pub fn with_jobs(jobs: usize) -> Self {
-        Engine { jobs: jobs.max(1) }
+        Engine {
+            jobs: jobs.max(1),
+            telemetry: None,
+        }
+    }
+
+    /// Returns the engine with passive telemetry attached: every
+    /// [`Engine::map`] job is counted on its worker's shard and its
+    /// wall time accumulated. Telemetry never affects scheduling,
+    /// ordering or results.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
     }
 
     /// An engine sized from the environment: `CLUMSY_JOBS` when set to a
@@ -84,7 +99,17 @@ impl Engine {
         let n = items.len();
         let workers = self.jobs.min(n);
         if workers <= 1 {
-            return items.iter().map(&f).collect();
+            return items
+                .iter()
+                .map(|item| {
+                    let timed = self.telemetry.as_deref().map(|_| Stopwatch::start());
+                    let r = f(item);
+                    if let (Some(t), Some(sw)) = (self.telemetry.as_deref(), timed) {
+                        t.engine_job(0, sw.elapsed());
+                    }
+                    r
+                })
+                .collect();
         }
 
         // Per-worker deques, seeded round-robin so early items start
@@ -117,7 +142,11 @@ impl Engine {
                 };
                 match job {
                     Some(j) => {
+                        let timed = self.telemetry.as_deref().map(|_| Stopwatch::start());
                         let r = f(&items[j]);
+                        if let (Some(t), Some(sw)) = (self.telemetry.as_deref(), timed) {
+                            t.engine_job(me, sw.elapsed());
+                        }
                         *slots[j].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
                     }
                     // Every deque is empty: a single batch is submitted

@@ -30,12 +30,14 @@
 //! fixed-field-order scanner instead of a general JSON parser.
 
 use crate::report::{FatalInfo, RunReport};
+use crate::telemetry::Telemetry;
 use netbench::{AppError, AppKind, ErrorCategory, FatalError};
 use std::collections::BTreeMap;
 use std::fs;
 use std::io::{self, Seek, Write};
 use std::path::{Path, PathBuf};
 use std::sync::mpsc;
+use std::sync::Arc;
 
 /// Journal format version; bumped on any incompatible change.
 /// Version 2 widened the stats array for the L2-fault / ECC counters.
@@ -815,6 +817,21 @@ impl JournalWriter {
     /// [`JournalError::Io`] if the file cannot be created or the
     /// header cannot be written.
     pub fn create(path: &Path, header: &JournalHeader) -> Result<Self, JournalError> {
+        Self::create_with(path, header, None)
+    }
+
+    /// [`create`](JournalWriter::create) with optional passive
+    /// telemetry: the writer thread counts queued records and times
+    /// each batched fsync into it.
+    ///
+    /// # Errors
+    ///
+    /// As [`create`](JournalWriter::create).
+    pub fn create_with(
+        path: &Path,
+        header: &JournalHeader,
+        telemetry: Option<Arc<Telemetry>>,
+    ) -> Result<Self, JournalError> {
         if let Some(dir) = path.parent() {
             if !dir.as_os_str().is_empty() {
                 fs::create_dir_all(dir).map_err(|e| io_err(path, e))?;
@@ -824,7 +841,7 @@ impl JournalWriter {
         file.write_all(&encode_header(header))
             .and_then(|()| file.sync_data())
             .map_err(|e| io_err(path, e))?;
-        Ok(Self::spawn(file, path))
+        Ok(Self::spawn(file, path, telemetry))
     }
 
     /// Reopens an existing journal for appending, truncating away a
@@ -834,6 +851,20 @@ impl JournalWriter {
     ///
     /// [`JournalError::Io`] if the file cannot be opened or truncated.
     pub fn resume(path: &Path, valid_len: u64) -> Result<Self, JournalError> {
+        Self::resume_with(path, valid_len, None)
+    }
+
+    /// [`resume`](JournalWriter::resume) with optional passive
+    /// telemetry (see [`create_with`](JournalWriter::create_with)).
+    ///
+    /// # Errors
+    ///
+    /// As [`resume`](JournalWriter::resume).
+    pub fn resume_with(
+        path: &Path,
+        valid_len: u64,
+        telemetry: Option<Arc<Telemetry>>,
+    ) -> Result<Self, JournalError> {
         let mut file = fs::OpenOptions::new()
             .write(true)
             .open(path)
@@ -841,19 +872,29 @@ impl JournalWriter {
         file.set_len(valid_len)
             .and_then(|()| file.seek(io::SeekFrom::End(0)).map(|_| ()))
             .map_err(|e| io_err(path, e))?;
-        Ok(Self::spawn(file, path))
+        Ok(Self::spawn(file, path, telemetry))
     }
 
-    fn spawn(mut file: fs::File, path: &Path) -> Self {
+    fn spawn(mut file: fs::File, path: &Path, telemetry: Option<Arc<Telemetry>>) -> Self {
         let (tx, rx) = mpsc::channel::<Vec<u8>>();
         let handle = std::thread::spawn(move || -> io::Result<()> {
             while let Ok(first) = rx.recv() {
                 let mut buf = first;
+                let mut records = 1u64;
                 while let Ok(more) = rx.try_recv() {
                     buf.extend_from_slice(&more);
+                    records += 1;
                 }
                 file.write_all(&buf)?;
-                file.sync_data()?;
+                match &telemetry {
+                    Some(t) => {
+                        let sync = crate::telemetry::Stopwatch::start();
+                        file.sync_data()?;
+                        t.journal_records(records);
+                        t.journal_fsync(sync.elapsed());
+                    }
+                    None => file.sync_data()?,
+                }
             }
             file.sync_all()
         });

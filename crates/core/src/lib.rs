@@ -53,11 +53,12 @@ pub mod journal;
 mod processor;
 mod report;
 mod taxonomy;
+pub mod telemetry;
 
 pub use campaign::{
-    run_campaign_durable, run_campaign_on, run_isolated_jobs, run_isolated_jobs_with, BatchControl,
-    CampaignConfig, CampaignReport, DurableOptions, DurableOutcome, FailedJob, IsolatedFailure,
-    IsolatedRun, JobFailure,
+    run_campaign_durable, run_campaign_instrumented, run_campaign_on, run_isolated_jobs,
+    run_isolated_jobs_with, BatchControl, CampaignConfig, CampaignReport, DurableOptions,
+    DurableOutcome, FailedJob, IsolatedFailure, IsolatedRun, JobFailure,
 };
 pub use config::{ClumsyConfig, DynamicConfig, FrequencyPlan, SafeModeConfig};
 pub use controller::{Decision, DynamicController};
@@ -66,6 +67,7 @@ pub use journal::{atomic_write, JournalError, JournalHeader, JournalWriter};
 pub use processor::{ClumsyProcessor, GoldenData};
 pub use report::{FatalInfo, RunReport};
 pub use taxonomy::{OutcomeCounts, TrialOutcome};
+pub use telemetry::{MetricsSnapshot, ProgressReporter, Stopwatch, Telemetry};
 
 /// The paper's static frequency settings: `Cr` ∈ {1.0, 0.75, 0.5, 0.25}
 /// (frequency increases of 0 %, 50 %, 100 %, 300 %).

@@ -1,0 +1,828 @@
+//! Hand-rolled, zero-dependency campaign telemetry.
+//!
+//! A million-trial campaign used to be a black box: nothing printed
+//! until the CSV landed, and abandoned or retried trials were
+//! invisible. This module is the instrumentation layer behind
+//! `--progress` and `--metrics`: per-worker atomic counters (jobs
+//! completed / retried / abandoned, faults injected by target, strike
+//! retries, journal records and fsync latency), monotonic-time span
+//! timing into a fixed-bucket latency histogram, and a periodic
+//! progress reporter on stderr with rate, ETA and outcome tallies.
+//!
+//! **Strictly passive.** Telemetry draws no randomness and never feeds
+//! back into the simulation: with it off (every hook takes an
+//! `Option`), the default path executes bitwise identically — the five
+//! pinned digests in `cli/tests/bitwise_regression.rs` and every
+//! recorded `results/*.csv` are unchanged. With it on, the only cost is
+//! relaxed atomic increments and one monotonic-clock read per job.
+//!
+//! Counters are sharded: each worker updates its own cache-line-sized
+//! [`Counters`] block (selected by worker index), so hot campaigns do
+//! not serialize on a shared counter word. [`Telemetry::snapshot`] sums
+//! the shards into a consistent-enough view for reporting — counters
+//! are monotone, so a snapshot is always a valid past-or-present state.
+//!
+//! The metrics JSON emitted by [`Telemetry::metrics_json`] is
+//! schema-stable (`"schema":"clumsy-metrics-v1"`): integer-only leaf
+//! fields with globally unique names, written by callers via
+//! [`crate::journal::atomic_write`]. [`parse_metrics`] is the tolerant
+//! reader used by tests and CI — it never panics on truncated or
+//! garbage input.
+
+use crate::report::RunReport;
+use crate::taxonomy::TrialOutcome;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Schema tag of the metrics JSON; bumped on any incompatible change.
+pub const METRICS_SCHEMA: &str = "clumsy-metrics-v1";
+
+/// Number of log2-microsecond latency buckets: bucket `i` counts
+/// durations with `floor(log2(us)) == i`, so the histogram spans 1 µs
+/// to ~2.3 hours with the last bucket absorbing the tail.
+const HIST_BUCKETS: usize = 24;
+
+/// One shard of per-worker counters. Sized past a cache line so
+/// adjacent shards do not false-share under concurrent updates.
+#[derive(Debug, Default)]
+struct Counters {
+    jobs_completed: AtomicU64,
+    jobs_retried: AtomicU64,
+    jobs_abandoned: AtomicU64,
+    jobs_failed: AtomicU64,
+    faults_injected: AtomicU64,
+    tag_faults_injected: AtomicU64,
+    parity_faults_injected: AtomicU64,
+    l2_faults_injected: AtomicU64,
+    faults_detected: AtomicU64,
+    faults_corrected: AtomicU64,
+    strike_retries: AtomicU64,
+    recovery_failures: AtomicU64,
+    outcomes: [AtomicU64; 6],
+    journal_records: AtomicU64,
+    journal_fsyncs: AtomicU64,
+    journal_fsync_us_total: AtomicU64,
+    engine_jobs: AtomicU64,
+    engine_us_total: AtomicU64,
+}
+
+/// Index of `outcome` in the snapshot tally (least to most severe,
+/// matching [`TrialOutcome::all`]).
+fn outcome_index(outcome: TrialOutcome) -> usize {
+    match outcome {
+        TrialOutcome::Masked => 0,
+        TrialOutcome::Corrected => 1,
+        TrialOutcome::DetectedRecovered => 2,
+        TrialOutcome::DetectedFatal => 3,
+        TrialOutcome::SilentDataCorruption => 4,
+        TrialOutcome::RecoveryFailed => 5,
+    }
+}
+
+/// A monotonic span timer: [`Stopwatch::start`] now, read
+/// [`Stopwatch::elapsed`] later. Thin, but it keeps every telemetry
+/// duration on the same monotonic clock.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts the span.
+    #[must_use]
+    pub fn start() -> Self {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Monotonic time since [`Stopwatch::start`].
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
+/// Campaign-wide instrumentation: sharded counters, latency
+/// histograms, abandoned-thread gauges and the run clock. Shared
+/// across workers as `Arc<Telemetry>`; every update is a relaxed
+/// atomic.
+#[derive(Debug)]
+pub struct Telemetry {
+    shards: Box<[Counters]>,
+    job_us_buckets: [AtomicU64; HIST_BUCKETS],
+    job_us_count: AtomicU64,
+    job_us_total: AtomicU64,
+    job_us_max: AtomicU64,
+    journal_fsync_us_max: AtomicU64,
+    abandoned_live: AtomicU64,
+    abandoned_peak: AtomicU64,
+    abandoned_cap_hits: AtomicU64,
+    jobs_total: AtomicU64,
+    jobs_replayed: AtomicU64,
+    started: Instant,
+}
+
+/// Histogram bucket for `us` microseconds: `floor(log2(us))`, clamped.
+fn bucket_of(us: u64) -> usize {
+    let idx = 63 - u64::leading_zeros(us.max(1)) as usize;
+    idx.min(HIST_BUCKETS - 1)
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new()
+    }
+}
+
+impl Telemetry {
+    /// A telemetry block with one counter shard per available core
+    /// (clamped to 1..=64).
+    #[must_use]
+    pub fn new() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .clamp(1, 64);
+        Telemetry::with_shards(n)
+    }
+
+    /// A telemetry block with exactly `shards` counter shards
+    /// (clamped to at least 1). Worker `w` updates shard
+    /// `w % shards`.
+    #[must_use]
+    pub fn with_shards(shards: usize) -> Self {
+        Telemetry {
+            shards: (0..shards.max(1)).map(|_| Counters::default()).collect(),
+            job_us_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            job_us_count: AtomicU64::new(0),
+            job_us_total: AtomicU64::new(0),
+            job_us_max: AtomicU64::new(0),
+            journal_fsync_us_max: AtomicU64::new(0),
+            abandoned_live: AtomicU64::new(0),
+            abandoned_peak: AtomicU64::new(0),
+            abandoned_cap_hits: AtomicU64::new(0),
+            jobs_total: AtomicU64::new(0),
+            jobs_replayed: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    fn shard(&self, worker: usize) -> &Counters {
+        &self.shards[worker % self.shards.len()]
+    }
+
+    /// Time since this telemetry block was created (the run clock
+    /// behind rate and ETA).
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Declares `n` more jobs as part of the run (additive, so drivers
+    /// running several grids against one block accumulate).
+    pub fn add_total_jobs(&self, n: u64) {
+        self.jobs_total.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts `n` jobs pre-filled from a journal instead of being run.
+    pub fn add_replayed_jobs(&self, n: u64) {
+        self.jobs_replayed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// One freshly completed job on `worker`, with its wall time.
+    pub fn job_completed(&self, worker: usize, wall: Duration) {
+        self.shard(worker)
+            .jobs_completed
+            .fetch_add(1, Ordering::Relaxed);
+        let us = duration_us(wall);
+        self.job_us_buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.job_us_count.fetch_add(1, Ordering::Relaxed);
+        self.job_us_total.fetch_add(us, Ordering::Relaxed);
+        self.job_us_max.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// A failed or expired attempt was queued for a reseeded retry.
+    pub fn job_retried(&self) {
+        self.shard(0).jobs_retried.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A job whose every attempt was exhausted.
+    pub fn job_failed(&self) {
+        self.shard(0).jobs_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One attempt abandoned on deadline; the stranded thread is now
+    /// live-abandoned until it finishes on its own. Returns the new
+    /// live count.
+    pub fn abandoned_attempt(&self) -> u64 {
+        self.shard(0).jobs_abandoned.fetch_add(1, Ordering::Relaxed);
+        let live = self.abandoned_live.fetch_add(1, Ordering::Relaxed) + 1;
+        self.abandoned_peak.fetch_max(live, Ordering::Relaxed);
+        live
+    }
+
+    /// A previously abandoned thread ran to completion and unwound.
+    pub fn abandoned_finished(&self) {
+        // Saturating: a decrement can never outnumber the increments,
+        // but stay safe against misuse rather than wrapping to u64::MAX.
+        let _ = self
+            .abandoned_live
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
+    /// Live abandoned (deadline-overrun, still running) threads.
+    #[must_use]
+    pub fn abandoned_live(&self) -> u64 {
+        self.abandoned_live.load(Ordering::Relaxed)
+    }
+
+    /// The abandoned-attempt concurrency cap paused job launches.
+    pub fn abandoned_cap_hit(&self) {
+        self.abandoned_cap_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds one finished run's fault counters and outcome class into
+    /// the tallies. Called on the coordinator for fresh completions.
+    pub fn record_report(&self, worker: usize, report: &RunReport) {
+        let c = self.shard(worker);
+        let st = &report.stats;
+        c.faults_injected
+            .fetch_add(st.faults_injected, Ordering::Relaxed);
+        c.tag_faults_injected
+            .fetch_add(st.tag_faults_injected, Ordering::Relaxed);
+        c.parity_faults_injected
+            .fetch_add(st.parity_faults_injected, Ordering::Relaxed);
+        c.l2_faults_injected
+            .fetch_add(st.l2_faults_injected, Ordering::Relaxed);
+        c.faults_detected
+            .fetch_add(st.faults_detected, Ordering::Relaxed);
+        c.faults_corrected
+            .fetch_add(st.faults_corrected, Ordering::Relaxed);
+        c.strike_retries
+            .fetch_add(st.strike_retries, Ordering::Relaxed);
+        c.recovery_failures
+            .fetch_add(st.recovery_failures, Ordering::Relaxed);
+        c.outcomes[outcome_index(report.outcome())].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One engine-pool job finished on `worker` after `wall`.
+    pub fn engine_job(&self, worker: usize, wall: Duration) {
+        let c = self.shard(worker);
+        c.engine_jobs.fetch_add(1, Ordering::Relaxed);
+        c.engine_us_total
+            .fetch_add(duration_us(wall), Ordering::Relaxed);
+    }
+
+    /// `n` records queued to the journal writer thread.
+    pub fn journal_records(&self, n: u64) {
+        self.shard(0)
+            .journal_records
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// One batched journal fsync took `wall`.
+    pub fn journal_fsync(&self, wall: Duration) {
+        let us = duration_us(wall);
+        let c = self.shard(0);
+        c.journal_fsyncs.fetch_add(1, Ordering::Relaxed);
+        c.journal_fsync_us_total.fetch_add(us, Ordering::Relaxed);
+        self.journal_fsync_us_max.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Sums every shard into a plain snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut s = MetricsSnapshot {
+            elapsed: self.elapsed(),
+            jobs_total: self.jobs_total.load(Ordering::Relaxed),
+            jobs_replayed: self.jobs_replayed.load(Ordering::Relaxed),
+            abandoned_live: self.abandoned_live.load(Ordering::Relaxed),
+            abandoned_peak: self.abandoned_peak.load(Ordering::Relaxed),
+            abandoned_cap_hits: self.abandoned_cap_hits.load(Ordering::Relaxed),
+            job_us_count: self.job_us_count.load(Ordering::Relaxed),
+            job_us_total: self.job_us_total.load(Ordering::Relaxed),
+            job_us_max: self.job_us_max.load(Ordering::Relaxed),
+            journal_fsync_us_max: self.journal_fsync_us_max.load(Ordering::Relaxed),
+            job_us_buckets: self
+                .job_us_buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then_some((1u64 << i, n))
+                })
+                .collect(),
+            ..MetricsSnapshot::default()
+        };
+        for c in self.shards.iter() {
+            s.jobs_completed += c.jobs_completed.load(Ordering::Relaxed);
+            s.jobs_retried += c.jobs_retried.load(Ordering::Relaxed);
+            s.jobs_abandoned += c.jobs_abandoned.load(Ordering::Relaxed);
+            s.jobs_failed += c.jobs_failed.load(Ordering::Relaxed);
+            s.faults_injected += c.faults_injected.load(Ordering::Relaxed);
+            s.tag_faults_injected += c.tag_faults_injected.load(Ordering::Relaxed);
+            s.parity_faults_injected += c.parity_faults_injected.load(Ordering::Relaxed);
+            s.l2_faults_injected += c.l2_faults_injected.load(Ordering::Relaxed);
+            s.faults_detected += c.faults_detected.load(Ordering::Relaxed);
+            s.faults_corrected += c.faults_corrected.load(Ordering::Relaxed);
+            s.strike_retries += c.strike_retries.load(Ordering::Relaxed);
+            s.recovery_failures += c.recovery_failures.load(Ordering::Relaxed);
+            for (tally, bucket) in s.outcomes.iter_mut().zip(c.outcomes.iter()) {
+                *tally += bucket.load(Ordering::Relaxed);
+            }
+            s.journal_records += c.journal_records.load(Ordering::Relaxed);
+            s.journal_fsyncs += c.journal_fsyncs.load(Ordering::Relaxed);
+            s.journal_fsync_us_total += c.journal_fsync_us_total.load(Ordering::Relaxed);
+            s.engine_jobs += c.engine_jobs.load(Ordering::Relaxed);
+            s.engine_us_total += c.engine_us_total.load(Ordering::Relaxed);
+        }
+        s
+    }
+
+    /// Renders the schema-stable metrics JSON
+    /// (`"schema":"clumsy-metrics-v1"`; integer-only leaves with
+    /// globally unique names). Callers persist it with
+    /// [`crate::journal::atomic_write`].
+    #[must_use]
+    pub fn metrics_json(&self) -> String {
+        self.snapshot().to_json()
+    }
+}
+
+/// Whole microseconds in `d`, saturating (a span near `u64::MAX` µs is
+/// 584 000 years — clamping is theoretical, not practical).
+fn duration_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// A plain (non-atomic) sum of every counter at one instant.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Run-clock time since the telemetry block was created.
+    pub elapsed: Duration,
+    /// Jobs declared for the run ([`Telemetry::add_total_jobs`]).
+    pub jobs_total: u64,
+    /// Fresh completions (excludes replayed jobs).
+    pub jobs_completed: u64,
+    /// Jobs pre-filled from a journal.
+    pub jobs_replayed: u64,
+    /// Attempts re-queued with a reseeded trial.
+    pub jobs_retried: u64,
+    /// Attempts abandoned on deadline.
+    pub jobs_abandoned: u64,
+    /// Jobs whose every attempt was exhausted.
+    pub jobs_failed: u64,
+    /// Deadline-overrun threads still running right now.
+    pub abandoned_live: u64,
+    /// High-water mark of [`MetricsSnapshot::abandoned_live`].
+    pub abandoned_peak: u64,
+    /// Times the abandoned-attempt cap paused launches.
+    pub abandoned_cap_hits: u64,
+    /// Faults injected, all targets.
+    pub faults_injected: u64,
+    /// Faults injected into tag bits.
+    pub tag_faults_injected: u64,
+    /// Faults injected into parity/check bits.
+    pub parity_faults_injected: u64,
+    /// Faults injected into the L2 data array.
+    pub l2_faults_injected: u64,
+    /// Faults flagged by the detection scheme.
+    pub faults_detected: u64,
+    /// Faults corrected in place (SECDED).
+    pub faults_corrected: u64,
+    /// Strike-path retries.
+    pub strike_retries: u64,
+    /// Strike refetches that pulled corrupted data back in.
+    pub recovery_failures: u64,
+    /// Trial tallies, least to most severe ([`TrialOutcome::all`]).
+    pub outcomes: [u64; 6],
+    /// Records handed to the journal writer thread.
+    pub journal_records: u64,
+    /// Batched fsyncs the journal writer issued.
+    pub journal_fsyncs: u64,
+    /// Total microseconds spent in journal fsyncs.
+    pub journal_fsync_us_total: u64,
+    /// Slowest single journal fsync, microseconds.
+    pub journal_fsync_us_max: u64,
+    /// Jobs executed by the engine thread pool.
+    pub engine_jobs: u64,
+    /// Total microseconds of engine-pool job wall time.
+    pub engine_us_total: u64,
+    /// Timed campaign jobs (equals fresh completions).
+    pub job_us_count: u64,
+    /// Total campaign-job wall microseconds.
+    pub job_us_total: u64,
+    /// Slowest single campaign job, microseconds.
+    pub job_us_max: u64,
+    /// Non-empty log2 latency buckets as `(floor_us, count)`.
+    pub job_us_buckets: Vec<(u64, u64)>,
+}
+
+impl MetricsSnapshot {
+    /// Fresh completions per second of run-clock time.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.jobs_completed as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Estimated seconds to finish the declared jobs at the current
+    /// rate; `None` before the first completion or without a total.
+    #[must_use]
+    pub fn eta_seconds(&self) -> Option<f64> {
+        let done = self.jobs_completed + self.jobs_replayed;
+        let remaining = self.jobs_total.checked_sub(done)?;
+        let rate = self.rate();
+        (self.jobs_completed > 0 && rate > 0.0).then(|| remaining as f64 / rate)
+    }
+
+    /// The schema-stable metrics JSON (see [`Telemetry::metrics_json`]).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(1024);
+        let _ = write!(
+            s,
+            "{{\n  \"schema\": \"{METRICS_SCHEMA}\",\n  \"elapsed_ms\": {},",
+            u64::try_from(self.elapsed.as_millis()).unwrap_or(u64::MAX)
+        );
+        let _ = write!(
+            s,
+            "\n  \"jobs\": {{\"jobs_total\": {}, \"jobs_completed\": {}, \"jobs_replayed\": {}, \
+             \"jobs_retried\": {}, \"jobs_abandoned\": {}, \"jobs_failed\": {}, \
+             \"abandoned_live\": {}, \"abandoned_peak\": {}, \"abandoned_cap_hits\": {}}},",
+            self.jobs_total,
+            self.jobs_completed,
+            self.jobs_replayed,
+            self.jobs_retried,
+            self.jobs_abandoned,
+            self.jobs_failed,
+            self.abandoned_live,
+            self.abandoned_peak,
+            self.abandoned_cap_hits
+        );
+        let _ = write!(
+            s,
+            "\n  \"faults\": {{\"faults_injected\": {}, \"tag_faults_injected\": {}, \
+             \"parity_faults_injected\": {}, \"l2_faults_injected\": {}, \
+             \"faults_detected\": {}, \"faults_corrected\": {}, \"strike_retries\": {}, \
+             \"recovery_failures\": {}}},",
+            self.faults_injected,
+            self.tag_faults_injected,
+            self.parity_faults_injected,
+            self.l2_faults_injected,
+            self.faults_detected,
+            self.faults_corrected,
+            self.strike_retries,
+            self.recovery_failures
+        );
+        let _ = write!(
+            s,
+            "\n  \"outcomes\": {{\"outcome_masked\": {}, \"outcome_corrected\": {}, \
+             \"outcome_detected_recovered\": {}, \"outcome_detected_fatal\": {}, \
+             \"outcome_sdc\": {}, \"outcome_recovery_failed\": {}}},",
+            self.outcomes[0],
+            self.outcomes[1],
+            self.outcomes[2],
+            self.outcomes[3],
+            self.outcomes[4],
+            self.outcomes[5]
+        );
+        let _ = write!(
+            s,
+            "\n  \"journal\": {{\"journal_records\": {}, \"journal_fsyncs\": {}, \
+             \"journal_fsync_us_total\": {}, \"journal_fsync_us_max\": {}}},",
+            self.journal_records,
+            self.journal_fsyncs,
+            self.journal_fsync_us_total,
+            self.journal_fsync_us_max
+        );
+        let _ = write!(
+            s,
+            "\n  \"engine\": {{\"engine_jobs\": {}, \"engine_us_total\": {}}},",
+            self.engine_jobs, self.engine_us_total
+        );
+        let _ = write!(
+            s,
+            "\n  \"job_time\": {{\"job_us_count\": {}, \"job_us_total\": {}, \
+             \"job_us_max\": {}, \"job_us_buckets\": [",
+            self.job_us_count, self.job_us_total, self.job_us_max
+        );
+        for (i, (floor, n)) in self.job_us_buckets.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "[{floor}, {n}]");
+        }
+        s.push_str("]}\n}\n");
+        s
+    }
+
+    /// One human progress line (the `--progress` format): completion,
+    /// rate, ETA, outcome tallies, retry/abandon counts.
+    #[must_use]
+    pub fn progress_line(&self, label: &str) -> String {
+        use std::fmt::Write as _;
+        let done = self.jobs_completed + self.jobs_replayed;
+        let mut line = format!("[{label}] {done}");
+        if self.jobs_total > 0 {
+            let pct = 100.0 * done as f64 / self.jobs_total as f64;
+            let _ = write!(line, "/{} jobs ({pct:.1}%)", self.jobs_total);
+        } else {
+            line.push_str(" jobs");
+        }
+        let _ = write!(line, " | {:.1} jobs/s", self.rate());
+        match self.eta_seconds() {
+            Some(eta) => {
+                let _ = write!(line, " | ETA {eta:.0}s");
+            }
+            None => line.push_str(" | ETA --"),
+        }
+        let _ = write!(
+            line,
+            " | masked {} corrected {} recovered {} fatal {} sdc {} rec_fail {}",
+            self.outcomes[0],
+            self.outcomes[1],
+            self.outcomes[2],
+            self.outcomes[3],
+            self.outcomes[4],
+            self.outcomes[5]
+        );
+        let _ = write!(
+            line,
+            " | retried {} abandoned {} (live {})",
+            self.jobs_retried, self.jobs_abandoned, self.abandoned_live
+        );
+        line
+    }
+}
+
+/// Background thread printing a [`MetricsSnapshot::progress_line`] to
+/// stderr every interval. Started behind `--progress`; stopping (or
+/// dropping) joins the thread after one final line.
+#[derive(Debug)]
+pub struct ProgressReporter {
+    state: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ProgressReporter {
+    /// Spawns the reporter: one line per `every` until stopped.
+    #[must_use]
+    pub fn start(telemetry: Arc<Telemetry>, label: &str, every: Duration) -> Self {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let thread_state = Arc::clone(&state);
+        let label = label.to_string();
+        let handle = std::thread::spawn(move || {
+            let (stop, cv) = &*thread_state;
+            let mut stopped = stop.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                let (guard, timeout) = cv
+                    .wait_timeout(stopped, every)
+                    .unwrap_or_else(|e| e.into_inner());
+                stopped = guard;
+                if *stopped {
+                    break;
+                }
+                if timeout.timed_out() {
+                    eprintln!("{}", telemetry.snapshot().progress_line(&label));
+                }
+            }
+            drop(stopped);
+            // One final line so short runs still report something.
+            eprintln!("{}", telemetry.snapshot().progress_line(&label));
+        });
+        ProgressReporter {
+            state,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the reporter and joins its thread (also done on drop).
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        let (stop, cv) = &*self.state;
+        *stop.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        cv.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ProgressReporter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Tolerant reader for the metrics JSON, used by tests and CI scripts.
+///
+/// Collects every `"key": <integer>` leaf into a map. Returns `None`
+/// when the [`METRICS_SCHEMA`] marker is absent (wrong or mangled
+/// schema); never panics, whatever the input — truncated files,
+/// garbage bytes and partial writes all simply yield `None` or a
+/// partial map.
+#[must_use]
+pub fn parse_metrics(text: &str) -> Option<std::collections::BTreeMap<String, u64>> {
+    if !text.contains(METRICS_SCHEMA) {
+        return None;
+    }
+    let bytes = text.as_bytes();
+    let mut map = std::collections::BTreeMap::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        if bytes[pos] != b'"' {
+            pos += 1;
+            continue;
+        }
+        let key_start = pos + 1;
+        let Some(key_len) = bytes[key_start..].iter().position(|&b| b == b'"') else {
+            break;
+        };
+        let mut after = key_start + key_len + 1;
+        // Skip whitespace, require a colon, skip whitespace again.
+        while bytes.get(after).is_some_and(|b| b.is_ascii_whitespace()) {
+            after += 1;
+        }
+        if bytes.get(after) != Some(&b':') {
+            pos = key_start + key_len + 1;
+            continue;
+        }
+        after += 1;
+        while bytes.get(after).is_some_and(|b| b.is_ascii_whitespace()) {
+            after += 1;
+        }
+        let digits_start = after;
+        while bytes.get(after).is_some_and(u8::is_ascii_digit) {
+            after += 1;
+        }
+        if after > digits_start && after - digits_start <= 20 {
+            if let (Ok(key), Ok(value)) = (
+                std::str::from_utf8(&bytes[key_start..key_start + key_len]),
+                std::str::from_utf8(&bytes[digits_start..after])
+                    .unwrap_or("")
+                    .parse::<u64>(),
+            ) {
+                map.insert(key.to_string(), value);
+            }
+        }
+        pos = after.max(key_start + key_len + 1);
+    }
+    Some(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_log2_range() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn counters_sum_across_shards() {
+        let t = Telemetry::with_shards(4);
+        t.add_total_jobs(10);
+        for w in 0..8 {
+            t.job_completed(w, Duration::from_micros(100 + w as u64));
+        }
+        t.job_retried();
+        t.job_failed();
+        let s = t.snapshot();
+        assert_eq!(s.jobs_total, 10);
+        assert_eq!(s.jobs_completed, 8);
+        assert_eq!(s.jobs_retried, 1);
+        assert_eq!(s.jobs_failed, 1);
+        assert_eq!(s.job_us_count, 8);
+        assert!(s.job_us_max >= 107);
+        assert_eq!(s.job_us_buckets.iter().map(|(_, n)| n).sum::<u64>(), 8);
+    }
+
+    #[test]
+    fn abandoned_gauges_track_live_and_peak() {
+        let t = Telemetry::with_shards(1);
+        assert_eq!(t.abandoned_attempt(), 1);
+        assert_eq!(t.abandoned_attempt(), 2);
+        t.abandoned_finished();
+        assert_eq!(t.abandoned_live(), 1);
+        t.abandoned_finished();
+        t.abandoned_finished(); // extra decrement must saturate, not wrap
+        let s = t.snapshot();
+        assert_eq!(s.abandoned_live, 0);
+        assert_eq!(s.abandoned_peak, 2);
+        assert_eq!(s.jobs_abandoned, 2);
+    }
+
+    #[test]
+    fn metrics_json_round_trips_through_the_tolerant_reader() {
+        let t = Telemetry::with_shards(2);
+        t.add_total_jobs(4);
+        t.job_completed(0, Duration::from_micros(50));
+        t.journal_records(3);
+        t.journal_fsync(Duration::from_micros(200));
+        let json = t.metrics_json();
+        assert!(json.contains(METRICS_SCHEMA));
+        let map = parse_metrics(&json).expect("schema marker present");
+        assert_eq!(map.get("jobs_total"), Some(&4));
+        assert_eq!(map.get("jobs_completed"), Some(&1));
+        assert_eq!(map.get("journal_records"), Some(&3));
+        assert_eq!(map.get("journal_fsyncs"), Some(&1));
+        assert!(map.contains_key("journal_fsync_us_total"));
+        assert!(map.contains_key("outcome_sdc"));
+        assert!(map.contains_key("engine_jobs"));
+        assert!(map.contains_key("elapsed_ms"));
+    }
+
+    #[test]
+    fn parse_metrics_survives_garbage_without_a_schema() {
+        assert_eq!(parse_metrics(""), None);
+        assert_eq!(parse_metrics("{\"jobs_total\": 3}"), None);
+        assert_eq!(parse_metrics("\u{0}\u{1}random bytes"), None);
+    }
+
+    #[test]
+    fn parse_metrics_tolerates_truncation() {
+        let t = Telemetry::with_shards(1);
+        t.add_total_jobs(7);
+        let json = t.metrics_json();
+        // Any prefix long enough to keep the schema marker parses to a
+        // (possibly partial) map; shorter prefixes yield None. Nothing
+        // panics either way.
+        for cut in 0..json.len() {
+            let _ = parse_metrics(&json[..cut]);
+        }
+    }
+
+    #[test]
+    fn progress_line_reports_completion_and_eta() {
+        let t = Telemetry::with_shards(1);
+        t.add_total_jobs(10);
+        t.job_completed(0, Duration::from_micros(10));
+        let line = t.snapshot().progress_line("unit");
+        assert!(line.starts_with("[unit] 1/10 jobs"));
+        assert!(line.contains("jobs/s"));
+        assert!(line.contains("masked"));
+        let bare = Telemetry::with_shards(1).snapshot().progress_line("x");
+        assert!(bare.contains("ETA --"), "{bare}");
+    }
+
+    #[test]
+    fn progress_reporter_stops_cleanly() {
+        let t = Arc::new(Telemetry::new());
+        let r = ProgressReporter::start(Arc::clone(&t), "unit", Duration::from_secs(60));
+        r.stop(); // must not hang waiting for the first tick
+    }
+
+    #[test]
+    fn record_report_tallies_outcomes() {
+        let t = Telemetry::with_shards(1);
+        let report = RunReport {
+            app: "test",
+            packets_attempted: 10,
+            packets_completed: 10,
+            fatal: None,
+            dropped_packets: 0,
+            erroneous_packets: 0,
+            error_counts: std::collections::BTreeMap::new(),
+            init_obs_total: 0,
+            init_obs_wrong: 0,
+            instructions: 100,
+            cycles: 500.0,
+            energy: energy_model::EnergyBreakdown::default(),
+            stats: cache_sim::MemStats {
+                faults_injected: 5,
+                faults_detected: 2,
+                ..Default::default()
+            },
+            freq_trace: Vec::new(),
+            epoch_faults: Vec::new(),
+        };
+        t.record_report(0, &report);
+        let s = t.snapshot();
+        assert_eq!(s.faults_injected, 5);
+        assert_eq!(s.faults_detected, 2);
+        // detected > 0, nothing worse: detected_recovered.
+        assert_eq!(
+            s.outcomes[outcome_index(TrialOutcome::DetectedRecovered)],
+            1
+        );
+    }
+}

@@ -4,10 +4,11 @@
 
 use clumsy_core::experiment::{ExperimentOptions, GridPoint};
 use clumsy_core::{
-    run_campaign_on, run_isolated_jobs, CampaignConfig, ClumsyConfig, ClumsyProcessor,
-    DynamicConfig, Engine, JobFailure, TrialOutcome,
+    run_campaign_on, run_isolated_jobs, run_isolated_jobs_with, BatchControl, CampaignConfig,
+    ClumsyConfig, ClumsyProcessor, DynamicConfig, Engine, JobFailure, Telemetry, TrialOutcome,
 };
 use netbench::AppKind;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A design point that passes grid construction but panics inside the
@@ -120,4 +121,53 @@ fn mixed_batch_reports_panic_and_deadline_failures_with_partial_results() {
         out.failures[1].failure,
         JobFailure::DeadlineExceeded(d) if d == Duration::from_secs(5)
     ));
+}
+
+/// Abandoned-deadline attempts keep their threads alive after the
+/// coordinator gives up on them. The cap must (a) pause new launches
+/// while too many stragglers are still running, (b) count the episode
+/// in telemetry, and (c) never wedge the batch — every other job still
+/// completes once a straggler exits.
+#[test]
+fn abandoned_attempt_cap_pauses_launches_and_is_counted() {
+    const SLEEPERS: usize = 2;
+    const JOBS: usize = 5;
+    let cfg = CampaignConfig::default()
+        .with_deadline(Duration::from_millis(50))
+        .with_retries(0)
+        .with_max_abandoned(1);
+    let telemetry = Arc::new(Telemetry::new());
+    let control = BatchControl {
+        telemetry: Some(Arc::clone(&telemetry)),
+        ..BatchControl::default()
+    };
+
+    // Two workers immediately pick up the two sleepers; both overrun
+    // the 50 ms deadline and are abandoned while their threads sleep
+    // on, pinning the live-abandoned count at 2 > cap = 1.
+    let out = run_isolated_jobs_with(2, JOBS, &cfg, control, move |job, _attempt| {
+        if job < SLEEPERS {
+            std::thread::sleep(Duration::from_millis(400));
+        }
+        job
+    });
+
+    for job in SLEEPERS..JOBS {
+        assert_eq!(out.results[job], Some(job), "fast job {job} must finish");
+    }
+    assert_eq!(out.failures.len(), SLEEPERS);
+    for f in &out.failures {
+        assert!(f.job < SLEEPERS);
+        assert!(matches!(f.failure, JobFailure::DeadlineExceeded(_)));
+    }
+
+    let snap = telemetry.snapshot();
+    assert_eq!(snap.jobs_abandoned, SLEEPERS as u64);
+    assert_eq!(snap.jobs_completed, (JOBS - SLEEPERS) as u64);
+    assert!(snap.abandoned_peak >= 2, "both sleepers were live at once");
+    assert!(
+        snap.abandoned_cap_hits >= 1,
+        "the cap must have paused launches at least once: {snap:?}"
+    );
+    assert_eq!(snap.jobs_failed, SLEEPERS as u64);
 }
