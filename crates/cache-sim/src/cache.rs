@@ -21,6 +21,15 @@ pub struct CacheGeometry {
     size: u32,
     line: u32,
     assoc: u32,
+    /// `log2(line)` — index math on the access fast path uses shifts
+    /// and masks instead of divisions.
+    line_shift: u32,
+    /// `line - 1`.
+    offset_mask: u32,
+    /// `sets - 1`.
+    set_mask: u32,
+    /// `log2(line) + log2(sets)`.
+    tag_shift: u32,
 }
 
 impl CacheGeometry {
@@ -43,7 +52,16 @@ impl CacheGeometry {
             lines.is_multiple_of(assoc) && (lines / assoc).is_power_of_two(),
             "set count must be a power of two"
         );
-        CacheGeometry { size, line, assoc }
+        let sets = lines / assoc;
+        CacheGeometry {
+            size,
+            line,
+            assoc,
+            line_shift: line.trailing_zeros(),
+            offset_mask: line - 1,
+            set_mask: sets - 1,
+            tag_shift: line.trailing_zeros() + sets.trailing_zeros(),
+        }
     }
 
     /// Total capacity in bytes.
@@ -67,23 +85,27 @@ impl CacheGeometry {
     }
 
     /// Set index of `addr`.
+    #[inline]
     pub fn set_of(&self, addr: u32) -> u32 {
-        (addr / self.line) & (self.sets() - 1)
+        (addr >> self.line_shift) & self.set_mask
     }
 
     /// Tag of `addr`.
+    #[inline]
     pub fn tag_of(&self, addr: u32) -> u32 {
-        addr / self.line / self.sets()
+        addr >> self.tag_shift
     }
 
     /// First address of the line containing `addr`.
+    #[inline]
     pub fn line_base(&self, addr: u32) -> u32 {
-        addr & !(self.line - 1)
+        addr & !self.offset_mask
     }
 
     /// Offset of `addr` within its line.
+    #[inline]
     pub fn offset_of(&self, addr: u32) -> u32 {
-        addr & (self.line - 1)
+        addr & self.offset_mask
     }
 }
 
@@ -127,11 +149,27 @@ impl WordCode {
 }
 
 /// One line of the data-holding L1 cache.
+///
+/// The check codes are *timing/fault state*, not functional state: a
+/// freshly filled line's codes are always a pure function of its data,
+/// so they are not computed until a checking (slow-path) access actually
+/// reads one (`codes_valid`). Only a corrupted store can make a stored
+/// code disagree with its stored word; such a line is flagged `suspect`
+/// and its codes are materialized *before* the mismatch is written, so
+/// the invariant `suspect ⇒ codes_valid` holds and lazy materialization
+/// can never erase a recorded mismatch.
 #[derive(Debug, Clone)]
 struct DataLine {
     tag: u32,
     valid: bool,
     dirty: bool,
+    /// Some stored word's check code may disagree with its stored data
+    /// (a write fault corrupted the store); checked reads must take the
+    /// slow path while a detection scheme is enabled.
+    suspect: bool,
+    /// Whether `parity` currently holds the codes of this line's words;
+    /// codes are materialized lazily on first checked access.
+    codes_valid: bool,
     data: Box<[u8]>,
     /// Per-word check code computed from the *intended* data (so a
     /// corrupted store is detectable later) under the cache's
@@ -145,9 +183,186 @@ impl DataLine {
             tag: 0,
             valid: false,
             dirty: false,
+            suspect: false,
+            codes_valid: false,
             data: vec![0; line_size as usize].into_boxed_slice(),
             parity: vec![0; (line_size / 4) as usize].into_boxed_slice(),
         }
+    }
+
+    /// Ensures `parity` holds the codes of the current data (a no-op
+    /// once materialized — in particular on suspect lines, whose
+    /// recorded mismatches must survive).
+    fn materialize_codes(&mut self, code: WordCode) {
+        if self.codes_valid {
+            return;
+        }
+        encode_line(code, &self.data, &mut self.parity);
+        self.codes_valid = true;
+    }
+}
+
+/// A located line held open for a batched fast-path commit (see
+/// [`DataCache::fast_group`]): raw word reads and writes with the
+/// fast-path semantics of [`DataCache::fast_read_commit`] /
+/// [`DataCache::fast_write_commit`], minus the per-access LRU touch and
+/// line lookup the group already paid once.
+pub(crate) struct FastLine<'a> {
+    line: &'a mut DataLine,
+    code: WordCode,
+    offset_mask: u32,
+}
+
+impl FastLine<'_> {
+    /// Reads the stored word containing `addr`.
+    #[inline]
+    pub(crate) fn read(&self, addr: u32) -> u32 {
+        let off = (addr & self.offset_mask) as usize & !3;
+        let b = &self.line.data[off..off + 4];
+        u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+    }
+
+    /// Writes the aligned word at `addr`, keeping any materialized code
+    /// in step and marking the line dirty.
+    #[inline]
+    pub(crate) fn write(&mut self, addr: u32, value: u32) {
+        let off = (addr & self.offset_mask) as usize & !3;
+        self.line.data[off..off + 4].copy_from_slice(&value.to_le_bytes());
+        if self.line.codes_valid {
+            self.line.parity[off / 4] = self.code.encode(value);
+        }
+        self.line.dirty = true;
+    }
+
+    /// Reads the byte at `addr` — the little-endian byte extraction of
+    /// [`FastLine::read`], without touching the other three bytes.
+    #[inline]
+    pub(crate) fn read_u8(&self, addr: u32) -> u8 {
+        self.line.data[(addr & self.offset_mask) as usize]
+    }
+
+    /// Writes the byte at `addr`. Equivalent to the word RMW a
+    /// single-byte store performs (merge into the stored word, re-encode
+    /// the containing word's code): the stored bytes end up identical,
+    /// and the word code is recomputed only when one is materialized.
+    #[inline]
+    pub(crate) fn write_u8(&mut self, addr: u32, value: u8) {
+        let off = (addr & self.offset_mask) as usize;
+        self.line.data[off] = value;
+        if self.line.codes_valid {
+            let woff = off & !3;
+            let b = &self.line.data[woff..woff + 4];
+            self.line.parity[woff / 4] = self
+                .code
+                .encode(u32::from_le_bytes([b[0], b[1], b[2], b[3]]));
+        }
+        self.line.dirty = true;
+    }
+
+    /// Appends the `n` aligned words starting at `addr` to `out` — one
+    /// bounds check for the whole stretch instead of one per word.
+    #[inline]
+    pub(crate) fn read_words_into(&self, addr: u32, n: u32, out: &mut Vec<u32>) {
+        let off = (addr & self.offset_mask) as usize & !3;
+        let bytes = &self.line.data[off..off + 4 * n as usize];
+        out.extend(
+            bytes
+                .chunks_exact(4)
+                .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]])),
+        );
+    }
+
+    /// Appends the `n` aligned half-words starting at `addr` to `out`,
+    /// zero-extended as the batched-run convention requires.
+    #[inline]
+    pub(crate) fn read_halves_into(&self, addr: u32, n: u32, out: &mut Vec<u32>) {
+        let off = (addr & self.offset_mask) as usize & !1;
+        let bytes = &self.line.data[off..off + 2 * n as usize];
+        out.extend(
+            bytes
+                .chunks_exact(2)
+                .map(|b| u32::from(u16::from_le_bytes([b[0], b[1]]))),
+        );
+    }
+
+    /// Appends the `n` bytes starting at `addr` to `out`.
+    #[inline]
+    pub(crate) fn read_bytes_into(&self, addr: u32, n: u32, out: &mut Vec<u8>) {
+        let off = (addr & self.offset_mask) as usize;
+        out.extend_from_slice(&self.line.data[off..off + n as usize]);
+    }
+
+    /// Writes `words` as sequential aligned stores starting at `addr`.
+    /// The final line state is identical to word-by-word
+    /// [`FastLine::write`] calls: stored data is the concatenation, and
+    /// any materialized code ends up encoding the final (latest) word —
+    /// which is all a code depends on.
+    #[inline]
+    pub(crate) fn write_words(&mut self, addr: u32, words: &[u32]) {
+        let off = (addr & self.offset_mask) as usize & !3;
+        for (i, &w) in words.iter().enumerate() {
+            self.line.data[off + 4 * i..off + 4 * i + 4].copy_from_slice(&w.to_le_bytes());
+        }
+        if self.line.codes_valid {
+            for (i, &w) in words.iter().enumerate() {
+                self.line.parity[off / 4 + i] = self.code.encode(w);
+            }
+        }
+        self.line.dirty = true;
+    }
+
+    /// Writes `bytes` as sequential byte stores starting at `addr`.
+    /// Equivalent to byte-by-byte [`FastLine::write_u8`]: codes depend
+    /// only on the final data, so any materialized codes of the touched
+    /// words are recomputed once from the settled bytes.
+    #[inline]
+    pub(crate) fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        let off = (addr & self.offset_mask) as usize;
+        self.line.data[off..off + bytes.len()].copy_from_slice(bytes);
+        if self.line.codes_valid {
+            let first = off & !3;
+            let last = (off + bytes.len() - 1) & !3;
+            for woff in (first..=last).step_by(4) {
+                let b = &self.line.data[woff..woff + 4];
+                self.line.parity[woff / 4] = self
+                    .code
+                    .encode(u32::from_le_bytes([b[0], b[1], b[2], b[3]]));
+            }
+        }
+        self.line.dirty = true;
+    }
+}
+
+/// Encodes the per-word check codes of a whole line at once — the
+/// line-granular (vectorized) form of [`WordCode::encode`]. Parity
+/// signatures are computed eight bytes at a time with SWAR folds;
+/// SECDED codes go through the table-driven block encoder.
+pub(crate) fn encode_line(code: WordCode, data: &[u8], out: &mut [u8]) {
+    debug_assert_eq!(data.len(), out.len() * 4);
+    match code {
+        WordCode::ParitySignature => {
+            let mut w = 0usize;
+            for chunk in data.chunks_exact(8) {
+                let x = u64::from_le_bytes(chunk.try_into().unwrap());
+                // Fold each byte onto its bit 0 (shifts never reach
+                // across more than 7 bits, so bytes stay independent),
+                // then gather the eight byte-parity bits into one byte:
+                // bit j of the product's top byte is byte j's parity.
+                let mut p = x ^ (x >> 4);
+                p ^= p >> 2;
+                p ^= p >> 1;
+                let bits =
+                    ((p & 0x0101_0101_0101_0101).wrapping_mul(0x0102_0408_1020_4080) >> 56) as u8;
+                out[w] = bits & 0xF;
+                out[w + 1] = bits >> 4;
+                w += 2;
+            }
+            if data.len() % 8 == 4 {
+                let b = &data[data.len() - 4..];
+                out[w] = parity_signature(u32::from_le_bytes([b[0], b[1], b[2], b[3]]));
+            }
+        }
+        WordCode::Secded => crate::secded::secded_encode_block(data, out),
     }
 }
 
@@ -207,7 +422,12 @@ impl DataCache {
         set as usize * self.geom.assoc() as usize + way
     }
 
+    #[inline]
     fn touch(&mut self, set: u32, way: usize) {
+        // Direct-mapped caches have no LRU state to maintain.
+        if self.geom.assoc() == 1 {
+            return;
+        }
         let order = &mut self.lru[set as usize];
         if let Some(pos) = order.iter().position(|&w| w as usize == way) {
             let w = order.remove(pos);
@@ -259,15 +479,88 @@ impl DataCache {
         line.tag = self.geom.tag_of(addr);
         line.valid = true;
         line.dirty = false;
+        // A refill's codes are by construction consistent with its data
+        // (even a corrupted refill arrives before encoding), so defer
+        // encoding until a checking access actually needs them.
+        line.suspect = false;
+        line.codes_valid = false;
         line.data.copy_from_slice(data);
-        for w in 0..line.parity.len() {
-            let b = &line.data[w * 4..w * 4 + 4];
-            line.parity[w] = self
-                .code
-                .encode(u32::from_le_bytes([b[0], b[1], b[2], b[3]]));
-        }
         self.touch(set, way);
         evicted
+    }
+
+    /// Locates `addr` for the fast path: `Some((set, way))` on a hit,
+    /// `None` on a miss. Leaves LRU state untouched — the commit
+    /// methods below touch it, so a probe that falls back to the slow
+    /// path costs nothing.
+    #[inline]
+    pub(crate) fn fast_locate(&self, addr: u32) -> Option<(u32, usize)> {
+        let set = self.geom.set_of(addr);
+        let tag = self.geom.tag_of(addr);
+        let base = set as usize * self.geom.assoc() as usize;
+        for way in 0..self.geom.assoc() as usize {
+            let line = &self.lines[base + way];
+            if line.valid && line.tag == tag {
+                return Some((set, way));
+            }
+        }
+        None
+    }
+
+    /// Whether the located line may hold a word whose stored check code
+    /// disagrees with its data (see `DataLine::suspect`).
+    #[inline]
+    pub(crate) fn is_suspect(&self, set: u32, way: usize) -> bool {
+        self.lines[self.line_index(set, way)].suspect
+    }
+
+    /// Fast-path read of the word containing `addr` from a located line:
+    /// touches LRU and returns the stored word without materializing or
+    /// consulting check codes.
+    #[inline]
+    pub(crate) fn fast_read_commit(&mut self, set: u32, way: usize, addr: u32) -> u32 {
+        self.touch(set, way);
+        let line = &self.lines[self.line_index(set, way)];
+        debug_assert!(line.valid && line.tag == self.geom.tag_of(addr));
+        let off = self.geom.offset_of(addr) as usize;
+        let b = &line.data[off..off + 4];
+        u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+    }
+
+    /// Fast-path write of `value` into a located line: touches LRU,
+    /// stores the word, keeps any materialized code consistent and marks
+    /// the line dirty. Equivalent to `write_word(addr, way, v, v)`.
+    #[inline]
+    pub(crate) fn fast_write_commit(&mut self, set: u32, way: usize, addr: u32, value: u32) {
+        self.touch(set, way);
+        let code = self.code;
+        let idx = self.line_index(set, way);
+        let line = &mut self.lines[idx];
+        debug_assert!(line.valid && line.tag == self.geom.tag_of(addr));
+        let off = self.geom.offset_of(addr) as usize;
+        line.data[off..off + 4].copy_from_slice(&value.to_le_bytes());
+        if line.codes_valid {
+            line.parity[off / 4] = code.encode(value);
+        }
+        line.dirty = true;
+    }
+
+    /// Opens a located line for a batched fast-path commit: touches LRU
+    /// once — repeated touches of the same way are idempotent, so one
+    /// touch produces exactly the state per-access commits would have —
+    /// and returns a handle for raw word reads and writes against the
+    /// line.
+    #[inline]
+    pub(crate) fn fast_group(&mut self, set: u32, way: usize) -> FastLine<'_> {
+        self.touch(set, way);
+        let code = self.code;
+        let offset_mask = self.geom.line_size() - 1;
+        let idx = self.line_index(set, way);
+        FastLine {
+            line: &mut self.lines[idx],
+            code,
+            offset_mask,
+        }
     }
 
     /// Reads the stored (possibly corrupted) word containing `addr`,
@@ -276,9 +569,11 @@ impl DataCache {
     pub(crate) fn read_word(&mut self, addr: u32, way: usize) -> (u32, u8) {
         let set = self.geom.set_of(addr);
         self.touch(set, way);
+        let code = self.code;
         let idx = self.line_index(set, way);
-        let line = &self.lines[idx];
+        let line = &mut self.lines[idx];
         debug_assert!(line.valid && line.tag == self.geom.tag_of(addr));
+        line.materialize_codes(code);
         let off = self.geom.offset_of(addr) as usize;
         let b = &line.data[off..off + 4];
         (
@@ -293,12 +588,27 @@ impl DataCache {
     pub(crate) fn write_word(&mut self, addr: u32, way: usize, stored: u32, intended: u32) {
         let set = self.geom.set_of(addr);
         self.touch(set, way);
+        let code = self.code;
         let idx = self.line_index(set, way);
         let line = &mut self.lines[idx];
         debug_assert!(line.valid && line.tag == self.geom.tag_of(addr));
         let off = self.geom.offset_of(addr) as usize;
-        line.data[off..off + 4].copy_from_slice(&stored.to_le_bytes());
-        line.parity[off / 4] = self.code.encode(intended);
+        if stored == intended {
+            // Clean store: if codes are still lazy they stay lazy (a
+            // later materialization from the data gives the same code).
+            line.data[off..off + 4].copy_from_slice(&stored.to_le_bytes());
+            if line.codes_valid {
+                line.parity[off / 4] = code.encode(intended);
+            }
+        } else {
+            // Corrupted store: the code of the *intended* word must be
+            // recorded, so the other words' codes have to be pinned from
+            // their current data first.
+            line.materialize_codes(code);
+            line.data[off..off + 4].copy_from_slice(&stored.to_le_bytes());
+            line.parity[off / 4] = code.encode(intended);
+            line.suspect = true;
+        }
         line.dirty = true;
     }
 
@@ -315,6 +625,7 @@ impl DataCache {
             if line.valid && line.tag == tag {
                 line.valid = false;
                 line.dirty = false;
+                line.suspect = false;
                 return true;
             }
         }
@@ -333,6 +644,7 @@ impl DataCache {
                 let was_dirty = line.dirty;
                 line.valid = false;
                 line.dirty = false;
+                line.suspect = false;
                 return was_dirty;
             }
         }
@@ -371,15 +683,49 @@ impl DataCache {
         match self.lookup(addr) {
             Lookup::Hit(way) => {
                 let set = self.geom.set_of(addr);
+                let code = self.code;
                 let idx = self.line_index(set, way);
                 let line = &mut self.lines[idx];
                 let off = self.geom.offset_of(addr) as usize;
                 line.data[off..off + 4].copy_from_slice(&value.to_le_bytes());
-                let code = self.code;
-                line.parity[off / 4] = code.encode(value);
+                if line.codes_valid {
+                    line.parity[off / 4] = code.encode(value);
+                }
                 true
             }
             Lookup::Miss(_) => false,
+        }
+    }
+
+    /// Host write of `bytes` starting at word-aligned `addr` into any
+    /// resident lines — the line-granular form of [`DataCache::poke_word`]
+    /// used by packet DMA. One lookup per covered line instead of one
+    /// per word; data (and materialized codes) are updated, LRU and
+    /// dirty state are untouched. `bytes.len()` must be a multiple of 4.
+    pub(crate) fn poke_range(&mut self, addr: u32, bytes: &[u8]) {
+        debug_assert!(addr.is_multiple_of(4) && bytes.len().is_multiple_of(4));
+        let line_size = self.geom.line_size();
+        let code = self.code;
+        let end = addr + bytes.len() as u32;
+        let mut cur = addr;
+        while cur < end {
+            let chunk_end = (self.geom.line_base(cur) + line_size).min(end);
+            if let Lookup::Hit(way) = self.lookup(cur) {
+                let set = self.geom.set_of(cur);
+                let idx = self.line_index(set, way);
+                let line = &mut self.lines[idx];
+                let off = self.geom.offset_of(cur) as usize;
+                let n = (chunk_end - cur) as usize;
+                let src = (cur - addr) as usize;
+                line.data[off..off + n].copy_from_slice(&bytes[src..src + n]);
+                if line.codes_valid {
+                    for w in (off / 4)..((off + n) / 4) {
+                        let b = &line.data[w * 4..w * 4 + 4];
+                        line.parity[w] = code.encode(u32::from_le_bytes([b[0], b[1], b[2], b[3]]));
+                    }
+                }
+            }
+            cur = chunk_end;
         }
     }
 
@@ -404,6 +750,7 @@ impl DataCache {
         for line in &mut self.lines {
             line.valid = false;
             line.dirty = false;
+            line.suspect = false;
         }
     }
 
@@ -738,6 +1085,102 @@ mod tests {
                 word_parity(w),
                 word_parity_of_signature(parity_signature(w))
             );
+        }
+    }
+
+    #[test]
+    fn encode_line_matches_per_word_encode() {
+        let mut data = [0u8; 32];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(37).wrapping_add(101) ^ ((i as u8) << 3);
+        }
+        for code in [WordCode::ParitySignature, WordCode::Secded] {
+            let mut out = [0u8; 8];
+            encode_line(code, &data, &mut out);
+            for (w, chunk) in data.chunks_exact(4).enumerate() {
+                let word = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                assert_eq!(out[w], code.encode(word), "word {w} under {code:?}");
+            }
+        }
+        // The 4-byte tail path (minimum line size).
+        let mut out = [0u8; 1];
+        encode_line(WordCode::ParitySignature, &data[..4], &mut out);
+        let word = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
+        assert_eq!(out[0], parity_signature(word));
+    }
+
+    #[test]
+    fn suspect_flag_tracks_corrupted_stores() {
+        let mut c = DataCache::new(l1());
+        c.fill(0x100, 0, &[0; 32]);
+        let (set, way) = c.fast_locate(0x100).expect("resident");
+        assert!(!c.is_suspect(set, way));
+        // A clean store keeps the line trustworthy.
+        c.write_word(0x104, 0, 0x7, 0x7);
+        assert!(!c.is_suspect(set, way));
+        // A corrupted store (stored != intended) taints it, and the
+        // recorded mismatch survives later reads.
+        c.write_word(0x104, 0, 0x5, 0x7);
+        assert!(c.is_suspect(set, way));
+        let (v, sig) = c.read_word(0x104, 0);
+        assert_eq!((v, sig), (0x5, parity_signature(0x7)));
+        // A refill restores trust.
+        c.fill(0x100, 0, &[0; 32]);
+        assert!(!c.is_suspect(set, way));
+    }
+
+    #[test]
+    fn fast_path_accessors_match_slow_accessors() {
+        let mut c = DataCache::new(l1());
+        assert!(c.fast_locate(0x100).is_none(), "miss before fill");
+        c.fill(0x100, 0, &[0x21; 32]);
+        let (set, way) = c.fast_locate(0x104).expect("hit after fill");
+        assert_eq!(
+            c.fast_read_commit(set, way, 0x104),
+            u32::from_le_bytes([0x21; 4])
+        );
+        c.fast_write_commit(set, way, 0x104, 0xABCD_1234);
+        let (v, sig) = c.read_word(0x104, way);
+        assert_eq!(v, 0xABCD_1234);
+        assert_eq!(sig, parity_signature(0xABCD_1234));
+    }
+
+    #[test]
+    fn fast_write_keeps_materialized_codes_consistent() {
+        let mut c = DataCache::new(l1());
+        c.fill(0x100, 0, &[0; 32]);
+        // Materialize codes via a checked read, then fast-write.
+        let _ = c.read_word(0x100, 0);
+        let (set, way) = c.fast_locate(0x108).unwrap();
+        c.fast_write_commit(set, way, 0x108, 0xFEED_F00D);
+        let (v, sig) = c.read_word(0x108, 0);
+        assert_eq!(v, 0xFEED_F00D);
+        assert_eq!(sig, parity_signature(0xFEED_F00D));
+    }
+
+    #[test]
+    fn poke_range_matches_word_pokes() {
+        let bytes: Vec<u8> = (0..96u32).map(|i| (i * 13 + 7) as u8).collect();
+        // Two caches: one poked per word, one per range; only one of the
+        // three covered lines is resident.
+        let mut per_word = DataCache::new(l1());
+        let mut ranged = DataCache::new(l1());
+        for c in [&mut per_word, &mut ranged] {
+            c.fill(0x120, 0, &[0xEE; 32]);
+        }
+        for (i, chunk) in bytes.chunks_exact(4).enumerate() {
+            let word = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+            per_word.poke_word(0x100 + 4 * i as u32, word);
+        }
+        ranged.poke_range(0x100, &bytes);
+        for addr in (0x120..0x140).step_by(4) {
+            assert_eq!(
+                per_word.peek_word(addr),
+                ranged.peek_word(addr),
+                "{addr:#x}"
+            );
+            let (a, b) = (per_word.read_word(addr, 0), ranged.read_word(addr, 0));
+            assert_eq!(a, b, "{addr:#x}");
         }
     }
 

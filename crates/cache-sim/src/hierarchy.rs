@@ -13,11 +13,66 @@ use crate::secded::{secded_decode, SecdedOutcome, SECDED_CODE_BITS};
 use crate::stats::MemStats;
 use crate::WORD_BITS;
 use energy_model::EnergyBreakdown;
-use fault_model::{FaultEvent, FaultSampler};
+use fault_model::{FaultEvent, FaultSampler, SamplingMode};
 
 /// Width in bits of the stored per-word parity signature (one even-parity
 /// bit per byte; word parity is the XOR of the four bits).
 const PARITY_SIG_BITS: u32 = 4;
+
+/// One program access in a batched run (see [`MemSystem::access_run`]).
+///
+/// Alignment rules match the individual entry points: `ReadU32`/
+/// `WriteU32` need 4-byte alignment, `ReadU16`/`WriteU16` need 2-byte
+/// alignment, byte accesses are unrestricted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Aligned 32-bit read; pushes the value onto the run's output.
+    ReadU32(u32),
+    /// Aligned 16-bit read; pushes the zero-extended value.
+    ReadU16(u32),
+    /// Byte read; pushes the zero-extended value.
+    ReadU8(u32),
+    /// Aligned 32-bit write.
+    WriteU32(u32, u32),
+    /// Aligned 16-bit write.
+    WriteU16(u32, u16),
+    /// Byte write.
+    WriteU8(u32, u8),
+}
+
+impl Access {
+    /// The byte address the access targets.
+    #[inline]
+    fn addr(self) -> u32 {
+        match self {
+            Access::ReadU32(a)
+            | Access::ReadU16(a)
+            | Access::ReadU8(a)
+            | Access::WriteU32(a, _) => a,
+            Access::WriteU16(a, _) => a,
+            Access::WriteU8(a, _) => a,
+        }
+    }
+
+    /// Whether the access is a read (pushes onto the run's output).
+    #[inline]
+    fn is_read(self) -> bool {
+        matches!(
+            self,
+            Access::ReadU32(_) | Access::ReadU16(_) | Access::ReadU8(_)
+        )
+    }
+
+    /// The entry point's required address alignment, in bytes.
+    #[inline]
+    fn align(self) -> u32 {
+        match self {
+            Access::ReadU32(_) | Access::WriteU32(_, _) => 4,
+            Access::ReadU16(_) | Access::WriteU16(_, _) => 2,
+            Access::ReadU8(_) | Access::WriteU8(_, _) => 1,
+        }
+    }
+}
 
 /// The simulated memory hierarchy a packet program runs against.
 ///
@@ -67,6 +122,39 @@ pub struct MemSystem {
     /// when the opt-in [`FaultTargets::l2`](crate::FaultTargets) target
     /// is on.
     l2_per_bit: f64,
+    /// Cached L1 stall per access at the current clock (recomputed by
+    /// `refresh_timing`); identical to [`MemSystem::l1_stall`] so the
+    /// fast path's accrual is bitwise equal to the slow path's.
+    l1_stall_c: f64,
+    /// Cached per-access L1 read energy at the current swing/detection.
+    read_nj: f64,
+    /// Cached per-access L1 write energy at the current swing/detection.
+    write_nj: f64,
+    /// Config-constant fast-path gate: false when an opt-in aux target
+    /// (tag array, or parity bits under enabled detection) injects on
+    /// every access, forcing everything through the slow path.
+    fast_ok: bool,
+    /// Whether fast-path reads must skip suspect lines (a detection
+    /// scheme is enabled and would flag the stored mismatch).
+    need_clean: bool,
+    /// Master toggle for the batched fast path. On and off runs are
+    /// bitwise identical (the toggle exists so benchmarks and tests can
+    /// measure/verify exactly that); off means every access takes the
+    /// full checking path.
+    fast_path: bool,
+    /// Reusable refill buffer (one L1 line) so misses allocate nothing.
+    refill_buf: Box<[u8]>,
+    /// Reusable same-line segment scratch for batched run commits.
+    run_segs: Vec<RunSegment>,
+}
+
+/// One same-line stretch of a batched fast-path group: `len` consecutive
+/// run accesses that all hit the located line `(set, way)`.
+#[derive(Debug, Clone, Copy)]
+struct RunSegment {
+    set: u32,
+    way: u32,
+    len: u32,
 }
 
 impl MemSystem {
@@ -84,7 +172,13 @@ impl MemSystem {
             DetectionScheme::Secded => WordCode::Secded,
             _ => WordCode::ParitySignature,
         };
-        MemSystem {
+        // The aux targets below inject on *every* access (tag lookups,
+        // signature reads), so any batched skip would change their
+        // sampling stream: runs with those targets stay on the slow path.
+        let fast_ok = !cfg.targets.tag && (!cfg.targets.parity || !cfg.detection.is_enabled());
+        let need_clean = cfg.detection.is_enabled();
+        let refill_buf = vec![0u8; cfg.l1.line_size() as usize].into_boxed_slice();
+        let mut sys = MemSystem {
             l1: DataCache::with_code(cfg.l1, code),
             l2: TagCache::new(cfg.l2),
             backing: BackingStore::new(cfg.backing_bytes),
@@ -96,8 +190,35 @@ impl MemSystem {
             energy: EnergyBreakdown::default(),
             tag_width,
             l2_per_bit,
+            l1_stall_c: 0.0,
+            read_nj: 0.0,
+            write_nj: 0.0,
+            fast_ok,
+            need_clean,
+            fast_path: true,
+            refill_buf,
+            run_segs: Vec::new(),
             cfg,
-        }
+        };
+        sys.refresh_timing();
+        sys
+    }
+
+    /// Recomputes the cached per-access stall and energy charges after a
+    /// clock change. Both the fast and the slow path add these exact
+    /// values, which is what keeps the two bitwise interchangeable.
+    fn refresh_timing(&mut self) {
+        self.l1_stall_c = self.l1_stall();
+        self.read_nj = match self.cfg.detection {
+            DetectionScheme::None => self.cfg.energy.l1_read_energy(self.vsr),
+            DetectionScheme::Secded => self.cfg.energy.l1_read_energy_with_ecc(self.vsr),
+            _ => self.cfg.energy.l1_read_energy_with_parity(self.vsr) * self.detection_factor(),
+        };
+        self.write_nj = match self.cfg.detection {
+            DetectionScheme::None => self.cfg.energy.l1_write_energy(self.vsr),
+            DetectionScheme::Secded => self.cfg.energy.l1_write_energy_with_ecc(self.vsr),
+            _ => self.cfg.energy.l1_write_energy_with_parity(self.vsr) * self.detection_factor(),
+        };
     }
 
     /// Width in bits of the tag-fault sampling window (the tag bits that
@@ -135,6 +256,7 @@ impl MemSystem {
         self.sampler.set_cycle(cr);
         self.cr = cr;
         self.vsr = self.cfg.swing.relative_swing(cr);
+        self.refresh_timing();
         self.cycles += self.cfg.freq_switch_penalty;
         self.stats.freq_switches += 1;
     }
@@ -149,6 +271,21 @@ impl MemSystem {
         self.sampler.set_cycle(cr);
         self.cr = cr;
         self.vsr = self.cfg.swing.relative_swing(cr);
+        self.refresh_timing();
+    }
+
+    /// Enables or disables the batched fault-free fast path. Results,
+    /// timing, energy and fault statistics are bitwise identical either
+    /// way (only the diagnostic `fast_forward_accesses` /
+    /// `slow_path_accesses` split differs); the toggle exists so tests
+    /// and benchmarks can verify and measure exactly that claim.
+    pub fn set_fast_path(&mut self, enabled: bool) {
+        self.fast_path = enabled;
+    }
+
+    /// Whether the batched fault-free fast path is enabled.
+    pub fn fast_path_enabled(&self) -> bool {
+        self.fast_path
     }
 
     /// Enables or disables fault injection (disabled ⇒ golden run).
@@ -260,15 +397,20 @@ impl MemSystem {
                 self.stats.l1_misses += 1;
                 let base = self.cfg.l1.line_base(addr);
                 self.charge_l2_access(base, true);
-                let mut buf = vec![0u8; self.cfg.l1.line_size() as usize];
-                self.backing.read_block(base, &mut buf)?;
+                let mut buf = std::mem::take(&mut self.refill_buf);
+                if let Err(e) = self.backing.read_block(base, &mut buf) {
+                    self.refill_buf = buf;
+                    return Err(e);
+                }
                 // A corrupted refill word arrives before the L1 encodes
                 // its check code, so detection cannot see it — the L1's
                 // code protects the L1 array, not the path below it.
                 if self.cfg.targets.l2 {
                     self.maybe_corrupt_l2_block(&mut buf);
                 }
-                if let Some((evicted_base, data)) = self.l1.fill(base, way, &buf) {
+                let evicted = self.l1.fill(base, way, &buf);
+                self.refill_buf = buf;
+                if let Some((evicted_base, data)) = evicted {
                     self.writeback(evicted_base, &data)?;
                 }
                 Ok(way)
@@ -331,21 +473,13 @@ impl MemSystem {
     }
 
     fn charge_l1_read(&mut self) {
-        self.cycles += self.l1_stall();
-        self.energy.l1_nj += match self.cfg.detection {
-            DetectionScheme::None => self.cfg.energy.l1_read_energy(self.vsr),
-            DetectionScheme::Secded => self.cfg.energy.l1_read_energy_with_ecc(self.vsr),
-            _ => self.cfg.energy.l1_read_energy_with_parity(self.vsr) * self.detection_factor(),
-        };
+        self.cycles += self.l1_stall_c;
+        self.energy.l1_nj += self.read_nj;
     }
 
     fn charge_l1_write(&mut self) {
-        self.cycles += self.l1_stall();
-        self.energy.l1_nj += match self.cfg.detection {
-            DetectionScheme::None => self.cfg.energy.l1_write_energy(self.vsr),
-            DetectionScheme::Secded => self.cfg.energy.l1_write_energy_with_ecc(self.vsr),
-            _ => self.cfg.energy.l1_write_energy_with_parity(self.vsr) * self.detection_factor(),
-        };
+        self.cycles += self.l1_stall_c;
+        self.energy.l1_nj += self.write_nj;
     }
 
     /// Reads the aligned 32-bit word at `addr` through the faulty cache.
@@ -359,10 +493,7 @@ impl MemSystem {
     /// Returns [`MemError`] for misaligned or out-of-range addresses.
     pub fn read_u32(&mut self, addr: u32) -> Result<u32, MemError> {
         Self::check_alignment(addr, 4)?;
-        self.stats.reads += 1;
-        let way = self.ensure_resident(addr)?;
-        self.charge_l1_read();
-        self.read_resident_word(addr, way)
+        self.read_u32_inner(addr)
     }
 
     fn read_resident_word(&mut self, addr: u32, way: usize) -> Result<u32, MemError> {
@@ -511,6 +642,24 @@ impl MemSystem {
     /// Returns [`MemError`] for misaligned or out-of-range addresses.
     pub fn write_u32(&mut self, addr: u32, value: u32) -> Result<(), MemError> {
         Self::check_alignment(addr, 4)?;
+        // Fault-free fast path (see `read_u32_inner`). Writes need no
+        // suspect check: the slow path stores over the old word either
+        // way, and `fast_write_commit` keeps any materialized code in
+        // step exactly as `write_word` would.
+        if self.fast_path && self.fast_ok {
+            if let Some((set, way)) = self.l1.fast_locate(addr) {
+                if !self.cfg.targets.data || self.sampler.fast_forward(WORD_BITS, 1) == 1 {
+                    self.stats.writes += 1;
+                    self.stats.l1_hits += 1;
+                    self.stats.fast_forward_accesses += 1;
+                    self.cycles += self.l1_stall_c;
+                    self.energy.l1_nj += self.write_nj;
+                    self.l1.fast_write_commit(set, way, addr, value);
+                    return Ok(());
+                }
+            }
+        }
+        self.stats.slow_path_accesses += 1;
         self.stats.writes += 1;
         let way = self.ensure_resident(addr)?;
         self.charge_l1_write();
@@ -562,6 +711,28 @@ impl MemSystem {
     }
 
     fn read_u32_inner(&mut self, word_addr: u32) -> Result<u32, MemError> {
+        // Batched fault-free fast path: an L1 hit on a clean line inside
+        // a skip-ahead gap needs no RNG draw and no check-code work — the
+        // outcome of the full path is known to be "clean read of the
+        // stored word" by construction. Every no-go condition is checked
+        // *before* the gap slot is consumed, so a slow-path access sees
+        // the sampler in exactly the state it would have had without the
+        // fast path.
+        if self.fast_path && self.fast_ok {
+            if let Some((set, way)) = self.l1.fast_locate(word_addr) {
+                if !(self.need_clean && self.l1.is_suspect(set, way))
+                    && (!self.cfg.targets.data || self.sampler.fast_forward(WORD_BITS, 1) == 1)
+                {
+                    self.stats.reads += 1;
+                    self.stats.l1_hits += 1;
+                    self.stats.fast_forward_accesses += 1;
+                    self.cycles += self.l1_stall_c;
+                    self.energy.l1_nj += self.read_nj;
+                    return Ok(self.l1.fast_read_commit(set, way, word_addr));
+                }
+            }
+        }
+        self.stats.slow_path_accesses += 1;
         self.stats.reads += 1;
         let way = self.ensure_resident(word_addr)?;
         self.charge_l1_read();
@@ -595,6 +766,25 @@ impl MemSystem {
         mask: u32,
         value: u32,
     ) -> Result<(), MemError> {
+        // Fault-free fast path: the store-buffer RMW merges with the raw
+        // stored word, which is what the slow path's `read_word` returns
+        // too (codes play no part in the merge).
+        if self.fast_path && self.fast_ok {
+            if let Some((set, way)) = self.l1.fast_locate(word_addr) {
+                if !self.cfg.targets.data || self.sampler.fast_forward(WORD_BITS, 1) == 1 {
+                    self.stats.writes += 1;
+                    self.stats.l1_hits += 1;
+                    self.stats.fast_forward_accesses += 1;
+                    self.cycles += self.l1_stall_c;
+                    self.energy.l1_nj += self.write_nj;
+                    let current = self.l1.fast_read_commit(set, way, word_addr);
+                    let intended = (current & !(mask << shift)) | ((value & mask) << shift);
+                    self.l1.fast_write_commit(set, way, word_addr, intended);
+                    return Ok(());
+                }
+            }
+        }
+        self.stats.slow_path_accesses += 1;
         self.stats.writes += 1;
         let way = self.ensure_resident(word_addr)?;
         self.charge_l1_write();
@@ -647,11 +837,639 @@ impl MemSystem {
                 align: 4,
             });
         }
-        for (i, chunk) in bytes.chunks_exact(4).enumerate() {
-            let word = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
-            self.host_write_u32(addr + 4 * i as u32, word)?;
+        self.backing.write_block(addr, bytes)?;
+        self.l1.poke_range(addr, bytes);
+        Ok(())
+    }
+
+    /// Runs a batch of program accesses; read results are appended to
+    /// `out` in access order. Bitwise identical to issuing the same
+    /// accesses through the individual entry points one by one — the
+    /// batching buys the caller line-granular grouping: a stretch of
+    /// accesses that stays within one resident cache line consumes its
+    /// skip-ahead gap in a single sampler call and commits in a tight
+    /// loop, instead of re-locating the line and re-querying the
+    /// sampler per access.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first access's [`MemError`]; earlier accesses in the
+    /// run have already committed (exactly as in the unbatched loop).
+    pub fn access_run(&mut self, run: &[Access], out: &mut Vec<u32>) -> Result<(), MemError> {
+        self.access_run_masked(run, u32::MAX, out)
+    }
+
+    /// [`MemSystem::access_run`] with an address mask applied to every
+    /// access: each address is `AND`-ed with `addr_mask` before it
+    /// touches the hierarchy. A machine layer that mirrors program
+    /// addresses modulo a power-of-two capacity passes `capacity - 1`
+    /// here and skips its own per-access translation copy; `u32::MAX`
+    /// is the identity.
+    ///
+    /// # Errors
+    ///
+    /// As [`MemSystem::access_run`], judged on the masked addresses.
+    pub fn access_run_masked(
+        &mut self,
+        run: &[Access],
+        addr_mask: u32,
+        out: &mut Vec<u32>,
+    ) -> Result<(), MemError> {
+        // Grouping only pays when a gap can actually be consumed: in
+        // exact per-access sampling every gap query returns 0, so the
+        // scan would be pure overhead.
+        let grouping = self.grouping_pays();
+        let mut i = 0;
+        while i < run.len() {
+            if grouping {
+                i += self.fast_run_group(&run[i..], addr_mask, out);
+                if i == run.len() {
+                    break;
+                }
+            }
+            self.access_one(run[i], addr_mask, out)?;
+            i += 1;
         }
         Ok(())
+    }
+
+    /// Whether batched entry points should bother scanning for
+    /// fast-path groups (see [`MemSystem::access_run_masked`]).
+    #[inline]
+    fn grouping_pays(&self) -> bool {
+        self.fast_path
+            && self.fast_ok
+            && !(self.cfg.targets.data
+                && self.sampler.is_enabled()
+                && self.sampler.mode() == SamplingMode::PerAccess)
+    }
+
+    /// Issues one run access through the individual entry points.
+    #[inline]
+    fn access_one(
+        &mut self,
+        access: Access,
+        mask: u32,
+        out: &mut Vec<u32>,
+    ) -> Result<(), MemError> {
+        match access {
+            Access::ReadU32(addr) => out.push(self.read_u32(addr & mask)?),
+            Access::ReadU16(addr) => out.push(u32::from(self.read_u16(addr & mask)?)),
+            Access::ReadU8(addr) => out.push(u32::from(self.read_u8(addr & mask)?)),
+            Access::WriteU32(addr, v) => self.write_u32(addr & mask, v)?,
+            Access::WriteU16(addr, v) => self.write_u16(addr & mask, v)?,
+            Access::WriteU8(addr, v) => self.write_u8(addr & mask, v)?,
+        }
+        Ok(())
+    }
+
+    /// Commits the longest eligible prefix of `run` — every access an
+    /// L1 hit on a line the fast path may touch — consuming the whole
+    /// group's skip-ahead gap in a single sampler call. The group may
+    /// span many cache lines: the geometric gap is a per-*access*
+    /// process, so one `fast_forward(32, k)` consumes exactly the slots
+    /// k single-access probes would have. Returns how many accesses were
+    /// committed (possibly 0); the caller issues the next access through
+    /// the per-access entry points, which reproduces the slow-path /
+    /// fault-arrival behavior exactly.
+    ///
+    /// The committed per-access effect sequence — LRU touch, data move,
+    /// cycle and energy accrual, in order — is identical to the
+    /// single-access fast paths, so everything stays bitwise equal to
+    /// the unbatched loop; only the number of sampler and line-lookup
+    /// calls changes.
+    fn fast_run_group(&mut self, run: &[Access], mask: u32, out: &mut Vec<u32>) -> usize {
+        // Scan: split the eligible prefix into same-line segments, each
+        // carrying its located way so the commit pass needs no second
+        // lookup.
+        let mut segs = std::mem::take(&mut self.run_segs);
+        segs.clear();
+        let mut cur_base = u32::MAX;
+        let mut writes_only = false;
+        let mut k = 0usize;
+        for &a in run {
+            let addr = a.addr() & mask;
+            if addr & (a.align() - 1) != 0 {
+                break;
+            }
+            let base = self.cfg.l1.line_base(addr);
+            if base == cur_base && k > 0 {
+                if writes_only && a.is_read() {
+                    break;
+                }
+                // Same line as the previous access: extend its segment.
+                let last = segs.last_mut().expect("segment exists");
+                last.len += 1;
+            } else {
+                let Some((set, way)) = self.l1.fast_locate(addr & !3) else {
+                    break;
+                };
+                // Reads of a suspect line must run the detection slow
+                // path; writes are eligible either way (the
+                // single-access write fast paths never consult the
+                // suspect flag).
+                writes_only = self.need_clean && self.l1.is_suspect(set, way);
+                if writes_only && a.is_read() {
+                    break;
+                }
+                cur_base = base;
+                segs.push(RunSegment {
+                    set,
+                    way: way as u32,
+                    len: 1,
+                });
+            }
+            k += 1;
+        }
+        if k == 0 {
+            self.run_segs = segs;
+            return 0;
+        }
+        let granted = if self.cfg.targets.data {
+            self.sampler.fast_forward(WORD_BITS, k as u64) as usize
+        } else {
+            k
+        };
+        // Register-resident accumulators: the adds happen in the same
+        // per-access order as the singles loop (f64 addition is not
+        // associative, so the sequence is the contract), only the
+        // store-back is batched.
+        let mut cycles = self.cycles;
+        let mut l1_nj = self.energy.l1_nj;
+        let stall = self.l1_stall_c;
+        let read_nj = self.read_nj;
+        let write_nj = self.write_nj;
+        let mut reads = 0u64;
+        let mut i = 0usize;
+        'commit: for seg in &segs {
+            let mut line = self.l1.fast_group(seg.set, seg.way as usize);
+            for _ in 0..seg.len {
+                if i == granted {
+                    break 'commit;
+                }
+                let a = run[i];
+                let addr = a.addr() & mask;
+                i += 1;
+                cycles += stall;
+                match a {
+                    Access::ReadU32(_) => {
+                        l1_nj += read_nj;
+                        reads += 1;
+                        out.push(line.read(addr));
+                    }
+                    Access::ReadU16(_) => {
+                        l1_nj += read_nj;
+                        reads += 1;
+                        out.push(u32::from((line.read(addr) >> ((addr & 3) * 8)) as u16));
+                    }
+                    Access::ReadU8(_) => {
+                        l1_nj += read_nj;
+                        reads += 1;
+                        out.push(u32::from(line.read_u8(addr)));
+                    }
+                    Access::WriteU32(_, v) => {
+                        l1_nj += write_nj;
+                        line.write(addr, v);
+                    }
+                    Access::WriteU16(_, v) => {
+                        l1_nj += write_nj;
+                        let shift = (addr & 3) * 8;
+                        let cur = line.read(addr);
+                        let intended =
+                            (cur & !(0xFFFF << shift)) | ((u32::from(v) & 0xFFFF) << shift);
+                        line.write(addr, intended);
+                    }
+                    Access::WriteU8(_, v) => {
+                        l1_nj += write_nj;
+                        line.write_u8(addr, v);
+                    }
+                }
+            }
+        }
+        self.cycles = cycles;
+        self.energy.l1_nj = l1_nj;
+        self.run_segs = segs;
+        self.stats.reads += reads;
+        self.stats.writes += granted as u64 - reads;
+        self.stats.l1_hits += granted as u64;
+        self.stats.fast_forward_accesses += granted as u64;
+        granted
+    }
+
+    /// Reads `len` bytes starting at `addr`, appending them to `out`.
+    /// Bitwise identical to `len` successive [`MemSystem::read_u8`]
+    /// calls on `addr..addr+len`, but the contiguous range lets whole
+    /// line-sized stretches commit under one skip-ahead grant without
+    /// building an [`Access`] run — the cheapest way to sweep a packet
+    /// payload. Addresses are not mirrored: the caller masks `addr` and
+    /// keeps the range inside capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfRange`] when the range escapes the
+    /// backing store; earlier bytes have already committed.
+    pub fn read_block_u8(
+        &mut self,
+        addr: u32,
+        len: u32,
+        out: &mut Vec<u8>,
+    ) -> Result<(), MemError> {
+        let grouping = self.grouping_pays();
+        let mut i = 0u32;
+        while i < len {
+            if grouping {
+                i += self.fast_read_block(addr + i, len - i, out);
+                if i == len {
+                    break;
+                }
+            }
+            out.push(self.read_u8(addr + i)?);
+            i += 1;
+        }
+        Ok(())
+    }
+
+    /// Writes `bytes` starting at `addr`. Bitwise identical to
+    /// `bytes.len()` successive [`MemSystem::write_u8`] calls (each a
+    /// store-buffer read-merge-write of its containing word), with the
+    /// same line-granular batching as [`MemSystem::read_block_u8`].
+    /// Addresses are not mirrored: the caller masks `addr` and keeps
+    /// the range inside capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfRange`] when the range escapes the
+    /// backing store; earlier bytes have already committed.
+    pub fn write_block_u8(&mut self, addr: u32, bytes: &[u8]) -> Result<(), MemError> {
+        let grouping = self.grouping_pays();
+        let mut i = 0u32;
+        while (i as usize) < bytes.len() {
+            if grouping {
+                i += self.fast_write_block(addr + i, &bytes[i as usize..]);
+                if i as usize == bytes.len() {
+                    break;
+                }
+            }
+            self.write_u8(addr + i, bytes[i as usize])?;
+            i += 1;
+        }
+        Ok(())
+    }
+
+    /// Scans the strided sweep of `n` accesses starting at `addr` into
+    /// line segments (each `RunSegment::len` counting *accesses*),
+    /// stopping at the first non-resident — or, for reads under a
+    /// detection scheme, suspect — line. Returns the eligible access
+    /// count; the segments land in `segs`.
+    #[inline]
+    fn scan_stride(
+        &self,
+        segs: &mut Vec<RunSegment>,
+        addr: u32,
+        n: u32,
+        stride: u32,
+        skip_suspect: bool,
+    ) -> u32 {
+        segs.clear();
+        let line_size = self.cfg.l1.line_size();
+        let mut k = 0u32;
+        let mut a = addr;
+        while k < n {
+            let Some((set, way)) = self.l1.fast_locate(a & !3) else {
+                break;
+            };
+            if skip_suspect && self.l1.is_suspect(set, way) {
+                break;
+            }
+            let line_end = self.cfg.l1.line_base(a) + line_size;
+            let seg_len = ((line_end - a) / stride).min(n - k);
+            segs.push(RunSegment {
+                set,
+                way: way as u32,
+                len: seg_len,
+            });
+            k += seg_len;
+            a += seg_len * stride;
+        }
+        k
+    }
+
+    /// Commits the longest eligible prefix of the byte range
+    /// `addr..addr+len` — resident, non-suspect lines — as fast-path
+    /// reads under a single skip-ahead grant, pushing the bytes onto
+    /// `out`. Returns how many bytes were committed (possibly 0).
+    fn fast_read_block(&mut self, addr: u32, len: u32, out: &mut Vec<u8>) -> u32 {
+        let mut segs = std::mem::take(&mut self.run_segs);
+        let k = self.scan_stride(&mut segs, addr, len, 1, self.need_clean);
+        if k == 0 {
+            self.run_segs = segs;
+            return 0;
+        }
+        let granted = if self.cfg.targets.data {
+            self.sampler.fast_forward(WORD_BITS, u64::from(k)) as u32
+        } else {
+            k
+        };
+        // Timing/energy accrue per access in the same f64 add order as
+        // the singles loop (addition is not associative, so the add
+        // sequence is the contract); the functional copy of each line
+        // stretch is then one bulk move.
+        let mut cycles = self.cycles;
+        let mut l1_nj = self.energy.l1_nj;
+        let stall = self.l1_stall_c;
+        let nj = self.read_nj;
+        out.reserve(granted as usize);
+        let mut a = addr;
+        let mut i = 0u32;
+        for seg in &segs {
+            let take = seg.len.min(granted - i);
+            if take == 0 {
+                break;
+            }
+            for _ in 0..take {
+                cycles += stall;
+                l1_nj += nj;
+            }
+            let line = self.l1.fast_group(seg.set, seg.way as usize);
+            line.read_bytes_into(a, take, out);
+            i += take;
+            a += take;
+        }
+        self.cycles = cycles;
+        self.energy.l1_nj = l1_nj;
+        self.run_segs = segs;
+        self.stats.reads += u64::from(granted);
+        self.stats.l1_hits += u64::from(granted);
+        self.stats.fast_forward_accesses += u64::from(granted);
+        granted
+    }
+
+    /// Write-side twin of [`MemSystem::fast_read_block`]: commits the
+    /// longest resident prefix of `bytes` as fast-path byte stores
+    /// (writes never consult the suspect flag, matching the
+    /// single-access write fast paths). Returns the bytes committed.
+    fn fast_write_block(&mut self, addr: u32, bytes: &[u8]) -> u32 {
+        let mut segs = std::mem::take(&mut self.run_segs);
+        let k = self.scan_stride(&mut segs, addr, bytes.len() as u32, 1, false);
+        if k == 0 {
+            self.run_segs = segs;
+            return 0;
+        }
+        let granted = if self.cfg.targets.data {
+            self.sampler.fast_forward(WORD_BITS, u64::from(k)) as u32
+        } else {
+            k
+        };
+        // Per-access f64 accrual, bulk functional move (see
+        // `fast_read_block`).
+        let mut cycles = self.cycles;
+        let mut l1_nj = self.energy.l1_nj;
+        let stall = self.l1_stall_c;
+        let nj = self.write_nj;
+        let mut a = addr;
+        let mut i = 0u32;
+        for seg in &segs {
+            let take = seg.len.min(granted - i);
+            if take == 0 {
+                break;
+            }
+            for _ in 0..take {
+                cycles += stall;
+                l1_nj += nj;
+            }
+            let mut line = self.l1.fast_group(seg.set, seg.way as usize);
+            line.write_bytes(a, &bytes[i as usize..(i + take) as usize]);
+            i += take;
+            a += take;
+        }
+        self.cycles = cycles;
+        self.energy.l1_nj = l1_nj;
+        self.run_segs = segs;
+        self.stats.writes += u64::from(granted);
+        self.stats.l1_hits += u64::from(granted);
+        self.stats.fast_forward_accesses += u64::from(granted);
+        granted
+    }
+
+    /// Reads `n` aligned 32-bit words starting at `addr`, appending
+    /// them to `out`. Bitwise identical to `n` successive
+    /// [`MemSystem::read_u32`] calls on `addr, addr+4, ..`, with whole
+    /// resident lines committing under one skip-ahead grant — the
+    /// cheapest way to sweep a table or message block whose addresses
+    /// do not depend on loaded values. Addresses are not mirrored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] for a misaligned `addr` (before any access
+    /// commits) or an out-of-range word (earlier words have committed).
+    pub fn read_block_u32(
+        &mut self,
+        addr: u32,
+        n: u32,
+        out: &mut Vec<u32>,
+    ) -> Result<(), MemError> {
+        Self::check_alignment(addr, 4)?;
+        let grouping = self.grouping_pays();
+        let mut i = 0u32;
+        while i < n {
+            if grouping {
+                i += self.fast_read_block_u32(addr + 4 * i, n - i, out);
+                if i == n {
+                    break;
+                }
+            }
+            out.push(self.read_u32(addr + 4 * i)?);
+            i += 1;
+        }
+        Ok(())
+    }
+
+    /// Reads `n` aligned 16-bit half-words starting at `addr` (appended
+    /// to `out` zero-extended, as a batched run would). Bitwise
+    /// identical to `n` successive [`MemSystem::read_u16`] calls on
+    /// `addr, addr+2, ..`. Addresses are not mirrored.
+    ///
+    /// # Errors
+    ///
+    /// As [`MemSystem::read_block_u32`], with 2-byte alignment.
+    pub fn read_block_u16(
+        &mut self,
+        addr: u32,
+        n: u32,
+        out: &mut Vec<u32>,
+    ) -> Result<(), MemError> {
+        Self::check_alignment(addr, 2)?;
+        let grouping = self.grouping_pays();
+        let mut i = 0u32;
+        while i < n {
+            if grouping {
+                i += self.fast_read_block_u16(addr + 2 * i, n - i, out);
+                if i == n {
+                    break;
+                }
+            }
+            out.push(u32::from(self.read_u16(addr + 2 * i)?));
+            i += 1;
+        }
+        Ok(())
+    }
+
+    /// Writes `words` as aligned 32-bit stores starting at `addr`.
+    /// Bitwise identical to successive [`MemSystem::write_u32`] calls.
+    /// Addresses are not mirrored.
+    ///
+    /// # Errors
+    ///
+    /// As [`MemSystem::read_block_u32`].
+    pub fn write_block_u32(&mut self, addr: u32, words: &[u32]) -> Result<(), MemError> {
+        Self::check_alignment(addr, 4)?;
+        let grouping = self.grouping_pays();
+        let mut i = 0u32;
+        while (i as usize) < words.len() {
+            if grouping {
+                i += self.fast_write_block_u32(addr + 4 * i, &words[i as usize..]);
+                if i as usize == words.len() {
+                    break;
+                }
+            }
+            self.write_u32(addr + 4 * i, words[i as usize])?;
+            i += 1;
+        }
+        Ok(())
+    }
+
+    /// Word-granular twin of [`MemSystem::fast_read_block`].
+    fn fast_read_block_u32(&mut self, addr: u32, n: u32, out: &mut Vec<u32>) -> u32 {
+        let mut segs = std::mem::take(&mut self.run_segs);
+        let k = self.scan_stride(&mut segs, addr, n, 4, self.need_clean);
+        if k == 0 {
+            self.run_segs = segs;
+            return 0;
+        }
+        let granted = if self.cfg.targets.data {
+            self.sampler.fast_forward(WORD_BITS, u64::from(k)) as u32
+        } else {
+            k
+        };
+        // Per-access f64 accrual, bulk functional move (see
+        // `fast_read_block`).
+        let mut cycles = self.cycles;
+        let mut l1_nj = self.energy.l1_nj;
+        let stall = self.l1_stall_c;
+        let nj = self.read_nj;
+        out.reserve(granted as usize);
+        let mut a = addr;
+        let mut i = 0u32;
+        for seg in &segs {
+            let take = seg.len.min(granted - i);
+            if take == 0 {
+                break;
+            }
+            for _ in 0..take {
+                cycles += stall;
+                l1_nj += nj;
+            }
+            let line = self.l1.fast_group(seg.set, seg.way as usize);
+            line.read_words_into(a, take, out);
+            i += take;
+            a += 4 * take;
+        }
+        self.cycles = cycles;
+        self.energy.l1_nj = l1_nj;
+        self.run_segs = segs;
+        self.stats.reads += u64::from(granted);
+        self.stats.l1_hits += u64::from(granted);
+        self.stats.fast_forward_accesses += u64::from(granted);
+        granted
+    }
+
+    /// Half-word-granular twin of [`MemSystem::fast_read_block`].
+    fn fast_read_block_u16(&mut self, addr: u32, n: u32, out: &mut Vec<u32>) -> u32 {
+        let mut segs = std::mem::take(&mut self.run_segs);
+        let k = self.scan_stride(&mut segs, addr, n, 2, self.need_clean);
+        if k == 0 {
+            self.run_segs = segs;
+            return 0;
+        }
+        let granted = if self.cfg.targets.data {
+            self.sampler.fast_forward(WORD_BITS, u64::from(k)) as u32
+        } else {
+            k
+        };
+        // Per-access f64 accrual, bulk functional move (see
+        // `fast_read_block`).
+        let mut cycles = self.cycles;
+        let mut l1_nj = self.energy.l1_nj;
+        let stall = self.l1_stall_c;
+        let nj = self.read_nj;
+        out.reserve(granted as usize);
+        let mut a = addr;
+        let mut i = 0u32;
+        for seg in &segs {
+            let take = seg.len.min(granted - i);
+            if take == 0 {
+                break;
+            }
+            for _ in 0..take {
+                cycles += stall;
+                l1_nj += nj;
+            }
+            let line = self.l1.fast_group(seg.set, seg.way as usize);
+            line.read_halves_into(a, take, out);
+            i += take;
+            a += 2 * take;
+        }
+        self.cycles = cycles;
+        self.energy.l1_nj = l1_nj;
+        self.run_segs = segs;
+        self.stats.reads += u64::from(granted);
+        self.stats.l1_hits += u64::from(granted);
+        self.stats.fast_forward_accesses += u64::from(granted);
+        granted
+    }
+
+    /// Word-granular twin of [`MemSystem::fast_write_block`].
+    fn fast_write_block_u32(&mut self, addr: u32, words: &[u32]) -> u32 {
+        let mut segs = std::mem::take(&mut self.run_segs);
+        let k = self.scan_stride(&mut segs, addr, words.len() as u32, 4, false);
+        if k == 0 {
+            self.run_segs = segs;
+            return 0;
+        }
+        let granted = if self.cfg.targets.data {
+            self.sampler.fast_forward(WORD_BITS, u64::from(k)) as u32
+        } else {
+            k
+        };
+        // Per-access f64 accrual, bulk functional move (see
+        // `fast_read_block`).
+        let mut cycles = self.cycles;
+        let mut l1_nj = self.energy.l1_nj;
+        let stall = self.l1_stall_c;
+        let nj = self.write_nj;
+        let mut a = addr;
+        let mut i = 0u32;
+        for seg in &segs {
+            let take = seg.len.min(granted - i);
+            if take == 0 {
+                break;
+            }
+            for _ in 0..take {
+                cycles += stall;
+                l1_nj += nj;
+            }
+            let mut line = self.l1.fast_group(seg.set, seg.way as usize);
+            line.write_words(a, &words[i as usize..(i + take) as usize]);
+            i += take;
+            a += 4 * take;
+        }
+        self.cycles = cycles;
+        self.energy.l1_nj = l1_nj;
+        self.run_segs = segs;
+        self.stats.writes += u64::from(granted);
+        self.stats.l1_hits += u64::from(granted);
+        self.stats.fast_forward_accesses += u64::from(granted);
+        granted
     }
 
     /// Writes every dirty L1 line back to L2/backing (lines stay
@@ -706,6 +1524,254 @@ mod tests {
         let mut m = quiet();
         m.write_u32(0x40, 123).unwrap();
         assert_eq!(m.read_u32(0x40).unwrap(), 123);
+    }
+
+    /// A mixed read/write/subword workload with enough footprint to
+    /// miss, running at a fault rate high enough to corrupt stores and
+    /// exercise recovery.
+    fn drive_mixed(m: &mut MemSystem) -> Vec<u32> {
+        let mut out = Vec::new();
+        for i in 0..60_000u32 {
+            let a = (i.wrapping_mul(2_654_435_761) % 8192) & !3;
+            match i % 11 {
+                0..=2 => m.write_u32(a, i).unwrap(),
+                3 => m.write_u8(a + (i % 4), i as u8).unwrap(),
+                4 => m.write_u16(a + 2 * (i % 2), i as u16).unwrap(),
+                5 => out.push(u32::from(m.read_u8(a + (i % 4)).unwrap())),
+                _ => out.push(m.read_u32(a).unwrap()),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fast_path_on_and_off_are_bitwise_identical() {
+        for detection in [
+            DetectionScheme::None,
+            DetectionScheme::Parity,
+            DetectionScheme::ParityPerByte,
+            DetectionScheme::Secded,
+        ] {
+            let mk = || {
+                let cfg = MemConfig::strongarm()
+                    .with_detection(detection)
+                    .with_fault_model(FaultProbabilityModel::new(0.01, 0.0));
+                let mut m = MemSystem::new(cfg, 99);
+                m.set_cycle_free(0.5);
+                m
+            };
+            let mut fast = mk();
+            let mut slow = mk();
+            slow.set_fast_path(false);
+            let values_fast = drive_mixed(&mut fast);
+            let values_slow = drive_mixed(&mut slow);
+            assert_eq!(values_fast, values_slow, "{detection:?}: values");
+            assert_eq!(fast.cycles(), slow.cycles(), "{detection:?}: cycles");
+            assert_eq!(fast.energy(), slow.energy(), "{detection:?}: energy");
+            let mut sf = *fast.stats();
+            let mut ss = *slow.stats();
+            assert!(
+                sf.fast_forward_accesses > 0,
+                "{detection:?}: fast path never engaged"
+            );
+            assert_eq!(
+                ss.fast_forward_accesses, 0,
+                "{detection:?}: disabled fast path still engaged"
+            );
+            // Only the diagnostic path split may differ.
+            sf.fast_forward_accesses = 0;
+            sf.slow_path_accesses = 0;
+            ss.fast_forward_accesses = 0;
+            ss.slow_path_accesses = 0;
+            assert_eq!(sf, ss, "{detection:?}: stats");
+        }
+    }
+
+    #[test]
+    fn fast_path_matches_slow_path_under_exact_sampler() {
+        // The exact per-access sampler refuses fast-forward grants, so a
+        // fast-path-enabled system must behave identically to a disabled
+        // one with zero accesses classified as fast.
+        let mk = || {
+            let cfg = MemConfig::strongarm()
+                .with_detection(DetectionScheme::Parity)
+                .with_fault_model(FaultProbabilityModel::new(0.01, 0.0))
+                .with_sampling(fault_model::SamplingMode::PerAccess);
+            let mut m = MemSystem::new(cfg, 5);
+            m.set_cycle_free(0.5);
+            m
+        };
+        let mut fast = mk();
+        let mut slow = mk();
+        slow.set_fast_path(false);
+        assert_eq!(drive_mixed(&mut fast), drive_mixed(&mut slow));
+        assert_eq!(fast.stats().fast_forward_accesses, 0);
+        assert_eq!(fast.cycles(), slow.cycles());
+    }
+
+    #[test]
+    fn access_run_matches_the_single_access_loop() {
+        let cfg = MemConfig::strongarm()
+            .with_detection(DetectionScheme::Secded)
+            .with_fault_model(FaultProbabilityModel::new(0.01, 0.0));
+        let mut batched = MemSystem::new(cfg.clone(), 13);
+        let mut singles = MemSystem::new(cfg, 13);
+        batched.set_cycle_free(0.4);
+        singles.set_cycle_free(0.4);
+        let mut run = Vec::new();
+        for i in 0..20_000u32 {
+            let a = (i.wrapping_mul(40_503) % 8192) & !3;
+            run.push(match i % 5 {
+                0 => Access::WriteU32(a, i),
+                1 => Access::WriteU8(a + 1, i as u8),
+                2 => Access::ReadU16(a + 2),
+                3 => Access::ReadU8(a + 3),
+                _ => Access::ReadU32(a),
+            });
+        }
+        let mut out_batched = Vec::new();
+        batched.access_run(&run, &mut out_batched).unwrap();
+        let mut out_singles = Vec::new();
+        for &a in &run {
+            match a {
+                Access::ReadU32(addr) => out_singles.push(singles.read_u32(addr).unwrap()),
+                Access::ReadU16(addr) => {
+                    out_singles.push(u32::from(singles.read_u16(addr).unwrap()))
+                }
+                Access::ReadU8(addr) => out_singles.push(u32::from(singles.read_u8(addr).unwrap())),
+                Access::WriteU32(addr, v) => singles.write_u32(addr, v).unwrap(),
+                Access::WriteU16(addr, v) => singles.write_u16(addr, v).unwrap(),
+                Access::WriteU8(addr, v) => singles.write_u8(addr, v).unwrap(),
+            }
+        }
+        assert_eq!(out_batched, out_singles);
+        assert_eq!(batched.stats(), singles.stats());
+        assert_eq!(batched.cycles(), singles.cycles());
+    }
+
+    #[test]
+    fn block_ops_match_the_single_byte_loop() {
+        // Write then read sweeps, crossing many lines, at a fault rate
+        // high enough that grants are cut short mid-block and the
+        // singles fallback interleaves with grouped commits.
+        let cfg = MemConfig::strongarm()
+            .with_detection(DetectionScheme::Parity)
+            .with_fault_model(FaultProbabilityModel::new(0.005, 0.0));
+        let mut blocked = MemSystem::new(cfg.clone(), 21);
+        let mut singles = MemSystem::new(cfg, 21);
+        blocked.set_cycle_free(0.4);
+        singles.set_cycle_free(0.4);
+        for round in 0..200u32 {
+            let addr = (round * 977) % 4096;
+            let len = 1 + (round * 131) % 700;
+            let bytes: Vec<u8> = (0..len).map(|i| (round + i) as u8).collect();
+            blocked.write_block_u8(addr, &bytes).unwrap();
+            for (i, &b) in bytes.iter().enumerate() {
+                singles.write_u8(addr + i as u32, b).unwrap();
+            }
+            let mut got_blocked = Vec::new();
+            blocked.read_block_u8(addr, len, &mut got_blocked).unwrap();
+            let mut got_singles = Vec::new();
+            for i in 0..len {
+                got_singles.push(singles.read_u8(addr + i).unwrap());
+            }
+            assert_eq!(got_blocked, got_singles, "round {round}");
+        }
+        assert_eq!(blocked.stats(), singles.stats());
+        assert_eq!(blocked.cycles(), singles.cycles());
+        assert_eq!(blocked.energy(), singles.energy());
+        assert!(blocked.stats().fast_forward_accesses > 0);
+    }
+
+    #[test]
+    fn word_block_ops_match_the_single_access_loops() {
+        // Word and half-word sweeps, crossing many lines, at a fault
+        // rate high enough that grants are cut short mid-block and the
+        // singles fallback interleaves with grouped commits.
+        let cfg = MemConfig::strongarm()
+            .with_detection(DetectionScheme::Parity)
+            .with_fault_model(FaultProbabilityModel::new(0.005, 0.0));
+        let mut blocked = MemSystem::new(cfg.clone(), 23);
+        let mut singles = MemSystem::new(cfg, 23);
+        blocked.set_cycle_free(0.4);
+        singles.set_cycle_free(0.4);
+        for round in 0..200u32 {
+            let addr = ((round * 977) % 4096) & !3;
+            let n = 1 + (round * 37) % 150;
+            let words: Vec<u32> = (0..n).map(|i| round * 1000 + i).collect();
+            blocked.write_block_u32(addr, &words).unwrap();
+            for (i, &w) in words.iter().enumerate() {
+                singles.write_u32(addr + 4 * i as u32, w).unwrap();
+            }
+            let mut got_blocked = Vec::new();
+            blocked.read_block_u32(addr, n, &mut got_blocked).unwrap();
+            let mut got_singles = Vec::new();
+            for i in 0..n {
+                got_singles.push(singles.read_u32(addr + 4 * i).unwrap());
+            }
+            assert_eq!(got_blocked, got_singles, "u32 round {round}");
+            got_blocked.clear();
+            blocked
+                .read_block_u16(addr, 2 * n, &mut got_blocked)
+                .unwrap();
+            got_singles.clear();
+            for i in 0..2 * n {
+                got_singles.push(u32::from(singles.read_u16(addr + 2 * i).unwrap()));
+            }
+            assert_eq!(got_blocked, got_singles, "u16 round {round}");
+        }
+        assert_eq!(blocked.stats(), singles.stats());
+        assert_eq!(blocked.cycles(), singles.cycles());
+        assert_eq!(blocked.energy(), singles.energy());
+        assert!(blocked.stats().fast_forward_accesses > 0);
+    }
+
+    #[test]
+    fn word_block_ops_check_alignment_up_front() {
+        let mut m = quiet();
+        let mut out = Vec::new();
+        assert!(m.read_block_u32(2, 4, &mut out).is_err());
+        assert!(m.read_block_u16(1, 4, &mut out).is_err());
+        assert!(m.write_block_u32(2, &[1, 2]).is_err());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn block_ops_error_out_of_range_like_singles() {
+        let mut m = quiet();
+        let top = m.capacity() as u32;
+        let mut out = Vec::new();
+        assert!(m.read_block_u8(top - 2, 8, &mut out).is_err());
+        // The in-range prefix committed before the error, as the
+        // singles loop would have.
+        assert_eq!(out.len(), 2);
+        assert!(m.write_block_u8(top - 2, &[1, 2, 3, 4]).is_err());
+    }
+
+    #[test]
+    fn access_run_masked_mirrors_addresses() {
+        let mut m = quiet();
+        m.write_u32(0x80, 4242).unwrap();
+        let mask = 0xFFF;
+        let run = [Access::ReadU32(0x8000_0080)];
+        let mut out = Vec::new();
+        m.access_run_masked(&run, mask, &mut out).unwrap();
+        assert_eq!(out, [4242]);
+    }
+
+    #[test]
+    fn host_write_block_updates_backing_and_resident_lines() {
+        let mut m = quiet();
+        // Make two lines resident, one of them dirty.
+        m.write_u32(0x100, 0xAAAA_AAAA).unwrap();
+        let _ = m.read_u32(0x140).unwrap();
+        let bytes: Vec<u8> = (0..96u32).map(|i| i as u8).collect();
+        m.host_write_block(0xE0, &bytes).unwrap();
+        // Program reads must observe the DMA'd data wherever it landed.
+        for (i, chunk) in bytes.chunks_exact(4).enumerate() {
+            let want = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+            assert_eq!(m.read_u32(0xE0 + 4 * i as u32).unwrap(), want, "word {i}");
+        }
     }
 
     #[test]

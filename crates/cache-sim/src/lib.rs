@@ -67,9 +67,11 @@ pub use cache::{CacheGeometry, DataCache, TagCache, WordCode};
 pub use config::MemConfig;
 pub use error::MemError;
 pub use fault_model::SamplingMode;
-pub use hierarchy::MemSystem;
+pub use hierarchy::{Access, MemSystem};
 pub use policy::{DetectionScheme, FaultTargets, RecoveryGranularity, StrikePolicy};
-pub use secded::{secded_decode, secded_encode, SecdedOutcome, SECDED_CODE_BITS};
+pub use secded::{
+    secded_decode, secded_encode, secded_encode_block, SecdedOutcome, SECDED_CODE_BITS,
+};
 pub use stats::MemStats;
 
 /// Standard machine word width in bits (the paper protects each 32-bit

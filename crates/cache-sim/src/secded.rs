@@ -56,6 +56,42 @@ const fn build_pos_to_bit() -> [i8; 39] {
     out
 }
 
+/// Per-byte partial check fields: `CHECKS_LUT[k][v]` is the XOR of
+/// `DATA_POS[8k + i]` over the set bits `i` of `v`. The check field of a
+/// word is then the XOR of four table lookups instead of a loop over its
+/// set bits — the vectorized form used by the line-granular encoder.
+const CHECKS_LUT: [[u8; 256]; 4] = build_checks_lut();
+
+const fn build_checks_lut() -> [[u8; 256]; 4] {
+    let mut out = [[0u8; 256]; 4];
+    let mut k = 0usize;
+    while k < 4 {
+        let mut v = 0usize;
+        while v < 256 {
+            let mut checks = 0u8;
+            let mut i = 0usize;
+            while i < 8 {
+                if v & (1 << i) != 0 {
+                    checks ^= DATA_POS[8 * k + i];
+                }
+                i += 1;
+            }
+            out[k][v] = checks;
+            v += 1;
+        }
+        k += 1;
+    }
+    out
+}
+
+#[inline]
+fn check_field(word: u32) -> u8 {
+    CHECKS_LUT[0][(word & 0xFF) as usize]
+        ^ CHECKS_LUT[1][((word >> 8) & 0xFF) as usize]
+        ^ CHECKS_LUT[2][((word >> 16) & 0xFF) as usize]
+        ^ CHECKS_LUT[3][(word >> 24) as usize]
+}
+
 /// Computes the 7-bit SECDED code for `word`: check bits in bits 0–5,
 /// overall parity in bit 6.
 ///
@@ -74,15 +110,23 @@ const fn build_pos_to_bit() -> [i8; 39] {
 /// );
 /// ```
 pub fn secded_encode(word: u32) -> u8 {
-    let mut checks = 0u8;
-    let mut w = word;
-    while w != 0 {
-        let bit = w.trailing_zeros() as usize;
-        checks ^= DATA_POS[bit];
-        w &= w - 1;
-    }
+    let checks = check_field(word);
     let overall = (word.count_ones() + u32::from(checks).count_ones()) & 1;
     checks | ((overall as u8) << 6)
+}
+
+/// Encodes every aligned 32-bit word of `data` into `codes` — the
+/// line-granular batch encoder behind the data cache's lazy code
+/// materialization. `data.len()` must be `4 * codes.len()`.
+///
+/// # Panics
+///
+/// Panics if the lengths disagree.
+pub fn secded_encode_block(data: &[u8], codes: &mut [u8]) {
+    assert_eq!(data.len(), codes.len() * 4, "block/code length mismatch");
+    for (c, chunk) in codes.iter_mut().zip(data.chunks_exact(4)) {
+        *c = secded_encode(u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
+    }
 }
 
 /// Outcome of a SECDED decode.
@@ -105,14 +149,7 @@ pub enum SecdedOutcome {
 /// [`SECDED_CODE_BITS`] meaningful bits).
 pub fn secded_decode(word: u32, code: u8) -> SecdedOutcome {
     let code = code & 0x7F;
-    let stored_checks = code & 0x3F;
-    let mut syndrome = stored_checks;
-    let mut w = word;
-    while w != 0 {
-        let bit = w.trailing_zeros() as usize;
-        syndrome ^= DATA_POS[bit];
-        w &= w - 1;
-    }
+    let syndrome = (code & 0x3F) ^ check_field(word);
     let parity_odd = (word.count_ones() + u32::from(code).count_ones()) & 1 == 1;
     match (syndrome, parity_odd) {
         (0, false) => SecdedOutcome::Clean,
@@ -148,6 +185,40 @@ mod tests {
         for p in DATA_POS {
             assert!(!p.is_power_of_two());
         }
+    }
+
+    #[test]
+    fn lut_check_field_matches_bitwise_definition() {
+        // The table-driven check field must agree with the defining
+        // XOR-over-set-bits loop for a spread of words.
+        let mut word = 0x1234_5678u32;
+        for _ in 0..1000 {
+            word = word.wrapping_mul(0x9E37_79B9).rotate_left(7) ^ 0xA5A5;
+            let mut checks = 0u8;
+            let mut w = word;
+            while w != 0 {
+                checks ^= DATA_POS[w.trailing_zeros() as usize];
+                w &= w - 1;
+            }
+            assert_eq!(check_field(word), checks, "{word:#x}");
+        }
+    }
+
+    #[test]
+    fn block_encoder_matches_word_encoder() {
+        let data: Vec<u8> = (0..64u32).map(|i| (i * 37 + 11) as u8).collect();
+        let mut codes = vec![0u8; 16];
+        secded_encode_block(&data, &mut codes);
+        for (w, chunk) in data.chunks_exact(4).enumerate() {
+            let word = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+            assert_eq!(codes[w], secded_encode(word), "word {w}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn block_encoder_rejects_mismatched_lengths() {
+        secded_encode_block(&[0u8; 8], &mut [0u8; 3]);
     }
 
     #[test]

@@ -68,6 +68,15 @@ pub struct MemStats {
     pub dirty_drops: u64,
     /// Cache clock-frequency switches.
     pub freq_switches: u64,
+    /// Accesses served by the batched fault-free fast path (hit, line
+    /// not suspect, inside a skip-ahead gap): no RNG draw, no check-code
+    /// work. Timing, energy and results are bitwise identical to the
+    /// slow path; the split is purely diagnostic.
+    pub fast_forward_accesses: u64,
+    /// Accesses that took the full checking path (misses, fault
+    /// arrivals, suspect lines, opt-in aux targets, or the exact
+    /// per-access sampler).
+    pub slow_path_accesses: u64,
 }
 
 impl MemStats {
@@ -122,6 +131,8 @@ impl MemStats {
             writebacks: self.writebacks - earlier.writebacks,
             dirty_drops: self.dirty_drops - earlier.dirty_drops,
             freq_switches: self.freq_switches - earlier.freq_switches,
+            fast_forward_accesses: self.fast_forward_accesses - earlier.fast_forward_accesses,
+            slow_path_accesses: self.slow_path_accesses - earlier.slow_path_accesses,
         }
     }
 }

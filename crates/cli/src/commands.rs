@@ -121,7 +121,7 @@ RUN OPTIONS:
     --packets <n>         trace length (default 2000)
     --trials <n>          fault-seed trials (default 1)
     --seed <n>            base fault seed (default 24301)
-    --sampler <m>         exact | skip-ahead (geometric fast path; default exact)
+    --sampler <m>         skip-ahead (geometric fast path; default) | exact
     --metrics <path>      write telemetry counters as JSON (atomic; results
                           stay bitwise identical with or without it)
     --json                machine-readable output
@@ -309,7 +309,7 @@ fn parse_config(args: &Args) -> Result<ClumsyConfig, CliError> {
     if args.flag("quantize-off") {
         cfg.mem.quantize_latency = false;
     }
-    cfg = match args.get("sampler").unwrap_or("exact") {
+    cfg = match args.get("sampler").unwrap_or("skip-ahead") {
         "exact" => cfg.with_sampling(fault_model::SamplingMode::PerAccess),
         "skip-ahead" => cfg.with_sampling(fault_model::SamplingMode::SkipAhead),
         other => {

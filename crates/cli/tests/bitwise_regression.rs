@@ -1,11 +1,18 @@
-//! Bitwise-reproducibility regression: with every PR-4 knob off (no
+//! Bitwise-reproducibility regression: with every opt-in knob off (no
 //! `--fault-targets l2`, no `--detection ecc`, no `--safe-mode`), the
-//! simulator must reproduce the exact numbers recorded before the L2
-//! fault process existed. The opt-in targets draw *zero* RNG samples
-//! when disabled, so these digests — captured from the pre-change
-//! binary at the default seed — must match to the last digit. Any
-//! drift here means a disabled knob leaked a random draw or an energy
-//! term into the default path.
+//! simulator must reproduce these exact recorded numbers. The opt-in
+//! targets draw *zero* RNG samples when disabled, so the digests must
+//! match to the last digit. Any drift here means a disabled knob
+//! leaked a random draw or an energy term into the default path.
+//!
+//! Digest epochs: the pins were re-recorded when the geometric
+//! skip-ahead sampler became the default (`--sampler exact` recovers
+//! the old per-access stream) and the hot apps moved to batched access
+//! runs — both deliberately change the fault arrival stream. The
+//! statistical equivalence of the two samplers is asserted separately
+//! by `sampler_equivalence.rs`; the batched fast path itself is proven
+//! bitwise-inert by `cache_sim`'s fast-on-vs-off tests, so within an
+//! epoch these digests still pin every default-path bit.
 
 use std::process::Command;
 
@@ -42,12 +49,12 @@ fn undetected_quarter_clock_route_is_unchanged() {
             "--json",
         ],
         &[
-            "\"erroneous_packets\":4",
-            "\"fallibility\":1.0133333333333334",
-            "\"cycles_per_packet\":710.89",
-            "\"nj_per_packet\":2151.5514571527433",
-            "\"relative_edf2\":0.641246680113165",
-            "\"faults_injected\":5,\"faults_detected\":0,\"outcome\":\"sdc\"",
+            "\"erroneous_packets\":120",
+            "\"fallibility\":1.4",
+            "\"cycles_per_packet\":716.6366666666667",
+            "\"nj_per_packet\":2169.226243868281",
+            "\"relative_edf2\":1.254073225893946",
+            "\"faults_injected\":7,\"faults_detected\":0,\"outcome\":\"sdc\"",
         ],
     );
 }
@@ -70,10 +77,10 @@ fn parity_two_strike_route_is_unchanged() {
             "--json",
         ],
         &[
-            "\"cycles_per_packet\":711.41",
-            "\"nj_per_packet\":2181.4405372685374",
-            "\"relative_edf2\":0.6340846427547654",
-            "\"faults_injected\":5,\"faults_detected\":4,\"outcome\":\"detected_recovered\"",
+            "\"cycles_per_packet\":710.8966666666666",
+            "\"nj_per_packet\":2179.871649498062",
+            "\"relative_edf2\":0.6496993931314583",
+            "\"faults_injected\":7,\"faults_detected\":3,\"outcome\":\"sdc\"",
         ],
     );
 }
@@ -122,10 +129,10 @@ fn byte_parity_three_strike_crc_is_unchanged() {
             "--json",
         ],
         &[
-            "\"cycles_per_packet\":2390.9933333333333",
-            "\"nj_per_packet\":7265.980612431873",
-            "\"relative_edf2\":0.5481302231981153",
-            "\"faults_injected\":2,\"faults_detected\":2,\"outcome\":\"detected_recovered\"",
+            "\"cycles_per_packet\":2391.0033333333336",
+            "\"nj_per_packet\":7266.0234551058675",
+            "\"relative_edf2\":0.5554709090464428",
+            "\"faults_injected\":6,\"faults_detected\":5,\"outcome\":\"sdc\"",
         ],
     );
 }
@@ -150,12 +157,12 @@ fn word_recovery_one_strike_md5_is_unchanged() {
             "--json",
         ],
         &[
-            "\"erroneous_packets\":14",
-            "\"fallibility\":1.07",
-            "\"cycles_per_packet\":6454.72",
-            "\"nj_per_packet\":18470.35265200688",
-            "\"relative_edf2\":0.6345044545408399",
-            "\"faults_injected\":43,\"faults_detected\":30,\"outcome\":\"sdc\"",
+            "\"erroneous_packets\":20",
+            "\"fallibility\":1.1",
+            "\"cycles_per_packet\":6455.095",
+            "\"nj_per_packet\":18471.51202700688",
+            "\"relative_edf2\":0.664143538759867",
+            "\"faults_injected\":45,\"faults_detected\":35,\"outcome\":\"sdc\"",
         ],
     );
 }
@@ -178,9 +185,9 @@ fn an_inert_l2_cycle_does_not_perturb_the_digest() {
             "--json",
         ],
         &[
-            "\"nj_per_packet\":2151.5514571527433",
-            "\"relative_edf2\":0.641246680113165",
-            "\"faults_injected\":5,\"faults_detected\":0,\"outcome\":\"sdc\"",
+            "\"nj_per_packet\":2169.226243868281",
+            "\"relative_edf2\":1.254073225893946",
+            "\"faults_injected\":7,\"faults_detected\":0,\"outcome\":\"sdc\"",
         ],
     );
 }

@@ -1,0 +1,156 @@
+//! Statistical equivalence of the two fault samplers.
+//!
+//! The geometric skip-ahead sampler (the default) draws inter-arrival
+//! gaps and fast-forwards fault-free stretches; `--sampler exact` keeps
+//! the original per-access Bernoulli stream. The two consume the RNG
+//! differently, so individual runs differ bit-for-bit — but they model
+//! the same per-access fault probability, so over many fixed-seed
+//! trials every outcome-taxonomy rate (masked / corrected / recovered /
+//! fatal / SDC / recovery-failed) must agree to within binomial noise.
+//!
+//! The bound is a pooled two-proportion z-test at z = 3.29 (two-sided
+//! p ≈ 0.001) plus a two-count absolute slack, evaluated at fixed
+//! seeds: the test is deterministic, and the margin was checked against
+//! the recorded counts when the pins were laid down. A real sampler bug
+//! (dropped arrivals, a doubled rate, a width mix-up) shifts rates by
+//! far more than this margin at these fault rates.
+
+use std::process::Command;
+
+const TRIALS: u64 = 80;
+
+/// Outcome-taxonomy counts parsed from one multi-trial `run --json`.
+#[derive(Debug)]
+struct Taxonomy {
+    counts: Vec<(&'static str, u64)>,
+}
+
+const CATEGORIES: [&str; 6] = [
+    "trials_masked",
+    "trials_corrected",
+    "trials_detected_recovered",
+    "trials_detected_fatal",
+    "trials_sdc",
+    "trials_recovery_failed",
+];
+
+fn run_taxonomy(app_args: &[&str], sampler: &str) -> Taxonomy {
+    let mut args = vec!["run"];
+    args.extend_from_slice(app_args);
+    args.extend_from_slice(&[
+        "--packets",
+        "200",
+        "--trials",
+        "80",
+        "--sampler",
+        sampler,
+        "--json",
+    ]);
+    let out = Command::new(env!("CARGO_BIN_EXE_clumsy"))
+        .args(&args)
+        .output()
+        .expect("binary spawns");
+    assert!(out.status.success(), "{args:?} failed");
+    let json = String::from_utf8_lossy(&out.stdout).into_owned();
+    let counts = CATEGORIES
+        .iter()
+        .map(|cat| {
+            let needle = format!("\"{cat}\":");
+            let at = json.find(&needle).unwrap_or_else(|| {
+                panic!("{cat} missing from {args:?} output:\n{json}");
+            });
+            let digits: String = json[at + needle.len()..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect();
+            (*cat, digits.parse::<u64>().expect("count parses"))
+        })
+        .collect();
+    Taxonomy { counts }
+}
+
+/// Asserts each category's rate matches between the two samplers to
+/// within a pooled binomial bound.
+fn assert_rates_agree(config: &str, skip_ahead: &Taxonomy, exact: &Taxonomy) {
+    let n = TRIALS as f64;
+    for ((cat, a), (_, b)) in skip_ahead.counts.iter().zip(&exact.counts) {
+        let (x1, x2) = (*a as f64, *b as f64);
+        let pooled = (x1 + x2) / (2.0 * n);
+        let sd = (pooled * (1.0 - pooled) * 2.0 / n).sqrt();
+        // z = 3.29 (~0.1% two-sided) plus two trials of absolute slack
+        // so all-or-nothing categories with a single stray count pass.
+        let bound = 3.29 * sd * n + 2.0;
+        let diff = (x1 - x2).abs();
+        assert!(
+            diff <= bound,
+            "{config}: {cat} rates diverge between samplers: \
+             skip-ahead {a}/{TRIALS} vs exact {b}/{TRIALS} \
+             (|diff| {diff:.0} > bound {bound:.1})"
+        );
+    }
+    // Both samplers must classify every trial: the counts partition the
+    // trial set, so a lost trial shows up here even if rates agree.
+    for t in [skip_ahead, exact] {
+        let total: u64 = t.counts.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, TRIALS, "{config}: taxonomy does not sum to trials");
+    }
+}
+
+fn check(config_name: &str, app_args: &[&str]) {
+    let skip_ahead = run_taxonomy(app_args, "skip-ahead");
+    let exact = run_taxonomy(app_args, "exact");
+    assert_rates_agree(config_name, &skip_ahead, &exact);
+}
+
+#[test]
+fn route_parity_two_strike_rates_agree() {
+    check(
+        "route parity/two-strike @ 0.25",
+        &[
+            "--app",
+            "route",
+            "--cr",
+            "0.25",
+            "--detection",
+            "parity",
+            "--strikes",
+            "2",
+        ],
+    );
+}
+
+#[test]
+fn crc_byte_parity_three_strike_rates_agree() {
+    check(
+        "crc byte-parity/three-strike @ 0.25",
+        &[
+            "--app",
+            "crc",
+            "--cr",
+            "0.25",
+            "--detection",
+            "byte-parity",
+            "--strikes",
+            "3",
+        ],
+    );
+}
+
+#[test]
+fn md5_word_recovery_rates_agree() {
+    check(
+        "md5 parity/one-strike word recovery @ 0.5",
+        &[
+            "--app",
+            "md5",
+            "--cr",
+            "0.5",
+            "--detection",
+            "parity",
+            "--strikes",
+            "1",
+            "--recovery",
+            "word",
+        ],
+    );
+}

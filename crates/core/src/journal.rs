@@ -41,7 +41,8 @@ use std::sync::Arc;
 
 /// Journal format version; bumped on any incompatible change.
 /// Version 2 widened the stats array for the L2-fault / ECC counters.
-pub const JOURNAL_VERSION: u32 = 2;
+/// Version 3 widened it again for the fast-forward / slow-path split.
+pub const JOURNAL_VERSION: u32 = 3;
 
 // ---------------------------------------------------------------------
 // Hashes and atomic file replacement
@@ -336,7 +337,7 @@ fn encode_report(r: &RunReport) -> String {
     let st = &r.stats;
     let _ = write!(
         s,
-        ",\"stats\":[{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}]",
+        ",\"stats\":[{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}]",
         st.reads,
         st.writes,
         st.l1_hits,
@@ -355,7 +356,9 @@ fn encode_report(r: &RunReport) -> String {
         st.strike_invalidations,
         st.writebacks,
         st.dirty_drops,
-        st.freq_switches
+        st.freq_switches,
+        st.fast_forward_accesses,
+        st.slow_path_accesses
     );
     s.push_str(",\"freq\":[");
     for (i, (idx, cr)) in r.freq_trace.iter().enumerate() {
@@ -557,7 +560,7 @@ fn decode_report(sc: &mut Scanner) -> Option<RunReport> {
         overhead_nj: nj[4],
     };
     sc.lit(",\"stats\":[")?;
-    let mut counters = [0u64; 19];
+    let mut counters = [0u64; 21];
     for (i, slot) in counters.iter_mut().enumerate() {
         if i > 0 {
             sc.lit(",")?;
@@ -585,6 +588,8 @@ fn decode_report(sc: &mut Scanner) -> Option<RunReport> {
         writebacks: counters[16],
         dirty_drops: counters[17],
         freq_switches: counters[18],
+        fast_forward_accesses: counters[19],
+        slow_path_accesses: counters[20],
     };
     sc.lit(",\"freq\":[")?;
     let mut freq_trace = Vec::new();

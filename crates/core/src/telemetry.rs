@@ -59,6 +59,8 @@ struct Counters {
     faults_corrected: AtomicU64,
     strike_retries: AtomicU64,
     recovery_failures: AtomicU64,
+    fast_forward_accesses: AtomicU64,
+    slow_path_accesses: AtomicU64,
     outcomes: [AtomicU64; 6],
     journal_records: AtomicU64,
     journal_fsyncs: AtomicU64,
@@ -266,6 +268,10 @@ impl Telemetry {
             .fetch_add(st.strike_retries, Ordering::Relaxed);
         c.recovery_failures
             .fetch_add(st.recovery_failures, Ordering::Relaxed);
+        c.fast_forward_accesses
+            .fetch_add(st.fast_forward_accesses, Ordering::Relaxed);
+        c.slow_path_accesses
+            .fetch_add(st.slow_path_accesses, Ordering::Relaxed);
         c.outcomes[outcome_index(report.outcome())].fetch_add(1, Ordering::Relaxed);
     }
 
@@ -331,6 +337,8 @@ impl Telemetry {
             s.faults_corrected += c.faults_corrected.load(Ordering::Relaxed);
             s.strike_retries += c.strike_retries.load(Ordering::Relaxed);
             s.recovery_failures += c.recovery_failures.load(Ordering::Relaxed);
+            s.fast_forward_accesses += c.fast_forward_accesses.load(Ordering::Relaxed);
+            s.slow_path_accesses += c.slow_path_accesses.load(Ordering::Relaxed);
             for (tally, bucket) in s.outcomes.iter_mut().zip(c.outcomes.iter()) {
                 *tally += bucket.load(Ordering::Relaxed);
             }
@@ -398,6 +406,10 @@ pub struct MetricsSnapshot {
     pub strike_retries: u64,
     /// Strike refetches that pulled corrupted data back in.
     pub recovery_failures: u64,
+    /// Accesses served by the batched fault-free fast path.
+    pub fast_forward_accesses: u64,
+    /// Accesses that took the full checking path.
+    pub slow_path_accesses: u64,
     /// Trial tallies, least to most severe ([`TrialOutcome::all`]).
     pub outcomes: [u64; 6],
     /// Records handed to the journal writer thread.
@@ -507,8 +519,12 @@ impl MetricsSnapshot {
         );
         let _ = write!(
             s,
-            "\n  \"engine\": {{\"engine_jobs\": {}, \"engine_us_total\": {}}},",
-            self.engine_jobs, self.engine_us_total
+            "\n  \"engine\": {{\"engine_jobs\": {}, \"engine_us_total\": {}, \
+             \"fast_forward_accesses\": {}, \"slow_path_accesses\": {}}},",
+            self.engine_jobs,
+            self.engine_us_total,
+            self.fast_forward_accesses,
+            self.slow_path_accesses
         );
         let _ = write!(
             s,

@@ -3,15 +3,19 @@
 //! The simulator asks "did this access fault, and which bits flipped?"
 //! for every L1 data access. [`FaultSampler`] pre-computes the per-access
 //! event probabilities for the current cache clock. The default
-//! [`SamplingMode::PerAccess`] draws one uniform per access — the exact
-//! reproduction path, whose RNG stream every recorded per-seed number in
-//! EXPERIMENTS.md was produced with. The opt-in
-//! [`SamplingMode::SkipAhead`] instead samples the *gap* until the next
-//! fault event from the geometric distribution — the hot path is then a
+//! [`SamplingMode::SkipAhead`] samples the *gap* until the next fault
+//! event from the geometric distribution — the hot path is then a
 //! counter decrement instead of an RNG draw, and the exact multi-bit
-//! event draw runs only when the counter reaches zero. The two modes
-//! realize the same stochastic process (chi-square verified) but consume
-//! randomness differently, so per-seed realizations differ.
+//! event draw runs only when the counter reaches zero. Whole fault-free
+//! stretches can be consumed in one call via
+//! [`FaultSampler::fast_forward`], which is what makes the cache
+//! simulator's batched fast path possible. The reference
+//! [`SamplingMode::PerAccess`] draws one uniform per access instead —
+//! the exact path recorded results before the skip-ahead epoch were
+//! produced with, kept selectable (`--sampler exact`) for equivalence
+//! testing. The two modes realize the same stochastic process
+//! (chi-square verified) but consume randomness differently, so
+//! per-seed realizations differ.
 
 use crate::multibit::{EventProbabilities, FaultEvent, MultiBitModel};
 use crate::probability::FaultProbabilityModel;
@@ -31,16 +35,20 @@ const WIDTHS: [u32; 3] = [8, 16, 32];
 /// fault events up front (exactly the distribution of "number of
 /// no-fault accesses before the next fault"), which is why the marginal
 /// fault rates are statistically identical — see the chi-square test in
-/// `tests/properties.rs`. Per-seed *realizations* differ, though, so the
-/// exact per-access path stays the default: it keeps every recorded
-/// paper-reproduction number bitwise stable.
+/// `tests/properties.rs`. Per-seed *realizations* differ, though:
+/// promoting skip-ahead to the default re-recorded every per-seed
+/// number (the coordinated digest epoch in EXPERIMENTS.md); the exact
+/// per-access path stays available as the statistical reference.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SamplingMode {
-    /// One uniform draw per access (the exact default path).
-    #[default]
+    /// One uniform draw per access — the exact reference path
+    /// (`--sampler exact`).
     PerAccess,
-    /// Geometric gap sampling with a per-width countdown — the fast
-    /// path for large custom sweeps.
+    /// Geometric gap sampling with a per-width countdown: the default.
+    /// The RNG is consulted only at sampled fault arrivals, so
+    /// fault-free stretches cost one counter decrement per access (or
+    /// one subtraction per batch via [`FaultSampler::fast_forward`]).
+    #[default]
     SkipAhead,
 }
 
@@ -276,6 +284,44 @@ impl FaultSampler {
         self.build_event(u, probs, width)
     }
 
+    /// Consumes up to `n` guaranteed fault-free accesses of `width` bits
+    /// from the pending skip-ahead gap, returning how many were granted.
+    ///
+    /// This is the batched fast path: the caller may treat that many
+    /// accesses as clean without sampling each one. The gap state is
+    /// decremented exactly as `granted` calls to [`FaultSampler::sample`]
+    /// would have done, so interleaving `fast_forward` with `sample`
+    /// consumes the RNG stream identically to calling `sample` alone —
+    /// a return of `0 < granted < n` (or `0`) means the next access is a
+    /// fault arrival and must go through [`FaultSampler::sample`].
+    ///
+    /// Returns `n` without touching any state while the sampler is
+    /// disabled (golden runs), and `0` in [`SamplingMode::PerAccess`]
+    /// (the exact path has no gap to consume).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not 8, 16 or 32.
+    pub fn fast_forward(&mut self, width: u32, n: u64) -> u64 {
+        let idx = Self::width_index(width);
+        if !self.enabled {
+            return n;
+        }
+        if self.mode != SamplingMode::SkipAhead {
+            return 0;
+        }
+        let remaining = match self.skip[idx] {
+            Some(g) => g,
+            None => {
+                let p = self.cached[idx].any();
+                self.draw_gap(p)
+            }
+        };
+        let granted = remaining.min(n);
+        self.skip[idx] = Some(remaining - granted);
+        granted
+    }
+
     /// Turns a uniform already known to land in `[0, probs.any())` into
     /// a concrete fault event, drawing bit positions uniformly within
     /// `width`. Shared by the word path and the auxiliary-array path so
@@ -498,11 +544,60 @@ mod tests {
     }
 
     #[test]
-    fn default_mode_is_the_exact_per_access_path() {
-        // The default must stay PerAccess: every recorded per-seed
-        // number in EXPERIMENTS.md was produced with its RNG stream.
+    fn default_mode_is_skip_ahead() {
+        // Since the batched fast-path epoch the default is SkipAhead:
+        // every recorded per-seed number in EXPERIMENTS.md was
+        // re-recorded with its RNG stream. PerAccess stays selectable
+        // as the exact statistical reference (`--sampler exact`).
         let s = FaultSampler::new(FaultProbabilityModel::calibrated(), 0);
-        assert_eq!(s.mode(), SamplingMode::PerAccess);
+        assert_eq!(s.mode(), SamplingMode::SkipAhead);
+    }
+
+    #[test]
+    fn fast_forward_consumes_the_stream_like_singles() {
+        // Interleaving fast_forward with sample must realize exactly the
+        // same fault sequence as sampling every access individually.
+        let model = FaultProbabilityModel::new(0.02, 0.0);
+        let singles = {
+            let mut s = FaultSampler::with_mode(model, 77, SamplingMode::SkipAhead);
+            (0..200_000)
+                .map(|_| s.sample(32).mask())
+                .collect::<Vec<_>>()
+        };
+        let mut batched = Vec::with_capacity(singles.len());
+        let mut s = FaultSampler::with_mode(model, 77, SamplingMode::SkipAhead);
+        while batched.len() < singles.len() {
+            let want = (singles.len() - batched.len()).min(64) as u64;
+            let granted = s.fast_forward(32, want);
+            batched.extend(std::iter::repeat_n(0u32, granted as usize));
+            if granted < want {
+                // Gap exhausted: the next access is the fault arrival.
+                batched.push(s.sample(32).mask());
+            }
+        }
+        assert_eq!(batched, singles);
+    }
+
+    #[test]
+    fn fast_forward_is_inert_when_disabled_or_exact() {
+        let model = FaultProbabilityModel::with_beta(2.0);
+        // Disabled: grants everything, draws nothing.
+        let mk = |ff_calls: usize| {
+            let mut s = FaultSampler::with_mode(model, 5, SamplingMode::SkipAhead);
+            s.set_cycle(0.25);
+            s.set_enabled(false);
+            for _ in 0..ff_calls {
+                assert_eq!(s.fast_forward(32, 1000), 1000);
+            }
+            s.set_enabled(true);
+            (0..20_000).map(|_| s.sample(32).mask()).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(0), mk(100));
+        // Exact mode: grants nothing, so every access falls through to
+        // the per-access draw.
+        let mut s = FaultSampler::with_mode(model, 5, SamplingMode::PerAccess);
+        s.set_cycle(0.25);
+        assert_eq!(s.fast_forward(32, 1000), 0);
     }
 
     fn fault_rate(mode: SamplingMode, seed: u64, n: u64) -> f64 {

@@ -47,6 +47,8 @@ pub struct Adpcm {
     step_table: u32,
     index_table: u32,
     out_buf: u32,
+    words: Vec<u32>,
+    loaded: Vec<u32>,
 }
 
 impl Adpcm {
@@ -141,47 +143,56 @@ impl PacketApp for Adpcm {
     fn process(&mut self, m: &mut Machine, pkt: PacketView) -> Result<Vec<Observation>, AppError> {
         let payload = pkt.addr + HEADER_BYTES;
         let samples = ((pkt.wire_len - HEADER_BYTES) / 2).min(1024);
+        // The PCM sample sweep has no data-dependent addresses, so it
+        // goes through the cache as one batched half-word block read;
+        // the per-sample encode instructions are charged for the packet
+        // up front. Only the step/index table loads (indexed by evolving
+        // encoder state) stay on the per-access path.
+        self.loaded.clear();
+        m.read_block_u16(payload, samples, &mut self.loaded)?;
+        m.charge(8 * u64::from(samples))?;
         let mut predictor = 0i32;
         let mut index = 0i32;
         let mut out_word = 0u32;
         let mut out_count = 0u32;
         let mut out_words = 0u32;
+        self.words.clear();
         for i in 0..samples {
-            m.charge(6)?;
-            let raw = m.load_u16(payload + 2 * i)?;
-            let sample = i32::from(raw as i16);
+            let sample = i32::from(self.loaded[i as usize] as u16 as i16);
             // Table reads go through the (possibly faulty) cache; a
             // corrupted index is clamped like a real decoder would.
             let step_addr = self.step_table + 4 * (index.clamp(0, 88) as u32);
             let step = m.load_u32(step_addr)? as i32;
             let (nibble, p, _) = encode_sample(sample, predictor, index, |_| step);
             predictor = p;
-            m.charge(2)?;
             let adj = m.load_u32(self.index_table + 4 * u32::from(nibble))? as i32;
             index = (index + adj).clamp(0, 88);
-            // Pack nibbles into output words stored through the cache.
+            // Pack nibbles into output words; the stores land in a
+            // deferred sequential-address block write flushed after the
+            // loop.
             out_word |= u32::from(nibble) << (out_count * 4);
             out_count += 1;
             if out_count == 8 {
                 m.charge(1)?;
-                m.store_u32(self.out_buf + 4 * out_words, out_word)?;
+                self.words.push(out_word);
                 out_words += 1;
                 out_word = 0;
                 out_count = 0;
             }
         }
         if out_count > 0 {
-            m.store_u32(self.out_buf + 4 * out_words, out_word)?;
+            self.words.push(out_word);
             out_words += 1;
         }
+        m.write_block_u32(self.out_buf, &self.words)?;
         // Read the compressed stream back and fold it into a signature —
         // the media-quality observation.
+        self.loaded.clear();
+        m.read_block_u32(self.out_buf, out_words, &mut self.loaded)?;
+        m.charge(2 * u64::from(out_words))?;
         let mut signature = 0u64;
-        for w in 0..out_words {
-            m.charge(2)?;
-            signature = signature
-                .rotate_left(7)
-                .wrapping_add(u64::from(m.load_u32(self.out_buf + 4 * w)?));
+        for &w in &self.loaded {
+            signature = signature.rotate_left(7).wrapping_add(u64::from(w));
         }
         Ok(vec![
             Observation::new(ErrorCategory::MediaSample, signature),

@@ -42,6 +42,8 @@ pub struct Md5 {
     t_table: u32,
     msg_buf: u32,
     digest_buf: u32,
+    loaded: Vec<u32>,
+    bytes: Vec<u8>,
 }
 
 impl Md5 {
@@ -132,40 +134,57 @@ impl PacketApp for Md5 {
         let len = (pkt.wire_len - HEADER_BYTES).min(2048);
 
         // Copy the payload into the message buffer and append RFC 1321
-        // padding, all through the cache.
-        for i in 0..len {
-            m.charge(3)?;
-            let b = m.load_u8(payload + i)?;
-            m.store_u8(self.msg_buf + i, b)?;
-        }
+        // padding, all through the cache. The copy has no data-dependent
+        // addresses, so it runs as one batched byte-block read and one
+        // batched byte-block write.
+        self.bytes.clear();
+        m.read_block(payload, len, &mut self.bytes)?;
+        m.write_block(self.msg_buf, &self.bytes)?;
+        m.charge(3 * u64::from(len))?;
         m.charge(4)?;
-        m.store_u8(self.msg_buf + len, 0x80)?;
+        self.bytes.clear();
+        self.bytes.push(0x80);
         let mut padded = len + 1;
         while padded % 64 != 56 {
-            m.charge(2)?;
-            m.store_u8(self.msg_buf + padded, 0)?;
+            self.bytes.push(0);
             padded += 1;
         }
+        m.charge(2 * (self.bytes.len() as u64 - 1))?;
+        m.write_block(self.msg_buf + len, &self.bytes)?;
         let bit_len = u64::from(len) * 8;
         m.store_u32(self.msg_buf + padded, bit_len as u32)?;
         m.store_u32(self.msg_buf + padded + 4, (bit_len >> 32) as u32)?;
         padded += 8;
 
-        // Digest the blocks.
+        // Digest the blocks. The round schedule's message indices depend
+        // only on the round number, never on loaded data, so each
+        // 64-step block's 128 loads go through the cache as batched
+        // word-block sweeps. Every round reads each of the block's 16
+        // message words exactly once, so each round issues them in
+        // ascending address order (a schedule any software-pipelined
+        // encoder could use): whole-line stretches then commit under
+        // single skip-ahead grants instead of alternating between the
+        // message and sine-table lines.
         let mut state = [0x6745_2301u32, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476];
         let mut off = 0;
         while off < padded {
+            self.loaded.clear();
+            for _round in 0..4 {
+                m.read_block_u32(self.msg_buf + off, 16, &mut self.loaded)?;
+            }
+            m.read_block_u32(self.t_table, 64, &mut self.loaded)?;
+            // Eight instructions per step, charged per block.
+            m.charge(8 * 64)?;
             let [mut a, mut b, mut c, mut d] = state;
             for i in 0..64usize {
-                m.charge(8)?;
                 let (f, g) = match i / 16 {
                     0 => ((b & c) | (!b & d), i),
                     1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
                     2 => (b ^ c ^ d, (3 * i + 5) % 16),
                     _ => (c ^ (b | !d), (7 * i) % 16),
                 };
-                let w = m.load_u32(self.msg_buf + off + 4 * g as u32)?;
-                let t = m.load_u32(self.t_table + 4 * i as u32)?;
+                let w = self.loaded[(i / 16) * 16 + g];
+                let t = self.loaded[64 + i];
                 let tmp = d;
                 d = c;
                 c = b;

@@ -4,7 +4,7 @@
 use crate::error::{AppError, FatalError};
 use crate::heap::Heap;
 use crate::packet::Packet;
-use cache_sim::{MemConfig, MemStats, MemSystem};
+use cache_sim::{Access, MemConfig, MemStats, MemSystem};
 use energy_model::EnergyBreakdown;
 use std::fmt;
 
@@ -148,6 +148,9 @@ pub struct Machine {
     /// instead of crashing the simulator — fatal errors then come from
     /// runaway loops, the dominant mode the paper reports (footnote 3).
     addr_mask: u32,
+    /// Reusable scratch for [`Machine::dma_packet`]'s wire encoding, so
+    /// packet receive allocates nothing in steady state.
+    dma_scratch: Vec<u8>,
 }
 
 impl Machine {
@@ -180,6 +183,7 @@ impl Machine {
             dma_bufs: Vec::new(),
             next_buf: 0,
             addr_mask: capacity - 1,
+            dma_scratch: Vec::new(),
         }
     }
 
@@ -306,6 +310,99 @@ impl Machine {
         Ok(self.mem.write_u8(self.phys(addr), value)?)
     }
 
+    /// Runs a whole batch of data accesses: one fuel check and one
+    /// instruction charge for the run (one instruction per access, as
+    /// the individual entry points charge), then the entire batch flows
+    /// through [`cache_sim::MemSystem::access_run`] without
+    /// re-crossing the machine layer per access. Read results are
+    /// appended to `out` in access order.
+    ///
+    /// Applications build per-packet runs from accesses whose addresses
+    /// do not depend on loaded values (payload sweeps, static table
+    /// schedules) and keep data-dependent accesses on the individual
+    /// entry points.
+    ///
+    /// # Errors
+    ///
+    /// Fuel exhaustion (before any access commits) or a memory fault.
+    pub fn run_accesses(&mut self, run: &[Access], out: &mut Vec<u32>) -> Result<(), AppError> {
+        self.charge(run.len() as u64)?;
+        Ok(self.mem.access_run_masked(run, self.addr_mask, out)?)
+    }
+
+    /// Reads `len` bytes starting at `addr` into `out` (appended): one
+    /// fuel check and one instruction per byte, then the whole sweep
+    /// flows through [`cache_sim::MemSystem::read_block_u8`] — the
+    /// cheapest way to walk a payload whose addresses do not depend on
+    /// loaded values.
+    ///
+    /// # Errors
+    ///
+    /// Fuel exhaustion (before any byte commits) or a memory fault.
+    pub fn read_block(&mut self, addr: u32, len: u32, out: &mut Vec<u8>) -> Result<(), AppError> {
+        self.charge(u64::from(len))?;
+        Ok(self.mem.read_block_u8(self.phys(addr), len, out)?)
+    }
+
+    /// Writes `bytes` starting at `addr`: one fuel check and one
+    /// instruction per byte, batched through
+    /// [`cache_sim::MemSystem::write_block_u8`].
+    ///
+    /// # Errors
+    ///
+    /// Fuel exhaustion (before any byte commits) or a memory fault.
+    pub fn write_block(&mut self, addr: u32, bytes: &[u8]) -> Result<(), AppError> {
+        self.charge(bytes.len() as u64)?;
+        Ok(self.mem.write_block_u8(self.phys(addr), bytes)?)
+    }
+
+    /// Reads `n` aligned 32-bit words starting at `addr` (appended to
+    /// `out`): one fuel check and one instruction per word, batched
+    /// through [`cache_sim::MemSystem::read_block_u32`] — for table and
+    /// message-block sweeps whose addresses do not depend on loaded
+    /// values.
+    ///
+    /// # Errors
+    ///
+    /// Fuel exhaustion (before any word commits) or a memory fault.
+    pub fn read_block_u32(
+        &mut self,
+        addr: u32,
+        n: u32,
+        out: &mut Vec<u32>,
+    ) -> Result<(), AppError> {
+        self.charge(u64::from(n))?;
+        Ok(self.mem.read_block_u32(self.phys(addr), n, out)?)
+    }
+
+    /// Reads `n` aligned 16-bit half-words starting at `addr` (appended
+    /// to `out` zero-extended), batched through
+    /// [`cache_sim::MemSystem::read_block_u16`].
+    ///
+    /// # Errors
+    ///
+    /// Fuel exhaustion (before any half-word commits) or a memory fault.
+    pub fn read_block_u16(
+        &mut self,
+        addr: u32,
+        n: u32,
+        out: &mut Vec<u32>,
+    ) -> Result<(), AppError> {
+        self.charge(u64::from(n))?;
+        Ok(self.mem.read_block_u16(self.phys(addr), n, out)?)
+    }
+
+    /// Writes `words` as aligned 32-bit stores starting at `addr`,
+    /// batched through [`cache_sim::MemSystem::write_block_u32`].
+    ///
+    /// # Errors
+    ///
+    /// Fuel exhaustion (before any word commits) or a memory fault.
+    pub fn write_block_u32(&mut self, addr: u32, words: &[u32]) -> Result<(), AppError> {
+        self.charge(words.len() as u64)?;
+        Ok(self.mem.write_block_u32(self.phys(addr), words)?)
+    }
+
     /// Allocates simulated memory (control-plane table space).
     ///
     /// # Panics
@@ -335,18 +432,22 @@ impl Machine {
                 self.dma_bufs.push(addr);
             }
         }
-        let bytes = pkt.encode();
+        let mut bytes = std::mem::take(&mut self.dma_scratch);
+        pkt.encode_into(&mut bytes);
         if bytes.len() as u32 > DMA_BUF_BYTES {
+            self.dma_scratch = bytes;
             return Err(AppError::Fatal(FatalError::MemoryFault(
                 cache_sim::MemError::OutOfRange {
                     addr: self.dma_bufs[self.next_buf],
-                    len: bytes.len() as u32,
+                    len: self.dma_scratch.len() as u32,
                 },
             )));
         }
         let addr = self.dma_bufs[self.next_buf];
         self.next_buf = (self.next_buf + 1) % self.dma_bufs.len();
-        self.mem.host_write_block(addr, &bytes)?;
+        let result = self.mem.host_write_block(addr, &bytes);
+        self.dma_scratch = bytes;
+        result?;
         Ok(PacketView {
             addr,
             wire_len: pkt.wire_len(),

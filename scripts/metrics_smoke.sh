@@ -36,7 +36,7 @@ REQUIRED_KEYS=(
   outcome_masked outcome_corrected outcome_detected_recovered
   outcome_detected_fatal outcome_sdc outcome_recovery_failed
   journal_records journal_fsyncs journal_fsync_us_total journal_fsync_us_max
-  engine_jobs engine_us_total
+  engine_jobs engine_us_total fast_forward_accesses slow_path_accesses
   job_us_count job_us_total job_us_max job_us_buckets
 )
 for key in "${REQUIRED_KEYS[@]}"; do
