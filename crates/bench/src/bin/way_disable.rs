@@ -1,0 +1,484 @@
+//! Way-disabling study: survive permanent faults by running degraded.
+//!
+//! Two grids, two CSVs:
+//!
+//! 1. **Scheme comparison** (`results/way_disable.csv`): applications ×
+//!    {strike-forever, way-disable} × sticky fault-site rate. The
+//!    paper's strike policies treat every fault as transient — a
+//!    permanently bad slot is refetched from L2 on every touch,
+//!    forever. Way-disabling escalates repeated strikes on one slot
+//!    into mapping the way out (salvaging dirty data through the
+//!    writeback path), so the cost of a permanent fault is paid once
+//!    in capacity instead of forever in refetches. The sweep records
+//!    the outcome taxonomy, the degraded-mode counters and relative
+//!    EDF² per cell.
+//!
+//! 2. **Predictor validation** (`results/degradation_model.csv`): an
+//!    INTERPLAY-style analytical model ([`DegradationModel`]) estimates
+//!    the cycle/energy cost of a disabled-way map without simulating.
+//!    This grid sweeps cache geometries (validated fallibly via
+//!    [`CacheGeometry::try_new`] — unbuildable candidates are skipped,
+//!    not fatal) × disabled-way maps, simulates each map on a uniform
+//!    random workload, and records predictor-vs-simulation relative
+//!    error. Within each geometry the `uniform-d` family (d ways
+//!    disabled in every set) must degrade monotonically — graceful
+//!    degradation, never a wedge.
+//!
+//! `--smoke` runs a fast self-check instead (no CSVs): escalation must
+//! disable at least one way, salvaged dirty data must survive the
+//! disable and read back correctly through the bypass, and the
+//! predictor error on a small grid must stay under the recorded bound.
+//!
+//! `--metrics <path>` writes telemetry counters as JSON; `--progress`
+//! prints periodic progress/ETA lines on stderr. Both are passive: the
+//! CSVs are bitwise identical with or without them.
+
+use cache_sim::{
+    relative_error, BaselineProfile, CacheGeometry, DegradationModel, DetectionScheme, MemConfig,
+    MemSystem, StrikePolicy, WayDisablePolicy,
+};
+use clumsy_bench::{EXIT_FAILURES, EXIT_USAGE};
+use clumsy_core::experiment::{run_config_on_trace, ExperimentOptions, GridPoint};
+use clumsy_core::{
+    run_campaign_instrumented, run_campaign_on, CampaignConfig, ClumsyConfig, Engine,
+    ProgressReporter, Telemetry,
+};
+use energy_model::EdfMetric;
+use fault_model::PersistentSiteConfig;
+use netbench::AppKind;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Predictor acceptance bound: relative cycle error on every grid
+/// point, recorded in the CSV and asserted by `--smoke`.
+const ERROR_BOUND: f64 = 0.15;
+
+/// Sticky fault-site activation probabilities under test (per access
+/// to a pristine slot). The top rate is brutal on purpose: it decays
+/// much of the cache, exercising graceful degradation at scale.
+const P_SITES: [f64; 3] = [1e-5, 1e-4, 1e-3];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        smoke();
+    } else {
+        let progress = args.iter().any(|a| a == "--progress");
+        let metrics = args.iter().position(|a| a == "--metrics").map(|i| {
+            args.get(i + 1).map(PathBuf::from).unwrap_or_else(|| {
+                eprintln!("error: --metrics needs a path");
+                std::process::exit(EXIT_USAGE);
+            })
+        });
+        full(metrics, progress);
+    }
+}
+
+/// The two recovery schemes under comparison, both parity/two-strike:
+/// the difference is purely what happens when strikes repeat.
+fn schemes() -> [(&'static str, Option<WayDisablePolicy>); 2] {
+    [
+        ("strike-forever", None),
+        ("way-disable", Some(WayDisablePolicy::default_policy())),
+    ]
+}
+
+fn scheme_config(policy: Option<WayDisablePolicy>, p_site: f64) -> ClumsyConfig {
+    let mut cfg = ClumsyConfig::baseline()
+        .with_detection(DetectionScheme::Parity)
+        .with_strikes(StrikePolicy::two_strike())
+        .with_persistent(PersistentSiteConfig::hard(p_site));
+    if let Some(p) = policy {
+        cfg = cfg.with_way_disable(p);
+    }
+    cfg
+}
+
+fn full(metrics: Option<PathBuf>, progress: bool) {
+    let mut opts = ExperimentOptions::from_env();
+    opts.trials = opts.trials.max(4);
+    let telemetry = (metrics.is_some() || progress).then(|| Arc::new(Telemetry::new()));
+    let mut engine = Engine::from_env();
+    if let Some(t) = &telemetry {
+        engine = engine.with_telemetry(Arc::clone(t));
+    }
+    let reporter = telemetry.as_ref().filter(|_| progress).map(|t| {
+        ProgressReporter::start(
+            Arc::clone(t),
+            "way_disable",
+            std::time::Duration::from_secs(2),
+        )
+    });
+    let trace = opts.trace.generate();
+    let metric = EdfMetric::paper();
+    let apps = [AppKind::Route, AppKind::Tl, AppKind::Md5];
+
+    // Grid 1: scheme × sticky-site rate, full-swing clock (the point of
+    // mapping ways out is correctness under permanent faults, not
+    // overclocking further).
+    let mut labels = Vec::new();
+    let mut points = Vec::new();
+    for app in apps {
+        for (scheme, policy) in schemes() {
+            for p_site in P_SITES {
+                labels.push((app.name(), scheme, p_site));
+                points.push(GridPoint::new(app, scheme_config(policy, p_site)));
+            }
+        }
+    }
+    let ccfg = CampaignConfig::default();
+    let report = match &telemetry {
+        Some(t) => run_campaign_instrumented(&engine, &points, &trace, &opts, &ccfg, t),
+        None => run_campaign_on(&engine, &points, &trace, &opts, &ccfg),
+    };
+    let baselines: Vec<f64> = apps
+        .iter()
+        .map(|&app| run_config_on_trace(app, &ClumsyConfig::baseline(), &trace, &opts).edf(&metric))
+        .collect();
+
+    let cells_per_app = schemes().len() * P_SITES.len();
+    let mut rel_edf = vec![0.0f64; labels.len()];
+    let mut ways_disabled_total = 0u64;
+    let rows: Vec<Vec<String>> = labels
+        .iter()
+        .zip(&report.aggregates)
+        .enumerate()
+        .map(|(i, (&(app, scheme, p_site), agg))| {
+            let c = agg.outcome_counts();
+            let rel = agg.edf(&metric) / baselines[i / cells_per_app];
+            rel_edf[i] = rel;
+            let sum = |f: fn(&cache_sim::MemStats) -> u64| {
+                agg.runs.iter().map(|r| f(&r.stats)).sum::<u64>()
+            };
+            let disabled = sum(|s| s.ways_disabled);
+            ways_disabled_total += disabled;
+            vec![
+                app.to_string(),
+                scheme.to_string(),
+                format!("{p_site:.0e}"),
+                c.total().to_string(),
+                clumsy_bench::f(agg.delay_per_packet()),
+                clumsy_bench::f(agg.energy_per_packet()),
+                clumsy_bench::f(agg.fallibility()),
+                clumsy_bench::f(rel),
+                disabled.to_string(),
+                sum(|s| s.salvage_writebacks).to_string(),
+                sum(|s| s.bypass_accesses).to_string(),
+                c.sdc.to_string(),
+                c.recovery_failed.to_string(),
+            ]
+        })
+        .collect();
+    let header = [
+        "app",
+        "scheme",
+        "p_site",
+        "trials",
+        "cycles_per_packet",
+        "nj_per_packet",
+        "fallibility",
+        "rel_edf2",
+        "ways_disabled",
+        "salvage_writebacks",
+        "bypass_accesses",
+        "sdc",
+        "recovery_failed",
+    ];
+    clumsy_bench::print_table(
+        "Permanent faults: strike-forever vs way-disable (parity/two-strike)",
+        &header,
+        &rows,
+    );
+    let path = clumsy_bench::or_exit(clumsy_bench::write_csv("way_disable.csv", &header, &rows));
+    println!("\nwrote {}", path.display());
+
+    // Grid 2: predictor validation over geometries × disabled-way maps.
+    let (model_rows, max_err) = predictor_grid(80_000, true);
+    let model_header = [
+        "geometry",
+        "map",
+        "disabled_ways",
+        "bypass_sets",
+        "predicted_cycles",
+        "actual_cycles",
+        "err_cycles",
+        "predicted_edf2",
+        "actual_edf2",
+        "err_edf2",
+    ];
+    clumsy_bench::print_table(
+        "Analytical degradation predictor vs simulation",
+        &model_header,
+        &model_rows,
+    );
+    let model_path = clumsy_bench::or_exit(clumsy_bench::write_csv(
+        "degradation_model.csv",
+        &model_header,
+        &model_rows,
+    ));
+    println!("\nwrote {}", model_path.display());
+    println!(
+        "max predictor cycle error: {:.1}% (bound {:.0}%)",
+        max_err * 100.0,
+        ERROR_BOUND * 100.0
+    );
+
+    drop(reporter);
+    if let (Some(path), Some(t)) = (&metrics, &telemetry) {
+        if let Err(e) = clumsy_core::atomic_write(path, t.metrics_json().as_bytes()) {
+            eprintln!("error: writing {}: {e}", path.display());
+            std::process::exit(EXIT_FAILURES);
+        }
+        eprintln!("wrote metrics {}", path.display());
+    }
+
+    // Acceptance checks: every job completed (a degraded system slows
+    // down, it never wedges), escalation actually fired, the predictor
+    // stayed in bound, and way-disable beat strike-forever on EDF²
+    // wherever the persistent process did real damage.
+    let mut failed = false;
+    if !report.is_complete() {
+        eprintln!("{} of {} jobs failed", report.failures.len(), labels.len());
+        failed = true;
+    }
+    if ways_disabled_total == 0 {
+        eprintln!("no way was ever disabled — escalation never fired");
+        failed = true;
+    }
+    if max_err > ERROR_BOUND {
+        eprintln!(
+            "predictor error {:.1}% exceeds the {:.0}% bound",
+            max_err * 100.0,
+            ERROR_BOUND * 100.0
+        );
+        failed = true;
+    }
+    for (a, app) in apps.iter().enumerate() {
+        // Cells are laid out scheme-major within each app; compare the
+        // two schemes at the harshest site rate, where the permanent
+        // process dominates the digest.
+        let forever = rel_edf[a * cells_per_app + P_SITES.len() - 1];
+        let disable = rel_edf[a * cells_per_app + 2 * P_SITES.len() - 1];
+        if disable >= forever {
+            eprintln!(
+                "{app}: way-disable EDF² {disable:.3} did not beat strike-forever {forever:.3} \
+                 at p_site={:.0e}",
+                P_SITES[P_SITES.len() - 1]
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(EXIT_FAILURES);
+    }
+}
+
+/// Candidate geometries for the predictor sweep, including unbuildable
+/// ones on purpose: the sweep must *skip* them via
+/// [`CacheGeometry::try_new`], not abort.
+fn geometry_candidates() -> [(u32, u32, u32); 6] {
+    [
+        (2 * 1024, 16, 2),
+        (4 * 1024, 32, 2),
+        (4 * 1024, 32, 4),
+        (8 * 1024, 32, 4),
+        (4 * 1024, 24, 4), // line size not a power of two — skipped
+        (3000, 32, 2),     // total size not a power of two — skipped
+    ]
+}
+
+/// Deterministic xorshift64* stream for workload addresses — the bench
+/// needs no statistical rigor, just a fixed, well-spread sequence.
+struct AddrRng(u64);
+
+impl AddrRng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Runs the uniform-random read workload on a fresh fault-free system
+/// with `disabled[s]` ways of set `s` mapped out, and returns the
+/// finished system for profiling.
+fn degraded_run(cfg: &MemConfig, disabled: &[u32], accesses: usize, lines: u32) -> MemSystem {
+    let mut mem = MemSystem::new(cfg.clone(), 0);
+    mem.set_inject(false);
+    for (set, &d) in disabled.iter().enumerate() {
+        for way in 0..d as usize {
+            mem.disable_way(set as u32, way).unwrap();
+        }
+    }
+    let line = cfg.l1.line_size();
+    let words_per_line = line / 4;
+    let mut rng = AddrRng(0x0DD5_EED5_0DD5_EED5);
+    for _ in 0..accesses {
+        let r = rng.next();
+        let l = (r as u32) % lines;
+        let w = ((r >> 32) as u32) % words_per_line;
+        mem.read_u32(l * line + w * 4).unwrap();
+    }
+    mem
+}
+
+/// Sweeps geometries × disabled-way maps, returning the CSV rows and
+/// the maximum relative cycle error. `check_monotone` additionally
+/// asserts graceful degradation along each geometry's uniform family.
+fn predictor_grid(accesses: usize, check_monotone: bool) -> (Vec<Vec<String>>, f64) {
+    let mut rows = Vec::new();
+    let mut max_err = 0.0f64;
+    for (size, line, assoc) in geometry_candidates() {
+        let geom = match CacheGeometry::try_new(size, line, assoc) {
+            Ok(g) => g,
+            Err(e) => {
+                println!("skipping geometry {size}B/{line}B/{assoc}-way: {e}");
+                continue;
+            }
+        };
+        let cfg = MemConfig {
+            l1: geom,
+            ..MemConfig::strongarm()
+        };
+        let name = format!("{}KBx{}Bx{}w", size / 1024, line, assoc);
+        // Working set = exactly the healthy capacity: every disabled
+        // way removes headroom the workload was using.
+        let lines = geom.sets() * geom.assoc();
+        let sets = geom.sets() as usize;
+        let model = DegradationModel::from_config(&cfg);
+
+        let healthy = degraded_run(&cfg, &vec![0; sets], accesses, lines);
+        let base = BaselineProfile::from_run(&healthy, u64::from(lines));
+
+        // The uniform family (d ways out in every set, d = 0..=assoc)
+        // plus one non-uniform map: a quarter of the sets fully dead.
+        let mut maps: Vec<(String, Vec<u32>)> = (0..=assoc)
+            .map(|d| (format!("uniform-{d}"), vec![d; sets]))
+            .collect();
+        let mut quarter = vec![0u32; sets];
+        for q in quarter.iter_mut().take(sets / 4) {
+            *q = assoc;
+        }
+        maps.push(("quarter-sets-dead".to_string(), quarter));
+
+        let mut family_cycles = Vec::new();
+        for (map_name, map) in &maps {
+            let mem = degraded_run(&cfg, map, accesses, lines);
+            let actual_map = mem.l1_cache().disabled_map();
+            assert_eq!(&actual_map, map, "disable requests must all land");
+            let est = model.predict(&base, map);
+            let actual_cycles = mem.cycles();
+            let actual_energy = mem.energy().total_nj();
+            let actual_edf2 = (actual_energy / base.energy_nj)
+                * (actual_cycles / base.cycles)
+                * (actual_cycles / base.cycles);
+            let err_c = relative_error(est.cycles, actual_cycles);
+            let err_e = relative_error(est.edf2_ratio, actual_edf2);
+            max_err = max_err.max(err_c);
+            if map_name.starts_with("uniform-") {
+                family_cycles.push(actual_cycles);
+            }
+            rows.push(vec![
+                name.clone(),
+                map_name.clone(),
+                map.iter().sum::<u32>().to_string(),
+                map.iter().filter(|&&d| d == assoc).count().to_string(),
+                clumsy_bench::f(est.cycles),
+                clumsy_bench::f(actual_cycles),
+                clumsy_bench::f(err_c),
+                clumsy_bench::f(est.edf2_ratio),
+                clumsy_bench::f(actual_edf2),
+                clumsy_bench::f(err_e),
+            ]);
+        }
+        if check_monotone {
+            for pair in family_cycles.windows(2) {
+                assert!(
+                    pair[1] >= pair[0] * 0.999,
+                    "{name}: degradation must be monotone in disabled ways \
+                     ({} then {} cycles)",
+                    pair[0],
+                    pair[1]
+                );
+            }
+        }
+    }
+    (rows, max_err)
+}
+
+/// Fast self-check of the degraded machinery; writes nothing.
+fn smoke() {
+    // 1. Escalation: sticky sites + strike recovery must map at least
+    //    one way out, and the run must complete regardless.
+    let cfg = MemConfig::strongarm()
+        .with_detection(DetectionScheme::Parity)
+        .with_strikes(StrikePolicy::two_strike())
+        .with_persistent(PersistentSiteConfig::hard(0.01))
+        .with_way_disable(WayDisablePolicy::new(2, 50_000));
+    let mut m = MemSystem::new(cfg, 0xDEAD_5EED);
+    for i in 0..256u32 {
+        m.host_write_u32(i * 4, i).unwrap();
+    }
+    for i in 0..60_000u64 {
+        let _ = m.read_u32(((i % 256) * 4) as u32).unwrap();
+    }
+    let s = *m.stats();
+    assert!(
+        s.ways_disabled > 0,
+        "escalation never disabled a way: {s:?}"
+    );
+
+    // 2. Salvage: dirty data written into a set must survive the whole
+    //    set being mapped out, and read back through the L2 bypass.
+    let mut m = MemSystem::new(MemConfig::strongarm(), 1);
+    m.set_inject(false);
+    let g = m.l1_geometry();
+    let line = g.line_size();
+    for w in 0..(line / 4) {
+        m.write_u32(w * 4, 0xC0DE_0000 | w).unwrap(); // set 0, dirty
+    }
+    for way in 0..g.assoc() as usize {
+        m.disable_way(0, way).unwrap();
+    }
+    let s = *m.stats();
+    assert!(
+        s.salvage_writebacks > 0,
+        "no dirty line was salvaged: {s:?}"
+    );
+    for w in 0..(line / 4) {
+        assert_eq!(
+            m.read_u32(w * 4).unwrap(),
+            0xC0DE_0000 | w,
+            "salvaged word {w} lost"
+        );
+    }
+    assert!(
+        m.stats().bypass_accesses > 0,
+        "dead set never used the bypass"
+    );
+
+    // 3. Predictor: the smoke grid must stay under the recorded bound
+    //    (and the sweep must skip the unbuildable candidates).
+    let (rows, max_err) = predictor_grid(30_000, true);
+    clumsy_bench::print_table(
+        "smoke predictor grid",
+        &[
+            "geometry", "map", "d", "bypass", "pred", "actual", "err_c", "pe", "ae", "err_e",
+        ],
+        &rows,
+    );
+    assert!(!rows.is_empty(), "predictor grid produced no rows");
+    assert!(
+        max_err <= ERROR_BOUND,
+        "predictor error {:.1}% over the {:.0}% bound",
+        max_err * 100.0,
+        ERROR_BOUND * 100.0
+    );
+    println!(
+        "smoke ok: escalation disables, salvage survives the bypass, \
+         predictor error {:.1}% <= {:.0}%",
+        max_err * 100.0,
+        ERROR_BOUND * 100.0
+    );
+}

@@ -1,6 +1,73 @@
 //! Cache arrays: geometry, the data-holding L1, and the tag-only L2.
 
+use std::error::Error;
 use std::fmt;
+
+/// Why a [`CacheGeometry`] is unbuildable.
+///
+/// Returned by [`CacheGeometry::try_new`] so geometry sweeps can
+/// validate candidate configurations instead of aborting; the
+/// [`Display`](fmt::Display) messages are the exact panic messages of
+/// [`CacheGeometry::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeometryError {
+    /// The total size is not a power of two.
+    SizeNotPowerOfTwo {
+        /// The rejected total size in bytes.
+        size: u32,
+    },
+    /// The line size is not a power of two at least 4.
+    BadLineSize {
+        /// The rejected line size in bytes.
+        line: u32,
+    },
+    /// The associativity is zero.
+    ZeroAssociativity,
+    /// The cache cannot hold even one full set.
+    TooSmallForOneSet {
+        /// Lines the cache holds.
+        lines: u32,
+        /// Requested ways per set.
+        assoc: u32,
+    },
+    /// The implied set count is not a power of two.
+    SetsNotPowerOfTwo {
+        /// Lines the cache holds.
+        lines: u32,
+        /// Requested ways per set.
+        assoc: u32,
+    },
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::SizeNotPowerOfTwo { size } => {
+                write!(f, "cache size must be a power of two (got {size})")
+            }
+            GeometryError::BadLineSize { line } => {
+                write!(f, "line size must be a power of two >= 4 (got {line})")
+            }
+            GeometryError::ZeroAssociativity => {
+                write!(f, "associativity must be at least 1")
+            }
+            GeometryError::TooSmallForOneSet { lines, assoc } => {
+                write!(
+                    f,
+                    "cache must hold at least one set ({lines} lines, {assoc} ways)"
+                )
+            }
+            GeometryError::SetsNotPowerOfTwo { lines, assoc } => {
+                write!(
+                    f,
+                    "set count must be a power of two ({lines} lines, {assoc} ways)"
+                )
+            }
+        }
+    }
+}
+
+impl Error for GeometryError {}
 
 /// Size/shape of a cache: total bytes, line bytes, associativity.
 ///
@@ -40,20 +107,43 @@ impl CacheGeometry {
     /// Panics unless `size`, `line` and the implied set count are powers
     /// of two, `line ≥ 4`, and `assoc ≥ 1` divides the line count.
     pub fn new(size: u32, line: u32, assoc: u32) -> Self {
-        assert!(size.is_power_of_two(), "cache size must be a power of two");
-        assert!(
-            line.is_power_of_two() && line >= 4,
-            "line size must be a power of two >= 4"
-        );
-        assert!(assoc >= 1, "associativity must be at least 1");
+        Self::try_new(size, line, assoc).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`CacheGeometry::new`]: returns the violated
+    /// constraint instead of panicking, so sweeps over candidate
+    /// geometries can skip unbuildable points.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cache_sim::{CacheGeometry, GeometryError};
+    ///
+    /// assert!(CacheGeometry::try_new(4 * 1024, 32, 1).is_ok());
+    /// assert_eq!(
+    ///     CacheGeometry::try_new(3000, 32, 1),
+    ///     Err(GeometryError::SizeNotPowerOfTwo { size: 3000 })
+    /// );
+    /// ```
+    pub fn try_new(size: u32, line: u32, assoc: u32) -> Result<Self, GeometryError> {
+        if !size.is_power_of_two() {
+            return Err(GeometryError::SizeNotPowerOfTwo { size });
+        }
+        if !line.is_power_of_two() || line < 4 {
+            return Err(GeometryError::BadLineSize { line });
+        }
+        if assoc < 1 {
+            return Err(GeometryError::ZeroAssociativity);
+        }
         let lines = size / line;
-        assert!(lines >= assoc, "cache must hold at least one set");
-        assert!(
-            lines.is_multiple_of(assoc) && (lines / assoc).is_power_of_two(),
-            "set count must be a power of two"
-        );
+        if lines < assoc {
+            return Err(GeometryError::TooSmallForOneSet { lines, assoc });
+        }
+        if !lines.is_multiple_of(assoc) || !(lines / assoc).is_power_of_two() {
+            return Err(GeometryError::SetsNotPowerOfTwo { lines, assoc });
+        }
         let sets = lines / assoc;
-        CacheGeometry {
+        Ok(CacheGeometry {
             size,
             line,
             assoc,
@@ -61,7 +151,7 @@ impl CacheGeometry {
             offset_mask: line - 1,
             set_mask: sets - 1,
             tag_shift: line.trailing_zeros() + sets.trailing_zeros(),
-        }
+        })
     }
 
     /// Total capacity in bytes.
@@ -373,6 +463,9 @@ pub(crate) enum Lookup {
     Hit(usize),
     /// The line is absent; the given way is the victim for a refill.
     Miss(usize),
+    /// Every way of the target set is disabled: the line can never be
+    /// resident and the access must bypass the L1 entirely.
+    Bypass,
 }
 
 /// The level-1 data cache: tags, data and a per-word check code.
@@ -386,6 +479,12 @@ pub struct DataCache {
     lines: Vec<DataLine>,
     /// Per-set LRU order: `lru[set]` lists way indices, most recent last.
     lru: Vec<Vec<u8>>,
+    /// Per-(set,way) health: a disabled way holds a permanent fault site
+    /// and is never filled again (indexed like `lines`). Survives
+    /// [`DataCache::flush`] — mapped-out hardware stays mapped out.
+    disabled: Vec<bool>,
+    /// Number of `true` entries in `disabled`.
+    disabled_count: u32,
 }
 
 impl DataCache {
@@ -405,6 +504,8 @@ impl DataCache {
                 .map(|_| DataLine::new(geom.line_size()))
                 .collect(),
             lru: (0..sets).map(|_| (0..assoc as u8).collect()).collect(),
+            disabled: vec![false; sets * assoc],
+            disabled_count: 0,
         }
     }
 
@@ -435,7 +536,9 @@ impl DataCache {
         }
     }
 
-    /// Looks up `addr`, returning a hit way or the LRU victim way.
+    /// Looks up `addr`, returning a hit way, the LRU victim way among
+    /// the still-enabled ways, or [`Lookup::Bypass`] when the whole set
+    /// is disabled.
     pub(crate) fn lookup(&self, addr: u32) -> Lookup {
         let set = self.geom.set_of(addr);
         let tag = self.geom.tag_of(addr);
@@ -445,13 +548,21 @@ impl DataCache {
                 return Lookup::Hit(way);
             }
         }
-        // Prefer an invalid way, else the LRU way.
+        // Prefer an invalid enabled way, else the LRU enabled way. With
+        // no disabled ways this reduces exactly to the historical
+        // invalid-then-`lru[set][0]` choice.
         for way in 0..self.geom.assoc() as usize {
-            if !self.lines[self.line_index(set, way)].valid {
+            let idx = self.line_index(set, way);
+            if !self.lines[idx].valid && !self.disabled[idx] {
                 return Lookup::Miss(way);
             }
         }
-        Lookup::Miss(self.lru[set as usize][0] as usize)
+        for &way in &self.lru[set as usize] {
+            if !self.disabled[self.line_index(set, way as usize)] {
+                return Lookup::Miss(way as usize);
+            }
+        }
+        Lookup::Bypass
     }
 
     /// Whether `addr`'s line is resident.
@@ -466,6 +577,7 @@ impl DataCache {
         assert_eq!(data.len() as u32, self.geom.line_size());
         let set = self.geom.set_of(addr);
         let idx = self.line_index(set, way);
+        debug_assert!(!self.disabled[idx], "refill into a disabled way");
         let evicted = {
             let line = &self.lines[idx];
             if line.valid && line.dirty {
@@ -665,6 +777,8 @@ impl DataCache {
         }
         let way = match self.lookup(addr) {
             Lookup::Hit(way) | Lookup::Miss(way) => way,
+            // A fully-disabled set holds no valid line to alias.
+            Lookup::Bypass => return false,
         };
         let set = self.geom.set_of(addr);
         let idx = self.line_index(set, way);
@@ -693,7 +807,7 @@ impl DataCache {
                 }
                 true
             }
-            Lookup::Miss(_) => false,
+            Lookup::Miss(_) | Lookup::Bypass => false,
         }
     }
 
@@ -741,7 +855,7 @@ impl DataCache {
                 let b = &line.data[off..off + 4];
                 Some(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
             }
-            Lookup::Miss(_) => None,
+            Lookup::Miss(_) | Lookup::Bypass => None,
         }
     }
 
@@ -771,6 +885,70 @@ impl DataCache {
             }
         }
         out
+    }
+
+    /// Maps out way `way` of set `set`: the slot is invalidated and
+    /// never filled again ([`DataCache::lookup`] skips it; a set with
+    /// every way mapped out answers [`Lookup::Bypass`]). Idempotent.
+    ///
+    /// Returns the slot's `(base_addr, data)` if it held a valid dirty
+    /// line, so the caller can salvage the contents through its
+    /// writeback path before the storage is abandoned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` or `way` is out of range.
+    pub fn disable_way(&mut self, set: u32, way: usize) -> Option<(u32, Vec<u8>)> {
+        assert!(set < self.geom.sets(), "set {set} out of range");
+        assert!(way < self.geom.assoc() as usize, "way {way} out of range");
+        let idx = self.line_index(set, way);
+        if self.disabled[idx] {
+            return None;
+        }
+        self.disabled[idx] = true;
+        self.disabled_count += 1;
+        let line = &mut self.lines[idx];
+        let salvage = if line.valid && line.dirty {
+            let base = (line.tag * self.geom.sets() + set) * self.geom.line_size();
+            Some((base, line.data.to_vec()))
+        } else {
+            None
+        };
+        line.valid = false;
+        line.dirty = false;
+        line.suspect = false;
+        salvage
+    }
+
+    /// Whether way `way` of set `set` has been mapped out.
+    pub fn way_disabled(&self, set: u32, way: usize) -> bool {
+        self.disabled[self.line_index(set, way)]
+    }
+
+    /// Number of mapped-out ways in set `set`.
+    pub fn disabled_ways_in_set(&self, set: u32) -> u32 {
+        (0..self.geom.assoc() as usize)
+            .filter(|&w| self.disabled[self.line_index(set, w)])
+            .count() as u32
+    }
+
+    /// Whether every way of set `set` is mapped out (accesses to the set
+    /// bypass the L1 entirely).
+    pub fn set_fully_disabled(&self, set: u32) -> bool {
+        self.disabled_ways_in_set(set) == self.geom.assoc()
+    }
+
+    /// Total mapped-out ways across all sets.
+    pub fn disabled_way_count(&self) -> u32 {
+        self.disabled_count
+    }
+
+    /// Per-set disabled-way counts — the degradation map consumed by
+    /// [`crate::degradation`].
+    pub fn disabled_map(&self) -> Vec<u32> {
+        (0..self.geom.sets())
+            .map(|set| self.disabled_ways_in_set(set))
+            .collect()
     }
 }
 
@@ -1211,5 +1389,109 @@ mod tests {
         t.access(0x4000);
         t.flush();
         assert!(!t.access(0x4000));
+    }
+
+    #[test]
+    fn try_new_names_each_violated_constraint() {
+        assert_eq!(
+            CacheGeometry::try_new(3000, 32, 1),
+            Err(GeometryError::SizeNotPowerOfTwo { size: 3000 })
+        );
+        assert_eq!(
+            CacheGeometry::try_new(4096, 3, 1),
+            Err(GeometryError::BadLineSize { line: 3 })
+        );
+        assert_eq!(
+            CacheGeometry::try_new(4096, 2, 1),
+            Err(GeometryError::BadLineSize { line: 2 })
+        );
+        assert_eq!(
+            CacheGeometry::try_new(4096, 32, 0),
+            Err(GeometryError::ZeroAssociativity)
+        );
+        assert_eq!(
+            CacheGeometry::try_new(64, 32, 4),
+            Err(GeometryError::TooSmallForOneSet { lines: 2, assoc: 4 })
+        );
+        assert_eq!(
+            CacheGeometry::try_new(1024, 32, 12),
+            Err(GeometryError::SetsNotPowerOfTwo {
+                lines: 32,
+                assoc: 12
+            })
+        );
+        // The Ok path matches the panicking constructor bit for bit.
+        assert_eq!(
+            CacheGeometry::try_new(4 * 1024, 32, 1).unwrap(),
+            CacheGeometry::new(4 * 1024, 32, 1)
+        );
+    }
+
+    #[test]
+    fn disable_way_skips_victim_selection() {
+        let g = CacheGeometry::new(1024, 32, 2); // 16 sets, 2 ways
+        let mut c = DataCache::new(g);
+        let set = g.set_of(0x0);
+        assert_eq!(c.disable_way(set, 0), None, "empty slot: nothing dirty");
+        assert!(c.way_disabled(set, 0));
+        assert_eq!(c.disabled_ways_in_set(set), 1);
+        assert!(!c.set_fully_disabled(set));
+        // Fills to this set must now land in way 1 only.
+        let Lookup::Miss(w) = c.lookup(0x0) else {
+            panic!("expected a miss")
+        };
+        assert_eq!(w, 1, "victim selection must skip the disabled way");
+        c.fill(0x0, w, &[0xAA; 32]);
+        let stride = g.sets() * g.line_size();
+        let Lookup::Miss(w) = c.lookup(stride) else {
+            panic!("expected a conflict miss")
+        };
+        assert_eq!(w, 1, "LRU fallback must also skip the disabled way");
+    }
+
+    #[test]
+    fn disable_way_salvages_dirty_data_and_is_idempotent() {
+        let mut c = DataCache::new(l1());
+        c.fill(0x100, 0, &[0; 32]);
+        c.write_word(0x104, 0, 0xFACE, 0xFACE);
+        let (base, data) = c.disable_way(c.geometry().set_of(0x100), 0).unwrap();
+        assert_eq!(base, 0x100);
+        assert_eq!(u32::from_le_bytes(data[4..8].try_into().unwrap()), 0xFACE);
+        assert!(!c.contains(0x100), "the mapped-out slot is invalidated");
+        assert_eq!(
+            c.disable_way(c.geometry().set_of(0x100), 0),
+            None,
+            "second disable is a no-op"
+        );
+        assert_eq!(c.disabled_way_count(), 1);
+    }
+
+    #[test]
+    fn fully_disabled_set_answers_bypass() {
+        let mut c = DataCache::new(l1()); // direct-mapped: one way per set
+        let set = c.geometry().set_of(0x100);
+        c.disable_way(set, 0);
+        assert!(c.set_fully_disabled(set));
+        assert_eq!(c.lookup(0x100), Lookup::Bypass);
+        assert!(!c.contains(0x100));
+        assert_eq!(c.peek_word(0x100), None);
+        assert!(!c.poke_word(0x100, 1));
+        assert!(!c.corrupt_tag(0x100, 1));
+        // Other sets are untouched.
+        assert!(matches!(c.lookup(0x100 + 32), Lookup::Miss(_)));
+        assert_eq!(c.disabled_map()[set as usize], 1);
+    }
+
+    #[test]
+    fn disabled_ways_survive_flush() {
+        let mut c = DataCache::new(l1());
+        let set = c.geometry().set_of(0x100);
+        c.disable_way(set, 0);
+        c.flush();
+        assert!(
+            c.way_disabled(set, 0),
+            "mapped-out hardware stays mapped out"
+        );
+        assert_eq!(c.lookup(0x100), Lookup::Bypass);
     }
 }

@@ -1,9 +1,11 @@
 //! Memory-system configuration.
 
 use crate::cache::CacheGeometry;
-use crate::policy::{DetectionScheme, FaultTargets, RecoveryGranularity, StrikePolicy};
+use crate::policy::{
+    DetectionScheme, FaultTargets, RecoveryGranularity, StrikePolicy, WayDisablePolicy,
+};
 use energy_model::EnergyModel;
-use fault_model::{FaultProbabilityModel, SamplingMode, VoltageSwingCurve};
+use fault_model::{FaultProbabilityModel, PersistentSiteConfig, SamplingMode, VoltageSwingCurve};
 
 /// Configuration of a [`MemSystem`](crate::MemSystem).
 ///
@@ -59,6 +61,15 @@ pub struct MemConfig {
     pub l2_cycle: f64,
     /// How much state a strike-exhausted recovery discards.
     pub recovery: RecoveryGranularity,
+    /// Opt-in way-disabling escalation on top of the strike policy
+    /// (`None` reproduces the paper's strike-forever behavior exactly).
+    pub way_disable: Option<WayDisablePolicy>,
+    /// Opt-in persistent/intermittent fault-site process on the L1 data
+    /// array (`None` = the paper's purely transient model). Draws from
+    /// its own RNG stream, so even when on it leaves the transient
+    /// realization untouched; it does force every access onto the exact
+    /// slow path, since a stuck bit must be visible to each read.
+    pub persistent: Option<PersistentSiteConfig>,
     /// Per-bit fault probability model.
     pub fault_model: FaultProbabilityModel,
     /// How the fault sampler spends randomness. The default
@@ -91,6 +102,8 @@ impl MemConfig {
             targets: FaultTargets::data_only(),
             l2_cycle: 1.0,
             recovery: RecoveryGranularity::Line,
+            way_disable: None,
+            persistent: None,
             fault_model: FaultProbabilityModel::calibrated(),
             sampling: SamplingMode::default(),
             swing: VoltageSwingCurve::paper(),
@@ -134,6 +147,19 @@ impl MemConfig {
             "L2 cycle time must be in (0, 1], got {l2_cycle}"
         );
         self.l2_cycle = l2_cycle;
+        self
+    }
+
+    /// Returns the config with way-disabling escalation enabled.
+    pub fn with_way_disable(mut self, policy: WayDisablePolicy) -> Self {
+        self.way_disable = Some(policy);
+        self
+    }
+
+    /// Returns the config with the persistent fault-site process
+    /// enabled.
+    pub fn with_persistent(mut self, persistent: PersistentSiteConfig) -> Self {
+        self.persistent = Some(persistent);
         self
     }
 
@@ -208,5 +234,17 @@ mod tests {
     #[should_panic(expected = "L2 cycle time")]
     fn l2_cycle_rejects_zero() {
         MemConfig::strongarm().with_l2_cycle(0.0);
+    }
+
+    #[test]
+    fn degradation_knobs_are_off_by_default() {
+        let cfg = MemConfig::strongarm();
+        assert_eq!(cfg.way_disable, None);
+        assert_eq!(cfg.persistent, None);
+        let on = cfg
+            .with_way_disable(WayDisablePolicy::default_policy())
+            .with_persistent(PersistentSiteConfig::hard(1e-4));
+        assert_eq!(on.way_disable, Some(WayDisablePolicy::default_policy()));
+        assert_eq!(on.persistent, Some(PersistentSiteConfig::hard(1e-4)));
     }
 }

@@ -1,0 +1,391 @@
+//! Analytical predictor for running degraded (INTERPLAY-style).
+//!
+//! Way-disabling trades capacity for availability: every mapped-out way
+//! shrinks the effective associativity of one set, and a fully
+//! mapped-out set degenerates to an uncached region serviced from the
+//! L2. Sweeping that design space in simulation is expensive, so this
+//! module estimates the cycle/energy cost of a disabled-way map
+//! *without* simulating — from the cache geometry, the latency/energy
+//! constants, and a small baseline profile measured once on the healthy
+//! cache.
+//!
+//! The model is deliberately first-order, in the spirit of analytical
+//! packet-processor models: it assumes accesses spread uniformly over
+//! sets (true for the streaming packet workloads the paper targets,
+//! whose working sets are headers laid out contiguously) and models each
+//! set's miss rate from the capacity left to it:
+//!
+//! * a set with `c` healthy ways holding `a` competing working-set
+//!   lines hits with probability `min(1, c / a)` on the capacity
+//!   component, so its miss rate is `max(m₀, 1 − c / a)` where `m₀` is
+//!   the healthy cache's measured miss rate (compulsory + conflict
+//!   floor);
+//! * a fully mapped-out set pays the bypass cost — an L2 access (plus
+//!   the backing penalty for whatever fraction of the working set
+//!   overflows the L2) instead of an L1 hit — on *every* access.
+//!
+//! With no ways disabled the prediction collapses to the measured
+//! baseline exactly, so the model cannot disagree with the simulator at
+//! the healthy point. The `way_disable` bench validates the rest of the
+//! grid against full simulation and records the relative error.
+
+use crate::config::MemConfig;
+use crate::hierarchy::MemSystem;
+
+/// Healthy-cache measurements the predictor extrapolates from.
+///
+/// Measure once per (workload, geometry) pair — e.g. with
+/// [`BaselineProfile::from_run`] after a fault-free simulation — then
+/// reuse for every disabled-way map on that geometry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineProfile {
+    /// Program-visible L1 accesses in the profiled run.
+    pub accesses: u64,
+    /// Core cycles the profiled run took.
+    pub cycles: f64,
+    /// Total energy of the profiled run in nanojoules.
+    pub energy_nj: f64,
+    /// Healthy L1 miss rate (compulsory + conflict floor `m₀`).
+    pub miss_rate: f64,
+    /// Fraction of the profiled run's L2 accesses that fell through to
+    /// backing memory. Recorded for reference; note it is dominated by
+    /// compulsory misses (a healthy cache touches the L2 almost only on
+    /// first-touch refills), so the predictor derives the steady-state
+    /// rate of degraded traffic from capacity instead.
+    pub l2_miss_rate: f64,
+    /// Distinct cache lines the workload keeps live (its working set).
+    pub working_set_lines: u64,
+}
+
+impl BaselineProfile {
+    /// Builds a profile from a finished healthy run on `mem`.
+    ///
+    /// `working_set_lines` cannot be observed from the counters (the
+    /// simulator does not track distinct-line footprints), so the caller
+    /// supplies it from workload knowledge — for the synthetic benches,
+    /// the exact buffer size divided by the line size.
+    pub fn from_run(mem: &MemSystem, working_set_lines: u64) -> Self {
+        let stats = mem.stats();
+        let l2 = stats.l2_accesses;
+        BaselineProfile {
+            accesses: stats.accesses(),
+            cycles: mem.cycles(),
+            energy_nj: mem.energy().total_nj(),
+            miss_rate: stats.miss_rate(),
+            l2_miss_rate: if l2 == 0 {
+                0.0
+            } else {
+                stats.l2_misses as f64 / l2 as f64
+            },
+            working_set_lines,
+        }
+    }
+}
+
+/// The predictor's verdict for one disabled-way map.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradationEstimate {
+    /// Predicted core cycles for the degraded cache.
+    pub cycles: f64,
+    /// Predicted total energy in nanojoules.
+    pub energy_nj: f64,
+    /// Predicted slowdown `cycles / baseline.cycles` (≥ 1).
+    pub slowdown: f64,
+    /// Predicted energy–delay-squared ratio against the baseline
+    /// (`E·D² / E₀·D₀²`) — the paper's figure of merit.
+    pub edf2_ratio: f64,
+    /// Sets running with reduced (but non-zero) associativity.
+    pub degraded_sets: u32,
+    /// Fully mapped-out sets serviced by the L2 bypass.
+    pub bypass_sets: u32,
+}
+
+/// Analytical degraded-cache model for one [`MemConfig`].
+///
+/// # Examples
+///
+/// ```
+/// use cache_sim::{BaselineProfile, DegradationModel, MemConfig};
+///
+/// let cfg = MemConfig::strongarm();
+/// let model = DegradationModel::from_config(&cfg);
+/// let base = BaselineProfile {
+///     accesses: 1_000_000,
+///     cycles: 2_500_000.0,
+///     energy_nj: 1.0e6,
+///     miss_rate: 0.02,
+///     l2_miss_rate: 0.05,
+///     working_set_lines: 256,
+/// };
+/// // Healthy map: the prediction is the baseline itself.
+/// let healthy = model.predict(&base, &vec![0; cfg.l1.sets() as usize]);
+/// assert_eq!(healthy.cycles, base.cycles);
+/// assert_eq!(healthy.slowdown, 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradationModel {
+    sets: u32,
+    assoc: u32,
+    l1_line: u32,
+    l2_bytes: u32,
+    l1_stall: f64,
+    l2_latency: f64,
+    mem_latency: f64,
+    l1_read_nj: f64,
+    l2_access_nj: f64,
+    mem_access_nj: f64,
+}
+
+impl DegradationModel {
+    /// Builds the model from a memory configuration (full-swing clock:
+    /// degraded-mode studies run the cache at its rated frequency, since
+    /// the point of mapping ways out is to keep *correctness*, not to
+    /// overclock further).
+    pub fn from_config(cfg: &MemConfig) -> Self {
+        let raw = cfg.l1_latency;
+        DegradationModel {
+            sets: cfg.l1.sets(),
+            assoc: cfg.l1.assoc(),
+            l1_line: cfg.l1.line_size(),
+            l2_bytes: cfg.l2.size(),
+            l1_stall: if cfg.quantize_latency {
+                raw.ceil()
+            } else {
+                raw
+            },
+            l2_latency: cfg.l2_latency,
+            mem_latency: cfg.mem_latency,
+            // A bypassed access skips the L1 array entirely, so its
+            // read energy (at full swing, including the detection
+            // scheme's check overhead) is credited back.
+            l1_read_nj: match cfg.detection {
+                crate::DetectionScheme::None => cfg.energy.l1_read_energy(1.0),
+                crate::DetectionScheme::Secded => cfg.energy.l1_read_energy_with_ecc(1.0),
+                _ => cfg.energy.l1_read_energy_with_parity(1.0),
+            },
+            l2_access_nj: cfg.energy.l2_access_energy(),
+            mem_access_nj: cfg.energy.mem_access_energy(),
+        }
+    }
+
+    /// Steady-state L2 miss rate of the *degraded* traffic. The profiled
+    /// [`BaselineProfile::l2_miss_rate`] cannot be extrapolated here: a
+    /// healthy cache only touches the L2 on compulsory refills, so its
+    /// measured rate is compulsory-dominated (often near 1.0) no matter
+    /// how long the profile runs. The recurring traffic a mapped-out way
+    /// generates re-touches the same working set, so its miss rate is a
+    /// capacity question: zero while the working set fits the L2, the
+    /// uncovered fraction beyond that.
+    fn steady_l2_miss(&self, base: &BaselineProfile) -> f64 {
+        let ws_bytes = base.working_set_lines as f64 * f64::from(self.l1_line);
+        let l2_bytes = f64::from(self.l2_bytes);
+        if ws_bytes <= l2_bytes {
+            0.0
+        } else {
+            1.0 - l2_bytes / ws_bytes
+        }
+    }
+
+    /// Average cost in cycles of one L1 miss (L2 access plus the backing
+    /// penalty at the steady-state L2 miss rate).
+    fn miss_penalty(&self, base: &BaselineProfile) -> f64 {
+        self.l2_latency + self.steady_l2_miss(base) * self.mem_latency
+    }
+
+    /// Predicted miss rate of a set with `healthy_ways` ways left and
+    /// `lines_per_set` working-set lines competing for them.
+    fn set_miss_rate(&self, base: &BaselineProfile, healthy_ways: u32, lines_per_set: f64) -> f64 {
+        if lines_per_set <= 0.0 {
+            return base.miss_rate;
+        }
+        let capacity_miss = 1.0 - (f64::from(healthy_ways) / lines_per_set).min(1.0);
+        capacity_miss.max(base.miss_rate)
+    }
+
+    /// Predicts the cost of running with `disabled[s]` ways of set `s`
+    /// mapped out (the layout of
+    /// [`DataCache::disabled_map`](crate::DataCache::disabled_map)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `disabled` does not have one entry per set, or an entry
+    /// exceeds the associativity.
+    pub fn predict(&self, base: &BaselineProfile, disabled: &[u32]) -> DegradationEstimate {
+        assert_eq!(
+            disabled.len(),
+            self.sets as usize,
+            "disabled-way map must have one entry per set"
+        );
+        let lines_per_set = base.working_set_lines as f64 / f64::from(self.sets);
+        let penalty = self.miss_penalty(base);
+        let per_set_accesses = base.accesses as f64 / f64::from(self.sets);
+        let baseline_access_cost = self.l1_stall + base.miss_rate * penalty;
+        let mut extra_cycles = 0.0;
+        let mut extra_l2 = 0.0;
+        let mut bypassed_accesses = 0.0;
+        let mut degraded_sets = 0u32;
+        let mut bypass_sets = 0u32;
+        for &d in disabled {
+            assert!(d <= self.assoc, "disabled count exceeds associativity");
+            if d == 0 {
+                continue;
+            }
+            if d == self.assoc {
+                // Bypass: every access is an L2 access instead of an L1
+                // hit (plus the backing penalty pro rata).
+                bypass_sets += 1;
+                extra_cycles += per_set_accesses * (penalty - baseline_access_cost);
+                extra_l2 += per_set_accesses * (1.0 - base.miss_rate);
+                bypassed_accesses += per_set_accesses;
+            } else {
+                degraded_sets += 1;
+                let m = self.set_miss_rate(base, self.assoc - d, lines_per_set);
+                extra_cycles += per_set_accesses * (m - base.miss_rate) * penalty;
+                extra_l2 += per_set_accesses * (m - base.miss_rate);
+            }
+        }
+        let cycles = base.cycles + extra_cycles.max(0.0);
+        let energy_nj = base.energy_nj
+            + extra_l2.max(0.0)
+                * (self.l2_access_nj + self.steady_l2_miss(base) * self.mem_access_nj)
+            - bypassed_accesses * self.l1_read_nj;
+        let slowdown = if base.cycles > 0.0 {
+            cycles / base.cycles
+        } else {
+            1.0
+        };
+        let energy_ratio = if base.energy_nj > 0.0 {
+            energy_nj / base.energy_nj
+        } else {
+            1.0
+        };
+        DegradationEstimate {
+            cycles,
+            energy_nj,
+            slowdown,
+            edf2_ratio: energy_ratio * slowdown * slowdown,
+            degraded_sets,
+            bypass_sets,
+        }
+    }
+}
+
+/// Relative error `|predicted − actual| / actual` (0 when both are 0).
+pub fn relative_error(predicted: f64, actual: f64) -> f64 {
+    if actual == 0.0 {
+        if predicted == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (predicted - actual).abs() / actual.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> BaselineProfile {
+        BaselineProfile {
+            accesses: 1_000_000,
+            cycles: 2_600_000.0,
+            energy_nj: 5.0e5,
+            miss_rate: 0.02,
+            l2_miss_rate: 0.05,
+            working_set_lines: 512,
+        }
+    }
+
+    fn model() -> DegradationModel {
+        DegradationModel::from_config(&MemConfig::strongarm())
+    }
+
+    #[test]
+    fn healthy_map_predicts_the_baseline_exactly() {
+        let m = model();
+        let est = m.predict(&base(), &vec![0; m.sets as usize]);
+        assert_eq!(est.cycles, base().cycles);
+        assert_eq!(est.energy_nj, base().energy_nj);
+        assert_eq!(est.slowdown, 1.0);
+        assert_eq!(est.edf2_ratio, 1.0);
+        assert_eq!(est.degraded_sets, 0);
+        assert_eq!(est.bypass_sets, 0);
+    }
+
+    #[test]
+    fn degradation_is_monotone_in_disabled_ways() {
+        // 4-way geometry so partial degradation exists; a working set
+        // that fits the healthy capacity (2 lines/set), so shrinking a
+        // set only ever removes headroom. (With a pathologically
+        // oversubscribed set, a near-dead 1-way set can genuinely cost
+        // *more* than the bypass — the bypass skips the L1 stall — so
+        // unconditional monotonicity would be wrong, in the simulator
+        // as much as in the model.)
+        let cfg = MemConfig {
+            l1: crate::CacheGeometry::new(4 * 1024, 32, 4),
+            ..MemConfig::strongarm()
+        };
+        let m = DegradationModel::from_config(&cfg);
+        let b = BaselineProfile {
+            working_set_lines: u64::from(m.sets) * 2,
+            ..base()
+        };
+        let mut last = b.cycles;
+        for d in 1..=4u32 {
+            let mut map = vec![0; m.sets as usize];
+            map[0] = d;
+            let est = m.predict(&b, &map);
+            assert!(
+                est.cycles >= last,
+                "disabling {d} ways should not be cheaper than {}",
+                d - 1
+            );
+            last = est.cycles;
+        }
+    }
+
+    #[test]
+    fn bypass_sets_cost_more_than_degraded_sets() {
+        // Working set at 2 lines/set so a half-disabled set still holds
+        // its share: the partial map costs nothing beyond the baseline,
+        // while the bypass pays L2 latency on every access. (With a
+        // heavily oversubscribed set the comparison legitimately flips
+        // — a near-dead thrashing set can cost more than the bypass.)
+        let cfg = MemConfig {
+            l1: crate::CacheGeometry::new(4 * 1024, 32, 4),
+            ..MemConfig::strongarm()
+        };
+        let m = DegradationModel::from_config(&cfg);
+        let b = BaselineProfile {
+            working_set_lines: u64::from(m.sets) * 2,
+            ..base()
+        };
+        let mut partial = vec![0; m.sets as usize];
+        partial[3] = 2;
+        let mut full = vec![0; m.sets as usize];
+        full[3] = 4;
+        let p = m.predict(&b, &partial);
+        let f = m.predict(&b, &full);
+        assert_eq!(p.degraded_sets, 1);
+        assert_eq!(p.bypass_sets, 0);
+        assert_eq!(f.bypass_sets, 1);
+        assert!(f.cycles > p.cycles);
+        assert!(f.edf2_ratio >= p.edf2_ratio);
+    }
+
+    #[test]
+    fn relative_error_handles_zero() {
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert!(relative_error(1.0, 0.0).is_infinite());
+        assert!((relative_error(110.0, 100.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per set")]
+    fn predict_rejects_wrong_map_size() {
+        let m = model();
+        m.predict(&base(), &[0, 0]);
+    }
+}

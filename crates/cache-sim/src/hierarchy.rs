@@ -13,7 +13,7 @@ use crate::secded::{secded_decode, SecdedOutcome, SECDED_CODE_BITS};
 use crate::stats::MemStats;
 use crate::WORD_BITS;
 use energy_model::EnergyBreakdown;
-use fault_model::{FaultEvent, FaultSampler, SamplingMode};
+use fault_model::{FaultEvent, FaultSampler, PersistentFaultProcess, SamplingMode};
 
 /// Width in bits of the stored per-word parity signature (one even-parity
 /// bit per byte; word parity is the XOR of the four bits).
@@ -146,6 +146,23 @@ pub struct MemSystem {
     refill_buf: Box<[u8]>,
     /// Reusable same-line segment scratch for batched run commits.
     run_segs: Vec<RunSegment>,
+    /// Opt-in sticky fault-site process on the L1 data array (`None`
+    /// while [`MemConfig::persistent`] is off). Owns its own RNG stream,
+    /// so it never perturbs the transient sampler's realization.
+    persistent: Option<PersistentFaultProcess>,
+    /// Per-(set,way) strike-escalation state, indexed like the L1's
+    /// line array. Empty while [`MemConfig::way_disable`] is off.
+    way_health: Vec<WayHealth>,
+}
+
+/// Escalation bookkeeping for one physical L1 slot (see
+/// [`WayDisablePolicy`](crate::WayDisablePolicy)): how many strike
+/// invalidations have landed on it within the sliding window, and the
+/// access-clock reading of the most recent one.
+#[derive(Debug, Clone, Copy, Default)]
+struct WayHealth {
+    strikes: u32,
+    last: u64,
 }
 
 /// One same-line stretch of a batched fast-path group: `len` consecutive
@@ -175,7 +192,11 @@ impl MemSystem {
         // The aux targets below inject on *every* access (tag lookups,
         // signature reads), so any batched skip would change their
         // sampling stream: runs with those targets stay on the slow path.
-        let fast_ok = !cfg.targets.tag && (!cfg.targets.parity || !cfg.detection.is_enabled());
+        // Persistent sites likewise must be visible to every read, so
+        // they too pin the system to the exact per-access path.
+        let fast_ok = !cfg.targets.tag
+            && (!cfg.targets.parity || !cfg.detection.is_enabled())
+            && cfg.persistent.is_none();
         let need_clean = cfg.detection.is_enabled();
         let refill_buf = vec![0u8; cfg.l1.line_size() as usize].into_boxed_slice();
         let mut sys = MemSystem {
@@ -198,6 +219,12 @@ impl MemSystem {
             fast_path: true,
             refill_buf,
             run_segs: Vec::new(),
+            persistent: cfg.persistent.map(|p| PersistentFaultProcess::new(p, seed)),
+            way_health: if cfg.way_disable.is_some() {
+                vec![WayHealth::default(); (cfg.l1.sets() * cfg.l1.assoc()) as usize]
+            } else {
+                Vec::new()
+            },
             cfg,
         };
         sys.refresh_timing();
@@ -383,15 +410,16 @@ impl MemSystem {
     }
 
     /// Brings the line containing `addr` into L1, charging miss costs;
-    /// returns the way.
-    fn ensure_resident(&mut self, addr: u32) -> Result<usize, MemError> {
+    /// returns the way, or `None` when every way of the target set is
+    /// disabled and the access must be serviced by the L2 bypass.
+    fn ensure_resident(&mut self, addr: u32) -> Result<Option<usize>, MemError> {
         if self.cfg.targets.tag {
             self.maybe_corrupt_tag(addr);
         }
         match self.l1.lookup(addr) {
             Lookup::Hit(way) => {
                 self.stats.l1_hits += 1;
-                Ok(way)
+                Ok(Some(way))
             }
             Lookup::Miss(way) => {
                 self.stats.l1_misses += 1;
@@ -413,9 +441,38 @@ impl MemSystem {
                 if let Some((evicted_base, data)) = evicted {
                     self.writeback(evicted_base, &data)?;
                 }
-                Ok(way)
+                Ok(Some(way))
             }
+            Lookup::Bypass => Ok(None),
         }
+    }
+
+    /// Services a word read against a fully mapped-out set straight from
+    /// the L2/backing at L2 cost. The L1 array is never touched, so no
+    /// L1 fault process (transient, persistent, tag or parity) applies;
+    /// the opt-in L2 process still does, exactly as on a refill.
+    fn bypass_read_word(&mut self, addr: u32) -> Result<u32, MemError> {
+        self.stats.bypass_accesses += 1;
+        self.charge_l2_access(self.cfg.l1.line_base(addr), true);
+        let word = self.backing.read_word(addr)?;
+        if self.cfg.targets.l2 {
+            Ok(self.maybe_corrupt_l2_word(word))
+        } else {
+            Ok(word)
+        }
+    }
+
+    /// Write half of the bypass: stores through to the L2/backing at L2
+    /// cost (there is no L1 line to buffer the store in).
+    fn bypass_write_word(&mut self, addr: u32, value: u32) -> Result<(), MemError> {
+        self.stats.bypass_accesses += 1;
+        self.charge_l2_access(self.cfg.l1.line_base(addr), true);
+        let stored = if self.cfg.targets.l2 {
+            self.maybe_corrupt_l2_word(value)
+        } else {
+            value
+        };
+        self.backing.write_word(addr, stored)
     }
 
     /// Charges one L2 access; `stall` says whether the core waits for it
@@ -509,6 +566,23 @@ impl MemSystem {
             if fault.is_fault() {
                 self.stats.faults_injected += 1;
             }
+            // Opt-in sticky fault sites: a stuck bit in this physical
+            // slot corrupts every read that senses it. Gated on the
+            // injection switch so golden runs stay clean, and drawing
+            // from the process's own RNG stream so the transient
+            // realization above is untouched.
+            let mut flip = fault.mask();
+            if self.persistent.is_some() && self.sampler.is_enabled() {
+                let slot = self.persistent_slot(addr, way);
+                if let Some(p) = self.persistent.as_mut() {
+                    let pmask = p.touch(slot, WORD_BITS);
+                    if pmask != 0 {
+                        self.stats.faults_injected += 1;
+                        flip |= pmask;
+                    }
+                }
+            }
+            let faulted = flip != 0;
             // Opt-in parity-bit injection: the stored signature is read
             // from the same over-clocked SRAM as the data, so it can be
             // corrupted *transiently* on this attempt — raising a false
@@ -526,10 +600,10 @@ impl MemSystem {
                     stored_parity ^= pfault.mask() as u8;
                 }
             }
-            let value = stored ^ fault.mask();
+            let value = stored ^ flip;
             match self.cfg.detection {
                 DetectionScheme::None => {
-                    if fault.is_fault() {
+                    if faulted {
                         self.stats.faults_undetected += 1;
                     }
                     return Ok(value);
@@ -548,7 +622,7 @@ impl MemSystem {
                         // Clean — or an undetectable corruption slipped
                         // by (even weight for word parity; even weight
                         // within every byte for byte parity).
-                        if fault.is_fault() {
+                        if faulted {
                             self.stats.faults_undetected += 1;
                         }
                         return Ok(value);
@@ -563,13 +637,13 @@ impl MemSystem {
                     // Strikes exhausted: assume a write fault, invalidate
                     // the block (its dirty data is untrusted and dropped)
                     // and fetch the word from L2/backing.
-                    return self.strike_fallback(addr);
+                    return self.strike_fallback(addr, way);
                 }
                 DetectionScheme::Secded => match secded_decode(value, stored_parity) {
                     SecdedOutcome::Clean => {
                         // Clean — or three-plus flips aliased to a valid
                         // codeword and slipped through.
-                        if fault.is_fault() {
+                        if faulted {
                             self.stats.faults_undetected += 1;
                         }
                         return Ok(value);
@@ -592,14 +666,27 @@ impl MemSystem {
                             self.charge_l1_read();
                             continue;
                         }
-                        return self.strike_fallback(addr);
+                        return self.strike_fallback(addr, way);
                     }
                 },
             }
         }
     }
 
-    fn strike_fallback(&mut self, addr: u32) -> Result<u32, MemError> {
+    /// Physical slot id of the word `addr` maps to in way `way` (the key
+    /// of the sticky fault-site process): slots are numbered over
+    /// (set, way) pairs line-major and over words within the line minor,
+    /// so the same id always denotes the same SRAM cells.
+    fn persistent_slot(&self, addr: u32, way: usize) -> u64 {
+        let g = &self.cfg.l1;
+        let set = u64::from(g.set_of(addr));
+        let assoc = g.assoc() as u64;
+        let words = u64::from(g.line_size() / 4);
+        let word = u64::from(g.offset_of(addr)) / 4;
+        (set * assoc + way as u64) * words + word
+    }
+
+    fn strike_fallback(&mut self, addr: u32, way: usize) -> Result<u32, MemError> {
         self.stats.strike_invalidations += 1;
         self.charge_l2_access(self.cfg.l1.line_base(addr), true);
         let mut truth = self.backing.read_word(addr)?;
@@ -612,6 +699,28 @@ impl MemSystem {
             if fetched != truth {
                 self.stats.recovery_failures += 1;
                 truth = fetched;
+            }
+        }
+        // Opt-in way-disabling escalation: strike invalidations landing
+        // repeatedly on the same physical slot within a short window are
+        // evidence of a permanent fault that re-fetching will never fix.
+        // Classify the site as broken and map the way out instead of
+        // invalidating forever. Pure counter bookkeeping — no RNG.
+        if let Some(policy) = self.cfg.way_disable {
+            let set = self.cfg.l1.set_of(addr);
+            let idx = set as usize * self.cfg.l1.assoc() as usize + way;
+            let now = self.stats.reads + self.stats.writes;
+            let h = &mut self.way_health[idx];
+            if h.strikes > 0 && now - h.last <= policy.window_accesses {
+                h.strikes += 1;
+            } else {
+                h.strikes = 1;
+            }
+            h.last = now;
+            if h.strikes >= policy.strike_threshold {
+                self.way_health[idx] = WayHealth::default();
+                self.retire_way(set, way, addr, truth)?;
+                return Ok(truth);
             }
         }
         match self.cfg.recovery {
@@ -630,6 +739,54 @@ impl MemSystem {
             }
         }
         Ok(truth)
+    }
+
+    /// Maps way `way` of `set` out of service after escalation: the
+    /// resident line's dirty data is salvaged through the writeback path
+    /// first — with the striking word patched to the refetched `truth`,
+    /// since its stored copy is exactly what detection refused to trust —
+    /// so way-disabling rescues updates that strike-forever would drop.
+    fn retire_way(&mut self, set: u32, way: usize, addr: u32, truth: u32) -> Result<(), MemError> {
+        if let Some((base, mut data)) = self.l1.disable_way(set, way) {
+            let off = self.cfg.l1.offset_of(addr) as usize & !3;
+            data[off..off + 4].copy_from_slice(&truth.to_le_bytes());
+            self.stats.salvage_writebacks += 1;
+            self.writeback(base, &data)?;
+        }
+        self.stats.ways_disabled += 1;
+        Ok(())
+    }
+
+    /// Maps way `way` of set `set` out of service by hand — the entry
+    /// point for studies that drive an explicit manufacturing/wear fault
+    /// map rather than waiting for strike escalation to find the sites.
+    /// A resident dirty line is salvaged through the writeback path.
+    /// Returns `true` if the way was newly disabled, `false` if it
+    /// already was (nothing is charged or counted in that case).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if the salvage writeback fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` or `way` is out of range for the L1 geometry.
+    pub fn disable_way(&mut self, set: u32, way: usize) -> Result<bool, MemError> {
+        if self.l1.way_disabled(set, way) {
+            return Ok(false);
+        }
+        if let Some((base, data)) = self.l1.disable_way(set, way) {
+            self.stats.salvage_writebacks += 1;
+            self.writeback(base, &data)?;
+        }
+        self.stats.ways_disabled += 1;
+        Ok(true)
+    }
+
+    /// Read access to the L1 data cache (for inspecting the disabled-way
+    /// map and per-set health from benches and tests).
+    pub fn l1_cache(&self) -> &DataCache {
+        &self.l1
     }
 
     /// Writes the aligned 32-bit word at `addr` through the faulty cache
@@ -661,7 +818,9 @@ impl MemSystem {
         }
         self.stats.slow_path_accesses += 1;
         self.stats.writes += 1;
-        let way = self.ensure_resident(addr)?;
+        let Some(way) = self.ensure_resident(addr)? else {
+            return self.bypass_write_word(addr, value);
+        };
         self.charge_l1_write();
         self.store_word(addr, way, value)
     }
@@ -734,7 +893,9 @@ impl MemSystem {
         }
         self.stats.slow_path_accesses += 1;
         self.stats.reads += 1;
-        let way = self.ensure_resident(word_addr)?;
+        let Some(way) = self.ensure_resident(word_addr)? else {
+            return self.bypass_read_word(word_addr);
+        };
         self.charge_l1_read();
         self.read_resident_word(word_addr, way)
     }
@@ -786,7 +947,14 @@ impl MemSystem {
         }
         self.stats.slow_path_accesses += 1;
         self.stats.writes += 1;
-        let way = self.ensure_resident(word_addr)?;
+        let Some(way) = self.ensure_resident(word_addr)? else {
+            // RMW against the L2/backing copy, charged as one bypass
+            // store (the merge happens in the store buffer, as in the
+            // resident path).
+            let current = self.backing.read_word(word_addr)?;
+            let intended = (current & !(mask << shift)) | ((value & mask) << shift);
+            return self.bypass_write_word(word_addr, intended);
+        };
         self.charge_l1_write();
         // Merge with the currently stored word (store-buffer RMW; no
         // extra architectural read access is charged).
@@ -2450,5 +2618,102 @@ mod tests {
         };
         assert_eq!(run(77), run(77));
         assert_ne!(run(77).1, run(78).1);
+    }
+
+    #[test]
+    fn way_disable_knob_draws_nothing_until_it_fires() {
+        use crate::policy::WayDisablePolicy;
+        // Arming way-disabling with a threshold the transient workload
+        // never reaches must leave the run bitwise unchanged: the
+        // escalation is pure counter bookkeeping, no RNG.
+        let run = |arm: bool| {
+            let mut cfg = MemConfig::strongarm()
+                .with_detection(DetectionScheme::Parity)
+                .with_fault_model(FaultProbabilityModel::new(0.02, 0.0));
+            if arm {
+                cfg = cfg.with_way_disable(WayDisablePolicy::new(1_000_000, 1));
+            }
+            let mut m = MemSystem::new(cfg, 77);
+            let values = drive_mixed(&mut m);
+            (values, *m.stats(), m.cycles().to_bits())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn persistent_process_never_perturbs_the_transient_stream() {
+        use fault_model::PersistentSiteConfig;
+        // A zero-rate persistent process spends randomness only from its
+        // own RNG stream, so the transient realization — and with it
+        // every value, cycle and fault counter — matches a run without
+        // it. (The knob pins the system to the exact slow path, which is
+        // bitwise interchangeable with the fast path by construction, so
+        // only the diagnostic path split may differ.)
+        let run = |persistent: bool| {
+            let mut cfg = MemConfig::strongarm()
+                .with_detection(DetectionScheme::Parity)
+                .with_fault_model(FaultProbabilityModel::new(0.01, 0.0));
+            if persistent {
+                cfg = cfg.with_persistent(PersistentSiteConfig::hard(0.0));
+            }
+            let mut m = MemSystem::new(cfg, 99);
+            let values = drive_mixed(&mut m);
+            let mut stats = *m.stats();
+            stats.fast_forward_accesses = 0;
+            stats.slow_path_accesses = 0;
+            (values, stats, m.cycles().to_bits(), m.energy())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn persistent_site_escalates_to_way_disable_and_bypass() {
+        use crate::policy::WayDisablePolicy;
+        use fault_model::PersistentSiteConfig;
+        // A hard stuck bit on one slot: every read strikes, re-fetching
+        // never helps, and after three strike invalidations inside the
+        // window the escalation maps the way out. From then on the
+        // direct-mapped set is fully disabled and the bypass services
+        // it — degraded, never wedged.
+        let cfg = MemConfig::strongarm()
+            .with_detection(DetectionScheme::Parity)
+            .with_strikes(StrikePolicy::two_strike())
+            .with_persistent(PersistentSiteConfig::hard(1.0))
+            .with_way_disable(WayDisablePolicy::new(3, 1_000));
+        let mut m = MemSystem::new(cfg, 7);
+        for i in 0..32u32 {
+            m.write_u32(0x80, i).unwrap();
+            let _ = m.read_u32(0x80).unwrap();
+        }
+        let s = *m.stats();
+        assert!(s.ways_disabled >= 1, "escalation never fired");
+        assert!(s.salvage_writebacks >= 1, "dirty line was not salvaged");
+        assert!(s.bypass_accesses > 0, "disabled set not serviced by bypass");
+        assert!(m
+            .l1_cache()
+            .set_fully_disabled(m.l1_geometry().set_of(0x80)));
+        // The broken set still round-trips through the bypass.
+        m.write_u32(0x80, 0xABCD).unwrap();
+        assert_eq!(m.read_u32(0x80).unwrap(), 0xABCD);
+    }
+
+    #[test]
+    fn manual_disable_bypass_round_trips_all_widths() {
+        let mut m = quiet();
+        m.write_u32(0x100, 0xDEAD_BEEF).unwrap();
+        let set = m.l1_geometry().set_of(0x100);
+        assert!(m.disable_way(set, 0).unwrap());
+        assert!(!m.disable_way(set, 0).unwrap(), "second call is a no-op");
+        // The dirty line went out through the writeback path, so the
+        // bypass reads the stored value back from the L2 side.
+        assert_eq!(m.stats().salvage_writebacks, 1);
+        assert_eq!(m.stats().ways_disabled, 1);
+        assert_eq!(m.read_u32(0x100).unwrap(), 0xDEAD_BEEF);
+        m.write_u16(0x102, 0xBEEF).unwrap();
+        m.write_u8(0x101, 0x55).unwrap();
+        assert_eq!(m.read_u16(0x102).unwrap(), 0xBEEF);
+        assert_eq!(m.read_u8(0x101).unwrap(), 0x55);
+        assert!(m.stats().bypass_accesses >= 5);
+        assert!(m.l1_cache().set_fully_disabled(set));
     }
 }

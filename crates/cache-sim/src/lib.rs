@@ -56,6 +56,7 @@
 mod backing;
 mod cache;
 mod config;
+pub mod degradation;
 mod error;
 mod hierarchy;
 mod policy;
@@ -63,12 +64,15 @@ mod secded;
 mod stats;
 
 pub use backing::BackingStore;
-pub use cache::{CacheGeometry, DataCache, TagCache, WordCode};
+pub use cache::{CacheGeometry, DataCache, GeometryError, TagCache, WordCode};
 pub use config::MemConfig;
+pub use degradation::{relative_error, BaselineProfile, DegradationEstimate, DegradationModel};
 pub use error::MemError;
 pub use fault_model::SamplingMode;
 pub use hierarchy::{Access, MemSystem};
-pub use policy::{DetectionScheme, FaultTargets, RecoveryGranularity, StrikePolicy};
+pub use policy::{
+    DetectionScheme, FaultTargets, RecoveryGranularity, StrikePolicy, WayDisablePolicy,
+};
 pub use secded::{
     secded_decode, secded_encode, secded_encode_block, SecdedOutcome, SECDED_CODE_BITS,
 };

@@ -272,6 +272,90 @@ impl Default for StrikePolicy {
     }
 }
 
+/// Way-disabling escalation: the fourth reliability scheme, layered on
+/// top of a [`StrikePolicy`].
+///
+/// The strike policies assume every fault is transient — a faulty word
+/// is refetched from L2 forever. Under a *persistent* fault site that
+/// assumption loops: the same slot strikes out on every access. This
+/// policy watches strike invalidations per physical `(set, way)` slot;
+/// when `strike_threshold` of them land on the same slot within a
+/// window of `window_accesses` L1 accesses, the site is classified
+/// permanent, its dirty contents are salvaged through the ordinary
+/// writeback path, and the way is mapped out for that set
+/// ([`DataCache::disable_way`](crate::DataCache)). The cache then runs
+/// degraded: victim selection skips the slot, and a fully mapped-out
+/// set services its accesses straight from L2 at L2 cost.
+///
+/// Escalation is pure bookkeeping — it draws no randomness — so
+/// enabling it under a purely transient fault process leaves the fault
+/// realization untouched (only slots that actually strike out
+/// `strike_threshold` times behave differently).
+///
+/// # Examples
+///
+/// ```
+/// use cache_sim::WayDisablePolicy;
+///
+/// let p = WayDisablePolicy::default_policy();
+/// assert_eq!(p.strike_threshold, 3);
+/// let eager = WayDisablePolicy::new(1, 1000);
+/// assert_eq!(eager.strike_threshold, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WayDisablePolicy {
+    /// Strike invalidations on the same `(set, way)` slot that classify
+    /// the site as permanent.
+    pub strike_threshold: u32,
+    /// Accesses (reads + writes) within which the strikes must
+    /// accumulate; a strike farther than this from the slot's previous
+    /// one restarts the count (the site looks transient again).
+    pub window_accesses: u64,
+}
+
+impl WayDisablePolicy {
+    /// A policy with the given threshold and window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `strike_threshold` is zero.
+    pub fn new(strike_threshold: u32, window_accesses: u64) -> Self {
+        assert!(
+            strike_threshold >= 1,
+            "strike threshold must be at least 1, got {strike_threshold}"
+        );
+        WayDisablePolicy {
+            strike_threshold,
+            window_accesses,
+        }
+    }
+
+    /// Default escalation: three strike invalidations on the same slot
+    /// within 100k accesses. Tight enough to catch a hard site within a
+    /// few packets, loose enough that independent transient faults
+    /// (whose per-slot recurrence within any window is vanishingly rare
+    /// at paper fault rates) essentially never escalate.
+    pub fn default_policy() -> Self {
+        WayDisablePolicy::new(3, 100_000)
+    }
+}
+
+impl Default for WayDisablePolicy {
+    fn default() -> Self {
+        WayDisablePolicy::default_policy()
+    }
+}
+
+impl fmt::Display for WayDisablePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "way-disable({} strikes / {} accesses)",
+            self.strike_threshold, self.window_accesses
+        )
+    }
+}
+
 impl fmt::Display for StrikePolicy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.strikes {
@@ -323,6 +407,21 @@ mod tests {
         assert_eq!(format!("{}", DetectionScheme::None), "no detection");
         assert_eq!(format!("{}", DetectionScheme::Parity), "parity");
         assert_eq!(format!("{}", DetectionScheme::ParityPerByte), "byte-parity");
+    }
+
+    #[test]
+    fn way_disable_policy_defaults_and_display() {
+        let p = WayDisablePolicy::default();
+        assert_eq!(p, WayDisablePolicy::default_policy());
+        assert_eq!(p.strike_threshold, 3);
+        assert_eq!(p.window_accesses, 100_000);
+        assert_eq!(format!("{p}"), "way-disable(3 strikes / 100000 accesses)");
+    }
+
+    #[test]
+    #[should_panic(expected = "strike threshold")]
+    fn way_disable_rejects_zero_threshold() {
+        WayDisablePolicy::new(0, 100);
     }
 
     #[test]

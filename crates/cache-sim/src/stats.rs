@@ -77,6 +77,17 @@ pub struct MemStats {
     /// arrivals, suspect lines, opt-in aux targets, or the exact
     /// per-access sampler).
     pub slow_path_accesses: u64,
+    /// Ways mapped out by the opt-in way-disabling escalation
+    /// ([`WayDisablePolicy`](crate::WayDisablePolicy)) or by an explicit
+    /// [`MemSystem::disable_way`](crate::MemSystem) call.
+    pub ways_disabled: u64,
+    /// Dirty lines rescued through the writeback path at the moment
+    /// their way was mapped out (data that strike-forever would have
+    /// dropped or kept corrupting).
+    pub salvage_writebacks: u64,
+    /// Accesses to fully mapped-out sets serviced straight from the L2
+    /// at L2 cost (the degraded-but-never-wedged path).
+    pub bypass_accesses: u64,
 }
 
 impl MemStats {
@@ -133,6 +144,9 @@ impl MemStats {
             freq_switches: self.freq_switches - earlier.freq_switches,
             fast_forward_accesses: self.fast_forward_accesses - earlier.fast_forward_accesses,
             slow_path_accesses: self.slow_path_accesses - earlier.slow_path_accesses,
+            ways_disabled: self.ways_disabled - earlier.ways_disabled,
+            salvage_writebacks: self.salvage_writebacks - earlier.salvage_writebacks,
+            bypass_accesses: self.bypass_accesses - earlier.bypass_accesses,
         }
     }
 }

@@ -2,7 +2,9 @@
 
 use crate::args::{ArgError, Args};
 use crate::json::{array, JsonObject};
-use cache_sim::{DetectionScheme, FaultTargets, RecoveryGranularity, StrikePolicy};
+use cache_sim::{
+    DetectionScheme, FaultTargets, RecoveryGranularity, StrikePolicy, WayDisablePolicy,
+};
 use clumsy_core::campaign::grid_hash;
 use clumsy_core::experiment::{paper_schemes, run_config_on_trace, ExperimentOptions, GridPoint};
 use clumsy_core::{
@@ -11,7 +13,7 @@ use clumsy_core::{
     SafeModeConfig, Stopwatch, Telemetry, PAPER_CYCLE_TIMES,
 };
 use energy_model::EdfMetric;
-use fault_model::{FaultProbabilityModel, VoltageSwingCurve};
+use fault_model::{FaultProbabilityModel, PersistentSiteConfig, VoltageSwingCurve};
 use netbench::{AppKind, Trace, TraceConfig};
 
 /// Top-level CLI error.
@@ -31,6 +33,16 @@ pub enum CliError {
     /// The campaign journal could not be read, written, or matched
     /// against the requested run.
     Journal(JournalError),
+    /// An option was given that the rest of the command line makes
+    /// unobservable. Accepting it silently has already cost debugging
+    /// time (an `--l2-cycle` with the `l2` target off changes nothing),
+    /// so an inert option is an error, not a shrug.
+    InertOption {
+        /// The option that would have no effect.
+        option: String,
+        /// What the command line must also say for it to matter.
+        requires: String,
+    },
     /// A durable campaign was interrupted (SIGINT/SIGTERM) before all
     /// jobs ran; the journal makes it resumable. `main` prints the
     /// partial output and exits with status 3 rather than 2.
@@ -50,6 +62,10 @@ impl std::fmt::Display for CliError {
                 write!(f, "unknown command {c:?} (try `clumsy help`)")
             }
             CliError::Io { path, source } => write!(f, "cannot write {path:?}: {source}"),
+            CliError::InertOption { option, requires } => write!(
+                f,
+                "--{option} has no effect without {requires}; drop the flag or enable the target"
+            ),
             CliError::Journal(e) => write!(f, "{e}"),
             CliError::Interrupted { partial, journal } => write!(
                 f,
@@ -109,13 +125,17 @@ RUN OPTIONS:
     --app <name>          application (default route; see `clumsy apps`)
     --cr <0..1|dynamic>   relative cycle time or the dynamic plan (default 1.0)
     --detection <d>       none | parity | byte-parity | ecc (default none)
-    --strikes <1..8>      strike policy (default 2)
+    --strikes <n>         strike policy: a count in 1..=8 (default 2), or
+                          way-disable to escalate repeated strikes on one
+                          slot into mapping the way out and running degraded
     --recovery <g>        line | word (default line)
     --watchdog            contain fatal errors by dropping the packet
     --fault-targets <t>   '+'-joined subset of data/tag/parity/l2, or all
                           (default data; l2 makes recovery itself fallible)
-    --l2-cycle <0..1>     relative L2 cycle time, observable only with the
-                          l2 target on (default 1.0)
+    --l2-cycle <0..1>     relative L2 cycle time; rejected unless the l2
+                          fault target is on (default 1.0)
+    --persistent <p>      sticky fault-site activation probability in (0, 1];
+                          opt-in permanent-fault process (default off)
     --safe-mode           absolute fault-rate clamp for --cr dynamic: storm
                           epochs drop to Cr=1 and hold before re-climbing
     --packets <n>         trace length (default 2000)
@@ -132,7 +152,11 @@ CAMPAIGN OPTIONS:
     --app <name|all>      one application or the whole Table I set (default all)
     --fault-targets <t>   '+'-joined subset of data/tag/parity/l2, or all
                           (default data)
-    --l2-cycle <0..1>     relative L2 cycle time for the l2 target (default 1.0)
+    --l2-cycle <0..1>     relative L2 cycle time; rejected unless the l2
+                          fault target is on (default 1.0)
+    --strikes way-disable add the way-disable degraded scheme as a fifth
+                          row of the recovery-scheme grid
+    --persistent <p>      sticky fault-site probability applied to every cell
     --deadline-ms <n>     per-trial wall-clock budget (default: none)
     --retries <n>         reseeded retries per failing trial (default 1)
     --csv <path>          also write the per-cell counts as CSV (atomic)
@@ -263,15 +287,29 @@ fn parse_config(args: &Args) -> Result<ClumsyConfig, CliError> {
             }))
         }
     };
-    let strikes: u8 = args.get_parsed("strikes", 2, "a strike count in 1..=8")?;
-    if !(1..=8).contains(&strikes) {
-        return Err(CliError::Args(ArgError::BadValue {
-            option: "strikes".into(),
-            value: strikes.to_string(),
-            expected: "a strike count in 1..=8",
-        }));
+    cfg = match args.get("strikes") {
+        // The fourth reliability scheme: keep the two-strike refetch
+        // policy, but escalate repeated strikes on one physical slot to
+        // mapping the way out and running degraded.
+        Some("way-disable") => cfg
+            .with_strikes(StrikePolicy::two_strike())
+            .with_way_disable(WayDisablePolicy::default_policy()),
+        _ => {
+            let strikes: u8 =
+                args.get_parsed("strikes", 2, "a strike count in 1..=8, or way-disable")?;
+            if !(1..=8).contains(&strikes) {
+                return Err(CliError::Args(ArgError::BadValue {
+                    option: "strikes".into(),
+                    value: strikes.to_string(),
+                    expected: "a strike count in 1..=8, or way-disable",
+                }));
+            }
+            cfg.with_strikes(StrikePolicy::with_strikes(strikes))
+        }
+    };
+    if let Some(p) = parse_persistent(args)? {
+        cfg = cfg.with_persistent(p);
     }
-    cfg = cfg.with_strikes(StrikePolicy::with_strikes(strikes));
     cfg = match args.get("recovery").unwrap_or("line") {
         "line" => cfg.with_recovery(RecoveryGranularity::Line),
         "word" => cfg.with_recovery(RecoveryGranularity::Word),
@@ -320,8 +358,9 @@ fn parse_config(args: &Args) -> Result<ClumsyConfig, CliError> {
             }))
         }
     };
-    cfg = cfg.with_fault_targets(parse_targets(args)?);
-    cfg = cfg.with_l2_cycle(parse_l2_cycle(args)?);
+    let targets = parse_targets(args)?;
+    cfg = cfg.with_fault_targets(targets);
+    cfg = cfg.with_l2_cycle(parse_l2_cycle(args, targets)?);
     if args.flag("safe-mode") {
         if !matches!(cfg.frequency, FrequencyPlan::Dynamic(_)) {
             return Err(CliError::Args(ArgError::BadValue {
@@ -365,6 +404,7 @@ const RUN_OPTIONS: &[&str] = &[
     "fault-targets",
     "l2-cycle",
     "safe-mode",
+    "persistent",
     "metrics",
 ];
 
@@ -436,7 +476,10 @@ fn run(args: &Args) -> Result<String, CliError> {
             .string("outcome", r.outcome().label())
             .integer("faults_corrected", r.stats.faults_corrected)
             .integer("l2_faults_injected", r.stats.l2_faults_injected)
-            .integer("recovery_failures", r.stats.recovery_failures);
+            .integer("recovery_failures", r.stats.recovery_failures)
+            .integer("ways_disabled", r.stats.ways_disabled)
+            .integer("salvage_writebacks", r.stats.salvage_writebacks)
+            .integer("bypass_accesses", r.stats.bypass_accesses);
         let oc = agg.outcome_counts();
         o.integer("trials_masked", oc.masked)
             .integer("trials_corrected", oc.corrected)
@@ -493,9 +536,11 @@ fn parse_targets(args: &Args) -> Result<FaultTargets, CliError> {
     Ok(targets)
 }
 
-/// Parses `--l2-cycle`, the relative L2 cycle time in (0, 1]. Only
-/// observable when the `l2` fault target is on.
-fn parse_l2_cycle(args: &Args) -> Result<f64, CliError> {
+/// Parses `--l2-cycle`, the relative L2 cycle time in (0, 1]. The knob
+/// is only observable when the `l2` fault target is on, so giving it
+/// without that target is a typed [`CliError::InertOption`] rather
+/// than a silent no-op.
+fn parse_l2_cycle(args: &Args, targets: FaultTargets) -> Result<f64, CliError> {
     let l2_cycle: f64 = args.get_parsed("l2-cycle", 1.0, "an L2 cycle time in (0, 1]")?;
     if !(l2_cycle > 0.0 && l2_cycle <= 1.0) {
         return Err(CliError::Args(ArgError::BadValue {
@@ -504,7 +549,38 @@ fn parse_l2_cycle(args: &Args) -> Result<f64, CliError> {
             expected: "an L2 cycle time in (0, 1]",
         }));
     }
+    if args.get("l2-cycle").is_some() && !targets.l2 {
+        return Err(CliError::InertOption {
+            option: "l2-cycle".into(),
+            requires: "the l2 fault target (e.g. --fault-targets data+l2)".into(),
+        });
+    }
     Ok(l2_cycle)
+}
+
+/// Parses `--persistent`, the opt-in sticky fault-site activation
+/// probability. `None` when the flag is absent — the persistent
+/// process then never exists and draws zero RNG.
+fn parse_persistent(args: &Args) -> Result<Option<PersistentSiteConfig>, CliError> {
+    let Some(v) = args.get("persistent") else {
+        return Ok(None);
+    };
+    let expected = "a per-access site-activation probability in (0, 1]";
+    let p: f64 = v.parse().map_err(|_| {
+        CliError::Args(ArgError::BadValue {
+            option: "persistent".into(),
+            value: v.into(),
+            expected,
+        })
+    })?;
+    if !(p > 0.0 && p <= 1.0) {
+        return Err(CliError::Args(ArgError::BadValue {
+            option: "persistent".into(),
+            value: v.into(),
+            expected,
+        }));
+    }
+    Ok(Some(PersistentSiteConfig::hard(p)))
 }
 
 const CAMPAIGN_OPTIONS: &[&str] = &[
@@ -515,6 +591,8 @@ const CAMPAIGN_OPTIONS: &[&str] = &[
     "jobs",
     "fault-targets",
     "l2-cycle",
+    "strikes",
+    "persistent",
     "deadline-ms",
     "retries",
     "csv",
@@ -565,7 +643,21 @@ fn campaign(args: &Args) -> Result<String, CliError> {
         engine = engine.with_telemetry(std::sync::Arc::clone(t));
     }
     let targets = parse_targets(args)?;
-    let l2_cycle = parse_l2_cycle(args)?;
+    let l2_cycle = parse_l2_cycle(args, targets)?;
+    let persistent = parse_persistent(args)?;
+    // The campaign grid already sweeps the paper's strike policies;
+    // `--strikes way-disable` adds the degraded scheme as a fifth row.
+    let way_disable = match args.get("strikes") {
+        None => false,
+        Some("way-disable") => true,
+        Some(other) => {
+            return Err(CliError::Args(ArgError::BadValue {
+                option: "strikes".into(),
+                value: other.into(),
+                expected: "way-disable (the grid already sweeps the paper strike policies)",
+            }))
+        }
+    };
     let apps: Vec<AppKind> = match args.get("app") {
         None | Some("all") => AppKind::all().to_vec(),
         Some(_) => vec![parse_app(args)?],
@@ -591,19 +683,35 @@ fn campaign(args: &Args) -> Result<String, CliError> {
     // with the requested injection targets.
     let mut labels: Vec<(&'static str, &'static str, f64)> = Vec::new();
     let mut points: Vec<GridPoint> = Vec::new();
+    let mut schemes: Vec<(&'static str, DetectionScheme, StrikePolicy, bool)> = paper_schemes()
+        .into_iter()
+        .map(|(scheme, detection, strikes)| (scheme, detection, strikes, false))
+        .collect();
+    if way_disable {
+        schemes.push((
+            "way-disable",
+            DetectionScheme::Parity,
+            StrikePolicy::two_strike(),
+            true,
+        ));
+    }
     for app in &apps {
-        for (scheme, detection, strikes) in paper_schemes() {
+        for &(scheme, detection, strikes, disable) in &schemes {
             for cr in PAPER_CYCLE_TIMES {
                 labels.push((app.name(), scheme, cr));
-                points.push(GridPoint::new(
-                    *app,
-                    ClumsyConfig::baseline()
-                        .with_detection(detection)
-                        .with_strikes(strikes)
-                        .with_static_cycle(cr)
-                        .with_fault_targets(targets)
-                        .with_l2_cycle(l2_cycle),
-                ));
+                let mut cfg = ClumsyConfig::baseline()
+                    .with_detection(detection)
+                    .with_strikes(strikes)
+                    .with_static_cycle(cr)
+                    .with_fault_targets(targets)
+                    .with_l2_cycle(l2_cycle);
+                if disable {
+                    cfg = cfg.with_way_disable(WayDisablePolicy::default_policy());
+                }
+                if let Some(p) = persistent {
+                    cfg = cfg.with_persistent(p);
+                }
+                points.push(GridPoint::new(*app, cfg));
             }
         }
     }
@@ -1039,6 +1147,63 @@ mod tests {
     }
 
     #[test]
+    fn run_accepts_way_disable_strikes_and_persistent_sites() {
+        let out = dispatch_line(&[
+            "run",
+            "--app",
+            "crc",
+            "--packets",
+            "30",
+            "--detection",
+            "parity",
+            "--strikes",
+            "way-disable",
+            "--persistent",
+            "0.01",
+        ])
+        .unwrap();
+        assert!(
+            out.contains("way-disable"),
+            "config label should show the degraded scheme: {out}"
+        );
+        assert!(dispatch_line(&["run", "--strikes", "way-fix"]).is_err());
+        assert!(dispatch_line(&["run", "--persistent", "1.5"]).is_err());
+        assert!(dispatch_line(&["run", "--persistent", "0"]).is_err());
+    }
+
+    #[test]
+    fn an_inert_l2_cycle_is_a_typed_error() {
+        let err = dispatch_line(&["run", "--l2-cycle", "0.5"]).unwrap_err();
+        assert!(
+            matches!(err, CliError::InertOption { .. }),
+            "expected InertOption, got {err:?}"
+        );
+        assert!(format!("{err}").contains("l2 fault target"), "{err}");
+        let err = dispatch_line(&["campaign", "--l2-cycle", "0.5"]).unwrap_err();
+        assert!(matches!(err, CliError::InertOption { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn campaign_way_disable_adds_the_fifth_scheme_row() {
+        let out = dispatch_line(&[
+            "campaign",
+            "--app",
+            "crc",
+            "--packets",
+            "40",
+            "--strikes",
+            "way-disable",
+            "--persistent",
+            "0.001",
+        ])
+        .unwrap();
+        assert!(out.contains("way-disable"), "{out}");
+        // 5 schemes x 4 clocks for one app.
+        assert_eq!(out.lines().filter(|l| l.contains("crc")).count(), 20);
+        assert!(dispatch_line(&["campaign", "--strikes", "3"]).is_err());
+    }
+
+    #[test]
     fn help_pins_the_recovery_flags() {
         let h = help_text();
         for needle in [
@@ -1046,6 +1211,8 @@ mod tests {
             "--fault-targets <t>   '+'-joined subset of data/tag/parity/l2, or all",
             "--l2-cycle <0..1>",
             "--safe-mode",
+            "way-disable",
+            "--persistent <p>",
         ] {
             assert!(h.contains(needle), "help lost {needle:?}");
         }

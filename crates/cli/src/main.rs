@@ -40,9 +40,9 @@ fn main() {
                 commands::CliError::Interrupted { .. } => clumsy_bench::EXIT_INTERRUPTED,
                 commands::CliError::Io { .. } => clumsy_bench::EXIT_FAILURES,
                 commands::CliError::Journal(err) => clumsy_bench::journal_exit_code(err),
-                commands::CliError::Args(_) | commands::CliError::UnknownCommand(_) => {
-                    clumsy_bench::EXIT_USAGE
-                }
+                commands::CliError::Args(_)
+                | commands::CliError::UnknownCommand(_)
+                | commands::CliError::InertOption { .. } => clumsy_bench::EXIT_USAGE,
             };
             std::process::exit(code);
         }

@@ -168,11 +168,12 @@ fn word_recovery_one_strike_md5_is_unchanged() {
 }
 
 #[test]
-fn an_inert_l2_cycle_does_not_perturb_the_digest() {
-    // `--l2-cycle` without the l2 target must be a pure no-op: same
-    // digest as the pinned run above.
-    assert_digest(
-        &[
+fn an_inert_l2_cycle_is_rejected_up_front() {
+    // `--l2-cycle` without the l2 target used to be a silent no-op,
+    // which cost debugging time; it is now a typed error before any
+    // simulation runs, so it can never perturb a digest.
+    let out = Command::new(env!("CARGO_BIN_EXE_clumsy"))
+        .args([
             "run",
             "--app",
             "route",
@@ -183,11 +184,44 @@ fn an_inert_l2_cycle_does_not_perturb_the_digest() {
             "--l2-cycle",
             "0.25",
             "--json",
+        ])
+        .output()
+        .expect("binary spawns");
+    assert!(!out.status.success(), "an inert --l2-cycle must be refused");
+    let msg = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(
+        msg.contains("--l2-cycle has no effect without the l2 fault target"),
+        "rejection must name the missing target: {msg}"
+    );
+}
+
+#[test]
+fn way_disable_with_persistent_sites_off_matches_the_pinned_digest() {
+    // The way-disable escalation machinery is pure bookkeeping: with no
+    // persistent-fault process there are no repeated strikes on one
+    // slot, zero extra RNG draws, and the digest is bit-for-bit the
+    // parity/two-strike pin above.
+    assert_digest(
+        &[
+            "run",
+            "--app",
+            "route",
+            "--packets",
+            "300",
+            "--cr",
+            "0.25",
+            "--detection",
+            "parity",
+            "--strikes",
+            "way-disable",
+            "--json",
         ],
         &[
-            "\"nj_per_packet\":2169.226243868281",
-            "\"relative_edf2\":1.254073225893946",
-            "\"faults_injected\":7,\"faults_detected\":0,\"outcome\":\"sdc\"",
+            "\"cycles_per_packet\":710.8966666666666",
+            "\"nj_per_packet\":2179.871649498062",
+            "\"relative_edf2\":0.6496993931314583",
+            "\"faults_injected\":7,\"faults_detected\":3,\"outcome\":\"sdc\"",
+            "\"ways_disabled\":0,\"salvage_writebacks\":0,\"bypass_accesses\":0",
         ],
     );
 }

@@ -243,6 +243,22 @@ impl ClumsyConfig {
         self
     }
 
+    /// Returns the config with way-disabling escalation enabled on top
+    /// of the strike policy: repeated strikes on one physical slot map
+    /// the way out (salvaging dirty data) instead of re-fetching
+    /// forever, and fully mapped-out sets are serviced from the L2.
+    pub fn with_way_disable(mut self, policy: cache_sim::WayDisablePolicy) -> Self {
+        self.mem = self.mem.with_way_disable(policy);
+        self
+    }
+
+    /// Returns the config with the opt-in persistent/intermittent
+    /// fault-site process enabled alongside the transient one.
+    pub fn with_persistent(mut self, persistent: fault_model::PersistentSiteConfig) -> Self {
+        self.mem = self.mem.with_persistent(persistent);
+        self
+    }
+
     /// Returns the config with watchdog fatal-error recovery enabled.
     pub fn with_watchdog(mut self) -> Self {
         self.watchdog = true;
@@ -278,10 +294,15 @@ impl ClumsyConfig {
 
     /// Short label: "parity/two-strike @ 0.50".
     pub fn label(&self) -> String {
+        let scheme = if self.mem.way_disable.is_some() {
+            format!("{}+way-disable", self.mem.strikes)
+        } else {
+            self.mem.strikes.to_string()
+        };
         format!(
             "{}/{} @ {}",
             self.mem.detection,
-            self.mem.strikes,
+            scheme,
             self.frequency.label()
         )
     }

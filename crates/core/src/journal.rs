@@ -337,7 +337,7 @@ fn encode_report(r: &RunReport) -> String {
     let st = &r.stats;
     let _ = write!(
         s,
-        ",\"stats\":[{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}]",
+        ",\"stats\":[{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}]",
         st.reads,
         st.writes,
         st.l1_hits,
@@ -358,7 +358,10 @@ fn encode_report(r: &RunReport) -> String {
         st.dirty_drops,
         st.freq_switches,
         st.fast_forward_accesses,
-        st.slow_path_accesses
+        st.slow_path_accesses,
+        st.ways_disabled,
+        st.salvage_writebacks,
+        st.bypass_accesses
     );
     s.push_str(",\"freq\":[");
     for (i, (idx, cr)) in r.freq_trace.iter().enumerate() {
@@ -560,12 +563,20 @@ fn decode_report(sc: &mut Scanner) -> Option<RunReport> {
         overhead_nj: nj[4],
     };
     sc.lit(",\"stats\":[")?;
-    let mut counters = [0u64; 21];
-    for (i, slot) in counters.iter_mut().enumerate() {
+    let mut counters = [0u64; 24];
+    for (i, slot) in counters.iter_mut().enumerate().take(21) {
         if i > 0 {
             sc.lit(",")?;
         }
         *slot = sc.u64_()?;
+    }
+    // Degraded-mode counters appended by newer writers; journals from
+    // before way-disabling simply stop at 21 entries (counters stay 0).
+    for slot in counters[21..].iter_mut() {
+        if sc.peek() == Some(b',') {
+            sc.lit(",")?;
+            *slot = sc.u64_()?;
+        }
     }
     sc.lit("]")?;
     let stats = cache_sim::MemStats {
@@ -590,6 +601,9 @@ fn decode_report(sc: &mut Scanner) -> Option<RunReport> {
         freq_switches: counters[18],
         fast_forward_accesses: counters[19],
         slow_path_accesses: counters[20],
+        ways_disabled: counters[21],
+        salvage_writebacks: counters[22],
+        bypass_accesses: counters[23],
     };
     sc.lit(",\"freq\":[")?;
     let mut freq_trace = Vec::new();

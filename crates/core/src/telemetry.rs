@@ -61,6 +61,9 @@ struct Counters {
     recovery_failures: AtomicU64,
     fast_forward_accesses: AtomicU64,
     slow_path_accesses: AtomicU64,
+    ways_disabled: AtomicU64,
+    salvage_writebacks: AtomicU64,
+    bypass_accesses: AtomicU64,
     outcomes: [AtomicU64; 6],
     journal_records: AtomicU64,
     journal_fsyncs: AtomicU64,
@@ -272,6 +275,12 @@ impl Telemetry {
             .fetch_add(st.fast_forward_accesses, Ordering::Relaxed);
         c.slow_path_accesses
             .fetch_add(st.slow_path_accesses, Ordering::Relaxed);
+        c.ways_disabled
+            .fetch_add(st.ways_disabled, Ordering::Relaxed);
+        c.salvage_writebacks
+            .fetch_add(st.salvage_writebacks, Ordering::Relaxed);
+        c.bypass_accesses
+            .fetch_add(st.bypass_accesses, Ordering::Relaxed);
         c.outcomes[outcome_index(report.outcome())].fetch_add(1, Ordering::Relaxed);
     }
 
@@ -339,6 +348,9 @@ impl Telemetry {
             s.recovery_failures += c.recovery_failures.load(Ordering::Relaxed);
             s.fast_forward_accesses += c.fast_forward_accesses.load(Ordering::Relaxed);
             s.slow_path_accesses += c.slow_path_accesses.load(Ordering::Relaxed);
+            s.ways_disabled += c.ways_disabled.load(Ordering::Relaxed);
+            s.salvage_writebacks += c.salvage_writebacks.load(Ordering::Relaxed);
+            s.bypass_accesses += c.bypass_accesses.load(Ordering::Relaxed);
             for (tally, bucket) in s.outcomes.iter_mut().zip(c.outcomes.iter()) {
                 *tally += bucket.load(Ordering::Relaxed);
             }
@@ -410,6 +422,12 @@ pub struct MetricsSnapshot {
     pub fast_forward_accesses: u64,
     /// Accesses that took the full checking path.
     pub slow_path_accesses: u64,
+    /// L1 ways mapped out by escalation or explicit fault maps.
+    pub ways_disabled: u64,
+    /// Dirty lines salvaged through the writeback path at disable time.
+    pub salvage_writebacks: u64,
+    /// Accesses to fully mapped-out sets serviced from the L2 bypass.
+    pub bypass_accesses: u64,
     /// Trial tallies, least to most severe ([`TrialOutcome::all`]).
     pub outcomes: [u64; 6],
     /// Records handed to the journal writer thread.
@@ -486,7 +504,8 @@ impl MetricsSnapshot {
             "\n  \"faults\": {{\"faults_injected\": {}, \"tag_faults_injected\": {}, \
              \"parity_faults_injected\": {}, \"l2_faults_injected\": {}, \
              \"faults_detected\": {}, \"faults_corrected\": {}, \"strike_retries\": {}, \
-             \"recovery_failures\": {}}},",
+             \"recovery_failures\": {}, \"ways_disabled\": {}, \"salvage_writebacks\": {}, \
+             \"bypass_accesses\": {}}},",
             self.faults_injected,
             self.tag_faults_injected,
             self.parity_faults_injected,
@@ -494,7 +513,10 @@ impl MetricsSnapshot {
             self.faults_detected,
             self.faults_corrected,
             self.strike_retries,
-            self.recovery_failures
+            self.recovery_failures,
+            self.ways_disabled,
+            self.salvage_writebacks,
+            self.bypass_accesses
         );
         let _ = write!(
             s,
@@ -765,6 +787,9 @@ mod tests {
         assert!(map.contains_key("outcome_sdc"));
         assert!(map.contains_key("engine_jobs"));
         assert!(map.contains_key("elapsed_ms"));
+        assert!(map.contains_key("ways_disabled"));
+        assert!(map.contains_key("salvage_writebacks"));
+        assert!(map.contains_key("bypass_accesses"));
     }
 
     #[test]

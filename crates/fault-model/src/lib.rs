@@ -61,6 +61,7 @@
 pub mod immunity;
 pub mod multibit;
 pub mod noise;
+pub mod persistent;
 pub mod probability;
 pub mod sampler;
 pub mod swing;
@@ -68,6 +69,7 @@ pub mod swing;
 pub use immunity::NoiseImmunityCurve;
 pub use multibit::{FaultEvent, MultiBitModel};
 pub use noise::{NoiseAmplitudeDistribution, NoiseDurationDistribution, SwitchingCensus};
+pub use persistent::{PersistentFaultProcess, PersistentSiteConfig};
 pub use probability::{
     FaultProbabilityModel, IntegratedFaultModel, CALIBRATED_BETA, PAPER_PRINTED_BETA,
 };
