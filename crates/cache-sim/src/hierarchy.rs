@@ -572,7 +572,7 @@ impl MemSystem {
             // from the process's own RNG stream so the transient
             // realization above is untouched.
             let mut flip = fault.mask();
-            if self.persistent.is_some() && self.sampler.is_enabled() {
+            if self.persistent.is_some() && self.sampler.is_enabled() && self.cfg.targets.data {
                 let slot = self.persistent_slot(addr, way);
                 if let Some(p) = self.persistent.as_mut() {
                     let pmask = p.touch(slot, WORD_BITS);
@@ -2664,6 +2664,27 @@ mod tests {
             (values, stats, m.cycles().to_bits(), m.energy())
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn persistent_sites_respect_the_data_target_switch() {
+        use fault_model::PersistentSiteConfig;
+        // Persistent sites model stuck bits in the L1 *data* array, so
+        // they are gated on the same target switch as transient data
+        // faults: with `targets.data` off, even a hard always-on
+        // process must never touch a read.
+        let mut targets = crate::policy::FaultTargets::data_only();
+        targets.data = false;
+        let cfg = MemConfig::strongarm()
+            .with_detection(DetectionScheme::Parity)
+            .with_persistent(PersistentSiteConfig::hard(1.0))
+            .with_targets(targets);
+        let mut m = MemSystem::new(cfg, 7);
+        for i in 0..32u32 {
+            m.write_u32(0x80, i).unwrap();
+            assert_eq!(m.read_u32(0x80).unwrap(), i);
+        }
+        assert_eq!(m.stats().faults_injected, 0);
     }
 
     #[test]

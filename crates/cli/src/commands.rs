@@ -8,9 +8,9 @@ use cache_sim::{
 use clumsy_core::campaign::grid_hash;
 use clumsy_core::experiment::{paper_schemes, run_config_on_trace, ExperimentOptions, GridPoint};
 use clumsy_core::{
-    interrupt, run_campaign_durable, run_campaign_instrumented, run_campaign_on, CampaignConfig,
-    ClumsyConfig, DurableOptions, DynamicConfig, FrequencyPlan, JournalError, ProgressReporter,
-    SafeModeConfig, Stopwatch, Telemetry, PAPER_CYCLE_TIMES,
+    interrupt, run_campaign_durable, run_campaign_instrumented, run_campaign_on, run_serve,
+    CampaignConfig, ClumsyConfig, DurableOptions, DynamicConfig, FrequencyPlan, JournalError,
+    ProgressReporter, SafeModeConfig, ServeConfig, Stopwatch, Telemetry, PAPER_CYCLE_TIMES,
 };
 use energy_model::EdfMetric;
 use fault_model::{FaultProbabilityModel, PersistentSiteConfig, VoltageSwingCurve};
@@ -93,6 +93,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "run" => run(args),
         "sweep" => sweep(args),
         "campaign" => campaign(args),
+        "serve" => serve(args),
         "trace" => trace_info(args),
         "model" => model(args),
         "apps" => Ok(apps_listing()),
@@ -115,6 +116,9 @@ COMMANDS:
     sweep    design-space grid (schemes x clocks) for one application
     campaign crash-isolated outcome-taxonomy sweep
              (masked/corrected/recovered/fatal/SDC/recovery-failed)
+    serve    supervised, sharded packet service over an unbounded stream:
+             never wedges — sheds under backpressure, restarts panicked
+             shards, drains cleanly on SIGTERM (exit 0)
     repro    regenerate a paper experiment (table1 | fig8 | fig12b)
     trace    describe the synthetic packet trace
     model    print the fault-model operating points
@@ -167,8 +171,28 @@ CAMPAIGN OPTIONS:
     --journal <path>      journal file (default results/journal/campaign-<grid>.jsonl)
     --metrics <path>      write telemetry counters as JSON (atomic; results
                           stay bitwise identical with or without it)
+    --metrics-interval <s> also rewrite the --metrics file atomically every
+                          s seconds while the campaign runs
     --progress            periodic progress/ETA lines on stderr
     --packets/--trials/--seed/--jobs/--json as for repro
+
+SERVE OPTIONS:
+    --shards <n>          parallel shards, one machine pair + controller +
+                          fault streams each, selected by flow hash (default 4)
+    --queue-depth <n>     bounded ingress queue per shard (default 1024)
+    --packets <n>         stop after n generated packets; 0 = serve until
+                          SIGINT/SIGTERM (default 0)
+    --flows <n>           synthetic flow population (default: paper trace)
+    --shed-timeout-ms <n> how long a full queue exerts backpressure before
+                          the packet is shed instead (default 100)
+    --inject-panic <id>   test hook: the owning shard panics once on this
+                          packet id, exercising supervisor restart
+    --app/--cr/--detection/--strikes/--recovery/--fault-targets/--l2-cycle/
+    --persistent/--safe-mode/--sampler/--seed as for run (fatal packet
+    errors always drop the packet: serving never wedges)
+    --metrics/--metrics-interval/--progress as for campaign (progress lines
+    report rate without ETA: the stream is unbounded)
+    first SIGINT/SIGTERM drains and exits 0; a second aborts immediately
 
 TRACE OPTIONS: --packets, --seed
 MODEL OPTIONS: --beta <f> (default calibrated 0.20)
@@ -307,9 +331,6 @@ fn parse_config(args: &Args) -> Result<ClumsyConfig, CliError> {
             cfg.with_strikes(StrikePolicy::with_strikes(strikes))
         }
     };
-    if let Some(p) = parse_persistent(args)? {
-        cfg = cfg.with_persistent(p);
-    }
     cfg = match args.get("recovery").unwrap_or("line") {
         "line" => cfg.with_recovery(RecoveryGranularity::Line),
         "word" => cfg.with_recovery(RecoveryGranularity::Word),
@@ -361,6 +382,9 @@ fn parse_config(args: &Args) -> Result<ClumsyConfig, CliError> {
     let targets = parse_targets(args)?;
     cfg = cfg.with_fault_targets(targets);
     cfg = cfg.with_l2_cycle(parse_l2_cycle(args, targets)?);
+    if let Some(p) = parse_persistent(args, targets)? {
+        cfg = cfg.with_persistent(p);
+    }
     if args.flag("safe-mode") {
         if !matches!(cfg.frequency, FrequencyPlan::Dynamic(_)) {
             return Err(CliError::Args(ArgError::BadValue {
@@ -431,6 +455,47 @@ fn write_metrics(
             })?;
     }
     Ok(())
+}
+
+/// `--metrics-interval <secs>`: starts a background
+/// [`clumsy_core::MetricsFlusher`] rewriting the `--metrics` file
+/// atomically every interval, so long campaigns and serves can be
+/// watched (and post-mortemed) mid-flight. Inert without `--metrics`,
+/// so that combination is a typed [`CliError::InertOption`].
+fn parse_metrics_flusher(
+    args: &Args,
+    telemetry: Option<&std::sync::Arc<Telemetry>>,
+) -> Result<Option<clumsy_core::MetricsFlusher>, CliError> {
+    let Some(v) = args.get("metrics-interval") else {
+        return Ok(None);
+    };
+    let Some(path) = args.get("metrics") else {
+        return Err(CliError::InertOption {
+            option: "metrics-interval".into(),
+            requires: "--metrics <path> (there is no metrics file to rewrite without it)".into(),
+        });
+    };
+    let expected = "a flush interval in whole seconds, at least 1";
+    let secs: u64 = v.parse().map_err(|_| {
+        CliError::Args(ArgError::BadValue {
+            option: "metrics-interval".into(),
+            value: v.into(),
+            expected,
+        })
+    })?;
+    if secs == 0 {
+        return Err(CliError::Args(ArgError::BadValue {
+            option: "metrics-interval".into(),
+            value: v.into(),
+            expected,
+        }));
+    }
+    let t = telemetry.expect("--metrics implies a telemetry block");
+    Ok(Some(clumsy_core::MetricsFlusher::start(
+        std::sync::Arc::clone(t),
+        std::path::PathBuf::from(path),
+        std::time::Duration::from_secs(secs),
+    )))
 }
 
 fn run(args: &Args) -> Result<String, CliError> {
@@ -560,11 +625,23 @@ fn parse_l2_cycle(args: &Args, targets: FaultTargets) -> Result<f64, CliError> {
 
 /// Parses `--persistent`, the opt-in sticky fault-site activation
 /// probability. `None` when the flag is absent — the persistent
-/// process then never exists and draws zero RNG.
-fn parse_persistent(args: &Args) -> Result<Option<PersistentSiteConfig>, CliError> {
+/// process then never exists and draws zero RNG. Persistent sites live
+/// in the L1 data array, so asking for them with the `data` fault
+/// target disabled is a typed [`CliError::InertOption`] rather than a
+/// silent no-op.
+fn parse_persistent(
+    args: &Args,
+    targets: FaultTargets,
+) -> Result<Option<PersistentSiteConfig>, CliError> {
     let Some(v) = args.get("persistent") else {
         return Ok(None);
     };
+    if !targets.data {
+        return Err(CliError::InertOption {
+            option: "persistent".into(),
+            requires: "the data fault target (e.g. --fault-targets data+l2)".into(),
+        });
+    }
     let expected = "a per-access site-activation probability in (0, 1]";
     let p: f64 = v.parse().map_err(|_| {
         CliError::Args(ArgError::BadValue {
@@ -581,6 +658,112 @@ fn parse_persistent(args: &Args) -> Result<Option<PersistentSiteConfig>, CliErro
         }));
     }
     Ok(Some(PersistentSiteConfig::hard(p)))
+}
+
+const SERVE_OPTIONS: &[&str] = &[
+    "app",
+    "cr",
+    "detection",
+    "strikes",
+    "recovery",
+    "seed",
+    "quantize-off",
+    "sampler",
+    "fault-targets",
+    "l2-cycle",
+    "safe-mode",
+    "persistent",
+    "shards",
+    "queue-depth",
+    "packets",
+    "flows",
+    "shed-timeout-ms",
+    "inject-panic",
+    "stats-interval",
+    "metrics",
+    "metrics-interval",
+    "progress",
+];
+
+/// The `serve` subcommand: the stream-granularity engine. N supervised
+/// shards behind bounded flow-hash queues eat an unbounded synthetic
+/// stream; the contract is never wedge — shed under backpressure, drop
+/// on fatal, restart on panic, drain and exit 0 on the first signal.
+fn serve(args: &Args) -> Result<String, CliError> {
+    args.expect_only(SERVE_OPTIONS)?;
+    let kind = parse_app(args)?;
+    let design = parse_config(args)?;
+
+    let shards: usize = args.get_parsed("shards", 4, "a shard count of at least 1")?;
+    let queue_depth: usize = args.get_parsed("queue-depth", 1024, "a queue depth of at least 1")?;
+    for (option, value) in [("shards", shards), ("queue-depth", queue_depth)] {
+        if value == 0 {
+            return Err(CliError::Args(ArgError::BadValue {
+                option: option.into(),
+                value: "0".into(),
+                expected: "a count of at least 1",
+            }));
+        }
+    }
+    let budget: u64 = args.get_parsed("packets", 0u64, "a packet budget (0 = unbounded)")?;
+    let shed_ms: u64 =
+        args.get_parsed("shed-timeout-ms", 100u64, "a shed timeout in milliseconds")?;
+    let stats_interval: u32 =
+        args.get_parsed("stats-interval", 256u32, "a publish interval in packets")?;
+
+    let mut traffic = TraceConfig::paper();
+    if args.get("flows").is_some() {
+        let flows: usize = args.get_parsed("flows", 0, "a flow count of at least 1")?;
+        if flows == 0 {
+            return Err(CliError::Args(ArgError::BadValue {
+                option: "flows".into(),
+                value: "0".into(),
+                expected: "a flow count of at least 1",
+            }));
+        }
+        traffic.flows = flows;
+    }
+
+    let mut cfg = ServeConfig::new(kind, design)
+        .with_shards(shards)
+        .with_queue_depth(queue_depth)
+        .with_packet_budget(budget)
+        .with_shed_timeout(std::time::Duration::from_millis(shed_ms))
+        .with_traffic(traffic);
+    cfg.stats_interval = stats_interval.max(1);
+    if args.get("inject-panic").is_some() {
+        let id: u32 = args.get_parsed("inject-panic", 0u32, "a packet id")?;
+        cfg = cfg.with_panic_on_packet(id);
+    }
+
+    let telemetry = parse_telemetry(args);
+    let flusher = parse_metrics_flusher(args, telemetry.as_ref())?;
+    let reporter = telemetry
+        .as_ref()
+        .filter(|_| args.flag("progress"))
+        .map(|t| {
+            ProgressReporter::start_open_ended(
+                std::sync::Arc::clone(t),
+                "serve",
+                std::time::Duration::from_secs(2),
+            )
+        });
+
+    // First signal → `interrupted()` turns true → the pump stops, every
+    // queue closes, shards drain and join; a second signal aborts the
+    // process (as in durable campaigns). A drained serve is a *success*
+    // — unlike an interrupted campaign there is no remaining work, so
+    // this path returns Ok and the process exits 0.
+    interrupt::install();
+    let report = run_serve(&cfg, telemetry.as_deref(), &interrupt::interrupted);
+    drop(reporter);
+    drop(flusher);
+    write_metrics(args, telemetry.as_ref())?;
+    let mut out = report.summary();
+    if report.interrupted {
+        out.push_str("signal received: drained all queues and exited cleanly\n");
+    }
+    Ok(out)
 }
 
 const CAMPAIGN_OPTIONS: &[&str] = &[
@@ -601,6 +784,7 @@ const CAMPAIGN_OPTIONS: &[&str] = &[
     "resume",
     "journal",
     "metrics",
+    "metrics-interval",
     "progress",
 ];
 
@@ -628,6 +812,7 @@ fn campaign(args: &Args) -> Result<String, CliError> {
     args.expect_only(CAMPAIGN_OPTIONS)?;
     let (trace, opts) = parse_trace(args)?;
     let telemetry = parse_telemetry(args);
+    let flusher = parse_metrics_flusher(args, telemetry.as_ref())?;
     let mut reporter = telemetry
         .as_ref()
         .filter(|_| args.flag("progress"))
@@ -644,7 +829,7 @@ fn campaign(args: &Args) -> Result<String, CliError> {
     }
     let targets = parse_targets(args)?;
     let l2_cycle = parse_l2_cycle(args, targets)?;
-    let persistent = parse_persistent(args)?;
+    let persistent = parse_persistent(args, targets)?;
     // The campaign grid already sweeps the paper's strike policies;
     // `--strikes way-disable` adds the degraded scheme as a fifth row.
     let way_disable = match args.get("strikes") {
@@ -744,6 +929,7 @@ fn campaign(args: &Args) -> Result<String, CliError> {
             // Flush the metrics even on the resumable-exit path so an
             // interrupted campaign still leaves its telemetry behind.
             drop(reporter.take());
+            drop(flusher);
             write_metrics(args, telemetry.as_ref())?;
             return Err(CliError::Interrupted {
                 partial: format!(
@@ -763,6 +949,7 @@ fn campaign(args: &Args) -> Result<String, CliError> {
         run_campaign_on(&engine, &points, &trace, &opts, &ccfg)
     };
     drop(reporter.take());
+    drop(flusher);
     write_metrics(args, telemetry.as_ref())?;
     let cells: Vec<CampaignCell> = labels
         .iter()
@@ -1184,6 +1371,60 @@ mod tests {
     }
 
     #[test]
+    fn an_inert_persistent_is_a_typed_error() {
+        // Persistent sites live in the L1 data array: with the data
+        // target off, the process could never fire, so asking for it
+        // is a typed error in every command that accepts the flag.
+        for cmd in ["run", "campaign", "serve"] {
+            let err =
+                dispatch_line(&[cmd, "--persistent", "0.01", "--fault-targets", "l2"]).unwrap_err();
+            assert!(
+                matches!(err, CliError::InertOption { .. }),
+                "{cmd}: expected InertOption, got {err:?}"
+            );
+            assert!(format!("{err}").contains("data fault target"), "{err}");
+        }
+        // With the data target on (explicitly or via default/all), the
+        // flag is accepted.
+        assert!(dispatch_line(&[
+            "run",
+            "--app",
+            "crc",
+            "--packets",
+            "20",
+            "--persistent",
+            "0.01",
+            "--fault-targets",
+            "data+l2",
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    fn an_inert_metrics_interval_is_a_typed_error() {
+        for cmd in ["campaign", "serve"] {
+            let err = dispatch_line(&[cmd, "--metrics-interval", "5"]).unwrap_err();
+            assert!(
+                matches!(err, CliError::InertOption { .. }),
+                "{cmd}: expected InertOption, got {err:?}"
+            );
+            assert!(format!("{err}").contains("--metrics"), "{err}");
+        }
+        // Zero and garbage intervals are plain argument errors.
+        assert!(
+            dispatch_line(&["campaign", "--metrics", "m.json", "--metrics-interval", "0"]).is_err()
+        );
+        assert!(dispatch_line(&[
+            "campaign",
+            "--metrics",
+            "m.json",
+            "--metrics-interval",
+            "soon"
+        ])
+        .is_err());
+    }
+
+    #[test]
     fn campaign_way_disable_adds_the_fifth_scheme_row() {
         let out = dispatch_line(&[
             "campaign",
@@ -1216,6 +1457,29 @@ mod tests {
         ] {
             assert!(h.contains(needle), "help lost {needle:?}");
         }
+    }
+
+    #[test]
+    fn help_pins_the_serve_surface() {
+        let h = help_text();
+        for needle in [
+            "serve    supervised, sharded packet service",
+            "--shards <n>",
+            "--queue-depth <n>",
+            "--shed-timeout-ms <n>",
+            "--inject-panic <id>",
+            "--metrics-interval <s>",
+            "drains and exits 0",
+        ] {
+            assert!(h.contains(needle), "help lost {needle:?}");
+        }
+    }
+
+    #[test]
+    fn serve_rejects_zero_shards_and_zero_depth() {
+        assert!(dispatch_line(&["serve", "--shards", "0"]).is_err());
+        assert!(dispatch_line(&["serve", "--queue-depth", "0"]).is_err());
+        assert!(dispatch_line(&["serve", "--flows", "0"]).is_err());
     }
 
     #[test]

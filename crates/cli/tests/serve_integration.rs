@@ -1,0 +1,184 @@
+//! End-to-end tests for `clumsy serve`, spawning the actual binary.
+//!
+//! These run out of process on purpose: the serve path installs the
+//! global interrupt handler and reacts to real signals, and sharing
+//! that flag with in-process tests (the durable campaign tests flip it
+//! too) would race. A child process gives each test its own flag, its
+//! own handler, and a real SIGTERM.
+
+use std::collections::BTreeMap;
+use std::process::Command;
+
+/// Serve flags shared by every test: small app, few shards, and a shed
+/// timeout far beyond any scheduler hiccup so runs are deterministic
+/// (zero shed) regardless of machine load.
+const COMMON: &[&str] = &[
+    "serve",
+    "--app",
+    "crc",
+    "--shards",
+    "3",
+    "--queue-depth",
+    "64",
+    "--shed-timeout-ms",
+    "60000",
+];
+
+fn serve_bounded(extra: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_clumsy"))
+        .args(COMMON)
+        .args(["--packets", "400"])
+        .args(extra)
+        .output()
+        .expect("binary spawns");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+/// Extracts the per-shard summary rows: `(shard, processed, dropped,
+/// abandoned, restarts, digest)`.
+fn shard_rows(stdout: &str) -> Vec<(usize, u64, u64, u64, u64, String)> {
+    stdout
+        .lines()
+        .filter_map(|l| {
+            let f: Vec<&str> = l.split_whitespace().collect();
+            if f.len() != 10 {
+                return None;
+            }
+            Some((
+                f[0].parse().ok()?,
+                f[1].parse().ok()?,
+                f[3].parse().ok()?,
+                f[4].parse().ok()?,
+                f[5].parse().ok()?,
+                f[9].to_string(),
+            ))
+        })
+        .collect()
+}
+
+/// Minimal tolerant reader for the metrics JSON: every `"key": <int>`
+/// leaf (mirrors `clumsy_core::telemetry::parse_metrics`).
+fn parse_metrics(text: &str) -> BTreeMap<String, u64> {
+    let mut map = BTreeMap::new();
+    let segs: Vec<&str> = text.split('"').collect();
+    // In well-formed JSON, quotes alternate open/close, so quoted
+    // tokens sit at odd indices and segs[k + 1] is the text that
+    // follows token k: a key when it starts with `: <digits>`.
+    for k in (1..segs.len()).step_by(2) {
+        let Some(follow) = segs.get(k + 1) else { break };
+        if let Some(rest) = follow.trim_start().strip_prefix(':') {
+            let digits: String = rest
+                .trim_start()
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect();
+            if let Ok(v) = digits.parse::<u64>() {
+                map.insert(segs[k].to_string(), v);
+            }
+        }
+    }
+    map
+}
+
+#[cfg(unix)]
+#[test]
+fn sigterm_mid_stream_drains_and_exits_zero() {
+    let dir = std::env::temp_dir().join(format!("clumsy-serve-term-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let metrics = dir.join("serve-metrics.json");
+
+    // Unbounded stream: only the signal can end it.
+    let child = Command::new(env!("CARGO_BIN_EXE_clumsy"))
+        .args(COMMON)
+        .args(["--metrics", &metrics.display().to_string()])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("binary spawns");
+    std::thread::sleep(std::time::Duration::from_millis(700));
+    let _ = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status();
+    let out = child.wait_with_output().expect("child joins");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+
+    // The robustness contract: a drained serve is a success.
+    assert_eq!(out.status.code(), Some(0), "expected exit 0\n{stdout}");
+    assert!(stdout.contains("accounting ok"), "{stdout}");
+    assert!(
+        stdout.contains("drained all queues and exited cleanly"),
+        "{stdout}"
+    );
+
+    // The final metrics snapshot is schema-stable and its accounting
+    // identity proves no packet was lost untracked or processed twice:
+    // everything ingested was processed, dropped, or abandoned.
+    let text = std::fs::read_to_string(&metrics).expect("final metrics written");
+    assert!(text.contains("clumsy-metrics-v1"), "{text}");
+    let map = parse_metrics(&text);
+    let get = |k: &str| *map.get(k).unwrap_or_else(|| panic!("metrics lost {k}"));
+    assert!(get("packets_ingested") > 0, "{text}");
+    assert_eq!(
+        get("packets_ingested"),
+        get("packets_processed") + get("packets_dropped") + get("packets_abandoned"),
+        "drain accounting broken: {text}"
+    );
+    assert_eq!(get("shard_panics"), 0, "{text}");
+    assert!(get("queue_highwater") >= 1, "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bounded_serve_is_deterministic_and_accounts_for_every_packet() {
+    let (a, stderr, ok) = serve_bounded(&[]);
+    assert!(ok, "serve failed: {stderr}");
+    assert!(a.contains("served 400 packets"), "{a}");
+    assert!(a.contains("accounting ok"), "{a}");
+    let rows = shard_rows(&a);
+    assert_eq!(rows.len(), 3, "expected one row per shard: {a}");
+    assert_eq!(rows.iter().map(|r| r.1).sum::<u64>(), 400, "{a}");
+
+    let (b, _, ok) = serve_bounded(&[]);
+    assert!(ok);
+    assert_eq!(
+        rows,
+        shard_rows(&b),
+        "same stream + seeds must serve bit-identically"
+    );
+}
+
+#[test]
+fn injected_panic_restarts_the_shard_and_leaves_siblings_untouched() {
+    let (clean, _, ok) = serve_bounded(&[]);
+    assert!(ok);
+    let clean_rows = shard_rows(&clean);
+
+    let (faulty, stderr, ok) = serve_bounded(&["--inject-panic", "200"]);
+    assert!(ok, "a supervised panic must not fail the run: {stderr}");
+    assert!(faulty.contains("accounting ok"), "{faulty}");
+    assert!(faulty.contains("1 restarts"), "{faulty}");
+    let faulty_rows = shard_rows(&faulty);
+
+    // Exactly one shard caught the panic: it abandoned the in-flight
+    // packet, restarted, and its post-restart digest diverged (reseeded
+    // fault streams). Every sibling is bitwise untouched.
+    let mut victims = 0;
+    for (c, f) in clean_rows.iter().zip(&faulty_rows) {
+        assert_eq!(c.0, f.0, "row order");
+        if f.4 > 0 {
+            victims += 1;
+            assert_eq!(f.4, 1, "one restart: {faulty}");
+            assert_eq!(f.3, 1, "one abandoned packet: {faulty}");
+            // Consumed = processed + dropped + abandoned: the victim
+            // ate the same queue contents, one of them abandoned.
+            assert_eq!(c.1 + c.2 + c.3, f.1 + f.2 + f.3, "{faulty}");
+        } else {
+            assert_eq!(c, f, "sibling shard perturbed by the restart");
+        }
+    }
+    assert_eq!(victims, 1, "exactly one shard owns packet 200: {faulty}");
+}

@@ -52,6 +52,7 @@ pub mod interrupt;
 pub mod journal;
 mod processor;
 mod report;
+pub mod serve;
 mod taxonomy;
 pub mod telemetry;
 
@@ -66,8 +67,11 @@ pub use engine::{golden_for, Engine};
 pub use journal::{atomic_write, JournalError, JournalHeader, JournalWriter};
 pub use processor::{ClumsyProcessor, GoldenData};
 pub use report::{FatalInfo, RunReport};
+pub use serve::{
+    flow_shard, run_serve, IngressQueue, PushOutcome, ServeConfig, ServeReport, ShardReport,
+};
 pub use taxonomy::{OutcomeCounts, TrialOutcome};
-pub use telemetry::{MetricsSnapshot, ProgressReporter, Stopwatch, Telemetry};
+pub use telemetry::{MetricsFlusher, MetricsSnapshot, ProgressReporter, Stopwatch, Telemetry};
 
 /// The paper's static frequency settings: `Cr` ∈ {1.0, 0.75, 0.5, 0.25}
 /// (frequency increases of 0 %, 50 %, 100 %, 300 %).

@@ -232,7 +232,7 @@ impl ClumsyProcessor {
     /// syndrome logic sees a correction just as it sees a detection),
     /// otherwise the injected count (an oracle stand-in; the paper is
     /// silent on the no-detection case).
-    fn fault_count(machine: &Machine, detection: DetectionScheme) -> u64 {
+    pub(crate) fn fault_count(machine: &Machine, detection: DetectionScheme) -> u64 {
         if detection.is_enabled() {
             machine.stats().faults_detected + machine.stats().faults_corrected
         } else {

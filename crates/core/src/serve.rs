@@ -1,0 +1,1065 @@
+//! `clumsy serve` — a supervised, sharded, never-wedge packet service.
+//!
+//! Everything before this module runs at *job* granularity: a trace is
+//! generated up front, a processor replays it, a report comes back.
+//! The paper's clumsy processors are not batch experiments, though —
+//! they are packet processors serving live traffic at a sub-critical
+//! operating point, eating faults as they come. This module is the
+//! stream-granularity engine: an unbounded
+//! [`TrafficSource`](netbench::TrafficSource) feeds `N` shards through
+//! bounded ingress queues, each shard owning its own golden + measured
+//! machine pair, dynamic controller and fault processes, selected by a
+//! flow hash so one flow always lands on one shard.
+//!
+//! The robustness contract is **never wedge, only slow down or shed**:
+//!
+//! * A full queue applies backpressure to the pump; once the shed
+//!   timeout passes the packet is counted as shed instead of queued —
+//!   bounded memory, no unbounded allocation.
+//! * A panicking shard is caught ([`std::panic::catch_unwind`], the
+//!   same isolation the campaign driver uses), its in-flight packet
+//!   accounted as abandoned, and the shard rebuilt with reseeded RNG
+//!   streams while the other shards keep serving.
+//! * A fatal packet error (runaway fuel, corrupted DMA) drops that
+//!   packet — watchdog semantics are always on in serve.
+//! * Fault storms trip the per-shard safe-mode clamp (when configured)
+//!   and permanent faults degrade via way-disable, both *online*.
+//!
+//! Stopping (SIGTERM via the `stop` closure, or an exhausted packet
+//! budget) drains every queue, joins every shard and returns a
+//! [`ServeReport`] whose accounting identity —
+//! `ingested == processed + dropped + abandoned` — is the proof that
+//! no packet was lost untracked or processed twice.
+
+use crate::campaign::{panic_message, RESEED_STRIDE};
+use crate::config::{ClumsyConfig, FrequencyPlan};
+use crate::controller::{Decision, DynamicController};
+use crate::processor::ClumsyProcessor;
+use crate::telemetry::Telemetry;
+use cache_sim::{DetectionScheme, MemStats};
+use netbench::{
+    diff_observations, AppError, AppKind, Machine, Packet, PacketApp, Plane, Trace, TraceConfig,
+    TrafficSource,
+};
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Mixes the shard index into the base fault seed so sibling shards
+/// draw independent streams (an arbitrary odd constant, distinct from
+/// [`RESEED_STRIDE`] so shard 1 round 0 never collides with shard 0
+/// round 1).
+const SHARD_SEED_MIX: u64 = 0x517C_C1B7_2722_0A95;
+
+/// Setup attempts per shard build before the shard gives up on
+/// constructing a machine and degrades to shedding its queue. At sane
+/// fault rates a control-plane fatal is already rare; eight reseeded
+/// tries failing in a row means the operating point cannot boot at all.
+const SETUP_RETRY_LIMIT: u64 = 8;
+
+/// What happened to one pushed packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// Enqueued; carries the queue depth after the push (for the
+    /// occupancy gauge).
+    Enqueued(usize),
+    /// The queue stayed full past the shed timeout; the packet was
+    /// dropped at ingress.
+    Shed,
+    /// The queue is closed (drain in progress); the packet was
+    /// discarded and the producer should stop.
+    Closed,
+}
+
+/// A bounded ingress queue between the traffic pump and one shard:
+/// blocking push with a shed timeout on the producer side, blocking
+/// pop-until-closed on the consumer side, occupancy high-water mark
+/// for the bounded-memory telemetry contract.
+#[derive(Debug)]
+pub struct IngressQueue {
+    inner: Mutex<QueueState>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct QueueState {
+    buf: VecDeque<Packet>,
+    closed: bool,
+    highwater: usize,
+}
+
+impl IngressQueue {
+    /// An empty queue holding at most `capacity` packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be at least 1");
+        IngressQueue {
+            inner: Mutex::new(QueueState {
+                buf: VecDeque::with_capacity(capacity),
+                closed: false,
+                highwater: 0,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Pushes a packet, blocking while the queue is full. Backpressure
+    /// turns into shedding after `shed_timeout`: the packet is dropped
+    /// at ingress rather than allocated beyond the bound.
+    pub fn push(&self, pkt: Packet, shed_timeout: Duration) -> PushOutcome {
+        let deadline = Instant::now() + shed_timeout;
+        let mut state = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        while state.buf.len() >= self.capacity && !state.closed {
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return PushOutcome::Shed;
+            };
+            let (guard, _timeout) = self
+                .not_full
+                .wait_timeout(state, remaining)
+                .unwrap_or_else(|e| e.into_inner());
+            state = guard;
+        }
+        if state.closed {
+            return PushOutcome::Closed;
+        }
+        state.buf.push_back(pkt);
+        let depth = state.buf.len();
+        state.highwater = state.highwater.max(depth);
+        drop(state);
+        self.not_empty.notify_one();
+        PushOutcome::Enqueued(depth)
+    }
+
+    /// Pops the next packet, blocking while the queue is empty and
+    /// open. Returns `None` only once the queue is closed *and*
+    /// drained — the consumer's signal to finish.
+    pub fn pop(&self) -> Option<Packet> {
+        let mut state = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(pkt) = state.buf.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(pkt);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Closes the queue: producers get [`PushOutcome::Closed`],
+    /// consumers drain what is buffered and then see `None`.
+    pub fn close(&self) {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// Highest occupancy the queue ever reached.
+    #[must_use]
+    pub fn highwater(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .highwater
+    }
+
+    /// Current occupancy.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .buf
+            .len()
+    }
+
+    /// Whether the queue is currently empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// FNV-1a over the 5-tuple: the flow hash behind shard selection.
+fn flow_hash(pkt: &Packet) -> u64 {
+    let mut bytes = [0u8; 13];
+    bytes[..4].copy_from_slice(&pkt.src_ip.to_be_bytes());
+    bytes[4..8].copy_from_slice(&pkt.dst_ip.to_be_bytes());
+    bytes[8..10].copy_from_slice(&pkt.src_port.to_be_bytes());
+    bytes[10..12].copy_from_slice(&pkt.dst_port.to_be_bytes());
+    bytes[12] = pkt.proto;
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The shard a packet belongs to: a flow hash over the 5-tuple, so one
+/// flow's packets always arrive at one shard in order.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+#[must_use]
+pub fn flow_shard(pkt: &Packet, shards: usize) -> usize {
+    assert!(shards > 0, "need at least one shard");
+    usize::try_from(flow_hash(pkt) % shards as u64).expect("shard index fits usize")
+}
+
+/// Incremental FNV-1a fold of one packet outcome into a shard digest.
+/// Deterministic across runs for the same packet sequence and seeds —
+/// the panic-isolation tests compare these to prove sibling shards are
+/// untouched by a restart.
+fn digest_step(digest: u64, id: u32, verdict: u8) -> u64 {
+    let mut h = if digest == 0 {
+        0xCBF2_9CE4_8422_2325
+    } else {
+        digest
+    };
+    for b in id.to_le_bytes().into_iter().chain([verdict]) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Configuration for [`run_serve`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of shards (machine pairs). At least 1.
+    pub shards: usize,
+    /// Bounded ingress-queue depth per shard. At least 1.
+    pub queue_depth: usize,
+    /// Total packets to generate before draining; `0` = unbounded
+    /// (serve until `stop` reports true).
+    pub packet_budget: u64,
+    /// The application every shard runs.
+    pub app: AppKind,
+    /// The design point every shard runs at (clock plan, detection,
+    /// strikes, fault processes, seed).
+    pub design: ClumsyConfig,
+    /// Traffic shape (flows, prefixes, payloads, trace seed); the
+    /// packet count inside is ignored — the stream is unbounded.
+    pub traffic: TraceConfig,
+    /// How long a full queue exerts backpressure before the packet is
+    /// shed.
+    pub shed_timeout: Duration,
+    /// Publish per-shard `MemStats` deltas to telemetry every this
+    /// many packets (and always at drain).
+    pub stats_interval: u32,
+    /// Test hook: the shard that owns this packet id panics when it
+    /// pops it (once per serve run). Exercises the supervisor without
+    /// planting bugs.
+    pub panic_on_packet: Option<u32>,
+}
+
+impl ServeConfig {
+    /// A serving setup for `app` at `design`, with 4 shards, depth-1024
+    /// queues, paper traffic, a 100 ms shed timeout and no budget.
+    #[must_use]
+    pub fn new(app: AppKind, design: ClumsyConfig) -> Self {
+        ServeConfig {
+            shards: 4,
+            queue_depth: 1024,
+            packet_budget: 0,
+            app,
+            design,
+            traffic: TraceConfig::paper(),
+            shed_timeout: Duration::from_millis(100),
+            stats_interval: 256,
+            panic_on_packet: None,
+        }
+    }
+
+    /// Returns the config with a different shard count.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Returns the config with a different queue depth.
+    #[must_use]
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Returns the config with a packet budget (`0` = unbounded).
+    #[must_use]
+    pub fn with_packet_budget(mut self, budget: u64) -> Self {
+        self.packet_budget = budget;
+        self
+    }
+
+    /// Returns the config with a different shed timeout.
+    #[must_use]
+    pub fn with_shed_timeout(mut self, timeout: Duration) -> Self {
+        self.shed_timeout = timeout;
+        self
+    }
+
+    /// Returns the config with a different traffic shape.
+    #[must_use]
+    pub fn with_traffic(mut self, traffic: TraceConfig) -> Self {
+        self.traffic = traffic;
+        self
+    }
+
+    /// Returns the config with the panic-injection test hook armed.
+    #[must_use]
+    pub fn with_panic_on_packet(mut self, id: u32) -> Self {
+        self.panic_on_packet = Some(id);
+        self
+    }
+}
+
+/// What one shard did over the whole serve run, across every
+/// restart generation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: usize,
+    /// Packets fully processed (clean or erroneous).
+    pub processed: u64,
+    /// Processed packets whose marked values diverged from golden.
+    pub erroneous: u64,
+    /// Packets dropped by the always-on watchdog (fatal error
+    /// contained) or by a shard that could not build a machine.
+    pub dropped: u64,
+    /// In-flight packets lost to a caught panic.
+    pub abandoned: u64,
+    /// Panics caught by the supervisor.
+    pub panics: u64,
+    /// Restarts performed (one per caught panic).
+    pub restarts: u64,
+    /// Reseeded machine builds after a control-plane fatal.
+    pub setup_retries: u64,
+    /// Epochs that tripped the safe-mode clamp, summed over
+    /// generations.
+    pub safe_mode_entries: u64,
+    /// Faults injected into this shard's measured machine (published
+    /// generations only — a generation that dies mid-interval loses
+    /// its unpublished tail).
+    pub faults_injected: u64,
+    /// Faults detected by this shard's detection scheme (same
+    /// publication caveat).
+    pub faults_detected: u64,
+    /// L1 ways this shard's machine mapped out while serving.
+    pub ways_disabled: u64,
+    /// Order-sensitive FNV digest over `(packet id, outcome)`.
+    pub digest: u64,
+    /// High-water occupancy of this shard's ingress queue.
+    pub queue_highwater: usize,
+    /// Relative cycle time when the shard drained (dynamic plans may
+    /// have moved it).
+    pub final_cycle: f64,
+    /// Message of the most recent caught panic, if any.
+    pub last_panic: Option<String>,
+}
+
+impl ShardReport {
+    /// Packets this shard consumed from its queue, however they ended.
+    #[must_use]
+    pub fn consumed(&self) -> u64 {
+        self.processed + self.dropped + self.abandoned
+    }
+}
+
+/// The outcome of a serve run: pump-side counts plus one
+/// [`ShardReport`] per shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Packets drawn from the traffic source.
+    pub generated: u64,
+    /// Packets that made it into a shard queue.
+    pub ingested: u64,
+    /// Packets shed at ingress (backpressure timeout).
+    pub shed: u64,
+    /// Per-shard accounting.
+    pub shards: Vec<ShardReport>,
+    /// Whether the run stopped via the `stop` closure (as opposed to
+    /// exhausting its packet budget).
+    pub interrupted: bool,
+    /// Wall time of the whole run, pump start to last join.
+    pub wall: Duration,
+}
+
+impl ServeReport {
+    /// Packets fully processed across all shards.
+    #[must_use]
+    pub fn processed(&self) -> u64 {
+        self.shards.iter().map(|s| s.processed).sum()
+    }
+
+    /// Packets dropped (watchdog) across all shards.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.shards.iter().map(|s| s.dropped).sum()
+    }
+
+    /// Packets abandoned to panics across all shards.
+    #[must_use]
+    pub fn abandoned(&self) -> u64 {
+        self.shards.iter().map(|s| s.abandoned).sum()
+    }
+
+    /// Shard restarts across the run.
+    #[must_use]
+    pub fn restarts(&self) -> u64 {
+        self.shards.iter().map(|s| s.restarts).sum()
+    }
+
+    /// The drain-accounting identity: every generated packet is either
+    /// shed at ingress or consumed by exactly one shard, and every
+    /// consumed packet is processed, dropped or abandoned. False would
+    /// mean a packet was lost untracked or processed twice.
+    #[must_use]
+    pub fn accounting_holds(&self) -> bool {
+        let consumed: u64 = self.shards.iter().map(ShardReport::consumed).sum();
+        self.ingested == consumed && self.generated == self.ingested + self.shed
+    }
+
+    /// Human-readable multi-line summary (the `clumsy serve` output).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let secs = self.wall.as_secs_f64();
+        let rate = if secs > 0.0 {
+            self.processed() as f64 / secs
+        } else {
+            0.0
+        };
+        let mut out = format!(
+            "served {} packets in {:.2}s ({rate:.0} pkt/s): \
+             {} processed, {} shed, {} dropped, {} abandoned, {} restarts\n",
+            self.generated,
+            secs,
+            self.processed(),
+            self.shed,
+            self.dropped(),
+            self.abandoned(),
+            self.restarts(),
+        );
+        let _ = writeln!(
+            out,
+            "{:>5} {:>10} {:>7} {:>6} {:>6} {:>8} {:>7} {:>8} {:>6} {:>18}",
+            "shard",
+            "processed",
+            "errors",
+            "drops",
+            "aband",
+            "restarts",
+            "qdepth",
+            "faults",
+            "Cr",
+            "digest"
+        );
+        for s in &self.shards {
+            let _ = writeln!(
+                out,
+                "{:>5} {:>10} {:>7} {:>6} {:>6} {:>8} {:>7} {:>8} {:>6.2} {:>18}",
+                s.shard,
+                s.processed,
+                s.erroneous,
+                s.dropped,
+                s.abandoned,
+                s.restarts,
+                s.queue_highwater,
+                s.faults_injected,
+                s.final_cycle,
+                format!("{:016x}", s.digest),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "drained: accounting {} ({} ingested = {} consumed)",
+            if self.accounting_holds() {
+                "ok"
+            } else {
+                "BROKEN"
+            },
+            self.ingested,
+            self.shards.iter().map(ShardReport::consumed).sum::<u64>(),
+        );
+        out
+    }
+}
+
+/// How one packet ended inside a shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PacketVerdict {
+    /// Marked values matched golden.
+    Clean,
+    /// Processed, but marked values diverged.
+    Erroneous,
+    /// Fatal error contained by the watchdog; packet dropped.
+    Dropped,
+}
+
+/// One generation of a shard: lock-stepped golden + measured machine
+/// pair at stream granularity. The golden machine never injects, so
+/// both apps see the same packet sequence and the per-packet diff is
+/// exactly the batch runner's differential execution, just unbounded.
+struct ShardState {
+    golden_machine: Machine,
+    golden_app: Box<dyn PacketApp>,
+    golden_fuel: u64,
+    machine: Machine,
+    app: Box<dyn PacketApp>,
+    fuel: u64,
+    controller: Option<DynamicController>,
+    detection: DetectionScheme,
+    faults_seen: u64,
+    published: MemStats,
+}
+
+impl ShardState {
+    /// Builds both machines and runs both control planes. A fatal in
+    /// the measured control plane is an `Err` — the caller retries
+    /// with a reseeded stream.
+    fn build(cfg: &ServeConfig, context: &Trace, seed: u64) -> Result<ShardState, AppError> {
+        // Golden side: mirrors `ClumsyProcessor::golden`.
+        let mut golden_machine = Machine::strongarm(0);
+        golden_machine.set_inject(false);
+        let mut golden_app = cfg.app.instantiate(context);
+        golden_machine.set_fuel(golden_app.setup_fuel());
+        golden_app
+            .setup(&mut golden_machine)
+            .expect("golden setup cannot fail without faults");
+        let golden_fuel = golden_app.fuel_per_packet();
+
+        // Measured side: mirrors `ClumsyProcessor::run_with_golden`.
+        let mut machine = Machine::with_config(cfg.design.mem.clone(), seed);
+        machine.set_fault_planes(cfg.design.planes);
+        let mut app = cfg.app.instantiate(context);
+        let fuel = cfg.design.fuel_per_packet.unwrap_or(app.fuel_per_packet());
+        let controller = match &cfg.design.frequency {
+            FrequencyPlan::Static(cr) => {
+                machine.set_cycle_free(*cr);
+                None
+            }
+            FrequencyPlan::Dynamic(d) => {
+                let ctl = DynamicController::new(d.clone());
+                machine.set_cycle_free(ctl.cycle_time());
+                Some(ctl)
+            }
+        };
+        machine.set_plane(Plane::Control);
+        machine.set_fuel(app.setup_fuel());
+        app.setup(&mut machine)?;
+        machine.writeback_all();
+        machine.set_plane(Plane::Data);
+        let detection = cfg.design.mem.detection;
+        let faults_seen = ClumsyProcessor::fault_count(&machine, detection);
+        let published = *machine.stats();
+        Ok(ShardState {
+            golden_machine,
+            golden_app,
+            golden_fuel,
+            machine,
+            app,
+            fuel,
+            controller,
+            detection,
+            faults_seen,
+            published,
+        })
+    }
+
+    /// Runs one packet through both machines and classifies it.
+    fn process_packet(&mut self, pkt: &Packet) -> PacketVerdict {
+        let view = self
+            .golden_machine
+            .dma_packet(pkt)
+            .expect("packet fits DMA buffer");
+        self.golden_machine.set_fuel(self.golden_fuel);
+        let golden_obs = self
+            .golden_app
+            .process(&mut self.golden_machine, view)
+            .expect("golden processing cannot fail without faults");
+
+        let verdict = match self.machine.dma_packet(pkt) {
+            // Never wedge: a fatal in serve always takes the watchdog
+            // path (drop the packet, keep the machine alive).
+            Err(_) => PacketVerdict::Dropped,
+            Ok(view) => {
+                self.machine.set_fuel(self.fuel);
+                match self.app.process(&mut self.machine, view) {
+                    Ok(obs) => {
+                        if diff_observations(&golden_obs, &obs).has_error() {
+                            PacketVerdict::Erroneous
+                        } else {
+                            PacketVerdict::Clean
+                        }
+                    }
+                    Err(_) => PacketVerdict::Dropped,
+                }
+            }
+        };
+
+        // Dynamic adaptation on the observed fault counter, exactly as
+        // in the batch runner — but online, per shard, forever.
+        if let Some(ctl) = self.controller.as_mut() {
+            let now = ClumsyProcessor::fault_count(&self.machine, self.detection);
+            let delta = now - self.faults_seen;
+            self.faults_seen = now;
+            if let Some(Decision::Switch(cr)) = ctl.on_packet(delta) {
+                self.machine.set_cycle(cr);
+            }
+        }
+        verdict
+    }
+
+    /// Publishes the fault counters accumulated since the last publish
+    /// into telemetry and the shard report.
+    fn publish(&mut self, rep: &mut ShardReport, telemetry: Option<&Telemetry>, worker: usize) {
+        let now = *self.machine.stats();
+        let delta = now.since(&self.published);
+        if let Some(t) = telemetry {
+            t.record_stats(worker, &delta);
+        }
+        rep.faults_injected += delta.faults_injected;
+        rep.faults_detected += delta.faults_detected;
+        rep.ways_disabled += delta.ways_disabled;
+        self.published = now;
+    }
+}
+
+/// Seed for one shard build: base seed, shard mix, and a per-build
+/// round multiplied by the campaign reseed stride — every rebuild
+/// (setup retry or post-panic restart) draws a fresh stream.
+fn shard_seed(base: u64, shard: usize, round: u64) -> u64 {
+    base ^ (shard as u64).wrapping_mul(SHARD_SEED_MIX) ^ round.wrapping_mul(RESEED_STRIDE)
+}
+
+/// One shard generation: build a machine pair (reseeding past
+/// control-plane fatals), then consume the queue until it is closed
+/// and drained. Panics propagate to the supervisor.
+#[allow(clippy::too_many_arguments)]
+fn shard_loop(
+    shard: usize,
+    cfg: &ServeConfig,
+    context: &Trace,
+    queue: &IngressQueue,
+    rep: &mut ShardReport,
+    telemetry: Option<&Telemetry>,
+    in_flight: &Cell<Option<u32>>,
+    rounds: &Cell<u64>,
+    panic_armed: &Cell<bool>,
+) {
+    let mut state = None;
+    for _ in 0..=SETUP_RETRY_LIMIT {
+        let round = rounds.replace(rounds.get() + 1);
+        match ShardState::build(cfg, context, shard_seed(cfg.design.seed, shard, round)) {
+            Ok(s) => {
+                state = Some(s);
+                break;
+            }
+            Err(_) => {
+                rep.setup_retries += 1;
+                if let Some(t) = telemetry {
+                    t.shard_setup_retry();
+                }
+            }
+        }
+    }
+    let Some(mut state) = state else {
+        // Never wedge: a shard that cannot boot a machine at this
+        // operating point degrades to shedding its queue so the pump
+        // and the sibling shards keep moving.
+        while queue.pop().is_some() {
+            rep.dropped += 1;
+            if let Some(t) = telemetry {
+                t.packet_dropped(shard);
+            }
+        }
+        return;
+    };
+
+    let mut since_publish = 0u32;
+    while let Some(pkt) = queue.pop() {
+        in_flight.set(Some(pkt.id));
+        if cfg.panic_on_packet == Some(pkt.id) && panic_armed.replace(false) {
+            panic!("injected serve test panic on packet {}", pkt.id);
+        }
+        let verdict = state.process_packet(&pkt);
+        rep.digest = digest_step(rep.digest, pkt.id, verdict as u8);
+        match verdict {
+            PacketVerdict::Clean => rep.processed += 1,
+            PacketVerdict::Erroneous => {
+                rep.processed += 1;
+                rep.erroneous += 1;
+            }
+            PacketVerdict::Dropped => rep.dropped += 1,
+        }
+        if let Some(t) = telemetry {
+            match verdict {
+                PacketVerdict::Clean => t.packet_processed(shard, false),
+                PacketVerdict::Erroneous => t.packet_processed(shard, true),
+                PacketVerdict::Dropped => t.packet_dropped(shard),
+            }
+        }
+        in_flight.set(None);
+        since_publish += 1;
+        if since_publish >= cfg.stats_interval.max(1) {
+            state.publish(rep, telemetry, shard);
+            since_publish = 0;
+        }
+    }
+    state.publish(rep, telemetry, shard);
+    if let Some(ctl) = &state.controller {
+        rep.safe_mode_entries += u64::from(ctl.safe_mode_entries());
+    }
+    rep.final_cycle = state.machine.cycle_time();
+}
+
+/// Supervises one shard for the lifetime of the run: every generation
+/// runs under [`catch_unwind`]; a panic accounts the in-flight packet
+/// as abandoned and restarts the loop with a reseeded stream on the
+/// same queue. Only returns once the queue is closed and drained.
+fn supervise_shard(
+    shard: usize,
+    cfg: &ServeConfig,
+    context: &Trace,
+    queue: &IngressQueue,
+    telemetry: Option<&Telemetry>,
+) -> ShardReport {
+    let mut rep = ShardReport {
+        shard,
+        final_cycle: 1.0,
+        ..ShardReport::default()
+    };
+    let in_flight = Cell::new(None::<u32>);
+    let rounds = Cell::new(0u64);
+    let panic_armed = Cell::new(cfg.panic_on_packet.is_some());
+    loop {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            shard_loop(
+                shard,
+                cfg,
+                context,
+                queue,
+                &mut rep,
+                telemetry,
+                &in_flight,
+                &rounds,
+                &panic_armed,
+            );
+        }));
+        match result {
+            Ok(()) => break,
+            Err(payload) => {
+                rep.panics += 1;
+                rep.restarts += 1;
+                rep.last_panic = Some(panic_message(payload));
+                if in_flight.take().is_some() {
+                    rep.abandoned += 1;
+                    if let Some(t) = telemetry {
+                        t.packet_abandoned();
+                    }
+                }
+                if let Some(t) = telemetry {
+                    t.shard_panic();
+                    t.shard_restarted();
+                }
+                // Loop: the next generation rebuilds with the next
+                // reseed round and keeps consuming the same queue.
+            }
+        }
+    }
+    rep.queue_highwater = queue.highwater();
+    rep
+}
+
+/// Runs the sharded service: spawns one supervised shard thread per
+/// shard, pumps the traffic source through the flow-hash queues on the
+/// calling thread, and on `stop` (or an exhausted budget) closes every
+/// queue, drains, joins and reports.
+///
+/// `stop` is polled between packets; SIGTERM handling is the caller's
+/// concern (the CLI passes [`crate::interrupt::interrupted`]).
+///
+/// # Panics
+///
+/// Panics if `cfg.shards` or `cfg.queue_depth` is zero (shard panics
+/// themselves are caught and handled by the supervisor).
+pub fn run_serve(
+    cfg: &ServeConfig,
+    telemetry: Option<&Telemetry>,
+    stop: &(dyn Fn() -> bool + Sync),
+) -> ServeReport {
+    assert!(cfg.shards > 0, "need at least one shard");
+    let clock = Instant::now();
+    let mut source = TrafficSource::new(&cfg.traffic);
+    let context = source.context();
+    let queues: Vec<IngressQueue> = (0..cfg.shards)
+        .map(|_| IngressQueue::new(cfg.queue_depth))
+        .collect();
+
+    let mut generated = 0u64;
+    let mut ingested = 0u64;
+    let mut shed = 0u64;
+    let mut interrupted = false;
+
+    let shard_reports = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.shards)
+            .map(|i| {
+                let queue = &queues[i];
+                let context = &context;
+                s.spawn(move || supervise_shard(i, cfg, context, queue, telemetry))
+            })
+            .collect();
+
+        // The pump: draw from the unbounded source, shard by flow
+        // hash, push with backpressure-then-shed. The stop poll sits
+        // between packets so a signal is honored within one push.
+        loop {
+            if stop() {
+                interrupted = true;
+                break;
+            }
+            if cfg.packet_budget > 0 && generated >= cfg.packet_budget {
+                break;
+            }
+            let pkt = source.next_packet();
+            generated += 1;
+            let shard = flow_shard(&pkt, cfg.shards);
+            match queues[shard].push(pkt, cfg.shed_timeout) {
+                PushOutcome::Enqueued(depth) => {
+                    ingested += 1;
+                    if let Some(t) = telemetry {
+                        t.packet_ingested();
+                        t.queue_depth_sample(depth as u64);
+                    }
+                }
+                PushOutcome::Shed => {
+                    shed += 1;
+                    if let Some(t) = telemetry {
+                        t.packet_shed();
+                    }
+                }
+                PushOutcome::Closed => break,
+            }
+        }
+
+        // Drain protocol: close every queue; shards finish what is
+        // buffered, publish, and return their reports.
+        for q in &queues {
+            q.close();
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard supervisors never panic"))
+            .collect::<Vec<ShardReport>>()
+    });
+
+    if let Some(t) = telemetry {
+        for q in &queues {
+            t.queue_depth_sample(q.highwater() as u64);
+        }
+    }
+    ServeReport {
+        generated,
+        ingested,
+        shed,
+        shards: shard_reports,
+        interrupted,
+        wall: clock.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn small_traffic() -> TraceConfig {
+        TraceConfig::small()
+    }
+
+    fn serve_cfg(budget: u64) -> ServeConfig {
+        ServeConfig::new(AppKind::Crc, ClumsyConfig::baseline())
+            .with_traffic(small_traffic())
+            .with_packet_budget(budget)
+            .with_shards(3)
+            .with_queue_depth(64)
+            // Tests must be deterministic: never shed on scheduler
+            // jitter.
+            .with_shed_timeout(Duration::from_secs(300))
+    }
+
+    #[test]
+    fn queue_backpressure_sheds_after_timeout() {
+        let q = IngressQueue::new(2);
+        let pkt = || Packet {
+            id: 0,
+            src_ip: 1,
+            dst_ip: 2,
+            src_port: 3,
+            dst_port: 4,
+            proto: 6,
+            ttl: 9,
+            payload: vec![0; 8],
+        };
+        let short = Duration::from_millis(5);
+        assert!(matches!(q.push(pkt(), short), PushOutcome::Enqueued(1)));
+        assert!(matches!(q.push(pkt(), short), PushOutcome::Enqueued(2)));
+        assert_eq!(q.push(pkt(), short), PushOutcome::Shed);
+        assert_eq!(q.highwater(), 2);
+        q.close();
+        assert_eq!(q.push(pkt(), short), PushOutcome::Closed);
+        // Close drains what is buffered before signalling the end.
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn flow_shard_is_stable_and_in_range() {
+        let mut src = TrafficSource::new(&small_traffic());
+        for _ in 0..200 {
+            let p = src.next_packet();
+            let s = flow_shard(&p, 4);
+            assert!(s < 4);
+            assert_eq!(s, flow_shard(&p, 4), "same packet, same shard");
+        }
+    }
+
+    #[test]
+    fn bounded_serve_accounts_for_every_packet() {
+        let report = run_serve(&serve_cfg(400), None, &|| false);
+        assert_eq!(report.generated, 400);
+        assert_eq!(report.shed, 0);
+        assert!(report.accounting_holds(), "{report:?}");
+        assert_eq!(report.processed(), 400);
+        assert!(!report.interrupted);
+        assert_eq!(report.restarts(), 0);
+        let summary = report.summary();
+        assert!(summary.contains("accounting ok"), "{summary}");
+    }
+
+    #[test]
+    fn serve_is_deterministic() {
+        let cfg = serve_cfg(300);
+        let a = run_serve(&cfg, None, &|| false);
+        let b = run_serve(&cfg, None, &|| false);
+        for (x, y) in a.shards.iter().zip(&b.shards) {
+            assert_eq!(x.digest, y.digest, "shard {} digest", x.shard);
+            assert_eq!(x.processed, y.processed);
+        }
+    }
+
+    #[test]
+    fn stop_drains_and_accounting_still_holds() {
+        let polls = AtomicU64::new(0);
+        let report = run_serve(&serve_cfg(0), None, &|| {
+            polls.fetch_add(1, Ordering::Relaxed) >= 500
+        });
+        assert!(report.interrupted);
+        assert_eq!(report.generated, 500);
+        assert!(report.accounting_holds(), "{report:?}");
+    }
+
+    #[test]
+    fn injected_panic_restarts_only_the_victim_shard() {
+        let cfg = serve_cfg(400);
+        // Pick a mid-stream packet and find which shard owns it.
+        let victim_pkt = TrafficSource::new(&cfg.traffic)
+            .nth(200)
+            .expect("stream is unbounded");
+        let victim = flow_shard(&victim_pkt, cfg.shards);
+        let clean = run_serve(&cfg, None, &|| false);
+        let faulty = run_serve(
+            &cfg.clone().with_panic_on_packet(victim_pkt.id),
+            None,
+            &|| false,
+        );
+
+        assert!(faulty.accounting_holds(), "{faulty:?}");
+        assert_eq!(faulty.restarts(), 1);
+        assert_eq!(faulty.abandoned(), 1);
+        let v = &faulty.shards[victim];
+        assert_eq!(v.panics, 1);
+        assert_eq!(v.abandoned, 1);
+        assert!(
+            v.last_panic.as_deref().unwrap_or("").contains("injected"),
+            "{:?}",
+            v.last_panic
+        );
+        // The victim lost exactly the in-flight packet but consumed
+        // the same queue contents.
+        assert_eq!(v.consumed(), clean.shards[victim].consumed());
+        // Sibling shards are bitwise untouched by the restart.
+        for (f, c) in faulty.shards.iter().zip(&clean.shards) {
+            if f.shard == victim {
+                continue;
+            }
+            assert_eq!(f.digest, c.digest, "shard {} digest changed", f.shard);
+            assert_eq!(f.processed, c.processed, "shard {}", f.shard);
+            assert_eq!(f.restarts, 0, "shard {}", f.shard);
+        }
+    }
+
+    #[test]
+    fn serve_feeds_the_telemetry_counters() {
+        let t = Telemetry::with_shards(4);
+        let report = run_serve(&serve_cfg(250), Some(&t), &|| false);
+        let s = t.snapshot();
+        assert_eq!(s.packets_ingested, report.ingested);
+        assert_eq!(
+            s.packets_processed,
+            report.processed(),
+            "processed mismatch"
+        );
+        assert_eq!(s.packets_dropped, report.dropped());
+        assert_eq!(s.packets_shed, 0);
+        assert!(s.queue_highwater >= 1);
+        let json = t.metrics_json();
+        for key in [
+            "packets_ingested",
+            "packets_shed",
+            "packets_processed",
+            "packets_erroneous",
+            "packets_dropped",
+            "packets_abandoned",
+            "shard_panics",
+            "shard_restarts",
+            "shard_setup_retries",
+            "queue_highwater",
+        ] {
+            assert!(json.contains(key), "metrics JSON lost {key}");
+        }
+    }
+
+    #[test]
+    fn dynamic_plan_serves_online() {
+        let mut cfg = serve_cfg(350);
+        cfg.design = ClumsyConfig::baseline().with_dynamic(crate::config::DynamicConfig::paper());
+        let report = run_serve(&cfg, None, &|| false);
+        assert!(report.accounting_holds());
+        // With calibrated (tiny) fault rates the controllers climb off
+        // the safe level on at least one shard that saw enough packets.
+        assert!(
+            report.shards.iter().any(|s| s.final_cycle < 1.0),
+            "{report:?}"
+        );
+    }
+}

@@ -31,6 +31,8 @@
 
 use crate::report::RunReport;
 use crate::taxonomy::TrialOutcome;
+use cache_sim::MemStats;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -70,6 +72,15 @@ struct Counters {
     journal_fsync_us_total: AtomicU64,
     engine_jobs: AtomicU64,
     engine_us_total: AtomicU64,
+    packets_ingested: AtomicU64,
+    packets_shed: AtomicU64,
+    packets_processed: AtomicU64,
+    packets_erroneous: AtomicU64,
+    packets_dropped: AtomicU64,
+    packets_abandoned: AtomicU64,
+    shard_panics: AtomicU64,
+    shard_restarts: AtomicU64,
+    shard_setup_retries: AtomicU64,
 }
 
 /// Index of `outcome` in the snapshot tally (least to most severe,
@@ -126,6 +137,7 @@ pub struct Telemetry {
     abandoned_cap_hits: AtomicU64,
     jobs_total: AtomicU64,
     jobs_replayed: AtomicU64,
+    queue_highwater: AtomicU64,
     started: Instant,
 }
 
@@ -170,6 +182,7 @@ impl Telemetry {
             abandoned_cap_hits: AtomicU64::new(0),
             jobs_total: AtomicU64::new(0),
             jobs_replayed: AtomicU64::new(0),
+            queue_highwater: AtomicU64::new(0),
             started: Instant::now(),
         }
     }
@@ -253,8 +266,16 @@ impl Telemetry {
     /// Folds one finished run's fault counters and outcome class into
     /// the tallies. Called on the coordinator for fresh completions.
     pub fn record_report(&self, worker: usize, report: &RunReport) {
+        self.record_stats(worker, &report.stats);
+        self.shard(worker).outcomes[outcome_index(report.outcome())]
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds a block of memory-system counters into the tallies —
+    /// whole-run stats for batch jobs, or an interval delta
+    /// ([`MemStats::since`]) for the serve path's periodic publishes.
+    pub fn record_stats(&self, worker: usize, st: &MemStats) {
         let c = self.shard(worker);
-        let st = &report.stats;
         c.faults_injected
             .fetch_add(st.faults_injected, Ordering::Relaxed);
         c.tag_faults_injected
@@ -281,7 +302,66 @@ impl Telemetry {
             .fetch_add(st.salvage_writebacks, Ordering::Relaxed);
         c.bypass_accesses
             .fetch_add(st.bypass_accesses, Ordering::Relaxed);
-        c.outcomes[outcome_index(report.outcome())].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One packet accepted into a shard's ingress queue.
+    pub fn packet_ingested(&self) {
+        self.shard(0)
+            .packets_ingested
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One packet shed at ingress under backpressure.
+    pub fn packet_shed(&self) {
+        self.shard(0).packets_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One packet fully processed by shard `worker`; `erroneous` marks
+    /// a measured run whose marked values diverged from golden.
+    pub fn packet_processed(&self, worker: usize, erroneous: bool) {
+        let c = self.shard(worker);
+        c.packets_processed.fetch_add(1, Ordering::Relaxed);
+        if erroneous {
+            c.packets_erroneous.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// One packet dropped by shard `worker`'s watchdog (fatal error
+    /// contained, machine kept alive).
+    pub fn packet_dropped(&self, worker: usize) {
+        self.shard(worker)
+            .packets_dropped
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One in-flight packet lost to a caught shard panic.
+    pub fn packet_abandoned(&self) {
+        self.shard(0)
+            .packets_abandoned
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One shard panic caught by its supervisor.
+    pub fn shard_panic(&self) {
+        self.shard(0).shard_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One shard restarted with reseeded RNG streams after a panic.
+    pub fn shard_restarted(&self) {
+        self.shard(0).shard_restarts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One reseeded machine rebuild after a control-plane fatal.
+    pub fn shard_setup_retry(&self) {
+        self.shard(0)
+            .shard_setup_retries
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Observes an ingress-queue occupancy; the snapshot keeps the
+    /// high-water mark (the bounded-memory evidence in the soak).
+    pub fn queue_depth_sample(&self, depth: u64) {
+        self.queue_highwater.fetch_max(depth, Ordering::Relaxed);
     }
 
     /// One engine-pool job finished on `worker` after `wall`.
@@ -318,6 +398,7 @@ impl Telemetry {
             abandoned_live: self.abandoned_live.load(Ordering::Relaxed),
             abandoned_peak: self.abandoned_peak.load(Ordering::Relaxed),
             abandoned_cap_hits: self.abandoned_cap_hits.load(Ordering::Relaxed),
+            queue_highwater: self.queue_highwater.load(Ordering::Relaxed),
             job_us_count: self.job_us_count.load(Ordering::Relaxed),
             job_us_total: self.job_us_total.load(Ordering::Relaxed),
             job_us_max: self.job_us_max.load(Ordering::Relaxed),
@@ -359,6 +440,15 @@ impl Telemetry {
             s.journal_fsync_us_total += c.journal_fsync_us_total.load(Ordering::Relaxed);
             s.engine_jobs += c.engine_jobs.load(Ordering::Relaxed);
             s.engine_us_total += c.engine_us_total.load(Ordering::Relaxed);
+            s.packets_ingested += c.packets_ingested.load(Ordering::Relaxed);
+            s.packets_shed += c.packets_shed.load(Ordering::Relaxed);
+            s.packets_processed += c.packets_processed.load(Ordering::Relaxed);
+            s.packets_erroneous += c.packets_erroneous.load(Ordering::Relaxed);
+            s.packets_dropped += c.packets_dropped.load(Ordering::Relaxed);
+            s.packets_abandoned += c.packets_abandoned.load(Ordering::Relaxed);
+            s.shard_panics += c.shard_panics.load(Ordering::Relaxed);
+            s.shard_restarts += c.shard_restarts.load(Ordering::Relaxed);
+            s.shard_setup_retries += c.shard_setup_retries.load(Ordering::Relaxed);
         }
         s
     }
@@ -430,6 +520,26 @@ pub struct MetricsSnapshot {
     pub bypass_accesses: u64,
     /// Trial tallies, least to most severe ([`TrialOutcome::all`]).
     pub outcomes: [u64; 6],
+    /// Serve: packets accepted into ingress queues.
+    pub packets_ingested: u64,
+    /// Serve: packets shed at ingress under backpressure.
+    pub packets_shed: u64,
+    /// Serve: packets fully processed by shards.
+    pub packets_processed: u64,
+    /// Serve: processed packets with marked-value divergence.
+    pub packets_erroneous: u64,
+    /// Serve: packets dropped by shard watchdogs.
+    pub packets_dropped: u64,
+    /// Serve: in-flight packets lost to caught shard panics.
+    pub packets_abandoned: u64,
+    /// Serve: shard panics caught by supervisors.
+    pub shard_panics: u64,
+    /// Serve: shard restarts after caught panics.
+    pub shard_restarts: u64,
+    /// Serve: reseeded machine rebuilds after control-plane fatals.
+    pub shard_setup_retries: u64,
+    /// Serve: high-water ingress-queue occupancy.
+    pub queue_highwater: u64,
     /// Records handed to the journal writer thread.
     pub journal_records: u64,
     /// Batched fsyncs the journal writer issued.
@@ -532,6 +642,24 @@ impl MetricsSnapshot {
         );
         let _ = write!(
             s,
+            "\n  \"serve\": {{\"packets_ingested\": {}, \"packets_shed\": {}, \
+             \"packets_processed\": {}, \"packets_erroneous\": {}, \
+             \"packets_dropped\": {}, \"packets_abandoned\": {}, \
+             \"shard_panics\": {}, \"shard_restarts\": {}, \
+             \"shard_setup_retries\": {}, \"queue_highwater\": {}}},",
+            self.packets_ingested,
+            self.packets_shed,
+            self.packets_processed,
+            self.packets_erroneous,
+            self.packets_dropped,
+            self.packets_abandoned,
+            self.shard_panics,
+            self.shard_restarts,
+            self.shard_setup_retries,
+            self.queue_highwater
+        );
+        let _ = write!(
+            s,
             "\n  \"journal\": {{\"journal_records\": {}, \"journal_fsyncs\": {}, \
              \"journal_fsync_us_total\": {}, \"journal_fsync_us_max\": {}}},",
             self.journal_records,
@@ -601,6 +729,44 @@ impl MetricsSnapshot {
         );
         line
     }
+
+    /// Processed packets per second of run-clock time (the serve rate).
+    #[must_use]
+    pub fn packet_rate(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.packets_processed as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// One human progress line for the open-ended serve path: rate and
+    /// outcome tallies, no total and no ETA — the stream is unbounded.
+    #[must_use]
+    pub fn serve_progress_line(&self, label: &str) -> String {
+        format!(
+            "[{label}] {} pkts | {:.0} pkt/s | shed {} dropped {} abandoned {} \
+             | restarts {} (panics {}) | queue hw {}",
+            self.packets_processed,
+            self.packet_rate(),
+            self.packets_shed,
+            self.packets_dropped,
+            self.packets_abandoned,
+            self.shard_restarts,
+            self.shard_panics,
+            self.queue_highwater
+        )
+    }
+}
+
+/// Which line format a [`ProgressReporter`] prints.
+#[derive(Debug, Clone, Copy)]
+enum LineMode {
+    /// Bounded campaign: completion fraction, rate, ETA.
+    Campaign,
+    /// Open-ended serving: packet rate and outcome tallies, no ETA.
+    Serve,
 }
 
 /// Background thread printing a [`MetricsSnapshot::progress_line`] to
@@ -616,9 +782,28 @@ impl ProgressReporter {
     /// Spawns the reporter: one line per `every` until stopped.
     #[must_use]
     pub fn start(telemetry: Arc<Telemetry>, label: &str, every: Duration) -> Self {
+        ProgressReporter::start_mode(telemetry, label, every, LineMode::Campaign)
+    }
+
+    /// Spawns the reporter in open-ended mode: rate and outcome
+    /// tallies with no job total and no ETA, for jobs whose end is not
+    /// known up front (the serve path's unbounded stream).
+    #[must_use]
+    pub fn start_open_ended(telemetry: Arc<Telemetry>, label: &str, every: Duration) -> Self {
+        ProgressReporter::start_mode(telemetry, label, every, LineMode::Serve)
+    }
+
+    fn start_mode(telemetry: Arc<Telemetry>, label: &str, every: Duration, mode: LineMode) -> Self {
         let state = Arc::new((Mutex::new(false), Condvar::new()));
         let thread_state = Arc::clone(&state);
         let label = label.to_string();
+        let line = move || {
+            let snap = telemetry.snapshot();
+            match mode {
+                LineMode::Campaign => snap.progress_line(&label),
+                LineMode::Serve => snap.serve_progress_line(&label),
+            }
+        };
         let handle = std::thread::spawn(move || {
             let (stop, cv) = &*thread_state;
             let mut stopped = stop.lock().unwrap_or_else(|e| e.into_inner());
@@ -631,12 +816,12 @@ impl ProgressReporter {
                     break;
                 }
                 if timeout.timed_out() {
-                    eprintln!("{}", telemetry.snapshot().progress_line(&label));
+                    eprintln!("{}", line());
                 }
             }
             drop(stopped);
             // One final line so short runs still report something.
-            eprintln!("{}", telemetry.snapshot().progress_line(&label));
+            eprintln!("{}", line());
         });
         ProgressReporter {
             state,
@@ -660,6 +845,82 @@ impl ProgressReporter {
 }
 
 impl Drop for ProgressReporter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Background thread rewriting the `--metrics` JSON file every
+/// interval via [`crate::journal::atomic_write`], so an external
+/// watcher (or a post-mortem after a kill) always finds a complete,
+/// schema-valid snapshot rather than only the final one. Stopping (or
+/// dropping) writes one last snapshot and joins the thread.
+#[derive(Debug)]
+pub struct MetricsFlusher {
+    state: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsFlusher {
+    /// Spawns the flusher: one atomic rewrite of `path` per `every`
+    /// until stopped, plus a final write at stop. Write errors are
+    /// reported to stderr once and the thread keeps ticking — a full
+    /// disk must not take the serving loop down with it.
+    #[must_use]
+    pub fn start(telemetry: Arc<Telemetry>, path: PathBuf, every: Duration) -> Self {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let thread_state = Arc::clone(&state);
+        let handle = std::thread::spawn(move || {
+            let mut warned = false;
+            let flush = |warned: &mut bool| {
+                if let Err(e) =
+                    crate::journal::atomic_write(&path, telemetry.metrics_json().as_bytes())
+                {
+                    if !*warned {
+                        eprintln!("warning: metrics flush to {} failed: {e}", path.display());
+                        *warned = true;
+                    }
+                }
+            };
+            let (stop, cv) = &*thread_state;
+            let mut stopped = stop.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                let (guard, timeout) = cv
+                    .wait_timeout(stopped, every)
+                    .unwrap_or_else(|e| e.into_inner());
+                stopped = guard;
+                if *stopped {
+                    break;
+                }
+                if timeout.timed_out() {
+                    flush(&mut warned);
+                }
+            }
+            drop(stopped);
+            flush(&mut warned);
+        });
+        MetricsFlusher {
+            state,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the flusher after one final write (also done on drop).
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        let (stop, cv) = &*self.state;
+        *stop.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        cv.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsFlusher {
     fn drop(&mut self) {
         self.shutdown();
     }
@@ -830,6 +1091,79 @@ mod tests {
         let t = Arc::new(Telemetry::new());
         let r = ProgressReporter::start(Arc::clone(&t), "unit", Duration::from_secs(60));
         r.stop(); // must not hang waiting for the first tick
+        let r = ProgressReporter::start_open_ended(t, "serve", Duration::from_secs(60));
+        r.stop();
+    }
+
+    #[test]
+    fn serve_progress_line_has_rate_but_no_eta() {
+        let t = Telemetry::with_shards(2);
+        t.packet_ingested();
+        t.packet_processed(0, false);
+        t.packet_processed(1, true);
+        t.packet_dropped(0);
+        t.packet_abandoned();
+        t.shard_panic();
+        t.shard_restarted();
+        t.queue_depth_sample(17);
+        let s = t.snapshot();
+        assert_eq!(s.packets_processed, 2);
+        assert_eq!(s.packets_erroneous, 1);
+        assert_eq!(s.queue_highwater, 17);
+        let line = s.serve_progress_line("serve");
+        assert!(line.starts_with("[serve] 2 pkts"), "{line}");
+        assert!(line.contains("pkt/s"), "{line}");
+        assert!(line.contains("queue hw 17"), "{line}");
+        assert!(
+            !line.contains("ETA"),
+            "no ETA on an unbounded stream: {line}"
+        );
+    }
+
+    #[test]
+    fn serve_counters_survive_the_json_round_trip() {
+        let t = Telemetry::with_shards(1);
+        t.packet_ingested();
+        t.packet_shed();
+        t.packet_processed(0, true);
+        t.shard_setup_retry();
+        t.queue_depth_sample(5);
+        t.queue_depth_sample(3); // high-water keeps the max
+        let map = parse_metrics(&t.metrics_json()).expect("schema present");
+        assert_eq!(map.get("packets_ingested"), Some(&1));
+        assert_eq!(map.get("packets_shed"), Some(&1));
+        assert_eq!(map.get("packets_processed"), Some(&1));
+        assert_eq!(map.get("packets_erroneous"), Some(&1));
+        assert_eq!(map.get("shard_setup_retries"), Some(&1));
+        assert_eq!(map.get("queue_highwater"), Some(&5));
+        assert_eq!(map.get("shard_panics"), Some(&0));
+    }
+
+    #[test]
+    fn metrics_flusher_rewrites_the_file_each_interval() {
+        let t = Arc::new(Telemetry::with_shards(1));
+        t.add_total_jobs(3);
+        let dir = std::env::temp_dir().join(format!("clumsy-flush-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("metrics.json");
+        let f = MetricsFlusher::start(Arc::clone(&t), path.clone(), Duration::from_millis(10));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        // Wait for at least one periodic flush before stopping.
+        loop {
+            if path.exists() || Instant::now() > deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        t.job_completed(0, Duration::from_micros(10));
+        f.stop();
+        let text = std::fs::read_to_string(&path).expect("final flush written");
+        let map = parse_metrics(&text).expect("schema-valid snapshot");
+        // The stop-time flush sees the completion recorded after the
+        // first periodic write.
+        assert_eq!(map.get("jobs_total"), Some(&3));
+        assert_eq!(map.get("jobs_completed"), Some(&1));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub use machine::{Machine, PacketView, Plane, PlaneMask};
 pub use obs::{diff_observations, ErrorCategory, Observation, PacketDiff};
 pub use packet::Packet;
 pub use radix::RadixTable;
-pub use trace::{PrefixRoute, Trace, TraceConfig, TrafficPattern};
+pub use trace::{PrefixRoute, Trace, TraceConfig, TrafficPattern, TrafficSource};
 
 use std::fmt;
 

@@ -115,26 +115,94 @@ impl TraceConfig {
         self
     }
 
-    /// Generates the trace.
+    /// Generates the trace: the first `packets` packets of the
+    /// [`TrafficSource`] stream this config describes, plus its
+    /// control-plane inputs.
     ///
     /// # Panics
     ///
     /// Panics if any count is zero or `payload_min > payload_max`.
     pub fn generate(&self) -> Trace {
         assert!(self.packets > 0, "need at least one packet");
-        assert!(self.flows > 0, "need at least one flow");
-        assert!(self.prefixes > 0, "need at least one prefix");
-        assert!(self.urls > 0, "need at least one url");
+        let mut source = TrafficSource::new(self);
+        let packets = (0..self.packets).map(|_| source.next_packet()).collect();
+        let mut trace = source.context();
+        trace.packets = packets;
+        trace
+    }
+}
+
+/// One synthetic flow: a fixed 5-tuple plus the URL it requests.
+#[derive(Debug, Clone, Copy)]
+struct Flow {
+    src_ip: u32,
+    dst_ip: u32,
+    src_port: u16,
+    dst_port: u16,
+    proto: u8,
+    url: usize,
+}
+
+/// An unbounded, deterministic stream of the synthetic traffic a
+/// [`TraceConfig`] describes.
+///
+/// The control-plane inputs (prefix table, URL corpus, flow set) are
+/// generated once at construction; [`TrafficSource::next_packet`] then
+/// draws packets from the fixed flow set forever. A bounded
+/// [`TraceConfig::generate`] call is exactly the first `packets`
+/// elements of this stream — the same RNG, consumed in the same order —
+/// so serving and batch experiments see the same traffic.
+///
+/// Packet ids are a `u32` sequence number and wrap after 2³² packets;
+/// flow membership (the 5-tuple) is the stable identity, the id is
+/// only a stream position.
+///
+/// # Examples
+///
+/// ```
+/// use netbench::{TraceConfig, TrafficSource};
+///
+/// let cfg = TraceConfig::small();
+/// let mut source = TrafficSource::new(&cfg);
+/// let streamed: Vec<_> = source.by_ref().take(cfg.packets).collect();
+/// assert_eq!(streamed, cfg.generate().packets);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrafficSource {
+    rng: SmallRng,
+    pattern: TrafficPattern,
+    payload_min: usize,
+    payload_max: usize,
+    prefixes: Vec<PrefixRoute>,
+    urls: Vec<String>,
+    flows: Vec<Flow>,
+    weights: Vec<f64>,
+    weight_total: f64,
+    next_id: u32,
+}
+
+impl TrafficSource {
+    /// Builds the control-plane state and seeds the packet stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flow/prefix/url count is zero or
+    /// `payload_min > payload_max` (`packets` is ignored — the stream
+    /// is unbounded).
+    pub fn new(cfg: &TraceConfig) -> Self {
+        assert!(cfg.flows > 0, "need at least one flow");
+        assert!(cfg.prefixes > 0, "need at least one prefix");
+        assert!(cfg.urls > 0, "need at least one url");
         assert!(
-            self.payload_min <= self.payload_max,
+            cfg.payload_min <= cfg.payload_max,
             "payload_min must not exceed payload_max"
         );
-        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
 
         // Routing prefixes: distinct /8../24 networks plus default route.
-        let mut prefixes = Vec::with_capacity(self.prefixes + 1);
+        let mut prefixes = Vec::with_capacity(cfg.prefixes + 1);
         let mut seen = std::collections::HashSet::new();
-        while prefixes.len() < self.prefixes {
+        while prefixes.len() < cfg.prefixes {
             let len = rng.gen_range(8..=24u8);
             let prefix = rng.gen::<u32>() & prefix_mask(len);
             if seen.insert((prefix, len)) {
@@ -152,22 +220,14 @@ impl TraceConfig {
         });
 
         // URL corpus with monotone ids baked into the path.
-        let urls: Vec<String> = (0..self.urls)
+        let urls: Vec<String> = (0..cfg.urls)
             .map(|i| format!("/content/item{i:04}.html"))
             .collect();
 
         // Flows: destination drawn inside a random prefix.
-        struct Flow {
-            src_ip: u32,
-            dst_ip: u32,
-            src_port: u16,
-            dst_port: u16,
-            proto: u8,
-            url: usize,
-        }
-        let flows: Vec<Flow> = (0..self.flows)
+        let flows: Vec<Flow> = (0..cfg.flows)
             .map(|_| {
-                let p = prefixes[rng.gen_range(0..self.prefixes)];
+                let p = prefixes[rng.gen_range(0..cfg.prefixes)];
                 let host_bits = rng.gen::<u32>() & !prefix_mask(p.len);
                 Flow {
                     src_ip: rng.gen(),
@@ -175,60 +235,94 @@ impl TraceConfig {
                     src_port: rng.gen_range(1024..=u16::MAX),
                     dst_port: [80u16, 443, 53, 8080][rng.gen_range(0..4)],
                     proto: if rng.gen_bool(0.7) { 6 } else { 17 },
-                    url: rng.gen_range(0..self.urls),
+                    url: rng.gen_range(0..cfg.urls),
                 }
             })
             .collect();
 
         // Zipf-ish flow popularity: weight 1/(rank+1).
-        let weights: Vec<f64> = (0..self.flows).map(|i| 1.0 / (i as f64 + 1.0)).collect();
-        let total: f64 = weights.iter().sum();
+        let weights: Vec<f64> = (0..cfg.flows).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let weight_total: f64 = weights.iter().sum();
 
-        let packets = (0..self.packets)
-            .map(|id| {
-                let fi = match self.pattern {
-                    TrafficPattern::SingleFlow => 0,
-                    TrafficPattern::Uniform => rng.gen_range(0..self.flows),
-                    TrafficPattern::Skewed => {
-                        let mut pick = rng.gen::<f64>() * total;
-                        let mut fi = 0;
-                        for (i, w) in weights.iter().enumerate() {
-                            if pick < *w {
-                                fi = i;
-                                break;
-                            }
-                            pick -= w;
-                        }
-                        fi
-                    }
-                };
-                let f = &flows[fi];
-                let len = rng.gen_range(self.payload_min..=self.payload_max);
-                let mut payload = vec![0u8; len];
-                rng.fill(payload.as_mut_slice());
-                // Embed an HTTP-ish request line for the url workload.
-                let req = format!("GET {} HTTP/1.0\r\n", urls[f.url]);
-                let n = req.len().min(len);
-                payload[..n].copy_from_slice(&req.as_bytes()[..n]);
-                Packet {
-                    id: id as u32,
-                    src_ip: f.src_ip,
-                    dst_ip: f.dst_ip,
-                    src_port: f.src_port,
-                    dst_port: f.dst_port,
-                    proto: f.proto,
-                    ttl: rng.gen_range(2..=64),
-                    payload,
-                }
-            })
-            .collect();
-
-        Trace {
-            packets,
+        TrafficSource {
+            rng,
+            pattern: cfg.pattern,
+            payload_min: cfg.payload_min,
+            payload_max: cfg.payload_max,
             prefixes,
             urls,
-            flow_count: self.flows,
+            flows,
+            weights,
+            weight_total,
+            next_id: 0,
         }
+    }
+
+    /// The control-plane inputs as a packet-less [`Trace`]: enough for
+    /// [`crate::AppKind::instantiate`], which reads only the prefix
+    /// table, URL corpus and flow count.
+    #[must_use]
+    pub fn context(&self) -> Trace {
+        Trace {
+            packets: Vec::new(),
+            prefixes: self.prefixes.clone(),
+            urls: self.urls.clone(),
+            flow_count: self.flows.len(),
+        }
+    }
+
+    /// Number of distinct flows the stream draws from.
+    #[must_use]
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// The next packet in the stream (never exhausts).
+    pub fn next_packet(&mut self) -> Packet {
+        let fi = match self.pattern {
+            TrafficPattern::SingleFlow => 0,
+            TrafficPattern::Uniform => self.rng.gen_range(0..self.flows.len()),
+            TrafficPattern::Skewed => {
+                let mut pick = self.rng.gen::<f64>() * self.weight_total;
+                let mut fi = 0;
+                for (i, w) in self.weights.iter().enumerate() {
+                    if pick < *w {
+                        fi = i;
+                        break;
+                    }
+                    pick -= w;
+                }
+                fi
+            }
+        };
+        let f = &self.flows[fi];
+        let len = self.rng.gen_range(self.payload_min..=self.payload_max);
+        let mut payload = vec![0u8; len];
+        self.rng.fill(payload.as_mut_slice());
+        // Embed an HTTP-ish request line for the url workload.
+        let req = format!("GET {} HTTP/1.0\r\n", self.urls[f.url]);
+        let n = req.len().min(len);
+        payload[..n].copy_from_slice(&req.as_bytes()[..n]);
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        Packet {
+            id,
+            src_ip: f.src_ip,
+            dst_ip: f.dst_ip,
+            src_port: f.src_port,
+            dst_port: f.dst_port,
+            proto: f.proto,
+            ttl: self.rng.gen_range(2..=64),
+            payload,
+        }
+    }
+}
+
+impl Iterator for TrafficSource {
+    type Item = Packet;
+
+    fn next(&mut self) -> Option<Packet> {
+        Some(self.next_packet())
     }
 }
 
@@ -306,6 +400,34 @@ mod tests {
         let mut c = a.clone();
         c.packets[0].ttl ^= 1;
         assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn source_stream_is_the_unbounded_trace() {
+        // The bounded trace must be a strict prefix of the source
+        // stream: same control-plane state, same packets, and the
+        // source keeps producing past the configured length.
+        let cfg = TraceConfig::small();
+        let t = cfg.generate();
+        let mut src = TrafficSource::new(&cfg);
+        let ctx = src.context();
+        assert!(ctx.packets.is_empty());
+        assert_eq!(ctx.prefixes, t.prefixes);
+        assert_eq!(ctx.urls, t.urls);
+        assert_eq!(ctx.flow_count, t.flow_count);
+        for (i, p) in t.packets.iter().enumerate() {
+            assert_eq!(&src.next_packet(), p, "packet {i} diverged");
+        }
+        let beyond = src.next_packet();
+        assert_eq!(beyond.id, cfg.packets as u32);
+    }
+
+    #[test]
+    fn source_ids_are_sequential() {
+        let mut src = TrafficSource::new(&TraceConfig::small());
+        for want in 0..50u32 {
+            assert_eq!(src.next_packet().id, want);
+        }
     }
 
     #[test]
