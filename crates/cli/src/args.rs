@@ -59,6 +59,7 @@ const FLAGS: &[&str] = &[
     "resume",
     "safe-mode",
     "progress",
+    "rebalance",
 ];
 
 impl Args {

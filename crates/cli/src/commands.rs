@@ -10,11 +10,12 @@ use clumsy_core::experiment::{paper_schemes, run_config_on_trace, ExperimentOpti
 use clumsy_core::{
     interrupt, run_campaign_durable, run_campaign_instrumented, run_campaign_on, run_serve,
     CampaignConfig, ClumsyConfig, DurableOptions, DynamicConfig, FrequencyPlan, JournalError,
-    ProgressReporter, SafeModeConfig, ServeConfig, Stopwatch, Telemetry, PAPER_CYCLE_TIMES,
+    ProgressReporter, RebalanceConfig, SafeModeConfig, ServeConfig, ShedPolicy, Stopwatch,
+    Telemetry, PAPER_CYCLE_TIMES,
 };
 use energy_model::EdfMetric;
 use fault_model::{FaultProbabilityModel, PersistentSiteConfig, VoltageSwingCurve};
-use netbench::{AppKind, Trace, TraceConfig};
+use netbench::{AppKind, Trace, TraceConfig, TrafficPattern};
 
 /// Top-level CLI error.
 #[derive(Debug)]
@@ -185,6 +186,21 @@ SERVE OPTIONS:
     --flows <n>           synthetic flow population (default: paper trace)
     --shed-timeout-ms <n> how long a full queue exerts backpressure before
                           the packet is shed instead (default 100)
+    --shed-policy <p>     fixed | adaptive: adaptive scales the shed deadline
+                          by smoothed queue occupancy, so a persistently full
+                          queue sheds early instead of stacking the pump a
+                          full timeout deep (default fixed)
+    --flow-queue-cap <n>  per-flow slots inside each ingress queue; enables
+                          deficit-round-robin dequeue so an elephant flow is
+                          shed at its cap instead of starving the mice (must
+                          be below --queue-depth; default off)
+    --rebalance           divert flows making their first appearance away
+                          from persistently hot shards to the least-loaded
+                          one (needs --shards >= 2; per-flow ordering is
+                          preserved — only never-seen flows move)
+    --pattern <m>         traffic mix: skewed | uniform | single-flow |
+                          elephant (one flow carries half the stream;
+                          default skewed)
     --inject-panic <id>   test hook: the owning shard panics once on this
                           packet id, exercising supervisor restart
     --app/--cr/--detection/--strikes/--recovery/--fault-targets/--l2-cycle/
@@ -678,6 +694,10 @@ const SERVE_OPTIONS: &[&str] = &[
     "packets",
     "flows",
     "shed-timeout-ms",
+    "shed-policy",
+    "flow-queue-cap",
+    "rebalance",
+    "pattern",
     "inject-panic",
     "stats-interval",
     "metrics",
@@ -723,14 +743,69 @@ fn serve(args: &Args) -> Result<String, CliError> {
         }
         traffic.flows = flows;
     }
+    if let Some(v) = args.get("pattern") {
+        traffic.pattern = match v {
+            "skewed" => TrafficPattern::Skewed,
+            "uniform" => TrafficPattern::Uniform,
+            "single-flow" => TrafficPattern::SingleFlow,
+            "elephant" => TrafficPattern::Elephant,
+            _ => {
+                return Err(CliError::Args(ArgError::BadValue {
+                    option: "pattern".into(),
+                    value: v.into(),
+                    expected: "skewed | uniform | single-flow | elephant",
+                }))
+            }
+        };
+    }
+
+    let shed_policy = match args.get("shed-policy").unwrap_or("fixed") {
+        "fixed" => ShedPolicy::Fixed,
+        "adaptive" => ShedPolicy::Adaptive,
+        v => {
+            return Err(CliError::Args(ArgError::BadValue {
+                option: "shed-policy".into(),
+                value: v.into(),
+                expected: "fixed | adaptive",
+            }))
+        }
+    };
 
     let mut cfg = ServeConfig::new(kind, design)
         .with_shards(shards)
         .with_queue_depth(queue_depth)
         .with_packet_budget(budget)
         .with_shed_timeout(std::time::Duration::from_millis(shed_ms))
+        .with_shed_policy(shed_policy)
         .with_traffic(traffic);
     cfg.stats_interval = stats_interval.max(1);
+    if let Some(v) = args.get("flow-queue-cap") {
+        let cap: usize = args.get_parsed("flow-queue-cap", 0, "a per-flow cap of at least 1")?;
+        if cap == 0 {
+            return Err(CliError::Args(ArgError::BadValue {
+                option: "flow-queue-cap".into(),
+                value: v.into(),
+                expected: "a per-flow cap of at least 1",
+            }));
+        }
+        if cap >= queue_depth {
+            // A cap the queue bound already enforces can never bind.
+            return Err(CliError::InertOption {
+                option: "flow-queue-cap".into(),
+                requires: "a --queue-depth larger than the cap".into(),
+            });
+        }
+        cfg = cfg.with_flow_queue_cap(cap);
+    }
+    if args.flag("rebalance") {
+        if shards < 2 {
+            return Err(CliError::InertOption {
+                option: "rebalance".into(),
+                requires: "at least two shards (--shards 2) to divert flows between".into(),
+            });
+        }
+        cfg = cfg.with_rebalance(RebalanceConfig::default());
+    }
     if args.get("inject-panic").is_some() {
         let id: u32 = args.get_parsed("inject-panic", 0u32, "a packet id")?;
         cfg = cfg.with_panic_on_packet(id);
@@ -757,7 +832,12 @@ fn serve(args: &Args) -> Result<String, CliError> {
     interrupt::install();
     let report = run_serve(&cfg, telemetry.as_deref(), &interrupt::interrupted);
     drop(reporter);
-    drop(flusher);
+    // Stop the flusher explicitly at drain time: its final snapshot is
+    // taken after every shard has joined, so the last interval's
+    // counters are never lost.
+    if let Some(f) = flusher {
+        f.stop();
+    }
     write_metrics(args, telemetry.as_ref())?;
     let mut out = report.summary();
     if report.interrupted {
@@ -1467,6 +1547,10 @@ mod tests {
             "--shards <n>",
             "--queue-depth <n>",
             "--shed-timeout-ms <n>",
+            "--shed-policy <p>",
+            "--flow-queue-cap <n>",
+            "--rebalance",
+            "--pattern <m>",
             "--inject-panic <id>",
             "--metrics-interval <s>",
             "drains and exits 0",
@@ -1480,6 +1564,64 @@ mod tests {
         assert!(dispatch_line(&["serve", "--shards", "0"]).is_err());
         assert!(dispatch_line(&["serve", "--queue-depth", "0"]).is_err());
         assert!(dispatch_line(&["serve", "--flows", "0"]).is_err());
+    }
+
+    #[test]
+    fn serve_rejects_bad_overload_values() {
+        assert!(dispatch_line(&["serve", "--shed-policy", "psychic"]).is_err());
+        assert!(dispatch_line(&["serve", "--pattern", "bursty"]).is_err());
+        assert!(dispatch_line(&["serve", "--flow-queue-cap", "0"]).is_err());
+    }
+
+    #[test]
+    fn an_unbindable_flow_cap_is_a_typed_error() {
+        // A per-flow cap at or above the queue depth can never bind:
+        // the queue bound itself already sheds first.
+        for cap in ["64", "100"] {
+            let err = dispatch_line(&["serve", "--queue-depth", "64", "--flow-queue-cap", cap])
+                .unwrap_err();
+            assert!(
+                matches!(err, CliError::InertOption { .. }),
+                "cap {cap}: expected InertOption, got {err:?}"
+            );
+            assert!(format!("{err}").contains("--queue-depth"), "{err}");
+        }
+    }
+
+    #[test]
+    fn rebalance_with_one_shard_is_a_typed_error() {
+        let err = dispatch_line(&["serve", "--shards", "1", "--rebalance"]).unwrap_err();
+        assert!(
+            matches!(err, CliError::InertOption { .. }),
+            "expected InertOption, got {err:?}"
+        );
+        assert!(format!("{err}").contains("two shards"), "{err}");
+    }
+
+    #[test]
+    fn serve_accepts_the_overload_surface() {
+        let out = dispatch_line(&[
+            "serve",
+            "--app",
+            "crc",
+            "--packets",
+            "120",
+            "--shards",
+            "2",
+            "--queue-depth",
+            "32",
+            "--flow-queue-cap",
+            "8",
+            "--shed-policy",
+            "adaptive",
+            "--rebalance",
+            "--pattern",
+            "elephant",
+        ])
+        .unwrap();
+        assert!(out.contains("accounting ok"), "{out}");
+        assert!(out.contains("overload: shed_flow_cap="), "{out}");
+        assert!(out.contains("flow shed: elephant="), "{out}");
     }
 
     #[test]

@@ -151,6 +151,109 @@ fn bounded_serve_is_deterministic_and_accounts_for_every_packet() {
     );
 }
 
+/// Pulls `key=value` integer fields out of a summary line like
+/// `flow shed: elephant=... elephant_shed=12 mice_shed=0 ...`.
+fn summary_fields(stdout: &str, line_prefix: &str) -> BTreeMap<String, u64> {
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with(line_prefix))
+        .unwrap_or_else(|| panic!("no `{line_prefix}` line in:\n{stdout}"));
+    line.split_whitespace()
+        .filter_map(|tok| {
+            let (k, v) = tok.split_once('=')?;
+            Some((k.to_string(), v.parse().ok()?))
+        })
+        .collect()
+}
+
+#[test]
+fn default_serve_output_carries_no_overload_lines() {
+    // Bitwise-stability contract: with every overload feature off the
+    // summary must look exactly as it did before the overload layer
+    // existed — no report lines, no schema drift.
+    let (out, stderr, ok) = serve_bounded(&[]);
+    assert!(ok, "{stderr}");
+    assert!(!out.contains("overload:"), "{out}");
+    assert!(!out.contains("flow shed:"), "{out}");
+}
+
+#[test]
+fn overload_mode_sheds_the_elephant_and_keeps_accounting() {
+    let dir = std::env::temp_dir().join(format!("clumsy-serve-over-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let metrics = dir.join("overload-metrics.json");
+
+    // A small queue and a tight per-flow cap under an elephant mix
+    // (one flow carries half the stream): the cap must bind on the
+    // elephant while the mice ride in the headroom it can't hog.
+    let out = Command::new(env!("CARGO_BIN_EXE_clumsy"))
+        .args([
+            "serve",
+            "--app",
+            "crc",
+            "--shards",
+            "2",
+            "--queue-depth",
+            "32",
+            "--packets",
+            "4000",
+            "--flows",
+            "1024",
+            "--pattern",
+            "elephant",
+            "--flow-queue-cap",
+            "4",
+            "--shed-policy",
+            "adaptive",
+            "--rebalance",
+            "--shed-timeout-ms",
+            "60000",
+            "--metrics",
+            &metrics.display().to_string(),
+        ])
+        .output()
+        .expect("binary spawns");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(out.status.success(), "{stdout}\n{stderr}");
+    assert!(stdout.contains("accounting ok"), "{stdout}");
+    assert!(stdout.contains("overload: shed_flow_cap="), "{stdout}");
+
+    // No shard wedged: both made progress.
+    let rows = shard_rows(&stdout);
+    assert_eq!(rows.len(), 2, "{stdout}");
+    assert!(rows.iter().all(|r| r.1 > 0), "a shard wedged: {stdout}");
+
+    // The elephant really is the top talker, and its shed *rate* is at
+    // least the mice's (integer cross-multiplication, no float ratios).
+    let f = summary_fields(&stdout, "flow shed:");
+    let get = |k: &str| *f.get(k).unwrap_or_else(|| panic!("missing {k}: {stdout}"));
+    let (e_shed, e_off) = (get("elephant_shed"), get("elephant_offered"));
+    let (m_shed, m_off) = (get("mice_shed"), get("mice_offered"));
+    assert!(
+        e_off * 10 >= (e_off + m_off) * 4,
+        "not an elephant: {stdout}"
+    );
+    assert!(
+        e_shed * m_off >= m_shed * e_off,
+        "mice shed harder than the elephant: {stdout}"
+    );
+
+    // The latency histogram made it into the serve metrics group.
+    let text = std::fs::read_to_string(&metrics).expect("metrics written");
+    let map = parse_metrics(&text);
+    let mget = |k: &str| {
+        *map.get(k)
+            .unwrap_or_else(|| panic!("metrics lost {k}: {text}"))
+    };
+    assert!(mget("serve_latency_us_count") > 0, "{text}");
+    assert!(text.contains("\"serve_latency_us_buckets\""), "{text}");
+    assert!(map.contains_key("packets_shed_flow_cap"), "{text}");
+    assert!(map.contains_key("packets_diverted"), "{text}");
+    assert!(map.contains_key("drr_deficit_topups"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn injected_panic_restarts_the_shard_and_leaves_siblings_untouched() {
     let (clean, _, ok) = serve_bounded(&[]);

@@ -42,7 +42,7 @@ use netbench::{
     TrafficSource,
 };
 use std::cell::Cell;
-use std::collections::VecDeque;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -68,59 +68,223 @@ pub enum PushOutcome {
     /// The queue stayed full past the shed timeout; the packet was
     /// dropped at ingress.
     Shed,
+    /// The packet's flow already holds its per-flow cap worth of queue
+    /// slots; shed immediately, without blocking — the elephant pays,
+    /// the mice keep their seats.
+    ShedFlowCap,
     /// The queue is closed (drain in progress); the packet was
     /// discarded and the producer should stop.
     Closed,
+}
+
+/// How the shed deadline of a full queue is chosen.
+///
+/// `Fixed` is PR 8's behavior: every blocked push waits the full
+/// configured timeout, so under sustained overload producers stack up
+/// a whole timeout deep before the first packet is shed. `Adaptive`
+/// scales the deadline by smoothed queue occupancy — an idle queue
+/// grants the full timeout (transients are absorbed), a persistently
+/// full one shrinks it toward zero so shedding engages early and the
+/// pump keeps moving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShedPolicy {
+    /// The configured shed timeout applies as-is.
+    #[default]
+    Fixed,
+    /// Deadline = `timeout × (1 − smoothed occupancy / capacity)`.
+    Adaptive,
+}
+
+/// EWMA smoothing shift for queue occupancy: new = old + (sample −
+/// old)/8. Instantaneous occupancy is useless for the adaptive policy
+/// (it always equals capacity at the moment a push blocks); the EWMA
+/// distinguishes a transient burst from sustained pressure.
+const OCCUPANCY_EWMA_SHIFT: u32 = 3;
+
+/// DRR quantum in cost units (bytes of payload): one MTU-ish credit
+/// per flow per round, so a flow of jumbo packets cannot outrun a flow
+/// of minimum-size ones by packet count alone.
+const DRR_QUANTUM: u64 = 1500;
+
+/// One queued packet plus its routing metadata. The enqueue timestamp
+/// is taken only when telemetry is attached (measurement must stay
+/// strictly passive — no clock reads on the silent path).
+#[derive(Debug)]
+struct Entry {
+    pkt: Packet,
+    flow: u64,
+    enqueued: Option<Instant>,
+}
+
+/// One flow's FIFO inside a DRR-mode queue, with its deficit credit.
+#[derive(Debug)]
+struct FlowQueue {
+    q: VecDeque<Entry>,
+    deficit: u64,
+}
+
+/// Cost of dequeuing one entry: payload bytes (floor 1 so zero-length
+/// packets still consume credit and the round always advances).
+fn entry_cost(e: &Entry) -> u64 {
+    (e.pkt.payload.len() as u64).max(1)
 }
 
 /// A bounded ingress queue between the traffic pump and one shard:
 /// blocking push with a shed timeout on the producer side, blocking
 /// pop-until-closed on the consumer side, occupancy high-water mark
 /// for the bounded-memory telemetry contract.
+///
+/// Two dequeue modes share the bound:
+///
+/// * **FIFO** (no flow cap): exactly PR 8's queue — arrival order is
+///   dequeue order, so per-shard digests stay bitwise reproducible.
+/// * **DRR** (`flow_cap` set): entries are segregated per flow and
+///   dequeued by deficit round robin, and a flow already holding
+///   `flow_cap` slots is shed immediately instead of blocking the
+///   pump. One elephant can then cost at most `flow_cap` slots of a
+///   mouse's latency, not the whole queue.
 #[derive(Debug)]
 pub struct IngressQueue {
     inner: Mutex<QueueState>,
     not_full: Condvar,
     not_empty: Condvar,
     capacity: usize,
+    flow_cap: Option<usize>,
 }
 
 #[derive(Debug)]
 struct QueueState {
-    buf: VecDeque<Packet>,
+    /// FIFO-mode storage (unused in DRR mode).
+    fifo: VecDeque<Entry>,
+    /// DRR-mode storage: one bounded FIFO per flow…
+    flows: HashMap<u64, FlowQueue>,
+    /// …visited in this round-robin order.
+    active: VecDeque<u64>,
+    /// Total entries across both modes (the capacity bound).
+    len: usize,
     closed: bool,
     highwater: usize,
+    /// Occupancy EWMA in milli-slots (fixed point ×1000).
+    occupancy_milli: u64,
+    /// DRR deficit top-ups performed (scheduler-effort gauge).
+    drr_topups: u64,
+}
+
+impl QueueState {
+    /// Folds the current length into the occupancy EWMA. Called on
+    /// every push, pop and shed so the smoothed signal tracks what the
+    /// producer actually experiences.
+    fn observe_occupancy(&mut self) {
+        let sample = self.len as u64 * 1000;
+        let old = self.occupancy_milli;
+        self.occupancy_milli =
+            old - (old >> OCCUPANCY_EWMA_SHIFT) + (sample >> OCCUPANCY_EWMA_SHIFT);
+    }
 }
 
 impl IngressQueue {
-    /// An empty queue holding at most `capacity` packets.
+    /// An empty FIFO queue holding at most `capacity` packets.
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
+        Self::with_flow_cap(capacity, None)
+    }
+
+    /// An empty queue holding at most `capacity` packets; a flow cap
+    /// switches it to per-flow DRR dequeue with at most `cap` queued
+    /// packets per flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or the cap is zero or ≥ capacity
+    /// (a cap the whole queue cannot violate would never bind).
+    #[must_use]
+    pub fn with_flow_cap(capacity: usize, flow_cap: Option<usize>) -> Self {
         assert!(capacity > 0, "queue capacity must be at least 1");
+        if let Some(cap) = flow_cap {
+            assert!(
+                cap >= 1 && cap < capacity,
+                "flow cap must be at least 1 and below the queue capacity"
+            );
+        }
         IngressQueue {
             inner: Mutex::new(QueueState {
-                buf: VecDeque::with_capacity(capacity),
+                fifo: VecDeque::new(),
+                flows: HashMap::new(),
+                active: VecDeque::new(),
+                len: 0,
                 closed: false,
                 highwater: 0,
+                occupancy_milli: 0,
+                drr_topups: 0,
             }),
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
             capacity,
+            flow_cap,
         }
+    }
+
+    /// The shed deadline `policy` would grant right now for a
+    /// configured maximum of `max`: the full `max` under
+    /// [`ShedPolicy::Fixed`], scaled down by smoothed occupancy under
+    /// [`ShedPolicy::Adaptive`].
+    #[must_use]
+    pub fn shed_deadline(&self, max: Duration, policy: ShedPolicy) -> Duration {
+        let state = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        match policy {
+            ShedPolicy::Fixed => max,
+            ShedPolicy::Adaptive => Self::adaptive_timeout(&state, self.capacity, max),
+        }
+    }
+
+    fn adaptive_timeout(state: &QueueState, capacity: usize, max: Duration) -> Duration {
+        let frac = state.occupancy_milli as f64 / (capacity as f64 * 1000.0);
+        max.mul_f64((1.0 - frac).clamp(0.0, 1.0))
     }
 
     /// Pushes a packet, blocking while the queue is full. Backpressure
     /// turns into shedding after `shed_timeout`: the packet is dropped
     /// at ingress rather than allocated beyond the bound.
     pub fn push(&self, pkt: Packet, shed_timeout: Duration) -> PushOutcome {
-        let deadline = Instant::now() + shed_timeout;
+        let flow = flow_hash(&pkt);
+        self.push_entry(
+            Entry {
+                pkt,
+                flow,
+                enqueued: None,
+            },
+            shed_timeout,
+            ShedPolicy::Fixed,
+        )
+    }
+
+    /// Pushes one entry under `policy`. In DRR mode a flow at its cap
+    /// is shed immediately; a full queue blocks until the policy's
+    /// deadline, then sheds.
+    fn push_entry(&self, entry: Entry, max_timeout: Duration, policy: ShedPolicy) -> PushOutcome {
         let mut state = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        while state.buf.len() >= self.capacity && !state.closed {
+        if let Some(cap) = self.flow_cap {
+            if !state.closed {
+                if let Some(fq) = state.flows.get(&entry.flow) {
+                    if fq.q.len() >= cap {
+                        state.observe_occupancy();
+                        return PushOutcome::ShedFlowCap;
+                    }
+                }
+            }
+        }
+        let timeout = match policy {
+            ShedPolicy::Fixed => max_timeout,
+            ShedPolicy::Adaptive => Self::adaptive_timeout(&state, self.capacity, max_timeout),
+        };
+        let deadline = Instant::now() + timeout;
+        while state.len >= self.capacity && !state.closed {
             let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                state.observe_occupancy();
                 return PushOutcome::Shed;
             };
             let (guard, _timeout) = self
@@ -132,24 +296,77 @@ impl IngressQueue {
         if state.closed {
             return PushOutcome::Closed;
         }
-        state.buf.push_back(pkt);
-        let depth = state.buf.len();
-        state.highwater = state.highwater.max(depth);
+        let s = &mut *state;
+        if self.flow_cap.is_none() {
+            s.fifo.push_back(entry);
+        } else {
+            let flow = entry.flow;
+            if let Some(fq) = s.flows.get_mut(&flow) {
+                fq.q.push_back(entry);
+            } else {
+                s.flows.insert(
+                    flow,
+                    FlowQueue {
+                        q: VecDeque::from([entry]),
+                        deficit: 0,
+                    },
+                );
+                s.active.push_back(flow);
+            }
+        }
+        s.len += 1;
+        let depth = s.len;
+        s.highwater = s.highwater.max(depth);
+        s.observe_occupancy();
         drop(state);
         self.not_empty.notify_one();
         PushOutcome::Enqueued(depth)
     }
 
-    /// Pops the next packet, blocking while the queue is empty and
+    /// Dequeues the next entry under the queue's mode. DRR: visit
+    /// flows round-robin, topping a flow's deficit up by one quantum
+    /// per visit until it can afford its head packet — each topped-up
+    /// visit rotates to the next flow, so mice are served while an
+    /// elephant saves up. A flow's credit dies with its backlog (no
+    /// banking while idle).
+    fn dequeue(s: &mut QueueState, drr: bool) -> Option<Entry> {
+        if !drr {
+            let e = s.fifo.pop_front()?;
+            s.len -= 1;
+            return Some(e);
+        }
+        while let Some(&flow) = s.active.front() {
+            let fq = s.flows.get_mut(&flow).expect("active flow has a queue");
+            let cost = entry_cost(fq.q.front().expect("active flow is non-empty"));
+            if fq.deficit < cost {
+                fq.deficit += DRR_QUANTUM;
+                s.drr_topups += 1;
+                s.active.rotate_left(1);
+                continue;
+            }
+            fq.deficit -= cost;
+            let e = fq.q.pop_front().expect("checked non-empty");
+            if fq.q.is_empty() {
+                s.flows.remove(&flow);
+                s.active.pop_front();
+            }
+            s.len -= 1;
+            return Some(e);
+        }
+        None
+    }
+
+    /// Pops the next entry, blocking while the queue is empty and
     /// open. Returns `None` only once the queue is closed *and*
     /// drained — the consumer's signal to finish.
-    pub fn pop(&self) -> Option<Packet> {
+    fn pop_entry(&self) -> Option<Entry> {
         let mut state = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         loop {
-            if let Some(pkt) = state.buf.pop_front() {
+            if let Some(e) = Self::dequeue(&mut state, self.flow_cap.is_some()) {
+                state.observe_occupancy();
                 drop(state);
                 self.not_full.notify_one();
-                return Some(pkt);
+                return Some(e);
             }
             if state.closed {
                 return None;
@@ -159,6 +376,13 @@ impl IngressQueue {
                 .wait(state)
                 .unwrap_or_else(|e| e.into_inner());
         }
+    }
+
+    /// Pops the next packet, blocking while the queue is empty and
+    /// open. Returns `None` only once the queue is closed *and*
+    /// drained — the consumer's signal to finish.
+    pub fn pop(&self) -> Option<Packet> {
+        self.pop_entry().map(|e| e.pkt)
     }
 
     /// Closes the queue: producers get [`PushOutcome::Closed`],
@@ -178,14 +402,19 @@ impl IngressQueue {
             .highwater
     }
 
-    /// Current occupancy.
+    /// DRR deficit top-ups performed so far (0 in FIFO mode).
     #[must_use]
-    pub fn len(&self) -> usize {
+    pub fn drr_topups(&self) -> u64 {
         self.inner
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .buf
-            .len()
+            .drr_topups
+    }
+
+    /// Current occupancy.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len
     }
 
     /// Whether the queue is currently empty.
@@ -221,6 +450,135 @@ fn flow_hash(pkt: &Packet) -> u64 {
 pub fn flow_shard(pkt: &Packet, shards: usize) -> usize {
     assert!(shards > 0, "need at least one shard");
     usize::try_from(flow_hash(pkt) % shards as u64).expect("shard index fits usize")
+}
+
+/// Tuning for skew rebalancing (see [`FlowDirector`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RebalanceConfig {
+    /// Queue-occupancy fraction at or above which a shard counts as
+    /// hot for one observation.
+    pub highwater_frac: f64,
+    /// Consecutive hot observations (one per pumped packet) before new
+    /// flows are diverted away from the shard.
+    pub window: u32,
+    /// Pinning-table size bound — bounded memory, like everything else
+    /// in serve. Once full, new flows stay on their natural shard.
+    pub max_pins: usize,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        RebalanceConfig {
+            highwater_frac: 0.875,
+            window: 64,
+            max_pins: 4096,
+        }
+    }
+}
+
+/// How [`FlowDirector::route`] placed a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteKind {
+    /// The natural flow-hash shard.
+    Natural,
+    /// An already-pinned flow following its pin.
+    Pinned,
+    /// First packet of a new flow, pinned away from its hot natural
+    /// shard by this very call.
+    NewPin,
+}
+
+/// Routes flows to shards, diverting *new* flows away from
+/// persistently hot shards.
+///
+/// Static flow hashing is blind to skew: two elephant flows that hash
+/// to the same shard overload it while siblings idle. The director
+/// watches per-shard queue occupancy; when a shard stays above
+/// [`RebalanceConfig::highwater_frac`] for a full window, flows making
+/// their *first* appearance are pinned to the least-loaded shard
+/// instead. Only never-seen flows are eligible — a flow that has
+/// already sent a packet routes to the same shard forever (pinned or
+/// natural), so per-flow ordering is preserved by construction, not by
+/// luck.
+#[derive(Debug)]
+pub struct FlowDirector {
+    shards: usize,
+    cfg: RebalanceConfig,
+    pinned: HashMap<u64, usize>,
+    seen: HashSet<u64>,
+    hot_streak: Vec<u32>,
+}
+
+impl FlowDirector {
+    /// A director over `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards < 2` — with one shard there is nowhere to
+    /// divert to (the CLI rejects that config with a typed error
+    /// before it gets here).
+    #[must_use]
+    pub fn new(shards: usize, cfg: RebalanceConfig) -> Self {
+        assert!(shards >= 2, "rebalancing needs at least two shards");
+        FlowDirector {
+            shards,
+            cfg,
+            pinned: HashMap::new(),
+            seen: HashSet::new(),
+            hot_streak: vec![0; shards],
+        }
+    }
+
+    /// Records one occupancy sample per shard: `depths[i]` queued of
+    /// `capacity`. Extends or resets each shard's hot streak.
+    pub fn observe(&mut self, depths: &[usize], capacity: usize) {
+        assert_eq!(depths.len(), self.shards, "one depth per shard");
+        let hot = ((capacity as f64 * self.cfg.highwater_frac).ceil() as usize).max(1);
+        for (streak, &depth) in self.hot_streak.iter_mut().zip(depths) {
+            *streak = if depth >= hot {
+                streak.saturating_add(1)
+            } else {
+                0
+            };
+        }
+    }
+
+    /// Routes one packet of `flow` given current queue `depths`.
+    /// Pinned flows follow their pin forever; seen-but-unpinned flows
+    /// stay natural; a first-sighted flow whose natural shard has been
+    /// hot for a full window is pinned to the least-loaded shard.
+    pub fn route(&mut self, flow: u64, depths: &[usize]) -> (usize, RouteKind) {
+        assert_eq!(depths.len(), self.shards, "one depth per shard");
+        let natural = usize::try_from(flow % self.shards as u64).expect("shard index fits usize");
+        if let Some(&pin) = self.pinned.get(&flow) {
+            return (pin, RouteKind::Pinned);
+        }
+        if !self.seen.insert(flow) {
+            return (natural, RouteKind::Natural);
+        }
+        if self.hot_streak[natural] >= self.cfg.window && self.pinned.len() < self.cfg.max_pins {
+            let coldest = (0..self.shards)
+                .min_by_key(|&i| depths[i])
+                .expect("at least two shards");
+            if coldest != natural {
+                self.pinned.insert(flow, coldest);
+                return (coldest, RouteKind::NewPin);
+            }
+        }
+        (natural, RouteKind::Natural)
+    }
+
+    /// Number of flows currently pinned off their natural shard.
+    #[must_use]
+    pub fn pinned_flows(&self) -> usize {
+        self.pinned.len()
+    }
+
+    /// Number of distinct flows the director has routed.
+    #[must_use]
+    pub fn seen_flows(&self) -> usize {
+        self.seen.len()
+    }
 }
 
 /// Incremental FNV-1a fold of one packet outcome into a shard digest.
@@ -261,6 +619,18 @@ pub struct ServeConfig {
     /// How long a full queue exerts backpressure before the packet is
     /// shed.
     pub shed_timeout: Duration,
+    /// How the shed deadline is derived from `shed_timeout` (fixed, or
+    /// scaled down by queue occupancy).
+    pub shed_policy: ShedPolicy,
+    /// Per-flow queue cap; `Some` switches every ingress queue to
+    /// deficit-round-robin dequeue with immediate shedding of flows at
+    /// their cap. Must be ≥ 1 and below `queue_depth`. DRR trades the
+    /// bitwise-reproducible dequeue order of FIFO mode for elephant
+    /// isolation; accounting and per-flow ordering are unaffected.
+    pub flow_queue_cap: Option<usize>,
+    /// Skew rebalancing; `Some` diverts never-seen flows away from
+    /// persistently hot shards. Needs at least two shards.
+    pub rebalance: Option<RebalanceConfig>,
     /// Publish per-shard `MemStats` deltas to telemetry every this
     /// many packets (and always at drain).
     pub stats_interval: u32,
@@ -283,6 +653,9 @@ impl ServeConfig {
             design,
             traffic: TraceConfig::paper(),
             shed_timeout: Duration::from_millis(100),
+            shed_policy: ShedPolicy::Fixed,
+            flow_queue_cap: None,
+            rebalance: None,
             stats_interval: 256,
             panic_on_packet: None,
         }
@@ -313,6 +686,27 @@ impl ServeConfig {
     #[must_use]
     pub fn with_shed_timeout(mut self, timeout: Duration) -> Self {
         self.shed_timeout = timeout;
+        self
+    }
+
+    /// Returns the config with a different shed policy.
+    #[must_use]
+    pub fn with_shed_policy(mut self, policy: ShedPolicy) -> Self {
+        self.shed_policy = policy;
+        self
+    }
+
+    /// Returns the config with a per-flow queue cap (enables DRR).
+    #[must_use]
+    pub fn with_flow_queue_cap(mut self, cap: usize) -> Self {
+        self.flow_queue_cap = Some(cap);
+        self
+    }
+
+    /// Returns the config with skew rebalancing enabled.
+    #[must_use]
+    pub fn with_rebalance(mut self, rebalance: RebalanceConfig) -> Self {
+        self.rebalance = Some(rebalance);
         self
     }
 
@@ -383,6 +777,38 @@ impl ShardReport {
     }
 }
 
+/// One flow's ingress accounting (overload report's top talkers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowTraffic {
+    /// FNV-1a flow hash (the flow's identity; the 5-tuple itself is
+    /// not retained).
+    pub flow: u64,
+    /// Packets the pump drew for this flow.
+    pub offered: u64,
+    /// Packets of this flow shed at ingress (deadline or flow cap).
+    pub shed: u64,
+}
+
+/// Overload-policy accounting. Present on a [`ServeReport`] only when
+/// an overload feature (adaptive shedding, flow caps, rebalancing) was
+/// enabled — the default path computes none of this.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadReport {
+    /// Packets shed because their flow was at its per-flow cap (a
+    /// subset of the report's total `shed`).
+    pub shed_flow_cap: u64,
+    /// DRR deficit top-ups across all queues.
+    pub drr_deficit_topups: u64,
+    /// Distinct flows the pump saw.
+    pub flows_seen: u64,
+    /// Flows pinned off their natural shard by the rebalancer.
+    pub flows_pinned: u64,
+    /// Packets routed to a pinned (non-natural) shard.
+    pub packets_diverted: u64,
+    /// Heaviest flows by offered packets, descending (at most eight).
+    pub top_flows: Vec<FlowTraffic>,
+}
+
 /// The outcome of a serve run: pump-side counts plus one
 /// [`ShardReport`] per shard.
 #[derive(Debug, Clone, PartialEq)]
@@ -391,10 +817,14 @@ pub struct ServeReport {
     pub generated: u64,
     /// Packets that made it into a shard queue.
     pub ingested: u64,
-    /// Packets shed at ingress (backpressure timeout).
+    /// Packets shed at ingress (backpressure deadline or per-flow
+    /// cap).
     pub shed: u64,
     /// Per-shard accounting.
     pub shards: Vec<ShardReport>,
+    /// Overload-policy accounting (`None` on the default fixed/FIFO
+    /// path, whose output must stay bitwise identical across PRs).
+    pub overload: Option<OverloadReport>,
     /// Whether the run stopped via the `stop` closure (as opposed to
     /// exhausting its packet budget).
     pub interrupted: bool,
@@ -499,6 +929,33 @@ impl ServeReport {
             self.ingested,
             self.shards.iter().map(ShardReport::consumed).sum::<u64>(),
         );
+        if let Some(o) = &self.overload {
+            let _ = writeln!(
+                out,
+                "overload: shed_flow_cap={} drr_topups={} flows_seen={} \
+                 flows_pinned={} packets_diverted={}",
+                o.shed_flow_cap,
+                o.drr_deficit_topups,
+                o.flows_seen,
+                o.flows_pinned,
+                o.packets_diverted,
+            );
+            if let Some(top) = o.top_flows.first() {
+                // Asymmetry proof for the soak gates: the heaviest flow
+                // versus everyone else. `generated`/`shed` cover every
+                // packet, so mice = totals minus the elephant.
+                let _ = writeln!(
+                    out,
+                    "flow shed: elephant={:016x} elephant_shed={} elephant_offered={} \
+                     mice_shed={} mice_offered={}",
+                    top.flow,
+                    top.shed,
+                    top.offered,
+                    self.shed - top.shed,
+                    self.generated - top.offered,
+                );
+            }
+        }
         out
     }
 }
@@ -695,12 +1152,16 @@ fn shard_loop(
     };
 
     let mut since_publish = 0u32;
-    while let Some(pkt) = queue.pop() {
+    while let Some(entry) = queue.pop_entry() {
+        let Entry { pkt, enqueued, .. } = entry;
         in_flight.set(Some(pkt.id));
         if cfg.panic_on_packet == Some(pkt.id) && panic_armed.replace(false) {
             panic!("injected serve test panic on packet {}", pkt.id);
         }
         let verdict = state.process_packet(&pkt);
+        if let (Some(t), Some(at)) = (telemetry, enqueued) {
+            t.serve_latency(at.elapsed());
+        }
         rep.digest = digest_step(rep.digest, pkt.id, verdict as u8);
         match verdict {
             PacketVerdict::Clean => rep.processed += 1,
@@ -807,12 +1268,30 @@ pub fn run_serve(
     stop: &(dyn Fn() -> bool + Sync),
 ) -> ServeReport {
     assert!(cfg.shards > 0, "need at least one shard");
+    if cfg.rebalance.is_some() {
+        assert!(cfg.shards >= 2, "rebalancing needs at least two shards");
+    }
     let clock = Instant::now();
     let mut source = TrafficSource::new(&cfg.traffic);
     let context = source.context();
     let queues: Vec<IngressQueue> = (0..cfg.shards)
-        .map(|_| IngressQueue::new(cfg.queue_depth))
+        .map(|_| IngressQueue::with_flow_cap(cfg.queue_depth, cfg.flow_queue_cap))
         .collect();
+
+    // The overload layer is fully absent on the default path: no flow
+    // table, no depth sampling, no clock reads — the PR 8 pump,
+    // bitwise.
+    let overload_on = cfg.shed_policy != ShedPolicy::Fixed
+        || cfg.flow_queue_cap.is_some()
+        || cfg.rebalance.is_some();
+    let mut director = cfg
+        .rebalance
+        .clone()
+        .map(|r| FlowDirector::new(cfg.shards, r));
+    let mut flow_stats: HashMap<u64, (u64, u64)> = HashMap::new(); // (offered, shed)
+    let mut depths = vec![0usize; cfg.shards];
+    let mut shed_flow_cap = 0u64;
+    let mut packets_diverted = 0u64;
 
     let mut generated = 0u64;
     let mut ingested = 0u64;
@@ -841,8 +1320,38 @@ pub fn run_serve(
             }
             let pkt = source.next_packet();
             generated += 1;
-            let shard = flow_shard(&pkt, cfg.shards);
-            match queues[shard].push(pkt, cfg.shed_timeout) {
+            let flow = flow_hash(&pkt);
+            let shard = if let Some(d) = director.as_mut() {
+                for (slot, q) in depths.iter_mut().zip(&queues) {
+                    *slot = q.len();
+                }
+                d.observe(&depths, cfg.queue_depth);
+                let (shard, kind) = d.route(flow, &depths);
+                match kind {
+                    RouteKind::Natural => {}
+                    RouteKind::Pinned | RouteKind::NewPin => {
+                        packets_diverted += 1;
+                        if let Some(t) = telemetry {
+                            t.packet_diverted();
+                            if kind == RouteKind::NewPin {
+                                t.flow_diverted();
+                            }
+                        }
+                    }
+                }
+                shard
+            } else {
+                usize::try_from(flow % cfg.shards as u64).expect("shard index fits usize")
+            };
+            if overload_on {
+                flow_stats.entry(flow).or_insert((0, 0)).0 += 1;
+            }
+            let entry = Entry {
+                pkt,
+                flow,
+                enqueued: telemetry.map(|_| Instant::now()),
+            };
+            match queues[shard].push_entry(entry, cfg.shed_timeout, cfg.shed_policy) {
                 PushOutcome::Enqueued(depth) => {
                     ingested += 1;
                     if let Some(t) = telemetry {
@@ -852,8 +1361,20 @@ pub fn run_serve(
                 }
                 PushOutcome::Shed => {
                     shed += 1;
+                    if overload_on {
+                        flow_stats.entry(flow).or_insert((0, 0)).1 += 1;
+                    }
                     if let Some(t) = telemetry {
                         t.packet_shed();
+                    }
+                }
+                PushOutcome::ShedFlowCap => {
+                    shed += 1;
+                    shed_flow_cap += 1;
+                    flow_stats.entry(flow).or_insert((0, 0)).1 += 1;
+                    if let Some(t) = telemetry {
+                        t.packet_shed();
+                        t.packet_shed_flow_cap();
                     }
                 }
                 PushOutcome::Closed => break,
@@ -876,11 +1397,37 @@ pub fn run_serve(
             t.queue_depth_sample(q.highwater() as u64);
         }
     }
+    let overload = overload_on.then(|| {
+        let drr_deficit_topups: u64 = queues.iter().map(IngressQueue::drr_topups).sum();
+        if let Some(t) = telemetry {
+            t.add_drr_topups(drr_deficit_topups);
+        }
+        let mut top_flows: Vec<FlowTraffic> = flow_stats
+            .iter()
+            .map(|(&flow, &(offered, shed))| FlowTraffic {
+                flow,
+                offered,
+                shed,
+            })
+            .collect();
+        top_flows.sort_by(|a, b| b.offered.cmp(&a.offered).then(a.flow.cmp(&b.flow)));
+        let flows_seen = top_flows.len() as u64;
+        top_flows.truncate(8);
+        OverloadReport {
+            shed_flow_cap,
+            drr_deficit_topups,
+            flows_seen,
+            flows_pinned: director.as_ref().map_or(0, |d| d.pinned_flows() as u64),
+            packets_diverted,
+            top_flows,
+        }
+    });
     ServeReport {
         generated,
         ingested,
         shed,
         shards: shard_reports,
+        overload,
         interrupted,
         wall: clock.elapsed(),
     }
@@ -1047,6 +1594,297 @@ mod tests {
         ] {
             assert!(json.contains(key), "metrics JSON lost {key}");
         }
+    }
+
+    /// A synthetic 5-tuple packet: `i` sweeps src/dst addresses so
+    /// each index is a distinct flow.
+    fn tuple_pkt(i: u32) -> Packet {
+        Packet {
+            id: i,
+            src_ip: 0x0A00_0000 | i,
+            dst_ip: 0xC0A8_0000 | i.wrapping_mul(7),
+            src_port: 1024 + (i % 40_000) as u16,
+            dst_port: 80,
+            proto: 6,
+            ttl: 64,
+            payload: vec![0; 64],
+        }
+    }
+
+    /// Deliberately colliding fixture: `n` distinct 5-tuples that all
+    /// flow-hash to `shard` of `shards` — the worst case static
+    /// sharding can see, used by the rebalance tests.
+    fn colliding_flows(shard: usize, shards: usize, n: usize) -> Vec<Packet> {
+        let mut out = Vec::with_capacity(n);
+        let mut i = 0u32;
+        while out.len() < n {
+            let p = tuple_pkt(i);
+            if flow_shard(&p, shards) == shard {
+                out.push(p);
+            }
+            i = i.checked_add(1).expect("fixture search stays in range");
+        }
+        out
+    }
+
+    #[test]
+    fn colliding_fixture_really_collides() {
+        let pkts = colliding_flows(1, 4, 32);
+        let distinct: std::collections::HashSet<u64> = pkts.iter().map(flow_hash).collect();
+        assert_eq!(distinct.len(), 32, "fixture flows must be distinct");
+        assert!(pkts.iter().all(|p| flow_shard(p, 4) == 1));
+    }
+
+    #[test]
+    fn flow_hash_spreads_uniform_tuples_evenly() {
+        // Chi-square goodness of fit for FNV-1a 5-tuple sharding over
+        // 8192 distinct flows. Critical values at p = 0.001 for
+        // df = shards − 1: a hash this bad would fail one in a
+        // thousand universes, not this deterministic one.
+        const N: usize = 8192;
+        for (shards, crit) in [(2usize, 10.83f64), (4, 16.27), (8, 24.32)] {
+            let mut counts = vec![0u64; shards];
+            for i in 0..N {
+                counts[flow_shard(&tuple_pkt(i as u32), shards)] += 1;
+            }
+            let expected = N as f64 / shards as f64;
+            let chi2: f64 = counts
+                .iter()
+                .map(|&c| {
+                    let d = c as f64 - expected;
+                    d * d / expected
+                })
+                .sum();
+            assert!(
+                chi2 < crit,
+                "{shards} shards: chi2 {chi2:.2} >= {crit} ({counts:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_deadline_shrinks_under_sustained_pressure() {
+        let q = IngressQueue::new(4);
+        let max = Duration::from_millis(80);
+        // Fresh queue: zero smoothed occupancy grants the full budget.
+        assert_eq!(q.shed_deadline(max, ShedPolicy::Adaptive), max);
+        assert_eq!(q.shed_deadline(max, ShedPolicy::Fixed), max);
+        // Fill it and keep observing fullness: the EWMA converges on
+        // capacity and the adaptive deadline collapses toward zero.
+        let tiny = Duration::from_millis(1);
+        for i in 0..4 {
+            assert!(matches!(
+                q.push(tuple_pkt(i), Duration::from_secs(1)),
+                PushOutcome::Enqueued(_)
+            ));
+        }
+        for i in 4..40 {
+            assert_eq!(q.push(tuple_pkt(i), tiny), PushOutcome::Shed);
+        }
+        let squeezed = q.shed_deadline(max, ShedPolicy::Adaptive);
+        assert!(
+            squeezed < max / 4,
+            "deadline {squeezed:?} did not shrink under pressure"
+        );
+        // Fixed policy is immune to occupancy by definition.
+        assert_eq!(q.shed_deadline(max, ShedPolicy::Fixed), max);
+    }
+
+    #[test]
+    fn drr_serves_mice_ahead_of_an_elephant_backlog() {
+        // One elephant flow enqueues 6 near-MTU packets, then two mice
+        // one small packet each. FIFO would make the mice wait out the
+        // whole elephant backlog; DRR must interleave them into the
+        // first quantum round, because each elephant packet nearly
+        // exhausts the 1500-byte deficit.
+        let q = IngressQueue::with_flow_cap(64, Some(16));
+        let long = Duration::from_secs(1);
+        let elephant = tuple_pkt(0);
+        for i in 0..6u32 {
+            let mut p = elephant.clone();
+            p.id = 1000 + i; // distinct ids, same 5-tuple
+            p.payload = vec![0; 1400];
+            assert!(matches!(q.push(p, long), PushOutcome::Enqueued(_)));
+        }
+        let (ma, mb) = (tuple_pkt(1), tuple_pkt(2));
+        assert_ne!(flow_hash(&ma), flow_hash(&elephant));
+        assert_ne!(flow_hash(&mb), flow_hash(&elephant));
+        assert!(matches!(q.push(ma.clone(), long), PushOutcome::Enqueued(_)));
+        assert!(matches!(q.push(mb.clone(), long), PushOutcome::Enqueued(_)));
+        q.close();
+        let drained: Vec<Packet> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained.len(), 8);
+        let order: Vec<u64> = drained.iter().map(flow_hash).collect();
+        let pos = |h: u64| order.iter().position(|&x| x == h).expect("flow served");
+        // Both mice are served before the elephant's last packet.
+        let last_elephant = order
+            .iter()
+            .rposition(|&x| x == flow_hash(&elephant))
+            .unwrap();
+        assert!(pos(flow_hash(&ma)) < last_elephant, "{order:?}");
+        assert!(pos(flow_hash(&mb)) < last_elephant, "{order:?}");
+        // Per-flow order is preserved: the elephant's ids ascend.
+        let elephant_ids: Vec<u32> = drained
+            .iter()
+            .filter(|p| flow_hash(p) == flow_hash(&elephant))
+            .map(|p| p.id)
+            .collect();
+        assert!(
+            elephant_ids.windows(2).all(|w| w[0] < w[1]),
+            "{elephant_ids:?}"
+        );
+        assert!(q.drr_topups() > 0, "round robin must have topped up");
+    }
+
+    #[test]
+    fn flow_cap_sheds_the_elephant_not_the_queue() {
+        let q = IngressQueue::with_flow_cap(64, Some(4));
+        let long = Duration::from_secs(1);
+        let elephant = tuple_pkt(0);
+        for _ in 0..4 {
+            assert!(matches!(
+                q.push(elephant.clone(), long),
+                PushOutcome::Enqueued(_)
+            ));
+        }
+        // Fifth packet of the same flow: immediate flow-cap shed, no
+        // blocking, even though the queue itself has plenty of room.
+        let before = Instant::now();
+        assert_eq!(q.push(elephant.clone(), long), PushOutcome::ShedFlowCap);
+        assert!(before.elapsed() < Duration::from_millis(500));
+        // A different flow still gets in.
+        let mouse = tuple_pkt(1);
+        assert!(matches!(q.push(mouse, long), PushOutcome::Enqueued(5)));
+        assert_eq!(q.len(), 5);
+    }
+
+    #[test]
+    fn director_pins_new_flows_off_a_hot_shard() {
+        let mut d = FlowDirector::new(
+            4,
+            RebalanceConfig {
+                highwater_frac: 0.875,
+                window: 3,
+                max_pins: 100,
+            },
+        );
+        let depths_hot = [60usize, 2, 1, 5]; // shard 0 ≥ 7/8 of 64
+                                             // Flows that naturally hash to shard 0.
+        let flows: Vec<u64> = colliding_flows(0, 4, 6).iter().map(flow_hash).collect();
+        // Before the window fills, first sightings stay natural.
+        d.observe(&depths_hot, 64);
+        let (s, kind) = d.route(flows[0], &depths_hot);
+        assert_eq!((s, kind), (0, RouteKind::Natural));
+        d.observe(&depths_hot, 64);
+        d.observe(&depths_hot, 64);
+        // Window full: a *new* flow is pinned to the coldest shard.
+        let (s, kind) = d.route(flows[1], &depths_hot);
+        assert_eq!((s, kind), (2, RouteKind::NewPin));
+        // The pin is sticky: every later packet of that flow follows
+        // it, whatever the depths, so per-flow ordering holds.
+        let calm = [0usize, 50, 60, 70];
+        d.observe(&calm, 64);
+        assert_eq!(d.route(flows[1], &calm), (2, RouteKind::Pinned));
+        // The flow seen before the window filled is seen, not new —
+        // never diverted, even under pressure.
+        d.observe(&depths_hot, 64);
+        d.observe(&depths_hot, 64);
+        d.observe(&depths_hot, 64);
+        assert_eq!(d.route(flows[0], &depths_hot), (0, RouteKind::Natural));
+        assert_eq!(d.pinned_flows(), 1);
+        assert_eq!(d.seen_flows(), 2);
+    }
+
+    #[test]
+    fn director_respects_the_pin_table_bound() {
+        let mut d = FlowDirector::new(
+            2,
+            RebalanceConfig {
+                highwater_frac: 0.5,
+                window: 1,
+                max_pins: 2,
+            },
+        );
+        let depths = [64usize, 0];
+        let flows: Vec<u64> = colliding_flows(0, 2, 5).iter().map(flow_hash).collect();
+        d.observe(&depths, 64);
+        for (i, &f) in flows.iter().enumerate() {
+            d.observe(&depths, 64);
+            let (_, kind) = d.route(f, &depths);
+            if i < 2 {
+                assert_eq!(kind, RouteKind::NewPin, "flow {i}");
+            } else {
+                assert_eq!(
+                    kind,
+                    RouteKind::Natural,
+                    "flow {i} must not pin past the bound"
+                );
+            }
+        }
+        assert_eq!(d.pinned_flows(), 2);
+    }
+
+    #[test]
+    fn overload_serve_accounts_and_reports() {
+        // All three overload features on, under a genuinely skewed mix.
+        let cfg = serve_cfg(600)
+            .with_shards(2)
+            .with_queue_depth(32)
+            .with_flow_queue_cap(4)
+            .with_shed_policy(ShedPolicy::Adaptive)
+            .with_rebalance(RebalanceConfig::default())
+            .with_traffic(TraceConfig::small().with_pattern(netbench::TrafficPattern::Elephant));
+        let report = run_serve(&cfg, None, &|| false);
+        assert!(report.accounting_holds(), "{report:?}");
+        let o = report.overload.as_ref().expect("overload report present");
+        assert!(o.flows_seen >= 2, "{o:?}");
+        assert!(!o.top_flows.is_empty());
+        // Top talker is first and the ordering is by offered count.
+        for w in o.top_flows.windows(2) {
+            assert!(w[0].offered >= w[1].offered, "{o:?}");
+        }
+        // Flow-level shed accounting sums into the report total.
+        let flow_shed: u64 = o.top_flows.iter().map(|f| f.shed).sum();
+        assert!(flow_shed <= report.shed);
+        let summary = report.summary();
+        assert!(summary.contains("overload: shed_flow_cap="), "{summary}");
+        assert!(summary.contains("flow shed: elephant="), "{summary}");
+    }
+
+    #[test]
+    fn default_path_is_untouched_by_the_overload_layer() {
+        // With every overload feature off, the report carries no
+        // overload section and the summary is byte-identical to a
+        // pre-overload run — the bitwise-stability contract.
+        let cfg = serve_cfg(300);
+        let report = run_serve(&cfg, None, &|| false);
+        assert!(report.overload.is_none());
+        let summary = report.summary();
+        assert!(!summary.contains("overload:"), "{summary}");
+        assert!(!summary.contains("flow shed:"), "{summary}");
+        // And digests match a second identical run (determinism).
+        let again = run_serve(&cfg, None, &|| false);
+        for (a, b) in report.shards.iter().zip(&again.shards) {
+            assert_eq!(a.digest, b.digest);
+        }
+    }
+
+    #[test]
+    fn overload_serve_feeds_the_new_telemetry() {
+        let t = Telemetry::with_shards(2);
+        let cfg = serve_cfg(400)
+            .with_shards(2)
+            .with_queue_depth(16)
+            .with_flow_queue_cap(2)
+            .with_traffic(TraceConfig::small().with_pattern(netbench::TrafficPattern::Elephant));
+        let report = run_serve(&cfg, Some(&t), &|| false);
+        let s = t.snapshot();
+        let o = report.overload.as_ref().expect("overload report");
+        assert_eq!(s.packets_shed_flow_cap, o.shed_flow_cap);
+        assert_eq!(s.drr_deficit_topups, o.drr_deficit_topups);
+        // Every processed packet was timed enqueue→verdict.
+        assert_eq!(s.serve_latency_us_count, report.processed());
+        assert!(s.serve_latency_us_count > 0);
     }
 
     #[test]

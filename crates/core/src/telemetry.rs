@@ -74,6 +74,10 @@ struct Counters {
     engine_us_total: AtomicU64,
     packets_ingested: AtomicU64,
     packets_shed: AtomicU64,
+    packets_shed_flow_cap: AtomicU64,
+    packets_diverted: AtomicU64,
+    flows_diverted: AtomicU64,
+    drr_deficit_topups: AtomicU64,
     packets_processed: AtomicU64,
     packets_erroneous: AtomicU64,
     packets_dropped: AtomicU64,
@@ -131,6 +135,10 @@ pub struct Telemetry {
     job_us_count: AtomicU64,
     job_us_total: AtomicU64,
     job_us_max: AtomicU64,
+    serve_latency_us_buckets: [AtomicU64; HIST_BUCKETS],
+    serve_latency_us_count: AtomicU64,
+    serve_latency_us_total: AtomicU64,
+    serve_latency_us_max: AtomicU64,
     journal_fsync_us_max: AtomicU64,
     abandoned_live: AtomicU64,
     abandoned_peak: AtomicU64,
@@ -176,6 +184,10 @@ impl Telemetry {
             job_us_count: AtomicU64::new(0),
             job_us_total: AtomicU64::new(0),
             job_us_max: AtomicU64::new(0),
+            serve_latency_us_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            serve_latency_us_count: AtomicU64::new(0),
+            serve_latency_us_total: AtomicU64::new(0),
+            serve_latency_us_max: AtomicU64::new(0),
             journal_fsync_us_max: AtomicU64::new(0),
             abandoned_live: AtomicU64::new(0),
             abandoned_peak: AtomicU64::new(0),
@@ -316,6 +328,44 @@ impl Telemetry {
         self.shard(0).packets_shed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// One packet shed because its flow was at the per-flow queue cap
+    /// (a subset of [`Telemetry::packet_shed`], which is also called).
+    pub fn packet_shed_flow_cap(&self) {
+        self.shard(0)
+            .packets_shed_flow_cap
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One packet routed to a pinned (non-natural) shard by the
+    /// rebalancer.
+    pub fn packet_diverted(&self) {
+        self.shard(0)
+            .packets_diverted
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One flow pinned away from its hot natural shard.
+    pub fn flow_diverted(&self) {
+        self.shard(0).flows_diverted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds `n` DRR deficit top-ups into the tallies (the serve path
+    /// publishes the per-queue totals once, at drain).
+    pub fn add_drr_topups(&self, n: u64) {
+        self.shard(0)
+            .drr_deficit_topups
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// One packet's enqueue→verdict latency on the serve path.
+    pub fn serve_latency(&self, wall: Duration) {
+        let us = duration_us(wall);
+        self.serve_latency_us_buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.serve_latency_us_count.fetch_add(1, Ordering::Relaxed);
+        self.serve_latency_us_total.fetch_add(us, Ordering::Relaxed);
+        self.serve_latency_us_max.fetch_max(us, Ordering::Relaxed);
+    }
+
     /// One packet fully processed by shard `worker`; `erroneous` marks
     /// a measured run whose marked values diverged from golden.
     pub fn packet_processed(&self, worker: usize, erroneous: bool) {
@@ -412,6 +462,18 @@ impl Telemetry {
                     (n > 0).then_some((1u64 << i, n))
                 })
                 .collect(),
+            serve_latency_us_count: self.serve_latency_us_count.load(Ordering::Relaxed),
+            serve_latency_us_total: self.serve_latency_us_total.load(Ordering::Relaxed),
+            serve_latency_us_max: self.serve_latency_us_max.load(Ordering::Relaxed),
+            serve_latency_us_buckets: self
+                .serve_latency_us_buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then_some((1u64 << i, n))
+                })
+                .collect(),
             ..MetricsSnapshot::default()
         };
         for c in self.shards.iter() {
@@ -442,6 +504,10 @@ impl Telemetry {
             s.engine_us_total += c.engine_us_total.load(Ordering::Relaxed);
             s.packets_ingested += c.packets_ingested.load(Ordering::Relaxed);
             s.packets_shed += c.packets_shed.load(Ordering::Relaxed);
+            s.packets_shed_flow_cap += c.packets_shed_flow_cap.load(Ordering::Relaxed);
+            s.packets_diverted += c.packets_diverted.load(Ordering::Relaxed);
+            s.flows_diverted += c.flows_diverted.load(Ordering::Relaxed);
+            s.drr_deficit_topups += c.drr_deficit_topups.load(Ordering::Relaxed);
             s.packets_processed += c.packets_processed.load(Ordering::Relaxed);
             s.packets_erroneous += c.packets_erroneous.load(Ordering::Relaxed);
             s.packets_dropped += c.packets_dropped.load(Ordering::Relaxed);
@@ -524,6 +590,15 @@ pub struct MetricsSnapshot {
     pub packets_ingested: u64,
     /// Serve: packets shed at ingress under backpressure.
     pub packets_shed: u64,
+    /// Serve: packets shed at the per-flow queue cap (subset of
+    /// [`MetricsSnapshot::packets_shed`]).
+    pub packets_shed_flow_cap: u64,
+    /// Serve: packets routed to a pinned (non-natural) shard.
+    pub packets_diverted: u64,
+    /// Serve: flows pinned away from hot shards by the rebalancer.
+    pub flows_diverted: u64,
+    /// Serve: DRR deficit top-ups across all ingress queues.
+    pub drr_deficit_topups: u64,
     /// Serve: packets fully processed by shards.
     pub packets_processed: u64,
     /// Serve: processed packets with marked-value divergence.
@@ -560,6 +635,14 @@ pub struct MetricsSnapshot {
     pub job_us_max: u64,
     /// Non-empty log2 latency buckets as `(floor_us, count)`.
     pub job_us_buckets: Vec<(u64, u64)>,
+    /// Serve: packets timed enqueue→verdict.
+    pub serve_latency_us_count: u64,
+    /// Serve: total enqueue→verdict microseconds.
+    pub serve_latency_us_total: u64,
+    /// Serve: slowest single enqueue→verdict span, microseconds.
+    pub serve_latency_us_max: u64,
+    /// Serve: non-empty log2 latency buckets as `(floor_us, count)`.
+    pub serve_latency_us_buckets: Vec<(u64, u64)>,
 }
 
 impl MetricsSnapshot {
@@ -646,7 +729,11 @@ impl MetricsSnapshot {
              \"packets_processed\": {}, \"packets_erroneous\": {}, \
              \"packets_dropped\": {}, \"packets_abandoned\": {}, \
              \"shard_panics\": {}, \"shard_restarts\": {}, \
-             \"shard_setup_retries\": {}, \"queue_highwater\": {}}},",
+             \"shard_setup_retries\": {}, \"queue_highwater\": {}, \
+             \"packets_shed_flow_cap\": {}, \"packets_diverted\": {}, \
+             \"flows_diverted\": {}, \"drr_deficit_topups\": {}, \
+             \"serve_latency_us_count\": {}, \"serve_latency_us_total\": {}, \
+             \"serve_latency_us_max\": {}, \"serve_latency_us_buckets\": [",
             self.packets_ingested,
             self.packets_shed,
             self.packets_processed,
@@ -656,8 +743,22 @@ impl MetricsSnapshot {
             self.shard_panics,
             self.shard_restarts,
             self.shard_setup_retries,
-            self.queue_highwater
+            self.queue_highwater,
+            self.packets_shed_flow_cap,
+            self.packets_diverted,
+            self.flows_diverted,
+            self.drr_deficit_topups,
+            self.serve_latency_us_count,
+            self.serve_latency_us_total,
+            self.serve_latency_us_max
         );
+        for (i, (floor, n)) in self.serve_latency_us_buckets.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "[{floor}, {n}]");
+        }
+        s.push_str("]},");
         let _ = write!(
             s,
             "\n  \"journal\": {{\"journal_records\": {}, \"journal_fsyncs\": {}, \
@@ -862,8 +963,10 @@ pub struct MetricsFlusher {
 }
 
 impl MetricsFlusher {
-    /// Spawns the flusher: one atomic rewrite of `path` per `every`
-    /// until stopped, plus a final write at stop. Write errors are
+    /// Spawns the flusher: an immediate write so the file exists from
+    /// the start, one atomic rewrite of `path` per `every` until
+    /// stopped, plus a final write at stop — the last interval's
+    /// window is never lost, however the run ends. Write errors are
     /// reported to stderr once and the thread keeps ticking — a full
     /// disk must not take the serving loop down with it.
     #[must_use]
@@ -882,6 +985,10 @@ impl MetricsFlusher {
                     }
                 }
             };
+            // A watcher attaching right after launch (or a run killed
+            // inside the first interval) still finds a complete,
+            // schema-valid snapshot.
+            flush(&mut warned);
             let (stop, cv) = &*thread_state;
             let mut stopped = stop.lock().unwrap_or_else(|e| e.into_inner());
             loop {
@@ -1137,6 +1244,53 @@ mod tests {
         assert_eq!(map.get("shard_setup_retries"), Some(&1));
         assert_eq!(map.get("queue_highwater"), Some(&5));
         assert_eq!(map.get("shard_panics"), Some(&0));
+    }
+
+    #[test]
+    fn overload_counters_survive_the_json_round_trip() {
+        let t = Telemetry::with_shards(2);
+        t.packet_shed();
+        t.packet_shed_flow_cap();
+        t.packet_diverted();
+        t.packet_diverted();
+        t.flow_diverted();
+        t.add_drr_topups(7);
+        t.serve_latency(Duration::from_micros(100));
+        t.serve_latency(Duration::from_micros(3000));
+        let s = t.snapshot();
+        assert_eq!(s.serve_latency_us_count, 2);
+        assert_eq!(s.serve_latency_us_total, 3100);
+        assert_eq!(s.serve_latency_us_max, 3000);
+        assert_eq!(s.serve_latency_us_buckets.len(), 2);
+        let map = parse_metrics(&t.metrics_json()).expect("schema present");
+        assert_eq!(map.get("packets_shed_flow_cap"), Some(&1));
+        assert_eq!(map.get("packets_diverted"), Some(&2));
+        assert_eq!(map.get("flows_diverted"), Some(&1));
+        assert_eq!(map.get("drr_deficit_topups"), Some(&7));
+        assert_eq!(map.get("serve_latency_us_count"), Some(&2));
+        assert_eq!(map.get("serve_latency_us_total"), Some(&3100));
+        assert_eq!(map.get("serve_latency_us_max"), Some(&3000));
+    }
+
+    #[test]
+    fn metrics_flusher_writes_immediately_on_start() {
+        let t = Arc::new(Telemetry::with_shards(1));
+        t.add_total_jobs(9);
+        let dir = std::env::temp_dir().join(format!("clumsy-flush0-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("metrics.json");
+        // An interval far beyond the test's lifetime: only the startup
+        // flush can produce the file.
+        let f = MetricsFlusher::start(Arc::clone(&t), path.clone(), Duration::from_secs(3600));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !path.exists() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let text = std::fs::read_to_string(&path).expect("startup flush written");
+        let map = parse_metrics(&text).expect("schema-valid snapshot");
+        assert_eq!(map.get("jobs_total"), Some(&9));
+        f.stop();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -66,6 +66,11 @@ pub enum TrafficPattern {
     Uniform,
     /// All packets from one flow (best-case locality).
     SingleFlow,
+    /// One elephant: flow 0 carries half of the stream by itself, the
+    /// remaining flows split the other half Zipf-style. The worst case
+    /// for static flow-hash sharding — whichever shard owns flow 0
+    /// receives ≥50 % of all traffic.
+    Elephant,
 }
 
 impl TraceConfig {
@@ -241,7 +246,12 @@ impl TrafficSource {
             .collect();
 
         // Zipf-ish flow popularity: weight 1/(rank+1).
-        let weights: Vec<f64> = (0..cfg.flows).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let mut weights: Vec<f64> = (0..cfg.flows).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        if cfg.pattern == TrafficPattern::Elephant && cfg.flows > 1 {
+            // The elephant matches the combined weight of every other
+            // flow, so flow 0 carries exactly half of the stream.
+            weights[0] = weights[1..].iter().sum();
+        }
         let weight_total: f64 = weights.iter().sum();
 
         TrafficSource {
@@ -282,7 +292,7 @@ impl TrafficSource {
         let fi = match self.pattern {
             TrafficPattern::SingleFlow => 0,
             TrafficPattern::Uniform => self.rng.gen_range(0..self.flows.len()),
-            TrafficPattern::Skewed => {
+            TrafficPattern::Skewed | TrafficPattern::Elephant => {
                 let mut pick = self.rng.gen::<f64>() * self.weight_total;
                 let mut fi = 0;
                 for (i, w) in self.weights.iter().enumerate() {
@@ -503,6 +513,30 @@ mod tests {
         let max = counts.values().max().copied().unwrap();
         let uniform = t.packets.len() / t.flow_count;
         assert!(max < 3 * uniform, "max {max} vs uniform {uniform}");
+    }
+
+    #[test]
+    fn elephant_pattern_gives_one_flow_half_the_stream() {
+        let cfg = TraceConfig::paper()
+            .with_pattern(TrafficPattern::Elephant)
+            .with_packets(8_000);
+        let t = cfg.generate();
+        let mut counts = std::collections::HashMap::new();
+        for p in &t.packets {
+            *counts.entry((p.src_ip, p.src_port)).or_insert(0usize) += 1;
+        }
+        let max = counts.values().max().copied().unwrap();
+        let share = max as f64 / t.packets.len() as f64;
+        assert!(
+            (0.45..=0.55).contains(&share),
+            "elephant share {share:.3} strayed from 1/2"
+        );
+        // Mice still exist: more than half of the flows show up.
+        assert!(
+            counts.len() > t.flow_count / 2,
+            "only {} flows",
+            counts.len()
+        );
     }
 
     #[test]
