@@ -198,6 +198,19 @@ SERVE OPTIONS:
                           from persistently hot shards to the least-loaded
                           one (needs --shards >= 2; per-flow ordering is
                           preserved — only never-seen flows move)
+    --rebalance-window <n> consecutive hot observations before diversion
+                          starts (needs --rebalance; default 64)
+    --rebalance-highwater <f> occupancy fraction in (0,1] at which a shard
+                          counts as hot (needs --rebalance; default 0.875)
+    --control-flows <n>   mark the n numerically lowest flow hashes as
+                          control class: exempt from the flow cap, admitted
+                          on a full queue by shedding the newest data-class
+                          entry, never the reverse (must be below --flows)
+    --slo-p99-us <n>      latency SLO: while the sliding p99 of the
+                          enqueue→verdict histogram exceeds n microseconds,
+                          data-class packets shed immediately on a full
+                          queue instead of riding out the backpressure
+                          timeout (control keeps the full budget)
     --pattern <m>         traffic mix: skewed | uniform | single-flow |
                           elephant (one flow carries half the stream;
                           default skewed)
@@ -697,6 +710,10 @@ const SERVE_OPTIONS: &[&str] = &[
     "shed-policy",
     "flow-queue-cap",
     "rebalance",
+    "rebalance-window",
+    "rebalance-highwater",
+    "control-flows",
+    "slo-p99-us",
     "pattern",
     "inject-panic",
     "stats-interval",
@@ -804,7 +821,70 @@ fn serve(args: &Args) -> Result<String, CliError> {
                 requires: "at least two shards (--shards 2) to divert flows between".into(),
             });
         }
-        cfg = cfg.with_rebalance(RebalanceConfig::default());
+        let mut rb = RebalanceConfig::default();
+        if let Some(v) = args.get("rebalance-window") {
+            let window: u32 =
+                args.get_parsed("rebalance-window", 0u32, "a hot-observation window >= 1")?;
+            if window == 0 {
+                return Err(CliError::Args(ArgError::BadValue {
+                    option: "rebalance-window".into(),
+                    value: v.into(),
+                    expected: "a hot-observation window >= 1",
+                }));
+            }
+            rb.window = window;
+        }
+        if let Some(v) = args.get("rebalance-highwater") {
+            let expected = "an occupancy fraction in (0, 1]";
+            let frac: f64 = v.parse().map_err(|_| {
+                CliError::Args(ArgError::BadValue {
+                    option: "rebalance-highwater".into(),
+                    value: v.into(),
+                    expected,
+                })
+            })?;
+            if !(frac > 0.0 && frac <= 1.0) {
+                return Err(CliError::Args(ArgError::BadValue {
+                    option: "rebalance-highwater".into(),
+                    value: v.into(),
+                    expected,
+                }));
+            }
+            rb.highwater_frac = frac;
+        }
+        cfg = cfg.with_rebalance(rb);
+    } else {
+        for opt in ["rebalance-window", "rebalance-highwater"] {
+            if args.get(opt).is_some() {
+                return Err(CliError::InertOption {
+                    option: opt.into(),
+                    requires: "--rebalance to tune".into(),
+                });
+            }
+        }
+    }
+    if let Some(v) = args.get("control-flows") {
+        let expected = "a control-flow count in 1..flows (strictly below the flow population)";
+        let n: usize = args.get_parsed("control-flows", 0, expected)?;
+        if n == 0 || n >= cfg.traffic.flows {
+            return Err(CliError::Args(ArgError::BadValue {
+                option: "control-flows".into(),
+                value: v.into(),
+                expected,
+            }));
+        }
+        cfg = cfg.with_control_flows(n);
+    }
+    if let Some(v) = args.get("slo-p99-us") {
+        let budget: u64 = args.get_parsed("slo-p99-us", 0u64, "a p99 budget in microseconds")?;
+        if budget == 0 {
+            return Err(CliError::Args(ArgError::BadValue {
+                option: "slo-p99-us".into(),
+                value: v.into(),
+                expected: "a p99 budget of at least 1 microsecond",
+            }));
+        }
+        cfg = cfg.with_slo_p99_us(budget);
     }
     if args.get("inject-panic").is_some() {
         let id: u32 = args.get_parsed("inject-panic", 0u32, "a packet id")?;
@@ -1622,6 +1702,87 @@ mod tests {
         assert!(out.contains("accounting ok"), "{out}");
         assert!(out.contains("overload: shed_flow_cap="), "{out}");
         assert!(out.contains("flow shed: elephant="), "{out}");
+    }
+
+    #[test]
+    fn serve_rejects_bad_class_and_slo_values() {
+        // 0 and flow-population-or-above control counts are typed
+        // BadValue errors, as is a zero SLO budget.
+        assert!(dispatch_line(&["serve", "--control-flows", "0"]).is_err());
+        let err = dispatch_line(&["serve", "--flows", "8", "--control-flows", "8"]).unwrap_err();
+        assert!(matches!(err, CliError::Args(_)), "{err:?}");
+        assert!(dispatch_line(&["serve", "--flows", "8", "--control-flows", "9"]).is_err());
+        assert!(dispatch_line(&["serve", "--slo-p99-us", "0"]).is_err());
+        assert!(dispatch_line(&["serve", "--slo-p99-us", "soon"]).is_err());
+    }
+
+    #[test]
+    fn rebalance_tuning_without_rebalance_is_a_typed_error() {
+        for opt in ["--rebalance-window", "--rebalance-highwater"] {
+            let err = dispatch_line(&["serve", "--shards", "2", opt, "1"]).unwrap_err();
+            assert!(
+                matches!(err, CliError::InertOption { .. }),
+                "{opt}: expected InertOption, got {err:?}"
+            );
+            assert!(format!("{err}").contains("--rebalance"), "{err}");
+        }
+    }
+
+    #[test]
+    fn serve_rejects_bad_rebalance_tuning_values() {
+        let base = &["serve", "--shards", "2", "--rebalance"][..];
+        assert!(dispatch_line(&[base, &["--rebalance-window", "0"][..]].concat()).is_err());
+        assert!(dispatch_line(&[base, &["--rebalance-highwater", "0"][..]].concat()).is_err());
+        assert!(dispatch_line(&[base, &["--rebalance-highwater", "1.5"][..]].concat()).is_err());
+        assert!(dispatch_line(&[base, &["--rebalance-highwater", "hot"][..]].concat()).is_err());
+    }
+
+    #[test]
+    fn serve_accepts_the_class_surface() {
+        let out = dispatch_line(&[
+            "serve",
+            "--app",
+            "crc",
+            "--packets",
+            "200",
+            "--shards",
+            "2",
+            "--queue-depth",
+            "16",
+            "--flows",
+            "16",
+            "--pattern",
+            "elephant",
+            "--flow-queue-cap",
+            "3",
+            "--control-flows",
+            "4",
+            "--slo-p99-us",
+            "1",
+            "--rebalance",
+            "--rebalance-window",
+            "8",
+            "--rebalance-highwater",
+            "0.75",
+        ])
+        .unwrap();
+        assert!(out.contains("accounting ok"), "{out}");
+        assert!(out.contains("class: control_offered="), "{out}");
+        assert!(out.contains("control_shed=0"), "{out}");
+        assert!(out.contains("slo: budget_us=1"), "{out}");
+    }
+
+    #[test]
+    fn help_pins_the_class_flags() {
+        let h = help_text();
+        for needle in [
+            "--control-flows <n>",
+            "--slo-p99-us <n>",
+            "--rebalance-window <n>",
+            "--rebalance-highwater <f>",
+        ] {
+            assert!(h.contains(needle), "help lost {needle:?}");
+        }
     }
 
     #[test]

@@ -175,6 +175,120 @@ fn default_serve_output_carries_no_overload_lines() {
     assert!(ok, "{stderr}");
     assert!(!out.contains("overload:"), "{out}");
     assert!(!out.contains("flow shed:"), "{out}");
+    assert!(!out.contains("class:"), "{out}");
+    assert!(!out.contains("slo:"), "{out}");
+}
+
+#[test]
+fn class_aware_overload_spares_control_while_data_absorbs_it() {
+    let dir = std::env::temp_dir().join(format!("clumsy-serve-class-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let metrics = dir.join("class-metrics.json");
+
+    // An elephant mix under a tight per-flow cap, with a small slice
+    // of the flow population marked control and an unmeetable 1 µs
+    // p99 budget: the SLO trigger must fire, data flows must absorb
+    // every shed, and not one control packet may be lost.
+    //
+    // The queue depth is chosen deliberately: control packets can only
+    // shed when a full queue holds *nothing but* control (they preempt
+    // data otherwise, and are exempt from the flow cap), so a depth
+    // above the run's whole control packet count (~32 of 4000 with 6
+    // of 256 flows marked) makes a control shed structurally impossible
+    // regardless of machine speed. The flow population is deliberately
+    // large relative to the queue depth so the aggregate of the
+    // per-flow caps exceeds the queue: the ingress queues actually
+    // fill, backpressure paces the pump against the shards, and every
+    // p99 window observes real queueing delay — the trigger fires
+    // deterministically instead of racing a fast build to the end of
+    // the bounded stream. The overload lands on the elephant's
+    // flow-cap sheds.
+    let out = Command::new(env!("CARGO_BIN_EXE_clumsy"))
+        .args([
+            "serve",
+            "--app",
+            "crc",
+            "--shards",
+            "2",
+            "--queue-depth",
+            "256",
+            "--packets",
+            "4000",
+            "--flows",
+            "256",
+            "--pattern",
+            "elephant",
+            "--flow-queue-cap",
+            "4",
+            "--shed-policy",
+            "adaptive",
+            "--shed-timeout-ms",
+            "60000",
+            "--control-flows",
+            "6",
+            "--slo-p99-us",
+            "1",
+            "--metrics",
+            &metrics.display().to_string(),
+        ])
+        .output()
+        .expect("binary spawns");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(out.status.success(), "{stdout}\n{stderr}");
+    assert!(stdout.contains("accounting ok"), "{stdout}");
+
+    // No shard wedged under the class-aware admission path.
+    let rows = shard_rows(&stdout);
+    assert_eq!(rows.len(), 2, "{stdout}");
+    assert!(rows.iter().all(|r| r.1 > 0), "a shard wedged: {stdout}");
+
+    // Zero control sheds; the data class absorbed the overload. Both
+    // class identities are exact: offered splits the generated total,
+    // shed splits the shed total.
+    let c = summary_fields(&stdout, "class:");
+    let cget = |k: &str| *c.get(k).unwrap_or_else(|| panic!("missing {k}: {stdout}"));
+    assert_eq!(cget("control_shed"), 0, "{stdout}");
+    assert!(cget("control_offered") > 0, "{stdout}");
+    assert!(cget("data_shed") > 0, "overload never bit: {stdout}");
+    assert_eq!(
+        cget("control_offered") + cget("data_offered"),
+        4000,
+        "{stdout}"
+    );
+    // `served ... : N processed, M shed, ...` — the class split must
+    // sum exactly to the head line's shed total.
+    let head = stdout
+        .lines()
+        .find(|l| l.starts_with("served 4000 packets"))
+        .unwrap_or_else(|| panic!("no head line: {stdout}"));
+    let words: Vec<&str> = head.split_whitespace().collect();
+    let shed_total: u64 = words
+        .iter()
+        .position(|&w| w.starts_with("shed"))
+        .and_then(|i| words[i - 1].parse().ok())
+        .unwrap_or_else(|| panic!("no shed count in head line: {head}"));
+    assert_eq!(
+        cget("control_shed") + cget("data_shed"),
+        shed_total,
+        "{stdout}"
+    );
+
+    // The SLO trigger fired and said so in both the summary and the
+    // metrics JSON; the control-shed counter stayed at zero there too.
+    let s = summary_fields(&stdout, "slo:");
+    assert!(s.get("activations").copied().unwrap_or(0) > 0, "{stdout}");
+    let text = std::fs::read_to_string(&metrics).expect("metrics written");
+    let map = parse_metrics(&text);
+    let mget = |k: &str| {
+        *map.get(k)
+            .unwrap_or_else(|| panic!("metrics lost {k}: {text}"))
+    };
+    assert!(mget("slo_trigger_activations") > 0, "{text}");
+    assert_eq!(mget("packets_shed_control"), 0, "{text}");
+    assert!(mget("packets_shed_data") > 0, "{text}");
+    assert_eq!(mget("queue_invariant_repairs"), 0, "{text}");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -38,8 +38,8 @@ use crate::processor::ClumsyProcessor;
 use crate::telemetry::Telemetry;
 use cache_sim::{DetectionScheme, MemStats};
 use netbench::{
-    diff_observations, AppError, AppKind, Machine, Packet, PacketApp, Plane, Trace, TraceConfig,
-    TrafficSource,
+    diff_observations, fnv1a_fold, AppError, AppKind, FlowClassifier, Machine, Packet, PacketApp,
+    Plane, Trace, TraceConfig, TrafficClass, TrafficSource, FNV_OFFSET,
 };
 use std::cell::Cell;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -72,6 +72,16 @@ pub enum PushOutcome {
     /// slots; shed immediately, without blocking — the elephant pays,
     /// the mice keep their seats.
     ShedFlowCap,
+    /// A control-class packet was enqueued into a full queue by
+    /// evicting the newest data-class entry. Carries the queue depth
+    /// after the swap and the evicted entry's flow, so the pump can
+    /// move exactly one data packet from ingested to shed.
+    Preempted {
+        /// Queue depth after the swap (== capacity).
+        depth: usize,
+        /// Flow hash of the evicted data-class entry.
+        evicted_flow: u64,
+    },
     /// The queue is closed (drain in progress); the packet was
     /// discarded and the producer should stop.
     Closed,
@@ -113,6 +123,7 @@ const DRR_QUANTUM: u64 = 1500;
 struct Entry {
     pkt: Packet,
     flow: u64,
+    class: TrafficClass,
     enqueued: Option<Instant>,
 }
 
@@ -168,6 +179,12 @@ struct QueueState {
     occupancy_milli: u64,
     /// DRR deficit top-ups performed (scheduler-effort gauge).
     drr_topups: u64,
+    /// Structural invariants repaired while dequeuing (stale round-robin
+    /// slot, empty per-flow queue). Always 0 unless queue state was
+    /// corrupted — counted and recovered instead of panicking, because
+    /// a panic here runs under the ingress Mutex and would poison it
+    /// for every producer, wedging the whole service.
+    invariant_repairs: u64,
 }
 
 impl QueueState {
@@ -220,6 +237,7 @@ impl IngressQueue {
                 highwater: 0,
                 occupancy_milli: 0,
                 drr_topups: 0,
+                invariant_repairs: 0,
             }),
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
@@ -255,6 +273,7 @@ impl IngressQueue {
             Entry {
                 pkt,
                 flow,
+                class: TrafficClass::Data,
                 enqueued: None,
             },
             shed_timeout,
@@ -262,13 +281,18 @@ impl IngressQueue {
         )
     }
 
-    /// Pushes one entry under `policy`. In DRR mode a flow at its cap
-    /// is shed immediately; a full queue blocks until the policy's
-    /// deadline, then sheds.
+    /// Pushes one entry under `policy`. In DRR mode a data-class flow
+    /// at its cap is shed immediately; a full queue blocks until the
+    /// policy's deadline, then sheds. Control-class entries are exempt
+    /// from the flow cap and, on a full queue, preempt the newest
+    /// data-class entry instead of waiting ([`PushOutcome::Preempted`]);
+    /// only when the queue holds nothing but control do they block.
+    /// Data never evicts control.
     fn push_entry(&self, entry: Entry, max_timeout: Duration, policy: ShedPolicy) -> PushOutcome {
         let mut state = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let control = entry.class == TrafficClass::Control;
         if let Some(cap) = self.flow_cap {
-            if !state.closed {
+            if !control && !state.closed {
                 if let Some(fq) = state.flows.get(&entry.flow) {
                     if fq.q.len() >= cap {
                         state.observe_occupancy();
@@ -283,6 +307,23 @@ impl IngressQueue {
         };
         let deadline = Instant::now() + timeout;
         while state.len >= self.capacity && !state.closed {
+            if control {
+                if let Some(victim) = Self::evict_newest_data(&mut state, self.flow_cap.is_some()) {
+                    let s = &mut *state;
+                    Self::insert(s, entry, self.flow_cap.is_none());
+                    let depth = s.len;
+                    s.highwater = s.highwater.max(depth);
+                    s.observe_occupancy();
+                    drop(state);
+                    self.not_empty.notify_one();
+                    return PushOutcome::Preempted {
+                        depth,
+                        evicted_flow: victim.flow,
+                    };
+                }
+                // Nothing but control queued: control competes with
+                // control under ordinary backpressure.
+            }
             let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
                 state.observe_occupancy();
                 return PushOutcome::Shed;
@@ -297,7 +338,18 @@ impl IngressQueue {
             return PushOutcome::Closed;
         }
         let s = &mut *state;
-        if self.flow_cap.is_none() {
+        Self::insert(s, entry, self.flow_cap.is_none());
+        let depth = s.len;
+        s.highwater = s.highwater.max(depth);
+        s.observe_occupancy();
+        drop(state);
+        self.not_empty.notify_one();
+        PushOutcome::Enqueued(depth)
+    }
+
+    /// Appends one entry to the mode's storage and bumps `len`.
+    fn insert(s: &mut QueueState, entry: Entry, fifo: bool) {
+        if fifo {
             s.fifo.push_back(entry);
         } else {
             let flow = entry.flow;
@@ -315,12 +367,38 @@ impl IngressQueue {
             }
         }
         s.len += 1;
-        let depth = s.len;
-        s.highwater = s.highwater.max(depth);
-        s.observe_occupancy();
-        drop(state);
-        self.not_empty.notify_one();
-        PushOutcome::Enqueued(depth)
+    }
+
+    /// Removes the newest data-class entry to make room for control.
+    /// FIFO mode evicts the most recently arrived data entry exactly;
+    /// DRR mode evicts the tail of the most backlogged data-class flow
+    /// (smallest flow hash on ties) — the deterministic reading of
+    /// "newest" once arrival order is only kept per flow. Returns
+    /// `None` when no data-class entry is queued (control is never
+    /// evicted). `len` is already decremented on `Some`.
+    fn evict_newest_data(s: &mut QueueState, drr: bool) -> Option<Entry> {
+        if !drr {
+            let idx = s.fifo.iter().rposition(|e| e.class == TrafficClass::Data)?;
+            let e = s.fifo.remove(idx)?;
+            s.len = s.len.saturating_sub(1);
+            return Some(e);
+        }
+        let victim_flow = s
+            .flows
+            .iter()
+            .filter(|(_, fq)| fq.q.back().is_some_and(|e| e.class == TrafficClass::Data))
+            .max_by(|(fa, a), (fb, b)| a.q.len().cmp(&b.q.len()).then(fb.cmp(fa)))
+            .map(|(&f, _)| f)?;
+        let fq = s.flows.get_mut(&victim_flow)?;
+        let e = fq.q.pop_back()?;
+        if fq.q.is_empty() {
+            s.flows.remove(&victim_flow);
+            if let Some(pos) = s.active.iter().position(|&f| f == victim_flow) {
+                s.active.remove(pos);
+            }
+        }
+        s.len = s.len.saturating_sub(1);
+        Some(e)
     }
 
     /// Dequeues the next entry under the queue's mode. DRR: visit
@@ -329,15 +407,35 @@ impl IngressQueue {
     /// visit rotates to the next flow, so mice are served while an
     /// elephant saves up. A flow's credit dies with its backlog (no
     /// banking while idle).
+    ///
+    /// This function is deliberately **total**: it runs while holding
+    /// the ingress Mutex, so a violated invariant must never panic —
+    /// that would poison the lock and panic every producer, bypassing
+    /// shard supervision and wedging the whole service. A stale
+    /// round-robin slot or an empty per-flow queue is instead repaired
+    /// in place and counted in `invariant_repairs`.
     fn dequeue(s: &mut QueueState, drr: bool) -> Option<Entry> {
         if !drr {
             let e = s.fifo.pop_front()?;
-            s.len -= 1;
+            s.len = s.len.saturating_sub(1);
             return Some(e);
         }
         while let Some(&flow) = s.active.front() {
-            let fq = s.flows.get_mut(&flow).expect("active flow has a queue");
-            let cost = entry_cost(fq.q.front().expect("active flow is non-empty"));
+            let Some(fq) = s.flows.get_mut(&flow) else {
+                // Stale slot: the flow's queue is gone. Drop the slot
+                // and keep serving.
+                s.active.pop_front();
+                s.invariant_repairs += 1;
+                continue;
+            };
+            let Some(head) = fq.q.front() else {
+                // Empty per-flow queue left behind: retire it.
+                s.flows.remove(&flow);
+                s.active.pop_front();
+                s.invariant_repairs += 1;
+                continue;
+            };
+            let cost = entry_cost(head);
             if fq.deficit < cost {
                 fq.deficit += DRR_QUANTUM;
                 s.drr_topups += 1;
@@ -345,12 +443,20 @@ impl IngressQueue {
                 continue;
             }
             fq.deficit -= cost;
-            let e = fq.q.pop_front().expect("checked non-empty");
+            let Some(e) = fq.q.pop_front() else {
+                // Unreachable (front was Some under the same lock), but
+                // repairing costs nothing and panicking costs the
+                // service.
+                s.flows.remove(&flow);
+                s.active.pop_front();
+                s.invariant_repairs += 1;
+                continue;
+            };
             if fq.q.is_empty() {
                 s.flows.remove(&flow);
                 s.active.pop_front();
             }
-            s.len -= 1;
+            s.len = s.len.saturating_sub(1);
             return Some(e);
         }
         None
@@ -411,6 +517,40 @@ impl IngressQueue {
             .drr_topups
     }
 
+    /// Structural invariants repaired during dequeue. Always 0 unless
+    /// the queue state was corrupted; a nonzero value means the queue
+    /// recovered from damage instead of wedging.
+    #[must_use]
+    pub fn invariant_repairs(&self) -> u64 {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .invariant_repairs
+    }
+
+    /// Test hook: plant a stale round-robin slot (an active entry with
+    /// no backing flow queue) to exercise invariant repair.
+    #[cfg(test)]
+    fn corrupt_stale_active(&self, flow: u64) {
+        let mut state = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        state.active.push_front(flow);
+    }
+
+    /// Test hook: plant an empty per-flow queue (an invariant
+    /// violation — empty flows must be retired) to exercise repair.
+    #[cfg(test)]
+    fn corrupt_empty_flow(&self, flow: u64) {
+        let mut state = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        state.flows.insert(
+            flow,
+            FlowQueue {
+                q: VecDeque::new(),
+                deficit: 0,
+            },
+        );
+        state.active.push_front(flow);
+    }
+
     /// Current occupancy.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -424,20 +564,12 @@ impl IngressQueue {
     }
 }
 
-/// FNV-1a over the 5-tuple: the flow hash behind shard selection.
+/// The flow hash behind shard selection: [`Packet::flow_hash`], the
+/// one shared FNV-1a 5-tuple hash. The sharder, the classifier and the
+/// [`FlowDirector`] all route by this single implementation, so they
+/// can never silently diverge.
 fn flow_hash(pkt: &Packet) -> u64 {
-    let mut bytes = [0u8; 13];
-    bytes[..4].copy_from_slice(&pkt.src_ip.to_be_bytes());
-    bytes[4..8].copy_from_slice(&pkt.dst_ip.to_be_bytes());
-    bytes[8..10].copy_from_slice(&pkt.src_port.to_be_bytes());
-    bytes[10..12].copy_from_slice(&pkt.dst_port.to_be_bytes());
-    bytes[12] = pkt.proto;
-    let mut h = 0xCBF2_9CE4_8422_2325u64;
-    for b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
+    pkt.flow_hash()
 }
 
 /// The shard a packet belongs to: a flow hash over the 5-tuple, so one
@@ -507,6 +639,14 @@ pub struct FlowDirector {
     pinned: HashMap<u64, usize>,
     seen: HashSet<u64>,
     hot_streak: Vec<u32>,
+    /// Diversion opportunities lost to a full pin table: a new flow
+    /// whose natural shard had been hot for a full window, left on the
+    /// hot shard because the table was at `max_pins`.
+    pin_table_full: u64,
+    /// Whether the full-table warning has been emitted. Pins are never
+    /// removed, so one episode spans the rest of the run — the warning
+    /// fires once instead of flooding stderr per packet.
+    warned_full: bool,
 }
 
 impl FlowDirector {
@@ -526,6 +666,8 @@ impl FlowDirector {
             pinned: HashMap::new(),
             seen: HashSet::new(),
             hot_streak: vec![0; shards],
+            pin_table_full: 0,
+            warned_full: false,
         }
     }
 
@@ -556,13 +698,28 @@ impl FlowDirector {
         if !self.seen.insert(flow) {
             return (natural, RouteKind::Natural);
         }
-        if self.hot_streak[natural] >= self.cfg.window && self.pinned.len() < self.cfg.max_pins {
-            let coldest = (0..self.shards)
-                .min_by_key(|&i| depths[i])
-                .expect("at least two shards");
-            if coldest != natural {
-                self.pinned.insert(flow, coldest);
-                return (coldest, RouteKind::NewPin);
+        if self.hot_streak[natural] >= self.cfg.window {
+            if self.pinned.len() >= self.cfg.max_pins {
+                // The table is full: diversion silently stopping here
+                // was the bug — count every lost opportunity and warn
+                // once so operators can see the bound binding.
+                self.pin_table_full += 1;
+                if !self.warned_full {
+                    self.warned_full = true;
+                    eprintln!(
+                        "serve: rebalance pin table full ({} pins); \
+                         new flows stay on their natural shards",
+                        self.cfg.max_pins
+                    );
+                }
+            } else {
+                let coldest = (0..self.shards)
+                    .min_by_key(|&i| depths[i])
+                    .expect("at least two shards");
+                if coldest != natural {
+                    self.pinned.insert(flow, coldest);
+                    return (coldest, RouteKind::NewPin);
+                }
             }
         }
         (natural, RouteKind::Natural)
@@ -572,6 +729,12 @@ impl FlowDirector {
     #[must_use]
     pub fn pinned_flows(&self) -> usize {
         self.pinned.len()
+    }
+
+    /// Diversion opportunities lost because the pin table was full.
+    #[must_use]
+    pub fn pin_table_full(&self) -> u64 {
+        self.pin_table_full
     }
 
     /// Number of distinct flows the director has routed.
@@ -586,16 +749,99 @@ impl FlowDirector {
 /// the panic-isolation tests compare these to prove sibling shards are
 /// untouched by a restart.
 fn digest_step(digest: u64, id: u32, verdict: u8) -> u64 {
-    let mut h = if digest == 0 {
-        0xCBF2_9CE4_8422_2325
-    } else {
-        digest
-    };
-    for b in id.to_le_bytes().into_iter().chain([verdict]) {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    let h = if digest == 0 { FNV_OFFSET } else { digest };
+    fnv1a_fold(h, id.to_le_bytes().into_iter().chain([verdict]))
+}
+
+/// How many pumped packets pass between SLO-trigger evaluations. The
+/// histogram read takes the telemetry atomics, so once per packet
+/// would be pure overhead; once per 64 keeps the trigger within one
+/// queue-depth of the latency it reacts to.
+const SLO_CHECK_INTERVAL: u64 = 64;
+
+/// Minimum verdicts in a window before its p99 is trusted. Below this
+/// the window is carried forward — a p99 over three samples is noise.
+const SLO_MIN_SAMPLES: u64 = 16;
+
+/// Conservative p99 in µs over log2-bucket count deltas
+/// (`deltas[i]` = verdicts whose latency fell in bucket `i`, covering
+/// `[2^i, 2^(i+1))` µs). Returns the **upper** edge `2^(i+1) − 1` of
+/// the bucket holding the p99 sample, so the estimate over-reports
+/// latency: the trigger errs toward shedding data, never toward
+/// silently missing the budget. (The catch-all top bucket reports its
+/// nominal edge — any budget it could under-report is blown anyway.)
+/// `None` when the window is empty.
+fn histogram_p99_us(deltas: &[u64]) -> Option<u64> {
+    let total: u64 = deltas.iter().sum();
+    if total == 0 {
+        return None;
     }
-    h
+    // 1-based rank of the p99 sample: the smallest k with
+    // k/total ≥ 0.99, i.e. ceil(total·99/100), floored at 1.
+    let rank = (total * 99).div_ceil(100).max(1);
+    let mut seen = 0u64;
+    for (i, &n) in deltas.iter().enumerate() {
+        seen += n;
+        if seen >= rank {
+            return Some((1u64 << (i as u32 + 1)) - 1);
+        }
+    }
+    None
+}
+
+/// The latency-SLO shed trigger: watches the enqueue→verdict histogram
+/// in windows of at least [`SLO_MIN_SAMPLES`] verdicts and goes active
+/// while the window's conservative p99 exceeds the budget. While
+/// active, the pump gives data-class pushes a zero shed deadline —
+/// full queues shed data immediately instead of riding out the
+/// backpressure timeout. Control is never tightened.
+struct SloTrigger {
+    budget_us: u64,
+    /// Cumulative bucket counts at the last accepted window edge.
+    prev: Vec<u64>,
+    active: bool,
+    activations: u64,
+    shed: u64,
+    last_p99_us: u64,
+}
+
+impl SloTrigger {
+    fn new(budget_us: u64) -> Self {
+        SloTrigger {
+            budget_us,
+            prev: Vec::new(),
+            active: false,
+            activations: 0,
+            shed: 0,
+            last_p99_us: 0,
+        }
+    }
+
+    /// Feeds the current cumulative bucket counts. Windows smaller
+    /// than [`SLO_MIN_SAMPLES`] are merged into the next evaluation.
+    fn update(&mut self, cumulative: &[u64]) {
+        if self.prev.len() != cumulative.len() {
+            self.prev = vec![0; cumulative.len()];
+        }
+        let deltas: Vec<u64> = cumulative
+            .iter()
+            .zip(&self.prev)
+            .map(|(c, p)| c.saturating_sub(*p))
+            .collect();
+        if deltas.iter().sum::<u64>() < SLO_MIN_SAMPLES {
+            return;
+        }
+        self.prev.copy_from_slice(cumulative);
+        let Some(p99) = histogram_p99_us(&deltas) else {
+            return;
+        };
+        self.last_p99_us = p99;
+        let blown = p99 > self.budget_us;
+        if blown && !self.active {
+            self.activations += 1;
+        }
+        self.active = blown;
+    }
 }
 
 /// Configuration for [`run_serve`].
@@ -631,6 +877,19 @@ pub struct ServeConfig {
     /// Skew rebalancing; `Some` diverts never-seen flows away from
     /// persistently hot shards. Needs at least two shards.
     pub rebalance: Option<RebalanceConfig>,
+    /// Number of flows classified as control (the `n` numerically
+    /// lowest flow hashes of the traffic's flow table). `0` disables
+    /// classification: every packet is data and the class report is
+    /// absent. Control packets are exempt from the flow cap and the
+    /// SLO trigger, and preempt queued data on a full queue.
+    pub control_flows: usize,
+    /// Latency-SLO shed budget in µs over the enqueue→verdict
+    /// histogram. `Some(budget)` arms a trigger that sheds data-class
+    /// packets immediately (deadline zero) while the windowed
+    /// conservative p99 exceeds the budget — shedding on latency, not
+    /// just occupancy. Requires the latency histogram, so serve
+    /// attaches an internal telemetry sink when none is supplied.
+    pub slo_p99_us: Option<u64>,
     /// Publish per-shard `MemStats` deltas to telemetry every this
     /// many packets (and always at drain).
     pub stats_interval: u32,
@@ -656,6 +915,8 @@ impl ServeConfig {
             shed_policy: ShedPolicy::Fixed,
             flow_queue_cap: None,
             rebalance: None,
+            control_flows: 0,
+            slo_p99_us: None,
             stats_interval: 256,
             panic_on_packet: None,
         }
@@ -707,6 +968,22 @@ impl ServeConfig {
     #[must_use]
     pub fn with_rebalance(mut self, rebalance: RebalanceConfig) -> Self {
         self.rebalance = Some(rebalance);
+        self
+    }
+
+    /// Returns the config with the `n` lowest-hash flows classified as
+    /// control (`0` disables classification).
+    #[must_use]
+    pub fn with_control_flows(mut self, n: usize) -> Self {
+        self.control_flows = n;
+        self
+    }
+
+    /// Returns the config with the latency-SLO shed trigger armed at
+    /// `budget_us` (p99 over the enqueue→verdict histogram).
+    #[must_use]
+    pub fn with_slo_p99_us(mut self, budget_us: u64) -> Self {
+        self.slo_p99_us = Some(budget_us);
         self
     }
 
@@ -805,8 +1082,46 @@ pub struct OverloadReport {
     pub flows_pinned: u64,
     /// Packets routed to a pinned (non-natural) shard.
     pub packets_diverted: u64,
+    /// Diversion opportunities lost because the rebalance pin table
+    /// was full (see [`FlowDirector::pin_table_full`]).
+    pub pin_table_full: u64,
     /// Heaviest flows by offered packets, descending (at most eight).
     pub top_flows: Vec<FlowTraffic>,
+}
+
+/// Per-class admission accounting plus the latency-SLO trigger's
+/// state. Present on a [`ServeReport`] only when classification or the
+/// SLO trigger is enabled — the default path computes none of this.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassReport {
+    /// Control-class packets the pump drew.
+    pub control_offered: u64,
+    /// Control-class packets that made it into a shard queue
+    /// (including by preemption).
+    pub control_ingested: u64,
+    /// Control-class packets shed at ingress. The whole point of the
+    /// class policy is to keep this at zero while data absorbs the
+    /// overload.
+    pub control_shed: u64,
+    /// Data-class packets the pump drew.
+    pub data_offered: u64,
+    /// Data-class packets shed at ingress (deadline, flow cap, SLO
+    /// trigger or preemption).
+    pub data_shed: u64,
+    /// Data-class packets evicted from a queue by a control-class
+    /// preemption (a subset of `data_shed`).
+    pub preempt_shed: u64,
+    /// The armed SLO budget in µs, if any.
+    pub slo_budget_us: Option<u64>,
+    /// Times the trigger transitioned inactive → active (windowed p99
+    /// crossed the budget).
+    pub slo_activations: u64,
+    /// Data-class packets shed while the trigger was active (a subset
+    /// of `data_shed`).
+    pub slo_shed: u64,
+    /// Most recent windowed conservative p99 estimate in µs (0 before
+    /// the first full window).
+    pub slo_last_p99_us: u64,
 }
 
 /// The outcome of a serve run: pump-side counts plus one
@@ -825,6 +1140,9 @@ pub struct ServeReport {
     /// Overload-policy accounting (`None` on the default fixed/FIFO
     /// path, whose output must stay bitwise identical across PRs).
     pub overload: Option<OverloadReport>,
+    /// Per-class admission + SLO-trigger accounting (`None` unless
+    /// classification or the SLO trigger is enabled).
+    pub classes: Option<ClassReport>,
     /// Whether the run stopped via the `stop` closure (as opposed to
     /// exhausting its packet budget).
     pub interrupted: bool,
@@ -933,12 +1251,13 @@ impl ServeReport {
             let _ = writeln!(
                 out,
                 "overload: shed_flow_cap={} drr_topups={} flows_seen={} \
-                 flows_pinned={} packets_diverted={}",
+                 flows_pinned={} packets_diverted={} pin_table_full={}",
                 o.shed_flow_cap,
                 o.drr_deficit_topups,
                 o.flows_seen,
                 o.flows_pinned,
                 o.packets_diverted,
+                o.pin_table_full,
             );
             if let Some(top) = o.top_flows.first() {
                 // Asymmetry proof for the soak gates: the heaviest flow
@@ -953,6 +1272,26 @@ impl ServeReport {
                     top.offered,
                     self.shed - top.shed,
                     self.generated - top.offered,
+                );
+            }
+        }
+        if let Some(c) = &self.classes {
+            let _ = writeln!(
+                out,
+                "class: control_offered={} control_ingested={} control_shed={} \
+                 data_offered={} data_shed={} preempt_shed={}",
+                c.control_offered,
+                c.control_ingested,
+                c.control_shed,
+                c.data_offered,
+                c.data_shed,
+                c.preempt_shed,
+            );
+            if let Some(budget) = c.slo_budget_us {
+                let _ = writeln!(
+                    out,
+                    "slo: budget_us={} activations={} slo_shed={} last_p99_us={}",
+                    budget, c.slo_activations, c.slo_shed, c.slo_last_p99_us,
                 );
             }
         }
@@ -1273,6 +1612,32 @@ pub fn run_serve(
     }
     let clock = Instant::now();
     let mut source = TrafficSource::new(&cfg.traffic);
+
+    // The SLO trigger feeds on the enqueue→verdict histogram, which
+    // only exists when telemetry is attached; arm an internal sink if
+    // the caller supplied none.
+    let slo_local;
+    let telemetry = match (telemetry, cfg.slo_p99_us) {
+        (None, Some(_)) => {
+            slo_local = Telemetry::with_shards(cfg.shards);
+            Some(&slo_local)
+        }
+        (t, _) => t,
+    };
+
+    // Classifier: the n numerically lowest flow hashes are control.
+    let classifier = (cfg.control_flows > 0)
+        .then(|| FlowClassifier::lowest_hashes(&source.flow_hashes(), cfg.control_flows));
+    let classes_on = classifier.is_some() || cfg.slo_p99_us.is_some();
+    let mut slo = cfg.slo_p99_us.map(SloTrigger::new);
+    let mut slo_reported_activations = 0u64;
+    let mut control_offered = 0u64;
+    let mut control_ingested = 0u64;
+    let mut control_shed = 0u64;
+    let mut data_offered = 0u64;
+    let mut data_shed = 0u64;
+    let mut preempt_shed = 0u64;
+
     let context = source.context();
     let queues: Vec<IngressQueue> = (0..cfg.shards)
         .map(|_| IngressQueue::with_flow_cap(cfg.queue_depth, cfg.flow_queue_cap))
@@ -1321,6 +1686,36 @@ pub fn run_serve(
             let pkt = source.next_packet();
             generated += 1;
             let flow = flow_hash(&pkt);
+            let class = classifier
+                .as_ref()
+                .map_or(TrafficClass::Data, |c| c.classify(flow));
+            if classes_on {
+                match class {
+                    TrafficClass::Control => control_offered += 1,
+                    TrafficClass::Data => data_offered += 1,
+                }
+            }
+            // Evaluate the SLO trigger on a sampled cadence; while it
+            // is active, data-class pushes get a zero deadline (shed
+            // on a full queue immediately) and control keeps the full
+            // backpressure budget.
+            let mut shed_timeout = cfg.shed_timeout;
+            if let (Some(s), Some(t)) = (slo.as_mut(), telemetry) {
+                if generated.is_multiple_of(SLO_CHECK_INTERVAL) {
+                    s.update(&t.serve_latency_bucket_counts());
+                    if s.activations > slo_reported_activations {
+                        for _ in slo_reported_activations..s.activations {
+                            t.slo_activation();
+                        }
+                        slo_reported_activations = s.activations;
+                    }
+                    t.set_slo_last_p99_us(s.last_p99_us);
+                }
+                if s.active && class == TrafficClass::Data {
+                    shed_timeout = Duration::ZERO;
+                }
+            }
+            let slo_tightened = shed_timeout.is_zero() && !cfg.shed_timeout.is_zero();
             let shard = if let Some(d) = director.as_mut() {
                 for (slot, q) in depths.iter_mut().zip(&queues) {
                     *slot = q.len();
@@ -1349,32 +1744,92 @@ pub fn run_serve(
             let entry = Entry {
                 pkt,
                 flow,
+                class,
                 enqueued: telemetry.map(|_| Instant::now()),
             };
-            match queues[shard].push_entry(entry, cfg.shed_timeout, cfg.shed_policy) {
+            match queues[shard].push_entry(entry, shed_timeout, cfg.shed_policy) {
                 PushOutcome::Enqueued(depth) => {
                     ingested += 1;
+                    if class == TrafficClass::Control {
+                        control_ingested += 1;
+                    }
                     if let Some(t) = telemetry {
                         t.packet_ingested();
                         t.queue_depth_sample(depth as u64);
                     }
                 }
+                PushOutcome::Preempted {
+                    depth,
+                    evicted_flow,
+                } => {
+                    // A control packet entered by evicting one queued
+                    // data packet: net ingested is unchanged (+1
+                    // control in, −1 data out — the data packet was
+                    // already counted when it was enqueued), and the
+                    // eviction is one data-class shed attributed to
+                    // the evicted flow. Telemetry mirrors this with
+                    // monotone counters: no packet_ingested for the
+                    // control packet, one packet_shed for the evicted
+                    // one, so `generated = ingested + shed` stays
+                    // exact on both ledgers.
+                    shed += 1;
+                    control_ingested += 1;
+                    data_shed += 1;
+                    preempt_shed += 1;
+                    if overload_on {
+                        flow_stats.entry(evicted_flow).or_insert((0, 0)).1 += 1;
+                    }
+                    if let Some(t) = telemetry {
+                        t.packet_shed();
+                        t.packet_shed_data();
+                        t.packet_preempt_shed();
+                        t.queue_depth_sample(depth as u64);
+                    }
+                }
                 PushOutcome::Shed => {
                     shed += 1;
+                    if classes_on {
+                        match class {
+                            TrafficClass::Control => control_shed += 1,
+                            TrafficClass::Data => data_shed += 1,
+                        }
+                    }
+                    if slo_tightened {
+                        if let Some(s) = slo.as_mut() {
+                            s.shed += 1;
+                        }
+                    }
                     if overload_on {
                         flow_stats.entry(flow).or_insert((0, 0)).1 += 1;
                     }
                     if let Some(t) = telemetry {
                         t.packet_shed();
+                        if classes_on {
+                            match class {
+                                TrafficClass::Control => t.packet_shed_control(),
+                                TrafficClass::Data => t.packet_shed_data(),
+                            }
+                        }
+                        if slo_tightened {
+                            t.packet_shed_slo();
+                        }
                     }
                 }
                 PushOutcome::ShedFlowCap => {
                     shed += 1;
                     shed_flow_cap += 1;
+                    if classes_on {
+                        // Control is exempt from the flow cap, so this
+                        // is always data.
+                        data_shed += 1;
+                    }
                     flow_stats.entry(flow).or_insert((0, 0)).1 += 1;
                     if let Some(t) = telemetry {
                         t.packet_shed();
                         t.packet_shed_flow_cap();
+                        if classes_on {
+                            t.packet_shed_data();
+                        }
                     }
                 }
                 PushOutcome::Closed => break,
@@ -1396,11 +1851,19 @@ pub fn run_serve(
         for q in &queues {
             t.queue_depth_sample(q.highwater() as u64);
         }
+        let repairs: u64 = queues.iter().map(IngressQueue::invariant_repairs).sum();
+        if repairs > 0 {
+            t.add_queue_invariant_repairs(repairs);
+        }
     }
     let overload = overload_on.then(|| {
         let drr_deficit_topups: u64 = queues.iter().map(IngressQueue::drr_topups).sum();
+        let pin_table_full = director.as_ref().map_or(0, FlowDirector::pin_table_full);
         if let Some(t) = telemetry {
             t.add_drr_topups(drr_deficit_topups);
+            if pin_table_full > 0 {
+                t.add_pin_table_full(pin_table_full);
+            }
         }
         let mut top_flows: Vec<FlowTraffic> = flow_stats
             .iter()
@@ -1419,8 +1882,21 @@ pub fn run_serve(
             flows_seen,
             flows_pinned: director.as_ref().map_or(0, |d| d.pinned_flows() as u64),
             packets_diverted,
+            pin_table_full,
             top_flows,
         }
+    });
+    let classes = classes_on.then(|| ClassReport {
+        control_offered,
+        control_ingested,
+        control_shed,
+        data_offered,
+        data_shed,
+        preempt_shed,
+        slo_budget_us: cfg.slo_p99_us,
+        slo_activations: slo.as_ref().map_or(0, |s| s.activations),
+        slo_shed: slo.as_ref().map_or(0, |s| s.shed),
+        slo_last_p99_us: slo.as_ref().map_or(0, |s| s.last_p99_us),
     });
     ServeReport {
         generated,
@@ -1428,6 +1904,7 @@ pub fn run_serve(
         shed,
         shards: shard_reports,
         overload,
+        classes,
         interrupted,
         wall: clock.elapsed(),
     }
@@ -1885,6 +2362,279 @@ mod tests {
         // Every processed packet was timed enqueue→verdict.
         assert_eq!(s.serve_latency_us_count, report.processed());
         assert!(s.serve_latency_us_count > 0);
+    }
+
+    #[test]
+    fn digest_step_chain_is_pinned() {
+        // The verdict digest is an FNV-1a fold seeded from FNV_OFFSET;
+        // pin a short chain so the shared-hash refactor (and anything
+        // after it) cannot silently change recorded shard digests.
+        let mut d = 0u64;
+        for (id, verdict) in [(1u32, 0u8), (2, 1), (3, 2)] {
+            d = digest_step(d, id, verdict);
+        }
+        assert_eq!(d, 0x275A_EA1C_065C_FB14);
+    }
+
+    fn entry_of(pkt: Packet, class: TrafficClass) -> Entry {
+        let flow = flow_hash(&pkt);
+        Entry {
+            pkt,
+            flow,
+            class,
+            enqueued: None,
+        }
+    }
+
+    #[test]
+    fn control_preempts_the_newest_data_entry_in_fifo_mode() {
+        let q = IngressQueue::new(2);
+        let long = Duration::from_secs(300);
+        let (a, b, c) = (tuple_pkt(1), tuple_pkt(2), tuple_pkt(3));
+        assert!(matches!(q.push(a.clone(), long), PushOutcome::Enqueued(1)));
+        assert!(matches!(q.push(b.clone(), long), PushOutcome::Enqueued(2)));
+        // Full queue: a control push evicts the newest data entry
+        // instead of waiting out the backpressure deadline.
+        let before = Instant::now();
+        let out = q.push_entry(
+            entry_of(c.clone(), TrafficClass::Control),
+            long,
+            ShedPolicy::Fixed,
+        );
+        assert!(before.elapsed() < Duration::from_secs(1));
+        assert_eq!(
+            out,
+            PushOutcome::Preempted {
+                depth: 2,
+                evicted_flow: flow_hash(&b),
+            }
+        );
+        q.close();
+        let drained: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|p| p.id).collect();
+        assert_eq!(drained, vec![a.id, c.id]);
+    }
+
+    #[test]
+    fn control_preempts_the_most_backlogged_flow_in_drr_mode() {
+        let q = IngressQueue::with_flow_cap(4, Some(3));
+        let long = Duration::from_secs(300);
+        let x = tuple_pkt(1); // 3 packets: the backlogged flow
+        let y = tuple_pkt(2); // 1 packet
+        for i in 0..3u32 {
+            let mut p = x.clone();
+            p.id = 100 + i;
+            assert!(matches!(q.push(p, long), PushOutcome::Enqueued(_)));
+        }
+        assert!(matches!(q.push(y.clone(), long), PushOutcome::Enqueued(4)));
+        let ctl = entry_of(tuple_pkt(3), TrafficClass::Control);
+        let out = q.push_entry(ctl, long, ShedPolicy::Fixed);
+        assert_eq!(
+            out,
+            PushOutcome::Preempted {
+                depth: 4,
+                evicted_flow: flow_hash(&x),
+            }
+        );
+        // The victim was the *tail* of the backlogged flow: its first
+        // two packets and the mouse survive, per-flow order intact.
+        q.close();
+        let drained: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|p| p.id).collect();
+        assert_eq!(drained.len(), 4);
+        assert!(drained.contains(&100) && drained.contains(&101));
+        assert!(!drained.contains(&102), "{drained:?}");
+        assert!(drained.contains(&y.id));
+    }
+
+    #[test]
+    fn control_never_evicts_control() {
+        let q = IngressQueue::new(1);
+        let long = Duration::from_secs(300);
+        let short = Duration::from_millis(5);
+        assert!(matches!(
+            q.push_entry(
+                entry_of(tuple_pkt(1), TrafficClass::Control),
+                long,
+                ShedPolicy::Fixed
+            ),
+            PushOutcome::Enqueued(1)
+        ));
+        // All-control queue: a second control packet competes under
+        // ordinary backpressure and sheds at the deadline.
+        assert_eq!(
+            q.push_entry(
+                entry_of(tuple_pkt(2), TrafficClass::Control),
+                short,
+                ShedPolicy::Fixed
+            ),
+            PushOutcome::Shed
+        );
+        // Data never preempts anything.
+        assert_eq!(q.push(tuple_pkt(3), short), PushOutcome::Shed);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn corrupted_drr_state_is_repaired_not_wedged() {
+        // Regression for the invariant-panic-under-the-Mutex bug: a
+        // stale round-robin slot or an empty per-flow queue used to
+        // `expect()` while holding the ingress lock, poisoning it and
+        // wedging every producer. Both must now be repaired in place.
+        let q = IngressQueue::with_flow_cap(8, Some(4));
+        q.corrupt_stale_active(0xDEAD);
+        q.corrupt_empty_flow(0xBEEF);
+        let p = tuple_pkt(1);
+        assert!(matches!(
+            q.push(p.clone(), Duration::from_secs(1)),
+            PushOutcome::Enqueued(_)
+        ));
+        q.close();
+        let got = q.pop().expect("queue must keep serving past corruption");
+        assert_eq!(got.id, p.id);
+        assert!(q.pop().is_none());
+        assert_eq!(q.invariant_repairs(), 2);
+    }
+
+    #[test]
+    fn histogram_p99_reports_conservative_upper_edges() {
+        assert_eq!(histogram_p99_us(&[]), None);
+        assert_eq!(histogram_p99_us(&[0, 0, 0]), None);
+        // A single sample in bucket 3 ([8, 16)): rank 1, edge 15.
+        assert_eq!(histogram_p99_us(&[0, 0, 0, 1]), Some(15));
+        // 100 samples in bucket 0: p99 is the 99th, edge 1.
+        assert_eq!(histogram_p99_us(&[100]), Some(1));
+        // 98 fast + 2 slow: rank 99 lands in the slow bucket.
+        let mut d = vec![0u64; 6];
+        d[0] = 98;
+        d[5] = 2;
+        assert_eq!(histogram_p99_us(&d), Some(63));
+        // 99 fast + 1 slow: rank 99 still lands in the fast bucket —
+        // the slow sample is exactly the 1% tail the p99 excludes.
+        d[0] = 99;
+        d[5] = 1;
+        assert_eq!(histogram_p99_us(&d), Some(1));
+    }
+
+    #[test]
+    fn slo_trigger_needs_a_full_window_and_counts_activations() {
+        let mut s = SloTrigger::new(100);
+        // Too few samples: carried forward, still inactive.
+        let mut cum = vec![0u64; 8];
+        cum[7] = SLO_MIN_SAMPLES - 1;
+        s.update(&cum);
+        assert!(!s.active);
+        assert_eq!(s.activations, 0);
+        // One more slow verdict completes the window; bucket 7's upper
+        // edge (255) blows the 100 µs budget.
+        cum[7] = SLO_MIN_SAMPLES;
+        s.update(&cum);
+        assert!(s.active);
+        assert_eq!(s.activations, 1);
+        assert_eq!(s.last_p99_us, 255);
+        // A fast window deactivates without a second activation.
+        cum[0] += 64;
+        s.update(&cum);
+        assert!(!s.active);
+        assert_eq!(s.activations, 1);
+        assert_eq!(s.last_p99_us, 1);
+    }
+
+    #[test]
+    fn classified_serve_spares_control_and_accounts_exactly() {
+        // Queue depth above the run's total control packet count
+        // (~350 of 1500 with 4 of 16 flows marked): a control shed
+        // needs an all-control full queue, so the depth makes it
+        // structurally impossible whatever the machine speed. The
+        // elephant's flow-cap sheds supply the data-class overload.
+        let cfg = serve_cfg(1500)
+            .with_shards(2)
+            .with_queue_depth(512)
+            .with_flow_queue_cap(3)
+            .with_control_flows(4)
+            .with_traffic(TraceConfig::small().with_pattern(netbench::TrafficPattern::Elephant));
+        let report = run_serve(&cfg, None, &|| false);
+        assert!(report.accounting_holds(), "{report:?}");
+        let c = report.classes.as_ref().expect("class report present");
+        assert_eq!(c.control_shed, 0, "{c:?}");
+        assert!(c.control_offered > 0, "{c:?}");
+        assert!(c.data_shed > 0, "overload must bite the data class: {c:?}");
+        // The class split is a partition of the totals.
+        assert_eq!(c.control_offered + c.data_offered, report.generated);
+        assert_eq!(c.control_shed + c.data_shed, report.shed);
+        let summary = report.summary();
+        assert!(summary.contains("class: control_offered="), "{summary}");
+        assert!(!summary.contains("slo:"), "no SLO armed: {summary}");
+    }
+
+    #[test]
+    fn slo_trigger_fires_in_process_and_reports() {
+        // A 1 µs budget is unmeetable: the first full histogram window
+        // must activate the trigger, and the summary gains an slo line.
+        let t = Telemetry::with_shards(2);
+        let cfg = serve_cfg(1500)
+            .with_shards(2)
+            .with_queue_depth(8)
+            .with_slo_p99_us(1)
+            .with_traffic(TraceConfig::small().with_pattern(netbench::TrafficPattern::Elephant));
+        let report = run_serve(&cfg, Some(&t), &|| false);
+        assert!(report.accounting_holds(), "{report:?}");
+        let c = report.classes.as_ref().expect("class report present");
+        assert_eq!(c.slo_budget_us, Some(1));
+        assert!(c.slo_activations > 0, "{c:?}");
+        assert!(c.slo_last_p99_us > 1, "{c:?}");
+        // No classifier: everything is data, and control stays silent.
+        assert_eq!(c.control_offered, 0);
+        assert_eq!(c.control_shed, 0);
+        let s = t.snapshot();
+        assert_eq!(s.slo_trigger_activations, c.slo_activations);
+        assert_eq!(s.packets_shed_slo, c.slo_shed);
+        assert!(s.slo_last_p99_us > 1);
+        let summary = report.summary();
+        assert!(summary.contains("slo: budget_us=1"), "{summary}");
+    }
+
+    #[test]
+    fn slo_without_caller_telemetry_still_triggers() {
+        // The histogram lives in telemetry; when the caller passes
+        // None the serve path must arm an internal sink rather than
+        // silently disabling the trigger.
+        let cfg = serve_cfg(1000)
+            .with_shards(2)
+            .with_queue_depth(8)
+            .with_slo_p99_us(1);
+        let report = run_serve(&cfg, None, &|| false);
+        let c = report.classes.as_ref().expect("class report present");
+        assert!(c.slo_activations > 0, "{c:?}");
+    }
+
+    #[test]
+    fn default_path_carries_no_class_report() {
+        let report = run_serve(&serve_cfg(200), None, &|| false);
+        assert!(report.classes.is_none());
+        let summary = report.summary();
+        assert!(!summary.contains("class:"), "{summary}");
+        assert!(!summary.contains("slo:"), "{summary}");
+    }
+
+    #[test]
+    fn director_counts_rejected_pins_when_the_table_fills() {
+        let mut d = FlowDirector::new(
+            2,
+            RebalanceConfig {
+                highwater_frac: 0.5,
+                window: 1,
+                max_pins: 1,
+            },
+        );
+        let depths = [64usize, 0];
+        let flows: Vec<u64> = colliding_flows(0, 2, 4).iter().map(flow_hash).collect();
+        d.observe(&depths, 64);
+        for &f in &flows {
+            d.observe(&depths, 64);
+            let _ = d.route(f, &depths);
+        }
+        assert_eq!(d.pinned_flows(), 1);
+        // Three new flows wanted pins after the table filled.
+        assert_eq!(d.pin_table_full(), 3);
     }
 
     #[test]

@@ -85,6 +85,13 @@ struct Counters {
     shard_panics: AtomicU64,
     shard_restarts: AtomicU64,
     shard_setup_retries: AtomicU64,
+    packets_shed_control: AtomicU64,
+    packets_shed_data: AtomicU64,
+    packets_preempt_shed: AtomicU64,
+    packets_shed_slo: AtomicU64,
+    slo_trigger_activations: AtomicU64,
+    rebalance_pin_table_full: AtomicU64,
+    queue_invariant_repairs: AtomicU64,
 }
 
 /// Index of `outcome` in the snapshot tally (least to most severe,
@@ -146,6 +153,7 @@ pub struct Telemetry {
     jobs_total: AtomicU64,
     jobs_replayed: AtomicU64,
     queue_highwater: AtomicU64,
+    slo_last_p99_us: AtomicU64,
     started: Instant,
 }
 
@@ -195,6 +203,7 @@ impl Telemetry {
             jobs_total: AtomicU64::new(0),
             jobs_replayed: AtomicU64::new(0),
             queue_highwater: AtomicU64::new(0),
+            slo_last_p99_us: AtomicU64::new(0),
             started: Instant::now(),
         }
     }
@@ -414,6 +423,85 @@ impl Telemetry {
         self.queue_highwater.fetch_max(depth, Ordering::Relaxed);
     }
 
+    /// One control-class packet shed at ingress (a subset of
+    /// [`Telemetry::packet_shed`], which is also called). Non-zero only
+    /// when the class-aware path misbehaves — the smoke jobs assert it
+    /// stays at zero.
+    pub fn packet_shed_control(&self) {
+        self.shard(0)
+            .packets_shed_control
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One data-class packet shed at ingress (a subset of
+    /// [`Telemetry::packet_shed`], which is also called).
+    pub fn packet_shed_data(&self) {
+        self.shard(0)
+            .packets_shed_data
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One data-class packet evicted from a full queue to admit a
+    /// control-class packet (a subset of
+    /// [`Telemetry::packet_shed_data`]).
+    pub fn packet_preempt_shed(&self) {
+        self.shard(0)
+            .packets_preempt_shed
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One data-class packet shed under the tightened deadline of an
+    /// active latency-SLO trigger (a subset of
+    /// [`Telemetry::packet_shed_data`]).
+    pub fn packet_shed_slo(&self) {
+        self.shard(0)
+            .packets_shed_slo
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The latency-SLO trigger transitioned inactive→active once.
+    pub fn slo_activation(&self) {
+        self.shard(0)
+            .slo_trigger_activations
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publishes the most recent windowed p99 estimate (microseconds,
+    /// conservative bucket-upper-edge) seen by the SLO trigger. A
+    /// gauge: last write wins.
+    pub fn set_slo_last_p99_us(&self, us: u64) {
+        self.slo_last_p99_us.store(us, Ordering::Relaxed);
+    }
+
+    /// Folds `n` rejected rebalance pins (pin table full) into the
+    /// tallies; the serve path publishes the total once, at drain.
+    pub fn add_pin_table_full(&self, n: u64) {
+        self.shard(0)
+            .rebalance_pin_table_full
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Folds `n` repaired ingress-queue invariant violations into the
+    /// tallies (stale DRR active slots, empty flow queues). Anything
+    /// non-zero is a bug being survived rather than wedged on.
+    pub fn add_queue_invariant_repairs(&self, n: u64) {
+        self.shard(0)
+            .queue_invariant_repairs
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raw cumulative per-bucket loads of the serve enqueue→verdict
+    /// histogram, index `i` counting spans with `floor(log2(us)) == i`
+    /// (last bucket absorbs the tail). The SLO trigger diffs successive
+    /// calls to form sliding windows.
+    #[must_use]
+    pub fn serve_latency_bucket_counts(&self) -> Vec<u64> {
+        self.serve_latency_us_buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
     /// One engine-pool job finished on `worker` after `wall`.
     pub fn engine_job(&self, worker: usize, wall: Duration) {
         let c = self.shard(worker);
@@ -449,6 +537,7 @@ impl Telemetry {
             abandoned_peak: self.abandoned_peak.load(Ordering::Relaxed),
             abandoned_cap_hits: self.abandoned_cap_hits.load(Ordering::Relaxed),
             queue_highwater: self.queue_highwater.load(Ordering::Relaxed),
+            slo_last_p99_us: self.slo_last_p99_us.load(Ordering::Relaxed),
             job_us_count: self.job_us_count.load(Ordering::Relaxed),
             job_us_total: self.job_us_total.load(Ordering::Relaxed),
             job_us_max: self.job_us_max.load(Ordering::Relaxed),
@@ -515,6 +604,13 @@ impl Telemetry {
             s.shard_panics += c.shard_panics.load(Ordering::Relaxed);
             s.shard_restarts += c.shard_restarts.load(Ordering::Relaxed);
             s.shard_setup_retries += c.shard_setup_retries.load(Ordering::Relaxed);
+            s.packets_shed_control += c.packets_shed_control.load(Ordering::Relaxed);
+            s.packets_shed_data += c.packets_shed_data.load(Ordering::Relaxed);
+            s.packets_preempt_shed += c.packets_preempt_shed.load(Ordering::Relaxed);
+            s.packets_shed_slo += c.packets_shed_slo.load(Ordering::Relaxed);
+            s.slo_trigger_activations += c.slo_trigger_activations.load(Ordering::Relaxed);
+            s.rebalance_pin_table_full += c.rebalance_pin_table_full.load(Ordering::Relaxed);
+            s.queue_invariant_repairs += c.queue_invariant_repairs.load(Ordering::Relaxed);
         }
         s
     }
@@ -615,6 +711,29 @@ pub struct MetricsSnapshot {
     pub shard_setup_retries: u64,
     /// Serve: high-water ingress-queue occupancy.
     pub queue_highwater: u64,
+    /// Serve: control-class packets shed at ingress (subset of
+    /// [`MetricsSnapshot::packets_shed`]; asserted zero by the smoke
+    /// jobs whenever classes are on).
+    pub packets_shed_control: u64,
+    /// Serve: data-class packets shed at ingress (subset of
+    /// [`MetricsSnapshot::packets_shed`]).
+    pub packets_shed_data: u64,
+    /// Serve: data-class packets evicted to admit control-class
+    /// packets (subset of [`MetricsSnapshot::packets_shed_data`]).
+    pub packets_preempt_shed: u64,
+    /// Serve: data-class packets shed under a tightened SLO deadline
+    /// (subset of [`MetricsSnapshot::packets_shed_data`]).
+    pub packets_shed_slo: u64,
+    /// Serve: latency-SLO trigger inactive→active transitions.
+    pub slo_trigger_activations: u64,
+    /// Serve: last windowed p99 estimate seen by the SLO trigger
+    /// (microseconds, conservative bucket-upper-edge; a gauge).
+    pub slo_last_p99_us: u64,
+    /// Serve: rebalance pins rejected because the pin table was full.
+    pub rebalance_pin_table_full: u64,
+    /// Serve: repaired ingress-queue invariant violations (non-zero
+    /// means a bug was survived, not wedged on).
+    pub queue_invariant_repairs: u64,
     /// Records handed to the journal writer thread.
     pub journal_records: u64,
     /// Batched fsyncs the journal writer issued.
@@ -759,6 +878,21 @@ impl MetricsSnapshot {
             let _ = write!(s, "[{floor}, {n}]");
         }
         s.push_str("]},");
+        let _ = write!(
+            s,
+            "\n  \"class\": {{\"packets_shed_control\": {}, \"packets_shed_data\": {}, \
+             \"packets_preempt_shed\": {}, \"packets_shed_slo\": {}, \
+             \"slo_trigger_activations\": {}, \"slo_last_p99_us\": {}, \
+             \"rebalance_pin_table_full\": {}, \"queue_invariant_repairs\": {}}},",
+            self.packets_shed_control,
+            self.packets_shed_data,
+            self.packets_preempt_shed,
+            self.packets_shed_slo,
+            self.slo_trigger_activations,
+            self.slo_last_p99_us,
+            self.rebalance_pin_table_full,
+            self.queue_invariant_repairs
+        );
         let _ = write!(
             s,
             "\n  \"journal\": {{\"journal_records\": {}, \"journal_fsyncs\": {}, \
@@ -1270,6 +1404,48 @@ mod tests {
         assert_eq!(map.get("serve_latency_us_count"), Some(&2));
         assert_eq!(map.get("serve_latency_us_total"), Some(&3100));
         assert_eq!(map.get("serve_latency_us_max"), Some(&3000));
+    }
+
+    #[test]
+    fn class_counters_survive_the_json_round_trip() {
+        let t = Telemetry::with_shards(2);
+        t.packet_shed_control();
+        t.packet_shed_data();
+        t.packet_shed_data();
+        t.packet_preempt_shed();
+        t.packet_shed_slo();
+        t.slo_activation();
+        t.set_slo_last_p99_us(2047);
+        t.set_slo_last_p99_us(511); // gauge: last write wins
+        t.add_pin_table_full(3);
+        t.add_queue_invariant_repairs(2);
+        let s = t.snapshot();
+        assert_eq!(s.packets_shed_control, 1);
+        assert_eq!(s.packets_shed_data, 2);
+        assert_eq!(s.slo_last_p99_us, 511);
+        let map = parse_metrics(&t.metrics_json()).expect("schema present");
+        assert_eq!(map.get("packets_shed_control"), Some(&1));
+        assert_eq!(map.get("packets_shed_data"), Some(&2));
+        assert_eq!(map.get("packets_preempt_shed"), Some(&1));
+        assert_eq!(map.get("packets_shed_slo"), Some(&1));
+        assert_eq!(map.get("slo_trigger_activations"), Some(&1));
+        assert_eq!(map.get("slo_last_p99_us"), Some(&511));
+        assert_eq!(map.get("rebalance_pin_table_full"), Some(&3));
+        assert_eq!(map.get("queue_invariant_repairs"), Some(&2));
+    }
+
+    #[test]
+    fn serve_latency_bucket_counts_expose_raw_cumulative_loads() {
+        let t = Telemetry::with_shards(1);
+        assert!(t.serve_latency_bucket_counts().iter().all(|&n| n == 0));
+        t.serve_latency(Duration::from_micros(100)); // bucket 6: [64, 128)
+        t.serve_latency(Duration::from_micros(100));
+        t.serve_latency(Duration::from_micros(3000)); // bucket 11
+        let counts = t.serve_latency_bucket_counts();
+        assert_eq!(counts.len(), HIST_BUCKETS);
+        assert_eq!(counts[6], 2);
+        assert_eq!(counts[11], 1);
+        assert_eq!(counts.iter().sum::<u64>(), 3);
     }
 
     #[test]

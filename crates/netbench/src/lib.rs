@@ -64,9 +64,11 @@ pub use error::{AppError, FatalError};
 pub use heap::Heap;
 pub use machine::{Machine, PacketView, Plane, PlaneMask};
 pub use obs::{diff_observations, ErrorCategory, Observation, PacketDiff};
-pub use packet::Packet;
+pub use packet::{fnv1a_fold, Packet, FNV_OFFSET, FNV_PRIME};
 pub use radix::RadixTable;
-pub use trace::{PrefixRoute, Trace, TraceConfig, TrafficPattern, TrafficSource};
+pub use trace::{
+    FlowClassifier, PrefixRoute, Trace, TraceConfig, TrafficClass, TrafficPattern, TrafficSource,
+};
 
 use std::fmt;
 

@@ -7,10 +7,95 @@
 //! distribution, so caches see realistic locality), and URL requests
 //! drawn from a synthetic corpus.
 
-use crate::packet::Packet;
+use crate::packet::{hash_tuple, Packet};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
 use std::fmt;
+
+/// Admission class of a packet: control-plane traffic is protected,
+/// data-plane traffic absorbs overload first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TrafficClass {
+    /// Control-plane traffic: never shed in favour of data, may preempt
+    /// queued data-class packets under overload.
+    Control,
+    /// Data-plane traffic (the default): sheddable.
+    #[default]
+    Data,
+}
+
+impl fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrafficClass::Control => write!(f, "control"),
+            TrafficClass::Data => write!(f, "data"),
+        }
+    }
+}
+
+/// Classifies packets into [`TrafficClass`]es by flow hash.
+///
+/// The policy is deliberately simple and deterministic: the classifier
+/// is built from an explicit set of control-flow hashes —
+/// [`FlowClassifier::lowest_hashes`] marks the `n` numerically lowest
+/// flow hashes of a [`TrafficSource`]'s flow table as control, so the
+/// same trace config always protects the same flows.
+///
+/// # Examples
+///
+/// ```
+/// use netbench::{FlowClassifier, TraceConfig, TrafficClass, TrafficSource};
+///
+/// let cfg = TraceConfig::small();
+/// let mut src = TrafficSource::new(&cfg);
+/// let cls = FlowClassifier::lowest_hashes(&src.flow_hashes(), 4);
+/// assert_eq!(cls.control_flows(), 4);
+/// let pkt = src.next_packet();
+/// let class = cls.classify(pkt.flow_hash());
+/// assert!(matches!(class, TrafficClass::Control | TrafficClass::Data));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FlowClassifier {
+    control: HashSet<u64>,
+}
+
+impl FlowClassifier {
+    /// A classifier that marks exactly the given flow hashes as control.
+    #[must_use]
+    pub fn new(control: impl IntoIterator<Item = u64>) -> Self {
+        FlowClassifier {
+            control: control.into_iter().collect(),
+        }
+    }
+
+    /// Marks the `n` numerically lowest hashes in `hashes` as control
+    /// (duplicates collapse; `n` larger than the population marks all).
+    #[must_use]
+    pub fn lowest_hashes(hashes: &[u64], n: usize) -> Self {
+        let mut sorted: Vec<u64> = hashes.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        sorted.truncate(n);
+        FlowClassifier::new(sorted)
+    }
+
+    /// The class of a flow.
+    #[must_use]
+    pub fn classify(&self, flow_hash: u64) -> TrafficClass {
+        if self.control.contains(&flow_hash) {
+            TrafficClass::Control
+        } else {
+            TrafficClass::Data
+        }
+    }
+
+    /// Number of distinct flows marked control.
+    #[must_use]
+    pub fn control_flows(&self) -> usize {
+        self.control.len()
+    }
+}
 
 /// A routing-table entry: `prefix/len → next_hop`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -287,6 +372,19 @@ impl TrafficSource {
         self.flows.len()
     }
 
+    /// The flow hash of every flow in the table, in flow order.
+    ///
+    /// Each entry equals [`Packet::flow_hash`] of every packet that
+    /// flow emits (same 5-tuple, same FNV-1a mix), so classifiers built
+    /// from this list agree with per-packet classification.
+    #[must_use]
+    pub fn flow_hashes(&self) -> Vec<u64> {
+        self.flows
+            .iter()
+            .map(|f| hash_tuple(f.src_ip, f.dst_ip, f.src_port, f.dst_port, f.proto))
+            .collect()
+    }
+
     /// The next packet in the stream (never exhausts).
     pub fn next_packet(&mut self) -> Packet {
         let fi = match self.pattern {
@@ -537,6 +635,44 @@ mod tests {
             "only {} flows",
             counts.len()
         );
+    }
+
+    #[test]
+    fn flow_hashes_agree_with_emitted_packets() {
+        let cfg = TraceConfig::small();
+        let mut src = TrafficSource::new(&cfg);
+        let hashes: HashSet<u64> = src.flow_hashes().into_iter().collect();
+        for _ in 0..200 {
+            let p = src.next_packet();
+            assert!(hashes.contains(&p.flow_hash()), "{p} hash not in table");
+        }
+    }
+
+    #[test]
+    fn classifier_marks_the_n_lowest_hashes() {
+        let cfg = TraceConfig::small();
+        let src = TrafficSource::new(&cfg);
+        let hashes = src.flow_hashes();
+        let cls = FlowClassifier::lowest_hashes(&hashes, 4);
+        assert_eq!(cls.control_flows(), 4);
+        let mut sorted = hashes.clone();
+        sorted.sort_unstable();
+        for (i, h) in sorted.iter().enumerate() {
+            let want = if i < 4 {
+                TrafficClass::Control
+            } else {
+                TrafficClass::Data
+            };
+            assert_eq!(cls.classify(*h), want, "rank {i}");
+        }
+    }
+
+    #[test]
+    fn classifier_saturates_past_the_population() {
+        let hashes = [3u64, 1, 2];
+        let cls = FlowClassifier::lowest_hashes(&hashes, 99);
+        assert_eq!(cls.control_flows(), 3);
+        assert_eq!(cls.classify(7), TrafficClass::Data);
     }
 
     #[test]
